@@ -1,0 +1,76 @@
+//! Outbreak engine throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use hotspots_ipspace::Ip;
+use hotspots_netmodel::Environment;
+use hotspots_sim::{
+    Engine, FieldObserver, HitListWorm, NullObserver, Population, SimConfig,
+};
+use hotspots_targeting::HitList;
+use hotspots_telescope::DetectorField;
+
+fn engine_config(max_time: f64) -> SimConfig {
+    SimConfig {
+        scan_rate: 10.0,
+        seeds: 25,
+        dt: 1.0,
+        max_time,
+        stop_at_fraction: None,
+        rng_seed: 1,
+        ..SimConfig::default()
+    }
+}
+
+fn population(n: u32) -> Population {
+    Population::from_public((0..n).map(|i| Ip::new(0x0b00_0000 + i * 37)))
+}
+
+fn outbreak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    let list = HitList::new(vec!["11.0.0.0/12".parse().unwrap()]).unwrap();
+
+    group.bench_function("run_5k_hosts_100s_null_observer", |b| {
+        b.iter_batched(
+            || {
+                Engine::new(
+                    engine_config(100.0),
+                    population(5_000),
+                    Environment::new(),
+                    Box::new(HitListWorm::new(list.clone())),
+                )
+            },
+            |mut engine| black_box(engine.run(&mut NullObserver)),
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("run_5k_hosts_100s_detector_field", |b| {
+        let sensors: Vec<hotspots_ipspace::Prefix> = (0..1_000u32)
+            .map(|i| {
+                hotspots_ipspace::Prefix::containing(Ip::new(0x0b00_0000 + i * 4096), 24)
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        b.iter_batched(
+            || {
+                (
+                    Engine::new(
+                        engine_config(100.0),
+                        population(5_000),
+                        Environment::new(),
+                        Box::new(HitListWorm::new(list.clone())),
+                    ),
+                    FieldObserver::new(DetectorField::new(sensors.clone(), 5)),
+                )
+            },
+            |(mut engine, mut observer)| black_box(engine.run(&mut observer)),
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, outbreak);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! PRNG substrate throughput and cycle-analysis benches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotspots_prng::cycles::{order_mod_pow2, AffineMap};
+use hotspots_prng::{MsvcrtRand, Prng32, SlammerPrng, SplitMix, SqlsortDll};
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prng");
+    group.bench_function("msvcrt_rand15", |b| {
+        let mut r = MsvcrtRand::with_seed(1);
+        b.iter(|| black_box(r.rand15()));
+    });
+    group.bench_function("slammer_next_target", |b| {
+        let mut r = SlammerPrng::new(SqlsortDll::Gold, 7);
+        b.iter(|| black_box(r.next_target()));
+    });
+    group.bench_function("splitmix_next_u32", |b| {
+        let mut r = SplitMix::new(7);
+        b.iter(|| black_box(r.next_u32()));
+    });
+    group.finish();
+}
+
+fn cycle_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycles");
+    let map = AffineMap::slammer(SqlsortDll::Sp2);
+    group.bench_function("cycle_id", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9e37_79b9);
+            black_box(map.cycle_id(x).unwrap())
+        });
+    });
+    group.bench_function("cycle_length_algebraic", |b| {
+        let mut x = 1u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9e37_79b9);
+            black_box(map.cycle_length(x).unwrap())
+        });
+    });
+    group.bench_function("order_mod_pow2_32", |b| {
+        b.iter(|| black_box(order_mod_pow2(black_box(214013), 32)));
+    });
+    group.bench_function("jump_1e6_steps", |b| {
+        b.iter(|| black_box(map.jump(black_box(12345), 1_000_000)));
+    });
+    group.bench_function("cycle_structure_full", |b| {
+        b.iter(|| black_box(map.cycle_structure().unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generators, cycle_analysis);
+criterion_main!(benches);

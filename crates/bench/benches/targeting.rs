@@ -1,0 +1,57 @@
+//! Target-generation strategy throughput (the simulator's hot path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotspots_ipspace::{Ip, Prefix};
+use hotspots_prng::{SplitMix, SqlsortDll};
+use hotspots_targeting::{
+    BlasterScanner, CodeRed2Scanner, HitList, HitListScanner, PermutationScanner,
+    SlammerScanner, TargetGenerator, UniformScanner,
+};
+
+fn strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("targeting");
+    group.bench_function("uniform", |b| {
+        let mut g = UniformScanner::new(SplitMix::new(1));
+        b.iter(|| black_box(g.next_target()));
+    });
+    group.bench_function("hitlist_10_prefixes", |b| {
+        let prefixes: Vec<Prefix> = (0..10u32)
+            .map(|i| Prefix::containing(Ip::from_octets(10 + i as u8, 0, 0, 0), 16))
+            .collect();
+        let mut g = HitListScanner::new(HitList::new(prefixes).unwrap(), SplitMix::new(1));
+        b.iter(|| black_box(g.next_target()));
+    });
+    group.bench_function("hitlist_4481_prefixes", |b| {
+        // one /16 per step through the space, paper-scale list length
+        let prefixes: Vec<Prefix> = (0..4481u32)
+            .map(|i| {
+                let base = (i * 14_831) % (1 << 16); // spread, distinct /16s
+                Prefix::containing(Ip::new(base << 16), 16)
+            })
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut g = HitListScanner::new(HitList::new(prefixes).unwrap(), SplitMix::new(1));
+        b.iter(|| black_box(g.next_target()));
+    });
+    group.bench_function("codered2", |b| {
+        let mut g = CodeRed2Scanner::new(Ip::from_octets(57, 20, 3, 9), SplitMix::new(1));
+        b.iter(|| black_box(g.next_target()));
+    });
+    group.bench_function("blaster_sequential", |b| {
+        let mut g = BlasterScanner::from_tick_count(Ip::from_octets(10, 0, 0, 1), 30_000);
+        b.iter(|| black_box(g.next_target()));
+    });
+    group.bench_function("slammer", |b| {
+        let mut g = SlammerScanner::new(SqlsortDll::Sp3, 9);
+        b.iter(|| black_box(g.next_target()));
+    });
+    group.bench_function("permutation", |b| {
+        let mut g = PermutationScanner::new(SplitMix::new(1), 1 << 20);
+        b.iter(|| black_box(g.next_target()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, strategies);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Telescope lookup and recording throughput, plus the IpMap rationale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotspots_ipspace::{Ip, Prefix};
+use hotspots_prng::{Prng32, SplitMix};
+use hotspots_sim::IpMap;
+use hotspots_telescope::{BlockIndex, DetectorField};
+use std::collections::HashMap;
+
+fn block_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_index");
+    let ims = BlockIndex::new(
+        hotspots_ipspace::ims_deployment()
+            .iter()
+            .map(|b| b.prefix())
+            .collect(),
+    );
+    group.bench_function("find_ims_11_blocks", |b| {
+        let mut g = SplitMix::new(3);
+        b.iter(|| black_box(ims.find(Ip::new(g.next_u32()))));
+    });
+    let ten_k: Vec<Prefix> = (0..10_000u32)
+        .map(|i| Prefix::containing(Ip::new(i.wrapping_mul(429_496) << 8), 24))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let field_index = BlockIndex::new(ten_k);
+    group.bench_function("find_10k_slash24s", |b| {
+        let mut g = SplitMix::new(3);
+        b.iter(|| black_box(field_index.find(Ip::new(g.next_u32()))));
+    });
+    group.finish();
+}
+
+fn maps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("address_lookup");
+    let keys: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let ipmap: IpMap = keys.iter().map(|&k| (k, k >> 8)).collect();
+    let stdmap: HashMap<u32, u32> = keys.iter().map(|&k| (k, k >> 8)).collect();
+    group.bench_function("ipmap_get_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(ipmap.get(keys[i]))
+        });
+    });
+    group.bench_function("std_hashmap_get_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(stdmap.get(&keys[i]))
+        });
+    });
+    group.bench_function("ipmap_get_miss", |b| {
+        let mut g = SplitMix::new(5);
+        b.iter(|| black_box(ipmap.get(g.next_u32() | 1)));
+    });
+    group.finish();
+}
+
+fn detector_field(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_field");
+    let sensors: Vec<Prefix> = (0..4481u32)
+        .map(|i| Prefix::containing(Ip::new(i.wrapping_mul(958_111) << 10), 24))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    group.bench_function("observe_4481_sensors", |b| {
+        let mut field = DetectorField::new(sensors.clone(), 5);
+        let mut g = SplitMix::new(9);
+        b.iter(|| black_box(field.observe(0.0, Ip::new(g.next_u32()))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, block_index, maps, detector_field);
+criterion_main!(benches);

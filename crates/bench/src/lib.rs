@@ -1,0 +1,2 @@
+//! Criterion benchmarks live in `benches/`; see `DESIGN.md` for the
+//! experiment-to-bench mapping.

@@ -1,0 +1,208 @@
+//! Synthetic bot-command corpora shaped like the paper's Table 1.
+//!
+//! The live capture behind Table 1 is unavailable (it was sniffed from a
+//! production academic network), so this module generates command logs
+//! with the same observed structure: a mix of `advscan`/`ipscan`, the
+//! exploit modules seen in the wild, octet patterns dominated by sticky
+//! (`s`) subnet picks, a minority of hit-lists pinned to specific first
+//! octets, and the `-r -b -s` flag idioms.
+
+use hotspots_ipspace::Ip;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::command::BotCommand;
+
+/// The commands reported in Table 1 of the paper, one per detected bot
+/// (whitespace-normalized; the published table truncates some numeric
+/// parameters, which are restored with representative values).
+pub const TABLE1_COMMANDS: [&str; 16] = [
+    "ipscan i.i.i.i dcom2 -s",
+    "advscan wkssvceng 100 5 0 -r -s",
+    "ipscan s.s.s.s dcom2 -s",
+    "ipscan r.r.r.r dcom2 -s",
+    "advscan dcass 150 3 9999 x.x.x -b -s",
+    "advscan lsass 200 5 0 -r -b",
+    "advscan dcass 150 3 9999 x.x -b -s",
+    "ipscan s.s dcom2 -s",
+    "ipscan s.s mssql2000 -s",
+    "ipscan s.s.s lsass -s",
+    "ipscan s.s webdav3 -s",
+    "ipscan r.r.r.r dcom2 -s",
+    "ipscan 194.s.s.s dcom2 -s",
+    "ipscan s.s dcom2",
+    "ipscan 192.s.s.s dcom2 -s",
+    "ipscan 128.s.s.s dcom2 -s",
+];
+
+/// Parses the Table 1 commands (they are all valid under the grammar).
+///
+/// # Examples
+///
+/// ```
+/// let cmds = hotspots_botnet::corpus::table1();
+/// assert_eq!(cmds.len(), 16);
+/// ```
+pub fn table1() -> Vec<BotCommand> {
+    TABLE1_COMMANDS
+        .iter()
+        .map(|s| s.parse().expect("table 1 commands parse"))
+        .collect()
+}
+
+/// Generates `n` synthetic commands with Table-1-like composition.
+///
+/// Composition (matched to the table): ~70% `ipscan`, ~30% `advscan`;
+/// module mix dominated by `dcom2`; ~20% of patterns pin the first octet
+/// to an address-rich /8 (academic-network targeting, per the paper's
+/// observation that bots aim at ranges "known to contain live hosts").
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let corpus = hotspots_botnet::corpus::generate(50, &mut rng);
+/// assert_eq!(corpus.len(), 50);
+/// ```
+pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<BotCommand> {
+    let modules = [
+        "dcom2",
+        "dcom2",
+        "dcom2",
+        "dcom2",
+        "lsass",
+        "dcass",
+        "mssql2000",
+        "webdav3",
+        "wkssvceng",
+    ];
+    let literal_octets: [u8; 6] = [128, 129, 141, 192, 194, 210];
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let module = *modules.choose(rng).expect("non-empty");
+        let text = if rng.gen_bool(0.7) {
+            // ipscan <pattern> <module> [-s]
+            let pattern = random_pattern(rng, &literal_octets);
+            let flag = if rng.gen_bool(0.85) { " -s" } else { "" };
+            format!("ipscan {pattern} {module}{flag}")
+        } else {
+            // advscan <module> <threads> <delay> <count> [pattern] [-flags]
+            let threads = *[100u32, 150, 200, 250].choose(rng).expect("non-empty");
+            let delay = rng.gen_range(3..=7);
+            let count = *[0u32, 9999].choose(rng).expect("non-empty");
+            let pattern = if rng.gen_bool(0.4) {
+                format!(" {}", random_pattern(rng, &literal_octets))
+            } else {
+                String::new()
+            };
+            let flags = ["", " -r", " -b", " -r -b", " -r -s", " -b -s", " -r -b -s"]
+                .choose(rng)
+                .expect("non-empty");
+            format!("advscan {module} {threads} {delay} {count}{pattern}{flags}")
+        };
+        out.push(text.parse().expect("generated commands are grammatical"));
+    }
+    out
+}
+
+fn random_pattern<R: Rng + ?Sized>(rng: &mut R, literal_octets: &[u8]) -> String {
+    let arity = *[2usize, 3, 4, 4].choose(rng).expect("non-empty");
+    let body_symbol = *["s", "s", "s", "r", "x", "i"].choose(rng).expect("non-empty");
+    let mut parts: Vec<String> = Vec::with_capacity(arity);
+    if rng.gen_bool(0.2) {
+        parts.push(
+            literal_octets
+                .choose(rng)
+                .expect("non-empty")
+                .to_string(),
+        );
+    } else {
+        parts.push(body_symbol.to_owned());
+    }
+    for _ in 1..arity {
+        parts.push(body_symbol.to_owned());
+    }
+    parts.join(".")
+}
+
+/// Summarizes a corpus the way the paper analyzes Table 1: for each
+/// command, the scan range a drone at `local` would cover, as
+/// `(command text, range, range size)` rows.
+pub fn hit_list_report(commands: &[BotCommand], local: Ip) -> Vec<(String, String, u64)> {
+    use hotspots_prng::SplitMix;
+    let mut prng = SplitMix::new(0x7ab1e1);
+    commands
+        .iter()
+        .map(|cmd| {
+            let (range, size) = match cmd.target_range(local, &mut prng) {
+                Ok(p) => (p.to_string(), p.size()),
+                Err(_) => (
+                    "(non-prefix)".to_owned(),
+                    cmd.pattern().map_or(0, |p| p.reachable_addresses()),
+                ),
+            };
+            (cmd.to_string(), range, size)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_all_parse_and_roundtrip() {
+        let cmds = table1();
+        assert_eq!(cmds.len(), TABLE1_COMMANDS.len());
+        for (cmd, text) in cmds.iter().zip(TABLE1_COMMANDS) {
+            assert_eq!(cmd.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn table1_hit_lists_include_restricted_ranges() {
+        // The paper's point: commands restrict propagation to subnets.
+        let report = hit_list_report(&table1(), Ip::from_octets(141, 20, 0, 9));
+        let restricted: Vec<&(String, String, u64)> = report
+            .iter()
+            .filter(|(_, _, size)| *size < (1u64 << 32))
+            .collect();
+        assert!(
+            restricted.len() >= 8,
+            "expected most Table 1 commands to restrict their range, got {}",
+            restricted.len()
+        );
+        // the literal-octet commands pin their scans inside the named /8
+        assert!(report
+            .iter()
+            .any(|(c, r, _)| c.contains("194.") && r.starts_with("194.")));
+    }
+
+    #[test]
+    fn generated_corpus_parses_and_varies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let corpus = generate(200, &mut rng);
+        assert_eq!(corpus.len(), 200);
+        let ipscans = corpus
+            .iter()
+            .filter(|c| c.kind() == crate::CommandKind::Ipscan)
+            .count();
+        assert!((100..190).contains(&ipscans), "ipscan count {ipscans}");
+        let with_literal = corpus
+            .iter()
+            .filter_map(|c| c.pattern())
+            .filter(|p| matches!(p.octets()[0], crate::OctetSpec::Literal(_)))
+            .count();
+        assert!(with_literal > 5, "literal-octet hit-lists missing");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate(50, &mut StdRng::seed_from_u64(7));
+        let b = generate(50, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,56 @@
+//! Bot command parsing and hit-list extraction.
+//!
+//! The paper's Table 1 is a capture of IRC scan commands sent to
+//! Agobot/Phatbot, rbot/SDBot, and Ghost-Bot drones on a live /15 academic
+//! network, e.g.:
+//!
+//! ```text
+//! advscan dcom2 150 3 9999 x.x.x.x -r -b -s
+//! ipscan 192.s.s.s dcom2 -s
+//! ```
+//!
+//! Commands carry an octet *pattern* (`192.s.s.s`) that restricts which
+//! addresses the drones will scan — a hit-list, and therefore an
+//! algorithmic hotspot factor. This crate provides:
+//!
+//! * [`ScanPattern`] — the dotted octet pattern language
+//!   (`literal`/`i`/`s`/`r`/`x`),
+//! * [`BotCommand`] — a parser for the `advscan`/`ipscan` grammar,
+//! * [`ExploitModule`] — the exploit-module → service mapping,
+//! * [`corpus`] — a generator of Table-1-shaped synthetic command logs,
+//! * [`log_scanner`] — extraction of commands from noisy IRC captures
+//!   (the step that produced Table 1 from live traffic),
+//! * [`BotCommand::scanner`] — turning a command into a live
+//!   [`TargetGenerator`](hotspots_targeting::TargetGenerator).
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspots_botnet::BotCommand;
+//! use hotspots_ipspace::Ip;
+//! use hotspots_prng::SplitMix;
+//!
+//! let cmd: BotCommand = "ipscan 192.s.s.s dcom2 -s".parse().unwrap();
+//! assert_eq!(cmd.module().name(), "dcom2");
+//! let range = cmd
+//!     .pattern()
+//!     .unwrap()
+//!     .resolve(Ip::from_octets(141, 20, 0, 1), &mut SplitMix::new(1))
+//!     .unwrap();
+//! // each drone sweeps its own /24 inside 192/8
+//! assert_eq!(range.len(), 24);
+//! assert_eq!(range.base().octets()[0], 192);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod command;
+pub mod corpus;
+pub mod log_scanner;
+mod modules;
+mod pattern;
+
+pub use command::{BotCommand, CommandKind, ParseCommandError};
+pub use modules::ExploitModule;
+pub use pattern::{OctetSpec, ParsePatternError, ResolveError, ScanPattern};

@@ -1,0 +1,153 @@
+//! Extracting bot commands from captured IRC traffic.
+//!
+//! The paper's Table 1 data came from "the specific command signatures of
+//! Agobot/Phatbot, rbot/sdbot, and Ghost-Bot in the payload of traffic
+//! captured in a large academic network". This module is that extraction
+//! step: scan a line-oriented capture (IRC PRIVMSG payloads, channel
+//! noise, partial lines) and pull out every parsable scan command.
+
+use crate::command::BotCommand;
+
+/// One extracted command: where it was found and what it parsed to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHit {
+    /// 0-based line number in the scanned input.
+    pub line: usize,
+    /// The raw payload text the command was found in.
+    pub raw: String,
+    /// The parsed command.
+    pub command: BotCommand,
+}
+
+/// Scans a line-oriented capture for bot propagation commands.
+///
+/// Tolerant of IRC framing: a command may appear anywhere in the line
+/// (e.g. after `PRIVMSG #channel :` or a `.` command prefix), and lines
+/// with no command are skipped. Only `advscan`/`ipscan` verbs are
+/// recognized; everything after the verb until end-of-line is handed to
+/// the grammar, and unparsable candidates are ignored (real captures are
+/// full of typos and truncation).
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_botnet::log_scanner::scan_lines;
+///
+/// let capture = [
+///     "PING :irc.example.net",
+///     ":boss!u@h PRIVMSG #w00t :.advscan dcom2 150 3 0 -r -s",
+///     "some unrelated chatter about ipscanning",
+///     ":boss!u@h PRIVMSG #w00t :ipscan 192.s.s.s dcom2 -s",
+/// ];
+/// let hits = scan_lines(capture.iter().map(|s| s.to_string()));
+/// assert_eq!(hits.len(), 2);
+/// assert_eq!(hits[1].command.module().name(), "dcom2");
+/// ```
+pub fn scan_lines<I>(lines: I) -> Vec<LogHit>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut hits = Vec::new();
+    for (line_no, line) in lines.into_iter().enumerate() {
+        if let Some(command) = extract_command(&line) {
+            hits.push(LogHit { line: line_no, raw: line, command });
+        }
+    }
+    hits
+}
+
+/// Finds and parses the first scan command embedded in a line, if any.
+pub fn extract_command(line: &str) -> Option<BotCommand> {
+    for verb in ["advscan", "ipscan"] {
+        let mut search_from = 0;
+        while let Some(rel) = line[search_from..].find(verb) {
+            let at = search_from + rel;
+            // verb must start a token: preceded by start, whitespace,
+            // ':' (IRC payload marker) or '.' (bot command prefix)
+            let boundary_ok = at == 0
+                || matches!(
+                    line.as_bytes()[at - 1],
+                    b' ' | b'\t' | b':' | b'.' | b'"'
+                );
+            let candidate = &line[at..];
+            // the verb must be followed by whitespace (not "ipscanning")
+            let followed_ok = candidate
+                .as_bytes()
+                .get(verb.len())
+                .is_some_and(|b| b.is_ascii_whitespace());
+            if boundary_ok && followed_ok {
+                // trim trailing IRC cruft commonly glued on
+                let trimmed = candidate.trim_end_matches(['\r', '\n']);
+                if let Ok(cmd) = trimmed.parse::<BotCommand>() {
+                    return Some(cmd);
+                }
+            }
+            search_from = at + verb.len();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::TABLE1_COMMANDS;
+
+    #[test]
+    fn extracts_from_irc_framing() {
+        let cmd = extract_command(":op!ident@host PRIVMSG ##x :.advscan lsass 200 5 0 -r")
+            .expect("command present");
+        assert_eq!(cmd.module().name(), "lsass");
+        assert_eq!(cmd.threads(), Some(200));
+    }
+
+    #[test]
+    fn rejects_partial_words_and_chatter() {
+        assert!(extract_command("we were ipscanning all night").is_none());
+        assert!(extract_command("advscanner pro 2004").is_none());
+        assert!(extract_command("PING :irc.example.net").is_none());
+        assert!(extract_command("").is_none());
+    }
+
+    #[test]
+    fn unparsable_candidates_are_skipped() {
+        // verb present but grammar-invalid tail
+        assert!(extract_command("PRIVMSG #x :ipscan --lol").is_none());
+    }
+
+    #[test]
+    fn finds_later_occurrence_when_first_is_garbage() {
+        let cmd = extract_command("re: ipscan broken? use: ipscan s.s dcom2 -s")
+            .expect("the second occurrence parses");
+        assert_eq!(cmd.pattern().unwrap().to_string(), "s.s");
+    }
+
+    #[test]
+    fn scan_lines_recovers_table1_from_noisy_log() {
+        // interleave the Table 1 commands with realistic channel noise
+        let mut log: Vec<String> = Vec::new();
+        for (i, cmd) in TABLE1_COMMANDS.iter().enumerate() {
+            log.push(format!("PING :srv{i}"));
+            log.push(format!(":bot{i}!u@h JOIN ##w0rm"));
+            log.push(format!(":boss!u@h PRIVMSG ##w0rm :{cmd}"));
+            log.push("random chatter with no commands".to_owned());
+        }
+        let hits = scan_lines(log.into_iter());
+        assert_eq!(hits.len(), TABLE1_COMMANDS.len());
+        for (hit, original) in hits.iter().zip(TABLE1_COMMANDS) {
+            assert_eq!(hit.command.to_string(), original);
+        }
+    }
+
+    #[test]
+    fn line_numbers_are_reported() {
+        let log = vec![
+            "noise".to_owned(),
+            "ipscan s.s dcom2".to_owned(),
+            "noise".to_owned(),
+            "advscan dcom2 100 5 0 -s".to_owned(),
+        ];
+        let hits = scan_lines(log.into_iter());
+        assert_eq!(hits.iter().map(|h| h.line).collect::<Vec<_>>(), vec![1, 3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Quantifying the detection gap: alert curves vs infection curves.
+//!
+//! Section 5's argument is a race: how many sensors have alerted by the
+//! time a given fraction of the vulnerable population is infected? This
+//! module turns an (infection curve, alert curve) pair into the numbers
+//! the paper quotes — "when more than 90% of the vulnerable population
+//! has been infected, only slightly more than 20% of the detectors have
+//! alerted".
+
+use hotspots_stats::TimeSeries;
+use hotspots_telescope::QuorumPolicy;
+
+/// The joined view of one outbreak's infection and alerting dynamics.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots::detection_gap::DetectionGap;
+/// use hotspots_stats::TimeSeries;
+///
+/// let mut infection = TimeSeries::new("infected");
+/// let mut alerts = TimeSeries::new("alerts");
+/// for i in 0..=10 {
+///     let t = f64::from(i) * 10.0;
+///     infection.push(t, f64::from(i) / 10.0);
+///     alerts.push(t, f64::from(i) / 50.0); // alerts lag 5×
+/// }
+/// let gap = DetectionGap::new(infection, alerts);
+/// assert_eq!(gap.alerted_when_infected(0.9), Some(0.18));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectionGap {
+    infection: TimeSeries,
+    alerts: TimeSeries,
+}
+
+impl DetectionGap {
+    /// Joins an infection curve (fraction infected vs time) with an alert
+    /// curve (fraction of sensors alerted vs time).
+    pub fn new(infection: TimeSeries, alerts: TimeSeries) -> DetectionGap {
+        DetectionGap { infection, alerts }
+    }
+
+    /// The infection curve.
+    pub fn infection(&self) -> &TimeSeries {
+        &self.infection
+    }
+
+    /// The alert curve.
+    pub fn alerts(&self) -> &TimeSeries {
+        &self.alerts
+    }
+
+    /// Fraction of sensors alerted at the moment `infected_fraction` of
+    /// the population was infected (`None` if the outbreak never got
+    /// there).
+    pub fn alerted_when_infected(&self, infected_fraction: f64) -> Option<f64> {
+        let t = self.infection.time_to_reach(infected_fraction)?;
+        Some(self.alerts.value_at(t))
+    }
+
+    /// Fraction of the population already infected when the quorum policy
+    /// first fired (`None` if it never fired — the paper's headline
+    /// failure mode).
+    pub fn infected_at_quorum(&self, policy: QuorumPolicy) -> Option<f64> {
+        let t = self.alerts.time_to_reach(policy.quorum)?;
+        Some(self.infection.value_at(t))
+    }
+
+    /// The alert lag: how long after `fraction` of the population was
+    /// infected did the same fraction of sensors alert? `None` if either
+    /// side never reached it; negative values mean detection *led*
+    /// infection (the hotspot-exploiting placement of Figure 5c).
+    pub fn lag_at_fraction(&self, fraction: f64) -> Option<f64> {
+        let infected_t = self.infection.time_to_reach(fraction)?;
+        let alerted_t = self.alerts.time_to_reach(fraction)?;
+        Some(alerted_t - infected_t)
+    }
+
+    /// One-line verdict for experiment output.
+    pub fn describe(&self, quorum: QuorumPolicy) -> String {
+        match self.infected_at_quorum(quorum) {
+            None => format!(
+                "quorum {}% NEVER fired (final alert fraction {:.1}%)",
+                quorum.quorum * 100.0,
+                self.alerts.last_value().unwrap_or(0.0) * 100.0
+            ),
+            Some(infected) => format!(
+                "quorum {}% fired with {:.1}% of the population already infected",
+                quorum.quorum * 100.0,
+                infected * 100.0
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lagging_gap() -> DetectionGap {
+        let mut infection = TimeSeries::new("i");
+        let mut alerts = TimeSeries::new("a");
+        for i in 0..=100 {
+            let t = f64::from(i);
+            infection.push(t, f64::from(i) / 100.0);
+            // alerts reach only 25% and late
+            alerts.push(t, (f64::from(i) / 400.0).min(0.25));
+        }
+        DetectionGap::new(infection, alerts)
+    }
+
+    #[test]
+    fn alerted_when_infected_reads_the_race() {
+        let gap = lagging_gap();
+        let at90 = gap.alerted_when_infected(0.9).unwrap();
+        assert!((at90 - 0.225).abs() < 0.01, "{at90}");
+        assert!(gap.alerted_when_infected(2.0).is_none());
+    }
+
+    #[test]
+    fn quorum_never_fires_when_alerts_cap_below_it() {
+        let gap = lagging_gap();
+        let policy = QuorumPolicy::new(0.5).unwrap();
+        assert_eq!(gap.infected_at_quorum(policy), None);
+        assert!(gap.describe(policy).contains("NEVER"));
+    }
+
+    #[test]
+    fn quorum_fires_late_when_reachable() {
+        let gap = lagging_gap();
+        let policy = QuorumPolicy::new(0.2).unwrap();
+        let infected = gap.infected_at_quorum(policy).unwrap();
+        assert!(infected >= 0.79, "quorum fired 'early' at {infected}");
+        assert!(gap.describe(policy).contains("already infected"));
+    }
+
+    #[test]
+    fn lag_sign_distinguishes_leading_detection() {
+        // detection that races ahead of infection has negative lag
+        let mut infection = TimeSeries::new("i");
+        let mut alerts = TimeSeries::new("a");
+        for i in 0..=100 {
+            let t = f64::from(i);
+            infection.push(t, f64::from(i) / 100.0);
+            alerts.push(t, (f64::from(i) / 25.0).min(1.0));
+        }
+        let gap = DetectionGap::new(infection, alerts);
+        assert!(gap.lag_at_fraction(0.5).unwrap() < 0.0);
+        assert!(lagging_gap().lag_at_fraction(0.2).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Figure 5: how hotspots blind distributed detection.
+
+use hotspots_ipspace::Prefix;
+use hotspots_netmodel::Environment;
+use hotspots_sim::{
+    apply_nat, apply_nat_shared, occupied_slash16s, paper_codered_population,
+    synthetic_codered_population, CodeRed2Worm, Engine, FieldObserver, HitListWorm, Population,
+    SimConfig,
+};
+use hotspots_stats::TimeSeries;
+use hotspots_targeting::HitList;
+use hotspots_telescope::{placement, DetectorField};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration shared by the Figure 5 experiments. Paper values:
+/// 134,586 vulnerable hosts in 47 /8s, 25 seeds, 10 probes/s, alert
+/// threshold 5.
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DetectionStudy {
+    /// Vulnerable population size (ignored when `paper_profile` is set).
+    pub population: usize,
+    /// Number of /8s the population clusters into (ignored when
+    /// `paper_profile` is set).
+    pub slash8s: usize,
+    /// Use the coverage-calibrated paper population (134,586 hosts,
+    /// 4,481 /16s, published top-k coverages) instead of the tunable
+    /// synthetic one.
+    pub paper_profile: bool,
+    /// Seed (initially infected) hosts.
+    pub seeds: usize,
+    /// Probes per second per infected host.
+    pub scan_rate: f64,
+    /// Per-sensor alert threshold (worm payloads).
+    pub alert_threshold: u64,
+    /// Simulation cut-off in seconds.
+    pub max_time: f64,
+    /// Stop once this infected fraction is reached.
+    pub stop_at_fraction: f64,
+    /// Master seed.
+    pub rng_seed: u64,
+}
+
+impl Default for DetectionStudy {
+    fn default() -> DetectionStudy {
+        DetectionStudy {
+            population: 134_586,
+            slash8s: 47,
+            paper_profile: false,
+            seeds: 25,
+            scan_rate: 10.0,
+            alert_threshold: 5,
+            max_time: 20_000.0,
+            stop_at_fraction: 0.95,
+            rng_seed: 0xf15_2006,
+        }
+    }
+}
+
+impl DetectionStudy {
+    fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            scan_rate: self.scan_rate,
+            seeds: self.seeds,
+            dt: 1.0,
+            max_time: self.max_time,
+            stop_at_fraction: Some(self.stop_at_fraction),
+            rng_seed: self.rng_seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The study's vulnerable population (deterministic).
+    pub fn draw_population(&self) -> Vec<hotspots_ipspace::Ip> {
+        let mut rng = StdRng::seed_from_u64(self.rng_seed ^ 0x9090);
+        if self.paper_profile {
+            paper_codered_population(&mut rng)
+        } else {
+            synthetic_codered_population(self.population, self.slash8s, &mut rng)
+        }
+    }
+
+    /// Effective population size (accounts for the paper profile).
+    pub fn population_size(&self) -> usize {
+        if self.paper_profile { 134_586 } else { self.population }
+    }
+}
+
+/// One hit-list experiment run (Figures 5a and 5b share it: 5a reads the
+/// infection curve, 5b the alert curve).
+#[derive(Debug)]
+pub struct HitListRun {
+    /// Number of /16 prefixes in the hit-list.
+    pub list_size: usize,
+    /// Fraction of the vulnerable population the list covers.
+    pub coverage: f64,
+    /// Fraction infected vs time (Fig 5a).
+    pub infection_curve: TimeSeries,
+    /// Fraction of sensors alerting vs time (Fig 5b).
+    pub alert_curve: TimeSeries,
+    /// Sensors deployed.
+    pub sensors: usize,
+    /// Sensors that had alerted by the end.
+    pub sensors_alerted: usize,
+    /// Final infected fraction.
+    pub final_infected: f64,
+}
+
+/// Runs the hit-list experiments for each requested list size
+/// (`None` entries mean "every occupied /16" — the paper's 4481 case).
+///
+/// Sensors: one /24 detector placed randomly inside each occupied /16,
+/// alerting after `alert_threshold` payloads.
+pub fn hitlist_runs(study: &DetectionStudy, sizes: &[Option<usize>]) -> Vec<HitListRun> {
+    let population_addrs = study.draw_population();
+    let occupied = occupied_slash16s(&population_addrs);
+    let mut rng = StdRng::seed_from_u64(study.rng_seed ^ 0x5e50);
+    let sensors: Vec<Prefix> = placement::one_per_prefix(&occupied, &mut rng);
+
+    sizes
+        .iter()
+        .map(|size| {
+            let k = size.unwrap_or(occupied.len()).min(occupied.len());
+            let list = HitList::top_k_slash16(&population_addrs, k);
+            let coverage = list.coverage(&population_addrs);
+            let field = DetectorField::new(sensors.clone(), study.alert_threshold);
+            let mut observer = FieldObserver::new(field);
+            // a sub-coverage list can never infect the whole population:
+            // stop relative to what the list can reach (plus seed slack)
+            let seed_slack = study.seeds as f64 / study.population_size() as f64;
+            let mut config = study.sim_config();
+            config.stop_at_fraction =
+                Some((study.stop_at_fraction * coverage + seed_slack).min(1.0));
+            let mut engine = Engine::new(
+                config,
+                Population::from_public(population_addrs.iter().copied()),
+                Environment::new(),
+                Box::new(HitListWorm::new(list)),
+            );
+            let result = engine.run(&mut observer);
+            let field = observer.into_field();
+            HitListRun {
+                list_size: k,
+                coverage,
+                infection_curve: result.infection_curve,
+                alert_curve: field.alert_curve(format!("{k}-prefix hit-list alerts")),
+                sensors: field.len(),
+                sensors_alerted: field.alerted(),
+                final_infected: result.infected as f64 / result.population as f64,
+            }
+        })
+        .collect()
+}
+
+/// Sensor placement strategies compared in Figure 5(c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Placement {
+    /// `n` /24 sensors uniformly random in routable space.
+    Random {
+        /// Number of sensors.
+        sensors: usize,
+    },
+    /// `n` /24 sensors random inside the top-`k` /8s by vulnerable hosts.
+    TopSlash8s {
+        /// Number of sensors.
+        sensors: usize,
+        /// Number of /8s considered.
+        k: usize,
+    },
+    /// One /24 per public /16 of `192.0.0.0/8` (255 sensors), exploiting
+    /// the NAT hotspot.
+    Inside192,
+}
+
+impl Placement {
+    fn build(
+        self,
+        population: &[hotspots_ipspace::Ip],
+        rng: &mut StdRng,
+    ) -> Vec<Prefix> {
+        match self {
+            Placement::Random { sensors } => placement::random_slash24s(sensors, &[], rng),
+            Placement::TopSlash8s { sensors, k } => {
+                placement::inside_top_slash8s(population, k, sensors, rng)
+            }
+            Placement::Inside192 => placement::inside_192_per_slash16(rng),
+        }
+    }
+}
+
+/// One NAT/placement experiment run (Figure 5c).
+#[derive(Debug)]
+pub struct NatRun {
+    /// The placement strategy used.
+    pub placement: Placement,
+    /// Fraction infected vs time.
+    pub infection_curve: TimeSeries,
+    /// Fraction of sensors alerting vs time.
+    pub alert_curve: TimeSeries,
+    /// Sensors deployed.
+    pub sensors: usize,
+    /// Sensors alerted by the end.
+    pub sensors_alerted: usize,
+    /// Alerted sensor fraction at the moment 20% of the population was
+    /// infected (the paper's comparison point).
+    pub alerted_at_20pct_infected: f64,
+}
+
+/// How NATed hosts are wired into the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NatTopology {
+    /// All NATed hosts share one `192.168/16` private space (the paper's
+    /// Figure 5(c) semantics: the private cluster can ignite).
+    Shared,
+    /// Each NATed host sits alone behind its own home NAT (stricter
+    /// isolation: private hosts are unreachable even by each other — the
+    /// ablation contrast).
+    Isolated,
+}
+
+/// Runs the Figure 5(c) experiment: a CodeRedII-type worm over a
+/// population with `nat_fraction` of hosts NATed into `192.168/16`,
+/// detected by a field placed per `placement`.
+pub fn nat_run(study: &DetectionStudy, nat_fraction: f64, placement_kind: Placement) -> NatRun {
+    nat_run_with_topology(study, nat_fraction, placement_kind, NatTopology::Shared)
+}
+
+/// [`nat_run`] with an explicit NAT wiring (the topology ablation).
+pub fn nat_run_with_topology(
+    study: &DetectionStudy,
+    nat_fraction: f64,
+    placement_kind: Placement,
+    topology: NatTopology,
+) -> NatRun {
+    let population_addrs = study.draw_population();
+    let mut rng = StdRng::seed_from_u64(study.rng_seed ^ 0xa117);
+    let mut env = Environment::new();
+    let loci = match topology {
+        NatTopology::Shared => {
+            apply_nat_shared(&mut env, &population_addrs, nat_fraction, &mut rng)
+        }
+        NatTopology::Isolated => apply_nat(&mut env, &population_addrs, nat_fraction, &mut rng),
+    };
+    let sensors = placement_kind.build(&population_addrs, &mut rng);
+    let field = DetectorField::new(sensors, study.alert_threshold);
+    let mut observer = FieldObserver::new(field);
+    let mut engine = Engine::new(
+        study.sim_config(),
+        Population::from_loci(loci),
+        env,
+        Box::new(CodeRed2Worm),
+    );
+    let result = engine.run(&mut observer);
+    let field = observer.into_field();
+    let alert_curve = field.alert_curve(format!("{placement_kind:?} alerts"));
+    let t20 = result.infection_curve.time_to_reach(0.2);
+    let alerted_at_20pct_infected =
+        t20.map_or(0.0, |t| alert_curve.value_at(t));
+    NatRun {
+        placement: placement_kind,
+        infection_curve: result.infection_curve,
+        sensors: field.len(),
+        sensors_alerted: field.alerted(),
+        alert_curve,
+        alerted_at_20pct_infected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small but structurally faithful study for test speed.
+    fn small_study() -> DetectionStudy {
+        DetectionStudy {
+            population: 2_500,
+            slash8s: 12,
+            paper_profile: false,
+            seeds: 10,
+            scan_rate: 25.0,
+            alert_threshold: 5,
+            max_time: 2_500.0,
+            stop_at_fraction: 0.9,
+            rng_seed: 77,
+        }
+    }
+
+    #[test]
+    fn smaller_hitlists_infect_faster_but_cover_less() {
+        let study = small_study();
+        let runs = hitlist_runs(&study, &[Some(3), None]);
+        assert_eq!(runs.len(), 2);
+        let (small, full) = (&runs[0], &runs[1]);
+        assert!(small.coverage < full.coverage);
+        assert!((full.coverage - 1.0).abs() < 1e-9);
+        // the denser (smaller) list reaches ITS saturation sooner than
+        // the full list reaches its own
+        let small_sat = small
+            .infection_curve
+            .time_to_reach(0.9 * small.coverage)
+            .expect("small list saturates");
+        let full_sat = full.infection_curve.time_to_reach(0.8);
+        if let Some(full_sat) = full_sat {
+            assert!(
+                small_sat < full_sat,
+                "small list ({small_sat}s) not faster than full ({full_sat}s)"
+            );
+        }
+        // Fig 5a's other claim: the small list never infects (much) more
+        // than its coverage — only out-of-list seed hosts can exceed it.
+        let seed_slack = study.seeds as f64 / study.population_size() as f64;
+        assert!(small.final_infected <= small.coverage + seed_slack + 1e-9);
+    }
+
+    #[test]
+    fn hitlist_detection_leaves_most_sensors_silent() {
+        // Figure 5b: even at high infection, only a minority of sensors
+        // alert — quorum detection fails.
+        let study = small_study();
+        let runs = hitlist_runs(&study, &[Some(3)]);
+        let run = &runs[0];
+        assert!(run.final_infected >= 0.9 * run.coverage);
+        let alerted_fraction = run.sensors_alerted as f64 / run.sensors as f64;
+        assert!(
+            alerted_fraction < 0.5,
+            "hit-list outbreak alerted {alerted_fraction} of sensors"
+        );
+    }
+
+    #[test]
+    fn inside_192_placement_beats_random() {
+        // Figure 5c: 255 sensors inside the hotspot /8 alert faster than
+        // 10k (here: fewer) random sensors.
+        let study = small_study();
+        let random = nat_run(&study, 0.25, Placement::Random { sensors: 300 });
+        let hotspot = nat_run(&study, 0.25, Placement::Inside192);
+        assert!(
+            hotspot.alerted_at_20pct_infected > random.alerted_at_20pct_infected,
+            "hotspot placement {} not better than random {}",
+            hotspot.alerted_at_20pct_infected,
+            random.alerted_at_20pct_infected
+        );
+        assert_eq!(hotspot.sensors, 255);
+    }
+
+    #[test]
+    fn isolated_nat_topology_suppresses_the_private_ignition() {
+        // the ablation: with per-home NATs the 192.168 cluster can never
+        // ignite, so the Inside192 placement loses its magic
+        let study = small_study();
+        let shared = nat_run_with_topology(
+            &study,
+            0.25,
+            Placement::Inside192,
+            NatTopology::Shared,
+        );
+        let isolated = nat_run_with_topology(
+            &study,
+            0.25,
+            Placement::Inside192,
+            NatTopology::Isolated,
+        );
+        assert!(
+            shared.sensors_alerted > 4 * (isolated.sensors_alerted + 1),
+            "shared {} vs isolated {}",
+            shared.sensors_alerted,
+            isolated.sensors_alerted
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let study = small_study();
+        let a = nat_run(&study, 0.15, Placement::Random { sensors: 100 });
+        let b = nat_run(&study, 0.15, Placement::Random { sensors: 100 });
+        assert_eq!(a.sensors_alerted, b.sensors_alerted);
+        assert_eq!(
+            a.infection_curve.last_value(),
+            b.infection_curve.last_value()
+        );
+    }
+}

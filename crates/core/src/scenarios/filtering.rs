@@ -1,0 +1,227 @@
+//! Table 2: enterprise egress filtering hides infections.
+
+use hotspots_ipspace::{ims_deployment, Ip};
+use hotspots_netmodel::{
+    Delivery, Environment, Locus, OrgKind, OrgRegistry, Service,
+};
+use hotspots_prng::entropy::{HardwareGeneration, SeedModel};
+use hotspots_prng::{SplitMix, SqlsortDll};
+use hotspots_targeting::{
+    BlasterScanner, CodeRed2Scanner, SlammerScanner, TargetGenerator,
+};
+use hotspots_telescope::Observatory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::seed_inference::scan_covers;
+
+/// Configuration for the Table 2 study.
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FilteringStudy {
+    /// Internally infected hosts per enterprise (the paper's premise:
+    /// large networks inevitably harbor infections).
+    pub infected_per_enterprise: usize,
+    /// Infected hosts per broadband ISP.
+    pub infected_per_isp: usize,
+    /// Probes per host for the random-scanning worms (CRII, Slammer).
+    pub probes_per_host: u64,
+    /// Observation window for the sequential worm (Blaster), in covered
+    /// addresses.
+    pub blaster_scan_len: u64,
+    /// Master seed.
+    pub rng_seed: u64,
+}
+
+impl Default for FilteringStudy {
+    fn default() -> FilteringStudy {
+        FilteringStudy {
+            infected_per_enterprise: 800,
+            infected_per_isp: 20_000,
+            probes_per_host: 12_000,
+            // a month at Blaster's ~11 probes/s
+            blaster_scan_len: (30.0 * 24.0 * 3600.0 * 11.0) as u64,
+            rng_seed: 0x7ab1e2,
+        }
+    }
+}
+
+/// One Table 2 row: an organization and how many of its infected hosts
+/// each worm *exposed* to the telescope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Organization name.
+    pub org: String,
+    /// Organization kind.
+    pub kind: OrgKind,
+    /// Addresses allocated to the organization.
+    pub total_ips: u64,
+    /// Infected hosts planted inside the organization.
+    pub infected_inside: u64,
+    /// Unique CodeRedII sources observed at the IMS from this org.
+    pub crii_observed: u64,
+    /// Unique Slammer sources observed.
+    pub slammer_observed: u64,
+    /// Unique Blaster sources observed.
+    pub blaster_observed: u64,
+}
+
+/// Runs the study over the synthetic Table 2 registry: plants infected
+/// hosts inside each organization, lets each worm scan through the
+/// environment (enterprise egress filters active), and counts the unique
+/// sources the IMS observatory attributes to each organization.
+pub fn table2(study: &FilteringStudy) -> Vec<Table2Row> {
+    let registry = OrgRegistry::synthetic_table2();
+    let mut env = Environment::new();
+    for rule in registry.egress_rules().rules() {
+        env.filters_mut().push(*rule);
+    }
+    let blocks = ims_deployment();
+    let mut rng = StdRng::seed_from_u64(study.rng_seed);
+    let mut mix = SplitMix::new(study.rng_seed ^ 0x0b5e);
+
+    let mut rows = Vec::new();
+    for org in registry.orgs() {
+        let infected = match org.kind() {
+            OrgKind::Enterprise => study.infected_per_enterprise,
+            _ => study.infected_per_isp,
+        };
+        // plant infected hosts uniformly inside the allocation
+        let mut hosts: Vec<Ip> = Vec::with_capacity(infected);
+        let prefixes = org.prefixes();
+        let total: u64 = prefixes.iter().map(|p| p.size()).sum();
+        for _ in 0..infected {
+            let mut slot = rng.gen_range(0..total);
+            let ip = prefixes
+                .iter()
+                .find_map(|p| {
+                    if slot < p.size() {
+                        Some(p.nth(slot))
+                    } else {
+                        slot -= p.size();
+                        None
+                    }
+                })
+                .expect("slot within total");
+            hosts.push(ip);
+        }
+
+        // CodeRedII and Slammer: probe-driven observation.
+        let mut crii_obs = Observatory::new(blocks.clone());
+        let mut slam_obs = Observatory::new(blocks.clone());
+        for &src in &hosts {
+            let locus = Locus::Public(src);
+            let mut crii = CodeRed2Scanner::new(src, SplitMix::new(mix.next_u64()));
+            let mut slam = SlammerScanner::new(
+                SqlsortDll::ALL[(mix.next_u64() % 3) as usize],
+                mix.next_u64() as u32,
+            );
+            for _ in 0..study.probes_per_host {
+                if let Delivery::Public(dst) =
+                    env.route(locus, crii.next_target(), Service::CODERED_HTTP, &mut rng)
+                {
+                    crii_obs.observe(0.0, src, dst);
+                }
+                if let Delivery::Public(dst) =
+                    env.route(locus, slam.next_target(), Service::SLAMMER_SQL, &mut rng)
+                {
+                    slam_obs.observe(0.0, src, dst);
+                }
+            }
+        }
+
+        // Blaster: closed-form interval coverage (month-long window),
+        // gated on the same egress policy.
+        let model = SeedModel::blaster_population(HardwareGeneration::PentiumIii);
+        let blaster_observed = hosts
+            .iter()
+            .filter(|&&src| {
+                let egress_ok = env
+                    .filters()
+                    .check(src, Ip::from_octets(198, 51, 100, 1), Service::BLASTER_RPC)
+                    .is_none();
+                if !egress_ok {
+                    return false;
+                }
+                let tick = model.sample_seed(&mut rng);
+                let start = BlasterScanner::start_for_seed(src, tick);
+                blocks
+                    .iter()
+                    .any(|b| scan_covers(start, study.blaster_scan_len, b.prefix()))
+            })
+            .count() as u64;
+
+        let count_org_sources = |obs: &Observatory| -> u64 {
+            let mut seen = std::collections::HashSet::new();
+            for &src in &hosts {
+                if obs.iter().any(|(_, log)| log.saw_source(src)) {
+                    seen.insert(src);
+                }
+            }
+            seen.len() as u64
+        };
+
+        rows.push(Table2Row {
+            org: org.name().to_owned(),
+            kind: org.kind(),
+            total_ips: org.address_count(),
+            infected_inside: infected as u64,
+            crii_observed: count_org_sources(&crii_obs),
+            slammer_observed: count_org_sources(&slam_obs),
+            blaster_observed,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_study() -> FilteringStudy {
+        FilteringStudy {
+            infected_per_enterprise: 60,
+            infected_per_isp: 300,
+            probes_per_host: 3_000,
+            blaster_scan_len: (30.0 * 24.0 * 3600.0 * 11.0) as u64,
+            rng_seed: 3,
+        }
+    }
+
+    #[test]
+    fn enterprises_invisible_isps_expose_thousands() {
+        let rows = table2(&small_study());
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            match row.kind {
+                OrgKind::Enterprise => {
+                    assert_eq!(
+                        (row.crii_observed, row.slammer_observed, row.blaster_observed),
+                        (0, 0, 0),
+                        "egress-filtered {} leaked observations",
+                        row.org
+                    );
+                    assert!(row.infected_inside > 0, "premise: infections exist inside");
+                }
+                _ => {
+                    assert!(
+                        row.crii_observed > row.infected_inside / 2,
+                        "{}: CRII observed {} of {}",
+                        row.org,
+                        row.crii_observed,
+                        row.infected_inside
+                    );
+                    assert!(row.slammer_observed > 0, "{}", row.org);
+                    assert!(row.blaster_observed > 0, "{}", row.org);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_deterministic() {
+        let a = table2(&small_study());
+        let b = table2(&small_study());
+        assert_eq!(a, b);
+    }
+}

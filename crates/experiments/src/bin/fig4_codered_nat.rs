@@ -1,0 +1,90 @@
+//! Figure 4: (a) CodeRedII unique sources by destination /24 with the M
+//! block hotspot; (b, c) the quarantine experiments.
+
+use hotspots::scenarios::codered::{quarantine_run, sources_by_block, CodeRedStudy};
+use hotspots::scenarios::totals_by_block;
+use hotspots_experiments::{banner, bar, print_table, Scale};
+use hotspots_ipspace::{ims_deployment, Bucket24, Ip, Prefix};
+use hotspots_stats::CountHistogram;
+
+fn main() {
+    let scale = Scale::from_args();
+    banner(
+        "FIGURE 4",
+        "CodeRedII × NAT topology: the 192/8 hotspot",
+        scale,
+    );
+    let blocks = ims_deployment();
+
+    println!("\n-- Figure 4(a): mixed population, 15% NATed --\n");
+    let study = CodeRedStudy {
+        hosts: scale.pick(3_000, 12_000),
+        probes_per_host: scale.pick(8_000, 20_000),
+        ..CodeRedStudy::default()
+    };
+    println!(
+        "{} hosts, {} probes each, NAT fraction {:.0}%\n",
+        study.hosts,
+        study.probes_per_host,
+        study.nat_fraction * 100.0
+    );
+    let rows = sources_by_block(&study);
+    let mut table = Vec::new();
+    let mut max_rate = 0.0f64;
+    let mut rates = Vec::new();
+    for (label, total) in totals_by_block(&rows) {
+        let block = blocks.iter().find(|b| b.label() == label).expect("label");
+        let rate = total as f64 / (block.size() / 256).max(1) as f64;
+        max_rate = max_rate.max(rate);
+        rates.push((label, total, rate));
+    }
+    for (label, total, rate) in rates {
+        table.push(vec![
+            label,
+            total.to_string(),
+            format!("{rate:.2}"),
+            bar(rate, max_rate, 40),
+        ]);
+    }
+    print_table(
+        &["block", "unique sources", "per /24", "profile"],
+        &table,
+    );
+
+    println!("\n-- Figure 4(b)/(c): quarantine runs --\n");
+    // the paper's probe counts
+    let probes_b = scale.pick(500_000, 7_567_093);
+    let probes_c = scale.pick(500_000, 7_567_361);
+    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M prefix");
+    let m_hits = |h: &CountHistogram<Bucket24>| -> u64 {
+        h.iter()
+            .filter(|(b, _)| m_prefix.contains(b.first_ip()))
+            .map(|(_, c)| c)
+            .sum()
+    };
+    let outside = quarantine_run(Ip::from_octets(57, 20, 3, 9), probes_b, &blocks, 4);
+    let natted = quarantine_run(Ip::from_octets(192, 168, 0, 100), probes_c, &blocks, 4);
+    let rows = vec![
+        vec![
+            "4(b) public 57.20.3.9".to_owned(),
+            probes_b.to_string(),
+            outside.total().to_string(),
+            m_hits(&outside).to_string(),
+        ],
+        vec![
+            "4(c) NATed 192.168.0.100".to_owned(),
+            probes_c.to_string(),
+            natted.total().to_string(),
+            m_hits(&natted).to_string(),
+        ],
+    ];
+    print_table(
+        &["quarantined host", "probes", "telescope hits", "M-block hits"],
+        &rows,
+    );
+    println!(
+        "\n→ the NATed instance's /8 preference lands on public 192/8: the \
+         distinct M spike of 4(a)/4(c),\n  absent from the public-host run \
+         4(b) — topology (an environmental factor) shaped the hotspot."
+    );
+}

@@ -1,0 +1,127 @@
+//! Shared output plumbing for the experiment binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` for the index). They share a `--quick` flag (reduced
+//! scale, seconds instead of minutes) and these plain-text rendering
+//! helpers, so output can be diffed, grepped, and pasted into
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hotspots_stats::TimeSeries;
+
+/// Experiment scale, selected by the `--quick` command-line flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced scale for smoke runs (seconds).
+    Quick,
+    /// Paper scale (may take minutes).
+    Paper,
+}
+
+impl Scale {
+    /// Parses the process arguments (`--quick` selects [`Scale::Quick`]).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--quick" || a == "-q") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// Picks `quick` or `paper` by scale.
+    pub fn pick<T>(self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Prints an experiment banner with the figure/table it regenerates.
+pub fn banner(artifact: &str, title: &str, scale: Scale) {
+    println!("================================================================");
+    println!("{artifact} — {title}");
+    println!(
+        "scale: {} (pass --quick for a fast smoke run)",
+        match scale {
+            Scale::Quick => "QUICK",
+            Scale::Paper => "paper",
+        }
+    );
+    println!("================================================================");
+}
+
+/// Prints an aligned text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|h| (*h).to_owned()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Prints a time series as `t<TAB>value` rows resampled onto `points`
+/// grid points (gnuplot-ready), preceded by its name.
+pub fn print_series(series: &TimeSeries, points: usize) {
+    if series.is_empty() {
+        println!("# {} (empty)", series.name());
+        return;
+    }
+    print!("{}", series.resample(points.max(2)));
+}
+
+/// A one-line ASCII bar for figure-style rows.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Paper.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        print_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for address and prefix parsing/construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing an [`Ip`](crate::Ip) from a string fails.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_ipspace::Ip;
+///
+/// let err = "256.0.0.1".parse::<Ip>().unwrap_err();
+/// assert!(err.to_string().contains("invalid"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIpError {
+    pub(crate) input: String,
+}
+
+impl fmt::Display for ParseIpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address syntax: {:?}", self.input)
+    }
+}
+
+impl Error for ParseIpError {}
+
+/// Error returned when parsing a [`Prefix`](crate::Prefix) from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsePrefixError {
+    /// The address part before the `/` was not a valid IPv4 address.
+    Address(ParseIpError),
+    /// The prefix length after the `/` was missing or not in `0..=32`.
+    Length(String),
+    /// The prefix was syntactically valid but had host bits set and strict
+    /// parsing was requested.
+    Prefix(PrefixError),
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePrefixError::Address(e) => write!(f, "invalid prefix address: {e}"),
+            ParsePrefixError::Length(s) => {
+                write!(f, "invalid prefix length (expected 0..=32): {s:?}")
+            }
+            ParsePrefixError::Prefix(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ParsePrefixError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParsePrefixError::Address(e) => Some(e),
+            ParsePrefixError::Prefix(e) => Some(e),
+            ParsePrefixError::Length(_) => None,
+        }
+    }
+}
+
+impl From<ParseIpError> for ParsePrefixError {
+    fn from(e: ParseIpError) -> Self {
+        ParsePrefixError::Address(e)
+    }
+}
+
+impl From<PrefixError> for ParsePrefixError {
+    fn from(e: PrefixError) -> Self {
+        ParsePrefixError::Prefix(e)
+    }
+}
+
+/// Error returned when constructing a [`Prefix`](crate::Prefix) from raw
+/// parts fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefixError {
+    /// Prefix length was greater than 32.
+    LengthOutOfRange {
+        /// The offending length.
+        len: u8,
+    },
+    /// The base address had bits set below the prefix length.
+    HostBitsSet {
+        /// The offending base address value.
+        base: u32,
+        /// The requested prefix length.
+        len: u8,
+    },
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::LengthOutOfRange { len } => {
+                write!(f, "prefix length {len} out of range (expected 0..=32)")
+            }
+            PrefixError::HostBitsSet { base, len } => write!(
+                f,
+                "base address {}.{}.{}.{} has host bits set for /{len}",
+                (base >> 24) & 0xff,
+                (base >> 16) & 0xff,
+                (base >> 8) & 0xff,
+                base & 0xff
+            ),
+        }
+    }
+}
+
+impl Error for PrefixError {}

@@ -1,0 +1,48 @@
+//! IPv4 address-space substrate for the hotspots reproduction.
+//!
+//! Self-propagating malware picks 32-bit targets; darknet telescopes observe
+//! slices of the same 32-bit space. Everything in this workspace therefore
+//! speaks in terms of three small types defined here:
+//!
+//! * [`Ip`] — a single IPv4 address (a transparent, ordered `u32` newtype),
+//! * [`Prefix`] — a CIDR block such as `192.168.0.0/16`,
+//! * [`Bucket24`] / [`Bucket16`] / [`Bucket8`] — histogram keys used when
+//!   aggregating observations "by destination /24" the way the paper's
+//!   figures do.
+//!
+//! The crate also knows which parts of the space are special
+//! ([`special`]): RFC 1918 private ranges (central to the CodeRedII/NAT
+//! case study), loopback, multicast, and class-E reserved space.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspots_ipspace::{Ip, Prefix};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ip: Ip = "192.168.7.9".parse()?;
+//! let private: Prefix = "192.168.0.0/16".parse()?;
+//! assert!(private.contains(ip));
+//! assert!(hotspots_ipspace::special::is_private(ip));
+//! assert_eq!(ip.bucket24().to_string(), "192.168.7.0/24");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod block;
+mod bucket;
+mod error;
+mod ip;
+mod prefix;
+mod range;
+pub mod special;
+
+pub use block::{ims_deployment, random_ims_deployment, AddressBlock};
+pub use bucket::{Bucket8, Bucket16, Bucket24};
+pub use error::{ParseIpError, ParsePrefixError, PrefixError};
+pub use ip::Ip;
+pub use range::IpRange;
+pub use prefix::{IpIter, Prefix, SubnetIter};

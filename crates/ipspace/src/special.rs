@@ -1,0 +1,181 @@
+//! Special-purpose address ranges.
+//!
+//! Two of the paper's root causes live here:
+//!
+//! * **RFC 1918 private space** — the CodeRedII/NAT case study hinges on the
+//!   fact that `192.168.0.0/16` is the *only* private /16 inside `192.0.0.0/8`,
+//!   so a NATed CodeRedII host preferring its local /8 leaks probes into the
+//!   public parts of `192/8`.
+//! * **Worm avoid-lists** — CodeRedII explicitly skips `127/8` (loopback) and
+//!   `224/8` (multicast) when generating targets.
+
+use crate::ip::Ip;
+use crate::prefix::Prefix;
+
+/// `10.0.0.0/8` (RFC 1918).
+pub const PRIVATE_10: Prefix = match Prefix::new(Ip::from_octets(10, 0, 0, 0), 8) {
+    Ok(p) => p,
+    Err(_) => unreachable!(),
+};
+
+/// `172.16.0.0/12` (RFC 1918).
+pub const PRIVATE_172: Prefix = match Prefix::new(Ip::from_octets(172, 16, 0, 0), 12) {
+    Ok(p) => p,
+    Err(_) => unreachable!(),
+};
+
+/// `192.168.0.0/16` (RFC 1918) — the star of the CodeRedII case study.
+pub const PRIVATE_192: Prefix = match Prefix::new(Ip::from_octets(192, 168, 0, 0), 16) {
+    Ok(p) => p,
+    Err(_) => unreachable!(),
+};
+
+/// `127.0.0.0/8` loopback.
+pub const LOOPBACK: Prefix = match Prefix::new(Ip::from_octets(127, 0, 0, 0), 8) {
+    Ok(p) => p,
+    Err(_) => unreachable!(),
+};
+
+/// `224.0.0.0/4` multicast (class D).
+pub const MULTICAST: Prefix = match Prefix::new(Ip::from_octets(224, 0, 0, 0), 4) {
+    Ok(p) => p,
+    Err(_) => unreachable!(),
+};
+
+/// `240.0.0.0/4` reserved (class E).
+pub const RESERVED_E: Prefix = match Prefix::new(Ip::from_octets(240, 0, 0, 0), 4) {
+    Ok(p) => p,
+    Err(_) => unreachable!(),
+};
+
+/// `0.0.0.0/8` "this network".
+pub const THIS_NET: Prefix = match Prefix::new(Ip::MIN, 8) {
+    Ok(p) => p,
+    Err(_) => unreachable!(),
+};
+
+/// The three RFC 1918 private ranges, in address order.
+pub const PRIVATE_RANGES: [Prefix; 3] = [PRIVATE_10, PRIVATE_172, PRIVATE_192];
+
+/// Returns `true` if `ip` lies in any RFC 1918 private range.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_ipspace::{special, Ip};
+///
+/// assert!(special::is_private(Ip::from_octets(10, 1, 2, 3)));
+/// assert!(special::is_private(Ip::from_octets(172, 31, 0, 1)));
+/// assert!(special::is_private(Ip::from_octets(192, 168, 0, 1)));
+/// assert!(!special::is_private(Ip::from_octets(192, 169, 0, 1)));
+/// assert!(!special::is_private(Ip::from_octets(172, 32, 0, 1)));
+/// ```
+#[inline]
+pub fn is_private(ip: Ip) -> bool {
+    PRIVATE_RANGES.iter().any(|p| p.contains(ip))
+}
+
+/// Returns `true` if `ip` is loopback (`127/8`).
+#[inline]
+pub fn is_loopback(ip: Ip) -> bool {
+    LOOPBACK.contains(ip)
+}
+
+/// Returns `true` if `ip` is multicast (`224/4`).
+#[inline]
+pub fn is_multicast(ip: Ip) -> bool {
+    MULTICAST.contains(ip)
+}
+
+/// Returns `true` if `ip` is in class-E reserved space (`240/4`).
+#[inline]
+pub fn is_reserved(ip: Ip) -> bool {
+    RESERVED_E.contains(ip)
+}
+
+/// Returns `true` for addresses that can appear as a *globally routed*
+/// source or destination: not private, loopback, multicast, class-E, or
+/// `0/8`.
+///
+/// This is the routability predicate the environment model uses when
+/// deciding whether a probe can traverse the public Internet at all.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_ipspace::{special, Ip};
+///
+/// assert!(special::is_globally_routable(Ip::from_octets(198, 51, 100, 1)));
+/// assert!(!special::is_globally_routable(Ip::from_octets(192, 168, 1, 1)));
+/// assert!(!special::is_globally_routable(Ip::from_octets(127, 0, 0, 1)));
+/// assert!(!special::is_globally_routable(Ip::from_octets(0, 1, 2, 3)));
+/// ```
+#[inline]
+pub fn is_globally_routable(ip: Ip) -> bool {
+    !(is_private(ip)
+        || is_loopback(ip)
+        || is_multicast(ip)
+        || is_reserved(ip)
+        || THIS_NET.contains(ip))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn private_range_boundaries() {
+        assert!(is_private(Ip::from_octets(10, 0, 0, 0)));
+        assert!(is_private(Ip::from_octets(10, 255, 255, 255)));
+        assert!(!is_private(Ip::from_octets(9, 255, 255, 255)));
+        assert!(!is_private(Ip::from_octets(11, 0, 0, 0)));
+        assert!(is_private(Ip::from_octets(172, 16, 0, 0)));
+        assert!(is_private(Ip::from_octets(172, 31, 255, 255)));
+        assert!(!is_private(Ip::from_octets(172, 15, 255, 255)));
+        assert!(!is_private(Ip::from_octets(172, 32, 0, 0)));
+        assert!(is_private(Ip::from_octets(192, 168, 0, 0)));
+        assert!(is_private(Ip::from_octets(192, 168, 255, 255)));
+        assert!(!is_private(Ip::from_octets(192, 167, 255, 255)));
+        assert!(!is_private(Ip::from_octets(192, 169, 0, 0)));
+    }
+
+    #[test]
+    fn private_192_is_only_private_16_inside_192_slash_8() {
+        // The pivotal topological fact behind the CodeRedII hotspot.
+        let slash8 = Prefix::containing(Ip::from_octets(192, 0, 0, 0), 8);
+        let private_16s: Vec<Prefix> = slash8
+            .subnets(16)
+            .filter(|s| is_private(s.base()))
+            .collect();
+        assert_eq!(private_16s, vec![PRIVATE_192]);
+    }
+
+    #[test]
+    fn multicast_and_reserved_split_top_of_space() {
+        assert!(is_multicast(Ip::from_octets(224, 0, 0, 1)));
+        assert!(is_multicast(Ip::from_octets(239, 255, 255, 255)));
+        assert!(!is_multicast(Ip::from_octets(240, 0, 0, 0)));
+        assert!(is_reserved(Ip::from_octets(255, 255, 255, 255)));
+    }
+
+    proptest! {
+        #[test]
+        fn routable_excludes_all_special(v in any::<u32>()) {
+            let ip = Ip::new(v);
+            if is_globally_routable(ip) {
+                prop_assert!(!is_private(ip));
+                prop_assert!(!is_loopback(ip));
+                prop_assert!(!is_multicast(ip));
+                prop_assert!(!is_reserved(ip));
+            }
+        }
+
+        #[test]
+        fn private_ranges_are_disjoint(v in any::<u32>()) {
+            let ip = Ip::new(v);
+            let hits = PRIVATE_RANGES.iter().filter(|p| p.contains(ip)).count();
+            prop_assert!(hits <= 1);
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! The composed network environment: one verdict per probe.
+
+use std::fmt;
+
+use hotspots_ipspace::{special, Ip};
+use rand::Rng;
+
+use crate::filtering::FilterTable;
+use crate::latency::LatencyModel;
+use crate::loss::LossModel;
+use crate::nat::{NatRealm, RealmId};
+use crate::service::Service;
+
+/// Where a host sits in the topology: directly on the public Internet, or
+/// inside a NAT realm with a private address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Locus {
+    /// A host with a globally routable address.
+    Public(Ip),
+    /// A host with a private address inside a NAT realm.
+    Private {
+        /// The realm the host lives in.
+        realm: RealmId,
+        /// The host's RFC 1918 address within the realm.
+        ip: Ip,
+    },
+}
+
+impl Locus {
+    /// The address this host's *outbound* packets carry on the public
+    /// Internet (its own address, or its realm gateway).
+    pub fn public_source(&self, env: &Environment) -> Ip {
+        match *self {
+            Locus::Public(ip) => ip,
+            Locus::Private { realm, .. } => env.realm(realm).gateway(),
+        }
+    }
+
+    /// The address local peers see (private address inside a realm).
+    pub fn local_address(&self) -> Ip {
+        match *self {
+            Locus::Public(ip) | Locus::Private { ip, .. } => ip,
+        }
+    }
+}
+
+impl fmt::Display for Locus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Locus::Public(ip) => write!(f, "{ip}"),
+            Locus::Private { realm, ip } => write!(f, "{ip}@{realm}"),
+        }
+    }
+}
+
+/// Why a probe was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DropReason {
+    /// Destination not routable from the source (private space from
+    /// outside its realm, loopback, multicast, reserved, 0/8).
+    UnroutableDestination,
+    /// Dropped by a source-keyed (enterprise egress) filter rule.
+    EgressFiltered,
+    /// Dropped by a destination-keyed (upstream/ingress) filter rule.
+    IngressFiltered,
+    /// Lost to network failure.
+    PacketLoss,
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DropReason::UnroutableDestination => "unroutable destination",
+            DropReason::EgressFiltered => "egress filtered",
+            DropReason::IngressFiltered => "ingress filtered",
+            DropReason::PacketLoss => "packet loss",
+        })
+    }
+}
+
+/// The outcome of routing one probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Delivery {
+    /// Delivered to a public destination address.
+    Public(Ip),
+    /// Delivered locally inside a NAT realm (source and destination share
+    /// the realm).
+    Local {
+        /// The shared realm.
+        realm: RealmId,
+        /// The private destination address.
+        ip: Ip,
+    },
+    /// Dropped en route.
+    Dropped(DropReason),
+}
+
+/// The network environment: NAT realms + filter policy + loss.
+///
+/// This is the single interface the simulator uses: every probe goes
+/// through [`Environment::route`], which composes all three environmental
+/// factor classes into a [`Delivery`] verdict.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_ipspace::Ip;
+/// use hotspots_netmodel::{Delivery, DropReason, Environment, Locus, NatRealm, Service};
+/// use rand::SeedableRng;
+///
+/// let mut env = Environment::new();
+/// let realm = env.add_realm(NatRealm::home_192_168(Ip::from_octets(203, 0, 113, 1)).unwrap());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+///
+/// // Inside the realm: a NATed host reaches a private neighbor.
+/// let inside = Locus::Private { realm, ip: Ip::from_octets(192, 168, 0, 2) };
+/// let v = env.route(inside, Ip::from_octets(192, 168, 9, 9), Service::CODERED_HTTP, &mut rng);
+/// assert_eq!(v, Delivery::Local { realm, ip: Ip::from_octets(192, 168, 9, 9) });
+///
+/// // From the public Internet, private space is unreachable.
+/// let outside = Locus::Public(Ip::from_octets(8, 8, 8, 8));
+/// let v = env.route(outside, Ip::from_octets(192, 168, 9, 9), Service::CODERED_HTTP, &mut rng);
+/// assert_eq!(v, Delivery::Dropped(DropReason::UnroutableDestination));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Environment {
+    realms: Vec<NatRealm>,
+    filters: FilterTable,
+    loss: LossModel,
+    latency: LatencyModel,
+}
+
+impl Environment {
+    /// An environment with no realms, no filters, and no loss — the
+    /// idealized Internet of the simple epidemic model.
+    pub fn new() -> Environment {
+        Environment::default()
+    }
+
+    /// Registers a NAT realm, returning its id.
+    pub fn add_realm(&mut self, realm: NatRealm) -> RealmId {
+        let id = RealmId(u32::try_from(self.realms.len()).expect("fewer than 2^32 realms"));
+        self.realms.push(realm);
+        id
+    }
+
+    /// Looks up a realm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this environment's
+    /// [`Environment::add_realm`].
+    pub fn realm(&self, id: RealmId) -> &NatRealm {
+        &self.realms[id.0 as usize]
+    }
+
+    /// Number of registered realms.
+    pub fn realm_count(&self) -> usize {
+        self.realms.len()
+    }
+
+    /// Mutable access to the filter table.
+    pub fn filters_mut(&mut self) -> &mut FilterTable {
+        &mut self.filters
+    }
+
+    /// The filter table.
+    pub fn filters(&self) -> &FilterTable {
+        &self.filters
+    }
+
+    /// Sets the packet-loss model.
+    pub fn set_loss(&mut self, loss: LossModel) {
+        self.loss = loss;
+    }
+
+    /// The packet-loss model.
+    pub fn loss(&self) -> LossModel {
+        self.loss
+    }
+
+    /// Sets the path-latency model (how long a delivered probe takes to
+    /// reach — and infect — its destination).
+    pub fn set_latency(&mut self, latency: LatencyModel) {
+        self.latency = latency;
+    }
+
+    /// The path-latency model.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Routes one probe from `from` toward destination address `to` on
+    /// `service`, returning where (whether) it lands.
+    ///
+    /// Evaluation order models a real path: local/NAT short-circuit →
+    /// routability → egress policy → ingress policy → loss.
+    pub fn route<R: Rng + ?Sized>(
+        &self,
+        from: Locus,
+        to: Ip,
+        service: Service,
+        rng: &mut R,
+    ) -> Delivery {
+        // 1. Private destinations resolve only within the sender's realm.
+        if special::is_private(to) {
+            if let Locus::Private { realm, .. } = from {
+                if self.realm(realm).contains(to) {
+                    return Delivery::Local { realm, ip: to };
+                }
+            }
+            return Delivery::Dropped(DropReason::UnroutableDestination);
+        }
+        // 2. Other non-routable space never leaves the first router.
+        if !special::is_globally_routable(to) {
+            return Delivery::Dropped(DropReason::UnroutableDestination);
+        }
+        // 3./4. Policy, applied to the packet as seen on the public path
+        // (NATed sources appear as their gateway).
+        let public_src = from.public_source(self);
+        if let Some(reason) = self.filters.check(public_src, to, service) {
+            return Delivery::Dropped(reason);
+        }
+        // 5. Failures.
+        if self.loss.drops(rng) {
+            return Delivery::Dropped(DropReason::PacketLoss);
+        }
+        Delivery::Public(to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filtering::FilterRule;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ip(s: &str) -> Ip {
+        s.parse().unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn public_to_public_delivers() {
+        let env = Environment::new();
+        let v = env.route(
+            Locus::Public(ip("1.2.3.4")),
+            ip("5.6.7.8"),
+            Service::CODERED_HTTP,
+            &mut rng(),
+        );
+        assert_eq!(v, Delivery::Public(ip("5.6.7.8")));
+    }
+
+    #[test]
+    fn loopback_multicast_reserved_unroutable() {
+        let env = Environment::new();
+        for dst in ["127.0.0.1", "224.0.0.5", "240.0.0.1", "0.1.2.3"] {
+            let v = env.route(
+                Locus::Public(ip("1.2.3.4")),
+                ip(dst),
+                Service::BLASTER_RPC,
+                &mut rng(),
+            );
+            assert_eq!(v, Delivery::Dropped(DropReason::UnroutableDestination), "{dst}");
+        }
+    }
+
+    #[test]
+    fn nat_asymmetry() {
+        let mut env = Environment::new();
+        let realm = env
+            .add_realm(NatRealm::home_192_168(ip("203.0.113.1")).unwrap());
+        let inside = Locus::Private { realm, ip: ip("192.168.0.5") };
+        let mut r = rng();
+        // inside → inside: local delivery
+        assert_eq!(
+            env.route(inside, ip("192.168.200.1"), Service::CODERED_HTTP, &mut r),
+            Delivery::Local { realm, ip: ip("192.168.200.1") }
+        );
+        // inside → public: delivered (sourced from gateway)
+        assert_eq!(
+            env.route(inside, ip("8.8.8.8"), Service::CODERED_HTTP, &mut r),
+            Delivery::Public(ip("8.8.8.8"))
+        );
+        // outside → private: unroutable
+        assert_eq!(
+            env.route(Locus::Public(ip("8.8.8.8")), ip("192.168.0.5"), Service::CODERED_HTTP, &mut r),
+            Delivery::Dropped(DropReason::UnroutableDestination)
+        );
+    }
+
+    #[test]
+    fn natted_host_cannot_reach_other_realms_private_space() {
+        let mut env = Environment::new();
+        let realm_a = env.add_realm(
+            NatRealm::new("10.0.0.0/16".parse().unwrap(), ip("198.51.100.1")).unwrap(),
+        );
+        let _realm_b = env.add_realm(
+            NatRealm::new("10.1.0.0/16".parse().unwrap(), ip("198.51.100.2")).unwrap(),
+        );
+        let inside_a = Locus::Private { realm: realm_a, ip: ip("10.0.0.9") };
+        // 10.1.x.x is private but not in realm A → unroutable from A
+        assert_eq!(
+            env.route(inside_a, ip("10.1.0.9"), Service::BOT_SMB, &mut rng()),
+            Delivery::Dropped(DropReason::UnroutableDestination)
+        );
+    }
+
+    #[test]
+    fn egress_filter_applies_to_gateway_source() {
+        let mut env = Environment::new();
+        let realm = env.add_realm(
+            NatRealm::new("192.168.0.0/16".parse().unwrap(), ip("131.5.0.1")).unwrap(),
+        );
+        env.filters_mut()
+            .push(FilterRule::egress("131.5.0.0/16".parse().unwrap(), None));
+        // NATed host's outbound probes carry the gateway source → filtered
+        let inside = Locus::Private { realm, ip: ip("192.168.1.1") };
+        assert_eq!(
+            env.route(inside, ip("9.9.9.9"), Service::BLASTER_RPC, &mut rng()),
+            Delivery::Dropped(DropReason::EgressFiltered)
+        );
+    }
+
+    #[test]
+    fn ingress_filter_is_service_specific() {
+        let mut env = Environment::new();
+        env.filters_mut().push(FilterRule::ingress(
+            "192.40.16.0/22".parse().unwrap(),
+            Some(Service::SLAMMER_SQL),
+        ));
+        let src = Locus::Public(ip("7.7.7.7"));
+        let mut r = rng();
+        assert_eq!(
+            env.route(src, ip("192.40.17.1"), Service::SLAMMER_SQL, &mut r),
+            Delivery::Dropped(DropReason::IngressFiltered)
+        );
+        assert_eq!(
+            env.route(src, ip("192.40.17.1"), Service::CODERED_HTTP, &mut r),
+            Delivery::Public(ip("192.40.17.1"))
+        );
+    }
+
+    #[test]
+    fn loss_drops_with_reason() {
+        let mut env = Environment::new();
+        env.set_loss(LossModel::new(1.0).unwrap());
+        assert_eq!(
+            env.route(Locus::Public(ip("1.1.1.1")), ip("2.2.2.2"), Service::BOT_SMB, &mut rng()),
+            Delivery::Dropped(DropReason::PacketLoss)
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn route_verdicts_are_internally_consistent(src in any::<u32>(), dst in any::<u32>()) {
+                let mut env = Environment::new();
+                let realm = env.add_realm(
+                    NatRealm::home_192_168(Ip::from_octets(203, 0, 113, 1)).unwrap(),
+                );
+                let mut rng = StdRng::seed_from_u64(0);
+                let dst = Ip::new(dst);
+                for from in [
+                    Locus::Public(Ip::new(src)),
+                    Locus::Private { realm, ip: Ip::from_octets(192, 168, 0, 7) },
+                ] {
+                    match env.route(from, dst, Service::BOT_SMB, &mut rng) {
+                        Delivery::Public(ip) => {
+                            prop_assert_eq!(ip, dst);
+                            prop_assert!(hotspots_ipspace::special::is_globally_routable(ip));
+                        }
+                        Delivery::Local { realm: r, ip } => {
+                            let from_is_private = matches!(from, Locus::Private { .. });
+                            prop_assert_eq!(ip, dst);
+                            prop_assert!(hotspots_ipspace::special::is_private(ip));
+                            prop_assert!(env.realm(r).contains(ip));
+                            prop_assert!(from_is_private);
+                        }
+                        Delivery::Dropped(_) => {}
+                    }
+                }
+            }
+
+            #[test]
+            fn lossless_unfiltered_routing_is_deterministic(src in any::<u32>(), dst in any::<u32>()) {
+                let env = Environment::new();
+                let mut r1 = StdRng::seed_from_u64(1);
+                let mut r2 = StdRng::seed_from_u64(2);
+                let from = Locus::Public(Ip::new(src));
+                let a = env.route(from, Ip::new(dst), Service::CODERED_HTTP, &mut r1);
+                let b = env.route(from, Ip::new(dst), Service::CODERED_HTTP, &mut r2);
+                prop_assert_eq!(a, b, "no stochastic element should remain");
+            }
+        }
+    }
+
+    #[test]
+    fn locus_public_source_resolves_gateway() {
+        let mut env = Environment::new();
+        let realm = env
+            .add_realm(NatRealm::home_192_168(ip("203.0.113.1")).unwrap());
+        let l = Locus::Private { realm, ip: ip("192.168.0.2") };
+        assert_eq!(l.public_source(&env), ip("203.0.113.1"));
+        assert_eq!(l.local_address(), ip("192.168.0.2"));
+        let p = Locus::Public(ip("5.5.5.5"));
+        assert_eq!(p.public_source(&env), ip("5.5.5.5"));
+    }
+}

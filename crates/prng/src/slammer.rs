@@ -1,0 +1,266 @@
+//! The Slammer (SQL Sapphire) worm's flawed target generator.
+
+use std::fmt;
+
+use hotspots_ipspace::Ip;
+
+use crate::lcg::{Lcg32, Prng32};
+
+/// Slammer's LCG multiplier (the msvcrt constant, reused by the author).
+pub const SLAMMER_MULTIPLIER: u32 = 214013;
+
+/// The constant the author appears to have *intended* as the increment
+/// (`0xffd9613c`), before the `OR`-for-`XOR` mistake corrupted it.
+pub const SLAMMER_SEED_XOR: u32 = 0xffd9613c;
+
+/// The versions of `sqlsort.dll` whose Import Address Table entry was left
+/// in `ebx` and got OR-ed into Slammer's LCG increment.
+///
+/// The effective increment is `iat_entry XOR 0xffd9613c` (working backwards
+/// from the observed `OR`: the three widely reported IAT values XORed with
+/// the intended constant give the increments actually in the wild).
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_prng::SqlsortDll;
+///
+/// assert_eq!(SqlsortDll::Sp2.increment(), 0x77e89b18 ^ 0xffd9613c);
+/// assert_eq!(SqlsortDll::ALL.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SqlsortDll {
+    /// IAT entry `0x77f8313c` (widely reported; e.g. unpatched SQL 2000).
+    Gold,
+    /// IAT entry `0x77e89b18`.
+    Sp2,
+    /// IAT entry `0x77ea094c`.
+    Sp3,
+}
+
+impl SqlsortDll {
+    /// All three reported DLL versions, in a fixed order.
+    pub const ALL: [SqlsortDll; 3] = [SqlsortDll::Gold, SqlsortDll::Sp2, SqlsortDll::Sp3];
+
+    /// The leftover `sqlsort.dll` Import Address Table entry.
+    pub const fn iat_entry(self) -> u32 {
+        match self {
+            SqlsortDll::Gold => 0x77f8313c,
+            SqlsortDll::Sp2 => 0x77e89b18,
+            SqlsortDll::Sp3 => 0x77ea094c,
+        }
+    }
+
+    /// The effective (flawed) LCG increment for hosts running this DLL.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hotspots_prng::SqlsortDll;
+    /// assert_eq!(SqlsortDll::Gold.increment(), 0x88215000);
+    /// assert_eq!(SqlsortDll::Sp2.increment(), 0x8831fa24);
+    /// assert_eq!(SqlsortDll::Sp3.increment(), 0x88336870);
+    /// ```
+    pub const fn increment(self) -> u32 {
+        self.iat_entry() ^ SLAMMER_SEED_XOR
+    }
+}
+
+impl fmt::Display for SqlsortDll {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SqlsortDll::Gold => "sqlsort.dll@0x77f8313c",
+            SqlsortDll::Sp2 => "sqlsort.dll@0x77e89b18",
+            SqlsortDll::Sp3 => "sqlsort.dll@0x77ea094c",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A Slammer instance's target generator:
+/// `state ← 214013·state + b (mod 2^32)` with the flawed increment `b`
+/// determined by the host's [`SqlsortDll`] version. Each new state *is* the
+/// next target address, interpreted as an in-memory `in_addr` — i.e. the
+/// low byte of the state becomes the first octet
+/// ([`Ip::from_le_state`]).
+///
+/// Because the multiplier is odd the map is a permutation: every instance
+/// walks one cycle of that permutation forever. Short cycles (the paper
+/// found cycles with period 1) make an instance hammer a handful of
+/// addresses like a targeted DoS; the aggregate bias toward addresses on
+/// long cycles produces block-level hotspots. See [`crate::cycles`].
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_prng::{SlammerPrng, SqlsortDll};
+///
+/// let mut worm = SlammerPrng::new(SqlsortDll::Gold, 0x1234_5678);
+/// let t0 = worm.next_target();
+/// let t1 = worm.next_target();
+/// assert_ne!(t0, t1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SlammerPrng {
+    dll: SqlsortDll,
+    lcg: Lcg32,
+}
+
+impl SlammerPrng {
+    /// Creates a generator for a host with the given DLL version, seeded
+    /// with `seed` (in the wild: a `GetTickCount()`-derived value).
+    pub const fn new(dll: SqlsortDll, seed: u32) -> SlammerPrng {
+        SlammerPrng {
+            dll,
+            lcg: Lcg32::new(SLAMMER_MULTIPLIER, dll.increment(), seed),
+        }
+    }
+
+    /// The DLL version (and hence increment) this instance runs with.
+    pub const fn dll(&self) -> SqlsortDll {
+        self.dll
+    }
+
+    /// The raw LCG state.
+    pub const fn state(&self) -> u32 {
+        self.lcg.state()
+    }
+
+    /// Generates the next target address.
+    #[inline]
+    pub fn next_target(&mut self) -> Ip {
+        Ip::from_le_state(self.lcg.step())
+    }
+}
+
+impl Prng32 for SlammerPrng {
+    fn next_u32(&mut self) -> u32 {
+        self.lcg.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn increments_match_paper_derivation() {
+        // 0x77f8313c ^ 0xffd9613c etc. — the three flawed b values.
+        assert_eq!(SqlsortDll::Gold.increment(), 0x88215000);
+        assert_eq!(SqlsortDll::Sp2.increment(), 0x8831fa24);
+        assert_eq!(SqlsortDll::Sp3.increment(), 0x88336870);
+    }
+
+    #[test]
+    fn all_increments_divisible_by_four() {
+        // This is what guarantees fixed points exist (gcd(a-1, 2^32) = 4).
+        for dll in SqlsortDll::ALL {
+            assert_eq!(dll.increment() % 4, 0, "{dll}");
+        }
+    }
+
+    #[test]
+    fn state_maps_to_ip_little_endian() {
+        let mut worm = SlammerPrng::new(SqlsortDll::Gold, 0);
+        let state_after = 0u32
+            .wrapping_mul(SLAMMER_MULTIPLIER)
+            .wrapping_add(SqlsortDll::Gold.increment());
+        let ip = worm.next_target();
+        assert_eq!(ip, Ip::from_le_state(state_after));
+        // first octet is the LOW byte of the state
+        assert_eq!(ip.octets()[0], (state_after & 0xff) as u8);
+    }
+
+    #[test]
+    fn trajectory_is_deterministic_per_seed_and_dll() {
+        let a: Vec<Ip> = {
+            let mut w = SlammerPrng::new(SqlsortDll::Sp2, 42);
+            (0..16).map(|_| w.next_target()).collect()
+        };
+        let b: Vec<Ip> = {
+            let mut w = SlammerPrng::new(SqlsortDll::Sp2, 42);
+            (0..16).map(|_| w.next_target()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_dlls_diverge() {
+        let mut gold = SlammerPrng::new(SqlsortDll::Gold, 7);
+        let mut sp3 = SlammerPrng::new(SqlsortDll::Sp3, 7);
+        assert_ne!(gold.next_target(), sp3.next_target());
+    }
+
+    #[test]
+    fn fixed_point_seed_repeats_one_address() {
+        // A state s with 214013·s + b ≡ s (mod 2^32) is a period-1 cycle:
+        // the instance attacks a single address forever (the paper's
+        // "targeted denial of service" behavior). Solve for one:
+        // (a-1)s ≡ -b, a-1 = 4·53503, b ≡ 0 mod 4.
+        let b = SqlsortDll::Gold.increment();
+        let inv53503 = mod_inverse_pow2(53503, 30);
+        let s = (((b / 4).wrapping_neg() & ((1 << 30) - 1)) as u64 * inv53503 as u64
+            % (1 << 30)) as u32;
+        // lift to a solution mod 2^32
+        let mut fixed = None;
+        for j in 0..4u32 {
+            let cand = s.wrapping_add(j << 30);
+            if cand.wrapping_mul(SLAMMER_MULTIPLIER).wrapping_add(b) == cand {
+                fixed = Some(cand);
+                break;
+            }
+        }
+        let fixed = fixed.expect("a fixed point exists because 4 | b");
+        let mut worm = SlammerPrng::new(SqlsortDll::Gold, fixed);
+        let targets: HashSet<Ip> = (0..100).map(|_| worm.next_target()).collect();
+        assert_eq!(targets.len(), 1, "fixed-point instance must hit one address");
+    }
+
+    /// Inverse of odd `x` modulo `2^bits` by Newton iteration.
+    fn mod_inverse_pow2(x: u32, bits: u32) -> u32 {
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let mut inv: u32 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(x.wrapping_mul(inv)));
+        }
+        inv & mask
+    }
+
+    proptest! {
+        #[test]
+        fn permutation_no_collision_in_prefix(seed in any::<u32>()) {
+            // 1000 steps of a permutation from any seed never revisit a
+            // state unless the cycle is shorter than 1000 — in which case
+            // revisits must be periodic. Check consistency.
+            let mut w = SlammerPrng::new(SqlsortDll::Sp3, seed);
+            let mut seen = HashSet::new();
+            let mut first_repeat = None;
+            for i in 0..1000u32 {
+                let s = w.next_u32();
+                if !seen.insert(s) {
+                    first_repeat = Some(i);
+                    break;
+                }
+            }
+            if let Some(at) = first_repeat {
+                // period divides at+... : just re-run and confirm the same
+                // repeat point (determinism of cycle entry).
+                let mut w2 = SlammerPrng::new(SqlsortDll::Sp3, seed);
+                let mut seen2 = HashSet::new();
+                let mut again = None;
+                for i in 0..1000u32 {
+                    let s = w2.next_u32();
+                    if !seen2.insert(s) {
+                        again = Some(i);
+                        break;
+                    }
+                }
+                prop_assert_eq!(Some(at), again);
+            }
+        }
+    }
+}

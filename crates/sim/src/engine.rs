@@ -1,0 +1,716 @@
+//! The discrete-time outbreak engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use hotspots_netmodel::{Delivery, DropReason, Environment, Locus};
+use hotspots_prng::SplitMix;
+use hotspots_stats::TimeSeries;
+use hotspots_targeting::TargetGenerator;
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+use crate::observers::SimObserver;
+use crate::population::Population;
+use crate::worms::WormModel;
+
+/// Engine configuration. Defaults mirror the paper's simulation platform:
+/// 10 probes/second per infected host, 25 seed hosts, no removal, no
+/// rate dispersion.
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimConfig {
+    /// Mean probes per second per infected host.
+    pub scan_rate: f64,
+    /// Log-normal dispersion (σ of log) of per-host scan rates around
+    /// `scan_rate`, mean-preserving. `0.0` = every host scans at exactly
+    /// `scan_rate`; Slammer-style bandwidth-limited populations are
+    /// better described by σ ≈ 1.
+    pub scan_rate_sigma: f64,
+    /// Initial infected host count (sampled uniformly from the
+    /// population).
+    pub seeds: usize,
+    /// Simulation step in seconds.
+    pub dt: f64,
+    /// Hard stop time in seconds.
+    pub max_time: f64,
+    /// Optional early stop once this ever-infected fraction is reached.
+    pub stop_at_fraction: Option<f64>,
+    /// Removal (patching/cleaning) rate: each infected host becomes
+    /// permanently immune with this per-second probability — the paper's
+    /// third host population. `0.0` disables removal (pure SI dynamics).
+    pub removal_rate: f64,
+    /// Master seed: two runs with equal configs and inputs are
+    /// bit-identical.
+    pub rng_seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            scan_rate: 10.0,
+            scan_rate_sigma: 0.0,
+            seeds: 25,
+            dt: 1.0,
+            max_time: 10_000.0,
+            stop_at_fraction: Some(0.999),
+            removal_rate: 0.0,
+            rng_seed: 0x4d53_2006,
+        }
+    }
+}
+
+impl SimConfig {
+    fn validate(&self) {
+        assert!(self.scan_rate > 0.0, "scan_rate must be positive");
+        assert!(
+            self.scan_rate_sigma >= 0.0 && self.scan_rate_sigma.is_finite(),
+            "scan_rate_sigma must be non-negative"
+        );
+        assert!(self.seeds > 0, "need at least one seed host");
+        assert!(self.dt > 0.0, "dt must be positive");
+        assert!(self.max_time >= self.dt, "max_time shorter than one step");
+        assert!(
+            self.removal_rate >= 0.0 && self.removal_rate.is_finite(),
+            "removal_rate must be non-negative"
+        );
+        if let Some(f) = self.stop_at_fraction {
+            assert!((0.0..=1.0).contains(&f), "stop fraction out of range");
+        }
+    }
+}
+
+/// The result of one outbreak run.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Fraction of the vulnerable population ever infected, vs time
+    /// (monotone; removal does not decrease it).
+    pub infection_curve: TimeSeries,
+    /// Hosts ever infected (seeds included; removed hosts still count).
+    pub infected: usize,
+    /// Hosts removed (patched/cleaned — the immune population).
+    pub removed: usize,
+    /// Population size.
+    pub population: usize,
+    /// Total probes emitted.
+    pub probes_sent: u64,
+    /// Probes dropped en route, by reason.
+    pub drops: HashMap<DropReason, u64>,
+    /// Infection time per host id (`None` = never infected). With
+    /// latency, this is the *activation* time.
+    pub infection_times: Vec<Option<f64>>,
+    /// Simulated seconds elapsed.
+    pub elapsed: f64,
+}
+
+impl SimResult {
+    /// Final ever-infected fraction.
+    pub fn infected_fraction(&self) -> f64 {
+        if self.population == 0 {
+            0.0
+        } else {
+            self.infected as f64 / self.population as f64
+        }
+    }
+
+    /// Time until `fraction` of the population was infected, if reached.
+    pub fn time_to_fraction(&self, fraction: f64) -> Option<f64> {
+        self.infection_curve.time_to_reach(fraction)
+    }
+}
+
+struct InfectedHost {
+    id: usize,
+    locus: Locus,
+    generator: Box<dyn TargetGenerator>,
+    probes_per_step: f64,
+    probe_credit: f64,
+}
+
+/// The outbreak engine: drives infected hosts' generators through the
+/// environment into the population and the observers.
+///
+/// # Examples
+///
+/// See the crate-level example.
+pub struct Engine {
+    config: SimConfig,
+    population: Population,
+    env: Environment,
+    worm: Box<dyn WormModel>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("population", &self.population.len())
+            .field("worm", &self.worm.name())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid, the population is empty, or there
+    /// are fewer hosts than seeds.
+    pub fn new(
+        config: SimConfig,
+        population: Population,
+        env: Environment,
+        worm: Box<dyn WormModel>,
+    ) -> Engine {
+        config.validate();
+        assert!(!population.is_empty(), "population must be non-empty");
+        assert!(
+            population.len() >= config.seeds,
+            "population smaller than seed count"
+        );
+        Engine { config, population, env, worm }
+    }
+
+    /// The configured worm model.
+    pub fn worm(&self) -> &dyn WormModel {
+        self.worm.as_ref()
+    }
+
+    /// The population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Per-host probes per step: the mean rate, optionally log-normally
+    /// dispersed (mean-preserving).
+    fn host_rate<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let base = self.config.scan_rate * self.config.dt;
+        if self.config.scan_rate_sigma == 0.0 {
+            return base;
+        }
+        let sigma = self.config.scan_rate_sigma;
+        // mean-preserving log-normal: E[exp(σZ − σ²/2)] = 1
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        base * (sigma * z - sigma * sigma / 2.0).exp()
+    }
+
+    /// Runs the outbreak to completion, feeding every probe to
+    /// `observer`.
+    pub fn run<O: SimObserver>(&mut self, observer: &mut O) -> SimResult {
+        let n = self.population.len();
+        let service = self.worm.service();
+        let latency = self.env.latency();
+        let removal_prob = self.config.removal_rate * self.config.dt;
+        let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
+        let mut seed_mix = SplitMix::new(self.config.rng_seed ^ 0x5eed_5eed_5eed_5eed);
+
+        let mut infected_flags = vec![false; n];
+        let mut removed_flags = vec![false; n];
+        let mut pending_flags = vec![false; n];
+        let mut infection_times: Vec<Option<f64>> = vec![None; n];
+        let mut active: Vec<InfectedHost> = Vec::new();
+        // pending activations ordered by time (microseconds for total order)
+        let mut pending: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        let mut curve = TimeSeries::new(format!("{} infected fraction", self.worm.name()));
+        let mut probes_sent: u64 = 0;
+        let mut ever_infected = 0usize;
+        let mut removed = 0usize;
+        let mut drops: HashMap<DropReason, u64> = HashMap::new();
+
+        // Seed hosts.
+        for idx in sample(&mut rng, n, self.config.seeds) {
+            let locus = self.population.locus(idx);
+            infected_flags[idx] = true;
+            infection_times[idx] = Some(0.0);
+            ever_infected += 1;
+            let probes_per_step = self.host_rate(&mut rng);
+            active.push(InfectedHost {
+                id: idx,
+                locus,
+                generator: self.worm.generator(locus, seed_mix.next_u64()),
+                probes_per_step,
+                probe_credit: 0.0,
+            });
+            observer.on_infection(0.0, idx, locus);
+        }
+        curve.push(0.0, ever_infected as f64 / n as f64);
+
+        let mut time = 0.0;
+        let mut newly_infected: Vec<usize> = Vec::new();
+
+        while time < self.config.max_time {
+            time += self.config.dt;
+
+            // Activate pending (latency-delayed) infections due by now.
+            let mut activated = false;
+            while let Some(&Reverse((due_us, idx))) = pending.peek() {
+                let due = due_us as f64 / 1e6;
+                if due > time {
+                    break;
+                }
+                pending.pop();
+                pending_flags[idx] = false;
+                if infected_flags[idx] || removed_flags[idx] {
+                    continue;
+                }
+                infected_flags[idx] = true;
+                infection_times[idx] = Some(due);
+                ever_infected += 1;
+                activated = true;
+                let locus = self.population.locus(idx);
+                let probes_per_step = self.host_rate(&mut rng);
+                active.push(InfectedHost {
+                    id: idx,
+                    locus,
+                    generator: self.worm.generator(locus, seed_mix.next_u64()),
+                    probes_per_step,
+                    probe_credit: 0.0,
+                });
+                observer.on_infection(due, idx, locus);
+            }
+
+            if let Some(stop) = self.config.stop_at_fraction {
+                if ever_infected as f64 / n as f64 >= stop {
+                    break;
+                }
+            }
+            // The outbreak can die out entirely under removal.
+            if active.is_empty() && pending.is_empty() {
+                break;
+            }
+
+            // Removal: infected hosts get patched/cleaned and turn immune.
+            if removal_prob > 0.0 {
+                active.retain(|host| {
+                    if rng.gen::<f64>() < removal_prob {
+                        removed_flags[host.id] = true;
+                        removed += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+
+            newly_infected.clear();
+            for host in &mut active {
+                host.probe_credit += host.probes_per_step;
+                while host.probe_credit >= 1.0 {
+                    host.probe_credit -= 1.0;
+                    probes_sent += 1;
+                    let target = host.generator.next_target();
+                    let delivery = self.env.route(host.locus, target, service, &mut rng);
+                    let public_src = host.locus.public_source(&self.env);
+                    observer.on_probe(time, public_src, delivery);
+                    let victim = match delivery {
+                        Delivery::Public(ip) => self.population.find_public(ip),
+                        Delivery::Local { realm, ip } => {
+                            self.population.find_private(realm, ip)
+                        }
+                        Delivery::Dropped(reason) => {
+                            *drops.entry(reason).or_insert(0) += 1;
+                            None
+                        }
+                    };
+                    if let Some(v) = victim {
+                        if !infected_flags[v] && !removed_flags[v] && !pending_flags[v] {
+                            let delay = latency.sample(&mut rng);
+                            if delay <= 0.0 {
+                                infected_flags[v] = true;
+                                infection_times[v] = Some(time);
+                                ever_infected += 1;
+                                newly_infected.push(v);
+                                observer.on_infection(time, v, self.population.locus(v));
+                            } else {
+                                pending_flags[v] = true;
+                                let due_us = ((time + delay) * 1e6) as u64;
+                                pending.push(Reverse((due_us, v)));
+                            }
+                        }
+                    }
+                }
+            }
+
+            for &idx in &newly_infected {
+                let locus = self.population.locus(idx);
+                let probes_per_step = self.host_rate(&mut rng);
+                active.push(InfectedHost {
+                    id: idx,
+                    locus,
+                    generator: self.worm.generator(locus, seed_mix.next_u64()),
+                    probes_per_step,
+                    probe_credit: 0.0,
+                });
+            }
+            if !newly_infected.is_empty() || activated || curve.is_empty() {
+                curve.push(time, ever_infected as f64 / n as f64);
+            }
+        }
+        curve.push(time, ever_infected as f64 / n as f64);
+
+        SimResult {
+            infected: ever_infected,
+            removed,
+            population: n,
+            infection_curve: curve,
+            probes_sent,
+            drops,
+            infection_times,
+            elapsed: time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observers::{DropTally, NullObserver};
+    use crate::population::apply_nat;
+    use crate::worms::{CodeRed2Worm, HitListWorm, UniformWorm};
+    use hotspots_ipspace::Ip;
+    use hotspots_netmodel::LatencyModel;
+    use hotspots_targeting::HitList;
+
+    /// A dense population inside one /16 so uniform worms still make
+    /// progress at test scale.
+    fn dense_population(n: u32) -> Population {
+        Population::from_public((0..n).map(|i| Ip::new(0x0b0b_0000 + i)))
+    }
+
+    fn hitlist_config() -> SimConfig {
+        SimConfig {
+            scan_rate: 10.0,
+            seeds: 5,
+            dt: 1.0,
+            max_time: 2_000.0,
+            stop_at_fraction: Some(0.95),
+            rng_seed: 99,
+            ..SimConfig::default()
+        }
+    }
+
+    fn hitlist() -> HitList {
+        HitList::new(vec!["11.11.0.0/16".parse().unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn hitlist_outbreak_infects_population() {
+        let pop = dense_population(400);
+        let mut engine = Engine::new(
+            hitlist_config(),
+            pop,
+            Environment::new(),
+            Box::new(HitListWorm::new(hitlist())),
+        );
+        let result = engine.run(&mut NullObserver);
+        assert!(
+            result.infected_fraction() >= 0.95,
+            "only {} infected",
+            result.infected_fraction()
+        );
+        let first = result.infection_curve.iter().next().unwrap();
+        assert!((first.1 - 5.0 / 400.0).abs() < 1e-9);
+        let pts: Vec<(f64, f64)> = result.infection_curve.iter().collect();
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1, "curve not monotone");
+        }
+        assert_eq!(result.removed, 0, "no removal configured");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut engine = Engine::new(
+                hitlist_config(),
+                dense_population(300),
+                Environment::new(),
+                Box::new(HitListWorm::new(hitlist())),
+            );
+            engine.run(&mut NullObserver)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.probes_sent, b.probes_sent);
+        assert_eq!(a.infected, b.infected);
+        assert_eq!(a.infection_times, b.infection_times);
+    }
+
+    #[test]
+    fn stop_fraction_halts_early() {
+        let config = SimConfig {
+            stop_at_fraction: Some(0.5),
+            ..hitlist_config()
+        };
+        let mut engine = Engine::new(
+            config,
+            dense_population(400),
+            Environment::new(),
+            Box::new(HitListWorm::new(hitlist())),
+        );
+        let result = engine.run(&mut NullObserver);
+        assert!(result.infected_fraction() >= 0.5);
+        assert!(result.elapsed < 2_000.0, "did not stop early");
+    }
+
+    #[test]
+    fn max_time_bounds_run() {
+        let pop = dense_population(50);
+        let config = SimConfig {
+            scan_rate: 1.0,
+            seeds: 1,
+            dt: 1.0,
+            max_time: 20.0,
+            stop_at_fraction: None,
+            rng_seed: 1,
+            ..SimConfig::default()
+        };
+        let mut engine = Engine::new(config, pop, Environment::new(), Box::new(UniformWorm));
+        let result = engine.run(&mut NullObserver);
+        assert!((result.elapsed - 20.0).abs() < 1.5);
+        assert_eq!(result.probes_sent, 20);
+    }
+
+    #[test]
+    fn fractional_scan_rates_accumulate() {
+        let pop = dense_population(50);
+        let config = SimConfig {
+            scan_rate: 0.25,
+            seeds: 1,
+            dt: 1.0,
+            max_time: 40.0,
+            stop_at_fraction: None,
+            rng_seed: 1,
+            ..SimConfig::default()
+        };
+        let mut engine = Engine::new(config, pop, Environment::new(), Box::new(UniformWorm));
+        let result = engine.run(&mut NullObserver);
+        assert_eq!(result.probes_sent, 10);
+    }
+
+    #[test]
+    fn loss_injection_slows_infection() {
+        let run = |loss: f64| {
+            let mut env = Environment::new();
+            env.set_loss(hotspots_netmodel::LossModel::new(loss).unwrap());
+            let config = SimConfig {
+                stop_at_fraction: Some(0.9),
+                ..hitlist_config()
+            };
+            let mut engine = Engine::new(
+                config,
+                dense_population(300),
+                env,
+                Box::new(HitListWorm::new(hitlist())),
+            );
+            let result = engine.run(&mut NullObserver);
+            result.time_to_fraction(0.9).unwrap_or(f64::INFINITY)
+        };
+        let clean = run(0.0);
+        let lossy = run(0.8);
+        assert!(
+            lossy > clean * 1.5,
+            "80% loss should clearly slow the outbreak: clean={clean} lossy={lossy}"
+        );
+    }
+
+    #[test]
+    fn latency_delays_the_outbreak() {
+        let run = |base: f64| {
+            let mut env = Environment::new();
+            env.set_latency(LatencyModel::new(base, 0.0).unwrap());
+            let mut engine = Engine::new(
+                hitlist_config(),
+                dense_population(300),
+                env,
+                Box::new(HitListWorm::new(hitlist())),
+            );
+            let result = engine.run(&mut NullObserver);
+            (
+                result.time_to_fraction(0.5).unwrap_or(f64::INFINITY),
+                result.infected_fraction(),
+            )
+        };
+        let (instant, frac_a) = run(0.0);
+        let (delayed, frac_b) = run(10.0);
+        assert!(
+            delayed > instant + 5.0,
+            "10s infection latency should shift the curve: {instant} vs {delayed}"
+        );
+        // but not stop it
+        assert!(frac_a >= 0.95 && frac_b >= 0.95);
+    }
+
+    #[test]
+    fn latency_never_double_infects() {
+        let mut env = Environment::new();
+        env.set_latency(LatencyModel::new(0.5, 3.0).unwrap());
+        let mut engine = Engine::new(
+            hitlist_config(),
+            dense_population(200),
+            env,
+            Box::new(HitListWorm::new(hitlist())),
+        );
+        let result = engine.run(&mut NullObserver);
+        let count = result.infection_times.iter().flatten().count();
+        assert_eq!(count, result.infected);
+        assert!(result.infected <= 200);
+    }
+
+    #[test]
+    fn removal_above_threshold_kills_the_outbreak() {
+        // R0 = (scan_rate·N/Ω) / γ: with γ large the epidemic dies early.
+        let run = |removal_rate: f64| {
+            let config = SimConfig {
+                removal_rate,
+                stop_at_fraction: None,
+                max_time: 3_000.0,
+                ..hitlist_config()
+            };
+            let mut engine = Engine::new(
+                config,
+                dense_population(400),
+                Environment::new(),
+                Box::new(HitListWorm::new(hitlist())),
+            );
+            engine.run(&mut NullObserver)
+        };
+        let no_removal = run(0.0);
+        assert!(no_removal.infected_fraction() > 0.9);
+
+        // β·N = 10/65536·400 ≈ 0.061/s; γ = 0.6 → R0 ≈ 0.1 ≪ 1
+        let heavy = run(0.6);
+        assert!(
+            heavy.infected_fraction() < 0.2,
+            "super-critical removal failed to contain: {}",
+            heavy.infected_fraction()
+        );
+        assert!(heavy.removed > 0);
+        assert!(
+            heavy.elapsed < 3_000.0,
+            "run should end when the outbreak dies"
+        );
+
+        // sub-critical removal slows but does not stop it
+        let light = run(0.005);
+        assert!(light.infected_fraction() > 0.5);
+        assert!(light.removed > 0);
+    }
+
+    #[test]
+    fn heterogeneous_rates_preserve_determinism() {
+        let run = |sigma: f64| {
+            let config = SimConfig {
+                scan_rate_sigma: sigma,
+                ..hitlist_config()
+            };
+            let mut engine = Engine::new(
+                config,
+                dense_population(300),
+                Environment::new(),
+                Box::new(HitListWorm::new(hitlist())),
+            );
+            engine.run(&mut NullObserver)
+        };
+        let a = run(1.0);
+        let b = run(1.0);
+        assert_eq!(a.probes_sent, b.probes_sent, "dispersed runs must replay");
+        assert!(a.infected_fraction() > 0.9, "dispersion should not stall");
+    }
+
+    #[test]
+    fn nat_blocks_external_infection_but_allows_internal() {
+        let mut env = Environment::new();
+        let mut nat_rng = StdRng::seed_from_u64(5);
+        let publics: Vec<Ip> = (0..50u32).map(|i| Ip::new(0x0c0c_0000 + i)).collect();
+        let loci = apply_nat(&mut env, &publics, 1.0, &mut nat_rng);
+        let pop = Population::from_loci(loci);
+        let config = SimConfig {
+            scan_rate: 50.0,
+            seeds: 1,
+            dt: 1.0,
+            max_time: 400.0,
+            stop_at_fraction: None,
+            rng_seed: 3,
+            ..SimConfig::default()
+        };
+        let mut engine = Engine::new(config, pop, env, Box::new(CodeRed2Worm));
+        let mut tally = DropTally::new();
+        let result = engine.run(&mut tally);
+        assert_eq!(result.infected, 1);
+        assert!(tally.dropped(DropReason::UnroutableDestination) > 0);
+    }
+
+    #[test]
+    fn infection_times_are_consistent() {
+        let mut engine = Engine::new(
+            hitlist_config(),
+            dense_population(200),
+            Environment::new(),
+            Box::new(HitListWorm::new(hitlist())),
+        );
+        let result = engine.run(&mut NullObserver);
+        let infected_count = result
+            .infection_times
+            .iter()
+            .filter(|t| t.is_some())
+            .count();
+        assert_eq!(infected_count, result.infected);
+        let zeros = result
+            .infection_times
+            .iter()
+            .filter(|t| **t == Some(0.0))
+            .count();
+        assert_eq!(zeros, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "population smaller than seed count")]
+    fn seed_count_validated() {
+        let _ = Engine::new(
+            SimConfig { seeds: 100, ..SimConfig::default() },
+            dense_population(10),
+            Environment::new(),
+            Box::new(UniformWorm),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "removal_rate")]
+    fn negative_removal_rate_rejected() {
+        let _ = Engine::new(
+            SimConfig { removal_rate: -0.1, ..SimConfig::default() },
+            dense_population(30),
+            Environment::new(),
+            Box::new(UniformWorm),
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_probe() {
+        #[derive(Default)]
+        struct Counter(u64);
+        impl SimObserver for Counter {
+            fn on_probe(&mut self, _t: f64, _s: Ip, _d: Delivery) {
+                self.0 += 1;
+            }
+        }
+        let pop = dense_population(50);
+        let config = SimConfig {
+            scan_rate: 3.0,
+            seeds: 2,
+            dt: 1.0,
+            max_time: 10.0,
+            stop_at_fraction: None,
+            rng_seed: 8,
+            ..SimConfig::default()
+        };
+        let mut engine = Engine::new(config, pop, Environment::new(), Box::new(UniformWorm));
+        let mut counter = Counter::default();
+        let result = engine.run(&mut counter);
+        assert_eq!(counter.0, result.probes_sent);
+    }
+}

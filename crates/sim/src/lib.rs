@@ -1,0 +1,53 @@
+//! Discrete-time worm outbreak engine with per-probe fidelity.
+//!
+//! Hotspots are per-address phenomena, so this simulator models every
+//! probe individually instead of integrating an epidemic ODE: each
+//! infected host owns a faithful target generator
+//! (`hotspots-targeting`), every generated target is routed through the
+//! network environment (`hotspots-netmodel`), and observers — telescopes
+//! and detector fields (`hotspots-telescope`) — see exactly the probes a
+//! real deployment would.
+//!
+//! The paper's Figure 5 parameters are the defaults: 10 probes/second per
+//! infected host, 25 random seed hosts.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspots_sim::{Engine, NullObserver, Population, SimConfig, UniformWorm};
+//!
+//! // A toy uniform outbreak over a dense /16: every probe that lands in
+//! // the population infects.
+//! let pop = Population::from_public(
+//!     (0..500u32).map(|i| hotspots_ipspace::Ip::new(0x0a00_0000 + i * 131)),
+//! );
+//! let config = SimConfig {
+//!     scan_rate: 10.0,
+//!     seeds: 5,
+//!     max_time: 50.0,
+//!     ..SimConfig::default()
+//! };
+//! let mut engine = Engine::new(config, pop, Default::default(), Box::new(UniformWorm));
+//! let result = engine.run(&mut NullObserver);
+//! assert!(result.probes_sent > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod engine;
+mod ipmap;
+mod observers;
+mod population;
+mod worms;
+
+pub use engine::{Engine, SimConfig, SimResult};
+pub use ipmap::IpMap;
+pub use observers::{DropTally, FieldObserver, NullObserver, SimObserver, TelescopeObserver};
+pub use population::{
+    apply_nat, apply_nat_shared, occupied_slash16s, paper_codered_population,
+    synthetic_codered_population, Population,
+};
+pub use worms::{
+    BlasterWorm, BotWorm, CodeRed2Worm, HitListWorm, SlammerWorm, UniformWorm, WormModel,
+};

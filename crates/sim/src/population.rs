@@ -1,0 +1,559 @@
+//! Vulnerable populations and their placement in the topology.
+
+use hotspots_ipspace::{special, Ip, Prefix};
+use hotspots_netmodel::{Environment, Locus, NatRealm, RealmId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ipmap::IpMap;
+
+/// The vulnerable host population: each host's [`Locus`] plus fast
+/// address→host lookup for probe resolution.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_ipspace::Ip;
+/// use hotspots_sim::Population;
+///
+/// let pop = Population::from_public([Ip::from_octets(10, 0, 0, 1)]);
+/// assert_eq!(pop.len(), 1);
+/// assert_eq!(pop.find_public(Ip::from_octets(10, 0, 0, 1)), Some(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    loci: Vec<Locus>,
+    public_index: IpMap,
+    /// (realm, private ip) → host, keyed by realm in the outer map.
+    realm_index: std::collections::HashMap<RealmId, IpMap>,
+}
+
+impl Population {
+    /// Builds a population of directly connected public hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate addresses.
+    pub fn from_public<I: IntoIterator<Item = Ip>>(addrs: I) -> Population {
+        Population::from_loci(addrs.into_iter().map(Locus::Public))
+    }
+
+    /// Builds a population from explicit loci.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two hosts share an address (public, or private within
+    /// one realm).
+    pub fn from_loci<I: IntoIterator<Item = Locus>>(loci: I) -> Population {
+        let loci: Vec<Locus> = loci.into_iter().collect();
+        let mut public_index = IpMap::with_capacity(loci.len());
+        let mut realm_index: std::collections::HashMap<RealmId, IpMap> =
+            std::collections::HashMap::new();
+        for (i, locus) in loci.iter().enumerate() {
+            let idx = u32::try_from(i).expect("fewer than 2^32 hosts");
+            let clash = match *locus {
+                Locus::Public(ip) => public_index.insert(ip.value(), idx),
+                Locus::Private { realm, ip } => realm_index
+                    .entry(realm)
+                    .or_insert_with(|| IpMap::with_capacity(16))
+                    .insert(ip.value(), idx),
+            };
+            assert!(clash.is_none(), "duplicate host address at {locus}");
+        }
+        Population { loci, public_index, realm_index }
+    }
+
+    /// Number of vulnerable hosts.
+    pub fn len(&self) -> usize {
+        self.loci.len()
+    }
+
+    /// Returns `true` if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.loci.is_empty()
+    }
+
+    /// The hosts' loci, indexed by host id.
+    pub fn loci(&self) -> &[Locus] {
+        &self.loci
+    }
+
+    /// The locus of host `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn locus(&self, id: usize) -> Locus {
+        self.loci[id]
+    }
+
+    /// Finds the host with public address `ip`, if any.
+    #[inline]
+    pub fn find_public(&self, ip: Ip) -> Option<usize> {
+        self.public_index.get(ip.value()).map(|v| v as usize)
+    }
+
+    /// Finds the host with private address `ip` inside `realm`, if any.
+    #[inline]
+    pub fn find_private(&self, realm: RealmId, ip: Ip) -> Option<usize> {
+        self.realm_index
+            .get(&realm)
+            .and_then(|m| m.get(ip.value()))
+            .map(|v| v as usize)
+    }
+
+    /// The public addresses of all public hosts (used to build hit-lists
+    /// and placement inputs).
+    pub fn public_addresses(&self) -> Vec<Ip> {
+        self.loci
+            .iter()
+            .filter_map(|l| match l {
+                Locus::Public(ip) => Some(*ip),
+                Locus::Private { .. } => None,
+            })
+            .collect()
+    }
+}
+
+/// Synthesizes a CodeRedII-style vulnerable population: `n` unique public
+/// addresses clustered into `slash8s` /8 networks with a Zipf-like
+/// weighting (the paper's population: 134,586 addresses in 47 /8s, with
+/// the top 20 /8s holding 94% of hosts), and within each /8 clustered
+/// into a handful of /16s.
+///
+/// Returned addresses are globally routable, deduplicated, and sorted.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `slash8s == 0` or `slash8s > 200`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let pop = hotspots_sim::synthetic_codered_population(10_000, 47, &mut rng);
+/// assert_eq!(pop.len(), 10_000);
+/// ```
+pub fn synthetic_codered_population<R: Rng + ?Sized>(
+    n: usize,
+    slash8s: usize,
+    rng: &mut R,
+) -> Vec<Ip> {
+    assert!(n > 0, "population size must be positive");
+    assert!((1..=200).contains(&slash8s), "slash8s out of range");
+
+    // Choose distinct routable /8s.
+    let mut first_octets: Vec<u8> = (1u8..224)
+        .filter(|&o| {
+            let probe = Ip::from_octets(o, 1, 0, 0);
+            special::is_globally_routable(probe)
+        })
+        .collect();
+    first_octets.shuffle(rng);
+    first_octets.truncate(slash8s);
+
+    // Zipf-ish weights: tuned so ~20 of 47 /8s hold ≈94% of hosts.
+    const ZIPF_EXPONENT: f64 = 1.9;
+    let weights: Vec<f64> = (0..slash8s)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(ZIPF_EXPONENT))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    // Each /8 clusters its hosts into a few /16s.
+    let mut out: std::collections::BTreeSet<Ip> = std::collections::BTreeSet::new();
+    let mut remaining = n;
+    for (i, &octet) in first_octets.iter().enumerate() {
+        let share = if i + 1 == first_octets.len() {
+            remaining
+        } else {
+            ((n as f64) * weights[i] / total_weight).round() as usize
+        };
+        let share = share.min(remaining);
+        remaining -= share;
+        if share == 0 {
+            continue;
+        }
+        let slash16s = rng.gen_range(4..=40usize);
+        let subnets: Vec<u8> = (0..slash16s).map(|_| rng.gen::<u8>()).collect();
+        let mut placed = 0usize;
+        while placed < share {
+            let b = *subnets.choose(rng).expect("non-empty");
+            let ip = Ip::from_octets(octet, b, rng.gen(), rng.gen());
+            if out.insert(ip) {
+                placed += 1;
+            }
+        }
+    }
+    // Rounding may leave a few unplaced: scatter them in the heaviest /8.
+    while out.len() < n {
+        let ip = Ip::from_octets(first_octets[0], rng.gen(), rng.gen(), rng.gen());
+        out.insert(ip);
+    }
+    out.into_iter().collect()
+}
+
+/// Synthesizes the CodeRedII vulnerable population calibrated to the
+/// paper's published **coverage profile**: 134,586 addresses across
+/// 4,481 occupied /16s, where the top-10 /16s hold 10.60% of hosts, the
+/// top-100 hold 50.49%, and the top-1000 hold 91.33% (the paper's
+/// greedy-hit-list coverages) — with the /16s dealt into 47 /8s so the
+/// top-20 /8s hold ≈94% of the population.
+///
+/// Use this for paper-scale Figure 5 runs;
+/// [`synthetic_codered_population`] remains the knob-tunable generator
+/// for everything else.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pop = hotspots_sim::paper_codered_population(&mut rng);
+/// assert_eq!(pop.len(), 134_586);
+/// ```
+pub fn paper_codered_population<R: Rng + ?Sized>(rng: &mut R) -> Vec<Ip> {
+    const N: usize = 134_586;
+    // Rank bands with the paper's cumulative coverages at 10/100/1000/4481:
+    // hosts are spread evenly within each band, so the greedy top-k
+    // coverages match the published numbers exactly by construction.
+    const BANDS: [(usize, f64); 4] = [
+        (10, 0.1060),   // ranks 1..=10
+        (90, 0.3989),   // ranks 11..=100   (0.5049 - 0.1060)
+        (900, 0.4084),  // ranks 101..=1000 (0.9133 - 0.5049)
+        (3481, 0.0867), // ranks 1001..=4481
+    ];
+    let mut counts: Vec<usize> = Vec::with_capacity(4_481);
+    for (width, mass) in BANDS {
+        let band_hosts = (mass * N as f64).round() as usize;
+        let base = band_hosts / width;
+        let extra = band_hosts % width;
+        for i in 0..width {
+            counts.push((base + usize::from(i < extra)).max(1));
+        }
+    }
+    // rounding fix-up to land on exactly N, adjusting the tail band
+    let mut total: isize = counts.iter().sum::<usize>() as isize;
+    let mut i = counts.len();
+    while total != N as isize {
+        i = if i == 0 { counts.len() - 1 } else { i - 1 };
+        let adjust: isize = if total > N as isize { -1 } else { 1 };
+        if counts[i] as isize + adjust >= 1 {
+            counts[i] = (counts[i] as isize + adjust) as usize;
+            total += adjust;
+        }
+    }
+
+    // choose 47 routable /8s and deal the ranked /16s into them with a
+    // Zipf weighting so the heavy /16s concentrate in the top /8s
+    let mut first_octets: Vec<u8> = (1u8..224)
+        .filter(|&o| special::is_globally_routable(Ip::from_octets(o, 1, 0, 0)))
+        .collect();
+    first_octets.shuffle(rng);
+    first_octets.truncate(47);
+    let weights: Vec<f64> = (0..47).map(|i| 1.0 / ((i + 1) as f64).powf(1.3)).collect();
+    let weight_sum: f64 = weights.iter().sum();
+    // track used second octets per /8 to keep /16s distinct
+    let mut used: Vec<std::collections::HashSet<u8>> =
+        (0..47).map(|_| std::collections::HashSet::new()).collect();
+
+    let mut out: std::collections::BTreeSet<Ip> = std::collections::BTreeSet::new();
+    for count in counts {
+        // weighted /8 pick with room for another /16
+        let slot = loop {
+            let mut draw = rng.gen::<f64>() * weight_sum;
+            let mut pick = 0usize;
+            for (k, w) in weights.iter().enumerate() {
+                draw -= w;
+                if draw <= 0.0 {
+                    pick = k;
+                    break;
+                }
+            }
+            if used[pick].len() < 256 {
+                break pick;
+            }
+        };
+        let second = loop {
+            let b: u8 = rng.gen();
+            if used[slot].insert(b) {
+                break b;
+            }
+        };
+        let mut placed = 0usize;
+        while placed < count {
+            let ip = Ip::from_octets(first_octets[slot], second, rng.gen(), rng.gen());
+            if out.insert(ip) {
+                placed += 1;
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Moves a fraction of a public population behind home NATs: each
+/// selected host gets a random `192.168.x.y` address in its own
+/// single-host realm whose gateway is the host's original public address
+/// (Figure 5(c): "we configured 15% of vulnerable hosts as if they were
+/// NATed with 192.168/16 addresses").
+///
+/// Realms are registered into `env`; the returned loci parallel the input
+/// order.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `0.0..=1.0`.
+pub fn apply_nat<R: Rng + ?Sized>(
+    env: &mut Environment,
+    public_addrs: &[Ip],
+    fraction: f64,
+    rng: &mut R,
+) -> Vec<Locus> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "NAT fraction {fraction} out of [0, 1]"
+    );
+    public_addrs
+        .iter()
+        .map(|&ip| {
+            if rng.gen::<f64>() < fraction {
+                let realm = env.add_realm(
+                    NatRealm::home_192_168(ip).expect("population addresses are public"),
+                );
+                let private = Ip::from_octets(192, 168, rng.gen(), rng.gen());
+                Locus::Private { realm, ip: private }
+            } else {
+                Locus::Public(ip)
+            }
+        })
+        .collect()
+}
+
+/// Moves a fraction of a public population into **one shared** private
+/// space: every selected host gets a distinct random `192.168.x.y`
+/// address inside a single realm.
+///
+/// This is the topology the paper's Figure 5(c) simulation implies: the
+/// NATed 15% of the vulnerable population live together in `192.168/16`,
+/// so a NATed instance's /16-preferring probes can infect other NATed
+/// hosts (igniting the private cluster whose /8 probes then flood public
+/// `192/8`). Use [`apply_nat`] instead to model strictly isolated
+/// per-home NATs — the stricter-isolation ablation.
+///
+/// # Panics
+///
+/// Panics if `fraction` is out of `0.0..=1.0`, or if the selected host
+/// count exceeds the realm's 65,536 private addresses.
+pub fn apply_nat_shared<R: Rng + ?Sized>(
+    env: &mut Environment,
+    public_addrs: &[Ip],
+    fraction: f64,
+    rng: &mut R,
+) -> Vec<Locus> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "NAT fraction {fraction} out of [0, 1]"
+    );
+    let selected: Vec<bool> = public_addrs
+        .iter()
+        .map(|_| rng.gen::<f64>() < fraction)
+        .collect();
+    let count = selected.iter().filter(|&&s| s).count();
+    assert!(
+        count <= (1 << 16),
+        "{count} NATed hosts exceed the 192.168/16 realm capacity"
+    );
+    // The shared realm's gateway: a documentation-range public address
+    // (sources of NATed probes are irrelevant to the detection studies
+    // this topology serves).
+    let realm = env.add_realm(
+        NatRealm::home_192_168(Ip::from_octets(198, 51, 100, 1))
+            .expect("documentation gateway is public"),
+    );
+    // distinct private addresses without replacement
+    let slots = rand::seq::index::sample(rng, 1 << 16, count);
+    let mut slot_iter = slots.iter();
+    public_addrs
+        .iter()
+        .zip(selected)
+        .map(|(&ip, natted)| {
+            if natted {
+                let slot = slot_iter.next().expect("one slot per NATed host") as u32;
+                let private =
+                    Ip::from_octets(192, 168, (slot >> 8) as u8, (slot & 0xff) as u8);
+                Locus::Private { realm, ip: private }
+            } else {
+                Locus::Public(ip)
+            }
+        })
+        .collect()
+}
+
+/// Convenience: the /16 prefixes occupied by at least one population
+/// address (the sensor-placement input for Figure 5(b)).
+pub fn occupied_slash16s(addrs: &[Ip]) -> Vec<Prefix> {
+    let mut set: std::collections::BTreeSet<Prefix> = std::collections::BTreeSet::new();
+    for &ip in addrs {
+        set.insert(ip.bucket16().prefix());
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspots_ipspace::Bucket8;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_public_addresses_rejected() {
+        let ip = Ip::from_octets(1, 2, 3, 4);
+        let _ = Population::from_public([ip, ip]);
+    }
+
+    #[test]
+    fn private_lookup_is_realm_scoped() {
+        let mut env = Environment::new();
+        let ra = env.add_realm(NatRealm::home_192_168(Ip::from_octets(7, 0, 0, 1)).unwrap());
+        let rb = env.add_realm(NatRealm::home_192_168(Ip::from_octets(7, 0, 0, 2)).unwrap());
+        let shared_private = Ip::from_octets(192, 168, 1, 1);
+        let pop = Population::from_loci([
+            Locus::Private { realm: ra, ip: shared_private },
+            Locus::Private { realm: rb, ip: shared_private },
+        ]);
+        assert_eq!(pop.find_private(ra, shared_private), Some(0));
+        assert_eq!(pop.find_private(rb, shared_private), Some(1));
+        assert_eq!(pop.find_public(shared_private), None);
+    }
+
+    #[test]
+    fn synthetic_population_is_clustered_like_the_paper() {
+        let mut rng = StdRng::seed_from_u64(2006);
+        let pop = synthetic_codered_population(50_000, 47, &mut rng);
+        assert_eq!(pop.len(), 50_000);
+        // all unique (BTreeSet) and routable
+        assert!(pop.iter().all(|&ip| special::is_globally_routable(ip)));
+        // occupies ≤ 47 /8s, and the top 20 hold ~94%
+        let mut per8: std::collections::HashMap<Bucket8, u64> = std::collections::HashMap::new();
+        for &ip in &pop {
+            *per8.entry(ip.bucket8()).or_insert(0) += 1;
+        }
+        assert!(per8.len() <= 47);
+        let mut counts: Vec<u64> = per8.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top20: u64 = counts.iter().take(20).sum();
+        let share = top20 as f64 / 50_000.0;
+        assert!(
+            (0.88..=0.99).contains(&share),
+            "top-20 /8 share {share} outside the paper's ~94% ballpark"
+        );
+    }
+
+    #[test]
+    fn paper_profile_matches_published_coverages() {
+        let mut rng = StdRng::seed_from_u64(2006);
+        let pop = paper_codered_population(&mut rng);
+        assert_eq!(pop.len(), 134_586);
+        // occupied /16 count matches the paper
+        let mut per16: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        let mut per8: std::collections::HashMap<u8, u64> = std::collections::HashMap::new();
+        for &ip in &pop {
+            *per16.entry(ip.value() >> 16).or_insert(0) += 1;
+            *per8.entry(ip.octets()[0]).or_insert(0) += 1;
+        }
+        assert_eq!(per16.len(), 4_481, "occupied /16s");
+        assert!(per8.len() <= 47);
+        // greedy top-k coverages within 2 points of the paper's numbers
+        let mut counts: Vec<u64> = per16.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total = 134_586f64;
+        let cov = |k: usize| counts.iter().take(k).sum::<u64>() as f64 / total;
+        assert!((cov(10) - 0.1060).abs() < 0.02, "top10 {}", cov(10));
+        assert!((cov(100) - 0.5049).abs() < 0.02, "top100 {}", cov(100));
+        assert!((cov(1000) - 0.9133).abs() < 0.02, "top1000 {}", cov(1000));
+        // top-20 /8s hold ~94%
+        let mut c8: Vec<u64> = per8.values().copied().collect();
+        c8.sort_unstable_by(|a, b| b.cmp(a));
+        let top20 = c8.iter().take(20).sum::<u64>() as f64 / total;
+        assert!((0.85..=1.0).contains(&top20), "top-20 /8 share {top20}");
+    }
+
+    #[test]
+    fn apply_nat_fraction_and_realms() {
+        let mut env = Environment::new();
+        let mut rng = StdRng::seed_from_u64(15);
+        let addrs: Vec<Ip> = (0..2000u32).map(|i| Ip::new(0x0101_0000 + i)).collect();
+        let loci = apply_nat(&mut env, &addrs, 0.15, &mut rng);
+        let natted = loci
+            .iter()
+            .filter(|l| matches!(l, Locus::Private { .. }))
+            .count();
+        let frac = natted as f64 / loci.len() as f64;
+        assert!((0.10..0.20).contains(&frac), "NAT fraction {frac}");
+        assert_eq!(env.realm_count(), natted);
+        for locus in &loci {
+            if let Locus::Private { ip, .. } = locus {
+                assert!(special::PRIVATE_192.contains(*ip));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_nat_zero_and_one() {
+        let mut env = Environment::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let addrs = vec![Ip::from_octets(1, 1, 1, 1), Ip::from_octets(2, 2, 2, 2)];
+        let none = apply_nat(&mut env, &addrs, 0.0, &mut rng);
+        assert!(none.iter().all(|l| matches!(l, Locus::Public(_))));
+        let all = apply_nat(&mut env, &addrs, 1.0, &mut rng);
+        assert!(all.iter().all(|l| matches!(l, Locus::Private { .. })));
+    }
+
+    #[test]
+    fn apply_nat_shared_one_realm_distinct_addresses() {
+        let mut env = Environment::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let addrs: Vec<Ip> = (0..5000u32).map(|i| Ip::new(0x1716_0000 + i)).collect();
+        let loci = apply_nat_shared(&mut env, &addrs, 0.3, &mut rng);
+        assert_eq!(env.realm_count(), 1, "shared topology uses one realm");
+        let mut privates = std::collections::HashSet::new();
+        let mut natted = 0usize;
+        for locus in &loci {
+            if let Locus::Private { ip, .. } = locus {
+                natted += 1;
+                assert!(special::PRIVATE_192.contains(*ip));
+                assert!(privates.insert(*ip), "duplicate private address {ip}");
+            }
+        }
+        let frac = natted as f64 / loci.len() as f64;
+        assert!((0.25..0.35).contains(&frac), "NAT fraction {frac}");
+        // the population indexes cleanly (no collisions)
+        let pop = Population::from_loci(loci);
+        assert_eq!(pop.len(), 5000);
+    }
+
+    #[test]
+    fn occupied_slash16s_deduplicates() {
+        let addrs = vec![
+            Ip::from_octets(10, 1, 0, 1),
+            Ip::from_octets(10, 1, 200, 1),
+            Ip::from_octets(10, 2, 0, 1),
+        ];
+        let subs = occupied_slash16s(&addrs);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn population_public_addresses_filters_private() {
+        let mut env = Environment::new();
+        let realm = env.add_realm(NatRealm::home_192_168(Ip::from_octets(9, 0, 0, 1)).unwrap());
+        let pop = Population::from_loci([
+            Locus::Public(Ip::from_octets(1, 1, 1, 1)),
+            Locus::Private { realm, ip: Ip::from_octets(192, 168, 0, 1) },
+        ]);
+        assert_eq!(pop.public_addresses(), vec![Ip::from_octets(1, 1, 1, 1)]);
+    }
+}

@@ -1,0 +1,341 @@
+//! Worm models: per-host generator factories for the engine.
+
+use std::fmt;
+
+use hotspots_netmodel::{Locus, Service};
+use hotspots_prng::entropy::SeedModel;
+use hotspots_prng::{SplitMix, SqlsortDll};
+use hotspots_targeting::{
+    BlasterScanner, CodeRed2Scanner, HitList, HitListScanner, SlammerScanner, TargetGenerator,
+    UniformScanner,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A worm model: everything the engine needs to run an outbreak of one
+/// threat — its service, and a deterministic per-host target generator.
+///
+/// `host_seed` is unique per infected host and derived deterministically
+/// from the simulation seed, so an outbreak replays identically.
+pub trait WormModel: fmt::Debug {
+    /// Short name for experiment output.
+    fn name(&self) -> &'static str;
+
+    /// The service its probes target (drives filtering policy).
+    fn service(&self) -> Service;
+
+    /// Creates the target generator for a newly infected host.
+    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator>;
+}
+
+/// The uniform baseline worm of the simple epidemic model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformWorm;
+
+impl WormModel for UniformWorm {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn service(&self) -> Service {
+        Service::CODERED_HTTP
+    }
+
+    fn generator(&self, _locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+        Box::new(UniformScanner::new(SplitMix::new(host_seed)))
+    }
+}
+
+/// A hit-list worm: every instance scans uniformly within a shared prefix
+/// list (Figure 5(a)/(b)).
+#[derive(Debug, Clone)]
+pub struct HitListWorm {
+    list: std::sync::Arc<HitList>,
+    service: Service,
+}
+
+impl HitListWorm {
+    /// Creates a worm restricted to `list`, probing TCP/80 (a
+    /// CodeRed-style vector). The list is shared (`Arc`) across all
+    /// infected hosts' generators.
+    pub fn new(list: HitList) -> HitListWorm {
+        HitListWorm { list: std::sync::Arc::new(list), service: Service::CODERED_HTTP }
+    }
+
+    /// Overrides the probed service (e.g. [`Service::SLAMMER_SQL`] for a
+    /// UDP-carried hit-list worm — used by the sensor-mode ablation).
+    pub fn with_service(mut self, service: Service) -> HitListWorm {
+        self.service = service;
+        self
+    }
+
+    /// The shared hit-list.
+    pub fn list(&self) -> &HitList {
+        &self.list
+    }
+}
+
+impl WormModel for HitListWorm {
+    fn name(&self) -> &'static str {
+        "hit-list"
+    }
+
+    fn service(&self) -> Service {
+        self.service
+    }
+
+    fn generator(&self, _locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+        Box::new(HitListScanner::new(
+            std::sync::Arc::clone(&self.list),
+            SplitMix::new(host_seed),
+        ))
+    }
+}
+
+/// CodeRedII with its faithful 1/8–4/8–3/8 local-preference mask table;
+/// each instance prefers the /8 and /16 of *its own* locus address
+/// (private, for NATed hosts — the hotspot mechanism).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CodeRed2Worm;
+
+impl WormModel for CodeRed2Worm {
+    fn name(&self) -> &'static str {
+        "codered2"
+    }
+
+    fn service(&self) -> Service {
+        Service::CODERED_HTTP
+    }
+
+    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+        Box::new(CodeRed2Scanner::new(
+            locus.local_address(),
+            SplitMix::new(host_seed),
+        ))
+    }
+}
+
+/// Blaster: sequential scanning from a start chosen by the msvcrt PRNG
+/// seeded with a boot-time tick count drawn from `seed_model`.
+#[derive(Debug, Clone, Copy)]
+pub struct BlasterWorm {
+    seed_model: SeedModel,
+}
+
+impl BlasterWorm {
+    /// Creates a Blaster model whose hosts draw `GetTickCount()` values
+    /// from `seed_model`.
+    pub fn new(seed_model: SeedModel) -> BlasterWorm {
+        BlasterWorm { seed_model }
+    }
+}
+
+impl WormModel for BlasterWorm {
+    fn name(&self) -> &'static str {
+        "blaster"
+    }
+
+    fn service(&self) -> Service {
+        Service::BLASTER_RPC
+    }
+
+    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+        let mut rng = StdRng::seed_from_u64(host_seed);
+        let tick = self.seed_model.sample_seed(&mut rng);
+        Box::new(BlasterScanner::from_tick_count(locus.local_address(), tick))
+    }
+}
+
+/// A botnet campaign: every drone executes the same captured
+/// `advscan`/`ipscan` command, resolving its own scan session from it —
+/// sticky octets (`s`) pick a per-drone subnet, `i` octets target the
+/// drone's home network.
+///
+/// Commands whose pattern is not prefix-shaped (a fixed octet after a
+/// free one) fall back to scanning the whole space, mirroring drone
+/// behavior on junk input.
+#[derive(Debug, Clone)]
+pub struct BotWorm {
+    command: hotspots_botnet::BotCommand,
+}
+
+impl BotWorm {
+    /// Creates the campaign model for a captured command.
+    pub fn new(command: hotspots_botnet::BotCommand) -> BotWorm {
+        BotWorm { command }
+    }
+
+    /// The command the drones are executing.
+    pub fn command(&self) -> &hotspots_botnet::BotCommand {
+        &self.command
+    }
+}
+
+impl WormModel for BotWorm {
+    fn name(&self) -> &'static str {
+        "bot-campaign"
+    }
+
+    fn service(&self) -> Service {
+        self.command.module().service()
+    }
+
+    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+        match self
+            .command
+            .scanner(locus.local_address(), SplitMix::new(host_seed))
+        {
+            Ok(scanner) => Box::new(scanner),
+            Err(_) => Box::new(UniformScanner::new(SplitMix::new(host_seed))),
+        }
+    }
+}
+
+/// Slammer: the flawed LCG walk, with each host's `sqlsort.dll` version
+/// (and hence increment) drawn uniformly from the three reported
+/// variants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlammerWorm;
+
+impl WormModel for SlammerWorm {
+    fn name(&self) -> &'static str {
+        "slammer"
+    }
+
+    fn service(&self) -> Service {
+        Service::SLAMMER_SQL
+    }
+
+    fn generator(&self, _locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+        let mut mix = SplitMix::new(host_seed);
+        let dll = SqlsortDll::ALL[(mix.next_u64() % 3) as usize];
+        let seed = mix.next_u64() as u32;
+        Box::new(SlammerScanner::new(dll, seed))
+    }
+}
+
+/// Convenience for tests: collect `n` targets from a model's generator.
+#[cfg(test)]
+use hotspots_ipspace::Ip;
+#[cfg(test)]
+fn sample_targets(model: &dyn WormModel, locus: Locus, host_seed: u64, n: usize) -> Vec<Ip> {
+    let mut g = model.generator(locus, host_seed);
+    (0..n).map(|_| g.next_target()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn public(a: u8, b: u8, c: u8, d: u8) -> Locus {
+        Locus::Public(Ip::from_octets(a, b, c, d))
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_host_seed() {
+        let models: Vec<Box<dyn WormModel>> = vec![
+            Box::new(UniformWorm),
+            Box::new(CodeRed2Worm),
+            Box::new(SlammerWorm),
+            Box::new(BlasterWorm::new(SeedModel::blaster_reboot(
+                hotspots_prng::entropy::HardwareGeneration::PentiumIii,
+            ))),
+        ];
+        for model in &models {
+            let a = sample_targets(model.as_ref(), public(9, 8, 7, 6), 42, 32);
+            let b = sample_targets(model.as_ref(), public(9, 8, 7, 6), 42, 32);
+            assert_eq!(a, b, "{} not deterministic", model.name());
+            let c = sample_targets(model.as_ref(), public(9, 8, 7, 6), 43, 32);
+            assert_ne!(a, c, "{} ignores host seed", model.name());
+        }
+    }
+
+    #[test]
+    fn codered2_uses_locus_local_address() {
+        // A NATed CRII instance must prefer its *private* /8 (192/8).
+        let locus = Locus::Private {
+            realm: hotspots_netmodel::RealmId(0),
+            ip: Ip::from_octets(192, 168, 3, 4),
+        };
+        let targets = sample_targets(&CodeRed2Worm, locus, 7, 4000);
+        let in_192 = targets.iter().filter(|t| t.octets()[0] == 192).count();
+        let frac = in_192 as f64 / targets.len() as f64;
+        assert!(frac > 0.7, "NATed CRII local preference missing: {frac}");
+    }
+
+    #[test]
+    fn hitlist_worm_stays_in_list() {
+        let list = HitList::new(vec!["20.0.0.0/16".parse().unwrap()]).unwrap();
+        let model = HitListWorm::new(list.clone());
+        for t in sample_targets(&model, public(1, 1, 1, 1), 3, 1000) {
+            assert!(list.contains(t));
+        }
+        assert!(std::sync::Arc::strong_count(&model.list) >= 1);
+    }
+
+    #[test]
+    fn blaster_worm_reboot_band_restricts_starts() {
+        let model = BlasterWorm::new(SeedModel::blaster_reboot(
+            hotspots_prng::entropy::HardwareGeneration::PentiumIv,
+        ));
+        // Hosts launched at boot pick starts from a narrow deterministic
+        // set; different host seeds may still collide on starting /24s.
+        let mut starts = std::collections::HashSet::new();
+        for seed in 0..200u64 {
+            let first = sample_targets(&model, public(5, 5, 5, 5), seed, 1)[0];
+            starts.insert(first);
+        }
+        assert!(
+            starts.len() < 200,
+            "expected tick-count collisions to repeat some starts"
+        );
+    }
+
+    #[test]
+    fn bot_worm_drones_resolve_their_own_sessions() {
+        let cmd: hotspots_botnet::BotCommand = "ipscan 192.s.s.s dcom2 -s".parse().unwrap();
+        let worm = BotWorm::new(cmd);
+        assert_eq!(worm.service(), Service::BLASTER_RPC); // dcom2 → tcp/135
+        // two drones pick different sticky /24s, both inside 192/8
+        let a = sample_targets(&worm, public(1, 1, 1, 1), 5, 64);
+        let b = sample_targets(&worm, public(1, 1, 1, 1), 6, 64);
+        assert_ne!(a, b);
+        for t in a.iter().chain(&b) {
+            assert_eq!(t.octets()[0], 192, "drone escaped the hit-list");
+        }
+        // each drone stays inside one /24 session
+        let a24: std::collections::HashSet<_> = a.iter().map(|t| t.bucket24()).collect();
+        assert_eq!(a24.len(), 1);
+    }
+
+    #[test]
+    fn bot_worm_local_pattern_targets_home() {
+        let cmd: hotspots_botnet::BotCommand = "ipscan i.i.x.x dcom2 -s".parse().unwrap();
+        let worm = BotWorm::new(cmd);
+        for t in sample_targets(&worm, public(141, 20, 3, 4), 9, 128) {
+            assert_eq!(&t.octets()[..2], &[141, 20]);
+        }
+    }
+
+    #[test]
+    fn hitlist_service_override() {
+        let list = HitList::new(vec!["20.0.0.0/16".parse().unwrap()]).unwrap();
+        let tcp = HitListWorm::new(list.clone());
+        let udp = HitListWorm::new(list).with_service(Service::SLAMMER_SQL);
+        assert_eq!(tcp.service(), Service::CODERED_HTTP);
+        assert_eq!(udp.service(), Service::SLAMMER_SQL);
+    }
+
+    #[test]
+    fn services_match_worm_lore() {
+        assert_eq!(SlammerWorm.service(), Service::SLAMMER_SQL);
+        assert_eq!(CodeRed2Worm.service(), Service::CODERED_HTTP);
+        assert_eq!(
+            BlasterWorm::new(SeedModel::blaster_reboot(
+                hotspots_prng::entropy::HardwareGeneration::PentiumIi
+            ))
+            .service(),
+            Service::BLASTER_RPC
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Descriptive statistics.
+
+use std::fmt;
+
+/// Descriptive statistics of a sample: moments, extremes, and quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.quantile(0.5), 3.0); // upper median of even-length sample
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    std: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Computes a summary of `values`. Returns `None` if `values` is empty
+    /// or contains NaN.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
+        Some(Summary { n, mean, std: var.sqrt(), sorted })
+    }
+
+    /// Computes a summary of integer counts.
+    pub fn of_counts(counts: &[u64]) -> Option<Summary> {
+        let as_f: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        Summary::of(&as_f)
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Minimum.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Median (upper median for even n).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The `q`-quantile (nearest-rank, `0.0..=1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `0.0..=1.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+        let idx = ((self.n as f64) * q) as usize;
+        self.sorted[idx.min(self.n - 1)]
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} std={:.3} min={:.3} p50={:.3} p90={:.3} max={:.3}",
+            self.n,
+            self.mean,
+            self.std,
+            self.min(),
+            self.median(),
+            self.quantile(0.9),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std(), 2.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn of_counts_matches_of() {
+        let a = Summary::of_counts(&[1, 2, 3]).unwrap();
+        let b = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn quantiles_monotone() {
+        let s = Summary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert!(s.quantile(0.25) <= s.quantile(0.75));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn quantile_rejects_out_of_range() {
+        Summary::of(&[1.0]).unwrap().quantile(1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_between_min_and_max(v in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&v).unwrap();
+            prop_assert!(s.min() <= s.mean() + 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        #[test]
+        fn std_nonnegative(v in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            prop_assert!(Summary::of(&v).unwrap().std() >= 0.0);
+        }
+    }
+}

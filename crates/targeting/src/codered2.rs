@@ -1,0 +1,176 @@
+//! The CodeRedII targeting algorithm.
+
+use hotspots_ipspace::Ip;
+use hotspots_prng::Prng32;
+
+use crate::TargetGenerator;
+
+/// CodeRedII's target generator, reconstructed from the disassembled
+/// propagation routine:
+///
+/// * with probability **3/8** the target keeps the source's /16
+///   (`mask 0xffff0000`),
+/// * with probability **4/8** it keeps the source's /8
+///   (`mask 0xff000000`),
+/// * with probability **1/8** it is completely random,
+///
+/// and candidates whose first octet is `127` (loopback) or `224`
+/// (multicast base) — or that equal the worm's own address — are thrown
+/// away and regenerated.
+///
+/// The enormous /8 + /16 preference is exactly what turns NATed hosts into
+/// hotspot generators: a CodeRedII instance behind a NAT at
+/// `192.168.x.y` spends half its probes inside `192.0.0.0/8`, and since
+/// `192.168.0.0/16` is the only private /16 there, those probes leak to
+/// *public* `192/8` addresses (the paper's M-block spike, Fig 4).
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_ipspace::Ip;
+/// use hotspots_prng::SplitMix;
+/// use hotspots_targeting::{CodeRed2Scanner, TargetGenerator};
+///
+/// let mut worm = CodeRed2Scanner::new(Ip::from_octets(192, 168, 0, 3), SplitMix::new(8));
+/// let t = worm.next_target();
+/// assert_ne!(t.octets()[0], 127);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodeRed2Scanner<P> {
+    source: Ip,
+    prng: P,
+}
+
+impl<P: Prng32> CodeRed2Scanner<P> {
+    /// Masks indexed by the 3-bit selector: 0 → random, 1–4 → /8, 5–7 → /16.
+    const MASKS: [u32; 8] = [
+        0x0000_0000,
+        0xff00_0000,
+        0xff00_0000,
+        0xff00_0000,
+        0xff00_0000,
+        0xffff_0000,
+        0xffff_0000,
+        0xffff_0000,
+    ];
+
+    /// Creates a CodeRedII instance running on a host at `source`.
+    pub fn new(source: Ip, prng: P) -> CodeRed2Scanner<P> {
+        CodeRed2Scanner { source, prng }
+    }
+
+    /// The infected host's own address.
+    pub fn source(&self) -> Ip {
+        self.source
+    }
+}
+
+impl<P: Prng32> TargetGenerator for CodeRed2Scanner<P> {
+    fn next_target(&mut self) -> Ip {
+        // The regeneration loop terminates almost surely because the mask
+        // is re-drawn each attempt and 1/8 of draws are fully random.
+        loop {
+            let selector = (self.prng.next_u32() >> 29) as usize; // top 3 bits
+            let mask = Self::MASKS[selector];
+            let random = self.prng.next_u32();
+            let candidate = Ip::new((self.source.value() & mask) | (random & !mask));
+            let first = candidate.octets()[0];
+            if first == 127 || first == 224 || candidate == self.source {
+                continue;
+            }
+            return candidate;
+        }
+    }
+
+    fn strategy(&self) -> &'static str {
+        "codered2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotspots_prng::SplitMix;
+
+    #[test]
+    fn mask_mixture_matches_disassembly() {
+        // 1/8 random, 4/8 same /8, 3/8 same /16 — measured empirically.
+        let src = Ip::from_octets(57, 20, 3, 9);
+        let mut worm = CodeRed2Scanner::new(src, SplitMix::new(1234));
+        let n = 80_000;
+        let mut same16 = 0u32;
+        let mut same8only = 0u32;
+        let mut elsewhere = 0u32;
+        for _ in 0..n {
+            let t = worm.next_target();
+            let o = t.octets();
+            if o[0] == 57 && o[1] == 20 {
+                same16 += 1;
+            } else if o[0] == 57 {
+                same8only += 1;
+            } else {
+                elsewhere += 1;
+            }
+        }
+        let nf = f64::from(n);
+        // same-/16 probes: 3/8 by mask plus a sliver of random collisions
+        assert!((f64::from(same16) / nf - 0.375).abs() < 0.02);
+        // same-/8-different-/16: 4/8 · 255/256 (mask /8 randomizes B)
+        assert!((f64::from(same8only) / nf - 0.498).abs() < 0.02);
+        assert!((f64::from(elsewhere) / nf - 0.124).abs() < 0.02);
+    }
+
+    #[test]
+    fn never_targets_loopback_multicast_or_self() {
+        let src = Ip::from_octets(10, 1, 1, 1);
+        let mut worm = CodeRed2Scanner::new(src, SplitMix::new(5));
+        for _ in 0..50_000 {
+            let t = worm.next_target();
+            assert_ne!(t.octets()[0], 127);
+            assert_ne!(t.octets()[0], 224);
+            assert_ne!(t, src);
+        }
+    }
+
+    #[test]
+    fn source_in_avoided_slash8_still_terminates() {
+        // A host at 127.0.0.1 (degenerate): /8 and /16 masked candidates
+        // are always discarded, but the 1/8 random draws escape.
+        let src = Ip::from_octets(127, 0, 0, 1);
+        let mut worm = CodeRed2Scanner::new(src, SplitMix::new(3));
+        for _ in 0..100 {
+            let t = worm.next_target();
+            assert_ne!(t.octets()[0], 127);
+        }
+    }
+
+    #[test]
+    fn nat_source_leaks_into_public_192_slash_8() {
+        // THE CodeRedII hotspot mechanism: a NATed host at 192.168.0.x
+        // sends ~50% of probes into 192/8, almost all of which are public.
+        let src = Ip::from_octets(192, 168, 0, 99);
+        let mut worm = CodeRed2Scanner::new(src, SplitMix::new(2024));
+        let n = 40_000;
+        let mut in_192_public = 0u32;
+        for _ in 0..n {
+            let t = worm.next_target();
+            let o = t.octets();
+            if o[0] == 192 && o[1] != 168 {
+                in_192_public += 1;
+            }
+        }
+        let frac = f64::from(in_192_public) / f64::from(n);
+        // mask /8 (1/2 of probes) randomizes B: 255/256 of those leave /16.
+        assert!(frac > 0.45, "leak fraction {frac} too small");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let src = Ip::from_octets(9, 9, 9, 9);
+        let mut a = CodeRed2Scanner::new(src, SplitMix::new(6));
+        let mut b = CodeRed2Scanner::new(src, SplitMix::new(6));
+        for _ in 0..64 {
+            assert_eq!(a.next_target(), b.next_target());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Worm target-generation strategies (the paper's *algorithmic factors*).
+//!
+//! Every self-propagating threat must answer one question per probe:
+//! *which address next?* This crate implements the answers studied in the
+//! paper, all behind the [`TargetGenerator`] trait:
+//!
+//! | Strategy | Paper role |
+//! |---|---|
+//! | [`UniformScanner`] | the null model every hotspot deviates from |
+//! | [`HitListScanner`] | botnet-style targeted scanning (Table 1, Fig 5a/5b) |
+//! | [`LocalPreference`] | generic mask/weight preference tables |
+//! | [`CodeRed2Scanner`] | CodeRedII's 1/8–4/8–3/8 table (Fig 4, Fig 5c) |
+//! | [`BlasterScanner`] | sequential scan from a PRNG-chosen start (Fig 1) |
+//! | [`SlammerScanner`] | the flawed LCG walk (Fig 2, Fig 3) |
+//! | [`CodeRed1Scanner`] | the static-seed degenerate case (extension) |
+//! | [`WittyScanner`] | the 16-bit-output LCG with unreachable space (extension) |
+//! | [`PermutationScanner`] | Staniford-style permutation scanning (extension) |
+//!
+//! Generators are deterministic given their PRNG seed, so every experiment
+//! in this workspace is reproducible bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspots_prng::SplitMix;
+//! use hotspots_targeting::{TargetGenerator, UniformScanner};
+//!
+//! let mut worm = UniformScanner::new(SplitMix::new(1));
+//! let a = worm.next_target();
+//! let b = worm.next_target();
+//! assert_ne!(a, b);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod blaster;
+mod codered1;
+mod codered2;
+mod hitlist;
+mod local_preference;
+mod permutation;
+mod slammer;
+mod uniform;
+mod witty;
+
+pub use blaster::BlasterScanner;
+pub use codered1::CodeRed1Scanner;
+pub use codered2::CodeRed2Scanner;
+pub use hitlist::{HitList, HitListError, HitListScanner};
+pub use local_preference::{LocalPreference, PreferenceEntry};
+pub use permutation::PermutationScanner;
+pub use slammer::SlammerScanner;
+pub use uniform::UniformScanner;
+pub use witty::WittyScanner;
+
+use hotspots_ipspace::Ip;
+
+/// A source of probe target addresses.
+///
+/// Implementations model one infected host's targeting behavior; the
+/// simulator drives one generator per infected host.
+pub trait TargetGenerator {
+    /// Produces the next target address.
+    fn next_target(&mut self) -> Ip;
+
+    /// A short human-readable strategy name (for experiment output).
+    fn strategy(&self) -> &'static str;
+}
+
+/// Convenience: collect the next `n` targets from a generator.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_prng::SplitMix;
+/// use hotspots_targeting::{targets, UniformScanner};
+///
+/// let mut g = UniformScanner::new(SplitMix::new(9));
+/// assert_eq!(targets(&mut g, 5).len(), 5);
+/// ```
+pub fn targets<G: TargetGenerator + ?Sized>(generator: &mut G, n: usize) -> Vec<Ip> {
+    (0..n).map(|_| generator.next_target()).collect()
+}

@@ -1,0 +1,135 @@
+//! Permutation scanning (Staniford et al.), as a comparison strategy.
+
+use hotspots_ipspace::Ip;
+use hotspots_prng::cycles::AffineMap;
+use hotspots_prng::Prng32;
+
+use crate::TargetGenerator;
+
+/// A permutation scanner in the style of Staniford, Paxson & Weaver's
+/// "How to 0wn the Internet in Your Spare Time": all instances share one
+/// pseudo-random permutation of the address space (here an affine map with
+/// a full-period increment); each instance walks the permutation from a
+/// random start and *restarts* at a fresh random position after a fixed
+/// number of steps (modelling the "hit an already-infected host →
+/// re-randomize" rule without global coordination state).
+///
+/// This is deliberately a *well-built* non-uniform strategy: it covers the
+/// space without the pathological cycle structure of Slammer, so it serves
+/// as the ablation contrast to the flawed LCG (see the `bench` crate's
+/// ablations).
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_prng::SplitMix;
+/// use hotspots_targeting::{PermutationScanner, TargetGenerator};
+///
+/// let mut worm = PermutationScanner::new(SplitMix::new(5), 1 << 16);
+/// let a = worm.next_target();
+/// let b = worm.next_target();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PermutationScanner<P> {
+    map: AffineMap,
+    state: u32,
+    steps_left: u64,
+    restart_after: u64,
+    prng: P,
+}
+
+impl<P: Prng32> PermutationScanner<P> {
+    /// The shared permutation: an affine map with a full-period-style
+    /// increment (odd multiplier ≡ 5 mod 8, increment ≡ 1 mod 2 — no
+    /// fixed-point pathologies within a walk of practical length).
+    const MUL: u32 = 1_664_525; // Knuth/Numerical Recipes constant
+    const INC: u32 = 1_013_904_223;
+
+    /// Creates a scanner that walks the shared permutation, restarting at
+    /// a random point every `restart_after` probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_after == 0`.
+    pub fn new(mut prng: P, restart_after: u64) -> PermutationScanner<P> {
+        assert!(restart_after > 0, "restart_after must be positive");
+        let map = AffineMap::new(Self::MUL, Self::INC, 32)
+            .expect("constants form a valid permutation");
+        let state = prng.next_u32();
+        PermutationScanner { map, state, steps_left: restart_after, restart_after, prng }
+    }
+
+    /// The underlying permutation map (shared across all instances).
+    pub fn map(&self) -> AffineMap {
+        self.map
+    }
+}
+
+impl<P: Prng32> TargetGenerator for PermutationScanner<P> {
+    fn next_target(&mut self) -> Ip {
+        if self.steps_left == 0 {
+            self.state = self.prng.next_u32();
+            self.steps_left = self.restart_after;
+        }
+        self.state = self.map.apply(self.state);
+        self.steps_left -= 1;
+        Ip::new(self.state)
+    }
+
+    fn strategy(&self) -> &'static str {
+        "permutation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets;
+    use hotspots_prng::SplitMix;
+    use hotspots_stats::uniformity;
+    use std::collections::HashSet;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_restart_panics() {
+        let _ = PermutationScanner::new(SplitMix::new(1), 0);
+    }
+
+    #[test]
+    fn no_repeats_within_one_walk() {
+        let mut worm = PermutationScanner::new(SplitMix::new(2), 4096);
+        let ts = targets(&mut worm, 4096);
+        let set: HashSet<Ip> = ts.iter().copied().collect();
+        assert_eq!(set.len(), 4096, "permutation walk revisited a target");
+    }
+
+    #[test]
+    fn restart_changes_region() {
+        let mut worm = PermutationScanner::new(SplitMix::new(3), 4);
+        let first_walk = targets(&mut worm, 4);
+        let second_walk = targets(&mut worm, 4);
+        assert_ne!(first_walk, second_walk);
+    }
+
+    #[test]
+    fn aggregate_coverage_is_near_uniform() {
+        // Many instances with restarts: per-/8 histogram should be flat —
+        // the contrast with Slammer's cycle-skewed coverage.
+        let mut bins = vec![0u64; 256];
+        for seed in 0..64u64 {
+            let mut worm = PermutationScanner::new(SplitMix::new(seed), 512);
+            for t in targets(&mut worm, 2048) {
+                bins[t.bucket8().index() as usize] += 1;
+            }
+        }
+        assert!(uniformity::gini(&bins) < 0.1, "gini {}", uniformity::gini(&bins));
+    }
+
+    #[test]
+    fn shared_map_is_identical_across_instances() {
+        let a = PermutationScanner::new(SplitMix::new(1), 10);
+        let b = PermutationScanner::new(SplitMix::new(2), 10);
+        assert_eq!(a.map(), b.map());
+    }
+}

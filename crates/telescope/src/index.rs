@@ -1,0 +1,135 @@
+//! Fast destination→block lookup over disjoint prefixes.
+
+use hotspots_ipspace::{Ip, Prefix};
+
+/// An immutable index over disjoint prefixes supporting O(log n)
+/// "which block contains this address" queries — the per-probe hot path
+/// of every telescope.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_ipspace::Ip;
+/// use hotspots_telescope::BlockIndex;
+///
+/// let idx = BlockIndex::new(vec![
+///     "10.0.0.0/24".parse().unwrap(),
+///     "10.0.2.0/24".parse().unwrap(),
+/// ]);
+/// assert_eq!(idx.find(Ip::from_octets(10, 0, 2, 9)), Some(1));
+/// assert_eq!(idx.find(Ip::from_octets(10, 0, 1, 0)), None);
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BlockIndex {
+    /// (start, end-inclusive, original position), sorted by start.
+    spans: Vec<(u32, u32, u32)>,
+}
+
+impl BlockIndex {
+    /// Builds an index. Block order is preserved: `find` returns positions
+    /// into the original `blocks` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two blocks overlap.
+    pub fn new(blocks: Vec<Prefix>) -> BlockIndex {
+        let mut spans: Vec<(u32, u32, u32)> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (
+                    p.base().value(),
+                    p.last_ip().value(),
+                    u32::try_from(i).expect("fewer than 2^32 blocks"),
+                )
+            })
+            .collect();
+        spans.sort_unstable_by_key(|s| s.0);
+        for w in spans.windows(2) {
+            assert!(
+                w[0].1 < w[1].0,
+                "blocks {} and {} overlap",
+                blocks[w[0].2 as usize],
+                blocks[w[1].2 as usize]
+            );
+        }
+        BlockIndex { spans }
+    }
+
+    /// Returns the original position of the block containing `ip`, if any.
+    #[inline]
+    pub fn find(&self, ip: Ip) -> Option<usize> {
+        let v = ip.value();
+        let i = self.spans.partition_point(|s| s.0 <= v);
+        if i == 0 {
+            return None;
+        }
+        let (_, end, pos) = self.spans[i - 1];
+        (v <= end).then_some(pos as usize)
+    }
+
+    /// Number of indexed blocks.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Returns `true` if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn find_hits_and_misses() {
+        let idx = BlockIndex::new(vec![p("192.0.2.0/24"), p("10.0.0.0/8"), p("198.18.0.0/15")]);
+        assert_eq!(idx.find(Ip::from_octets(10, 200, 0, 1)), Some(1));
+        assert_eq!(idx.find(Ip::from_octets(192, 0, 2, 255)), Some(0));
+        assert_eq!(idx.find(Ip::from_octets(198, 19, 255, 255)), Some(2));
+        assert_eq!(idx.find(Ip::from_octets(198, 20, 0, 0)), None);
+        assert_eq!(idx.find(Ip::MIN), None);
+        assert_eq!(idx.find(Ip::MAX), None);
+    }
+
+    #[test]
+    fn empty_index_finds_nothing() {
+        let idx = BlockIndex::new(vec![]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.find(Ip::from_octets(1, 2, 3, 4)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_blocks_rejected() {
+        let _ = BlockIndex::new(vec![p("10.0.0.0/8"), p("10.255.0.0/16")]);
+    }
+
+    #[test]
+    fn boundaries_are_inclusive() {
+        let idx = BlockIndex::new(vec![p("10.0.0.0/24")]);
+        assert_eq!(idx.find(Ip::from_octets(10, 0, 0, 0)), Some(0));
+        assert_eq!(idx.find(Ip::from_octets(10, 0, 0, 255)), Some(0));
+        assert_eq!(idx.find(Ip::from_octets(10, 0, 1, 0)), None);
+        assert_eq!(idx.find(Ip::from_octets(9, 255, 255, 255)), None);
+    }
+
+    proptest! {
+        #[test]
+        fn agrees_with_linear_scan(v in any::<u32>()) {
+            let blocks = vec![p("10.0.0.0/8"), p("131.107.0.0/20"), p("192.40.16.0/22"), p("96.0.0.0/8")];
+            let idx = BlockIndex::new(blocks.clone());
+            let ip = Ip::new(v);
+            let linear = blocks.iter().position(|b| b.contains(ip));
+            prop_assert_eq!(idx.find(ip), linear);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Darknet telescope substrate.
+//!
+//! The paper's measurements come from the Internet Motion Sensor: blocks
+//! of unused address space where *any* arriving packet is evidence of
+//! misconfiguration, backscatter, or scanning. This crate models:
+//!
+//! * [`Observatory`] — a set of labelled darknet blocks recording, per
+//!   destination /24, the set of unique source addresses seen (the exact
+//!   aggregation behind the paper's Figures 1, 2, 3 and 4),
+//! * [`DetectorField`] — large fields of small threshold sensors ("alert
+//!   after *n* worm payloads"), plus quorum logic over them (the Figure 5
+//!   detection experiments),
+//! * [`placement`] — the three sensor-placement strategies compared in
+//!   Figure 5(c).
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspots_ipspace::Ip;
+//! use hotspots_telescope::Observatory;
+//!
+//! let mut obs = Observatory::ims();
+//! // A probe into the M block is recorded; a probe elsewhere is not.
+//! assert!(obs.observe(0.0, Ip::from_octets(7, 7, 7, 7), Ip::from_octets(192, 40, 17, 1)).is_some());
+//! assert!(obs.observe(0.0, Ip::from_octets(7, 7, 7, 7), Ip::from_octets(198, 18, 0, 1)).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod detector;
+mod index;
+mod observatory;
+pub mod placement;
+
+pub use detector::{DetectorField, QuorumPolicy, SensorMode};
+pub use index::BlockIndex;
+pub use observatory::{Observatory, SensorLog};

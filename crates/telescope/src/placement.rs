@@ -1,0 +1,223 @@
+//! Sensor placement strategies (Figure 5's three deployments).
+//!
+//! Hotspots make placement matter: the paper shows that 10,000 randomly
+//! placed /24 sensors detect a NAT-biased worm far more slowly than 255
+//! sensors placed inside the hotspot's /8. These builders produce the
+//! compared deployments as lists of disjoint /24 prefixes ready for a
+//! [`DetectorField`](crate::DetectorField).
+
+use std::collections::HashSet;
+
+use hotspots_ipspace::{special, Bucket8, Ip, Prefix};
+use rand::Rng;
+
+/// `n` distinct /24 sensors placed uniformly at random in globally
+/// routable space, skipping any /24 overlapping `avoid`.
+///
+/// # Panics
+///
+/// Panics if fewer than `n` distinct /24s can be found in 100·n draws
+/// (practically impossible for sane `n`).
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_telescope::placement;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let sensors = placement::random_slash24s(100, &[], &mut rng);
+/// assert_eq!(sensors.len(), 100);
+/// ```
+pub fn random_slash24s<R: Rng + ?Sized>(
+    n: usize,
+    avoid: &[Prefix],
+    rng: &mut R,
+) -> Vec<Prefix> {
+    let mut chosen: HashSet<Prefix> = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    let max_attempts = n.saturating_mul(100).max(10_000);
+    while out.len() < n {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "could not place {n} disjoint /24 sensors"
+        );
+        let ip = Ip::new(rng.gen::<u32>());
+        if !special::is_globally_routable(ip) {
+            continue;
+        }
+        let p = Prefix::containing(ip, 24);
+        if avoid.iter().any(|a| a.overlaps(p)) {
+            continue;
+        }
+        if chosen.insert(p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// One randomly positioned /24 sensor inside each given /16 — the
+/// Figure 5(b) deployment ("we randomly placed a /24 detector in each of
+/// the 4481 /16 networks with at least one vulnerable host").
+///
+/// # Panics
+///
+/// Panics if any input prefix is longer than /16 (it must be able to
+/// contain a /24... i.e. length ≤ 24) — in practice the inputs are /16s.
+pub fn one_per_prefix<R: Rng + ?Sized>(prefixes: &[Prefix], rng: &mut R) -> Vec<Prefix> {
+    prefixes
+        .iter()
+        .map(|p| {
+            assert!(p.len() <= 24, "cannot place a /24 inside {p}");
+            let slots = 1u64 << (24 - p.len());
+            let slot = rng.gen_range(0..slots);
+            Prefix::containing(p.nth(slot << 8), 24)
+        })
+        .collect()
+}
+
+/// `n` /24 sensors placed uniformly inside the `k` /8 networks holding
+/// the most members of `population` — Figure 5(c)'s "collaboratively
+/// determined" placement.
+///
+/// # Panics
+///
+/// Panics if `population` is empty, `k == 0`, or placement fails.
+pub fn inside_top_slash8s<R: Rng + ?Sized>(
+    population: &[Ip],
+    k: usize,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Prefix> {
+    assert!(!population.is_empty(), "population must be non-empty");
+    assert!(k > 0, "k must be positive");
+    let mut counts: std::collections::HashMap<Bucket8, u64> = std::collections::HashMap::new();
+    for &ip in population {
+        *counts.entry(ip.bucket8()).or_insert(0) += 1;
+    }
+    let mut by_count: Vec<(Bucket8, u64)> = counts.into_iter().collect();
+    by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let top: Vec<Prefix> = by_count.iter().take(k).map(|(b, _)| b.prefix()).collect();
+
+    let mut chosen: HashSet<Prefix> = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    let max_attempts = n.saturating_mul(100).max(10_000);
+    while out.len() < n {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "could not place {n} disjoint /24 sensors in top-{k} /8s"
+        );
+        let slash8 = top[rng.gen_range(0..top.len())];
+        let slot = rng.gen_range(0..(1u64 << 16));
+        let p = Prefix::containing(slash8.nth(slot << 8), 24);
+        if chosen.insert(p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// One /24 sensor in each public /16 of `192.0.0.0/8`, skipping
+/// `192.168.0.0/16` — the 255-sensor hotspot-exploiting deployment of
+/// Figure 5(c)'s third experiment.
+pub fn inside_192_per_slash16<R: Rng + ?Sized>(rng: &mut R) -> Vec<Prefix> {
+    let slash8 = Prefix::containing(Ip::from_octets(192, 0, 0, 0), 8);
+    let publics: Vec<Prefix> = slash8
+        .subnets(16)
+        .filter(|s| !s.overlaps(special::PRIVATE_192))
+        .collect();
+    one_per_prefix(&publics, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_sensors_are_distinct_routable_slash24s() {
+        let sensors = random_slash24s(500, &[], &mut rng());
+        assert_eq!(sensors.len(), 500);
+        let set: HashSet<Prefix> = sensors.iter().copied().collect();
+        assert_eq!(set.len(), 500);
+        for s in &sensors {
+            assert_eq!(s.len(), 24);
+            assert!(special::is_globally_routable(s.base()), "{s}");
+        }
+    }
+
+    #[test]
+    fn random_sensors_respect_avoid_list() {
+        let avoid: Vec<Prefix> = vec!["0.0.0.0/1".parse().unwrap()];
+        let sensors = random_slash24s(200, &avoid, &mut rng());
+        for s in &sensors {
+            assert!(s.base().octets()[0] >= 128, "{s} inside avoided half");
+        }
+    }
+
+    #[test]
+    fn one_per_prefix_places_inside_each() {
+        let parents: Vec<Prefix> =
+            vec!["10.1.0.0/16".parse().unwrap(), "10.2.0.0/16".parse().unwrap()];
+        let sensors = one_per_prefix(&parents, &mut rng());
+        assert_eq!(sensors.len(), 2);
+        for (parent, sensor) in parents.iter().zip(&sensors) {
+            assert!(parent.contains_prefix(*sensor), "{sensor} outside {parent}");
+            assert_eq!(sensor.len(), 24);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn one_per_prefix_rejects_tiny_parents() {
+        let parents: Vec<Prefix> = vec!["10.1.2.0/25".parse().unwrap()];
+        let _ = one_per_prefix(&parents, &mut rng());
+    }
+
+    #[test]
+    fn top_slash8_placement_lands_in_populated_space() {
+        // population: heavy in 57/8, light in 90/8
+        let mut pop = Vec::new();
+        for i in 0..1000u32 {
+            pop.push(Ip::new(0x3900_0000 + i * 97));
+        }
+        for i in 0..10u32 {
+            pop.push(Ip::new(0x5a00_0000 + i));
+        }
+        let sensors = inside_top_slash8s(&pop, 1, 50, &mut rng());
+        assert_eq!(sensors.len(), 50);
+        for s in &sensors {
+            assert_eq!(s.base().octets()[0], 57, "{s} outside top /8");
+        }
+    }
+
+    #[test]
+    fn inside_192_deployment_is_255_public_slash16s() {
+        let sensors = inside_192_per_slash16(&mut rng());
+        assert_eq!(sensors.len(), 255);
+        let mut slash16s = HashSet::new();
+        for s in &sensors {
+            assert_eq!(s.base().octets()[0], 192);
+            assert_ne!(s.base().octets()[1], 168, "sensor in private /16");
+            slash16s.insert(s.base().octets()[1]);
+        }
+        assert_eq!(slash16s.len(), 255, "one sensor per public /16");
+    }
+
+    #[test]
+    fn placements_are_deterministic_per_seed() {
+        let a = random_slash24s(50, &[], &mut StdRng::seed_from_u64(7));
+        let b = random_slash24s(50, &[], &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,93 @@
+//! A botnet campaign end-to-end: captured command → drone scanning →
+//! what the telescope does (and doesn't) see.
+//!
+//! The paper's Table 1 commands restrict drones to chosen subnets. This
+//! example extracts a command from a noisy IRC capture, runs the campaign
+//! over a vulnerable population, and shows the detection consequence: the
+//! hit-list confines all probe traffic, so only sensors inside the
+//! targeted range ever see anything — the algorithmic hotspot in its
+//! most deliberate form.
+//!
+//! Run with: `cargo run --release --example bot_campaign`
+
+use hotspots_botnet::log_scanner;
+use hotspots_ipspace::{Ip, Prefix};
+use hotspots_netmodel::Environment;
+use hotspots_sim::{BotWorm, Engine, FieldObserver, Population, SimConfig};
+use hotspots_telescope::DetectorField;
+
+fn main() {
+    // 1. "Capture" the controller's channel and extract the command.
+    let capture = [
+        "PING :irc.backbone.example".to_owned(),
+        ":dr0ne7!u@h JOIN ##rbot".to_owned(),
+        ":b0ss!u@h PRIVMSG ##rbot :.advscan dcom2 150 3 0 -r -s".to_owned(),
+        ":b0ss!u@h PRIVMSG ##rbot :ipscan 20.40.x.x dcom2 -s".to_owned(),
+    ];
+    let hits = log_scanner::scan_lines(capture.into_iter());
+    println!("extracted {} command(s) from the capture:", hits.len());
+    for hit in &hits {
+        println!("  line {}: {}", hit.line, hit.command);
+    }
+    let command = hits.last().expect("capture contains commands").command.clone();
+    println!("\nrunning the campaign for: {command}\n");
+
+    // 2. A vulnerable population: half inside the targeted 20.40/16
+    //    (an academic-network-style cluster), half elsewhere.
+    let mut addrs: Vec<Ip> = Vec::new();
+    for i in 0..1_500u32 {
+        addrs.push(Ip::new(0x1428_0000 | (i * 7 % 0x1_0000))); // 20.40.x.x
+        addrs.push(Ip::new(0x3700_0000 | (i * 7 % 0x1_0000))); // 55.0.x.x
+    }
+    addrs.sort_unstable();
+    addrs.dedup();
+
+    // 3. Sensors inside and outside the targeted range.
+    let sensors: Vec<Prefix> = (0..8u32)
+        .map(|i| format!("20.40.{}.0/24", 1 + i * 31).parse().expect("valid"))
+        .chain((0..8u32).map(|i| format!("55.0.{}.0/24", 1 + i * 31).parse().expect("valid")))
+        .collect();
+
+    let field = DetectorField::new(sensors.clone(), 5);
+    let mut observer = FieldObserver::new(field);
+    let config = SimConfig {
+        scan_rate: 20.0,
+        seeds: 10,
+        max_time: 3_000.0,
+        stop_at_fraction: None,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(
+        config,
+        Population::from_public(addrs),
+        Environment::new(),
+        Box::new(BotWorm::new(command)),
+    );
+    let result = engine.run(&mut observer);
+    let field = observer.into_field();
+
+    // 4. The asymmetry.
+    println!(
+        "infected {:.1}% of the population ({} probes sent)",
+        100.0 * result.infected_fraction(),
+        result.probes_sent
+    );
+    let mut in_range = 0;
+    let mut out_of_range = 0;
+    for (i, sensor) in field.blocks().iter().enumerate() {
+        let alerted = field.alert_time(i).is_some();
+        if sensor.base().octets()[0] == 20 {
+            // inside the targeted 20.40/16
+            in_range += usize::from(alerted);
+        } else {
+            out_of_range += usize::from(alerted);
+        }
+    }
+    println!("sensors inside 20.40/16 alerted:  {in_range}/8");
+    println!("sensors outside the range alerted: {out_of_range}/8");
+    println!(
+        "\n→ the hit-list confines every probe: hosts outside the range are never \
+         infected and\n  out-of-range sensors never alert — a detection \
+         system watching anywhere else\n  concludes nothing is happening."
+    );
+}

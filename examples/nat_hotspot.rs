@@ -1,0 +1,58 @@
+//! The CodeRedII / NAT hotspot (Figure 4), end to end.
+//!
+//! Reproduces the paper's quarantine experiment: the same worm run from
+//! a public host and from a NATed `192.168.0.100` host, plus the
+//! aggregate mixed-population view with its M-block spike.
+//!
+//! Run with: `cargo run --release --example nat_hotspot`
+
+use hotspots::scenarios::codered;
+use hotspots::scenarios::totals_by_block;
+use hotspots_ipspace::{ims_deployment, Ip, Prefix};
+
+fn main() {
+    let blocks = ims_deployment();
+    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M block prefix");
+    let probes = 2_000_000u64;
+
+    println!("== Quarantine runs ({probes} probes each) ==");
+    let outside = codered::quarantine_run(Ip::from_octets(57, 20, 3, 9), probes, &blocks, 7);
+    let natted =
+        codered::quarantine_run(Ip::from_octets(192, 168, 0, 100), probes, &blocks, 7);
+    let m_hits = |h: &hotspots_stats::CountHistogram<hotspots_ipspace::Bucket24>| -> u64 {
+        h.iter()
+            .filter(|(b, _)| m_prefix.contains(b.first_ip()))
+            .map(|(_, c)| c)
+            .sum()
+    };
+    println!(
+        "  public 57.20.3.9 host:  {} sensor hits total, {} at the M block",
+        outside.total(),
+        m_hits(&outside)
+    );
+    println!(
+        "  NATed 192.168.0.100:    {} sensor hits total, {} at the M block",
+        natted.total(),
+        m_hits(&natted)
+    );
+    println!("  → the NATed instance's /8 preference leaks straight into public 192/8");
+
+    println!("\n== Mixed population (Fig 4a, reduced scale) ==");
+    let study = codered::CodeRedStudy {
+        hosts: 4_000,
+        nat_fraction: 0.15,
+        probes_per_host: 10_000,
+        rng_seed: 99,
+    };
+    let rows = codered::sources_by_block(&study);
+    let blocks = ims_deployment();
+    println!("  mean unique CodeRedII sources per monitored /24 (15% of hosts NATed):");
+    for (label, total) in totals_by_block(&rows) {
+        let block = blocks.iter().find(|b| b.label() == label).expect("label");
+        let slash24s = (block.size() / 256).max(1) as f64;
+        let rate = total as f64 / slash24s;
+        let bar = "#".repeat(((rate * 2.0) as usize).min(60));
+        println!("  {label:>2}: {rate:>8.2}  {bar}");
+    }
+    println!("  → M spikes despite being a tiny /22; that is the hotspot.");
+}

@@ -1,0 +1,1 @@
+//! Root package: examples and integration tests live here.

@@ -1,0 +1,111 @@
+//! Engine validation against the classical epidemic model: on a uniform
+//! worm the per-probe simulator must track the logistic closed form
+//! (DESIGN.md ablation #3).
+
+use hotspots::epidemic::{relative_error, SiModel};
+use hotspots_ipspace::Ip;
+use hotspots_netmodel::Environment;
+use hotspots_sim::{Engine, HitListWorm, NullObserver, Population, SimConfig};
+use hotspots_targeting::HitList;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform scanning over a /16 hit-list whose population is randomly
+/// spread inside it — the exact setting of the SI logistic model with
+/// Ω = 65536.
+fn run_uniform_outbreak(n_hosts: usize, scan_rate: f64, seeds: usize, rng_seed: u64) -> hotspots_sim::SimResult {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut addrs = std::collections::BTreeSet::new();
+    while addrs.len() < n_hosts {
+        addrs.insert(Ip::new(0x2c2c_0000 | rng.gen::<u32>() & 0xffff));
+    }
+    let list = HitList::new(vec!["44.44.0.0/16".parse().unwrap()]).unwrap();
+    let config = SimConfig {
+        scan_rate,
+        seeds,
+        dt: 0.5,
+        max_time: 5_000.0,
+        stop_at_fraction: Some(0.99),
+        rng_seed,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(
+        config,
+        Population::from_public(addrs),
+        Environment::new(),
+        Box::new(HitListWorm::new(list)),
+    );
+    engine.run(&mut NullObserver)
+}
+
+#[test]
+fn engine_matches_logistic_model() {
+    let (n, rate, seeds) = (3_000usize, 5.0, 30usize);
+    let result = run_uniform_outbreak(n, rate, seeds, 71);
+    let model = SiModel::new(n as f64, rate, 65_536.0, seeds as f64).unwrap();
+    let err = relative_error(&model, &result.infection_curve)
+        .expect("simulation reached the comparison fractions");
+    assert!(
+        err < 0.2,
+        "probe-level engine diverges {err:.3} from the logistic model"
+    );
+}
+
+#[test]
+fn engine_and_model_agree_on_parameter_scaling() {
+    // doubling the scan rate should roughly halve time-to-half in BOTH
+    // the model and the engine
+    let slow = run_uniform_outbreak(2_000, 4.0, 20, 5);
+    let fast = run_uniform_outbreak(2_000, 8.0, 20, 5);
+    let t_slow = slow.time_to_fraction(0.5).unwrap();
+    let t_fast = fast.time_to_fraction(0.5).unwrap();
+    let engine_ratio = t_slow / t_fast;
+    let m_slow = SiModel::new(2_000.0, 4.0, 65_536.0, 20.0).unwrap();
+    let m_fast = SiModel::new(2_000.0, 8.0, 65_536.0, 20.0).unwrap();
+    let model_ratio =
+        m_slow.time_to_fraction(0.5).unwrap() / m_fast.time_to_fraction(0.5).unwrap();
+    assert!(
+        (engine_ratio - model_ratio).abs() < 0.35,
+        "rate-scaling mismatch: engine {engine_ratio:.2} vs model {model_ratio:.2}"
+    );
+}
+
+#[test]
+fn hotspot_worms_deviate_from_the_logistic_model() {
+    // The counterpoint that motivates the whole paper: a worm with local
+    // preference over a *clustered* population does NOT follow uniform
+    // epidemic dynamics (it spreads faster inside clusters).
+    use hotspots_sim::CodeRed2Worm;
+    let mut rng = StdRng::seed_from_u64(9);
+    // clustered: all hosts inside one /24 of the /16
+    let mut addrs = std::collections::BTreeSet::new();
+    while addrs.len() < 200 {
+        addrs.insert(Ip::new(0x2c2c_7700 | rng.gen::<u32>() & 0xff));
+    }
+    let config = SimConfig {
+        scan_rate: 5.0,
+        seeds: 4,
+        dt: 1.0,
+        max_time: 5_000.0,
+        stop_at_fraction: Some(0.95),
+        rng_seed: 10,
+        ..SimConfig::default()
+    };
+    let mut engine = Engine::new(
+        config,
+        Population::from_public(addrs),
+        Environment::new(),
+        Box::new(CodeRed2Worm),
+    );
+    let result = engine.run(&mut NullObserver);
+    // the uniform model over 2^32 would predict essentially zero progress
+    // in 5000s; local preference blows straight past it
+    let uniform_model = SiModel::new(200.0, 5.0, 2f64.powi(32), 4.0).unwrap();
+    let t_half_model = uniform_model.time_to_fraction(0.5).unwrap();
+    let t_half_sim = result.time_to_fraction(0.5).expect("local preference spreads");
+    assert!(
+        t_half_sim < t_half_model / 100.0,
+        "clustering + local preference should beat uniform by orders of \
+         magnitude: sim {t_half_sim:.0}s vs model {t_half_model:.0}s"
+    );
+}
