@@ -68,7 +68,7 @@ fn cycle_length_methods(c: &mut Criterion) {
     let seed = 12_345u32;
     assert_eq!(
         map.cycle_length(seed).expect("algebraic"),
-        map.iterated_cycle_length(seed, 1 << 21).expect("brute") as u64,
+        map.iterated_cycle_length(seed, 1 << 21).expect("brute"),
     );
     group.bench_function("algebraic_2e20", |b| {
         b.iter(|| black_box(map.cycle_length(black_box(seed)).unwrap()));
@@ -109,5 +109,10 @@ fn timer_quantization(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, byte_order, cycle_length_methods, timer_quantization);
+criterion_group!(
+    benches,
+    byte_order,
+    cycle_length_methods,
+    timer_quantization
+);
 criterion_main!(benches);

@@ -3,9 +3,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
 use hotspots_ipspace::Ip;
 use hotspots_netmodel::Environment;
-use hotspots_sim::{
-    Engine, FieldObserver, HitListWorm, NullObserver, Population, SimConfig,
-};
+use hotspots_sim::{Engine, FieldObserver, HitListWorm, NullObserver, Population, SimConfig};
 use hotspots_targeting::HitList;
 use hotspots_telescope::DetectorField;
 
@@ -47,9 +45,7 @@ fn outbreak(c: &mut Criterion) {
 
     group.bench_function("run_5k_hosts_100s_detector_field", |b| {
         let sensors: Vec<hotspots_ipspace::Prefix> = (0..1_000u32)
-            .map(|i| {
-                hotspots_ipspace::Prefix::containing(Ip::new(0x0b00_0000 + i * 4096), 24)
-            })
+            .map(|i| hotspots_ipspace::Prefix::containing(Ip::new(0x0b00_0000 + i * 4096), 24))
             .collect::<std::collections::BTreeSet<_>>()
             .into_iter()
             .collect();

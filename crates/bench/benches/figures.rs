@@ -15,7 +15,10 @@ fn tables(c: &mut Criterion) {
     group.bench_function("table1_parse_and_extract", |b| {
         b.iter(|| {
             let cmds = corpus::table1();
-            black_box(corpus::hit_list_report(&cmds, Ip::from_octets(141, 20, 0, 1)))
+            black_box(corpus::hit_list_report(
+                &cmds,
+                Ip::from_octets(141, 20, 0, 1),
+            ))
         });
     });
     group.bench_function("table2_filtering_micro", |b| {
@@ -53,7 +56,12 @@ fn figures(c: &mut Criterion) {
         let blocks = ims_deployment();
         let seed = Ip::from_octets(96, 1, 2, 3).to_le_state();
         b.iter(|| {
-            black_box(slammer::host_histogram(SqlsortDll::Gold, seed, 50_000, &blocks))
+            black_box(slammer::host_histogram(
+                SqlsortDll::Gold,
+                seed,
+                50_000,
+                &blocks,
+            ))
         });
     });
     group.bench_function("fig3c_cycle_bands", |b| {

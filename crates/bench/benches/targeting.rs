@@ -4,8 +4,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use hotspots_ipspace::{Ip, Prefix};
 use hotspots_prng::{SplitMix, SqlsortDll};
 use hotspots_targeting::{
-    BlasterScanner, CodeRed2Scanner, HitList, HitListScanner, PermutationScanner,
-    SlammerScanner, TargetGenerator, UniformScanner,
+    BlasterScanner, CodeRed2Scanner, HitList, HitListScanner, PermutationScanner, SlammerScanner,
+    TargetGenerator, UniformScanner,
 };
 
 fn strategies(c: &mut Criterion) {

@@ -1,0 +1,121 @@
+//! Telemetry overhead guard: full probe-stream accounting
+//! (`TelemetryObserver` over a `NullSink`) must stay within a few
+//! percent of the free observer (`NullObserver`) on a fixed Slammer
+//! run — the zero-cost-when-off invariant, measured.
+//!
+//! Besides the criterion groups, this bench prints an explicit
+//! `overhead:` line comparing median step throughput (target < 5%).
+
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use hotspots_ipspace::Ip;
+use hotspots_netmodel::Environment;
+use hotspots_sim::{Engine, NullObserver, Population, SimConfig, SlammerWorm, TelemetryObserver};
+use hotspots_telemetry::MemorySink;
+
+/// The fixed workload: 25 Slammer seeds scanning the whole v4 space at
+/// 100 probes/s for 100 simulated seconds (~250k routed probes).
+fn slammer_engine() -> Engine {
+    let config = SimConfig {
+        scan_rate: 100.0,
+        seeds: 25,
+        dt: 1.0,
+        max_time: 100.0,
+        stop_at_fraction: None,
+        rng_seed: 20_030_125, // Slammer's release date, for flavor
+        ..SimConfig::default()
+    };
+    let pop = Population::from_public((0..2_000u32).map(|i| Ip::new(0x0b00_0000 + i * 61)));
+    Engine::new(config, pop, Environment::new(), Box::new(SlammerWorm))
+}
+
+fn observers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+
+    group.bench_function("slammer_run_null_observer", |b| {
+        b.iter_batched(
+            slammer_engine,
+            |mut engine| black_box(engine.run(&mut NullObserver)),
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("slammer_run_telemetry_nullsink", |b| {
+        b.iter_batched(
+            slammer_engine,
+            |mut engine| {
+                let mut telemetry = TelemetryObserver::disabled();
+                black_box(engine.run(&mut telemetry));
+                black_box(telemetry.ledger().probes())
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("slammer_run_telemetry_memorysink", |b| {
+        b.iter_batched(
+            slammer_engine,
+            |mut engine| {
+                let mut telemetry = TelemetryObserver::new(MemorySink::new());
+                black_box(engine.run(&mut telemetry));
+                black_box(telemetry.into_sink().events().len())
+            },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.finish();
+}
+
+/// Medians a few wall-clock samples of `run`.
+fn median_secs(mut run: impl FnMut() -> u64, samples: usize) -> (f64, u64) {
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    let mut probes = 0;
+    for _ in 0..samples {
+        let start = Instant::now();
+        probes = run();
+        times.push(start.elapsed());
+    }
+    times.sort();
+    (times[samples / 2].as_secs_f64(), probes)
+}
+
+/// The guard proper: prints the measured overhead so the bench output
+/// documents the invariant (`TelemetryObserver(NullSink)` within 5% of
+/// `NullObserver` on the same run).
+fn overhead_guard() {
+    const SAMPLES: usize = 7;
+    let (null_secs, null_probes) = median_secs(
+        || {
+            let mut engine = slammer_engine();
+            black_box(engine.run(&mut NullObserver)).probes_sent
+        },
+        SAMPLES,
+    );
+    let (telemetry_secs, telemetry_probes) = median_secs(
+        || {
+            let mut engine = slammer_engine();
+            let mut telemetry = TelemetryObserver::disabled();
+            black_box(engine.run(&mut telemetry));
+            telemetry.ledger().probes()
+        },
+        SAMPLES,
+    );
+    assert_eq!(null_probes, telemetry_probes, "identical fixed workloads");
+    let overhead = 100.0 * (telemetry_secs - null_secs) / null_secs;
+    println!(
+        "telemetry/overhead_guard: {null_probes} probes, null {:.2} ms, \
+         telemetry(NullSink) {:.2} ms — overhead: {overhead:+.2}% (target < 5%)",
+        null_secs * 1e3,
+        telemetry_secs * 1e3,
+    );
+}
+
+fn guard(_c: &mut Criterion) {
+    overhead_guard();
+}
+
+criterion_group!(benches, observers, guard);
+criterion_main!(benches);

@@ -34,7 +34,9 @@ fn block_index(c: &mut Criterion) {
 
 fn maps(c: &mut Criterion) {
     let mut group = c.benchmark_group("address_lookup");
-    let keys: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let keys: Vec<u32> = (0..100_000u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     let ipmap: IpMap = keys.iter().map(|&k| (k, k >> 8)).collect();
     let stdmap: HashMap<u32, u32> = keys.iter().map(|&k| (k, k >> 8)).collect();
     group.bench_function("ipmap_get_hit", |b| {

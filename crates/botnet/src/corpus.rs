@@ -108,15 +108,12 @@ pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<BotCommand> {
 
 fn random_pattern<R: Rng + ?Sized>(rng: &mut R, literal_octets: &[u8]) -> String {
     let arity = *[2usize, 3, 4, 4].choose(rng).expect("non-empty");
-    let body_symbol = *["s", "s", "s", "r", "x", "i"].choose(rng).expect("non-empty");
+    let body_symbol = *["s", "s", "s", "r", "x", "i"]
+        .choose(rng)
+        .expect("non-empty");
     let mut parts: Vec<String> = Vec::with_capacity(arity);
     if rng.gen_bool(0.2) {
-        parts.push(
-            literal_octets
-                .choose(rng)
-                .expect("non-empty")
-                .to_string(),
-        );
+        parts.push(literal_octets.choose(rng).expect("non-empty").to_string());
     } else {
         parts.push(body_symbol.to_owned());
     }

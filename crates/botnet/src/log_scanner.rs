@@ -50,7 +50,11 @@ where
     let mut hits = Vec::new();
     for (line_no, line) in lines.into_iter().enumerate() {
         if let Some(command) = extract_command(&line) {
-            hits.push(LogHit { line: line_no, raw: line, command });
+            hits.push(LogHit {
+                line: line_no,
+                raw: line,
+                command,
+            });
         }
     }
     hits
@@ -64,11 +68,8 @@ pub fn extract_command(line: &str) -> Option<BotCommand> {
             let at = search_from + rel;
             // verb must start a token: preceded by start, whitespace,
             // ':' (IRC payload marker) or '.' (bot command prefix)
-            let boundary_ok = at == 0
-                || matches!(
-                    line.as_bytes()[at - 1],
-                    b' ' | b'\t' | b':' | b'.' | b'"'
-                );
+            let boundary_ok =
+                at == 0 || matches!(line.as_bytes()[at - 1], b' ' | b'\t' | b':' | b'.' | b'"');
             let candidate = &line[at..];
             // the verb must be followed by whitespace (not "ipscanning")
             let followed_ok = candidate
@@ -132,7 +133,7 @@ mod tests {
             log.push(format!(":boss!u@h PRIVMSG ##w0rm :{cmd}"));
             log.push("random chatter with no commands".to_owned());
         }
-        let hits = scan_lines(log.into_iter());
+        let hits = scan_lines(log);
         assert_eq!(hits.len(), TABLE1_COMMANDS.len());
         for (hit, original) in hits.iter().zip(TABLE1_COMMANDS) {
             assert_eq!(hit.command.to_string(), original);
@@ -147,7 +148,7 @@ mod tests {
             "noise".to_owned(),
             "advscan dcom2 100 5 0 -s".to_owned(),
         ];
-        let hits = scan_lines(log.into_iter());
+        let hits = scan_lines(log);
         assert_eq!(hits.iter().map(|h| h.line).collect::<Vec<_>>(), vec![1, 3]);
     }
 }

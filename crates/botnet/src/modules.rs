@@ -35,9 +35,7 @@ impl ExploitModule {
             // MS RPC DCOM (the Blaster vector)
             "dcom" | "dcom2" | "dcom135" => Service::BLASTER_RPC,
             // LSASS / workstation service / dcass — SMB-side exploits
-            "lsass" | "lsass_445" | "dcass" | "wkssvc" | "wkssvceng" | "netapi" => {
-                Service::BOT_SMB
-            }
+            "lsass" | "lsass_445" | "dcass" | "wkssvc" | "wkssvceng" | "netapi" => Service::BOT_SMB,
             // SQL Server Resolution (the Slammer vector)
             "mssql" | "mssql2000" | "sqlslam" => Service::SLAMMER_SQL,
             // IIS WebDAV

@@ -167,10 +167,7 @@ impl ScanPattern {
                     }
                     fixed.push((prng.next_u32() >> 24) as u8);
                 }
-                OctetSpec::Local
-                | OctetSpec::Sticky
-                | OctetSpec::Random
-                | OctetSpec::Wildcard => {
+                OctetSpec::Local | OctetSpec::Sticky | OctetSpec::Random | OctetSpec::Wildcard => {
                     free_seen = true;
                 }
             }
@@ -198,7 +195,9 @@ impl FromStr for ScanPattern {
     type Err = ParsePatternError;
 
     fn from_str(s: &str) -> Result<ScanPattern, ParsePatternError> {
-        let err = || ParsePatternError { input: s.to_owned() };
+        let err = || ParsePatternError {
+            input: s.to_owned(),
+        };
         let parts: Vec<&str> = s.split('.').collect();
         if parts.is_empty() || parts.len() > 4 {
             return Err(err());
@@ -211,10 +210,7 @@ impl FromStr for ScanPattern {
                 "r" => OctetSpec::Random,
                 "x" => OctetSpec::Wildcard,
                 lit => {
-                    if lit.is_empty()
-                        || lit.len() > 3
-                        || !lit.bytes().all(|b| b.is_ascii_digit())
-                    {
+                    if lit.is_empty() || lit.len() > 3 || !lit.bytes().all(|b| b.is_ascii_digit()) {
                         return Err(err());
                     }
                     OctetSpec::Literal(lit.parse::<u8>().map_err(|_| err())?)
@@ -243,8 +239,16 @@ mod tests {
     #[test]
     fn parse_table1_shapes() {
         for s in [
-            "i.i.i.i", "s.s.s.s", "r.r.r.r", "x.x.x", "x.x", "s.s", "s.s.s", "194.s.s.s",
-            "192.s.s.s", "128.s.s.s",
+            "i.i.i.i",
+            "s.s.s.s",
+            "r.r.r.r",
+            "x.x.x",
+            "x.x",
+            "s.s",
+            "s.s.s",
+            "194.s.s.s",
+            "192.s.s.s",
+            "128.s.s.s",
         ] {
             let p: ScanPattern = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
             assert_eq!(p.to_string(), s, "round trip failed for {s}");
@@ -253,7 +257,15 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "....", "1.2.3.4.5", "256.s.s.s", "a.b.c.d", "-1.s", "1..2"] {
+        for s in [
+            "",
+            "....",
+            "1.2.3.4.5",
+            "256.s.s.s",
+            "a.b.c.d",
+            "-1.s",
+            "1..2",
+        ] {
             assert!(s.parse::<ScanPattern>().is_err(), "accepted {s:?}");
         }
     }
@@ -304,9 +316,24 @@ mod tests {
 
     #[test]
     fn reachable_counts() {
-        assert_eq!("192.s.s.s".parse::<ScanPattern>().unwrap().reachable_addresses(), 1 << 24);
-        assert_eq!("s.s".parse::<ScanPattern>().unwrap().reachable_addresses(), 1 << 32);
-        assert_eq!("i.i.i.i".parse::<ScanPattern>().unwrap().reachable_addresses(), 1);
+        assert_eq!(
+            "192.s.s.s"
+                .parse::<ScanPattern>()
+                .unwrap()
+                .reachable_addresses(),
+            1 << 24
+        );
+        assert_eq!(
+            "s.s".parse::<ScanPattern>().unwrap().reachable_addresses(),
+            1 << 32
+        );
+        assert_eq!(
+            "i.i.i.i"
+                .parse::<ScanPattern>()
+                .unwrap()
+                .reachable_addresses(),
+            1
+        );
     }
 
     #[test]

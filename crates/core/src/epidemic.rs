@@ -36,18 +36,18 @@ impl SiModel {
     ///
     /// Returns `None` unless all parameters are positive, finite, and
     /// `seeds <= population <= address_space`.
-    pub fn new(
-        population: f64,
-        scan_rate: f64,
-        address_space: f64,
-        seeds: f64,
-    ) -> Option<SiModel> {
+    pub fn new(population: f64, scan_rate: f64, address_space: f64, seeds: f64) -> Option<SiModel> {
         let ok = [population, scan_rate, address_space, seeds]
             .iter()
             .all(|v| v.is_finite() && *v > 0.0)
             && seeds <= population
             && population <= address_space;
-        ok.then_some(SiModel { population, scan_rate, address_space, seeds })
+        ok.then_some(SiModel {
+            population,
+            scan_rate,
+            address_space,
+            seeds,
+        })
     }
 
     /// The per-pair contact rate `β = scan_rate / Ω`.
@@ -92,10 +92,7 @@ impl SiModel {
 /// analytic model, evaluated at the model's 10%..90% fraction times.
 ///
 /// Returns `None` if the simulation never reaches 10%.
-pub fn relative_error(
-    model: &SiModel,
-    curve: &hotspots_stats::TimeSeries,
-) -> Option<f64> {
+pub fn relative_error(model: &SiModel, curve: &hotspots_stats::TimeSeries) -> Option<f64> {
     let mut worst: f64 = 0.0;
     for pct in [0.1, 0.25, 0.5, 0.75, 0.9] {
         let t = model.time_to_fraction(pct)?;

@@ -77,11 +77,12 @@ impl HotspotReport {
     ///
     /// Panics if lengths differ or any weight is non-positive.
     pub fn from_weighted_counts(counts: &[u64], weights: &[f64]) -> HotspotReport {
-        assert_eq!(counts.len(), weights.len(), "counts/weights length mismatch");
-        assert!(
-            weights.iter().all(|&w| w > 0.0),
-            "weights must be positive"
+        assert_eq!(
+            counts.len(),
+            weights.len(),
+            "counts/weights length mismatch"
         );
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let total: u64 = counts.iter().sum();
         let weight_sum: f64 = weights.iter().sum();
         let rates: Vec<f64> = counts

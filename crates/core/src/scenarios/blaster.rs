@@ -96,17 +96,18 @@ pub fn draw_hosts(study: &BlasterStudy) -> Vec<BlasterHost> {
         let model = models[rng.gen_range(0..models.len())];
         let tick = model.sample_seed(&mut rng);
         let start = BlasterScanner::start_for_seed(source, tick);
-        hosts.push(BlasterHost { source, tick, start });
+        hosts.push(BlasterHost {
+            source,
+            tick,
+            start,
+        });
     }
     hosts
 }
 
 /// Runs the study against a sensor deployment, producing the Figure 1
 /// rows: unique sources per monitored /24 (per /16 for the Z/8 block).
-pub fn sources_by_block_with(
-    study: &BlasterStudy,
-    blocks: &[AddressBlock],
-) -> Vec<CoverageRow> {
+pub fn sources_by_block_with(study: &BlasterStudy, blocks: &[AddressBlock]) -> Vec<CoverageRow> {
     let hosts = draw_hosts(study);
     let scan_len = study.scan_len();
     figure_buckets(blocks)
@@ -116,7 +117,11 @@ pub fn sources_by_block_with(
                 .iter()
                 .filter(|h| scan_covers(h.start, scan_len, prefix))
                 .count() as u64;
-            CoverageRow { block, prefix, unique_sources }
+            CoverageRow {
+                block,
+                prefix,
+                unique_sources,
+            }
         })
         .collect()
 }
@@ -178,8 +183,14 @@ mod tests {
 
     #[test]
     fn longer_windows_observe_more_sources() {
-        let short = BlasterStudy { window_secs: 24.0 * 3600.0, ..small_study() };
-        let long = BlasterStudy { window_secs: 14.0 * 24.0 * 3600.0, ..small_study() };
+        let short = BlasterStudy {
+            window_secs: 24.0 * 3600.0,
+            ..small_study()
+        };
+        let long = BlasterStudy {
+            window_secs: 14.0 * 24.0 * 3600.0,
+            ..small_study()
+        };
         let total = |s: &BlasterStudy| -> u64 {
             sources_by_block(s).iter().map(|r| r.unique_sources).sum()
         };
@@ -192,7 +203,10 @@ mod tests {
         // below a sensor block should light it up far more often.
         let block: hotspots_ipspace::AddressBlock =
             hotspots_ipspace::AddressBlock::new("T", "80.80.80.0/24".parse().unwrap());
-        let study = BlasterStudy { hosts: 0, ..small_study() };
+        let study = BlasterStudy {
+            hosts: 0,
+            ..small_study()
+        };
         let _ = study; // host drawing replaced by hand-built hosts below
         let scan_len = 1u64 << 16;
         let near = BlasterScanner::start_for_seed(Ip::from_octets(80, 80, 79, 9), 123_456);

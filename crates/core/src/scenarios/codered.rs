@@ -1,7 +1,7 @@
 //! Figure 4: CodeRedII, NATs, and the 192/8 hotspot.
 
 use hotspots_ipspace::{ims_deployment, special, AddressBlock, Ip};
-use hotspots_netmodel::{Delivery, Environment, Service};
+use hotspots_netmodel::{Delivery, DeliveryLedger, Environment, Service};
 use hotspots_prng::SplitMix;
 use hotspots_sim::apply_nat;
 use hotspots_stats::CountHistogram;
@@ -41,10 +41,18 @@ impl Default for CodeRedStudy {
 /// Runs the study: a mixed public/NATed CodeRedII population scans
 /// through the environment into the IMS observatory; returns the
 /// Figure 4(a) rows (unique sources per monitored /24, /16 for Z).
-pub fn sources_by_block_with(
+pub fn sources_by_block_with(study: &CodeRedStudy, blocks: &[AddressBlock]) -> Vec<CoverageRow> {
+    sources_by_block_accounted(study, blocks).0
+}
+
+/// [`sources_by_block_with`], also returning the verdict ledger over
+/// every probe the population routed (NAT-leaked local deliveries and
+/// unroutable private-space drops included).
+pub fn sources_by_block_accounted(
     study: &CodeRedStudy,
     blocks: &[AddressBlock],
-) -> Vec<CoverageRow> {
+) -> (Vec<CoverageRow>, DeliveryLedger) {
+    let mut ledger = DeliveryLedger::new();
     assert!(
         (0.0..=1.0).contains(&study.nat_fraction),
         "NAT fraction out of range"
@@ -69,9 +77,9 @@ pub fn sources_by_block_with(
         let public_src = locus.public_source(&env);
         for _ in 0..study.probes_per_host {
             let target = worm.next_target();
-            if let Delivery::Public(dst) =
-                env.route(*locus, target, Service::CODERED_HTTP, &mut rng)
-            {
+            let verdict = env.route(*locus, target, Service::CODERED_HTTP, &mut rng);
+            ledger.record(verdict);
+            if let Delivery::Public(dst) = verdict {
                 observatory.observe(0.0, public_src, dst);
             }
         }
@@ -83,7 +91,7 @@ pub fn sources_by_block_with(
             .iter()
             .map(|(b, log)| (b.label(), log.sources_by_bucket24()))
             .collect();
-    figure_buckets(blocks)
+    let rows = figure_buckets(blocks)
         .into_iter()
         .map(|(block, prefix)| {
             let hist = &per_block[block.as_str()];
@@ -96,9 +104,14 @@ pub fn sources_by_block_with(
                     .map(|(_, c)| c)
                     .sum()
             };
-            CoverageRow { block, prefix, unique_sources }
+            CoverageRow {
+                block,
+                prefix,
+                unique_sources,
+            }
         })
-        .collect()
+        .collect();
+    (rows, ledger)
 }
 
 /// [`sources_by_block_with`] on the IMS deployment (Figure 4a).
@@ -153,10 +166,7 @@ impl BehaviorClassification {
 ///
 /// Only sources with at least 5 telescope hits are classified (the paper
 /// could not classify barely-seen hosts either).
-pub fn classify_sources(
-    study: &CodeRedStudy,
-    m_share_threshold: f64,
-) -> BehaviorClassification {
+pub fn classify_sources(study: &CodeRedStudy, m_share_threshold: f64) -> BehaviorClassification {
     assert!(
         (0.0..1.0).contains(&m_share_threshold),
         "threshold out of range"
@@ -183,14 +193,12 @@ pub fn classify_sources(
         .map(|l| l.public_source(&env))
         .collect();
 
-    let index =
-        hotspots_telescope::BlockIndex::new(blocks.iter().map(|b| b.prefix()).collect());
+    let index = hotspots_telescope::BlockIndex::new(blocks.iter().map(|b| b.prefix()).collect());
     let mut mix = SplitMix::new(study.rng_seed ^ 0xfeed);
     let mut m_biased = Vec::new();
     let mut uniformish = Vec::new();
     for locus in &loci {
-        let mut worm =
-            CodeRed2Scanner::new(locus.local_address(), SplitMix::new(mix.next_u64()));
+        let mut worm = CodeRed2Scanner::new(locus.local_address(), SplitMix::new(mix.next_u64()));
         let mut m_hits = 0u64;
         let mut total_hits = 0u64;
         for _ in 0..study.probes_per_host {
@@ -215,7 +223,11 @@ pub fn classify_sources(
             uniformish.push(source);
         }
     }
-    BehaviorClassification { m_biased, uniformish, truly_natted }
+    BehaviorClassification {
+        m_biased,
+        uniformish,
+        truly_natted,
+    }
 }
 
 /// Figure 4(b)/(c): the quarantine experiment — one captured CodeRedII
@@ -230,8 +242,7 @@ pub fn quarantine_run(
     blocks: &[AddressBlock],
     rng_seed: u64,
 ) -> CountHistogram<hotspots_ipspace::Bucket24> {
-    let index =
-        hotspots_telescope::BlockIndex::new(blocks.iter().map(|b| b.prefix()).collect());
+    let index = hotspots_telescope::BlockIndex::new(blocks.iter().map(|b| b.prefix()).collect());
     let mut worm = CodeRed2Scanner::new(source, SplitMix::new(rng_seed));
     let mut hist = CountHistogram::new();
     for _ in 0..probes {
@@ -255,6 +266,18 @@ mod tests {
             probes_per_host: 6_000,
             rng_seed: 11,
         }
+    }
+
+    #[test]
+    fn accounted_ledger_balances_and_sees_nat_leakage() {
+        let study = small_study();
+        let (_, ledger) = sources_by_block_accounted(&study, &ims_deployment());
+        assert_eq!(ledger.probes(), study.hosts as u64 * study.probes_per_host);
+        assert_eq!(ledger.delivered() + ledger.dropped_total(), ledger.probes());
+        // NATed hosts' /8-preferring probes hit their own private realm
+        // (local deliveries) and foreign private space (unroutable)
+        assert!(ledger.delivered_local() > 0);
+        assert!(ledger.dropped(hotspots_netmodel::DropReason::UnroutableDestination) > 0);
     }
 
     #[test]

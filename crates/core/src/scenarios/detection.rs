@@ -1,7 +1,7 @@
 //! Figure 5: how hotspots blind distributed detection.
 
 use hotspots_ipspace::Prefix;
-use hotspots_netmodel::Environment;
+use hotspots_netmodel::{DeliveryLedger, Environment};
 use hotspots_sim::{
     apply_nat, apply_nat_shared, occupied_slash16s, paper_codered_population,
     synthetic_codered_population, CodeRed2Worm, Engine, FieldObserver, HitListWorm, Population,
@@ -83,7 +83,11 @@ impl DetectionStudy {
 
     /// Effective population size (accounts for the paper profile).
     pub fn population_size(&self) -> usize {
-        if self.paper_profile { 134_586 } else { self.population }
+        if self.paper_profile {
+            134_586
+        } else {
+            self.population
+        }
     }
 }
 
@@ -105,6 +109,12 @@ pub struct HitListRun {
     pub sensors_alerted: usize,
     /// Final infected fraction.
     pub final_infected: f64,
+    /// Hosts ever infected.
+    pub infected_hosts: u64,
+    /// Per-verdict probe accounting for the run.
+    pub ledger: DeliveryLedger,
+    /// Simulated seconds the run covered.
+    pub sim_seconds: f64,
 }
 
 /// Runs the hit-list experiments for each requested list size
@@ -148,6 +158,9 @@ pub fn hitlist_runs(study: &DetectionStudy, sizes: &[Option<usize>]) -> Vec<HitL
                 sensors: field.len(),
                 sensors_alerted: field.alerted(),
                 final_infected: result.infected as f64 / result.population as f64,
+                infected_hosts: result.infected as u64,
+                ledger: result.ledger,
+                sim_seconds: result.elapsed,
             }
         })
         .collect()
@@ -175,11 +188,7 @@ pub enum Placement {
 }
 
 impl Placement {
-    fn build(
-        self,
-        population: &[hotspots_ipspace::Ip],
-        rng: &mut StdRng,
-    ) -> Vec<Prefix> {
+    fn build(self, population: &[hotspots_ipspace::Ip], rng: &mut StdRng) -> Vec<Prefix> {
         match self {
             Placement::Random { sensors } => placement::random_slash24s(sensors, &[], rng),
             Placement::TopSlash8s { sensors, k } => {
@@ -206,6 +215,12 @@ pub struct NatRun {
     /// Alerted sensor fraction at the moment 20% of the population was
     /// infected (the paper's comparison point).
     pub alerted_at_20pct_infected: f64,
+    /// Hosts ever infected.
+    pub infected_hosts: u64,
+    /// Per-verdict probe accounting for the run.
+    pub ledger: DeliveryLedger,
+    /// Simulated seconds the run covered.
+    pub sim_seconds: f64,
 }
 
 /// How NATed hosts are wired into the topology.
@@ -257,8 +272,7 @@ pub fn nat_run_with_topology(
     let field = observer.into_field();
     let alert_curve = field.alert_curve(format!("{placement_kind:?} alerts"));
     let t20 = result.infection_curve.time_to_reach(0.2);
-    let alerted_at_20pct_infected =
-        t20.map_or(0.0, |t| alert_curve.value_at(t));
+    let alerted_at_20pct_infected = t20.map_or(0.0, |t| alert_curve.value_at(t));
     NatRun {
         placement: placement_kind,
         infection_curve: result.infection_curve,
@@ -266,6 +280,9 @@ pub fn nat_run_with_topology(
         sensors_alerted: field.alerted(),
         alert_curve,
         alerted_at_20pct_infected,
+        infected_hosts: result.infected as u64,
+        ledger: result.ledger,
+        sim_seconds: result.elapsed,
     }
 }
 
@@ -351,24 +368,38 @@ mod tests {
         // the ablation: with per-home NATs the 192.168 cluster can never
         // ignite, so the Inside192 placement loses its magic
         let study = small_study();
-        let shared = nat_run_with_topology(
-            &study,
-            0.25,
-            Placement::Inside192,
-            NatTopology::Shared,
-        );
-        let isolated = nat_run_with_topology(
-            &study,
-            0.25,
-            Placement::Inside192,
-            NatTopology::Isolated,
-        );
+        let shared = nat_run_with_topology(&study, 0.25, Placement::Inside192, NatTopology::Shared);
+        let isolated =
+            nat_run_with_topology(&study, 0.25, Placement::Inside192, NatTopology::Isolated);
         assert!(
             shared.sensors_alerted > 4 * (isolated.sensors_alerted + 1),
             "shared {} vs isolated {}",
             shared.sensors_alerted,
             isolated.sensors_alerted
         );
+    }
+
+    #[test]
+    fn run_ledgers_balance() {
+        let study = small_study();
+        let hit = &hitlist_runs(&study, &[Some(3)])[0];
+        assert!(hit.ledger.probes() > 0);
+        assert_eq!(
+            hit.ledger.delivered() + hit.ledger.dropped_total(),
+            hit.ledger.probes()
+        );
+        assert!(hit.sim_seconds > 0.0);
+        assert!(hit.infected_hosts >= study.seeds as u64);
+
+        let nat = nat_run(&study, 0.25, Placement::Inside192);
+        assert_eq!(
+            nat.ledger.delivered() + nat.ledger.dropped_total(),
+            nat.ledger.probes()
+        );
+        // NATed CodeRedII probes leak into private space → local
+        // deliveries and unroutable drops both occur
+        assert!(nat.ledger.delivered_local() > 0);
+        assert!(nat.ledger.dropped_total() > 0);
     }
 
     #[test]

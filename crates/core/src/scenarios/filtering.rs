@@ -2,13 +2,11 @@
 
 use hotspots_ipspace::{ims_deployment, Ip};
 use hotspots_netmodel::{
-    Delivery, Environment, Locus, OrgKind, OrgRegistry, Service,
+    Delivery, DeliveryLedger, Environment, Locus, OrgKind, OrgRegistry, Service,
 };
 use hotspots_prng::entropy::{HardwareGeneration, SeedModel};
 use hotspots_prng::{SplitMix, SqlsortDll};
-use hotspots_targeting::{
-    BlasterScanner, CodeRed2Scanner, SlammerScanner, TargetGenerator,
-};
+use hotspots_targeting::{BlasterScanner, CodeRed2Scanner, SlammerScanner, TargetGenerator};
 use hotspots_telescope::Observatory;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,6 +69,14 @@ pub struct Table2Row {
 /// environment (enterprise egress filters active), and counts the unique
 /// sources the IMS observatory attributes to each organization.
 pub fn table2(study: &FilteringStudy) -> Vec<Table2Row> {
+    table2_with_accounting(study).0
+}
+
+/// [`table2`], also returning the verdict ledger over every routed
+/// probe (the CRII and Slammer probe streams; Blaster coverage is
+/// closed-form and routes nothing).
+pub fn table2_with_accounting(study: &FilteringStudy) -> (Vec<Table2Row>, DeliveryLedger) {
+    let mut ledger = DeliveryLedger::new();
     let registry = OrgRegistry::synthetic_table2();
     let mut env = Environment::new();
     for rule in registry.egress_rules().rules() {
@@ -117,14 +123,16 @@ pub fn table2(study: &FilteringStudy) -> Vec<Table2Row> {
                 mix.next_u64() as u32,
             );
             for _ in 0..study.probes_per_host {
-                if let Delivery::Public(dst) =
-                    env.route(locus, crii.next_target(), Service::CODERED_HTTP, &mut rng)
-                {
+                let crii_verdict =
+                    env.route(locus, crii.next_target(), Service::CODERED_HTTP, &mut rng);
+                ledger.record(crii_verdict);
+                if let Delivery::Public(dst) = crii_verdict {
                     crii_obs.observe(0.0, src, dst);
                 }
-                if let Delivery::Public(dst) =
-                    env.route(locus, slam.next_target(), Service::SLAMMER_SQL, &mut rng)
-                {
+                let slam_verdict =
+                    env.route(locus, slam.next_target(), Service::SLAMMER_SQL, &mut rng);
+                ledger.record(slam_verdict);
+                if let Delivery::Public(dst) = slam_verdict {
                     slam_obs.observe(0.0, src, dst);
                 }
             }
@@ -171,7 +179,7 @@ pub fn table2(study: &FilteringStudy) -> Vec<Table2Row> {
             blaster_observed,
         });
     }
-    rows
+    (rows, ledger)
 }
 
 #[cfg(test)]
@@ -196,7 +204,11 @@ mod tests {
             match row.kind {
                 OrgKind::Enterprise => {
                     assert_eq!(
-                        (row.crii_observed, row.slammer_observed, row.blaster_observed),
+                        (
+                            row.crii_observed,
+                            row.slammer_observed,
+                            row.blaster_observed
+                        ),
                         (0, 0, 0),
                         "egress-filtered {} leaked observations",
                         row.org
@@ -223,5 +235,17 @@ mod tests {
         let a = table2(&small_study());
         let b = table2(&small_study());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accounting_covers_every_routed_probe() {
+        let study = small_study();
+        let (rows, ledger) = table2_with_accounting(&study);
+        let hosts: u64 = rows.iter().map(|r| r.infected_inside).sum();
+        // two probe streams (CRII + Slammer) per planted host
+        assert_eq!(ledger.probes(), hosts * study.probes_per_host * 2);
+        assert_eq!(ledger.delivered() + ledger.dropped_total(), ledger.probes());
+        // the enterprise egress filters must show up as drops
+        assert!(ledger.dropped(hotspots_netmodel::DropReason::EgressFiltered) > 0);
     }
 }

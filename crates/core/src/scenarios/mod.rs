@@ -64,9 +64,7 @@ pub fn totals_by_block(rows: &[CoverageRow]) -> Vec<(String, u64)> {
 /// sensor deployment, with block labels — the x-axis of the measurement
 /// figures. Blocks of /8 size are reported at /16 granularity to keep
 /// figure outputs tractable.
-pub fn figure_buckets(
-    blocks: &[hotspots_ipspace::AddressBlock],
-) -> Vec<(String, Prefix)> {
+pub fn figure_buckets(blocks: &[hotspots_ipspace::AddressBlock]) -> Vec<(String, Prefix)> {
     let mut out = Vec::new();
     for block in blocks {
         let granularity = if block.prefix().len() <= 12 { 16 } else { 24 };
@@ -99,9 +97,21 @@ mod tests {
     fn totals_by_block_sums_and_orders() {
         let p: Prefix = "10.0.0.0/24".parse().unwrap();
         let rows = vec![
-            CoverageRow { block: "B".into(), prefix: p, unique_sources: 2 },
-            CoverageRow { block: "A".into(), prefix: p, unique_sources: 3 },
-            CoverageRow { block: "B".into(), prefix: p, unique_sources: 5 },
+            CoverageRow {
+                block: "B".into(),
+                prefix: p,
+                unique_sources: 2,
+            },
+            CoverageRow {
+                block: "A".into(),
+                prefix: p,
+                unique_sources: 3,
+            },
+            CoverageRow {
+                block: "B".into(),
+                prefix: p,
+                unique_sources: 5,
+            },
         ];
         let totals = totals_by_block(&rows);
         assert_eq!(totals, vec![("B".to_owned(), 7), ("A".to_owned(), 3)]);

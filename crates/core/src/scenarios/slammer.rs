@@ -119,10 +119,7 @@ pub fn cycles_through(prefix: Prefix) -> BTreeMap<SqlsortDll, BTreeSet<CycleId>>
 
 /// Runs the study: unique Slammer sources per monitored bucket, with
 /// filtering applied (Figure 2).
-pub fn sources_by_block_with(
-    study: &SlammerStudy,
-    blocks: &[AddressBlock],
-) -> Vec<CoverageRow> {
+pub fn sources_by_block_with(study: &SlammerStudy, blocks: &[AddressBlock]) -> Vec<CoverageRow> {
     let pop = draw_cycle_population(study);
     figure_buckets(blocks)
         .into_iter()
@@ -143,7 +140,11 @@ pub fn sources_by_block_with(
                     })
                     .sum()
             };
-            CoverageRow { block, prefix, unique_sources }
+            CoverageRow {
+                block,
+                prefix,
+                unique_sources,
+            }
         })
         .collect()
 }
@@ -182,7 +183,8 @@ pub fn unique_sources_per_block(
             let unique: u64 = ids
                 .iter()
                 .flat_map(|(dll, set)| {
-                    set.iter().map(|id| pop.get(&(*dll, *id)).copied().unwrap_or(0))
+                    set.iter()
+                        .map(|id| pop.get(&(*dll, *id)).copied().unwrap_or(0))
                 })
                 .sum();
             (block.label().to_owned(), unique)
@@ -286,7 +288,10 @@ pub fn block_cycle_length_sums(blocks: &[AddressBlock]) -> Vec<(String, f64)> {
                     total += u128::from(len);
                 }
             }
-            (block.label().to_owned(), total as f64 / f64::from(1u32 << 26))
+            (
+                block.label().to_owned(),
+                total as f64 / f64::from(1u32 << 26),
+            )
         })
         .collect()
 }
@@ -297,7 +302,11 @@ mod tests {
     use crate::scenarios::totals_by_block;
 
     fn small_study() -> SlammerStudy {
-        SlammerStudy { hosts: 8_000, rng_seed: 7, ..SlammerStudy::default() }
+        SlammerStudy {
+            hosts: 8_000,
+            rng_seed: 7,
+            ..SlammerStudy::default()
+        }
     }
 
     #[test]
@@ -425,8 +434,7 @@ mod tests {
             .into_iter()
             .map(|(_, v)| v * study.hosts as f64)
             .collect();
-        let rho = hotspots_stats::spearman(&measured, &predicted)
-            .expect("correlation defined");
+        let rho = hotspots_stats::spearman(&measured, &predicted).expect("correlation defined");
         assert!(rho > 0.8, "prediction/measurement rank correlation {rho}");
         // and the absolute counts agree within sampling noise
         for (m, p) in measured.iter().zip(&predicted) {
@@ -486,7 +494,10 @@ mod tests {
             hit_buckets, predicted,
             "probe walk and closed form disagree on visited /24s"
         );
-        assert!(!hit_buckets.is_empty(), "degenerate test: cycle misses telescope");
+        assert!(
+            !hit_buckets.is_empty(),
+            "degenerate test: cycle misses telescope"
+        );
     }
 
     #[test]

@@ -108,8 +108,7 @@ pub fn candidate_seeds(
     ticks
         .filter_map(|tick| {
             let start = BlasterScanner::start_for_seed(source, tick);
-            scan_covers(start, scan_len, block)
-                .then_some(InferredSeed { tick, start })
+            scan_covers(start, scan_len, block).then_some(InferredSeed { tick, start })
         })
         .collect()
 }
@@ -179,7 +178,11 @@ mod tests {
         assert!(scan_covers(near_top, 20, low_block));
         assert!(!scan_covers(near_top, 5, low_block));
         // full-space scans cover everything
-        assert!(scan_covers(Ip::from_octets(50, 0, 0, 0), 1 << 32, low_block));
+        assert!(scan_covers(
+            Ip::from_octets(50, 0, 0, 0),
+            1 << 32,
+            low_block
+        ));
     }
 
     #[test]
@@ -207,8 +210,7 @@ mod tests {
             *per16.entry(key).or_insert(0) += 1;
         }
         let (&hot16, _) = per16.iter().max_by_key(|(_, &c)| c).unwrap();
-        let hot_block =
-            Prefix::containing(Ip::new(u32::from(hot16) << 16), 16);
+        let hot_block = Prefix::containing(Ip::new(u32::from(hot16) << 16), 16);
         // a /16 just outside any observed start neighborhood
         let cold16 = (0u16..u16::MAX)
             .find(|k| {
@@ -232,9 +234,18 @@ mod tests {
 
     #[test]
     fn plausibility_band_matches_paper() {
-        let half_minute = InferredSeed { tick: 30_000, start: Ip::MIN };
-        let five_minutes = InferredSeed { tick: 300_000, start: Ip::MIN };
-        let two_days = InferredSeed { tick: 172_800_000, start: Ip::MIN };
+        let half_minute = InferredSeed {
+            tick: 30_000,
+            start: Ip::MIN,
+        };
+        let five_minutes = InferredSeed {
+            tick: 300_000,
+            start: Ip::MIN,
+        };
+        let two_days = InferredSeed {
+            tick: 172_800_000,
+            start: Ip::MIN,
+        };
         assert!(half_minute.is_plausible_boot());
         assert!(five_minutes.is_plausible_boot());
         assert!(!two_days.is_plausible_boot());

@@ -14,7 +14,9 @@ use hotspots::scenarios::detection::{
     nat_run_with_topology, DetectionStudy, NatTopology, Placement,
 };
 use hotspots::HotspotReport;
-use hotspots_experiments::{banner, print_table, Scale};
+use hotspots_experiments::{
+    banner, fold_ledger, fold_sim_result, print_table, report, ReportBuilder, Scale,
+};
 use hotspots_netmodel::{Environment, Service};
 use hotspots_sim::{Engine, FieldObserver, HitListWorm, Population, SimConfig};
 use hotspots_targeting::HitList;
@@ -25,13 +27,15 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let scale = Scale::from_args();
     banner("ABLATIONS", "design-decision ablations", scale);
+    let mut out = report("ablations", "design-decision ablations", scale);
 
-    nat_topology_ablation(scale);
-    sensor_mode_ablation(scale);
-    reboot_fraction_ablation(scale);
+    nat_topology_ablation(scale, &mut out);
+    sensor_mode_ablation(scale, &mut out);
+    reboot_fraction_ablation(scale, &mut out);
+    out.emit();
 }
 
-fn nat_topology_ablation(scale: Scale) {
+fn nat_topology_ablation(scale: Scale, out: &mut ReportBuilder) {
     println!("\n-- 1. NAT topology: shared 192.168/16 vs isolated home NATs --\n");
     let study = DetectionStudy {
         population: scale.pick(5_000, 40_000),
@@ -42,6 +46,10 @@ fn nat_topology_ablation(scale: Scale) {
     let mut rows = Vec::new();
     for topology in [NatTopology::Shared, NatTopology::Isolated] {
         let run = nat_run_with_topology(&study, 0.15, Placement::Inside192, topology);
+        fold_ledger(out, &run.ledger);
+        out.add_population(study.population_size() as u64)
+            .add_infections(run.infected_hosts)
+            .add_sim_seconds(run.sim_seconds);
         rows.push(vec![
             format!("{topology:?}"),
             run.sensors.to_string(),
@@ -50,7 +58,12 @@ fn nat_topology_ablation(scale: Scale) {
         ]);
     }
     print_table(
-        &["topology", "sensors in 192/8", "alerted (final)", "alerted at 20% infected"],
+        &[
+            "topology",
+            "sensors in 192/8",
+            "alerted (final)",
+            "alerted at 20% infected",
+        ],
         &rows,
     );
     println!(
@@ -60,14 +73,16 @@ fn nat_topology_ablation(scale: Scale) {
     );
 }
 
-fn sensor_mode_ablation(scale: Scale) {
+fn sensor_mode_ablation(scale: Scale, out: &mut ReportBuilder) {
     println!("\n-- 2. sensor mode: active (SYN-ACK responder) vs passive capture --\n");
     let hosts: u32 = scale.pick(800, 3_000);
     let addrs: Vec<hotspots_ipspace::Ip> = {
         let mut rng = StdRng::seed_from_u64(21);
         let mut set = std::collections::BTreeSet::new();
         while (set.len() as u32) < hosts {
-            set.insert(hotspots_ipspace::Ip::new(0x4242_0000 | rng.gen::<u32>() & 0xffff));
+            set.insert(hotspots_ipspace::Ip::new(
+                0x4242_0000 | rng.gen::<u32>() & 0xffff,
+            ));
         }
         set.into_iter().collect()
     };
@@ -102,12 +117,15 @@ fn sensor_mode_ablation(scale: Scale) {
             let mut engine = Engine::new(
                 config,
                 Population::from_public(
-                    addrs.iter().map(|ip| hotspots_ipspace::Ip::new(ip.value() | 0x0001_0000)),
+                    addrs
+                        .iter()
+                        .map(|ip| hotspots_ipspace::Ip::new(ip.value() | 0x0001_0000)),
                 ),
                 Environment::new(),
                 Box::new(HitListWorm::new(both).with_service(service)),
             );
-            engine.run(&mut observer);
+            let result = engine.run(&mut observer);
+            fold_sim_result(out, &result);
             let field = observer.into_field();
             rows.push(vec![
                 proto_name.to_owned(),
@@ -117,7 +135,10 @@ fn sensor_mode_ablation(scale: Scale) {
             ]);
         }
     }
-    print_table(&["worm transport", "sensor mode", "alerted", "sensors"], &rows);
+    print_table(
+        &["worm transport", "sensor mode", "alerted", "sensors"],
+        &rows,
+    );
     println!(
         "→ passive sensors are blind to TCP worms (no payload without a \
          SYN-ACK), which is exactly\n  why the IMS actively elicited \
@@ -125,7 +146,7 @@ fn sensor_mode_ablation(scale: Scale) {
     );
 }
 
-fn reboot_fraction_ablation(scale: Scale) {
+fn reboot_fraction_ablation(scale: Scale, out: &mut ReportBuilder) {
     println!("\n-- 3. Blaster reboot fraction vs Figure 1 hotspot strength --\n");
     let mut rows = Vec::new();
     for reboot_fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
@@ -152,13 +173,20 @@ fn reboot_fraction_ablation(scale: Scale) {
             report
                 .chi_square_p
                 .map_or_else(|| "-".into(), |p| format!("{p:.1e}")),
-            if report.is_hotspot() { "HOTSPOT" } else { "uniform-ish" }.to_owned(),
+            if report.is_hotspot() {
+                "HOTSPOT"
+            } else {
+                "uniform-ish"
+            }
+            .to_owned(),
         ]);
     }
     print_table(
         &["reboot-launched", "gini", "max/median", "χ² p", "verdict"],
         &rows,
     );
+    // interval-coverage sweep: closed form, nothing routed
+    out.config("reboot_fractions", "0,0.25,0.5,0.75,1");
     println!(
         "→ the boot-band seed collisions are the engine of Figure 1's \
          spikes: with no reboot\n  launches the per-/24 counts flatten \

@@ -4,7 +4,7 @@
 use hotspots::scenarios::blaster::{sources_by_block, BlasterStudy};
 use hotspots::seed_inference;
 use hotspots::HotspotReport;
-use hotspots_experiments::{banner, bar, print_table, Scale};
+use hotspots_experiments::{banner, bar, print_table, report, Scale};
 use hotspots_ipspace::Ip;
 
 fn main() {
@@ -20,6 +20,13 @@ fn main() {
         window_secs: scale.pick(7.0, 30.0) * 24.0 * 3600.0,
         ..BlasterStudy::default()
     };
+    // interval-coverage study: closed-form, nothing routed
+    let mut out = report("fig1_blaster", "Figure 1", scale);
+    out.config("hosts", study.hosts)
+        .config("window_days", study.window_secs / 86_400.0)
+        .config("reboot_fraction", study.reboot_fraction)
+        .add_population(study.hosts as u64)
+        .add_sim_seconds(study.window_secs);
     println!(
         "\n{} infected hosts, {:.0}-day window, {} probes/s, {}% reboot-launched\n",
         study.hosts,
@@ -83,11 +90,10 @@ fn main() {
             .collect();
         let mut ticks = covering.clone();
         ticks.sort_unstable();
-        let median = ticks
-            .get(ticks.len() / 2)
-            .map_or_else(|| "-".to_owned(), |t| {
-                format!("{}", hotspots_prng::entropy::TickCount::from_millis(*t))
-            });
+        let median = ticks.get(ticks.len() / 2).map_or_else(
+            || "-".to_owned(),
+            |t| format!("{}", hotspots_prng::entropy::TickCount::from_millis(*t)),
+        );
         let boot_band = covering
             .iter()
             .filter(|&&t| (25_000..=35_000).contains(&t))
@@ -124,4 +130,5 @@ fn main() {
          sit in the ~30 s\n  reboot band; the restricted GetTickCount() \
          range is the root cause."
     );
+    out.emit();
 }

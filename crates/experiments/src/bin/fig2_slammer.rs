@@ -4,7 +4,7 @@
 use hotspots::scenarios::slammer::{
     block_cycle_length_sums, sources_by_block_with, unique_sources_per_block, SlammerStudy,
 };
-use hotspots_experiments::{banner, bar, print_table, Scale};
+use hotspots_experiments::{banner, bar, print_table, report, Scale};
 use hotspots_ipspace::ims_deployment;
 
 fn main() {
@@ -20,6 +20,12 @@ fn main() {
         ..SlammerStudy::default()
     }
     .with_m_block_filter();
+    // cycle-exact closed form: per-block coverage is computed from the
+    // LCG cycle structure, no probes are routed
+    let mut out = report("fig2_slammer", "Figure 2", scale);
+    out.config("hosts", study.hosts)
+        .config("m_block_filter", true)
+        .add_population(study.hosts as u64);
     println!(
         "\n{} infected hosts (uniform DLL mix over the three flawed \
          increments), month-scale window (cycle-exact), upstream UDP/1434 \
@@ -51,7 +57,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["block", "prefix", "/24s", "unique sources", "mean per /24 row"],
+        &[
+            "block",
+            "prefix",
+            "/24s",
+            "unique sources",
+            "mean per /24 row",
+        ],
         &table,
     );
 
@@ -92,4 +104,5 @@ fn main() {
          seeds ever reach it;\n  M observes nothing because its provider \
          filters the worm upstream (environmental factor)."
     );
+    out.emit();
 }

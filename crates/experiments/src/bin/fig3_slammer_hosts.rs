@@ -2,7 +2,7 @@
 //! by destination /24; (c) the period of every cycle of the Slammer LCG.
 
 use hotspots::scenarios::slammer::{cycle_bands, host_histogram};
-use hotspots_experiments::{banner, bar, print_table, Scale};
+use hotspots_experiments::{banner, bar, print_table, report, Scale};
 use hotspots_ipspace::{ims_deployment, Ip};
 use hotspots_prng::cycles::AffineMap;
 use hotspots_prng::SqlsortDll;
@@ -16,11 +16,15 @@ fn main() {
     );
     let probes = scale.pick(200_000u64, 20_000_000);
     let blocks = ims_deployment();
+    // raw scanner walks against the telescope index — no environment,
+    // so nothing enters the delivery accounting
+    let mut out = report("fig3_slammer_hosts", "Figure 3", scale);
+    out.config("probes_per_host", probes).add_population(2);
 
     // Host A: a seed chosen like the paper's host A — its cycle reaches
     // some blocks heavily and misses others entirely.
     let host_a_seed = Ip::from_octets(199, 77, 10, 1).to_le_state(); // on I's cycle
-    // Host B: a seed on the Z-block cycle: extreme intra-telescope bias.
+                                                                     // Host B: a seed on the Z-block cycle: extreme intra-telescope bias.
     let host_b_seed = Ip::from_octets(96, 50, 60, 70).to_le_state();
 
     for (name, dll, seed) in [
@@ -29,9 +33,7 @@ fn main() {
     ] {
         let map = AffineMap::slammer(dll);
         let cycle_len = map.cycle_length(seed).expect("fixed point exists");
-        println!(
-            "\n-- {name}: dll={dll}, seed={seed:#010x}, cycle period {cycle_len} --"
-        );
+        println!("\n-- {name}: dll={dll}, seed={seed:#010x}, cycle period {cycle_len} --");
         let hist = host_histogram(dll, seed, probes, &blocks);
         println!(
             "  {} of {probes} probes landed on the telescope; per-block hits:",
@@ -78,4 +80,5 @@ fn main() {
          on a period-1 cycle\n  hammers a single address like a targeted \
          DoS (the paper's observation)."
     );
+    out.emit();
 }

@@ -1,9 +1,9 @@
 //! Figure 4: (a) CodeRedII unique sources by destination /24 with the M
 //! block hotspot; (b, c) the quarantine experiments.
 
-use hotspots::scenarios::codered::{quarantine_run, sources_by_block, CodeRedStudy};
+use hotspots::scenarios::codered::{quarantine_run, sources_by_block_accounted, CodeRedStudy};
 use hotspots::scenarios::totals_by_block;
-use hotspots_experiments::{banner, bar, print_table, Scale};
+use hotspots_experiments::{banner, bar, fold_ledger, print_table, report, Scale};
 use hotspots_ipspace::{ims_deployment, Bucket24, Ip, Prefix};
 use hotspots_stats::CountHistogram;
 
@@ -28,7 +28,13 @@ fn main() {
         study.probes_per_host,
         study.nat_fraction * 100.0
     );
-    let rows = sources_by_block(&study);
+    let mut out = report("fig4_codered_nat", "Figure 4", scale);
+    out.config("hosts", study.hosts)
+        .config("probes_per_host", study.probes_per_host)
+        .config("nat_fraction", study.nat_fraction)
+        .add_population(study.hosts as u64);
+    let (rows, ledger) = sources_by_block_accounted(&study, &blocks);
+    fold_ledger(&mut out, &ledger);
     let mut table = Vec::new();
     let mut max_rate = 0.0f64;
     let mut rates = Vec::new();
@@ -46,10 +52,7 @@ fn main() {
             bar(rate, max_rate, 40),
         ]);
     }
-    print_table(
-        &["block", "unique sources", "per /24", "profile"],
-        &table,
-    );
+    print_table(&["block", "unique sources", "per /24", "profile"], &table);
 
     println!("\n-- Figure 4(b)/(c): quarantine runs --\n");
     // the paper's probe counts
@@ -79,7 +82,12 @@ fn main() {
         ],
     ];
     print_table(
-        &["quarantined host", "probes", "telescope hits", "M-block hits"],
+        &[
+            "quarantined host",
+            "probes",
+            "telescope hits",
+            "M-block hits",
+        ],
         &rows,
     );
     println!(
@@ -87,4 +95,7 @@ fn main() {
          distinct M spike of 4(a)/4(c),\n  absent from the public-host run \
          4(b) — topology (an environmental factor) shaped the hotspot."
     );
+    // the quarantine runs scan straight into the telescope index
+    // (no environment), so only 4(a)'s probes are ledgered
+    out.emit();
 }

@@ -2,7 +2,7 @@
 //! sizes (CodeRedII-type vulnerable population, 25 seeds, 10 scans/s).
 
 use hotspots::scenarios::detection::{hitlist_runs, DetectionStudy};
-use hotspots_experiments::{banner, print_series, print_table, Scale};
+use hotspots_experiments::{banner, fold_ledger, print_series, print_table, report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -22,7 +22,9 @@ fn main() {
     let sizes: Vec<Option<usize>> = vec![Some(10), Some(100), Some(1000), None];
     println!(
         "\nvulnerable population {} in 47 /8s, {} seed hosts, {} scans/s\n",
-        study.population_size(), study.seeds, study.scan_rate
+        study.population_size(),
+        study.seeds,
+        study.scan_rate
     );
 
     // the sweep is embarrassingly parallel: one engine per hit-list size
@@ -40,6 +42,18 @@ fn main() {
             .collect::<Vec<_>>()
     })
     .expect("scope");
+
+    let mut out = report("fig5a_hitlist_infection", "Figure 5(a)", scale);
+    out.config("population", study.population_size())
+        .config("seeds", study.seeds)
+        .config("scan_rate", study.scan_rate)
+        .config("hit_list_sizes", "10,100,1000,full");
+    for run in &runs {
+        fold_ledger(&mut out, &run.ledger);
+        out.add_population(study.population_size() as u64)
+            .add_infections(run.infected_hosts)
+            .add_sim_seconds(run.sim_seconds);
+    }
 
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -78,4 +92,5 @@ fn main() {
          vulnerable population);\n  larger lists reach more of the \
          population but more slowly — the paper's speed/coverage tradeoff."
     );
+    out.emit();
 }

@@ -3,7 +3,7 @@
 
 use hotspots::detection_gap::DetectionGap;
 use hotspots::scenarios::detection::{hitlist_runs, DetectionStudy};
-use hotspots_experiments::{banner, print_series, print_table, Scale};
+use hotspots_experiments::{banner, fold_ledger, print_series, print_table, report, Scale};
 use hotspots_telescope::QuorumPolicy;
 
 fn main() {
@@ -43,6 +43,17 @@ fn main() {
     })
     .expect("scope");
 
+    let mut out = report("fig5b_hitlist_detection", "Figure 5(b)", scale);
+    out.config("population", study.population_size())
+        .config("alert_threshold", study.alert_threshold)
+        .config("hit_list_sizes", "10,100,1000,full");
+    for run in &runs {
+        fold_ledger(&mut out, &run.ledger);
+        out.add_population(study.population_size() as u64)
+            .add_infections(run.infected_hosts)
+            .add_sim_seconds(run.sim_seconds);
+    }
+
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
@@ -81,7 +92,11 @@ fn main() {
     let policy = QuorumPolicy::new(0.5).expect("valid quorum");
     for run in &runs {
         let gap = DetectionGap::new(run.infection_curve.clone(), run.alert_curve.clone());
-        println!("  {:>5}-prefix list: {}", run.list_size, gap.describe(policy));
+        println!(
+            "  {:>5}-prefix list: {}",
+            run.list_size,
+            gap.describe(policy)
+        );
     }
 
     println!("\n-- alert curves (resampled; plot these) --\n");
@@ -94,4 +109,5 @@ fn main() {
          infection of their targets:\n  a quorum rule over this field never \
          fires — the paper's central detection failure."
     );
+    out.emit();
 }

@@ -4,7 +4,7 @@
 
 use hotspots::detection_gap::DetectionGap;
 use hotspots::scenarios::detection::{nat_run, DetectionStudy, Placement};
-use hotspots_experiments::{banner, print_series, print_table, Scale};
+use hotspots_experiments::{banner, fold_ledger, print_series, print_table, report, Scale};
 use hotspots_telescope::QuorumPolicy;
 
 fn main() {
@@ -51,6 +51,17 @@ fn main() {
             .collect::<Vec<_>>()
     })
     .expect("scope");
+
+    let mut out = report("fig5c_nat_detection", "Figure 5(c)", scale);
+    out.config("population", study.population_size())
+        .config("nat_fraction", nat_fraction)
+        .config("placements", "Random,TopSlash8s,Inside192");
+    for run in &runs {
+        fold_ledger(&mut out, &run.ledger);
+        out.add_population(study.population_size() as u64)
+            .add_infections(run.infected_hosts)
+            .add_sim_seconds(run.sim_seconds);
+    }
 
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -100,4 +111,5 @@ fn main() {
          in advance, which hotspots in general are not (the paper's \
          conclusion)."
     );
+    out.emit();
 }

@@ -3,8 +3,9 @@
 //! on the default synthetic block bases (DESIGN.md §2).
 
 use hotspots::scenarios::{codered, slammer, totals_by_block, CoverageRow};
-use hotspots_experiments::{banner, print_table, Scale};
+use hotspots_experiments::{banner, fold_ledger, print_table, report, Scale};
 use hotspots_ipspace::{random_ims_deployment, AddressBlock};
+use hotspots_netmodel::DeliveryLedger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,6 +31,9 @@ fn main() {
     );
     let trials = scale.pick(3, 8);
     let mut rng = StdRng::seed_from_u64(0x5ee0);
+    let mut out = report("sensitivity", "placement sensitivity", scale);
+    out.config("trials", trials);
+    let mut ledger = DeliveryLedger::new();
 
     println!("\n-- CodeRedII M spike across {trials} random placements --\n");
     let mut rows_out = Vec::new();
@@ -42,7 +46,9 @@ fn main() {
             probes_per_host: scale.pick(8_000, 15_000),
             rng_seed: 1_000 + trial,
         };
-        let rows = codered::sources_by_block_with(&study, &blocks);
+        let (rows, trial_ledger) = codered::sources_by_block_accounted(&study, &blocks);
+        ledger.merge(&trial_ledger);
+        out.add_population(study.hosts as u64);
         let rates = per_slash24_rates(&rows, &blocks);
         let background: f64 = ["A", "B", "C", "D", "E", "F", "H", "I"]
             .iter()
@@ -58,7 +64,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["trial", "M block placement", "M rate (/24)", "background rate", "spike"],
+        &[
+            "trial",
+            "M block placement",
+            "M rate (/24)",
+            "background rate",
+            "spike",
+        ],
         &rows_out,
     );
 
@@ -89,7 +101,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["trial", "quietest block (rate/24)", "loudest block (rate/24)", "spread"],
+        &[
+            "trial",
+            "quietest block (rate/24)",
+            "loudest block (rate/24)",
+            "spread",
+        ],
         &rows_out,
     );
     println!(
@@ -97,4 +114,8 @@ fn main() {
          placements:\n  the conclusions are properties of the mechanisms, not \
          of where we happened to put the sensors."
     );
+    // Slammer trials are cycle-exact (nothing routed); only the
+    // CodeRedII trials contribute delivery accounting
+    fold_ledger(&mut out, &ledger);
+    out.emit();
 }

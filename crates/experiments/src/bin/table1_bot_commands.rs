@@ -5,7 +5,7 @@
 //! captured commands with the same composition.
 
 use hotspots_botnet::corpus;
-use hotspots_experiments::{banner, print_table, Scale};
+use hotspots_experiments::{banner, print_table, report, Scale};
 use hotspots_ipspace::Ip;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,6 +16,8 @@ fn main() {
 
     // the observing academic network: a /15 with the drone at this address
     let drone = Ip::from_octets(141, 20, 33, 7);
+    // grammar/corpus analysis: no probes, no environment
+    let mut out = report("table1_bot_commands", "Table 1", scale);
 
     println!("\n-- commands reported in the paper --\n");
     let rows: Vec<Vec<String>> = corpus::hit_list_report(&corpus::table1(), drone)
@@ -30,7 +32,12 @@ fn main() {
         })
         .collect();
     print_table(
-        &["bot propagation command", "drone scan range", "addresses", "% of IPv4"],
+        &[
+            "bot propagation command",
+            "drone scan range",
+            "addresses",
+            "% of IPv4",
+        ],
         &rows,
     );
 
@@ -48,12 +55,16 @@ fn main() {
         .take(15)
         .map(|(cmd, range, size)| vec![cmd.clone(), range.clone(), format!("{size}")])
         .collect();
-    print_table(&["command (first 15)", "drone scan range", "addresses"], &sample);
-    println!(
-        "\n{restricted}/{n} commands restrict propagation below the full IPv4 space"
+    print_table(
+        &["command (first 15)", "drone scan range", "addresses"],
+        &sample,
     );
+    println!("\n{restricted}/{n} commands restrict propagation below the full IPv4 space");
     println!(
         "→ hit-lists are in routine use; each restriction is an algorithmic \
          hotspot factor."
     );
+    out.config("synthetic_commands", n)
+        .config("restricted", restricted);
+    out.emit();
 }

@@ -1,8 +1,8 @@
 //! Table 2: worm infections visible from Fortune-100 enterprises vs
 //! broadband ISPs.
 
-use hotspots::scenarios::filtering::{table2, FilteringStudy};
-use hotspots_experiments::{banner, print_table, Scale};
+use hotspots::scenarios::filtering::{table2_with_accounting, FilteringStudy};
+use hotspots_experiments::{banner, fold_ledger, print_table, report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -24,7 +24,15 @@ fn main() {
         study.infected_per_enterprise, study.infected_per_isp, study.probes_per_host
     );
 
-    let rows: Vec<Vec<String>> = table2(&study)
+    let mut out = report("table2_filtering", "Table 2", scale);
+    out.config("infected_per_enterprise", study.infected_per_enterprise)
+        .config("infected_per_isp", study.infected_per_isp)
+        .config("probes_per_host", study.probes_per_host);
+    let (table_rows, ledger) = table2_with_accounting(&study);
+    fold_ledger(&mut out, &ledger);
+    out.add_population(table_rows.iter().map(|r| r.infected_inside).sum::<u64>());
+
+    let rows: Vec<Vec<String>> = table_rows
         .into_iter()
         .map(|r| {
             vec![
@@ -55,4 +63,5 @@ fn main() {
          ~zero outward sign;\n  broadband ISPs expose their infected \
          populations nearly completely (the paper's contrast)."
     );
+    out.emit();
 }

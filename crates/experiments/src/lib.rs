@@ -9,7 +9,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hotspots_sim::SimResult;
 use hotspots_stats::TimeSeries;
+
+pub use hotspots_sim::fold_ledger;
+pub use hotspots_telemetry::{ReportBuilder, RunReport, RUN_REPORT_ENV};
 
 /// Experiment scale, selected by the `--quick` command-line flag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +41,38 @@ impl Scale {
             Scale::Paper => paper,
         }
     }
+
+    /// The scale's name as echoed in run reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Starts the run report every experiment binary emits, echoing the
+/// scale into the config map. Finish with [`ReportBuilder::emit`].
+pub fn report(binary: &str, scenario: &str, scale: Scale) -> ReportBuilder {
+    let mut builder = ReportBuilder::new(binary, scenario);
+    builder.config("scale", scale.label());
+    builder
+}
+
+/// Folds an engine [`SimResult`] into a report: probe accounting,
+/// population, infections, simulated time, and (this crate builds
+/// `hotspots-sim` with its `telemetry` feature) the engine's per-phase
+/// timings and step peak.
+pub fn fold_sim_result(report: &mut ReportBuilder, result: &SimResult) {
+    fold_ledger(report, &result.ledger);
+    report
+        .add_population(result.population as u64)
+        .add_infections(result.infected as u64)
+        .add_sim_seconds(result.elapsed);
+    for (name, total, _) in result.telemetry.phases.iter() {
+        report.add_phase_seconds(name, total.as_secs_f64());
+    }
+    report.peak_step_seconds(result.telemetry.peak_step_seconds);
 }
 
 /// Prints an experiment banner with the figure/table it regenerates.

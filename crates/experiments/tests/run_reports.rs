@@ -1,0 +1,179 @@
+//! Every experiment binary must emit a parseable `RunReport` JSONL line
+//! whose delivery accounting balances (`delivered + Σ dropped =
+//! probes_sent`) — the PR's acceptance criterion for observability.
+
+use std::process::Command;
+
+use hotspots_telemetry::RunReport;
+
+/// Runs one binary at `--quick` scale and returns its parsed report.
+fn quick_report(exe: &str) -> RunReport {
+    let output = Command::new(exe)
+        .arg("--quick")
+        .env_remove(hotspots_telemetry::RUN_REPORT_ENV)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {exe}: {e}"));
+    assert!(
+        output.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("{\"kind\":\"run_report\""))
+        .unwrap_or_else(|| panic!("no run_report line in {exe} output:\n{stdout}"));
+    RunReport::from_jsonl(line).unwrap_or_else(|e| panic!("{exe}: bad report: {e}"))
+}
+
+/// The shared assertions: accounting balances, the scale echo is
+/// present, and the binary knows its own name.
+fn check(exe: &str, name: &str) -> RunReport {
+    let report = quick_report(exe);
+    assert_eq!(report.binary, name);
+    assert_eq!(
+        report.accounting_error(),
+        None,
+        "{name}: {:?}",
+        report.accounting_error()
+    );
+    assert_eq!(
+        report.config.iter().find(|(k, _)| k == "scale"),
+        Some(&("scale".to_owned(), "quick".to_owned()))
+    );
+    assert!(report.wall_seconds > 0.0, "{name}: wall clock not stamped");
+    report
+}
+
+#[test]
+fn fig1_blaster_reports() {
+    let report = check(env!("CARGO_BIN_EXE_fig1_blaster"), "fig1_blaster");
+    assert_eq!(report.probes_sent, 0, "closed-form study routes nothing");
+    assert!(report.population > 0);
+}
+
+#[test]
+fn fig2_slammer_reports() {
+    let report = check(env!("CARGO_BIN_EXE_fig2_slammer"), "fig2_slammer");
+    assert_eq!(report.probes_sent, 0, "cycle-exact study routes nothing");
+    assert!(report.population > 0);
+}
+
+#[test]
+fn fig3_slammer_hosts_reports() {
+    check(
+        env!("CARGO_BIN_EXE_fig3_slammer_hosts"),
+        "fig3_slammer_hosts",
+    );
+}
+
+#[test]
+fn fig4_codered_nat_reports() {
+    let report = check(env!("CARGO_BIN_EXE_fig4_codered_nat"), "fig4_codered_nat");
+    // the NATed population probes private space: drops must appear
+    assert!(report.probes_sent > 0);
+    assert!(report.dropped_total() > 0, "{:?}", report.dropped);
+}
+
+#[test]
+fn fig5a_hitlist_infection_reports() {
+    let report = check(
+        env!("CARGO_BIN_EXE_fig5a_hitlist_infection"),
+        "fig5a_hitlist_infection",
+    );
+    assert!(report.probes_sent > 0);
+    assert!(report.infections > 0);
+    assert!(report.infections_per_sec() > 0.0);
+}
+
+#[test]
+fn fig5b_hitlist_detection_reports() {
+    let report = check(
+        env!("CARGO_BIN_EXE_fig5b_hitlist_detection"),
+        "fig5b_hitlist_detection",
+    );
+    assert!(report.probes_sent > 0);
+    assert!(report.infections > 0);
+}
+
+#[test]
+fn fig5c_nat_detection_reports() {
+    let report = check(
+        env!("CARGO_BIN_EXE_fig5c_nat_detection"),
+        "fig5c_nat_detection",
+    );
+    assert!(report.probes_sent > 0);
+    assert!(report.infections > 0);
+}
+
+#[test]
+fn sensitivity_reports() {
+    let report = check(env!("CARGO_BIN_EXE_sensitivity"), "sensitivity");
+    assert!(report.probes_sent > 0);
+}
+
+#[test]
+fn table1_bot_commands_reports() {
+    check(
+        env!("CARGO_BIN_EXE_table1_bot_commands"),
+        "table1_bot_commands",
+    );
+}
+
+#[test]
+fn table2_filtering_reports() {
+    let report = check(env!("CARGO_BIN_EXE_table2_filtering"), "table2_filtering");
+    assert!(report.probes_sent > 0);
+    // enterprise egress filters must show up in the breakdown
+    assert!(
+        report
+            .dropped
+            .iter()
+            .any(|(r, n)| r == "egress_filtered" && *n > 0),
+        "{:?}",
+        report.dropped
+    );
+}
+
+#[test]
+fn ablations_reports() {
+    let report = check(env!("CARGO_BIN_EXE_ablations"), "ablations");
+    assert!(report.probes_sent > 0);
+    // engine-driven sections run with the sim's telemetry feature on,
+    // so phase timings and the step peak must be present
+    assert!(report.peak_step_seconds.is_some());
+    for phase in ["target_gen", "routing", "observe"] {
+        assert!(
+            report.phases.iter().any(|(n, _)| n == phase),
+            "missing phase {phase}: {:?}",
+            report.phases
+        );
+    }
+}
+
+#[test]
+fn run_report_env_appends_jsonl() {
+    let dir = std::env::temp_dir().join(format!("hotspots-run-reports-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("reports.jsonl");
+    let _ = std::fs::remove_file(&path);
+    for _ in 0..2 {
+        let output = Command::new(env!("CARGO_BIN_EXE_fig1_blaster"))
+            .arg("--quick")
+            .env(hotspots_telemetry::RUN_REPORT_ENV, &path)
+            .output()
+            .expect("spawn");
+        assert!(output.status.success());
+    }
+    let text = std::fs::read_to_string(&path).expect("report file written");
+    let reports: Vec<RunReport> = text
+        .lines()
+        .map(|l| RunReport::from_jsonl(l).expect("each line parses"))
+        .collect();
+    assert_eq!(reports.len(), 2, "appends, not truncates");
+    assert!(reports.iter().all(|r| r.binary == "fig1_blaster"));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}

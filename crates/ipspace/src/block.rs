@@ -54,7 +54,10 @@ impl AddressBlock {
     /// assert_eq!(b.label(), "D");
     /// ```
     pub fn new(label: impl Into<String>, prefix: Prefix) -> AddressBlock {
-        AddressBlock { label: label.into(), prefix }
+        AddressBlock {
+            label: label.into(),
+            prefix,
+        }
     }
 
     /// The anonymized label (`"A"`, `"H"`, …).
@@ -172,14 +175,10 @@ pub fn random_ims_deployment<R: rand::Rng + ?Sized>(rng: &mut R) -> Vec<AddressB
             let candidate = Prefix::containing(base, len);
             let routable = crate::special::is_globally_routable(candidate.base())
                 && crate::special::is_globally_routable(candidate.last_ip());
-            let m_ok = label != "M"
-                || !candidate.overlaps(crate::special::PRIVATE_192);
+            let m_ok = label != "M" || !candidate.overlaps(crate::special::PRIVATE_192);
             // no other block may swallow 192/8 whole, or M could never fit
             let leaves_room_for_m = label == "M"
-                || !candidate.contains_prefix(Prefix::containing(
-                    Ip::from_octets(192, 0, 0, 0),
-                    8,
-                ));
+                || !candidate.contains_prefix(Prefix::containing(Ip::from_octets(192, 0, 0, 0), 8));
             if routable
                 && m_ok
                 && leaves_room_for_m
@@ -236,10 +235,7 @@ mod tests {
         let blocks = ims_deployment();
         for (i, a) in blocks.iter().enumerate() {
             for b in &blocks[i + 1..] {
-                assert!(
-                    !a.prefix().overlaps(b.prefix()),
-                    "{a} overlaps {b}"
-                );
+                assert!(!a.prefix().overlaps(b.prefix()), "{a} overlaps {b}");
             }
         }
     }

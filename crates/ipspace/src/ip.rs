@@ -4,7 +4,7 @@ use std::fmt;
 use std::net::Ipv4Addr;
 use std::str::FromStr;
 
-use crate::bucket::{Bucket8, Bucket16, Bucket24};
+use crate::bucket::{Bucket16, Bucket24, Bucket8};
 use crate::error::ParseIpError;
 
 /// An IPv4 address, stored as its 32-bit numeric value
@@ -194,7 +194,9 @@ impl FromStr for Ip {
     type Err = ParseIpError;
 
     fn from_str(s: &str) -> Result<Ip, ParseIpError> {
-        let err = || ParseIpError { input: s.to_owned() };
+        let err = || ParseIpError {
+            input: s.to_owned(),
+        };
         let mut octets = [0u8; 4];
         let mut parts = s.split('.');
         for slot in &mut octets {
@@ -244,8 +246,19 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         for bad in [
-            "", "1", "1.2", "1.2.3", "1.2.3.4.5", "256.0.0.1", "-1.0.0.0", "a.b.c.d", "1..2.3",
-            "1.2.3.4 ", " 1.2.3.4", "01234.1.1.1", "+1.2.3.4",
+            "",
+            "1",
+            "1.2",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.0.0.1",
+            "-1.0.0.0",
+            "a.b.c.d",
+            "1..2.3",
+            "1.2.3.4 ",
+            " 1.2.3.4",
+            "01234.1.1.1",
+            "+1.2.3.4",
         ] {
             assert!(bad.parse::<Ip>().is_err(), "accepted {bad:?}");
         }
@@ -254,7 +267,10 @@ mod tests {
     #[test]
     fn parse_accepts_leading_zero_octets() {
         // "010" is three ASCII digits parsing to 10; we accept it as decimal.
-        assert_eq!("010.0.0.1".parse::<Ip>().unwrap(), Ip::from_octets(10, 0, 0, 1));
+        assert_eq!(
+            "010.0.0.1".parse::<Ip>().unwrap(),
+            Ip::from_octets(10, 0, 0, 1)
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@ mod range;
 pub mod special;
 
 pub use block::{ims_deployment, random_ims_deployment, AddressBlock};
-pub use bucket::{Bucket8, Bucket16, Bucket24};
+pub use bucket::{Bucket16, Bucket24, Bucket8};
 pub use error::{ParseIpError, ParsePrefixError, PrefixError};
 pub use ip::Ip;
-pub use range::IpRange;
 pub use prefix::{IpIter, Prefix, SubnetIter};
+pub use range::IpRange;

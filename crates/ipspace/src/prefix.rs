@@ -34,7 +34,10 @@ pub struct Prefix {
 
 impl Prefix {
     /// The entire IPv4 space, `0.0.0.0/0`.
-    pub const ALL: Prefix = Prefix { base: Ip::MIN, len: 0 };
+    pub const ALL: Prefix = Prefix {
+        base: Ip::MIN,
+        len: 0,
+    };
 
     /// Creates a prefix from a canonical base address and length.
     ///
@@ -58,7 +61,10 @@ impl Prefix {
         }
         let mask = Self::mask_for(len);
         if base.value() & !mask != 0 {
-            return Err(PrefixError::HostBitsSet { base: base.value(), len });
+            return Err(PrefixError::HostBitsSet {
+                base: base.value(),
+                len,
+            });
         }
         Ok(Prefix { base, len })
     }
@@ -81,7 +87,10 @@ impl Prefix {
     pub fn containing(ip: Ip, len: u8) -> Prefix {
         assert!(len <= 32, "prefix length {len} out of range");
         let mask = Self::mask_for(len);
-        Prefix { base: Ip::new(ip.value() & mask), len }
+        Prefix {
+            base: Ip::new(ip.value() & mask),
+            len,
+        }
     }
 
     #[inline]
@@ -184,7 +193,10 @@ impl Prefix {
     /// ```
     #[inline]
     pub fn nth(self, index: u64) -> Ip {
-        assert!(index < self.size(), "address index {index} out of range for {self}");
+        assert!(
+            index < self.size(),
+            "address index {index} out of range for {self}"
+        );
         Ip::new(self.base.value().wrapping_add(index as u32))
     }
 
@@ -192,7 +204,10 @@ impl Prefix {
     ///
     /// For a /0 this yields 2^32 items; use with care.
     pub fn iter(self) -> IpIter {
-        IpIter { next: Some(self.base), last: self.last_ip() }
+        IpIter {
+            next: Some(self.base),
+            last: self.last_ip(),
+        }
     }
 
     /// Iterates over the sub-prefixes of length `sub_len` that tile this
@@ -307,7 +322,10 @@ impl Iterator for SubnetIter {
         } else {
             Some(base.wrapping_add(step as u32))
         };
-        Some(Prefix { base, len: self.sub_len })
+        Some(Prefix {
+            base,
+            len: self.sub_len,
+        })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -315,8 +333,7 @@ impl Iterator for SubnetIter {
             None => (0, Some(0)),
             Some(next) => {
                 let step = 1u64 << (32 - self.sub_len);
-                let remaining =
-                    (u64::from(self.last_base.value() - next.value()) / step) + 1;
+                let remaining = (u64::from(self.last_base.value() - next.value()) / step) + 1;
                 let r = usize::try_from(remaining).unwrap_or(usize::MAX);
                 (r, Some(r))
             }
@@ -378,8 +395,14 @@ mod tests {
     #[test]
     fn parse_rejects_malformed() {
         for bad in [
-            "10.0.0.0", "10.0.0.0/", "10.0.0.0/33", "10.0.0.0/ 8", "10.0.0.1/8", "/8",
-            "10.0.0.0/-1", "10.0.0.0/008",
+            "10.0.0.0",
+            "10.0.0.0/",
+            "10.0.0.0/33",
+            "10.0.0.0/ 8",
+            "10.0.0.1/8",
+            "/8",
+            "10.0.0.0/-1",
+            "10.0.0.0/008",
         ] {
             assert!(bad.parse::<Prefix>().is_err(), "accepted {bad:?}");
         }

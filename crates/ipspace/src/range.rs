@@ -38,7 +38,10 @@ impl IpRange {
     }
 
     /// The whole IPv4 space as a range.
-    pub const ALL: IpRange = IpRange { start: Ip::MIN, end: Ip::MAX };
+    pub const ALL: IpRange = IpRange {
+        start: Ip::MIN,
+        end: Ip::MAX,
+    };
 
     /// First address.
     pub fn start(&self) -> Ip {
@@ -82,8 +85,7 @@ impl IpRange {
             let bits = align.min(fit).min(32);
             let len = (32 - bits) as u8;
             out.push(
-                Prefix::new(Ip::new(cur as u32), len)
-                    .expect("alignment guarantees no host bits"),
+                Prefix::new(Ip::new(cur as u32), len).expect("alignment guarantees no host bits"),
             );
             cur += 1u64 << bits;
         }
@@ -99,7 +101,10 @@ impl fmt::Display for IpRange {
 
 impl From<Prefix> for IpRange {
     fn from(p: Prefix) -> IpRange {
-        IpRange { start: p.base(), end: p.last_ip() }
+        IpRange {
+            start: p.base(),
+            end: p.last_ip(),
+        }
     }
 }
 
@@ -140,7 +145,10 @@ mod tests {
     #[test]
     fn decomposition_at_space_edges() {
         let top = IpRange::new(ip("255.255.255.254"), Ip::MAX).unwrap();
-        assert_eq!(top.to_prefixes(), vec!["255.255.255.254/31".parse().unwrap()]);
+        assert_eq!(
+            top.to_prefixes(),
+            vec!["255.255.255.254/31".parse().unwrap()]
+        );
         let bottom = IpRange::new(Ip::MIN, ip("0.0.0.2")).unwrap();
         let cover: Vec<String> = bottom.to_prefixes().iter().map(|p| p.to_string()).collect();
         assert_eq!(cover, ["0.0.0.0/31", "0.0.0.2/32"]);

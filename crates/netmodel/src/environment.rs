@@ -69,6 +69,33 @@ pub enum DropReason {
     PacketLoss,
 }
 
+impl DropReason {
+    /// Every reason, in a fixed order (ledger/report column order).
+    pub const ALL: [DropReason; 4] = [
+        DropReason::UnroutableDestination,
+        DropReason::EgressFiltered,
+        DropReason::IngressFiltered,
+        DropReason::PacketLoss,
+    ];
+
+    /// A stable `snake_case` label for machine-readable output (JSONL
+    /// run reports); [`fmt::Display`] stays human-oriented.
+    pub fn snake_label(self) -> &'static str {
+        match self {
+            DropReason::UnroutableDestination => "unroutable_destination",
+            DropReason::EgressFiltered => "egress_filtered",
+            DropReason::IngressFiltered => "ingress_filtered",
+            DropReason::PacketLoss => "packet_loss",
+        }
+    }
+
+    /// The reason's index into [`DropReason::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 impl fmt::Display for DropReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -269,21 +296,30 @@ mod tests {
                 Service::BLASTER_RPC,
                 &mut rng(),
             );
-            assert_eq!(v, Delivery::Dropped(DropReason::UnroutableDestination), "{dst}");
+            assert_eq!(
+                v,
+                Delivery::Dropped(DropReason::UnroutableDestination),
+                "{dst}"
+            );
         }
     }
 
     #[test]
     fn nat_asymmetry() {
         let mut env = Environment::new();
-        let realm = env
-            .add_realm(NatRealm::home_192_168(ip("203.0.113.1")).unwrap());
-        let inside = Locus::Private { realm, ip: ip("192.168.0.5") };
+        let realm = env.add_realm(NatRealm::home_192_168(ip("203.0.113.1")).unwrap());
+        let inside = Locus::Private {
+            realm,
+            ip: ip("192.168.0.5"),
+        };
         let mut r = rng();
         // inside → inside: local delivery
         assert_eq!(
             env.route(inside, ip("192.168.200.1"), Service::CODERED_HTTP, &mut r),
-            Delivery::Local { realm, ip: ip("192.168.200.1") }
+            Delivery::Local {
+                realm,
+                ip: ip("192.168.200.1")
+            }
         );
         // inside → public: delivered (sourced from gateway)
         assert_eq!(
@@ -292,7 +328,12 @@ mod tests {
         );
         // outside → private: unroutable
         assert_eq!(
-            env.route(Locus::Public(ip("8.8.8.8")), ip("192.168.0.5"), Service::CODERED_HTTP, &mut r),
+            env.route(
+                Locus::Public(ip("8.8.8.8")),
+                ip("192.168.0.5"),
+                Service::CODERED_HTTP,
+                &mut r
+            ),
             Delivery::Dropped(DropReason::UnroutableDestination)
         );
     }
@@ -300,13 +341,14 @@ mod tests {
     #[test]
     fn natted_host_cannot_reach_other_realms_private_space() {
         let mut env = Environment::new();
-        let realm_a = env.add_realm(
-            NatRealm::new("10.0.0.0/16".parse().unwrap(), ip("198.51.100.1")).unwrap(),
-        );
-        let _realm_b = env.add_realm(
-            NatRealm::new("10.1.0.0/16".parse().unwrap(), ip("198.51.100.2")).unwrap(),
-        );
-        let inside_a = Locus::Private { realm: realm_a, ip: ip("10.0.0.9") };
+        let realm_a = env
+            .add_realm(NatRealm::new("10.0.0.0/16".parse().unwrap(), ip("198.51.100.1")).unwrap());
+        let _realm_b = env
+            .add_realm(NatRealm::new("10.1.0.0/16".parse().unwrap(), ip("198.51.100.2")).unwrap());
+        let inside_a = Locus::Private {
+            realm: realm_a,
+            ip: ip("10.0.0.9"),
+        };
         // 10.1.x.x is private but not in realm A → unroutable from A
         assert_eq!(
             env.route(inside_a, ip("10.1.0.9"), Service::BOT_SMB, &mut rng()),
@@ -317,13 +359,15 @@ mod tests {
     #[test]
     fn egress_filter_applies_to_gateway_source() {
         let mut env = Environment::new();
-        let realm = env.add_realm(
-            NatRealm::new("192.168.0.0/16".parse().unwrap(), ip("131.5.0.1")).unwrap(),
-        );
+        let realm = env
+            .add_realm(NatRealm::new("192.168.0.0/16".parse().unwrap(), ip("131.5.0.1")).unwrap());
         env.filters_mut()
             .push(FilterRule::egress("131.5.0.0/16".parse().unwrap(), None));
         // NATed host's outbound probes carry the gateway source → filtered
-        let inside = Locus::Private { realm, ip: ip("192.168.1.1") };
+        let inside = Locus::Private {
+            realm,
+            ip: ip("192.168.1.1"),
+        };
         assert_eq!(
             env.route(inside, ip("9.9.9.9"), Service::BLASTER_RPC, &mut rng()),
             Delivery::Dropped(DropReason::EgressFiltered)
@@ -354,7 +398,12 @@ mod tests {
         let mut env = Environment::new();
         env.set_loss(LossModel::new(1.0).unwrap());
         assert_eq!(
-            env.route(Locus::Public(ip("1.1.1.1")), ip("2.2.2.2"), Service::BOT_SMB, &mut rng()),
+            env.route(
+                Locus::Public(ip("1.1.1.1")),
+                ip("2.2.2.2"),
+                Service::BOT_SMB,
+                &mut rng()
+            ),
             Delivery::Dropped(DropReason::PacketLoss)
         );
     }
@@ -409,9 +458,11 @@ mod tests {
     #[test]
     fn locus_public_source_resolves_gateway() {
         let mut env = Environment::new();
-        let realm = env
-            .add_realm(NatRealm::home_192_168(ip("203.0.113.1")).unwrap());
-        let l = Locus::Private { realm, ip: ip("192.168.0.2") };
+        let realm = env.add_realm(NatRealm::home_192_168(ip("203.0.113.1")).unwrap());
+        let l = Locus::Private {
+            realm,
+            ip: ip("192.168.0.2"),
+        };
         assert_eq!(l.public_source(&env), ip("203.0.113.1"));
         assert_eq!(l.local_address(), ip("192.168.0.2"));
         let p = Locus::Public(ip("5.5.5.5"));

@@ -142,7 +142,9 @@ impl FilterTable {
 
 impl FromIterator<FilterRule> for FilterTable {
     fn from_iter<I: IntoIterator<Item = FilterRule>>(iter: I) -> FilterTable {
-        FilterTable { rules: iter.into_iter().collect() }
+        FilterTable {
+            rules: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -157,7 +159,10 @@ mod tests {
     #[test]
     fn empty_table_allows_everything() {
         let t = FilterTable::new();
-        assert_eq!(t.check(ip("1.1.1.1"), ip("2.2.2.2"), Service::SLAMMER_SQL), None);
+        assert_eq!(
+            t.check(ip("1.1.1.1"), ip("2.2.2.2"), Service::SLAMMER_SQL),
+            None
+        );
     }
 
     #[test]
@@ -168,7 +173,10 @@ mod tests {
             t.check(ip("131.5.5.5"), ip("8.8.8.8"), Service::BLASTER_RPC),
             Some(DropReason::EgressFiltered)
         );
-        assert_eq!(t.check(ip("132.5.5.5"), ip("8.8.8.8"), Service::BLASTER_RPC), None);
+        assert_eq!(
+            t.check(ip("132.5.5.5"), ip("8.8.8.8"), Service::BLASTER_RPC),
+            None
+        );
     }
 
     #[test]
@@ -206,11 +214,9 @@ mod tests {
 
     #[test]
     fn from_iterator_builds_table() {
-        let t: FilterTable = [
-            FilterRule::egress("10.0.0.0/8".parse().unwrap(), None),
-        ]
-        .into_iter()
-        .collect();
+        let t: FilterTable = [FilterRule::egress("10.0.0.0/8".parse().unwrap(), None)]
+            .into_iter()
+            .collect();
         assert_eq!(t.rules().len(), 1);
     }
 }

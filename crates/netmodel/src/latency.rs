@@ -30,7 +30,10 @@ pub struct LatencyModel {
 
 impl LatencyModel {
     /// Zero latency (the idealized instantaneous-infection Internet).
-    pub const NONE: LatencyModel = LatencyModel { base_secs: 0.0, jitter_secs: 0.0 };
+    pub const NONE: LatencyModel = LatencyModel {
+        base_secs: 0.0,
+        jitter_secs: 0.0,
+    };
 
     /// Creates a model: every delivery takes `base_secs` plus a uniform
     /// draw from `[0, jitter_secs)`.
@@ -41,7 +44,10 @@ impl LatencyModel {
             && jitter_secs.is_finite()
             && base_secs >= 0.0
             && jitter_secs >= 0.0;
-        ok.then_some(LatencyModel { base_secs, jitter_secs })
+        ok.then_some(LatencyModel {
+            base_secs,
+            jitter_secs,
+        })
     }
 
     /// The fixed component in seconds.

@@ -40,6 +40,7 @@
 mod environment;
 pub mod filtering;
 pub mod latency;
+mod ledger;
 pub mod loss;
 pub mod nat;
 pub mod orgs;
@@ -48,6 +49,7 @@ mod service;
 pub use environment::{Delivery, DropReason, Environment, Locus};
 pub use filtering::{FilterRule, FilterTable};
 pub use latency::LatencyModel;
+pub use ledger::DeliveryLedger;
 pub use loss::LossModel;
 pub use nat::{NatRealm, RealmId};
 pub use orgs::{OrgKind, OrgRegistry, Organization};

@@ -82,7 +82,10 @@ impl NatRealm {
         if !special::is_globally_routable(gateway) {
             return Err(NatRealmError::GatewayNotPublic(gateway));
         }
-        Ok(NatRealm { private_prefix, gateway })
+        Ok(NatRealm {
+            private_prefix,
+            gateway,
+        })
     }
 
     /// The canonical consumer-NAT realm: all of `192.168.0.0/16` — the

@@ -54,7 +54,10 @@ impl Organization {
     ///
     /// Panics if `prefixes` is empty.
     pub fn new(name: impl Into<String>, kind: OrgKind, prefixes: Vec<Prefix>) -> Organization {
-        assert!(!prefixes.is_empty(), "organization needs at least one prefix");
+        assert!(
+            !prefixes.is_empty(),
+            "organization needs at least one prefix"
+        );
         Organization {
             name: name.into(),
             kind,
@@ -108,7 +111,11 @@ impl fmt::Display for Organization {
             self.name,
             self.kind,
             self.address_count(),
-            if self.egress_filtered { ", egress-filtered" } else { "" }
+            if self.egress_filtered {
+                ", egress-filtered"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -234,8 +241,15 @@ mod tests {
     #[test]
     fn owner_lookup() {
         let mut reg = OrgRegistry::new();
-        reg.add(Organization::new("X", OrgKind::Academic, vec![p("141.0.0.0/15")]));
-        assert_eq!(reg.owner(Ip::from_octets(141, 1, 2, 3)).unwrap().name(), "X");
+        reg.add(Organization::new(
+            "X",
+            OrgKind::Academic,
+            vec![p("141.0.0.0/15")],
+        ));
+        assert_eq!(
+            reg.owner(Ip::from_octets(141, 1, 2, 3)).unwrap().name(),
+            "X"
+        );
         assert!(reg.owner(Ip::from_octets(142, 0, 0, 0)).is_none());
     }
 
@@ -243,8 +257,16 @@ mod tests {
     #[should_panic(expected = "overlaps")]
     fn add_rejects_overlapping_allocations() {
         let mut reg = OrgRegistry::new();
-        reg.add(Organization::new("A", OrgKind::Broadband, vec![p("10.0.0.0/8")]));
-        reg.add(Organization::new("B", OrgKind::Broadband, vec![p("10.1.0.0/16")]));
+        reg.add(Organization::new(
+            "A",
+            OrgKind::Broadband,
+            vec![p("10.0.0.0/8")],
+        ));
+        reg.add(Organization::new(
+            "B",
+            OrgKind::Broadband,
+            vec![p("10.1.0.0/16")],
+        ));
     }
 
     #[test]
@@ -300,6 +322,8 @@ mod tests {
         assert!(rules
             .check(banking, dst, crate::Service::CODERED_HTTP)
             .is_some());
-        assert!(rules.check(isp, dst, crate::Service::CODERED_HTTP).is_none());
+        assert!(rules
+            .check(isp, dst, crate::Service::CODERED_HTTP)
+            .is_none());
     }
 }

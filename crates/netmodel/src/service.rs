@@ -89,7 +89,11 @@ mod tests {
 
     #[test]
     fn ordering_and_hash_derivable() {
-        let mut v = [Service::SLAMMER_SQL, Service::CODERED_HTTP, Service::BLASTER_RPC];
+        let mut v = [
+            Service::SLAMMER_SQL,
+            Service::CODERED_HTTP,
+            Service::BLASTER_RPC,
+        ];
         v.sort();
         assert_eq!(v[0], Service::CODERED_HTTP);
     }

@@ -85,10 +85,9 @@ impl fmt::Display for CycleError {
             CycleError::NoFixedPoint => {
                 write!(f, "map has no fixed point; algebraic analysis unavailable")
             }
-            CycleError::UnsupportedMultiplierClass { a } => write!(
-                f,
-                "cycle identification requires a ≡ 1 (mod 4); got {a:#x}"
-            ),
+            CycleError::UnsupportedMultiplierClass { a } => {
+                write!(f, "cycle identification requires a ≡ 1 (mod 4); got {a:#x}")
+            }
         }
     }
 }
@@ -175,7 +174,11 @@ impl AffineMap {
         if a.is_multiple_of(2) {
             return Err(CycleError::EvenMultiplier { a });
         }
-        Ok(AffineMap { a, b: b & mask(bits), bits })
+        Ok(AffineMap {
+            a,
+            b: b & mask(bits),
+            bits,
+        })
     }
 
     /// The full-width (2^32) map for a Slammer instance with the given DLL
@@ -251,7 +254,11 @@ impl AffineMap {
         }
         let t = a1.trailing_zeros().min(m); // gcd(a-1, 2^m) = 2^t
         if t >= m {
-            return if self.b & mask(self.bits) == 0 { Some(0) } else { None };
+            return if self.b & mask(self.bits) == 0 {
+                Some(0)
+            } else {
+                None
+            };
         }
         if u64::from(self.b) % (1u64 << t) != 0 {
             return None;
@@ -303,7 +310,10 @@ impl AffineMap {
         let c = self.fixed_point().ok_or(CycleError::NoFixedPoint)?;
         let y = x.wrapping_sub(c) & mask(self.bits);
         if y == 0 {
-            return Ok(CycleId { valuation: self.bits, sign_class: false });
+            return Ok(CycleId {
+                valuation: self.bits,
+                sign_class: false,
+            });
         }
         let v = y.trailing_zeros() as u8;
         let j = self.bits - v;
@@ -315,7 +325,10 @@ impl AffineMap {
         // the maximal-order generators this workspace uses, and verified
         // against brute force in tests.
         let sign_class = j >= 2 && (u & 3) == 3;
-        Ok(CycleId { valuation: v, sign_class })
+        Ok(CycleId {
+            valuation: v,
+            sign_class,
+        })
     }
 
     /// Full cycle decomposition as per-valuation bands.
@@ -340,7 +353,11 @@ impl AffineMap {
             });
         }
         // the fixed point y = 0
-        bands.push(CycleBand { valuation: n, cycle_length: 1, num_cycles: 1 });
+        bands.push(CycleBand {
+            valuation: n,
+            cycle_length: 1,
+            num_cycles: 1,
+        });
         Ok(bands)
     }
 
@@ -393,7 +410,10 @@ impl AffineMap {
     ///
     /// Propagates errors from [`AffineMap::cycle_id`]; also returns
     /// [`CycleError::BitsOutOfRange`] if the map is not 32-bit wide.
-    pub fn cycles_through_block(&self, block: Prefix) -> Result<BTreeMap<CycleId, u64>, CycleError> {
+    pub fn cycles_through_block(
+        &self,
+        block: Prefix,
+    ) -> Result<BTreeMap<CycleId, u64>, CycleError> {
         if self.bits != 32 {
             return Err(CycleError::BitsOutOfRange { bits: self.bits });
         }
@@ -728,13 +748,7 @@ mod tests {
         // from the fixed point than D (131.107.0.0/20) or I (199.77.0.0/17),
         // so fewer seeds ever reach H.
         let deployment = hotspots_ipspace::ims_deployment();
-        let find = |l: &str| {
-            deployment
-                .iter()
-                .find(|b| b.label() == l)
-                .unwrap()
-                .prefix()
-        };
+        let find = |l: &str| deployment.iter().find(|b| b.label() == l).unwrap().prefix();
         let mut frac = BTreeMap::new();
         for label in ["D", "H", "I"] {
             let mut f = 0.0;

@@ -47,7 +47,11 @@ impl TickCount {
     /// 32-bit boundary (≈ 49.7 days) like the real counter wraps.
     pub fn from_secs_f64(secs: f64) -> TickCount {
         let ms = (secs.max(0.0) * 1000.0).round();
-        TickCount(if ms >= u32::MAX as f64 { u32::MAX } else { ms as u32 })
+        TickCount(if ms >= u32::MAX as f64 {
+            u32::MAX
+        } else {
+            ms as u32
+        })
     }
 
     /// Milliseconds since boot.
@@ -147,7 +151,10 @@ impl BootTimeModel {
     pub fn new(mean_secs: f64, std_secs: f64) -> BootTimeModel {
         assert!(mean_secs > 0.0, "mean boot time must be positive");
         assert!(std_secs >= 0.0, "std must be non-negative");
-        BootTimeModel { mean_secs, std_secs }
+        BootTimeModel {
+            mean_secs,
+            std_secs,
+        }
     }
 
     /// Mean boot time in seconds.
@@ -191,7 +198,10 @@ impl LaunchDelayModel {
     pub fn new(median_secs: f64, log_sigma: f64) -> LaunchDelayModel {
         assert!(median_secs > 0.0, "median must be positive");
         assert!(log_sigma >= 0.0, "log sigma must be non-negative");
-        LaunchDelayModel { median_secs, log_sigma }
+        LaunchDelayModel {
+            median_secs,
+            log_sigma,
+        }
     }
 
     /// The paper-matched Blaster population delay: median 4.5 minutes,
@@ -267,7 +277,11 @@ impl SeedModel {
     /// Builds a model from explicit parts (tick resolution defaults to
     /// [`Self::TICK_RESOLUTION_MS`]).
     pub fn from_parts(boot: BootTimeModel, delay: Option<LaunchDelayModel>) -> SeedModel {
-        SeedModel { boot, delay, resolution_ms: Self::TICK_RESOLUTION_MS }
+        SeedModel {
+            boot,
+            delay,
+            resolution_ms: Self::TICK_RESOLUTION_MS,
+        }
     }
 
     /// Overrides the timer granularity (1 = ideal millisecond timer).
@@ -321,7 +335,10 @@ mod tests {
     fn tick_count_display() {
         assert_eq!(TickCount::from_millis(2_300).to_string(), "2.300s");
         assert_eq!(TickCount::from_millis(138_000).to_string(), "2m18.000s");
-        assert_eq!(TickCount::from_millis(7_380_000).to_string(), "2h03m00.000s");
+        assert_eq!(
+            TickCount::from_millis(7_380_000).to_string(),
+            "2h03m00.000s"
+        );
     }
 
     #[test]
@@ -389,11 +406,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let model = SeedModel::blaster_population(HardwareGeneration::PentiumIii);
         for _ in 0..200 {
-            assert_eq!(model.sample_seed(&mut rng) % SeedModel::TICK_RESOLUTION_MS, 0);
+            assert_eq!(
+                model.sample_seed(&mut rng) % SeedModel::TICK_RESOLUTION_MS,
+                0
+            );
         }
         // an ideal 1ms timer produces non-multiples too
         let ideal = model.with_resolution_ms(1);
-        let any_offset = (0..200).any(|_| ideal.sample_seed(&mut rng) % 16 != 0);
+        let any_offset = (0..200).any(|_| !ideal.sample_seed(&mut rng).is_multiple_of(16));
         assert!(any_offset);
     }
 

@@ -53,7 +53,11 @@ impl Lcg32 {
     /// Creates a generator with multiplier `mul`, increment `inc`, and
     /// initial state `seed`.
     pub const fn new(mul: u32, inc: u32, seed: u32) -> Lcg32 {
-        Lcg32 { mul, inc, state: seed }
+        Lcg32 {
+            mul,
+            inc,
+            state: seed,
+        }
     }
 
     /// The multiplier `a`.

@@ -36,7 +36,9 @@ pub struct MsvcrtRand {
 impl MsvcrtRand {
     /// Equivalent of `srand(seed)`.
     pub const fn with_seed(seed: u32) -> MsvcrtRand {
-        MsvcrtRand { lcg: Lcg32::new(MSVCRT_MUL, MSVCRT_INC, seed) }
+        MsvcrtRand {
+            lcg: Lcg32::new(MSVCRT_MUL, MSVCRT_INC, seed),
+        }
     }
 
     /// Equivalent of `rand()`: a 15-bit value in `0..=32767`.

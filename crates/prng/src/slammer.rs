@@ -203,8 +203,8 @@ mod tests {
         // (a-1)s ≡ -b, a-1 = 4·53503, b ≡ 0 mod 4.
         let b = SqlsortDll::Gold.increment();
         let inv53503 = mod_inverse_pow2(53503, 30);
-        let s = (((b / 4).wrapping_neg() & ((1 << 30) - 1)) as u64 * inv53503 as u64
-            % (1 << 30)) as u32;
+        let s = (((b / 4).wrapping_neg() & ((1 << 30) - 1)) as u64 * inv53503 as u64 % (1 << 30))
+            as u32;
         // lift to a solution mod 2^32
         let mut fixed = None;
         for j in 0..4u32 {
@@ -217,12 +217,20 @@ mod tests {
         let fixed = fixed.expect("a fixed point exists because 4 | b");
         let mut worm = SlammerPrng::new(SqlsortDll::Gold, fixed);
         let targets: HashSet<Ip> = (0..100).map(|_| worm.next_target()).collect();
-        assert_eq!(targets.len(), 1, "fixed-point instance must hit one address");
+        assert_eq!(
+            targets.len(),
+            1,
+            "fixed-point instance must hit one address"
+        );
     }
 
     /// Inverse of odd `x` modulo `2^bits` by Newton iteration.
     fn mod_inverse_pow2(x: u32, bits: u32) -> u32 {
-        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let mask = if bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
         let mut inv: u32 = 1;
         for _ in 0..6 {
             inv = inv.wrapping_mul(2u32.wrapping_sub(x.wrapping_mul(inv)));

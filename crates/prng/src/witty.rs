@@ -38,7 +38,9 @@ impl WittyPrng {
     /// Creates an instance seeded with `seed` (in the wild: a
     /// time-derived value).
     pub const fn new(seed: u32) -> WittyPrng {
-        WittyPrng { lcg: Lcg32::new(MSVCRT_MUL, MSVCRT_INC, seed) }
+        WittyPrng {
+            lcg: Lcg32::new(MSVCRT_MUL, MSVCRT_INC, seed),
+        }
     }
 
     /// The raw LCG state.
@@ -142,7 +144,10 @@ mod tests {
         let mut w = WittyPrng::new(99);
         for _ in 0..100 {
             let t = w.next_target();
-            assert!(WittyPrng::can_generate(t), "{t} was generated but deemed unreachable");
+            assert!(
+                WittyPrng::can_generate(t),
+                "{t} was generated but deemed unreachable"
+            );
         }
         let mut unreachable = 0u32;
         let sample = 2_000u32;

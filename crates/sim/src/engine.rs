@@ -1,12 +1,17 @@
 //! The discrete-time outbreak engine.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use hotspots_netmodel::{Delivery, DropReason, Environment, Locus};
+#[cfg(feature = "telemetry")]
+use std::time::{Duration, Instant};
+
+use hotspots_netmodel::{Delivery, DeliveryLedger, Environment, Locus};
 use hotspots_prng::SplitMix;
 use hotspots_stats::TimeSeries;
 use hotspots_targeting::TargetGenerator;
+#[cfg(feature = "telemetry")]
+use hotspots_telemetry::{Histogram, PhaseTimes};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::{Rng, SeedableRng};
@@ -81,6 +86,22 @@ impl SimConfig {
     }
 }
 
+/// Wall-clock accounting for one run's engine phases (only collected
+/// under the `telemetry` cargo feature; without it no clock is read in
+/// the step loop).
+#[cfg(feature = "telemetry")]
+#[derive(Debug, Clone)]
+pub struct EngineTelemetry {
+    /// Per-phase wall totals: `target_gen` (drawing targets),
+    /// `routing` (environment verdicts), `observe` (observer
+    /// dispatch).
+    pub phases: PhaseTimes,
+    /// Per-step wall time in microseconds, log-bucketed.
+    pub step_micros: Histogram,
+    /// Slowest single step in wall seconds.
+    pub peak_step_seconds: f64,
+}
+
 /// The result of one outbreak run.
 #[derive(Debug)]
 pub struct SimResult {
@@ -95,13 +116,17 @@ pub struct SimResult {
     pub population: usize,
     /// Total probes emitted.
     pub probes_sent: u64,
-    /// Probes dropped en route, by reason.
-    pub drops: HashMap<DropReason, u64>,
+    /// Every probe's verdict: deliveries (public/local) and drops by
+    /// reason. `ledger.probes() == probes_sent` always.
+    pub ledger: DeliveryLedger,
     /// Infection time per host id (`None` = never infected). With
     /// latency, this is the *activation* time.
     pub infection_times: Vec<Option<f64>>,
     /// Simulated seconds elapsed.
     pub elapsed: f64,
+    /// Engine phase timings (`telemetry` feature only).
+    #[cfg(feature = "telemetry")]
+    pub telemetry: EngineTelemetry,
 }
 
 impl SimResult {
@@ -170,7 +195,12 @@ impl Engine {
             population.len() >= config.seeds,
             "population smaller than seed count"
         );
-        Engine { config, population, env, worm }
+        Engine {
+            config,
+            population,
+            env,
+            worm,
+        }
     }
 
     /// The configured worm model.
@@ -216,10 +246,17 @@ impl Engine {
         // pending activations ordered by time (microseconds for total order)
         let mut pending: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
         let mut curve = TimeSeries::new(format!("{} infected fraction", self.worm.name()));
-        let mut probes_sent: u64 = 0;
         let mut ever_infected = 0usize;
         let mut removed = 0usize;
-        let mut drops: HashMap<DropReason, u64> = HashMap::new();
+        let mut ledger = DeliveryLedger::new();
+
+        #[cfg(feature = "telemetry")]
+        let (mut tel_target, mut tel_route, mut tel_observe) =
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        #[cfg(feature = "telemetry")]
+        let mut step_micros = Histogram::new();
+        #[cfg(feature = "telemetry")]
+        let mut peak_step = Duration::ZERO;
 
         // Seed hosts.
         for idx in sample(&mut rng, n, self.config.seeds) {
@@ -244,6 +281,8 @@ impl Engine {
 
         while time < self.config.max_time {
             time += self.config.dt;
+            #[cfg(feature = "telemetry")]
+            let step_start = Instant::now();
 
             // Activate pending (latency-delayed) infections due by now.
             let mut activated = false;
@@ -301,20 +340,27 @@ impl Engine {
                 host.probe_credit += host.probes_per_step;
                 while host.probe_credit >= 1.0 {
                     host.probe_credit -= 1.0;
-                    probes_sent += 1;
+                    #[cfg(feature = "telemetry")]
+                    let t0 = Instant::now();
                     let target = host.generator.next_target();
+                    #[cfg(feature = "telemetry")]
+                    let t1 = Instant::now();
                     let delivery = self.env.route(host.locus, target, service, &mut rng);
+                    ledger.record(delivery);
+                    #[cfg(feature = "telemetry")]
+                    let t2 = Instant::now();
                     let public_src = host.locus.public_source(&self.env);
                     observer.on_probe(time, public_src, delivery);
+                    #[cfg(feature = "telemetry")]
+                    {
+                        tel_target += t1 - t0;
+                        tel_route += t2 - t1;
+                        tel_observe += t2.elapsed();
+                    }
                     let victim = match delivery {
                         Delivery::Public(ip) => self.population.find_public(ip),
-                        Delivery::Local { realm, ip } => {
-                            self.population.find_private(realm, ip)
-                        }
-                        Delivery::Dropped(reason) => {
-                            *drops.entry(reason).or_insert(0) += 1;
-                            None
-                        }
+                        Delivery::Local { realm, ip } => self.population.find_private(realm, ip),
+                        Delivery::Dropped(_) => None,
                     };
                     if let Some(v) = victim {
                         if !infected_flags[v] && !removed_flags[v] && !pending_flags[v] {
@@ -349,6 +395,12 @@ impl Engine {
             if !newly_infected.is_empty() || activated || curve.is_empty() {
                 curve.push(time, ever_infected as f64 / n as f64);
             }
+            #[cfg(feature = "telemetry")]
+            {
+                let step = step_start.elapsed();
+                step_micros.record(step.as_micros() as u64);
+                peak_step = peak_step.max(step);
+            }
         }
         curve.push(time, ever_infected as f64 / n as f64);
 
@@ -357,10 +409,22 @@ impl Engine {
             removed,
             population: n,
             infection_curve: curve,
-            probes_sent,
-            drops,
+            probes_sent: ledger.probes(),
+            ledger,
             infection_times,
             elapsed: time,
+            #[cfg(feature = "telemetry")]
+            telemetry: {
+                let mut phases = PhaseTimes::new();
+                phases.record("target_gen", tel_target);
+                phases.record("routing", tel_route);
+                phases.record("observe", tel_observe);
+                EngineTelemetry {
+                    phases,
+                    step_micros,
+                    peak_step_seconds: peak_step.as_secs_f64(),
+                }
+            },
         }
     }
 }
@@ -372,7 +436,7 @@ mod tests {
     use crate::population::apply_nat;
     use crate::worms::{CodeRed2Worm, HitListWorm, UniformWorm};
     use hotspots_ipspace::Ip;
-    use hotspots_netmodel::LatencyModel;
+    use hotspots_netmodel::{DropReason, LatencyModel};
     use hotspots_targeting::HitList;
 
     /// A dense population inside one /16 so uniform worms still make
@@ -671,7 +735,10 @@ mod tests {
     #[should_panic(expected = "population smaller than seed count")]
     fn seed_count_validated() {
         let _ = Engine::new(
-            SimConfig { seeds: 100, ..SimConfig::default() },
+            SimConfig {
+                seeds: 100,
+                ..SimConfig::default()
+            },
             dense_population(10),
             Environment::new(),
             Box::new(UniformWorm),
@@ -682,10 +749,54 @@ mod tests {
     #[should_panic(expected = "removal_rate")]
     fn negative_removal_rate_rejected() {
         let _ = Engine::new(
-            SimConfig { removal_rate: -0.1, ..SimConfig::default() },
+            SimConfig {
+                removal_rate: -0.1,
+                ..SimConfig::default()
+            },
             dense_population(30),
             Environment::new(),
             Box::new(UniformWorm),
+        );
+    }
+
+    #[test]
+    fn ledger_accounts_for_every_probe() {
+        let mut env = Environment::new();
+        env.set_loss(hotspots_netmodel::LossModel::new(0.3).unwrap());
+        let mut engine = Engine::new(
+            hitlist_config(),
+            dense_population(200),
+            env,
+            Box::new(HitListWorm::new(hitlist())),
+        );
+        let result = engine.run(&mut NullObserver);
+        assert_eq!(result.ledger.probes(), result.probes_sent);
+        assert_eq!(
+            result.ledger.delivered() + result.ledger.dropped_total(),
+            result.probes_sent
+        );
+        assert!(result.ledger.dropped(DropReason::PacketLoss) > 0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_feature_collects_phase_times() {
+        let mut engine = Engine::new(
+            hitlist_config(),
+            dense_population(200),
+            Environment::new(),
+            Box::new(HitListWorm::new(hitlist())),
+        );
+        let result = engine.run(&mut NullObserver);
+        let tel = &result.telemetry;
+        for phase in ["target_gen", "routing", "observe"] {
+            assert_eq!(tel.phases.spans(phase), 1, "{phase} missing");
+        }
+        assert!(tel.step_micros.count() > 0);
+        assert!(tel.peak_step_seconds > 0.0);
+        assert!(
+            tel.peak_step_seconds * 1e6 >= tel.step_micros.max().unwrap() as f64,
+            "peak must bound the histogram"
         );
     }
 

@@ -35,7 +35,11 @@ impl IpMap {
     /// Creates a map sized for at least `capacity` entries at ≤ 50% load.
     pub fn with_capacity(capacity: usize) -> IpMap {
         let table = (capacity.max(8) * 2).next_power_of_two();
-        IpMap { slots: vec![EMPTY; table], mask: table - 1, len: 0 }
+        IpMap {
+            slots: vec![EMPTY; table],
+            mask: table - 1,
+            len: 0,
+        }
     }
 
     /// Number of entries.

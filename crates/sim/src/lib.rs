@@ -39,8 +39,11 @@ mod engine;
 mod ipmap;
 mod observers;
 mod population;
+mod telemetry;
 mod worms;
 
+#[cfg(feature = "telemetry")]
+pub use engine::EngineTelemetry;
 pub use engine::{Engine, SimConfig, SimResult};
 pub use ipmap::IpMap;
 pub use observers::{DropTally, FieldObserver, NullObserver, SimObserver, TelescopeObserver};
@@ -48,6 +51,7 @@ pub use population::{
     apply_nat, apply_nat_shared, occupied_slash16s, paper_codered_population,
     synthetic_codered_population, Population,
 };
+pub use telemetry::{fold_ledger, TelemetryObserver};
 pub use worms::{
     BlasterWorm, BotWorm, CodeRed2Worm, HitListWorm, SlammerWorm, UniformWorm, WormModel,
 };

@@ -31,6 +31,32 @@ impl SimObserver for NullObserver {
     fn on_probe(&mut self, _time: f64, _public_src: Ip, _delivery: Delivery) {}
 }
 
+/// Observers can be borrowed across runs instead of moved into each one.
+impl<T: SimObserver + ?Sized> SimObserver for &mut T {
+    #[inline]
+    fn on_probe(&mut self, time: f64, public_src: Ip, delivery: Delivery) {
+        (**self).on_probe(time, public_src, delivery);
+    }
+
+    #[inline]
+    fn on_infection(&mut self, time: f64, host: usize, locus: Locus) {
+        (**self).on_infection(time, host, locus);
+    }
+}
+
+/// Boxed (dynamically chosen) observers are observers.
+impl<T: SimObserver + ?Sized> SimObserver for Box<T> {
+    #[inline]
+    fn on_probe(&mut self, time: f64, public_src: Ip, delivery: Delivery) {
+        (**self).on_probe(time, public_src, delivery);
+    }
+
+    #[inline]
+    fn on_infection(&mut self, time: f64, host: usize, locus: Locus) {
+        (**self).on_infection(time, host, locus);
+    }
+}
+
 impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn on_probe(&mut self, time: f64, public_src: Ip, delivery: Delivery) {
         self.0.on_probe(time, public_src, delivery);
@@ -57,7 +83,10 @@ impl FieldObserver {
     /// Wraps a detector field, treating every probe's payload as
     /// identifiable (the right model for active sensor fields).
     pub fn new(field: DetectorField) -> FieldObserver {
-        FieldObserver { field, first_packet_payload: true }
+        FieldObserver {
+            field,
+            first_packet_payload: true,
+        }
     }
 
     /// Wraps a detector field for a worm probing `service`: payload
@@ -172,13 +201,30 @@ mod tests {
     #[test]
     fn tuple_observer_fans_out() {
         let mut pair = (DropTally::new(), DropTally::new());
-        pair.on_probe(
-            0.0,
-            Ip::MIN,
-            Delivery::Dropped(DropReason::PacketLoss),
-        );
+        pair.on_probe(0.0, Ip::MIN, Delivery::Dropped(DropReason::PacketLoss));
         assert_eq!(pair.0.dropped(DropReason::PacketLoss), 1);
         assert_eq!(pair.1.dropped(DropReason::PacketLoss), 1);
+    }
+
+    #[test]
+    fn borrowed_and_boxed_observers_delegate() {
+        let mut tally = DropTally::new();
+        {
+            let borrowed: &mut DropTally = &mut tally;
+            borrowed.on_probe(0.0, Ip::MIN, Delivery::Public(Ip::MAX));
+        }
+        // same observer, reused after the borrow ended (the engine can
+        // take `&mut tally` once per run instead of consuming it)
+        {
+            let borrowed: &mut DropTally = &mut tally;
+            borrowed.on_probe(1.0, Ip::MIN, Delivery::Dropped(DropReason::PacketLoss));
+        }
+        assert_eq!(tally.delivered(), 1);
+        assert_eq!(tally.dropped(DropReason::PacketLoss), 1);
+
+        let mut boxed: Box<dyn SimObserver> = Box::new(DropTally::new());
+        boxed.on_probe(0.0, Ip::MIN, Delivery::Public(Ip::MAX));
+        boxed.on_infection(0.0, 1, Locus::Public(Ip::MIN));
     }
 
     #[test]
@@ -227,7 +273,10 @@ mod tests {
             Delivery::Public(Ip::from_octets(198, 51, 100, 9)),
         );
         assert_eq!(
-            obs.observatory().log_by_label("T").unwrap().unique_source_count(),
+            obs.observatory()
+                .log_by_label("T")
+                .unwrap()
+                .unique_source_count(),
             1
         );
     }
@@ -239,7 +288,10 @@ mod tests {
         tally.on_probe(
             0.0,
             Ip::MIN,
-            Delivery::Local { realm: hotspots_netmodel::RealmId(0), ip: Ip::MIN },
+            Delivery::Local {
+                realm: hotspots_netmodel::RealmId(0),
+                ip: Ip::MIN,
+            },
         );
         tally.on_probe(0.0, Ip::MIN, Delivery::Dropped(DropReason::IngressFiltered));
         assert_eq!(tally.delivered(), 2);

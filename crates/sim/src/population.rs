@@ -60,7 +60,11 @@ impl Population {
             };
             assert!(clash.is_none(), "duplicate host address at {locus}");
         }
-        Population { loci, public_index, realm_index }
+        Population {
+            loci,
+            public_index,
+            realm_index,
+        }
     }
 
     /// Number of vulnerable hosts.
@@ -379,8 +383,7 @@ pub fn apply_nat_shared<R: Rng + ?Sized>(
         .map(|(&ip, natted)| {
             if natted {
                 let slot = slot_iter.next().expect("one slot per NATed host") as u32;
-                let private =
-                    Ip::from_octets(192, 168, (slot >> 8) as u8, (slot & 0xff) as u8);
+                let private = Ip::from_octets(192, 168, (slot >> 8) as u8, (slot & 0xff) as u8);
                 Locus::Private { realm, ip: private }
             } else {
                 Locus::Public(ip)
@@ -420,8 +423,14 @@ mod tests {
         let rb = env.add_realm(NatRealm::home_192_168(Ip::from_octets(7, 0, 0, 2)).unwrap());
         let shared_private = Ip::from_octets(192, 168, 1, 1);
         let pop = Population::from_loci([
-            Locus::Private { realm: ra, ip: shared_private },
-            Locus::Private { realm: rb, ip: shared_private },
+            Locus::Private {
+                realm: ra,
+                ip: shared_private,
+            },
+            Locus::Private {
+                realm: rb,
+                ip: shared_private,
+            },
         ]);
         assert_eq!(pop.find_private(ra, shared_private), Some(0));
         assert_eq!(pop.find_private(rb, shared_private), Some(1));
@@ -552,7 +561,10 @@ mod tests {
         let realm = env.add_realm(NatRealm::home_192_168(Ip::from_octets(9, 0, 0, 1)).unwrap());
         let pop = Population::from_loci([
             Locus::Public(Ip::from_octets(1, 1, 1, 1)),
-            Locus::Private { realm, ip: Ip::from_octets(192, 168, 0, 1) },
+            Locus::Private {
+                realm,
+                ip: Ip::from_octets(192, 168, 0, 1),
+            },
         ]);
         assert_eq!(pop.public_addresses(), vec![Ip::from_octets(1, 1, 1, 1)]);
     }

@@ -59,7 +59,10 @@ impl HitListWorm {
     /// CodeRed-style vector). The list is shared (`Arc`) across all
     /// infected hosts' generators.
     pub fn new(list: HitList) -> HitListWorm {
-        HitListWorm { list: std::sync::Arc::new(list), service: Service::CODERED_HTTP }
+        HitListWorm {
+            list: std::sync::Arc::new(list),
+            service: Service::CODERED_HTTP,
+        }
     }
 
     /// Overrides the probed service (e.g. [`Service::SLAMMER_SQL`] for a
@@ -296,7 +299,7 @@ mod tests {
         let cmd: hotspots_botnet::BotCommand = "ipscan 192.s.s.s dcom2 -s".parse().unwrap();
         let worm = BotWorm::new(cmd);
         assert_eq!(worm.service(), Service::BLASTER_RPC); // dcom2 → tcp/135
-        // two drones pick different sticky /24s, both inside 192/8
+                                                          // two drones pick different sticky /24s, both inside 192/8
         let a = sample_targets(&worm, public(1, 1, 1, 1), 5, 64);
         let b = sample_targets(&worm, public(1, 1, 1, 1), 6, 64);
         assert_ne!(a, b);

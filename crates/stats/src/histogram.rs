@@ -31,7 +31,10 @@ pub struct CountHistogram<K: Ord> {
 impl<K: Ord> CountHistogram<K> {
     /// Creates an empty histogram.
     pub fn new() -> CountHistogram<K> {
-        CountHistogram { counts: BTreeMap::new(), total: 0 }
+        CountHistogram {
+            counts: BTreeMap::new(),
+            total: 0,
+        }
     }
 
     /// Adds one observation of `key`.
@@ -134,7 +137,12 @@ impl<K: Ord> Extend<K> for CountHistogram<K> {
 
 impl<K: Ord + fmt::Display> fmt::Display for CountHistogram<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "histogram ({} keys, {} total)", self.distinct(), self.total)?;
+        writeln!(
+            f,
+            "histogram ({} keys, {} total)",
+            self.distinct(),
+            self.total
+        )?;
         for (k, v) in self.iter() {
             writeln!(f, "  {k}: {v}")?;
         }

@@ -36,7 +36,13 @@ pub struct Welford {
 impl Welford {
     /// Creates an empty accumulator.
     pub fn new() -> Welford {
-        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -108,10 +114,8 @@ impl Welford {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        let new_mean =
-            self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);

@@ -35,7 +35,12 @@ impl Summary {
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN by construction"));
-        Some(Summary { n, mean, std: var.sqrt(), sorted })
+        Some(Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            sorted,
+        })
     }
 
     /// Computes a summary of integer counts.

@@ -29,7 +29,11 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty, named series.
     pub fn new(name: impl Into<String>) -> TimeSeries {
-        TimeSeries { name: name.into(), times: Vec::new(), values: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The series name (used as the column header in experiment output).

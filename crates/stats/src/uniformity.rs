@@ -216,7 +216,11 @@ pub fn max_median_ratio(counts: &[u64]) -> f64 {
 /// assert!(t.is_significant(0.001));
 /// ```
 pub fn chi_square_weighted(counts: &[u64], weights: &[f64]) -> Option<ChiSquare> {
-    assert_eq!(counts.len(), weights.len(), "counts/weights length mismatch");
+    assert_eq!(
+        counts.len(),
+        weights.len(),
+        "counts/weights length mismatch"
+    );
     let k = counts.len();
     if k < 2 {
         return None;
@@ -260,12 +264,7 @@ pub fn gini_weighted(rates: &[f64], weights: &[f64]) -> f64 {
         "NaN in gini input"
     );
     let total_w: f64 = weights.iter().sum();
-    let mean: f64 = rates
-        .iter()
-        .zip(weights)
-        .map(|(r, w)| r * w)
-        .sum::<f64>()
-        / total_w;
+    let mean: f64 = rates.iter().zip(weights).map(|(r, w)| r * w).sum::<f64>() / total_w;
     if total_w <= 0.0 || total_w.is_nan() || mean <= 0.0 || mean.is_nan() {
         return 0.0;
     }
@@ -366,7 +365,12 @@ mod tests {
         let mut v = vec![10u64; 256];
         v[100] = 500;
         let t = chi_square_uniform(&v).unwrap();
-        assert!(t.is_significant(1e-6), "p={} stat={}", t.p_value, t.statistic);
+        assert!(
+            t.is_significant(1e-6),
+            "p={} stat={}",
+            t.p_value,
+            t.statistic
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl BlasterScanner {
     /// `GetTickCount()` returned `tick_count` at launch.
     pub fn from_tick_count(source: Ip, tick_count: u32) -> BlasterScanner {
         let start = Self::start_for_seed(source, tick_count);
-        BlasterScanner { start, cursor: start }
+        BlasterScanner {
+            start,
+            cursor: start,
+        }
     }
 
     /// The start address Blaster derives from a given seed — the forward

@@ -35,7 +35,9 @@ impl CodeRed1Scanner {
 
     /// Creates an instance — necessarily identical to every other one.
     pub fn new() -> CodeRed1Scanner {
-        CodeRed1Scanner { prng: MsvcrtRand::with_seed(Self::STATIC_SEED) }
+        CodeRed1Scanner {
+            prng: MsvcrtRand::with_seed(Self::STATIC_SEED),
+        }
     }
 
     /// How many probes this instance has consumed (derivable via state;
@@ -97,6 +99,10 @@ mod tests {
         // is invisible to anyone watching a single instance
         let ts = targets(&mut CodeRed1Scanner::new(), 4_096);
         let octets: BTreeSet<u8> = ts.iter().map(|t| t.octets()[0]).collect();
-        assert!(octets.len() > 200, "only {} distinct first octets", octets.len());
+        assert!(
+            octets.len() > 200,
+            "only {} distinct first octets",
+            octets.len()
+        );
     }
 }

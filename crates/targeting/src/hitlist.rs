@@ -98,7 +98,12 @@ impl HitList {
             .iter()
             .map(|p| (p.base().value(), p.last_ip().value()))
             .collect();
-        Ok(HitList { prefixes, cumulative, sorted_spans, total })
+        Ok(HitList {
+            prefixes,
+            cumulative,
+            sorted_spans,
+            total,
+        })
     }
 
     /// Builds the greedy /16 hit-list of size `k` covering as many of
@@ -175,7 +180,12 @@ impl HitList {
 
 impl fmt::Display for HitList {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "hitlist[{} prefixes, {} addrs]", self.prefixes.len(), self.total)
+        write!(
+            f,
+            "hitlist[{} prefixes, {} addrs]",
+            self.prefixes.len(),
+            self.total
+        )
     }
 }
 
@@ -211,7 +221,10 @@ impl<P: Prng32> HitListScanner<P> {
     /// when instantiating thousands of scanners over the same large list,
     /// so the prefix table is stored once instead of per instance.
     pub fn new(list: impl Into<std::sync::Arc<HitList>>, prng: P) -> HitListScanner<P> {
-        HitListScanner { list: list.into(), prng }
+        HitListScanner {
+            list: list.into(),
+            prng,
+        }
     }
 
     /// The hit-list being scanned.
@@ -264,7 +277,14 @@ mod tests {
         let all: Vec<String> = (0..6).map(|i| list.nth(i).to_string()).collect();
         assert_eq!(
             all,
-            ["10.0.0.0", "10.0.0.1", "10.0.0.2", "10.0.0.3", "192.168.0.0", "192.168.0.1"]
+            [
+                "10.0.0.0",
+                "10.0.0.1",
+                "10.0.0.2",
+                "10.0.0.3",
+                "192.168.0.0",
+                "192.168.0.1"
+            ]
         );
     }
 

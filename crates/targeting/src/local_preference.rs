@@ -66,7 +66,12 @@ impl<P: Prng32> LocalPreference<P> {
             "preference weights must be positive"
         );
         let total_weight = entries.iter().map(|e| u64::from(e.weight)).sum();
-        LocalPreference { source, entries, total_weight, prng }
+        LocalPreference {
+            source,
+            entries,
+            total_weight,
+            prng,
+        }
     }
 
     /// The infected host's own address.
@@ -128,8 +133,7 @@ mod tests {
     #[test]
     fn full_mask_always_targets_source() {
         let src = Ip::from_octets(1, 2, 3, 4);
-        let mut worm =
-            LocalPreference::new(src, vec![entry(u32::MAX, 1)], SplitMix::new(9));
+        let mut worm = LocalPreference::new(src, vec![entry(u32::MAX, 1)], SplitMix::new(9));
         for _ in 0..20 {
             assert_eq!(worm.next_target(), src);
         }
@@ -138,8 +142,7 @@ mod tests {
     #[test]
     fn slash16_mask_preserves_top_octets() {
         let src = Ip::from_octets(172, 30, 9, 9);
-        let mut worm =
-            LocalPreference::new(src, vec![entry(0xffff_0000, 1)], SplitMix::new(2));
+        let mut worm = LocalPreference::new(src, vec![entry(0xffff_0000, 1)], SplitMix::new(2));
         for _ in 0..200 {
             let t = worm.next_target();
             assert_eq!(&t.octets()[..2], &[172, 30]);

@@ -54,10 +54,16 @@ impl<P: Prng32> PermutationScanner<P> {
     /// Panics if `restart_after == 0`.
     pub fn new(mut prng: P, restart_after: u64) -> PermutationScanner<P> {
         assert!(restart_after > 0, "restart_after must be positive");
-        let map = AffineMap::new(Self::MUL, Self::INC, 32)
-            .expect("constants form a valid permutation");
+        let map =
+            AffineMap::new(Self::MUL, Self::INC, 32).expect("constants form a valid permutation");
         let state = prng.next_u32();
-        PermutationScanner { map, state, steps_left: restart_after, restart_after, prng }
+        PermutationScanner {
+            map,
+            state,
+            steps_left: restart_after,
+            restart_after,
+            prng,
+        }
     }
 
     /// The underlying permutation map (shared across all instances).
@@ -123,7 +129,11 @@ mod tests {
                 bins[t.bucket8().index() as usize] += 1;
             }
         }
-        assert!(uniformity::gini(&bins) < 0.1, "gini {}", uniformity::gini(&bins));
+        assert!(
+            uniformity::gini(&bins) < 0.1,
+            "gini {}",
+            uniformity::gini(&bins)
+        );
     }
 
     #[test]

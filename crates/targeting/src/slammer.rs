@@ -34,7 +34,9 @@ impl SlammerScanner {
     /// Creates an instance on a host running the given `sqlsort.dll`
     /// version, seeded with `seed`.
     pub const fn new(dll: SqlsortDll, seed: u32) -> SlammerScanner {
-        SlammerScanner { prng: SlammerPrng::new(dll, seed) }
+        SlammerScanner {
+            prng: SlammerPrng::new(dll, seed),
+        }
     }
 
     /// The DLL version driving the flawed increment.
@@ -94,8 +96,7 @@ mod tests {
         let seed = c.wrapping_add(1 << 28);
         assert_eq!(map.cycle_length(seed).unwrap(), 4);
         let mut worm = SlammerScanner::new(SqlsortDll::Sp3, seed);
-        let seen: std::collections::HashSet<Ip> =
-            targets(&mut worm, 400).into_iter().collect();
+        let seen: std::collections::HashSet<Ip> = targets(&mut worm, 400).into_iter().collect();
         assert_eq!(seen.len(), 4);
     }
 }

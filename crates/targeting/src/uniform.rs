@@ -77,7 +77,11 @@ mod tests {
             bins[worm.next_target().bucket8().index() as usize] += 1;
         }
         let t = uniformity::chi_square_uniform(&bins).unwrap();
-        assert!(!t.is_significant(0.001), "baseline not uniform: p={}", t.p_value);
+        assert!(
+            !t.is_significant(0.001),
+            "baseline not uniform: p={}",
+            t.p_value
+        );
         assert!(uniformity::gini(&bins) < 0.05);
     }
 

@@ -31,7 +31,9 @@ pub struct WittyScanner {
 impl WittyScanner {
     /// Creates an instance with the given seed.
     pub const fn new(seed: u32) -> WittyScanner {
-        WittyScanner { prng: WittyPrng::new(seed) }
+        WittyScanner {
+            prng: WittyPrng::new(seed),
+        }
     }
 
     /// The raw LCG state.

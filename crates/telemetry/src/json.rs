@@ -1,0 +1,341 @@
+//! Minimal JSON emission and parsing for run reports and event lines.
+//!
+//! Hand-rolled on purpose: the telemetry crate is dependency-free, and
+//! emission preserves *insertion order* of object fields so two runs of
+//! the same binary produce byte-diffable output. The parser accepts
+//! standard JSON (it does not require any field order) and is used by
+//! round-trip tests and report-consuming tools.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers keep their source text so `u64` counts
+/// round-trip without `f64` precision loss.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; raw text preserved.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object members, if an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out` as a JSON number (`null` for non-finite).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parses one JSON document (object, array, or scalar).
+///
+/// # Errors
+///
+/// Returns a position-tagged message on malformed input or trailing
+/// garbage.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.chars.is_empty() {
+        Ok(value)
+    } else {
+        Err(format!("trailing input at {}", p.pos))
+    }
+}
+
+struct Parser {
+    chars: VecDeque<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.front(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.pop_front();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            got => Err(format!("expected '{want}' at {} (got {got:?})", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, rest: &str, value: Json) -> Result<Json, String> {
+        for want in rest.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.chars.front().copied() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('t') => {
+                self.bump();
+                self.literal("rue", Json::Bool(true))
+            }
+            Some('f') => {
+                self.bump();
+                self.literal("alse", Json::Bool(false))
+            }
+            Some('n') => {
+                self.bump();
+                self.literal("ull", Json::Null)
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.chars.front() == Some(&'}') {
+            self.bump();
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Json::Obj(members)),
+                got => {
+                    return Err(format!(
+                        "expected ',' or '}}' at {} (got {got:?})",
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.chars.front() == Some(&']') {
+            self.bump();
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Json::Arr(items)),
+                got => return Err(format!("expected ',' or ']' at {} (got {got:?})", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + c.to_digit(16)
+                                    .ok_or_else(|| format!("bad \\u digit '{c}'"))?;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad codepoint {code:#x}"))?,
+                        );
+                    }
+                    got => return Err(format!("bad escape {got:?} at {}", self.pos)),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let mut raw = String::new();
+        if self.chars.front() == Some(&'-') {
+            raw.push(self.bump().expect("peeked"));
+        }
+        while matches!(
+            self.chars.front(),
+            Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-')
+        ) {
+            raw.push(self.bump().expect("peeked"));
+        }
+        raw.parse::<f64>()
+            .map_err(|e| format!("bad number '{raw}': {e}"))?;
+        Ok(Json::Num(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap().as_str(), Some("a\nb"));
+    }
+
+    #[test]
+    fn u64_precision_is_preserved() {
+        let big = u64::MAX - 1;
+        let parsed = parse(&big.to_string()).unwrap();
+        assert_eq!(parsed.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn nested_structures_parse_in_order() {
+        let doc = r#"{"a": 1, "b": {"x": [1, 2, {"deep": null}], "y": "z"}, "c": true}"#;
+        let v = parse(doc).unwrap();
+        let keys: Vec<_> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["a", "b", "c"]);
+        assert_eq!(v.get("b").unwrap().get("y").unwrap().as_str(), Some("z"));
+        let arr = match v.get("b").unwrap().get("x").unwrap() {
+            Json::Arr(items) => items,
+            other => panic!("not an array: {other:?}"),
+        };
+        assert_eq!(arr.len(), 3);
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let nasty = "quote\" slash\\ newline\n tab\t ctrl\u{1} unicode\u{263a}";
+        let mut out = String::new();
+        write_str(&mut out, nasty);
+        assert_eq!(parse(&out).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null() {
+        let mut out = String::new();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        write_f64(&mut out, 1.25);
+        assert_eq!(out, "1.25");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "12x", "{} {}"] {
+            assert!(parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Observability core for the hotspots engine: counters, log-bucketed
+//! histograms, phase timers, pluggable event sinks, and end-of-run
+//! reports.
+//!
+//! Design rules (see `DESIGN.md`, "Observability"):
+//!
+//! * **Dependency-free.** This crate sits underneath the probe hot
+//!   path; it pulls in nothing, and its JSON emission is hand-rolled
+//!   with a stable field order so run reports diff cleanly.
+//! * **Zero cost when off.** [`NullSink`] is a unit struct whose
+//!   `emit` is an empty inline function; an observer parameterized
+//!   over it compiles to plain counter increments. The engine's phase
+//!   timing lives behind the `telemetry` cargo feature of
+//!   `hotspots-sim` and does not exist in the default build.
+//! * **Aggregate per probe, event per transition.** Per-probe work is
+//!   counter arithmetic only; [`Sink`] events fire on state changes
+//!   (infections, run summaries), which are bounded by the population,
+//!   not the probe count.
+//!
+//! # Examples
+//!
+//! ```
+//! use hotspots_telemetry::{Counter, Histogram, MemorySink, Sink};
+//!
+//! let mut delivered = Counter::new();
+//! let mut latency_us = Histogram::new();
+//! for probe in 0..1000u64 {
+//!     delivered.incr();
+//!     latency_us.record(probe * probe % 977);
+//! }
+//! assert_eq!(delivered.get(), 1000);
+//! assert!(latency_us.quantile_upper_bound(0.5) <= latency_us.max().unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod json;
+mod metrics;
+mod report;
+mod sink;
+
+pub use metrics::{Counter, Histogram, PhaseTimes, Timer};
+pub use report::{ReportBuilder, RunReport, RUN_REPORT_ENV};
+pub use sink::{Event, JsonlSink, MemorySink, NullSink, Sink, Value};

@@ -1,0 +1,305 @@
+//! Event sinks: where telemetry events go.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::json;
+
+/// A field value on an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned counter-ish values.
+    U64(u64),
+    /// Measurements, times, fractions.
+    F64(f64),
+    /// Identifiers and labels.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// One telemetry event: a kind, a simulation timestamp, and ordered
+/// fields. Events fire on *state transitions* (infection, quorum, run
+/// end), never per probe — per-probe accounting is counters only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event class, e.g. `"infection"`, `"run_end"`.
+    pub kind: &'static str,
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Ordered fields; order is preserved into JSONL output.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// An event with no fields yet.
+    pub fn new(kind: &'static str, time: f64) -> Event {
+        Event {
+            kind,
+            time,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn field(mut self, name: &'static str, value: impl Into<Value>) -> Event {
+        self.fields.push((name, value.into()));
+        self
+    }
+
+    /// The event as one JSONL line (no trailing newline): `kind` and
+    /// `t` first, then fields in insertion order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push_str("{\"kind\":");
+        json::write_str(&mut out, self.kind);
+        out.push_str(",\"t\":");
+        json::write_f64(&mut out, self.time);
+        for (name, value) in &self.fields {
+            out.push(',');
+            json::write_str(&mut out, name);
+            out.push(':');
+            match value {
+                Value::U64(v) => {
+                    out.push_str(&v.to_string());
+                }
+                Value::F64(v) => json::write_f64(&mut out, *v),
+                Value::Str(v) => json::write_str(&mut out, v),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Where events go. Implementations must be cheap to call: the engine
+/// may emit one event per infection.
+pub trait Sink {
+    /// Accepts one event.
+    fn emit(&mut self, event: &Event);
+
+    /// Flushes buffered output (no-op for non-buffering sinks).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything; `emit` is an empty inline function, so a
+/// telemetry pipeline parameterized over `NullSink` compiles down to
+/// its counters alone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    #[inline(always)]
+    fn emit(&mut self, _event: &Event) {}
+}
+
+/// Buffers events in memory (tests, small runs).
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Vec<Event>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// All events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events of one kind, in emission order.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line to any `io::Write` (file, stdout,
+/// `Vec<u8>`), with stable field order for diffability. Write errors
+/// are counted, not propagated — telemetry must never kill a run.
+pub struct JsonlSink<W: Write> {
+    out: BufWriter<W>,
+    lines: u64,
+    errors: u64,
+}
+
+impl<W: Write> fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .field("errors", &self.errors)
+            .finish()
+    }
+}
+
+impl JsonlSink<File> {
+    /// Creates (truncates) `path` and writes events there.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink<File>> {
+        Ok(JsonlSink::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out: BufWriter::new(out),
+            lines: 0,
+            errors: 0,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Failed writes (telemetry swallows I/O errors by design).
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Flushes and returns the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the final flush fails.
+    pub fn into_inner(self) -> io::Result<W> {
+        self.out
+            .into_inner()
+            .map_err(io::IntoInnerError::into_error)
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn emit(&mut self, event: &Event) {
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        match self.out.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(_) => self.errors += 1,
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Fan-out: every event goes to both sinks in order.
+impl<A: Sink, B: Sink> Sink for (A, B) {
+    fn emit(&mut self, event: &Event) {
+        self.0.emit(event);
+        self.1.emit(event);
+    }
+
+    fn flush(&mut self) {
+        self.0.flush();
+        self.1.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Json};
+
+    fn sample_event() -> Event {
+        Event::new("infection", 12.5)
+            .field("host", 42u64)
+            .field("locus", "public")
+            .field("rate", 0.25f64)
+    }
+
+    #[test]
+    fn event_jsonl_is_stable_and_ordered() {
+        let line = sample_event().to_jsonl();
+        assert_eq!(
+            line,
+            r#"{"kind":"infection","t":12.5,"host":42,"locus":"public","rate":0.25}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_parser() {
+        let event = sample_event();
+        let parsed = json::parse(&event.to_jsonl()).unwrap();
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("infection"));
+        assert_eq!(parsed.get("t").unwrap().as_f64(), Some(12.5));
+        assert_eq!(parsed.get("host").unwrap().as_u64(), Some(42));
+        assert_eq!(parsed.get("locus").unwrap().as_str(), Some("public"));
+        assert_eq!(parsed.get("rate").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn memory_sink_keeps_order_and_kind_filter() {
+        let mut sink = MemorySink::new();
+        sink.emit(&Event::new("a", 1.0));
+        sink.emit(&Event::new("b", 2.0));
+        sink.emit(&Event::new("a", 3.0));
+        assert_eq!(sink.events().len(), 3);
+        let times: Vec<f64> = sink.of_kind("a").map(|e| e.time).collect();
+        assert_eq!(times, [1.0, 3.0]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&sample_event());
+        sink.emit(&Event::new("run_end", 99.0).field("probes", 1_000_000u64));
+        assert_eq!(sink.lines(), 2);
+        assert_eq!(sink.errors(), 0);
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(matches!(json::parse(line).unwrap(), Json::Obj(_)));
+        }
+    }
+
+    #[test]
+    fn pair_sink_fans_out() {
+        let mut pair = (MemorySink::new(), MemorySink::new());
+        pair.emit(&Event::new("x", 0.0));
+        assert_eq!(pair.0.events().len(), 1);
+        assert_eq!(pair.1.events().len(), 1);
+    }
+}

@@ -275,7 +275,12 @@ mod tests {
     #[test]
     fn alert_curve_is_monotone_step() {
         let mut f = DetectorField::new(
-            vec![p("10.0.0.0/24"), p("10.0.1.0/24"), p("10.0.2.0/24"), p("10.0.3.0/24")],
+            vec![
+                p("10.0.0.0/24"),
+                p("10.0.1.0/24"),
+                p("10.0.2.0/24"),
+                p("10.0.3.0/24"),
+            ],
             1,
         );
         f.observe(5.0, Ip::from_octets(10, 0, 1, 1));
@@ -292,13 +297,16 @@ mod tests {
     fn passive_sensors_miss_tcp_payloads() {
         // A passive field never identifies a TCP worm (SYN only, no
         // payload), but identifies UDP worms normally.
-        let mut passive =
-            DetectorField::with_mode(vec![p("10.0.0.0/24")], 2, SensorMode::Passive);
+        let mut passive = DetectorField::with_mode(vec![p("10.0.0.0/24")], 2, SensorMode::Passive);
         for i in 0..10u8 {
             // TCP worm: first packet carries no payload
             passive.observe_packet(f64::from(i), Ip::from_octets(10, 0, 0, i), false);
         }
-        assert_eq!(passive.alerted(), 0, "passive field identified TCP payloads");
+        assert_eq!(
+            passive.alerted(),
+            0,
+            "passive field identified TCP payloads"
+        );
         assert_eq!(passive.count(0), 0);
         // UDP worm: payload in the first packet
         passive.observe_packet(20.0, Ip::from_octets(10, 0, 0, 99), true);
@@ -310,8 +318,7 @@ mod tests {
     fn active_sensors_elicit_tcp_payloads() {
         // The IMS design decision: answering SYNs makes TCP worms
         // identifiable.
-        let mut active =
-            DetectorField::with_mode(vec![p("10.0.0.0/24")], 2, SensorMode::Active);
+        let mut active = DetectorField::with_mode(vec![p("10.0.0.0/24")], 2, SensorMode::Active);
         active.observe_packet(1.0, Ip::from_octets(10, 0, 0, 1), false);
         active.observe_packet(2.0, Ip::from_octets(10, 0, 0, 2), false);
         assert_eq!(active.alerted(), 1);

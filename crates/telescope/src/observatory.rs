@@ -117,7 +117,11 @@ impl Observatory {
     pub fn new(blocks: Vec<AddressBlock>) -> Observatory {
         let index = BlockIndex::new(blocks.iter().map(|b| b.prefix()).collect());
         let logs = blocks.iter().map(|_| SensorLog::default()).collect();
-        Observatory { blocks, index, logs }
+        Observatory {
+            blocks,
+            index,
+            logs,
+        }
     }
 
     /// The synthetic eleven-block IMS deployment
@@ -202,12 +206,13 @@ mod tests {
 
     #[test]
     fn observe_routes_to_correct_block() {
-        let mut obs = Observatory::new(vec![
-            block("A", "10.0.0.0/24"),
-            block("B", "10.0.1.0/24"),
-        ]);
+        let mut obs = Observatory::new(vec![block("A", "10.0.0.0/24"), block("B", "10.0.1.0/24")]);
         assert_eq!(
-            obs.observe(0.0, Ip::from_octets(1, 1, 1, 1), Ip::from_octets(10, 0, 1, 7)),
+            obs.observe(
+                0.0,
+                Ip::from_octets(1, 1, 1, 1),
+                Ip::from_octets(10, 0, 1, 7)
+            ),
             Some(1)
         );
         assert_eq!(obs.log(0).packets(), 0);
@@ -246,7 +251,11 @@ mod tests {
     #[test]
     fn zero_filled_figure_output_covers_whole_deployment() {
         let mut obs = Observatory::new(vec![block("A", "10.0.0.0/22")]);
-        obs.observe(0.0, Ip::from_octets(1, 1, 1, 1), Ip::from_octets(10, 0, 2, 2));
+        obs.observe(
+            0.0,
+            Ip::from_octets(1, 1, 1, 1),
+            Ip::from_octets(10, 0, 2, 2),
+        );
         let rows = obs.sources_by_bucket24_over();
         assert_eq!(rows.len(), 4); // a /22 is four /24s
         let nonzero: Vec<_> = rows.iter().filter(|(_, c)| *c > 0).collect();
@@ -283,7 +292,11 @@ mod tests {
     #[test]
     fn labels_resolve_to_logs() {
         let mut obs = Observatory::new(vec![block("M", "192.40.16.0/22")]);
-        obs.observe(3.0, Ip::from_octets(4, 4, 4, 4), Ip::from_octets(192, 40, 17, 3));
+        obs.observe(
+            3.0,
+            Ip::from_octets(4, 4, 4, 4),
+            Ip::from_octets(192, 40, 17, 3),
+        );
         assert_eq!(obs.log_by_label("M").unwrap().unique_source_count(), 1);
         let by_block = obs.unique_sources_by_block();
         assert_eq!(by_block, vec![("M".to_owned(), 1)]);

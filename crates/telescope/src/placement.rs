@@ -29,11 +29,7 @@ use rand::Rng;
 /// let sensors = placement::random_slash24s(100, &[], &mut rng);
 /// assert_eq!(sensors.len(), 100);
 /// ```
-pub fn random_slash24s<R: Rng + ?Sized>(
-    n: usize,
-    avoid: &[Prefix],
-    rng: &mut R,
-) -> Vec<Prefix> {
+pub fn random_slash24s<R: Rng + ?Sized>(n: usize, avoid: &[Prefix], rng: &mut R) -> Vec<Prefix> {
     let mut chosen: HashSet<Prefix> = HashSet::with_capacity(n);
     let mut out = Vec::with_capacity(n);
     let mut attempts = 0usize;
@@ -167,8 +163,10 @@ mod tests {
 
     #[test]
     fn one_per_prefix_places_inside_each() {
-        let parents: Vec<Prefix> =
-            vec!["10.1.0.0/16".parse().unwrap(), "10.2.0.0/16".parse().unwrap()];
+        let parents: Vec<Prefix> = vec![
+            "10.1.0.0/16".parse().unwrap(),
+            "10.2.0.0/16".parse().unwrap(),
+        ];
         let sensors = one_per_prefix(&parents, &mut rng());
         assert_eq!(sensors.len(), 2);
         for (parent, sensor) in parents.iter().zip(&sensors) {

@@ -13,10 +13,14 @@
 use hotspots_botnet::log_scanner;
 use hotspots_ipspace::{Ip, Prefix};
 use hotspots_netmodel::Environment;
-use hotspots_sim::{BotWorm, Engine, FieldObserver, Population, SimConfig};
+use hotspots_sim::{BotWorm, Engine, FieldObserver, Population, SimConfig, TelemetryObserver};
+use hotspots_telemetry::ReportBuilder;
 use hotspots_telescope::DetectorField;
 
 fn main() {
+    // started first so its wall clock covers the whole campaign
+    let mut report = ReportBuilder::new("bot_campaign", "botnet campaign");
+
     // 1. "Capture" the controller's channel and extract the command.
     let capture = [
         "PING :irc.backbone.example".to_owned(),
@@ -24,12 +28,16 @@ fn main() {
         ":b0ss!u@h PRIVMSG ##rbot :.advscan dcom2 150 3 0 -r -s".to_owned(),
         ":b0ss!u@h PRIVMSG ##rbot :ipscan 20.40.x.x dcom2 -s".to_owned(),
     ];
-    let hits = log_scanner::scan_lines(capture.into_iter());
+    let hits = log_scanner::scan_lines(capture);
     println!("extracted {} command(s) from the capture:", hits.len());
     for hit in &hits {
         println!("  line {}: {}", hit.line, hit.command);
     }
-    let command = hits.last().expect("capture contains commands").command.clone();
+    let command = hits
+        .last()
+        .expect("capture contains commands")
+        .command
+        .clone();
     println!("\nrunning the campaign for: {command}\n");
 
     // 2. A vulnerable population: half inside the targeted 20.40/16
@@ -49,7 +57,9 @@ fn main() {
         .collect();
 
     let field = DetectorField::new(sensors.clone(), 5);
-    let mut observer = FieldObserver::new(field);
+    // observers compose as tuples: the detector field and the telemetry
+    // accounting watch the same probe stream in one pass
+    let mut observer = (FieldObserver::new(field), TelemetryObserver::disabled());
     let config = SimConfig {
         scan_rate: 20.0,
         seeds: 10,
@@ -57,14 +67,16 @@ fn main() {
         stop_at_fraction: None,
         ..SimConfig::default()
     };
+    let population = addrs.len() as u64;
     let mut engine = Engine::new(
         config,
         Population::from_public(addrs),
         Environment::new(),
-        Box::new(BotWorm::new(command)),
+        Box::new(BotWorm::new(command.clone())),
     );
     let result = engine.run(&mut observer);
-    let field = observer.into_field();
+    let (field_observer, telemetry) = observer;
+    let field = field_observer.into_field();
 
     // 4. The asymmetry.
     println!(
@@ -90,4 +102,11 @@ fn main() {
          infected and\n  out-of-range sensors never alert — a detection \
          system watching anywhere else\n  concludes nothing is happening."
     );
+
+    report
+        .config("command", &command)
+        .add_population(population)
+        .add_sim_seconds(result.elapsed);
+    telemetry.fold_into(&mut report);
+    report.emit();
 }

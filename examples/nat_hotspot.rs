@@ -11,14 +11,16 @@ use hotspots::scenarios::totals_by_block;
 use hotspots_ipspace::{ims_deployment, Ip, Prefix};
 
 fn main() {
+    // started first so its wall clock covers the whole run
+    let mut report =
+        hotspots_telemetry::ReportBuilder::new("nat_hotspot", "Figure 4 quarantine + mix");
     let blocks = ims_deployment();
     let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M block prefix");
     let probes = 2_000_000u64;
 
     println!("== Quarantine runs ({probes} probes each) ==");
     let outside = codered::quarantine_run(Ip::from_octets(57, 20, 3, 9), probes, &blocks, 7);
-    let natted =
-        codered::quarantine_run(Ip::from_octets(192, 168, 0, 100), probes, &blocks, 7);
+    let natted = codered::quarantine_run(Ip::from_octets(192, 168, 0, 100), probes, &blocks, 7);
     let m_hits = |h: &hotspots_stats::CountHistogram<hotspots_ipspace::Bucket24>| -> u64 {
         h.iter()
             .filter(|(b, _)| m_prefix.contains(b.first_ip()))
@@ -44,7 +46,7 @@ fn main() {
         probes_per_host: 10_000,
         rng_seed: 99,
     };
-    let rows = codered::sources_by_block(&study);
+    let (rows, ledger) = codered::sources_by_block_accounted(&study, &ims_deployment());
     let blocks = ims_deployment();
     println!("  mean unique CodeRedII sources per monitored /24 (15% of hosts NATed):");
     for (label, total) in totals_by_block(&rows) {
@@ -55,4 +57,14 @@ fn main() {
         println!("  {label:>2}: {rate:>8.2}  {bar}");
     }
     println!("  → M spikes despite being a tiny /22; that is the hotspot.");
+
+    report
+        .config("quarantine_probes", probes)
+        .config("mixed_hosts", study.hosts)
+        .config("nat_fraction", study.nat_fraction)
+        .add_population(study.hosts as u64);
+    // only the mixed-population run routes through the environment; the
+    // quarantine runs scan straight into the telescope index
+    hotspots_sim::fold_ledger(&mut report, &ledger);
+    report.emit();
 }

@@ -8,6 +8,7 @@
 //! Run with: `cargo run --release --example outbreak_detection`
 
 use hotspots::scenarios::detection::{hitlist_runs, nat_run, DetectionStudy, Placement};
+use hotspots_telemetry::ReportBuilder;
 use hotspots_telescope::QuorumPolicy;
 
 fn main() {
@@ -23,8 +24,20 @@ fn main() {
         rng_seed: 5,
     };
 
+    let mut report = ReportBuilder::new("outbreak_detection", "Figure 5 reduced scale");
+    report
+        .config("population", study.population)
+        .config("alert_threshold", study.alert_threshold);
+
     println!("== Hit-list outbreaks vs distributed detection ==");
     let runs = hitlist_runs(&study, &[Some(10), Some(100), None]);
+    for run in &runs {
+        hotspots_sim::fold_ledger(&mut report, &run.ledger);
+        report
+            .add_population(study.population as u64)
+            .add_infections(run.infected_hosts)
+            .add_sim_seconds(run.sim_seconds);
+    }
     println!(
         "{:>10} {:>9} {:>10} {:>12} {:>14}",
         "hit-list", "coverage", "infected", "sensors", "alerted"
@@ -56,10 +69,18 @@ fn main() {
     println!("\n== Placement against a NAT-biased worm ==");
     for placement in [
         Placement::Random { sensors: 500 },
-        Placement::TopSlash8s { sensors: 500, k: 20 },
+        Placement::TopSlash8s {
+            sensors: 500,
+            k: 20,
+        },
         Placement::Inside192,
     ] {
         let run = nat_run(&study, 0.15, placement);
+        hotspots_sim::fold_ledger(&mut report, &run.ledger);
+        report
+            .add_population(study.population as u64)
+            .add_infections(run.infected_hosts)
+            .add_sim_seconds(run.sim_seconds);
         println!(
             "  {:?}: {} sensors, {:.1}% alerted when 20% of hosts were infected",
             run.placement,
@@ -68,4 +89,5 @@ fn main() {
         );
     }
     println!("  → knowing the hotspot beats 500 blind sensors with just 255.");
+    report.emit();
 }

@@ -18,9 +18,7 @@
 use hotspots::HotspotReport;
 use hotspots_ipspace::{ims_deployment, Ip};
 use hotspots_prng::{SplitMix, SqlsortDll};
-use hotspots_targeting::{
-    CodeRed2Scanner, SlammerScanner, TargetGenerator, UniformScanner,
-};
+use hotspots_targeting::{CodeRed2Scanner, SlammerScanner, TargetGenerator, UniformScanner};
 use hotspots_telescope::BlockIndex;
 
 const PROBES: u64 = 1_000_000;
@@ -42,6 +40,9 @@ fn observe(worm: &mut dyn TargetGenerator) -> HotspotReport {
 }
 
 fn main() {
+    // scanner-vs-telescope study: closed observation, nothing routed
+    let mut report = hotspots_telemetry::ReportBuilder::new("quickstart", "hotspot primer");
+    report.config("probes_per_worm", PROBES).config("worms", 3);
     println!("{PROBES} probes per worm, observed at the 11-block IMS telescope\n");
     let mut uniform = UniformScanner::new(SplitMix::new(7));
     // Seed the Slammer instance with a state inside the telescope's Z/8
@@ -78,4 +79,5 @@ fn main() {
         );
     }
     println!("(see outbreak_detection.rs for why the hotspots blind quorum detectors)");
+    report.emit();
 }

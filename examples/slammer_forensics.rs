@@ -14,6 +14,9 @@ use hotspots_prng::{SqlsortDll, SLAMMER_SEED_XOR};
 use hotspots_targeting::{SlammerScanner, TargetGenerator};
 
 fn main() {
+    // cycle arithmetic and closed-form coverage: nothing is routed
+    let mut report =
+        hotspots_telemetry::ReportBuilder::new("slammer_forensics", "Slammer LCG forensics");
     println!("== The OR-for-XOR bug ==");
     for dll in SqlsortDll::ALL {
         println!(
@@ -32,19 +35,21 @@ fn main() {
             band.valuation, band.num_cycles, band.cycle_length
         );
     }
-    println!("    … down to {} period-1 fixed points", bands
-        .iter()
-        .filter(|b| b.cycle_length == 1)
-        .map(|b| b.num_cycles)
-        .sum::<u64>());
+    println!(
+        "    … down to {} period-1 fixed points",
+        bands
+            .iter()
+            .filter(|b| b.cycle_length == 1)
+            .map(|b| b.num_cycles)
+            .sum::<u64>()
+    );
 
     println!("\n== A short-cycle instance is a targeted DoS ==");
     let map = AffineMap::slammer(SqlsortDll::Gold);
     let fixed = map.fixed_point().expect("4 | b");
     let seed = fixed.wrapping_add(1 << 28); // period-4 cycle
     let mut worm = SlammerScanner::new(SqlsortDll::Gold, seed);
-    let targets: std::collections::BTreeSet<_> =
-        (0..1000).map(|_| worm.next_target()).collect();
+    let targets: std::collections::BTreeSet<_> = (0..1000).map(|_| worm.next_target()).collect();
     println!(
         "  seed {seed:#010x} → {} distinct targets over 1000 probes:",
         targets.len()
@@ -72,7 +77,10 @@ fn main() {
     let blocks = ims_deployment();
     let unique = slammer::unique_sources_per_block(&study, &blocks);
     let rows = slammer::sources_by_block_with(&study, &blocks);
-    println!("  {:>5} {:>15} {:>22}", "block", "unique sources", "mean sources per /24");
+    println!(
+        "  {:>5} {:>15} {:>22}",
+        "block", "unique sources", "mean sources per /24"
+    );
     for (label, total) in unique {
         let block = blocks.iter().find(|b| b.label() == label).expect("label");
         let per_row: Vec<u64> = rows
@@ -85,4 +93,9 @@ fn main() {
         println!("  {label:>5} {total:>15} {mean:>22.0}");
     }
     println!("  (M is dark: its upstream filters UDP/1434; H trails D and I per /24)");
+    report
+        .config("hosts", study.hosts)
+        .config("m_block_filter", true)
+        .add_population(study.hosts as u64);
+    report.emit();
 }

@@ -181,7 +181,10 @@ fn table2_filtering_asymmetry() {
     for row in rows {
         match row.kind {
             OrgKind::Enterprise => {
-                assert_eq!(row.crii_observed + row.slammer_observed + row.blaster_observed, 0);
+                assert_eq!(
+                    row.crii_observed + row.slammer_observed + row.blaster_observed,
+                    0
+                );
             }
             _ => {
                 assert!(

@@ -138,7 +138,9 @@ fn engine_invariants_hold_across_configurations() {
     }
     let times: Vec<f64> = result.infection_times.iter().flatten().copied().collect();
     assert_eq!(times.len(), result.infected);
-    assert!(times.iter().all(|&t| t >= 0.0 && t <= result.elapsed + 1e-9));
+    assert!(times
+        .iter()
+        .all(|&t| t >= 0.0 && t <= result.elapsed + 1e-9));
 }
 
 #[test]

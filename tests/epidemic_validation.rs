@@ -13,7 +13,12 @@ use rand::{Rng, SeedableRng};
 /// Uniform scanning over a /16 hit-list whose population is randomly
 /// spread inside it — the exact setting of the SI logistic model with
 /// Ω = 65536.
-fn run_uniform_outbreak(n_hosts: usize, scan_rate: f64, seeds: usize, rng_seed: u64) -> hotspots_sim::SimResult {
+fn run_uniform_outbreak(
+    n_hosts: usize,
+    scan_rate: f64,
+    seeds: usize,
+    rng_seed: u64,
+) -> hotspots_sim::SimResult {
     let mut rng = StdRng::seed_from_u64(rng_seed);
     let mut addrs = std::collections::BTreeSet::new();
     while addrs.len() < n_hosts {
@@ -62,8 +67,7 @@ fn engine_and_model_agree_on_parameter_scaling() {
     let engine_ratio = t_slow / t_fast;
     let m_slow = SiModel::new(2_000.0, 4.0, 65_536.0, 20.0).unwrap();
     let m_fast = SiModel::new(2_000.0, 8.0, 65_536.0, 20.0).unwrap();
-    let model_ratio =
-        m_slow.time_to_fraction(0.5).unwrap() / m_fast.time_to_fraction(0.5).unwrap();
+    let model_ratio = m_slow.time_to_fraction(0.5).unwrap() / m_fast.time_to_fraction(0.5).unwrap();
     assert!(
         (engine_ratio - model_ratio).abs() < 0.35,
         "rate-scaling mismatch: engine {engine_ratio:.2} vs model {model_ratio:.2}"
@@ -102,7 +106,9 @@ fn hotspot_worms_deviate_from_the_logistic_model() {
     // in 5000s; local preference blows straight past it
     let uniform_model = SiModel::new(200.0, 5.0, 2f64.powi(32), 4.0).unwrap();
     let t_half_model = uniform_model.time_to_fraction(0.5).unwrap();
-    let t_half_sim = result.time_to_fraction(0.5).expect("local preference spreads");
+    let t_half_sim = result
+        .time_to_fraction(0.5)
+        .expect("local preference spreads");
     assert!(
         t_half_sim < t_half_model / 100.0,
         "clustering + local preference should beat uniform by orders of \

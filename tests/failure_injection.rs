@@ -3,9 +3,7 @@
 //! destroy visibility, sensor gaps degrade gracefully).
 
 use hotspots_ipspace::{Ip, Prefix};
-use hotspots_netmodel::{
-    DropReason, Environment, FilterRule, LossModel, Service,
-};
+use hotspots_netmodel::{DropReason, Environment, FilterRule, LossModel, Service};
 use hotspots_sim::{
     DropTally, Engine, FieldObserver, HitListWorm, NullObserver, Population, SimConfig,
 };
@@ -44,9 +42,7 @@ fn packet_loss_slows_but_does_not_stop_an_outbreak() {
             Box::new(HitListWorm::new(hitlist())),
         );
         let result = engine.run(&mut NullObserver);
-        result
-            .time_to_fraction(0.5)
-            .unwrap_or(f64::INFINITY)
+        result.time_to_fraction(0.5).unwrap_or(f64::INFINITY)
     };
     let clean = time_to_half(0.0);
     let mild = time_to_half(0.3);
@@ -62,7 +58,10 @@ fn total_loss_stops_everything_but_seeds() {
     let mut env = Environment::new();
     env.set_loss(LossModel::new(1.0).unwrap());
     let mut engine = Engine::new(
-        SimConfig { max_time: 200.0, ..config() },
+        SimConfig {
+            max_time: 200.0,
+            ..config()
+        },
         dense_population(100),
         env,
         Box::new(HitListWorm::new(hitlist())),
@@ -83,7 +82,10 @@ fn misconfigured_egress_filter_quarantines_the_population() {
     env.filters_mut()
         .push(FilterRule::egress("33.33.0.0/16".parse().unwrap(), None));
     let mut engine = Engine::new(
-        SimConfig { max_time: 300.0, ..config() },
+        SimConfig {
+            max_time: 300.0,
+            ..config()
+        },
         dense_population(200),
         env,
         Box::new(HitListWorm::new(hitlist())),
@@ -153,7 +155,10 @@ fn self_induced_congestion_ablation() {
         let mut env = Environment::new();
         env.set_loss(LossModel::new(loss).unwrap());
         let mut engine = Engine::new(
-            SimConfig { max_time: 20_000.0, ..config() },
+            SimConfig {
+                max_time: 20_000.0,
+                ..config()
+            },
             dense_population(300),
             env,
             Box::new(HitListWorm::new(hitlist())),

@@ -103,8 +103,7 @@ fn blaster_seed_correlation_survives_random_placement() {
     };
     let rows = blaster::sources_by_block_with(&study, &blocks);
     let hosts = blaster::draw_hosts(&study);
-    let mut sorted: Vec<&CoverageRow> =
-        rows.iter().filter(|r| r.prefix.len() == 24).collect();
+    let mut sorted: Vec<&CoverageRow> = rows.iter().filter(|r| r.prefix.len() == 24).collect();
     sorted.sort_by_key(|r| std::cmp::Reverse(r.unique_sources));
     let boot_band_share = |row: &CoverageRow| -> f64 {
         let covering: Vec<u32> = hosts

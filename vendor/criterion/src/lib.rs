@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Covers the API the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! calibrate-then-sample harness. Each bench prints
+//! `name  time: [min median max]` per-iteration timings, which is what
+//! the telemetry-overhead acceptance check reads.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in times each
+/// routine invocation individually, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per routine call, timed per call.
+    PerIteration,
+    /// Small inputs (upstream batches these; here same as PerIteration).
+    SmallInput,
+    /// Large inputs (upstream batches these; here same as PerIteration).
+    LargeInput,
+}
+
+/// Per-sample wall-clock measurement driver.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// per-iteration durations, one per sample
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, batching enough calls per sample to resolve
+    /// fast operations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // calibrate: how many calls fill ~2ms?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.recorded.push(start.elapsed() / per_sample);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, mut samples: Vec<Duration>) {
+    if samples.is_empty() {
+        println!("{name:<60} time: [no samples]");
+        return;
+    }
+    samples.sort_unstable();
+    let fmt = |d: Duration| {
+        let ns = d.as_nanos();
+        if ns < 10_000 {
+            format!("{ns} ns")
+        } else if ns < 10_000_000 {
+            format!("{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 10_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.2} s", ns as f64 / 1e9)
+        }
+    };
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<60} time: [{} {} {}]",
+        fmt(samples[0]),
+        fmt(median),
+        fmt(*samples.last().expect("non-empty")),
+    );
+}
+
+/// Top-level benchmark registry and runner.
+#[derive(Debug)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group; benches print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            samples: self.default_samples,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone bench.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher::new(self.default_samples);
+        f(&mut b);
+        report(name, b.recorded);
+    }
+}
+
+/// A group of related benches sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets samples per bench (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one bench within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.recorded);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stand-in
+    /// prints eagerly).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_requested_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.recorded.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::new(4);
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 64]
+            },
+            |v| v.iter().map(|&x| u64::from(x)).sum::<u64>(),
+            BatchSize::PerIteration,
+        );
+        assert_eq!(setups, 4);
+        assert_eq!(b.recorded.len(), 4);
+    }
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| black_box(1u32)));
+        group.finish();
+    }
+
+    criterion_group!(demo_group, demo);
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo_group();
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`, exposing only the scoped-thread
+//! API this workspace uses (`crossbeam::thread::scope` + `spawn` +
+//! `join`), implemented on `std::thread::scope` (stable since 1.63).
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; spawn closures receive `&Scope` (crossbeam's
+    /// signature) so nested spawns remain possible.
+    #[derive(Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` if it
+        /// panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread bound to this scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing locals can be
+    /// spawned; all are joined before return. Unlike crossbeam, a
+    /// panicking child propagates the panic on join rather than
+    /// surfacing in the `Result`, so the `Ok` arm is the only one
+    /// reachable — call sites `.unwrap()`/`.expect()` it either way.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data.iter().map(|&x| scope.spawn(move |_| x * 10)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

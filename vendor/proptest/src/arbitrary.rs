@@ -1,0 +1,42 @@
+//! Whole-domain generation (`any::<T>()`).
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Types samplable uniformly over their full domain.
+pub trait Arbitrary {
+    /// Draws one value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, bool, f64, f32);
+
+/// The strategy behind [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform over all of `T` (e.g. `any::<u32>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}

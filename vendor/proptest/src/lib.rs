@@ -1,0 +1,241 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy surface this workspace's property tests use
+//! — `any::<T>()`, integer/float ranges, tuples, `collection::vec`,
+//! `prop_map` — plus the `proptest!`/`prop_assert*`/`prop_assume!`
+//! macros. Cases are sampled deterministically (seeded by test path),
+//! and failures report the sampled inputs. No shrinking: a failing
+//! case prints as-is.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+/// Why a single sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the case out; try another.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Failure with a message (used by the assertion macros).
+    pub fn fail(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Number of cases per property, overridable via `PROPTEST_CASES`.
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Drives one property: samples cases deterministically (seed derived
+/// from `name`) and panics on the first failing case.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng, u64) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let cases = case_count();
+    let mut rejects = 0u64;
+    let mut ran = 0u64;
+    let mut seed = 0u64;
+    while ran < cases {
+        let mut rng = StdRng::seed_from_u64(base.wrapping_add(seed));
+        match case(&mut rng, seed) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < 65_536,
+                    "{name}: too many prop_assume! rejects ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed at case seed {seed}: {msg}");
+            }
+        }
+        seed += 1;
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The imports property tests start from.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn holds(x in any::<u32>(), y in 0u8..=32) { prop_assert!(...); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng, _| {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::sample(&__strategies, __rng);
+                    // describe inputs before the body can move them
+                    let __inputs = format!(
+                        "{} = {:?}",
+                        stringify!($($arg),+),
+                        ($(&$arg,)+),
+                    );
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })()
+                    .map_err(|e| match e {
+                        $crate::TestCaseError::Fail(msg) => $crate::TestCaseError::Fail(
+                            format!("{msg}\n  with {__inputs}"),
+                        ),
+                        reject => reject,
+                    })
+                },
+            );
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?} == {:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?} == {:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?} != {:?}`", l, r);
+    }};
+}
+
+/// Filters the current case out (sampled again with a fresh seed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any_stay_in_domain(
+            x in 3u32..10,
+            y in 0u8..=4,
+            f in -1.5f64..2.5,
+            v in crate::collection::vec(any::<u16>(), 2..=5),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((-1.5..2.5).contains(&f));
+            prop_assert!((2..=5).contains(&v.len()));
+        }
+
+        #[test]
+        fn prop_map_applies(n in (0u32..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(n < 200);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in any::<u32>()) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases("demo", |_rng, _seed| {
+                Err(crate::TestCaseError::Fail("boom".into()))
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("case seed 0"), "{msg}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let collect = || {
+            let mut seen = Vec::new();
+            crate::run_cases("det", |rng, _seed| {
+                seen.push(crate::strategy::Strategy::sample(&(0u64..1000), rng));
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no registry cache, so
+//! the workspace vendors the *exact* API surface it uses: [`Rng`],
+//! [`RngCore`], [`SeedableRng`], [`rngs::StdRng`], [`seq::SliceRandom`],
+//! and [`seq::index::sample`]. The generator behind `StdRng` is
+//! xoshiro256++ (seeded via SplitMix64), not upstream's ChaCha12 — so
+//! streams differ from upstream `rand 0.8`, but every guarantee the
+//! simulator relies on holds: determinism for equal seeds, full-period
+//! state initialization, and uniform output.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Values samplable uniformly over their whole domain (the `Standard`
+/// distribution in upstream terms).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+              u64 => next_u64, usize => next_u64,
+              i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64);
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (upstream's layout).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types with uniform sampling over half-open/closed ranges. Keyed by
+/// a blanket [`SampleRange`] impl (upstream's structure), so type
+/// inference can unify a range literal's type with the call site's
+/// expected type — e.g. `v[rng.gen_range(0..64)]` infers `usize`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform draw from `[start, end)` (`inclusive = false`) or
+    /// `[start, end]` (`inclusive = true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(
+        start: Self,
+        end: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                start: $t,
+                end: $t,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                let span = (end as i128 - start as i128) + i128::from(inclusive);
+                assert!(span > 0, "cannot sample empty range");
+                if span > u64::MAX as i128 {
+                    // full u64/i64 domain
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add((rng.next_u64() % span as u64) as $t)
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                start: $t,
+                end: $t,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                start + <$t>::sample_standard(rng) * (end - start)
+            }
+        }
+    )*};
+}
+sample_uniform_float!(f32, f64);
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from `rng`, uniform over the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_range(start, end, true, rng)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every bit
+/// source (mirrors upstream's `Rng`).
+pub trait Rng: RngCore {
+    /// One value of `T`, uniform over `T`'s whole domain.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// One value uniform over `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// The full seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded via SplitMix64
+    /// (upstream's scheme).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Not the same stream as upstream `rand 0.8`'s ChaCha12-based
+    /// `StdRng`; equally deterministic for equal seeds.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> StdRng {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // xoshiro must not start at the all-zero state
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9e37_79b9_7f4a_7c15,
+                    0xbf58_476d_1ce4_e5b9,
+                    0x94d0_49bb_1331_11eb,
+                    0x2545_f491_4f6c_dd1d,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection from and permutation of slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Uniform in-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+
+    /// Index sampling without replacement.
+    pub mod index {
+        use super::super::{Rng, RngCore};
+        use std::collections::HashMap;
+
+        /// Distinct indices in `[0, length)`, in random order.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Iterates the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether the sample is empty.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// The indices as a vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `[0, length)` via a
+        /// sparse partial Fisher–Yates (O(amount) memory).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} distinct indices from {length}"
+            );
+            let mut swaps: HashMap<usize, usize> = HashMap::new();
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                let vj = *swaps.get(&j).unwrap_or(&j);
+                let vi = *swaps.get(&i).unwrap_or(&i);
+                out.push(vj);
+                swaps.insert(j, vi);
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::{index::sample, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(3u64..=7);
+            assert!((3..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn sample_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = sample(&mut rng, 1000, 100);
+        let mut seen = std::collections::HashSet::new();
+        for idx in picked.iter() {
+            assert!(idx < 1000);
+            assert!(seen.insert(idx), "duplicate {idx}");
+        }
+        assert_eq!(seen.len(), 100);
+        // exhaustive sample covers everything
+        let all = sample(&mut rng, 50, 50);
+        let mut v = all.into_vec();
+        v.sort_unstable();
+        assert_eq!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_and_choose_preserve_elements() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input sorted");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        use super::RngCore;
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's `serde` features are *optional* and exist so types
+//! can one day round-trip through real serde; no default build (and no
+//! test) exercises serialization. This stub provides the trait names
+//! and a no-op derive so `--features serde` still compiles offline.
+//! Actual JSON emission in this workspace is hand-rolled in
+//! `hotspots-telemetry`, which is dependency-free by design.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

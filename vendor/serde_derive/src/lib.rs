@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde
+//! stand-in: they accept the attribute position and emit nothing, so
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize))]` compiles
+//! without the registry.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
