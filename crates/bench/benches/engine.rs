@@ -1,11 +1,21 @@
 //! Outbreak engine throughput.
+//!
+//! Besides the usual Criterion groups, the custom `main` times a fixed
+//! Slammer outbreak (serial, and with `--features parallel` also
+//! multi-threaded) and writes the probes/sec numbers to
+//! `BENCH_engine.json` at the repository root. Set
+//! `HOTSPOTS_BENCH_BASELINE=<probes/sec>` to record a pre-batching
+//! baseline alongside them.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{black_box, criterion_group, BatchSize, Criterion};
 use hotspots_ipspace::Ip;
 use hotspots_netmodel::Environment;
-use hotspots_sim::{Engine, FieldObserver, HitListWorm, NullObserver, Population, SimConfig};
+use hotspots_sim::{
+    Engine, FieldObserver, HitListWorm, NullObserver, Population, SimConfig, SlammerWorm,
+};
 use hotspots_targeting::HitList;
 use hotspots_telescope::DetectorField;
+use std::time::Instant;
 
 fn engine_config(max_time: f64) -> SimConfig {
     SimConfig {
@@ -69,4 +79,80 @@ fn outbreak(c: &mut Criterion) {
 }
 
 criterion_group!(benches, outbreak);
-criterion_main!(benches);
+
+/// One timed Slammer outbreak: 25 seeds LCG-walking the full IPv4 space
+/// over a 5k-host population. Infections are rare (the population is a
+/// ~1e-6 sliver of the scanned space), so the measurement is dominated
+/// by the probe pipeline — exactly the path the batched engine
+/// restructures.
+fn slammer_run(threads: usize) -> (f64, u64) {
+    let config = SimConfig {
+        scan_rate: 2_000.0,
+        seeds: 25,
+        dt: 1.0,
+        max_time: 300.0,
+        stop_at_fraction: None,
+        rng_seed: 7,
+        threads,
+        ..SimConfig::default()
+    };
+    let mut best_probes_per_sec = 0.0f64;
+    let mut probes_sent = 0u64;
+    for _ in 0..3 {
+        let mut engine = Engine::new(
+            config,
+            population(5_000),
+            Environment::new(),
+            Box::new(SlammerWorm),
+        );
+        let start = Instant::now();
+        let result = black_box(engine.run(&mut NullObserver));
+        let secs = start.elapsed().as_secs_f64();
+        probes_sent = result.probes_sent;
+        best_probes_per_sec = best_probes_per_sec.max(result.probes_sent as f64 / secs);
+    }
+    (best_probes_per_sec, probes_sent)
+}
+
+fn main() {
+    benches();
+
+    let (serial, probes) = slammer_run(1);
+    println!("slammer_throughput/serial              {serial:>12.0} probes/sec ({probes} probes)");
+
+    #[cfg(feature = "parallel")]
+    let parallel = {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8));
+        let (rate, _) = slammer_run(threads);
+        println!(
+            "slammer_throughput/parallel x{threads}          {rate:>12.0} probes/sec (speedup {:.2}x)",
+            rate / serial
+        );
+        Some((threads, rate))
+    };
+    #[cfg(not(feature = "parallel"))]
+    let parallel: Option<(usize, f64)> = None;
+
+    let mut fields = vec![
+        format!("\"probes\": {probes}"),
+        format!("\"serial_probes_per_sec\": {serial:.0}"),
+    ];
+    if let Ok(baseline) = std::env::var("HOTSPOTS_BENCH_BASELINE") {
+        if let Ok(rate) = baseline.parse::<f64>() {
+            fields.push(format!("\"seed_probes_per_sec\": {rate:.0}"));
+            fields.push(format!("\"serial_speedup_vs_seed\": {:.3}", serial / rate));
+        }
+    }
+    if let Some((threads, rate)) = parallel {
+        fields.push(format!("\"parallel_threads\": {threads}"));
+        fields.push(format!("\"parallel_probes_per_sec\": {rate:.0}"));
+        fields.push(format!("\"parallel_speedup\": {:.3}", rate / serial));
+    }
+    let json = format!(
+        "{{\"benchmark\": \"slammer_5k_hosts_300s\", {}}}\n",
+        fields.join(", ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

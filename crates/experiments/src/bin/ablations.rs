@@ -15,7 +15,7 @@ use hotspots::scenarios::detection::{
 };
 use hotspots::HotspotReport;
 use hotspots_experiments::{
-    banner, fold_ledger, fold_sim_result, print_table, report, ReportBuilder, Scale,
+    experiment, fold_run, fold_sim_result, print_table, ReportBuilder, Scale,
 };
 use hotspots_netmodel::{Environment, Service};
 use hotspots_sim::{Engine, FieldObserver, HitListWorm, Population, SimConfig};
@@ -25,9 +25,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("ABLATIONS", "design-decision ablations", scale);
-    let mut out = report("ablations", "design-decision ablations", scale);
+    let (scale, mut out) = experiment(
+        "ablations",
+        "ABLATIONS",
+        "design-decision ablations",
+        "design-decision ablations",
+    );
 
     nat_topology_ablation(scale, &mut out);
     sensor_mode_ablation(scale, &mut out);
@@ -46,10 +49,13 @@ fn nat_topology_ablation(scale: Scale, out: &mut ReportBuilder) {
     let mut rows = Vec::new();
     for topology in [NatTopology::Shared, NatTopology::Isolated] {
         let run = nat_run_with_topology(&study, 0.15, Placement::Inside192, topology);
-        fold_ledger(out, &run.ledger);
-        out.add_population(study.population_size() as u64)
-            .add_infections(run.infected_hosts)
-            .add_sim_seconds(run.sim_seconds);
+        fold_run(
+            out,
+            &run.ledger,
+            study.population_size() as u64,
+            run.infected_hosts,
+            run.sim_seconds,
+        );
         rows.push(vec![
             format!("{topology:?}"),
             run.sensors.to_string(),

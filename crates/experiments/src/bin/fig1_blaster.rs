@@ -4,15 +4,15 @@
 use hotspots::scenarios::blaster::{sources_by_block, BlasterStudy};
 use hotspots::seed_inference;
 use hotspots::HotspotReport;
-use hotspots_experiments::{banner, bar, print_table, report, Scale};
+use hotspots_experiments::{bar, experiment, print_table};
 use hotspots_ipspace::Ip;
 
 fn main() {
-    let scale = Scale::from_args();
-    banner(
+    let (scale, mut out) = experiment(
+        "fig1_blaster",
         "FIGURE 1",
+        "Figure 1",
         "Blaster unique sources by destination /24 (boot-time seeding)",
-        scale,
     );
 
     let study = BlasterStudy {
@@ -21,7 +21,6 @@ fn main() {
         ..BlasterStudy::default()
     };
     // interval-coverage study: closed-form, nothing routed
-    let mut out = report("fig1_blaster", "Figure 1", scale);
     out.config("hosts", study.hosts)
         .config("window_days", study.window_secs / 86_400.0)
         .config("reboot_fraction", study.reboot_fraction)

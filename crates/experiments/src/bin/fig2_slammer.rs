@@ -4,15 +4,15 @@
 use hotspots::scenarios::slammer::{
     block_cycle_length_sums, sources_by_block_with, unique_sources_per_block, SlammerStudy,
 };
-use hotspots_experiments::{banner, bar, print_table, report, Scale};
+use hotspots_experiments::{bar, experiment, print_table};
 use hotspots_ipspace::ims_deployment;
 
 fn main() {
-    let scale = Scale::from_args();
-    banner(
+    let (scale, mut out) = experiment(
+        "fig2_slammer",
         "FIGURE 2",
+        "Figure 2",
         "Slammer unique sources by destination /24 (flawed LCG cycles)",
-        scale,
     );
 
     let study = SlammerStudy {
@@ -22,7 +22,6 @@ fn main() {
     .with_m_block_filter();
     // cycle-exact closed form: per-block coverage is computed from the
     // LCG cycle structure, no probes are routed
-    let mut out = report("fig2_slammer", "Figure 2", scale);
     out.config("hosts", study.hosts)
         .config("m_block_filter", true)
         .add_population(study.hosts as u64);

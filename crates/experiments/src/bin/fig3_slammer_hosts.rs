@@ -2,23 +2,22 @@
 //! by destination /24; (c) the period of every cycle of the Slammer LCG.
 
 use hotspots::scenarios::slammer::{cycle_bands, host_histogram};
-use hotspots_experiments::{banner, bar, print_table, report, Scale};
+use hotspots_experiments::{bar, experiment, print_table};
 use hotspots_ipspace::{ims_deployment, Ip};
 use hotspots_prng::cycles::AffineMap;
 use hotspots_prng::SqlsortDll;
 
 fn main() {
-    let scale = Scale::from_args();
-    banner(
+    let (scale, mut out) = experiment(
+        "fig3_slammer_hosts",
         "FIGURE 3",
+        "Figure 3",
         "per-host Slammer scanning bias and the LCG cycle periods",
-        scale,
     );
     let probes = scale.pick(200_000u64, 20_000_000);
     let blocks = ims_deployment();
     // raw scanner walks against the telescope index — no environment,
     // so nothing enters the delivery accounting
-    let mut out = report("fig3_slammer_hosts", "Figure 3", scale);
     out.config("probes_per_host", probes).add_population(2);
 
     // Host A: a seed chosen like the paper's host A — its cycle reaches

@@ -3,16 +3,16 @@
 
 use hotspots::scenarios::codered::{quarantine_run, sources_by_block_accounted, CodeRedStudy};
 use hotspots::scenarios::totals_by_block;
-use hotspots_experiments::{banner, bar, fold_ledger, print_table, report, Scale};
+use hotspots_experiments::{bar, experiment, fold_ledger, print_table};
 use hotspots_ipspace::{ims_deployment, Bucket24, Ip, Prefix};
 use hotspots_stats::CountHistogram;
 
 fn main() {
-    let scale = Scale::from_args();
-    banner(
+    let (scale, mut out) = experiment(
+        "fig4_codered_nat",
         "FIGURE 4",
+        "Figure 4",
         "CodeRedII × NAT topology: the 192/8 hotspot",
-        scale,
     );
     let blocks = ims_deployment();
 
@@ -28,7 +28,6 @@ fn main() {
         study.probes_per_host,
         study.nat_fraction * 100.0
     );
-    let mut out = report("fig4_codered_nat", "Figure 4", scale);
     out.config("hosts", study.hosts)
         .config("probes_per_host", study.probes_per_host)
         .config("nat_fraction", study.nat_fraction)

@@ -2,14 +2,14 @@
 //! sizes (CodeRedII-type vulnerable population, 25 seeds, 10 scans/s).
 
 use hotspots::scenarios::detection::{hitlist_runs, DetectionStudy};
-use hotspots_experiments::{banner, fold_ledger, print_series, print_table, report, Scale};
+use hotspots_experiments::{experiment, fold_run, print_series, print_table, RunSet};
 
 fn main() {
-    let scale = Scale::from_args();
-    banner(
+    let (scale, mut out) = experiment(
+        "fig5a_hitlist_infection",
         "FIGURE 5(a)",
+        "Figure 5(a)",
         "infection rate vs time for 4 hit-list sizes",
-        scale,
     );
 
     let study = DetectionStudy {
@@ -28,31 +28,20 @@ fn main() {
     );
 
     // the sweep is embarrassingly parallel: one engine per hit-list size
-    let runs = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = sizes
-            .iter()
-            .map(|size| {
-                let size = *size;
-                scope.spawn(move |_| hitlist_runs(&study, &[size]).remove(0))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("scope");
+    let runs = RunSet::new().run(sizes, |size| hitlist_runs(&study, &[size]).remove(0));
 
-    let mut out = report("fig5a_hitlist_infection", "Figure 5(a)", scale);
     out.config("population", study.population_size())
         .config("seeds", study.seeds)
         .config("scan_rate", study.scan_rate)
         .config("hit_list_sizes", "10,100,1000,full");
     for run in &runs {
-        fold_ledger(&mut out, &run.ledger);
-        out.add_population(study.population_size() as u64)
-            .add_infections(run.infected_hosts)
-            .add_sim_seconds(run.sim_seconds);
+        fold_run(
+            &mut out,
+            &run.ledger,
+            study.population_size() as u64,
+            run.infected_hosts,
+            run.sim_seconds,
+        );
     }
 
     let rows: Vec<Vec<String>> = runs

@@ -3,15 +3,15 @@
 
 use hotspots::detection_gap::DetectionGap;
 use hotspots::scenarios::detection::{hitlist_runs, DetectionStudy};
-use hotspots_experiments::{banner, fold_ledger, print_series, print_table, report, Scale};
+use hotspots_experiments::{experiment, fold_run, print_series, print_table, RunSet};
 use hotspots_telescope::QuorumPolicy;
 
 fn main() {
-    let scale = Scale::from_args();
-    banner(
+    let (scale, mut out) = experiment(
+        "fig5b_hitlist_detection",
         "FIGURE 5(b)",
+        "Figure 5(b)",
         "sensor detection rate vs time for 4 hit-list sizes",
-        scale,
     );
 
     let study = DetectionStudy {
@@ -28,30 +28,19 @@ fn main() {
         study.alert_threshold
     );
 
-    let runs = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = sizes
-            .iter()
-            .map(|size| {
-                let size = *size;
-                scope.spawn(move |_| hitlist_runs(&study, &[size]).remove(0))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("scope");
+    let runs = RunSet::new().run(sizes, |size| hitlist_runs(&study, &[size]).remove(0));
 
-    let mut out = report("fig5b_hitlist_detection", "Figure 5(b)", scale);
     out.config("population", study.population_size())
         .config("alert_threshold", study.alert_threshold)
         .config("hit_list_sizes", "10,100,1000,full");
     for run in &runs {
-        fold_ledger(&mut out, &run.ledger);
-        out.add_population(study.population_size() as u64)
-            .add_infections(run.infected_hosts)
-            .add_sim_seconds(run.sim_seconds);
+        fold_run(
+            &mut out,
+            &run.ledger,
+            study.population_size() as u64,
+            run.infected_hosts,
+            run.sim_seconds,
+        );
     }
 
     let rows: Vec<Vec<String>> = runs

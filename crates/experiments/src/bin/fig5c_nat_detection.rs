@@ -4,15 +4,15 @@
 
 use hotspots::detection_gap::DetectionGap;
 use hotspots::scenarios::detection::{nat_run, DetectionStudy, Placement};
-use hotspots_experiments::{banner, fold_ledger, print_series, print_table, report, Scale};
+use hotspots_experiments::{experiment, fold_run, print_series, print_table, RunSet};
 use hotspots_telescope::QuorumPolicy;
 
 fn main() {
-    let scale = Scale::from_args();
-    banner(
+    let (scale, mut out) = experiment(
+        "fig5c_nat_detection",
         "FIGURE 5(c)",
+        "Figure 5(c)",
         "sensor placement vs the NAT-driven 192/8 hotspot",
-        scale,
     );
 
     let study = DetectionStudy {
@@ -37,30 +37,19 @@ fn main() {
         study.alert_threshold
     );
 
-    let runs = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = placements
-            .iter()
-            .map(|p| {
-                let p = *p;
-                scope.spawn(move |_| nat_run(&study, nat_fraction, p))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("scope");
+    let runs = RunSet::new().run(placements.to_vec(), |p| nat_run(&study, nat_fraction, p));
 
-    let mut out = report("fig5c_nat_detection", "Figure 5(c)", scale);
     out.config("population", study.population_size())
         .config("nat_fraction", nat_fraction)
         .config("placements", "Random,TopSlash8s,Inside192");
     for run in &runs {
-        fold_ledger(&mut out, &run.ledger);
-        out.add_population(study.population_size() as u64)
-            .add_infections(run.infected_hosts)
-            .add_sim_seconds(run.sim_seconds);
+        fold_run(
+            &mut out,
+            &run.ledger,
+            study.population_size() as u64,
+            run.infected_hosts,
+            run.sim_seconds,
+        );
     }
 
     let rows: Vec<Vec<String>> = runs

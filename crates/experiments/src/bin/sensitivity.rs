@@ -3,7 +3,7 @@
 //! on the default synthetic block bases (DESIGN.md §2).
 
 use hotspots::scenarios::{codered, slammer, totals_by_block, CoverageRow};
-use hotspots_experiments::{banner, fold_ledger, print_table, report, Scale};
+use hotspots_experiments::{experiment, fold_ledger, print_table, RunSet};
 use hotspots_ipspace::{random_ims_deployment, AddressBlock};
 use hotspots_netmodel::DeliveryLedger;
 use rand::rngs::StdRng;
@@ -23,23 +23,30 @@ fn per_slash24_rates(
 }
 
 fn main() {
-    let scale = Scale::from_args();
-    banner(
+    let (scale, mut out) = experiment(
+        "sensitivity",
         "SENSITIVITY",
+        "placement sensitivity",
         "case studies over randomized sensor placements",
-        scale,
     );
     let trials = scale.pick(3, 8);
     let mut rng = StdRng::seed_from_u64(0x5ee0);
-    let mut out = report("sensitivity", "placement sensitivity", scale);
     out.config("trials", trials);
     let mut ledger = DeliveryLedger::new();
+    let runset = RunSet::new();
+
+    // Deployments are drawn sequentially from one stream (exactly as the
+    // old serial loops did); precomputing them lets the independently
+    // seeded trials themselves run across threads.
+    let codered_deployments: Vec<(u64, Vec<AddressBlock>)> = (0..trials)
+        .map(|trial| (trial, random_ims_deployment(&mut rng)))
+        .collect();
+    let slammer_deployments: Vec<(u64, Vec<AddressBlock>)> = (0..trials)
+        .map(|trial| (trial, random_ims_deployment(&mut rng)))
+        .collect();
 
     println!("\n-- CodeRedII M spike across {trials} random placements --\n");
-    let mut rows_out = Vec::new();
-    for trial in 0..trials {
-        let blocks = random_ims_deployment(&mut rng);
-        let m = blocks.iter().find(|b| b.label() == "M").expect("M").clone();
+    let codered_runs = runset.run(codered_deployments, |(trial, blocks)| {
         let study = codered::CodeRedStudy {
             hosts: scale.pick(1_200, 6_000),
             nat_fraction: 0.15,
@@ -47,9 +54,14 @@ fn main() {
             rng_seed: 1_000 + trial,
         };
         let (rows, trial_ledger) = codered::sources_by_block_accounted(&study, &blocks);
-        ledger.merge(&trial_ledger);
-        out.add_population(study.hosts as u64);
-        let rates = per_slash24_rates(&rows, &blocks);
+        (trial, blocks, study.hosts, rows, trial_ledger)
+    });
+    let mut rows_out = Vec::new();
+    for (trial, blocks, hosts, rows, trial_ledger) in &codered_runs {
+        let m = blocks.iter().find(|b| b.label() == "M").expect("M").clone();
+        ledger.merge(trial_ledger);
+        out.add_population(*hosts as u64);
+        let rates = per_slash24_rates(rows, blocks);
         let background: f64 = ["A", "B", "C", "D", "E", "F", "H", "I"]
             .iter()
             .map(|l| rates[*l])
@@ -75,16 +87,18 @@ fn main() {
     );
 
     println!("\n-- Slammer per-/24 spread across {trials} random placements --\n");
-    let mut rows_out = Vec::new();
-    for trial in 0..trials {
-        let blocks = random_ims_deployment(&mut rng);
+    let slammer_runs = runset.run(slammer_deployments, |(trial, blocks)| {
         let study = slammer::SlammerStudy {
             hosts: scale.pick(10_000, 40_000),
             rng_seed: 2_000 + trial,
             ..slammer::SlammerStudy::default()
         };
         let rows = slammer::sources_by_block_with(&study, &blocks);
-        let rates = per_slash24_rates(&rows, &blocks);
+        (trial, blocks, rows)
+    });
+    let mut rows_out = Vec::new();
+    for (trial, blocks, rows) in &slammer_runs {
+        let rates = per_slash24_rates(rows, blocks);
         let mut small: Vec<(String, f64)> = rates
             .iter()
             .filter(|(l, _)| l.as_str() != "Z")

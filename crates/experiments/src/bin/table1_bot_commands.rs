@@ -5,19 +5,22 @@
 //! captured commands with the same composition.
 
 use hotspots_botnet::corpus;
-use hotspots_experiments::{banner, print_table, report, Scale};
+use hotspots_experiments::{experiment, print_table};
 use hotspots_ipspace::Ip;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let scale = Scale::from_args();
-    banner("TABLE 1", "botnet scan commands and their hit-lists", scale);
+    let (scale, mut out) = experiment(
+        "table1_bot_commands",
+        "TABLE 1",
+        "Table 1",
+        "botnet scan commands and their hit-lists",
+    );
 
     // the observing academic network: a /15 with the drone at this address
     let drone = Ip::from_octets(141, 20, 33, 7);
     // grammar/corpus analysis: no probes, no environment
-    let mut out = report("table1_bot_commands", "Table 1", scale);
 
     println!("\n-- commands reported in the paper --\n");
     let rows: Vec<Vec<String>> = corpus::hit_list_report(&corpus::table1(), drone)

@@ -2,14 +2,14 @@
 //! broadband ISPs.
 
 use hotspots::scenarios::filtering::{table2_with_accounting, FilteringStudy};
-use hotspots_experiments::{banner, fold_ledger, print_table, report, Scale};
+use hotspots_experiments::{experiment, fold_ledger, print_table};
 
 fn main() {
-    let scale = Scale::from_args();
-    banner(
+    let (scale, mut out) = experiment(
+        "table2_filtering",
         "TABLE 2",
+        "Table 2",
         "enterprise egress filtering hides infections from the telescope",
-        scale,
     );
 
     let study = FilteringStudy {
@@ -24,7 +24,6 @@ fn main() {
         study.infected_per_enterprise, study.infected_per_isp, study.probes_per_host
     );
 
-    let mut out = report("table2_filtering", "Table 2", scale);
     out.config("infected_per_enterprise", study.infected_per_enterprise)
         .config("infected_per_isp", study.infected_per_isp)
         .config("probes_per_host", study.probes_per_host);

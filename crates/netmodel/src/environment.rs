@@ -257,6 +257,59 @@ impl Environment {
         }
         Delivery::Public(to)
     }
+
+    /// Routes a batch of probes sharing one source, appending one verdict
+    /// per target to `out` and recording every verdict into `ledger` in
+    /// the same pass.
+    ///
+    /// The verdicts — and the RNG draws (one loss draw per probe that
+    /// survives routability and policy) — are exactly those of calling
+    /// [`Environment::route`] once per target in order, so batch size
+    /// never changes a simulation's outcome. The per-sender invariants
+    /// (realm membership, public source) are hoisted out of the loop,
+    /// which is where the batch form wins over the scalar one.
+    pub fn route_batch<R: Rng + ?Sized>(
+        &self,
+        from: Locus,
+        targets: &[Ip],
+        service: Service,
+        rng: &mut R,
+        out: &mut Vec<Delivery>,
+        ledger: &mut crate::ledger::DeliveryLedger,
+    ) {
+        out.reserve(targets.len());
+        let sender_realm = match from {
+            Locus::Private { realm, .. } => Some(realm),
+            Locus::Public(_) => None,
+        };
+        let public_src = from.public_source(self);
+        for &to in targets {
+            let verdict = if special::is_private(to) {
+                // 1. Private destinations resolve only within the
+                // sender's realm.
+                match sender_realm {
+                    Some(realm) if self.realm(realm).contains(to) => {
+                        Delivery::Local { realm, ip: to }
+                    }
+                    _ => Delivery::Dropped(DropReason::UnroutableDestination),
+                }
+            } else if !special::is_globally_routable(to) {
+                // 2. Other non-routable space never leaves the first router.
+                Delivery::Dropped(DropReason::UnroutableDestination)
+            } else if let Some(reason) = self.filters.check(public_src, to, service) {
+                // 3./4. Policy, applied to the packet as seen on the
+                // public path.
+                Delivery::Dropped(reason)
+            } else if self.loss.drops(rng) {
+                // 5. Failures.
+                Delivery::Dropped(DropReason::PacketLoss)
+            } else {
+                Delivery::Public(to)
+            };
+            ledger.record(verdict);
+            out.push(verdict);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +492,61 @@ mod tests {
                         }
                         Delivery::Dropped(_) => {}
                     }
+                }
+            }
+
+            #[test]
+            fn route_batch_matches_scalar_route(
+                src in any::<u32>(),
+                dsts in proptest::collection::vec(any::<u32>(), 0..64),
+                loss_pct in 0u32..=100,
+            ) {
+                let loss = f64::from(loss_pct) / 100.0;
+                // A lossy, filtered, NATed environment: every verdict arm
+                // is reachable, and the loss draws must line up exactly.
+                let mut env = Environment::new();
+                let realm = env.add_realm(
+                    NatRealm::home_192_168(Ip::from_octets(203, 0, 113, 1)).unwrap(),
+                );
+                env.filters_mut().push(FilterRule::ingress(
+                    "64.0.0.0/4".parse().unwrap(),
+                    Some(Service::BOT_SMB),
+                ));
+                env.set_loss(LossModel::new(loss).unwrap());
+                let targets: Vec<Ip> = dsts.iter().copied().map(Ip::new).collect();
+                for from in [
+                    Locus::Public(Ip::new(src)),
+                    Locus::Private { realm, ip: Ip::from_octets(192, 168, 0, 7) },
+                ] {
+                    let mut scalar_rng = StdRng::seed_from_u64(9);
+                    let mut batch_rng = StdRng::seed_from_u64(9);
+                    let mut scalar_ledger = crate::ledger::DeliveryLedger::new();
+                    let scalar: Vec<Delivery> = targets
+                        .iter()
+                        .map(|&to| {
+                            let v = env.route(from, to, Service::BOT_SMB, &mut scalar_rng);
+                            scalar_ledger.record(v);
+                            v
+                        })
+                        .collect();
+                    let mut batch = Vec::new();
+                    let mut batch_ledger = crate::ledger::DeliveryLedger::new();
+                    env.route_batch(
+                        from,
+                        &targets,
+                        Service::BOT_SMB,
+                        &mut batch_rng,
+                        &mut batch,
+                        &mut batch_ledger,
+                    );
+                    prop_assert_eq!(&batch, &scalar);
+                    prop_assert_eq!(batch_ledger, scalar_ledger);
+                    // identical rng consumption: both streams are at the
+                    // same point afterwards
+                    prop_assert_eq!(
+                        rand::Rng::gen::<u64>(&mut scalar_rng),
+                        rand::Rng::gen::<u64>(&mut batch_rng)
+                    );
                 }
             }
 

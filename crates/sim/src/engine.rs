@@ -6,7 +6,8 @@ use std::collections::BinaryHeap;
 #[cfg(feature = "telemetry")]
 use std::time::{Duration, Instant};
 
-use hotspots_netmodel::{Delivery, DeliveryLedger, Environment, Locus};
+use hotspots_ipspace::Ip;
+use hotspots_netmodel::{Delivery, DeliveryLedger, Environment, Locus, Service};
 use hotspots_prng::SplitMix;
 use hotspots_stats::TimeSeries;
 use hotspots_targeting::TargetGenerator;
@@ -49,6 +50,13 @@ pub struct SimConfig {
     /// Master seed: two runs with equal configs and inputs are
     /// bit-identical.
     pub rng_seed: u64,
+    /// Worker threads for the probe phase. `1` (the default) runs the
+    /// staged pipeline serially; larger values shard active hosts across
+    /// scoped threads when the `parallel` cargo feature is enabled
+    /// (without it, any value runs serially). Every RNG stream is keyed
+    /// by host id and shard results merge in fixed order, so this is a
+    /// pure throughput knob: results are bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -62,6 +70,7 @@ impl Default for SimConfig {
             stop_at_fraction: Some(0.999),
             removal_rate: 0.0,
             rng_seed: 0x4d53_2006,
+            threads: 1,
         }
     }
 }
@@ -83,6 +92,7 @@ impl SimConfig {
         if let Some(f) = self.stop_at_fraction {
             assert!((0.0..=1.0).contains(&f), "stop fraction out of range");
         }
+        assert!(self.threads >= 1, "threads must be at least 1");
     }
 }
 
@@ -92,9 +102,11 @@ impl SimConfig {
 #[cfg(feature = "telemetry")]
 #[derive(Debug, Clone)]
 pub struct EngineTelemetry {
-    /// Per-phase wall totals: `target_gen` (drawing targets),
-    /// `routing` (environment verdicts), `observe` (observer
-    /// dispatch).
+    /// Per-phase wall totals: `target_gen` (drawing targets), `routing`
+    /// (environment verdicts), `lookup` (victim resolution), `observe`
+    /// (observer dispatch). Together they cover the whole probe path.
+    /// With the `parallel` feature and `threads > 1`, the first three
+    /// sum across worker threads (CPU time, not wall time).
     pub phases: PhaseTimes,
     /// Per-step wall time in microseconds, log-bucketed.
     pub step_micros: Histogram,
@@ -145,12 +157,156 @@ impl SimResult {
     }
 }
 
+// Domain-separation salts: each per-host stream family is keyed by
+// (master seed, salt, host id), so streams never collide across families
+// and never depend on infection order or thread count.
+const HOST_STREAM_SALT: u64 = 0x7072_6f62_6573_7472;
+const GENERATOR_SALT: u64 = 0x5eed_5eed_5eed_5eed;
+const LATENCY_SALT: u64 = 0x6c61_7465_6e63_7921;
+
+/// Derives an independent 64-bit seed from the master seed, a stream
+/// salt, and a counter, via one SplitMix64 finalizer pass.
+fn derive_seed(master: u64, salt: u64, counter: u64) -> u64 {
+    let mut mix = SplitMix::new(master ^ salt ^ counter.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    mix.next_u64()
+}
+
 struct InfectedHost {
     id: usize,
     locus: Locus,
-    generator: Box<dyn TargetGenerator>,
+    /// Source address as seen on the public wire (constant per host,
+    /// hoisted out of the probe loop).
+    public_src: Ip,
+    generator: Box<dyn TargetGenerator + Send>,
+    /// This host's private stream (rate dispersion, removal, loss
+    /// draws). Keyed by host id only, never by infection order.
+    rng: StdRng,
     probes_per_step: f64,
     probe_credit: f64,
+}
+
+/// Reusable per-shard scratch for one step of the staged probe pipeline.
+struct ProbeBatch {
+    targets: Vec<Ip>,
+    deliveries: Vec<Delivery>,
+    probes: Vec<(Ip, Delivery)>,
+    candidates: Vec<usize>,
+    ledger: DeliveryLedger,
+    #[cfg(feature = "telemetry")]
+    target_gen: Duration,
+    #[cfg(feature = "telemetry")]
+    routing: Duration,
+    #[cfg(feature = "telemetry")]
+    lookup: Duration,
+}
+
+impl ProbeBatch {
+    fn new() -> ProbeBatch {
+        ProbeBatch {
+            targets: Vec::new(),
+            deliveries: Vec::new(),
+            probes: Vec::new(),
+            candidates: Vec::new(),
+            ledger: DeliveryLedger::new(),
+            #[cfg(feature = "telemetry")]
+            target_gen: Duration::ZERO,
+            #[cfg(feature = "telemetry")]
+            routing: Duration::ZERO,
+            #[cfg(feature = "telemetry")]
+            lookup: Duration::ZERO,
+        }
+    }
+}
+
+/// Read-only state shared by every shard during one step's probe phase.
+/// Shards see the start-of-step infection flags; duplicate infection
+/// candidates are collapsed at the serial merge.
+struct ShardCtx<'a> {
+    env: &'a Environment,
+    population: &'a Population,
+    service: Service,
+    infected: &'a [bool],
+    removed: &'a [bool],
+    pending: &'a [bool],
+}
+
+/// Drives one shard of active hosts through the target-gen → routing →
+/// victim-lookup stages, accumulating results in the shard's scratch
+/// batch. Touches only its own hosts and batch, so shards run on
+/// independent threads without synchronization.
+fn drive_shard(ctx: &ShardCtx<'_>, hosts: &mut [InfectedHost], batch: &mut ProbeBatch) {
+    for host in hosts {
+        host.probe_credit += host.probes_per_step;
+        let burst = host.probe_credit as usize;
+        if burst == 0 {
+            continue;
+        }
+        host.probe_credit -= burst as f64;
+
+        #[cfg(feature = "telemetry")]
+        let t0 = Instant::now();
+        batch.targets.clear();
+        host.generator.fill_targets(burst, &mut batch.targets);
+        #[cfg(feature = "telemetry")]
+        let t1 = Instant::now();
+        batch.deliveries.clear();
+        ctx.env.route_batch(
+            host.locus,
+            &batch.targets,
+            ctx.service,
+            &mut host.rng,
+            &mut batch.deliveries,
+            &mut batch.ledger,
+        );
+        #[cfg(feature = "telemetry")]
+        let t2 = Instant::now();
+        for &delivery in &batch.deliveries {
+            let victim = match delivery {
+                Delivery::Public(ip) => ctx.population.find_public(ip),
+                Delivery::Local { realm, ip } => ctx.population.find_private(realm, ip),
+                Delivery::Dropped(_) => None,
+            };
+            if let Some(v) = victim {
+                if !ctx.infected[v] && !ctx.removed[v] && !ctx.pending[v] {
+                    batch.candidates.push(v);
+                }
+            }
+            batch.probes.push((host.public_src, delivery));
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            batch.target_gen += t1 - t0;
+            batch.routing += t2 - t1;
+            batch.lookup += t2.elapsed();
+        }
+    }
+}
+
+/// Runs the probe stages over all active hosts and returns how many
+/// scratch batches were filled. Shards are contiguous chunks of `active`
+/// and merge in chunk order, so the concatenated probe/candidate
+/// sequence is identical whether one thread ran or many.
+fn run_shards(
+    ctx: &ShardCtx<'_>,
+    active: &mut [InfectedHost],
+    batches: &mut [ProbeBatch],
+) -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        let shards = batches.len().min(active.len());
+        if shards > 1 {
+            let chunk = active.len().div_ceil(shards);
+            let used = active.len().div_ceil(chunk);
+            std::thread::scope(|scope| {
+                for (hosts, batch) in active.chunks_mut(chunk).zip(batches.iter_mut()) {
+                    scope.spawn(move || drive_shard(ctx, hosts, batch));
+                }
+            });
+            return used;
+        }
+    }
+    drive_shard(ctx, active, &mut batches[0]);
+    1
 }
 
 /// The outbreak engine: drives infected hosts' generators through the
@@ -228,15 +384,56 @@ impl Engine {
         base * (sigma * z - sigma * sigma / 2.0).exp()
     }
 
+    /// Builds the engine-side state for a newly infected host. All of
+    /// the host's randomness comes from streams keyed by its id, so it
+    /// behaves identically regardless of infection order or thread
+    /// count.
+    fn spawn_host(&self, id: usize) -> InfectedHost {
+        let locus = self.population.locus(id);
+        let mut rng = StdRng::seed_from_u64(derive_seed(
+            self.config.rng_seed,
+            HOST_STREAM_SALT,
+            id as u64,
+        ));
+        let probes_per_step = self.host_rate(&mut rng);
+        InfectedHost {
+            id,
+            locus,
+            public_src: locus.public_source(&self.env),
+            generator: self.worm.generator(
+                locus,
+                derive_seed(self.config.rng_seed, GENERATOR_SALT, id as u64),
+            ),
+            rng,
+            probes_per_step,
+            probe_credit: 0.0,
+        }
+    }
+
     /// Runs the outbreak to completion, feeding every probe to
     /// `observer`.
+    ///
+    /// The probe path is a staged pipeline: each host draws a step's
+    /// worth of targets in one batch
+    /// ([`TargetGenerator::fill_targets`]), the environment verdicts the
+    /// whole slice ([`Environment::route_batch`]), victims are resolved,
+    /// and the batch reaches the observer via
+    /// [`SimObserver::on_probe_batch`]. With the `parallel` cargo
+    /// feature and [`SimConfig::threads`] > 1, active hosts are sharded
+    /// across scoped threads and results merge in fixed shard order;
+    /// because every RNG stream is keyed by host id, the run is
+    /// bit-identical to a serial one (only observer batch boundaries
+    /// vary with thread count).
     pub fn run<O: SimObserver>(&mut self, observer: &mut O) -> SimResult {
         let n = self.population.len();
         let service = self.worm.service();
         let latency = self.env.latency();
         let removal_prob = self.config.removal_rate * self.config.dt;
         let mut rng = StdRng::seed_from_u64(self.config.rng_seed);
-        let mut seed_mix = SplitMix::new(self.config.rng_seed ^ 0x5eed_5eed_5eed_5eed);
+        // Latency draws happen at the serial merge, in candidate order,
+        // from a dedicated stream — the same sequence whether the probe
+        // phase ran on one thread or many.
+        let mut lat_rng = StdRng::seed_from_u64(derive_seed(self.config.rng_seed, LATENCY_SALT, 0));
 
         let mut infected_flags = vec![false; n];
         let mut removed_flags = vec![false; n];
@@ -251,8 +448,12 @@ impl Engine {
         let mut ledger = DeliveryLedger::new();
 
         #[cfg(feature = "telemetry")]
-        let (mut tel_target, mut tel_route, mut tel_observe) =
-            (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        let (mut tel_target, mut tel_route, mut tel_lookup, mut tel_observe) = (
+            Duration::ZERO,
+            Duration::ZERO,
+            Duration::ZERO,
+            Duration::ZERO,
+        );
         #[cfg(feature = "telemetry")]
         let mut step_micros = Histogram::new();
         #[cfg(feature = "telemetry")]
@@ -260,21 +461,21 @@ impl Engine {
 
         // Seed hosts.
         for idx in sample(&mut rng, n, self.config.seeds) {
-            let locus = self.population.locus(idx);
             infected_flags[idx] = true;
             infection_times[idx] = Some(0.0);
             ever_infected += 1;
-            let probes_per_step = self.host_rate(&mut rng);
-            active.push(InfectedHost {
-                id: idx,
-                locus,
-                generator: self.worm.generator(locus, seed_mix.next_u64()),
-                probes_per_step,
-                probe_credit: 0.0,
-            });
-            observer.on_infection(0.0, idx, locus);
+            let host = self.spawn_host(idx);
+            observer.on_infection(0.0, idx, host.locus);
+            active.push(host);
         }
         curve.push(0.0, ever_infected as f64 / n as f64);
+
+        #[cfg(feature = "parallel")]
+        let mut batches: Vec<ProbeBatch> = (0..self.config.threads.max(1))
+            .map(|_| ProbeBatch::new())
+            .collect();
+        #[cfg(not(feature = "parallel"))]
+        let mut batches: Vec<ProbeBatch> = vec![ProbeBatch::new()];
 
         let mut time = 0.0;
         let mut newly_infected: Vec<usize> = Vec::new();
@@ -300,16 +501,9 @@ impl Engine {
                 infection_times[idx] = Some(due);
                 ever_infected += 1;
                 activated = true;
-                let locus = self.population.locus(idx);
-                let probes_per_step = self.host_rate(&mut rng);
-                active.push(InfectedHost {
-                    id: idx,
-                    locus,
-                    generator: self.worm.generator(locus, seed_mix.next_u64()),
-                    probes_per_step,
-                    probe_credit: 0.0,
-                });
-                observer.on_infection(due, idx, locus);
+                let host = self.spawn_host(idx);
+                observer.on_infection(due, idx, host.locus);
+                active.push(host);
             }
 
             if let Some(stop) = self.config.stop_at_fraction {
@@ -322,10 +516,12 @@ impl Engine {
                 break;
             }
 
-            // Removal: infected hosts get patched/cleaned and turn immune.
+            // Removal: infected hosts get patched/cleaned and turn
+            // immune. Each host draws from its own stream, so outcomes
+            // are independent of iteration interleaving.
             if removal_prob > 0.0 {
-                active.retain(|host| {
-                    if rng.gen::<f64>() < removal_prob {
+                active.retain_mut(|host| {
+                    if host.rng.gen::<f64>() < removal_prob {
                         removed_flags[host.id] = true;
                         removed += 1;
                         false
@@ -335,62 +531,69 @@ impl Engine {
                 });
             }
 
+            // Stages 1–3 (target-gen / routing / victim lookup), sharded
+            // when parallel.
+            let shard_count = {
+                let ctx = ShardCtx {
+                    env: &self.env,
+                    population: &self.population,
+                    service,
+                    infected: &infected_flags,
+                    removed: &removed_flags,
+                    pending: &pending_flags,
+                };
+                run_shards(&ctx, &mut active, &mut batches)
+            };
+
+            // Stage 4 (observe) and infection bookkeeping: serial merge
+            // in fixed shard order.
             newly_infected.clear();
-            for host in &mut active {
-                host.probe_credit += host.probes_per_step;
-                while host.probe_credit >= 1.0 {
-                    host.probe_credit -= 1.0;
-                    #[cfg(feature = "telemetry")]
-                    let t0 = Instant::now();
-                    let target = host.generator.next_target();
-                    #[cfg(feature = "telemetry")]
-                    let t1 = Instant::now();
-                    let delivery = self.env.route(host.locus, target, service, &mut rng);
-                    ledger.record(delivery);
-                    #[cfg(feature = "telemetry")]
-                    let t2 = Instant::now();
-                    let public_src = host.locus.public_source(&self.env);
-                    observer.on_probe(time, public_src, delivery);
-                    #[cfg(feature = "telemetry")]
-                    {
-                        tel_target += t1 - t0;
-                        tel_route += t2 - t1;
-                        tel_observe += t2.elapsed();
+            for batch in &mut batches[..shard_count] {
+                ledger.merge(&batch.ledger);
+                #[cfg(feature = "telemetry")]
+                {
+                    tel_target += batch.target_gen;
+                    tel_route += batch.routing;
+                    tel_lookup += batch.lookup;
+                    batch.target_gen = Duration::ZERO;
+                    batch.routing = Duration::ZERO;
+                    batch.lookup = Duration::ZERO;
+                }
+                #[cfg(feature = "telemetry")]
+                let t_obs = Instant::now();
+                observer.on_probe_batch(time, &batch.probes, &batch.ledger);
+                #[cfg(feature = "telemetry")]
+                {
+                    tel_observe += t_obs.elapsed();
+                }
+                batch.ledger = DeliveryLedger::new();
+                batch.probes.clear();
+
+                // Candidates carry start-of-step flag state; re-check
+                // against live flags so duplicates collapse exactly as
+                // in a fully serial probe loop.
+                for &v in &batch.candidates {
+                    if infected_flags[v] || removed_flags[v] || pending_flags[v] {
+                        continue;
                     }
-                    let victim = match delivery {
-                        Delivery::Public(ip) => self.population.find_public(ip),
-                        Delivery::Local { realm, ip } => self.population.find_private(realm, ip),
-                        Delivery::Dropped(_) => None,
-                    };
-                    if let Some(v) = victim {
-                        if !infected_flags[v] && !removed_flags[v] && !pending_flags[v] {
-                            let delay = latency.sample(&mut rng);
-                            if delay <= 0.0 {
-                                infected_flags[v] = true;
-                                infection_times[v] = Some(time);
-                                ever_infected += 1;
-                                newly_infected.push(v);
-                                observer.on_infection(time, v, self.population.locus(v));
-                            } else {
-                                pending_flags[v] = true;
-                                let due_us = ((time + delay) * 1e6) as u64;
-                                pending.push(Reverse((due_us, v)));
-                            }
-                        }
+                    let delay = latency.sample(&mut lat_rng);
+                    if delay <= 0.0 {
+                        infected_flags[v] = true;
+                        infection_times[v] = Some(time);
+                        ever_infected += 1;
+                        newly_infected.push(v);
+                        observer.on_infection(time, v, self.population.locus(v));
+                    } else {
+                        pending_flags[v] = true;
+                        let due_us = ((time + delay) * 1e6) as u64;
+                        pending.push(Reverse((due_us, v)));
                     }
                 }
+                batch.candidates.clear();
             }
 
             for &idx in &newly_infected {
-                let locus = self.population.locus(idx);
-                let probes_per_step = self.host_rate(&mut rng);
-                active.push(InfectedHost {
-                    id: idx,
-                    locus,
-                    generator: self.worm.generator(locus, seed_mix.next_u64()),
-                    probes_per_step,
-                    probe_credit: 0.0,
-                });
+                active.push(self.spawn_host(idx));
             }
             if !newly_infected.is_empty() || activated || curve.is_empty() {
                 curve.push(time, ever_infected as f64 / n as f64);
@@ -418,6 +621,7 @@ impl Engine {
                 let mut phases = PhaseTimes::new();
                 phases.record("target_gen", tel_target);
                 phases.record("routing", tel_route);
+                phases.record("lookup", tel_lookup);
                 phases.record("observe", tel_observe);
                 EngineTelemetry {
                     phases,
@@ -789,7 +993,7 @@ mod tests {
         );
         let result = engine.run(&mut NullObserver);
         let tel = &result.telemetry;
-        for phase in ["target_gen", "routing", "observe"] {
+        for phase in ["target_gen", "routing", "lookup", "observe"] {
             assert_eq!(tel.phases.spans(phase), 1, "{phase} missing");
         }
         assert!(tel.step_micros.count() > 0);

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use hotspots_ipspace::Ip;
-use hotspots_netmodel::{Delivery, DropReason, Locus, Proto, Service};
+use hotspots_netmodel::{Delivery, DeliveryLedger, DropReason, Locus, Proto, Service};
 use hotspots_telescope::{DetectorField, Observatory};
 
 /// A passive observer of the outbreak's probe and infection stream.
@@ -15,6 +15,24 @@ pub trait SimObserver {
     /// Called for every probe after routing: the source as seen on the
     /// wire and the delivery verdict.
     fn on_probe(&mut self, time: f64, public_src: Ip, delivery: Delivery);
+
+    /// Called once per engine pipeline batch with every probe routed in
+    /// it, in emission order. All probes in a batch share one simulation
+    /// step, hence one `time`. `ledger` holds the verdict counts for
+    /// exactly these probes, already aggregated by the routing stage —
+    /// accounting observers can merge it instead of re-tallying the
+    /// slice.
+    ///
+    /// The default delegates to [`SimObserver::on_probe`] per probe, so
+    /// per-probe observers keep exact accounting without changes;
+    /// observers with per-probe overhead can override the batch hook
+    /// instead.
+    fn on_probe_batch(&mut self, time: f64, probes: &[(Ip, Delivery)], ledger: &DeliveryLedger) {
+        let _ = ledger;
+        for &(public_src, delivery) in probes {
+            self.on_probe(time, public_src, delivery);
+        }
+    }
 
     /// Called when a host becomes infected.
     fn on_infection(&mut self, time: f64, host: usize, locus: Locus) {
@@ -29,6 +47,10 @@ pub struct NullObserver;
 impl SimObserver for NullObserver {
     #[inline]
     fn on_probe(&mut self, _time: f64, _public_src: Ip, _delivery: Delivery) {}
+
+    #[inline]
+    fn on_probe_batch(&mut self, _time: f64, _probes: &[(Ip, Delivery)], _ledger: &DeliveryLedger) {
+    }
 }
 
 /// Observers can be borrowed across runs instead of moved into each one.
@@ -36,6 +58,11 @@ impl<T: SimObserver + ?Sized> SimObserver for &mut T {
     #[inline]
     fn on_probe(&mut self, time: f64, public_src: Ip, delivery: Delivery) {
         (**self).on_probe(time, public_src, delivery);
+    }
+
+    #[inline]
+    fn on_probe_batch(&mut self, time: f64, probes: &[(Ip, Delivery)], ledger: &DeliveryLedger) {
+        (**self).on_probe_batch(time, probes, ledger);
     }
 
     #[inline]
@@ -49,6 +76,11 @@ impl<T: SimObserver + ?Sized> SimObserver for Box<T> {
     #[inline]
     fn on_probe(&mut self, time: f64, public_src: Ip, delivery: Delivery) {
         (**self).on_probe(time, public_src, delivery);
+    }
+
+    #[inline]
+    fn on_probe_batch(&mut self, time: f64, probes: &[(Ip, Delivery)], ledger: &DeliveryLedger) {
+        (**self).on_probe_batch(time, probes, ledger);
     }
 
     #[inline]

@@ -26,6 +26,11 @@ pub struct Population {
     public_index: IpMap,
     /// (realm, private ip) → host, keyed by realm in the outer map.
     realm_index: std::collections::HashMap<RealmId, IpMap>,
+    /// Occupancy bitmap over /16 prefixes of the public hosts (8 KiB,
+    /// cache-resident). Worm scans cover far more address space than any
+    /// population occupies, so most `find_public` calls are misses; one
+    /// bit test rejects them without touching the hash table.
+    public_slash16: Box<[u64; 1024]>,
 }
 
 impl Population {
@@ -49,10 +54,15 @@ impl Population {
         let mut public_index = IpMap::with_capacity(loci.len());
         let mut realm_index: std::collections::HashMap<RealmId, IpMap> =
             std::collections::HashMap::new();
+        let mut public_slash16 = Box::new([0u64; 1024]);
         for (i, locus) in loci.iter().enumerate() {
             let idx = u32::try_from(i).expect("fewer than 2^32 hosts");
             let clash = match *locus {
-                Locus::Public(ip) => public_index.insert(ip.value(), idx),
+                Locus::Public(ip) => {
+                    let slash16 = (ip.value() >> 16) as usize;
+                    public_slash16[slash16 >> 6] |= 1u64 << (slash16 & 63);
+                    public_index.insert(ip.value(), idx)
+                }
                 Locus::Private { realm, ip } => realm_index
                     .entry(realm)
                     .or_insert_with(|| IpMap::with_capacity(16))
@@ -64,6 +74,7 @@ impl Population {
             loci,
             public_index,
             realm_index,
+            public_slash16,
         }
     }
 
@@ -94,6 +105,10 @@ impl Population {
     /// Finds the host with public address `ip`, if any.
     #[inline]
     pub fn find_public(&self, ip: Ip) -> Option<usize> {
+        let slash16 = (ip.value() >> 16) as usize;
+        if self.public_slash16[slash16 >> 6] & (1u64 << (slash16 & 63)) == 0 {
+            return None;
+        }
         self.public_index.get(ip.value()).map(|v| v as usize)
     }
 

@@ -1,12 +1,14 @@
 //! The telemetry observer: full probe-stream accounting as a
 //! [`SimObserver`].
 //!
-//! Counters aggregate per probe (a handful of array increments);
-//! [`Sink`] events fire only on infections, which are bounded by the
-//! population, not the probe count. Parameterized over [`NullSink`]
-//! the event path compiles to nothing, so the observer stays within a
-//! few percent of [`crate::NullObserver`] (see `crates/bench`'s
-//! `telemetry` bench).
+//! Verdict counts merge from the engine's per-batch ledger in O(1);
+//! only the per-/8 landing counts aggregate per probe (one array
+//! increment). [`Sink`] events fire only on infections, which are
+//! bounded by the population, not the probe count. Parameterized over
+//! [`NullSink`] the event path compiles to nothing, so the observer
+//! stays within ~15% of [`crate::NullObserver`] even against the
+//! batched engine's throughput (see `crates/bench`'s `telemetry`
+//! bench).
 
 use hotspots_ipspace::Ip;
 use hotspots_netmodel::{Delivery, DeliveryLedger, Locus};
@@ -147,6 +149,20 @@ impl<S: Sink> SimObserver for TelemetryObserver<S> {
             Delivery::Public(dst) => self.slash8[dst.octets()[0] as usize] += 1,
             Delivery::Local { ip, .. } => self.slash8[ip.octets()[0] as usize] += 1,
             Delivery::Dropped(_) => {}
+        }
+    }
+
+    /// Batch accounting: the verdict breakdown merges from the
+    /// engine-aggregated batch ledger in O(1); only the per-/8 landing
+    /// counts still walk the probes.
+    fn on_probe_batch(&mut self, _time: f64, probes: &[(Ip, Delivery)], ledger: &DeliveryLedger) {
+        self.ledger.merge(ledger);
+        for &(_, delivery) in probes {
+            match delivery {
+                Delivery::Public(dst) => self.slash8[dst.octets()[0] as usize] += 1,
+                Delivery::Local { ip, .. } => self.slash8[ip.octets()[0] as usize] += 1,
+                Delivery::Dropped(_) => {}
+            }
         }
     }
 

@@ -25,7 +25,7 @@ pub trait WormModel: fmt::Debug {
     fn service(&self) -> Service;
 
     /// Creates the target generator for a newly infected host.
-    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator>;
+    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator + Send>;
 }
 
 /// The uniform baseline worm of the simple epidemic model.
@@ -41,7 +41,7 @@ impl WormModel for UniformWorm {
         Service::CODERED_HTTP
     }
 
-    fn generator(&self, _locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+    fn generator(&self, _locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator + Send> {
         Box::new(UniformScanner::new(SplitMix::new(host_seed)))
     }
 }
@@ -87,7 +87,7 @@ impl WormModel for HitListWorm {
         self.service
     }
 
-    fn generator(&self, _locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+    fn generator(&self, _locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator + Send> {
         Box::new(HitListScanner::new(
             std::sync::Arc::clone(&self.list),
             SplitMix::new(host_seed),
@@ -110,7 +110,7 @@ impl WormModel for CodeRed2Worm {
         Service::CODERED_HTTP
     }
 
-    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator + Send> {
         Box::new(CodeRed2Scanner::new(
             locus.local_address(),
             SplitMix::new(host_seed),
@@ -142,7 +142,7 @@ impl WormModel for BlasterWorm {
         Service::BLASTER_RPC
     }
 
-    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator + Send> {
         let mut rng = StdRng::seed_from_u64(host_seed);
         let tick = self.seed_model.sample_seed(&mut rng);
         Box::new(BlasterScanner::from_tick_count(locus.local_address(), tick))
@@ -183,7 +183,7 @@ impl WormModel for BotWorm {
         self.command.module().service()
     }
 
-    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator + Send> {
         match self
             .command
             .scanner(locus.local_address(), SplitMix::new(host_seed))
@@ -209,7 +209,7 @@ impl WormModel for SlammerWorm {
         Service::SLAMMER_SQL
     }
 
-    fn generator(&self, _locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator> {
+    fn generator(&self, _locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator + Send> {
         let mut mix = SplitMix::new(host_seed);
         let dll = SqlsortDll::ALL[(mix.next_u64() % 3) as usize];
         let seed = mix.next_u64() as u32;

@@ -1,0 +1,256 @@
+//! Cross-mode determinism: the staged probe pipeline must produce
+//! bit-identical results whether it runs serially (`threads = 1`) or
+//! sharded across worker threads — same infection times, same ledger,
+//! same observer-visible probe stream.
+//!
+//! Without the `parallel` cargo feature, `threads > 1` falls back to the
+//! serial path and these tests pass trivially; the CI `parallel` job
+//! compiles the real sharded path and re-runs them.
+
+use hotspots_ipspace::Ip;
+use hotspots_netmodel::{Delivery, DeliveryLedger, Environment, LatencyModel, Locus, LossModel};
+use hotspots_prng::entropy::{HardwareGeneration, SeedModel};
+use hotspots_sim::{
+    apply_nat, BlasterWorm, CodeRed2Worm, Engine, HitListWorm, Population, SimConfig, SimObserver,
+    SimResult, SlammerWorm, UniformWorm, WormModel,
+};
+use hotspots_targeting::HitList;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything the engine hands an observer, aggregated, so cross-mode
+/// equality covers the observer-visible stream and not just `SimResult`.
+#[derive(Default)]
+struct EventTally {
+    probes: u64,
+    publics: u64,
+    locals: u64,
+    infections: u64,
+    batch_calls: u64,
+}
+
+impl SimObserver for EventTally {
+    fn on_probe(&mut self, _time: f64, _src: Ip, delivery: Delivery) {
+        self.probes += 1;
+        match delivery {
+            Delivery::Public(_) => self.publics += 1,
+            Delivery::Local { .. } => self.locals += 1,
+            Delivery::Dropped(_) => {}
+        }
+    }
+
+    fn on_probe_batch(&mut self, time: f64, probes: &[(Ip, Delivery)], ledger: &DeliveryLedger) {
+        self.batch_calls += 1;
+        assert_eq!(
+            ledger.probes(),
+            probes.len() as u64,
+            "batch ledger must cover exactly the batch's probes"
+        );
+        for &(src, delivery) in probes {
+            self.on_probe(time, src, delivery);
+        }
+    }
+
+    fn on_infection(&mut self, _time: f64, _host: usize, _locus: Locus) {
+        self.infections += 1;
+    }
+}
+
+type Setup = fn() -> (Environment, Population, Box<dyn WormModel>, SimConfig);
+
+fn run_with_threads(setup: Setup, threads: usize) -> (SimResult, EventTally) {
+    let (env, pop, worm, mut config) = setup();
+    config.threads = threads;
+    let mut engine = Engine::new(config, pop, env, worm);
+    let mut tally = EventTally::default();
+    let result = engine.run(&mut tally);
+    (result, tally)
+}
+
+/// Runs `setup` serially and at 2 and 4 worker threads (plus a
+/// more-threads-than-hosts configuration) and asserts every
+/// deterministic output is identical.
+fn assert_cross_mode_identical(name: &str, setup: Setup) {
+    let (base, base_tally) = run_with_threads(setup, 1);
+    assert!(base.probes_sent > 0, "{name}: run emitted no probes");
+    assert!(
+        base_tally.batch_calls > 0,
+        "{name}: observer saw no batches"
+    );
+    let base_curve: Vec<(f64, f64)> = base.infection_curve.iter().collect();
+
+    for threads in [2, 4, 64] {
+        let (other, tally) = run_with_threads(setup, threads);
+        assert_eq!(
+            base.infection_times, other.infection_times,
+            "{name}: infection times diverge at {threads} threads"
+        );
+        assert_eq!(
+            base.probes_sent, other.probes_sent,
+            "{name}: probe count diverges at {threads} threads"
+        );
+        assert_eq!(
+            base.ledger, other.ledger,
+            "{name}: ledger diverges at {threads} threads"
+        );
+        assert_eq!(base.infected, other.infected, "{name} @ {threads} threads");
+        assert_eq!(base.removed, other.removed, "{name} @ {threads} threads");
+        assert_eq!(base.elapsed, other.elapsed, "{name} @ {threads} threads");
+        let curve: Vec<(f64, f64)> = other.infection_curve.iter().collect();
+        assert_eq!(
+            base_curve, curve,
+            "{name}: infection curve diverges at {threads} threads"
+        );
+        assert_eq!(
+            base_tally.probes, tally.probes,
+            "{name} @ {threads} threads"
+        );
+        assert_eq!(
+            base_tally.publics, tally.publics,
+            "{name} @ {threads} threads"
+        );
+        assert_eq!(
+            base_tally.locals, tally.locals,
+            "{name} @ {threads} threads"
+        );
+        assert_eq!(
+            base_tally.infections, tally.infections,
+            "{name} @ {threads} threads"
+        );
+    }
+}
+
+/// A dense population inside one /16 so worms make progress at test
+/// scale.
+fn dense_population(n: u32) -> Population {
+    Population::from_public((0..n).map(|i| Ip::new(0x0b0b_0000 + i)))
+}
+
+fn hitlist_worm() -> Box<dyn WormModel> {
+    Box::new(HitListWorm::new(
+        HitList::new(vec!["11.11.0.0/16".parse().unwrap()]).unwrap(),
+    ))
+}
+
+#[test]
+fn uniform_worm_is_thread_invariant() {
+    assert_cross_mode_identical("uniform", || {
+        let config = SimConfig {
+            scan_rate: 40.0,
+            seeds: 8,
+            max_time: 40.0,
+            stop_at_fraction: None,
+            rng_seed: 11,
+            ..SimConfig::default()
+        };
+        (
+            Environment::new(),
+            dense_population(200),
+            Box::new(UniformWorm),
+            config,
+        )
+    });
+}
+
+#[test]
+fn blaster_worm_is_thread_invariant() {
+    assert_cross_mode_identical("blaster", || {
+        let mut env = Environment::new();
+        env.set_loss(LossModel::new(0.2).unwrap());
+        let config = SimConfig {
+            scan_rate: 25.0,
+            seeds: 6,
+            max_time: 60.0,
+            stop_at_fraction: None,
+            rng_seed: 12,
+            ..SimConfig::default()
+        };
+        let worm = BlasterWorm::new(SeedModel::blaster_reboot(HardwareGeneration::PentiumIv));
+        (env, dense_population(150), Box::new(worm), config)
+    });
+}
+
+#[test]
+fn slammer_worm_is_thread_invariant() {
+    assert_cross_mode_identical("slammer", || {
+        let mut env = Environment::new();
+        env.set_loss(LossModel::new(0.1).unwrap());
+        let config = SimConfig {
+            scan_rate: 30.0,
+            scan_rate_sigma: 1.0,
+            seeds: 10,
+            max_time: 50.0,
+            stop_at_fraction: None,
+            rng_seed: 13,
+            ..SimConfig::default()
+        };
+        (env, dense_population(300), Box::new(SlammerWorm), config)
+    });
+}
+
+#[test]
+fn codered2_worm_with_nat_is_thread_invariant() {
+    assert_cross_mode_identical("codered2+nat", || {
+        let mut env = Environment::new();
+        let mut nat_rng = StdRng::seed_from_u64(7);
+        let publics: Vec<Ip> = (0..250u32).map(|i| Ip::new(0x0b0b_0000 + i * 3)).collect();
+        let loci = apply_nat(&mut env, &publics, 0.5, &mut nat_rng);
+        let config = SimConfig {
+            scan_rate: 60.0,
+            seeds: 6,
+            max_time: 120.0,
+            stop_at_fraction: Some(0.9),
+            rng_seed: 14,
+            ..SimConfig::default()
+        };
+        (
+            env,
+            Population::from_loci(loci),
+            Box::new(CodeRed2Worm),
+            config,
+        )
+    });
+}
+
+#[test]
+fn hitlist_worm_is_thread_invariant() {
+    assert_cross_mode_identical("hit-list", || {
+        let config = SimConfig {
+            scan_rate: 10.0,
+            seeds: 5,
+            max_time: 600.0,
+            stop_at_fraction: Some(0.95),
+            rng_seed: 15,
+            ..SimConfig::default()
+        };
+        (
+            Environment::new(),
+            dense_population(400),
+            hitlist_worm(),
+            config,
+        )
+    });
+}
+
+#[test]
+fn latency_and_removal_are_thread_invariant() {
+    // The heaviest configuration: latency with jitter (pending-activation
+    // heap and the dedicated latency stream), removal (per-host streams),
+    // rate dispersion, and loss, all at once.
+    assert_cross_mode_identical("hit-list+latency+removal", || {
+        let mut env = Environment::new();
+        env.set_latency(LatencyModel::new(0.5, 2.0).unwrap());
+        env.set_loss(LossModel::new(0.1).unwrap());
+        let config = SimConfig {
+            scan_rate: 12.0,
+            scan_rate_sigma: 0.6,
+            seeds: 6,
+            max_time: 500.0,
+            stop_at_fraction: None,
+            removal_rate: 0.004,
+            rng_seed: 16,
+            ..SimConfig::default()
+        };
+        (env, dense_population(300), hitlist_worm(), config)
+    });
+}

@@ -65,8 +65,9 @@ impl<P: Prng32> CodeRed2Scanner<P> {
     }
 }
 
-impl<P: Prng32> TargetGenerator for CodeRed2Scanner<P> {
-    fn next_target(&mut self) -> Ip {
+impl<P: Prng32> CodeRed2Scanner<P> {
+    #[inline]
+    fn generate(&mut self) -> Ip {
         // The regeneration loop terminates almost surely because the mask
         // is re-drawn each attempt and 1/8 of draws are fully random.
         loop {
@@ -79,6 +80,20 @@ impl<P: Prng32> TargetGenerator for CodeRed2Scanner<P> {
                 continue;
             }
             return candidate;
+        }
+    }
+}
+
+impl<P: Prng32> TargetGenerator for CodeRed2Scanner<P> {
+    fn next_target(&mut self) -> Ip {
+        self.generate()
+    }
+
+    fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
+        out.reserve(n);
+        for _ in 0..n {
+            let t = self.generate();
+            out.push(t);
         }
     }
 

@@ -248,6 +248,15 @@ impl<P: Prng32> TargetGenerator for HitListScanner<P> {
         self.list.nth(idx)
     }
 
+    fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
+        out.reserve(n);
+        let total = self.list.address_count();
+        for _ in 0..n {
+            let r = u64::from(self.prng.next_u32());
+            out.push(self.list.nth((r * total) >> 32));
+        }
+    }
+
     fn strategy(&self) -> &'static str {
         "hit-list"
     }

@@ -64,6 +64,21 @@ pub trait TargetGenerator {
     /// Produces the next target address.
     fn next_target(&mut self) -> Ip;
 
+    /// Appends the next `n` targets to `out`.
+    ///
+    /// The batch **must** be the exact sequence `n` calls to
+    /// [`TargetGenerator::next_target`] would produce (the simulator
+    /// relies on this for replay determinism across batch sizes). The
+    /// default implementation loops `next_target`; hot generators
+    /// override it so the per-probe virtual dispatch and PRNG state
+    /// round-trips collapse into one monomorphized loop.
+    fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_target());
+        }
+    }
+
     /// A short human-readable strategy name (for experiment output).
     fn strategy(&self) -> &'static str;
 }
@@ -81,4 +96,62 @@ pub trait TargetGenerator {
 /// ```
 pub fn targets<G: TargetGenerator + ?Sized>(generator: &mut G, n: usize) -> Vec<Ip> {
     (0..n).map(|_| generator.next_target()).collect()
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use hotspots_prng::{SplitMix, SqlsortDll};
+    use proptest::prelude::*;
+
+    /// Every overridden `fill_targets` must emit exactly the sequence the
+    /// scalar `next_target` loop would — including when the batch is
+    /// split at an arbitrary point (state carries across batches).
+    fn assert_batch_equals_scalar<G>(generator: &G, n: usize, split: usize)
+    where
+        G: TargetGenerator + Clone + std::fmt::Debug,
+    {
+        let mut scalar = generator.clone();
+        let expected = targets(&mut scalar, n);
+
+        let mut batched = generator.clone();
+        let mut out = Vec::new();
+        let split = split.min(n);
+        batched.fill_targets(split, &mut out);
+        batched.fill_targets(n - split, &mut out);
+        assert_eq!(out, expected, "{} batch diverges", generator.strategy());
+    }
+
+    proptest! {
+        #[test]
+        fn fill_targets_matches_next_target(seed in any::<u64>(), n in 0usize..200, split in 0usize..200) {
+            let src = Ip::from_octets(192, 168, 0, 99);
+            assert_batch_equals_scalar(&UniformScanner::new(SplitMix::new(seed)), n, split);
+            assert_batch_equals_scalar(&SlammerScanner::new(SqlsortDll::Gold, seed as u32), n, split);
+            assert_batch_equals_scalar(&CodeRed2Scanner::new(src, SplitMix::new(seed)), n, split);
+            let list = HitList::new(vec![
+                "10.0.0.0/24".parse().unwrap(),
+                "203.0.113.0/28".parse().unwrap(),
+            ])
+            .unwrap();
+            assert_batch_equals_scalar(&HitListScanner::new(list, SplitMix::new(seed)), n, split);
+            let prefs = vec![
+                PreferenceEntry { mask: 0xffff_0000, weight: 3 },
+                PreferenceEntry { mask: 0xff00_0000, weight: 4 },
+                PreferenceEntry { mask: 0, weight: 1 },
+            ];
+            assert_batch_equals_scalar(&LocalPreference::new(src, prefs, SplitMix::new(seed)), n, split);
+        }
+
+        #[test]
+        fn default_fill_targets_appends(seed in any::<u64>(), n in 0usize..64) {
+            // a generator with no override still satisfies the contract
+            let mut a = BlasterScanner::from_tick_count(Ip::from_octets(4, 4, 4, 4), seed as u32);
+            let mut b = a;
+            let mut out = vec![Ip::MIN]; // pre-existing content survives
+            a.fill_targets(n, &mut out);
+            prop_assert_eq!(out.len(), n + 1);
+            prop_assert_eq!(&out[1..], &targets(&mut b, n)[..]);
+        }
+    }
 }

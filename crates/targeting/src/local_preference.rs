@@ -104,6 +104,15 @@ impl<P: Prng32> TargetGenerator for LocalPreference<P> {
         Ip::new((self.source.value() & mask) | (random & !mask))
     }
 
+    fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
+        out.reserve(n);
+        for _ in 0..n {
+            let mask = self.pick_mask();
+            let random = self.prng.next_u32();
+            out.push(Ip::new((self.source.value() & mask) | (random & !mask)));
+        }
+    }
+
     fn strategy(&self) -> &'static str {
         "local-preference"
     }

@@ -56,6 +56,13 @@ impl TargetGenerator for SlammerScanner {
         self.prng.next_target()
     }
 
+    fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.prng.next_target());
+        }
+    }
+
     fn strategy(&self) -> &'static str {
         "slammer"
     }

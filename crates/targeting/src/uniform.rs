@@ -48,6 +48,13 @@ impl<P: Prng32> TargetGenerator for UniformScanner<P> {
         Ip::new(self.prng.next_u32())
     }
 
+    fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(Ip::new(self.prng.next_u32()));
+        }
+    }
+
     fn strategy(&self) -> &'static str {
         "uniform"
     }

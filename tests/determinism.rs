@@ -121,6 +121,7 @@ fn engine_invariants_hold_across_configurations() {
         stop_at_fraction: None,
         removal_rate: 0.002,
         rng_seed: 45,
+        threads: 1,
     };
     let list = hotspots_targeting::HitList::top_k_slash16(&pop, 3);
     let mut engine = Engine::new(
