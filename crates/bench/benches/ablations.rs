@@ -11,7 +11,7 @@
 //! difference the design doc claims.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hotspots_ipspace::{ims_deployment, Ip};
+use hotspots_ipspace::{ims_deployment, Deployment, Ip};
 use hotspots_prng::cycles::AffineMap;
 use hotspots_prng::entropy::{HardwareGeneration, SeedModel};
 use hotspots_prng::SqlsortDll;
@@ -22,11 +22,7 @@ fn byte_order(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_byte_order");
     group.sample_size(10);
     let map = AffineMap::slammer(SqlsortDll::Gold);
-    let h_block = ims_deployment()
-        .into_iter()
-        .find(|b| b.label() == "H")
-        .expect("H exists")
-        .prefix();
+    let h_block = ims_deployment().by_label("H").expect("H exists").prefix();
 
     // Behavioral demonstration: distinct cycles through H under the
     // faithful little-endian mapping vs the naive big-endian one.

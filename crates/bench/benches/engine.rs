@@ -1,53 +1,42 @@
 //! Outbreak engine throughput.
 //!
-//! Besides the usual Criterion groups, the custom `main` times a fixed
-//! Slammer outbreak (serial, and with `--features parallel` also
-//! multi-threaded) and writes the probes/sec numbers to
-//! `BENCH_engine.json` at the repository root. Set
-//! `HOTSPOTS_BENCH_BASELINE=<probes/sec>` to record a pre-batching
-//! baseline alongside them.
+//! The workloads are the `bench-*` registry presets from
+//! `hotspots-scenario` (at paper scale), so the exact configurations
+//! being timed are inspectable (`hotspots spec bench-slammer`) and stay
+//! in lockstep with what `hotspots run` executes. Besides the usual
+//! Criterion groups, the custom `main` times a fixed Slammer outbreak
+//! (serial, and with `--features parallel` also multi-threaded) and
+//! writes the probes/sec numbers to `BENCH_engine.json` at the
+//! repository root. Set `HOTSPOTS_BENCH_BASELINE=<probes/sec>` to record
+//! a pre-batching baseline alongside them.
 
 use criterion::{black_box, criterion_group, BatchSize, Criterion};
 use hotspots_ipspace::Ip;
-use hotspots_netmodel::Environment;
-use hotspots_sim::{
-    Engine, FieldObserver, HitListWorm, NullObserver, Population, SimConfig, SlammerWorm,
-};
-use hotspots_targeting::HitList;
+use hotspots_scenario::{find_preset, Built, Scale};
+use hotspots_sim::{Engine, FieldObserver, NullObserver};
 use hotspots_telescope::DetectorField;
 use std::time::Instant;
 
-fn engine_config(max_time: f64) -> SimConfig {
-    SimConfig {
-        scan_rate: 10.0,
-        seeds: 25,
-        dt: 1.0,
-        max_time,
-        stop_at_fraction: None,
-        rng_seed: 1,
-        ..SimConfig::default()
-    }
+/// Builds a bench preset fresh (engines are consumed per run).
+fn built(preset: &str) -> Built {
+    find_preset(preset)
+        .expect("registered bench preset")
+        .spec(Scale::Paper)
+        .build()
+        .expect("bench presets build")
 }
 
-fn population(n: u32) -> Population {
-    Population::from_public((0..n).map(|i| Ip::new(0x0b00_0000 + i * 37)))
+fn engine_from(b: Built) -> Engine {
+    Engine::new(b.config, b.population, b.environment, b.worm)
 }
 
 fn outbreak(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
     group.sample_size(10);
-    let list = HitList::new(vec!["11.0.0.0/12".parse().unwrap()]).unwrap();
 
     group.bench_function("run_5k_hosts_100s_null_observer", |b| {
         b.iter_batched(
-            || {
-                Engine::new(
-                    engine_config(100.0),
-                    population(5_000),
-                    Environment::new(),
-                    Box::new(HitListWorm::new(list.clone())),
-                )
-            },
+            || engine_from(built("bench-hitlist")),
             |mut engine| black_box(engine.run(&mut NullObserver)),
             BatchSize::PerIteration,
         );
@@ -62,12 +51,7 @@ fn outbreak(c: &mut Criterion) {
         b.iter_batched(
             || {
                 (
-                    Engine::new(
-                        engine_config(100.0),
-                        population(5_000),
-                        Environment::new(),
-                        Box::new(HitListWorm::new(list.clone())),
-                    ),
+                    engine_from(built("bench-hitlist")),
                     FieldObserver::new(DetectorField::new(sensors.clone(), 5)),
                 )
             },
@@ -80,31 +64,18 @@ fn outbreak(c: &mut Criterion) {
 
 criterion_group!(benches, outbreak);
 
-/// One timed Slammer outbreak: 25 seeds LCG-walking the full IPv4 space
-/// over a 5k-host population. Infections are rare (the population is a
-/// ~1e-6 sliver of the scanned space), so the measurement is dominated
-/// by the probe pipeline — exactly the path the batched engine
-/// restructures.
+/// One timed Slammer outbreak (the `bench-slammer` preset): 25 seeds
+/// LCG-walking the full IPv4 space over a 5k-host population.
+/// Infections are rare (the population is a ~1e-6 sliver of the scanned
+/// space), so the measurement is dominated by the probe pipeline —
+/// exactly the path the batched engine restructures.
 fn slammer_run(threads: usize) -> (f64, u64) {
-    let config = SimConfig {
-        scan_rate: 2_000.0,
-        seeds: 25,
-        dt: 1.0,
-        max_time: 300.0,
-        stop_at_fraction: None,
-        rng_seed: 7,
-        threads,
-        ..SimConfig::default()
-    };
     let mut best_probes_per_sec = 0.0f64;
     let mut probes_sent = 0u64;
     for _ in 0..3 {
-        let mut engine = Engine::new(
-            config,
-            population(5_000),
-            Environment::new(),
-            Box::new(SlammerWorm),
-        );
+        let mut b = built("bench-slammer");
+        b.config.threads = threads;
+        let mut engine = engine_from(b);
         let start = Instant::now();
         let result = black_box(engine.run(&mut NullObserver));
         let secs = start.elapsed().as_secs_f64();

@@ -1,6 +1,6 @@
 //! Figure 4: CodeRedII, NATs, and the 192/8 hotspot.
 
-use hotspots_ipspace::{ims_deployment, special, AddressBlock, Ip};
+use hotspots_ipspace::{ims_deployment, special, AddressBlock, Deployment, Ip};
 use hotspots_netmodel::{Delivery, DeliveryLedger, Environment, Service};
 use hotspots_prng::SplitMix;
 use hotspots_sim::apply_nat;
@@ -173,8 +173,7 @@ pub fn classify_sources(study: &CodeRedStudy, m_share_threshold: f64) -> Behavio
     );
     let blocks = ims_deployment();
     let m_prefix = blocks
-        .iter()
-        .find(|b| b.label() == "M")
+        .by_label("M")
         .expect("IMS deployment has an M block")
         .prefix();
     let mut rng = StdRng::seed_from_u64(study.rng_seed);

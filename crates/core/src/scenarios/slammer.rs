@@ -10,7 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use hotspots_ipspace::{ims_deployment, AddressBlock, Ip, Prefix};
+use hotspots_ipspace::{ims_deployment, AddressBlock, Deployment, Ip, Prefix};
 use hotspots_netmodel::{FilterRule, FilterTable, Service};
 use hotspots_prng::cycles::{AffineMap, CycleBand, CycleId};
 use hotspots_prng::{SplitMix, SqlsortDll};
@@ -48,8 +48,7 @@ impl SlammerStudy {
     /// Adds the paper's upstream block: drop UDP/1434 toward the M block.
     pub fn with_m_block_filter(mut self) -> SlammerStudy {
         let m = ims_deployment()
-            .into_iter()
-            .find(|b| b.label() == "M")
+            .by_label("M")
             .expect("IMS deployment has an M block")
             .prefix();
         self.filters

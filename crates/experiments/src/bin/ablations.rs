@@ -2,200 +2,12 @@
 //! same machinery; see DESIGN.md §5 and the `ablations` Criterion bench).
 //!
 //! 1. **NAT topology**: the paper's shared-192.168/16 wiring vs strictly
-//!    isolated home NATs — whether the private cluster can ignite decides
-//!    whether the Inside192 placement sees anything at all.
+//!    isolated home NATs.
 //! 2. **Sensor mode**: active (SYN-ACK responder, the IMS design) vs
 //!    passive capture, against a TCP-carried and a UDP-carried worm.
 //! 3. **Reboot fraction**: how much of Figure 1's hotspot structure comes
 //!    from the boot-band seed collisions.
 
-use hotspots::scenarios::blaster::{sources_by_block, BlasterStudy};
-use hotspots::scenarios::detection::{
-    nat_run_with_topology, DetectionStudy, NatTopology, Placement,
-};
-use hotspots::HotspotReport;
-use hotspots_experiments::{
-    experiment, fold_run, fold_sim_result, print_table, ReportBuilder, Scale,
-};
-use hotspots_netmodel::{Environment, Service};
-use hotspots_sim::{Engine, FieldObserver, HitListWorm, Population, SimConfig};
-use hotspots_targeting::HitList;
-use hotspots_telescope::{DetectorField, SensorMode};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "ablations",
-        "ABLATIONS",
-        "design-decision ablations",
-        "design-decision ablations",
-    );
-
-    nat_topology_ablation(scale, &mut out);
-    sensor_mode_ablation(scale, &mut out);
-    reboot_fraction_ablation(scale, &mut out);
-    out.emit();
-}
-
-fn nat_topology_ablation(scale: Scale, out: &mut ReportBuilder) {
-    println!("\n-- 1. NAT topology: shared 192.168/16 vs isolated home NATs --\n");
-    let study = DetectionStudy {
-        population: scale.pick(5_000, 40_000),
-        slash8s: 20,
-        max_time: scale.pick(2_500.0, 6_000.0),
-        ..DetectionStudy::default()
-    };
-    let mut rows = Vec::new();
-    for topology in [NatTopology::Shared, NatTopology::Isolated] {
-        let run = nat_run_with_topology(&study, 0.15, Placement::Inside192, topology);
-        fold_run(
-            out,
-            &run.ledger,
-            study.population_size() as u64,
-            run.infected_hosts,
-            run.sim_seconds,
-        );
-        rows.push(vec![
-            format!("{topology:?}"),
-            run.sensors.to_string(),
-            run.sensors_alerted.to_string(),
-            format!("{:.1}%", 100.0 * run.alerted_at_20pct_infected),
-        ]);
-    }
-    print_table(
-        &[
-            "topology",
-            "sensors in 192/8",
-            "alerted (final)",
-            "alerted at 20% infected",
-        ],
-        &rows,
-    );
-    println!(
-        "→ the Figure 5(c) hotspot requires the NATed hosts to be mutually \
-         reachable;\n  fully isolated home NATs produce no 192/8 flood \
-         (the worm never reaches them)."
-    );
-}
-
-fn sensor_mode_ablation(scale: Scale, out: &mut ReportBuilder) {
-    println!("\n-- 2. sensor mode: active (SYN-ACK responder) vs passive capture --\n");
-    let hosts: u32 = scale.pick(800, 3_000);
-    let addrs: Vec<hotspots_ipspace::Ip> = {
-        let mut rng = StdRng::seed_from_u64(21);
-        let mut set = std::collections::BTreeSet::new();
-        while (set.len() as u32) < hosts {
-            set.insert(hotspots_ipspace::Ip::new(
-                0x4242_0000 | rng.gen::<u32>() & 0xffff,
-            ));
-        }
-        set.into_iter().collect()
-    };
-    let sensors: Vec<hotspots_ipspace::Prefix> = (0..16u32)
-        .map(|i| format!("66.66.{}.0/24", i * 16).parse().expect("valid"))
-        .collect();
-    let list = HitList::new(vec!["66.66.0.0/16".parse().expect("valid")]).unwrap();
-
-    let mut rows = Vec::new();
-    for (proto_name, service) in [
-        ("TCP worm (CodeRed-style)", Service::CODERED_HTTP),
-        ("UDP worm (Slammer-style)", Service::SLAMMER_SQL),
-    ] {
-        for mode in [SensorMode::Active, SensorMode::Passive] {
-            let field = DetectorField::with_mode(sensors.clone(), 5, mode);
-            let mut observer = FieldObserver::with_service(field, service);
-            let config = SimConfig {
-                scan_rate: 20.0,
-                seeds: 10,
-                max_time: scale.pick(1_500.0, 3_000.0),
-                stop_at_fraction: Some(0.9),
-                ..SimConfig::default()
-            };
-            // worm targets 66.66/16 (where hosts are NOT — pure noise
-            // toward the sensors) plus the host /16
-            let both = HitList::new(vec![
-                "66.66.0.0/16".parse().expect("valid"),
-                "66.67.0.0/16".parse().expect("valid"),
-            ])
-            .unwrap();
-            let _ = &list;
-            let mut engine = Engine::new(
-                config,
-                Population::from_public(
-                    addrs
-                        .iter()
-                        .map(|ip| hotspots_ipspace::Ip::new(ip.value() | 0x0001_0000)),
-                ),
-                Environment::new(),
-                Box::new(HitListWorm::new(both).with_service(service)),
-            );
-            let result = engine.run(&mut observer);
-            fold_sim_result(out, &result);
-            let field = observer.into_field();
-            rows.push(vec![
-                proto_name.to_owned(),
-                format!("{mode:?}"),
-                field.alerted().to_string(),
-                field.len().to_string(),
-            ]);
-        }
-    }
-    print_table(
-        &["worm transport", "sensor mode", "alerted", "sensors"],
-        &rows,
-    );
-    println!(
-        "→ passive sensors are blind to TCP worms (no payload without a \
-         SYN-ACK), which is exactly\n  why the IMS actively elicited \
-         payloads — an instrumentation factor shaping what gets counted."
-    );
-}
-
-fn reboot_fraction_ablation(scale: Scale, out: &mut ReportBuilder) {
-    println!("\n-- 3. Blaster reboot fraction vs Figure 1 hotspot strength --\n");
-    let mut rows = Vec::new();
-    for reboot_fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let study = BlasterStudy {
-            hosts: scale.pick(3_000, 20_000),
-            window_secs: 7.0 * 24.0 * 3600.0,
-            reboot_fraction,
-            ..BlasterStudy::default()
-        };
-        let rows_fig = sources_by_block(&study);
-        // score over the /24 rows only: interval-coverage counts do not
-        // scale with cell size, so mixing the Z block's /16 rows in would
-        // bias the uniform null (see DESIGN.md)
-        let counts: Vec<u64> = rows_fig
-            .iter()
-            .filter(|r| r.prefix.len() == 24)
-            .map(|r| r.unique_sources)
-            .collect();
-        let report = HotspotReport::from_counts(&counts);
-        rows.push(vec![
-            format!("{:.0}%", reboot_fraction * 100.0),
-            format!("{:.3}", report.gini),
-            format!("{:.1}", report.max_median_ratio),
-            report
-                .chi_square_p
-                .map_or_else(|| "-".into(), |p| format!("{p:.1e}")),
-            if report.is_hotspot() {
-                "HOTSPOT"
-            } else {
-                "uniform-ish"
-            }
-            .to_owned(),
-        ]);
-    }
-    print_table(
-        &["reboot-launched", "gini", "max/median", "χ² p", "verdict"],
-        &rows,
-    );
-    // interval-coverage sweep: closed form, nothing routed
-    out.config("reboot_fractions", "0,0.25,0.5,0.75,1");
-    println!(
-        "→ the boot-band seed collisions are the engine of Figure 1's \
-         spikes: with no reboot\n  launches the per-/24 counts flatten \
-         toward Poisson noise."
-    );
+    hotspots_experiments::preset_main("ablations");
 }

@@ -1,133 +1,6 @@
 //! Figure 1: observed unique source IPs of Blaster infection attempts by
 //! destination /24, plus the seed-inference correlation.
 
-use hotspots::scenarios::blaster::{sources_by_block, BlasterStudy};
-use hotspots::seed_inference;
-use hotspots::HotspotReport;
-use hotspots_experiments::{bar, experiment, print_table};
-use hotspots_ipspace::Ip;
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "fig1_blaster",
-        "FIGURE 1",
-        "Figure 1",
-        "Blaster unique sources by destination /24 (boot-time seeding)",
-    );
-
-    let study = BlasterStudy {
-        hosts: scale.pick(5_000, 60_000),
-        window_secs: scale.pick(7.0, 30.0) * 24.0 * 3600.0,
-        ..BlasterStudy::default()
-    };
-    // interval-coverage study: closed-form, nothing routed
-    out.config("hosts", study.hosts)
-        .config("window_days", study.window_secs / 86_400.0)
-        .config("reboot_fraction", study.reboot_fraction)
-        .add_population(study.hosts as u64)
-        .add_sim_seconds(study.window_secs);
-    println!(
-        "\n{} infected hosts, {:.0}-day window, {} probes/s, {}% reboot-launched\n",
-        study.hosts,
-        study.window_secs / 86_400.0,
-        study.scan_rate,
-        (study.reboot_fraction * 100.0) as u32
-    );
-
-    let rows = sources_by_block(&study);
-    let max = rows.iter().map(|r| r.unique_sources).max().unwrap_or(1) as f64;
-
-    // figure series: per-/24 (per-/16 for Z) unique source counts
-    println!("-- per-bucket unique sources (the figure's y-axis) --");
-    let mut current_block = String::new();
-    for row in &rows {
-        if row.block != current_block {
-            current_block.clone_from(&row.block);
-            println!("block {current_block}:");
-        }
-        if row.unique_sources > 0 || row.prefix.len() >= 24 {
-            println!(
-                "  {:<20} {:>7}  {}",
-                row.prefix.to_string(),
-                row.unique_sources,
-                bar(row.unique_sources as f64, max, 50)
-            );
-        }
-    }
-
-    // score over the equal-size /24 rows (interval coverage does not
-    // scale with cell size, so the /16 Z rows use a different null)
-    let counts: Vec<u64> = rows
-        .iter()
-        .filter(|r| r.prefix.len() == 24)
-        .map(|r| r.unique_sources)
-        .collect();
-    let report = HotspotReport::from_counts(&counts);
-    println!("\nnon-uniformity over /24 rows: {report}");
-
-    // the paper's correlation, run both directions:
-    //  * ground truth: the tick counts of the hosts that actually cover
-    //    each row (the paper's "the spike maps back to 2.3 minutes"),
-    //  * forward search: candidate seeds in the tick range that would
-    //    explain the row (seed_inference::candidate_seeds).
-    println!("\n-- seed correlation (hot vs cold /24 rows) --\n");
-    let hosts = hotspots::scenarios::blaster::draw_hosts(&study);
-    let mut sorted: Vec<_> = rows.iter().filter(|r| r.prefix.len() == 24).collect();
-    sorted.sort_by_key(|r| std::cmp::Reverse(r.unique_sources));
-    let picks = [
-        ("hottest", sorted[0]),
-        ("2nd", sorted[1]),
-        ("3rd", sorted[2]),
-        ("coldest", *sorted.last().expect("rows exist")),
-    ];
-    let mut table = Vec::new();
-    for (tag, row) in picks {
-        let covering: Vec<u32> = hosts
-            .iter()
-            .filter(|h| seed_inference::scan_covers(h.start, study.scan_len(), row.prefix))
-            .map(|h| h.tick)
-            .collect();
-        let mut ticks = covering.clone();
-        ticks.sort_unstable();
-        let median = ticks.get(ticks.len() / 2).map_or_else(
-            || "-".to_owned(),
-            |t| format!("{}", hotspots_prng::entropy::TickCount::from_millis(*t)),
-        );
-        let boot_band = covering
-            .iter()
-            .filter(|&&t| (25_000..=35_000).contains(&t))
-            .count();
-        // forward search restricted to the boot band
-        let forward = seed_inference::candidate_seeds(
-            25_000..35_000,
-            Ip::from_octets(7, 7, 7, 7),
-            study.scan_len(),
-            row.prefix,
-        );
-        table.push(vec![
-            tag.to_owned(),
-            row.prefix.to_string(),
-            row.unique_sources.to_string(),
-            median,
-            format!("{boot_band}/{}", covering.len()),
-            forward.len().to_string(),
-        ]);
-    }
-    print_table(
-        &[
-            "row",
-            "/24",
-            "sources",
-            "median covering tick",
-            "boot-band hosts",
-            "boot-band seeds (fwd)",
-        ],
-        &table,
-    );
-    println!(
-        "\n→ spike rows are covered disproportionately by hosts whose seeds \
-         sit in the ~30 s\n  reboot band; the restricted GetTickCount() \
-         range is the root cause."
-    );
-    out.emit();
+    hotspots_experiments::preset_main("fig1");
 }

@@ -1,107 +1,6 @@
 //! Figure 2: observed unique Slammer-infected source IPs by destination
 //! /24 — the M block dark, the H block trailing.
 
-use hotspots::scenarios::slammer::{
-    block_cycle_length_sums, sources_by_block_with, unique_sources_per_block, SlammerStudy,
-};
-use hotspots_experiments::{bar, experiment, print_table};
-use hotspots_ipspace::ims_deployment;
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "fig2_slammer",
-        "FIGURE 2",
-        "Figure 2",
-        "Slammer unique sources by destination /24 (flawed LCG cycles)",
-    );
-
-    let study = SlammerStudy {
-        hosts: scale.pick(20_000, 75_000),
-        ..SlammerStudy::default()
-    }
-    .with_m_block_filter();
-    // cycle-exact closed form: per-block coverage is computed from the
-    // LCG cycle structure, no probes are routed
-    out.config("hosts", study.hosts)
-        .config("m_block_filter", true)
-        .add_population(study.hosts as u64);
-    println!(
-        "\n{} infected hosts (uniform DLL mix over the three flawed \
-         increments), month-scale window (cycle-exact), upstream UDP/1434 \
-         filter in front of the M block\n",
-        study.hosts
-    );
-
-    let blocks = ims_deployment();
-    let rows = sources_by_block_with(&study, &blocks);
-    let unique = unique_sources_per_block(&study, &blocks);
-
-    println!("-- per-block summary --\n");
-    let mut table = Vec::new();
-    for (label, total) in &unique {
-        let block = blocks.iter().find(|b| b.label() == *label).expect("label");
-        let slash24s = (block.size() / 256).max(1);
-        let per_row: Vec<u64> = rows
-            .iter()
-            .filter(|r| &r.block == label)
-            .map(|r| r.unique_sources)
-            .collect();
-        let mean = per_row.iter().sum::<u64>() as f64 / per_row.len() as f64;
-        table.push(vec![
-            label.clone(),
-            block.prefix().to_string(),
-            slash24s.to_string(),
-            total.to_string(),
-            format!("{mean:.0}"),
-        ]);
-    }
-    print_table(
-        &[
-            "block",
-            "prefix",
-            "/24s",
-            "unique sources",
-            "mean per /24 row",
-        ],
-        &table,
-    );
-
-    println!("\n-- per-/24 series (sample of each block) --");
-    let max = rows.iter().map(|r| r.unique_sources).max().unwrap_or(1) as f64;
-    let mut current = String::new();
-    for row in &rows {
-        if row.block != current {
-            current.clone_from(&row.block);
-            println!("block {current}:");
-        }
-        // print /24 rows for small blocks, every 16th /16 row for Z
-        let show = row.prefix.len() >= 24 || row.prefix.base().octets()[1] % 16 == 0;
-        if show {
-            println!(
-                "  {:<20} {:>8}  {}",
-                row.prefix.to_string(),
-                row.unique_sources,
-                bar(row.unique_sources as f64, max, 50)
-            );
-        }
-    }
-
-    println!("\n-- the paper's D/H/I cycle-length comparison --\n");
-    let dhi: Vec<_> = blocks
-        .iter()
-        .filter(|b| ["D", "H", "I"].contains(&b.label()))
-        .cloned()
-        .collect();
-    let sums = block_cycle_length_sums(&dhi);
-    let table: Vec<Vec<String>> = sums
-        .iter()
-        .map(|(l, s)| vec![l.clone(), format!("{s:.2}")])
-        .collect();
-    print_table(&["block", "Σ cycle lengths (×2^26, 3 DLLs)"], &table);
-    println!(
-        "\n→ H is traversed by fewer long PRNG cycles than D or I, so fewer \
-         seeds ever reach it;\n  M observes nothing because its provider \
-         filters the worm upstream (environmental factor)."
-    );
-    out.emit();
+    hotspots_experiments::preset_main("fig2");
 }

@@ -1,83 +1,6 @@
 //! Figure 3: (a, b) infection attempts from two individual Slammer hosts
 //! by destination /24; (c) the period of every cycle of the Slammer LCG.
 
-use hotspots::scenarios::slammer::{cycle_bands, host_histogram};
-use hotspots_experiments::{bar, experiment, print_table};
-use hotspots_ipspace::{ims_deployment, Ip};
-use hotspots_prng::cycles::AffineMap;
-use hotspots_prng::SqlsortDll;
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "fig3_slammer_hosts",
-        "FIGURE 3",
-        "Figure 3",
-        "per-host Slammer scanning bias and the LCG cycle periods",
-    );
-    let probes = scale.pick(200_000u64, 20_000_000);
-    let blocks = ims_deployment();
-    // raw scanner walks against the telescope index — no environment,
-    // so nothing enters the delivery accounting
-    out.config("probes_per_host", probes).add_population(2);
-
-    // Host A: a seed chosen like the paper's host A — its cycle reaches
-    // some blocks heavily and misses others entirely.
-    let host_a_seed = Ip::from_octets(199, 77, 10, 1).to_le_state(); // on I's cycle
-                                                                     // Host B: a seed on the Z-block cycle: extreme intra-telescope bias.
-    let host_b_seed = Ip::from_octets(96, 50, 60, 70).to_le_state();
-
-    for (name, dll, seed) in [
-        ("Host A", SqlsortDll::Sp2, host_a_seed),
-        ("Host B", SqlsortDll::Gold, host_b_seed),
-    ] {
-        let map = AffineMap::slammer(dll);
-        let cycle_len = map.cycle_length(seed).expect("fixed point exists");
-        println!("\n-- {name}: dll={dll}, seed={seed:#010x}, cycle period {cycle_len} --");
-        let hist = host_histogram(dll, seed, probes, &blocks);
-        println!(
-            "  {} of {probes} probes landed on the telescope; per-block hits:",
-            hist.total()
-        );
-        let mut per_block: Vec<(String, u64)> = blocks
-            .iter()
-            .map(|b| {
-                let hits: u64 = hist
-                    .iter()
-                    .filter(|(bucket, _)| b.prefix().contains(bucket.first_ip()))
-                    .map(|(_, c)| c)
-                    .sum();
-                (b.label().to_owned(), hits)
-            })
-            .collect();
-        let max = per_block.iter().map(|(_, h)| *h).max().unwrap_or(1) as f64;
-        per_block.sort_by(|a, b| a.0.cmp(&b.0));
-        for (label, hits) in per_block {
-            println!("  {label:>2}: {hits:>9}  {}", bar(hits as f64, max, 50));
-        }
-    }
-
-    println!("\n-- Figure 3(c): period of all cycles, per DLL variant --\n");
-    for dll in SqlsortDll::ALL {
-        let bands = cycle_bands(dll);
-        let total: u64 = bands.iter().map(|b| b.num_cycles).sum();
-        println!("{dll} (b = {:#010x}): {total} cycles", dll.increment());
-        let rows: Vec<Vec<String>> = bands
-            .iter()
-            .map(|b| {
-                vec![
-                    b.valuation.to_string(),
-                    b.num_cycles.to_string(),
-                    b.cycle_length.to_string(),
-                ]
-            })
-            .collect();
-        print_table(&["valuation", "cycles", "period"], &rows);
-        println!();
-    }
-    println!(
-        "→ 64 cycles per variant, periods from 2^30 down to 1; an instance \
-         on a period-1 cycle\n  hammers a single address like a targeted \
-         DoS (the paper's observation)."
-    );
-    out.emit();
+    hotspots_experiments::preset_main("fig3");
 }

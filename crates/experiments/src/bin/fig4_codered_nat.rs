@@ -1,100 +1,6 @@
 //! Figure 4: (a) CodeRedII unique sources by destination /24 with the M
 //! block hotspot; (b, c) the quarantine experiments.
 
-use hotspots::scenarios::codered::{quarantine_run, sources_by_block_accounted, CodeRedStudy};
-use hotspots::scenarios::totals_by_block;
-use hotspots_experiments::{bar, experiment, fold_ledger, print_table};
-use hotspots_ipspace::{ims_deployment, Bucket24, Ip, Prefix};
-use hotspots_stats::CountHistogram;
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "fig4_codered_nat",
-        "FIGURE 4",
-        "Figure 4",
-        "CodeRedII × NAT topology: the 192/8 hotspot",
-    );
-    let blocks = ims_deployment();
-
-    println!("\n-- Figure 4(a): mixed population, 15% NATed --\n");
-    let study = CodeRedStudy {
-        hosts: scale.pick(3_000, 12_000),
-        probes_per_host: scale.pick(8_000, 20_000),
-        ..CodeRedStudy::default()
-    };
-    println!(
-        "{} hosts, {} probes each, NAT fraction {:.0}%\n",
-        study.hosts,
-        study.probes_per_host,
-        study.nat_fraction * 100.0
-    );
-    out.config("hosts", study.hosts)
-        .config("probes_per_host", study.probes_per_host)
-        .config("nat_fraction", study.nat_fraction)
-        .add_population(study.hosts as u64);
-    let (rows, ledger) = sources_by_block_accounted(&study, &blocks);
-    fold_ledger(&mut out, &ledger);
-    let mut table = Vec::new();
-    let mut max_rate = 0.0f64;
-    let mut rates = Vec::new();
-    for (label, total) in totals_by_block(&rows) {
-        let block = blocks.iter().find(|b| b.label() == label).expect("label");
-        let rate = total as f64 / (block.size() / 256).max(1) as f64;
-        max_rate = max_rate.max(rate);
-        rates.push((label, total, rate));
-    }
-    for (label, total, rate) in rates {
-        table.push(vec![
-            label,
-            total.to_string(),
-            format!("{rate:.2}"),
-            bar(rate, max_rate, 40),
-        ]);
-    }
-    print_table(&["block", "unique sources", "per /24", "profile"], &table);
-
-    println!("\n-- Figure 4(b)/(c): quarantine runs --\n");
-    // the paper's probe counts
-    let probes_b = scale.pick(500_000, 7_567_093);
-    let probes_c = scale.pick(500_000, 7_567_361);
-    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M prefix");
-    let m_hits = |h: &CountHistogram<Bucket24>| -> u64 {
-        h.iter()
-            .filter(|(b, _)| m_prefix.contains(b.first_ip()))
-            .map(|(_, c)| c)
-            .sum()
-    };
-    let outside = quarantine_run(Ip::from_octets(57, 20, 3, 9), probes_b, &blocks, 4);
-    let natted = quarantine_run(Ip::from_octets(192, 168, 0, 100), probes_c, &blocks, 4);
-    let rows = vec![
-        vec![
-            "4(b) public 57.20.3.9".to_owned(),
-            probes_b.to_string(),
-            outside.total().to_string(),
-            m_hits(&outside).to_string(),
-        ],
-        vec![
-            "4(c) NATed 192.168.0.100".to_owned(),
-            probes_c.to_string(),
-            natted.total().to_string(),
-            m_hits(&natted).to_string(),
-        ],
-    ];
-    print_table(
-        &[
-            "quarantined host",
-            "probes",
-            "telescope hits",
-            "M-block hits",
-        ],
-        &rows,
-    );
-    println!(
-        "\n→ the NATed instance's /8 preference lands on public 192/8: the \
-         distinct M spike of 4(a)/4(c),\n  absent from the public-host run \
-         4(b) — topology (an environmental factor) shaped the hotspot."
-    );
-    // the quarantine runs scan straight into the telescope index
-    // (no environment), so only 4(a)'s probes are ledgered
-    out.emit();
+    hotspots_experiments::preset_main("fig4");
 }

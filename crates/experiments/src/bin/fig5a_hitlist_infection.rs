@@ -1,85 +1,6 @@
 //! Figure 5(a): infection rate over time for hit-lists of different
 //! sizes (CodeRedII-type vulnerable population, 25 seeds, 10 scans/s).
 
-use hotspots::scenarios::detection::{hitlist_runs, DetectionStudy};
-use hotspots_experiments::{experiment, fold_run, print_series, print_table, RunSet};
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "fig5a_hitlist_infection",
-        "FIGURE 5(a)",
-        "Figure 5(a)",
-        "infection rate vs time for 4 hit-list sizes",
-    );
-
-    let study = DetectionStudy {
-        population: scale.pick(10_000, 134_586),
-        paper_profile: scale.pick(false, true),
-        slash8s: 47,
-        max_time: scale.pick(4_000.0, 20_000.0),
-        ..DetectionStudy::default()
-    };
-    let sizes: Vec<Option<usize>> = vec![Some(10), Some(100), Some(1000), None];
-    println!(
-        "\nvulnerable population {} in 47 /8s, {} seed hosts, {} scans/s\n",
-        study.population_size(),
-        study.seeds,
-        study.scan_rate
-    );
-
-    // the sweep is embarrassingly parallel: one engine per hit-list size
-    let runs = RunSet::new().run(sizes, |size| hitlist_runs(&study, &[size]).remove(0));
-
-    out.config("population", study.population_size())
-        .config("seeds", study.seeds)
-        .config("scan_rate", study.scan_rate)
-        .config("hit_list_sizes", "10,100,1000,full");
-    for run in &runs {
-        fold_run(
-            &mut out,
-            &run.ledger,
-            study.population_size() as u64,
-            run.infected_hosts,
-            run.sim_seconds,
-        );
-    }
-
-    let rows: Vec<Vec<String>> = runs
-        .iter()
-        .map(|r| {
-            vec![
-                r.list_size.to_string(),
-                format!("{:.2}%", 100.0 * r.coverage),
-                format!("{:.1}%", 100.0 * r.final_infected),
-                r.infection_curve
-                    .time_to_reach(0.5 * r.coverage)
-                    .map_or_else(|| "-".to_owned(), |t| format!("{t:.0}s")),
-                r.infection_curve
-                    .time_to_reach(0.9 * r.coverage)
-                    .map_or_else(|| "-".to_owned(), |t| format!("{t:.0}s")),
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "/16 prefixes",
-            "pop coverage",
-            "final infected",
-            "t(50% of coverage)",
-            "t(90% of coverage)",
-        ],
-        &rows,
-    );
-
-    println!("\n-- infection curves (resampled; plot these) --\n");
-    for run in &runs {
-        print_series(&run.infection_curve, 25);
-        println!();
-    }
-    println!(
-        "→ the smallest list saturates its targets fastest (denser \
-         vulnerable population);\n  larger lists reach more of the \
-         population but more slowly — the paper's speed/coverage tradeoff."
-    );
-    out.emit();
+    hotspots_experiments::preset_main("fig5a");
 }

@@ -1,102 +1,6 @@
 //! Figure 5(b): % of sensors alerting over time during the hit-list
 //! outbreaks (one /24 detector per vulnerable /16, alert at 5 payloads).
 
-use hotspots::detection_gap::DetectionGap;
-use hotspots::scenarios::detection::{hitlist_runs, DetectionStudy};
-use hotspots_experiments::{experiment, fold_run, print_series, print_table, RunSet};
-use hotspots_telescope::QuorumPolicy;
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "fig5b_hitlist_detection",
-        "FIGURE 5(b)",
-        "Figure 5(b)",
-        "sensor detection rate vs time for 4 hit-list sizes",
-    );
-
-    let study = DetectionStudy {
-        population: scale.pick(10_000, 134_586),
-        paper_profile: scale.pick(false, true),
-        slash8s: 47,
-        max_time: scale.pick(4_000.0, 20_000.0),
-        ..DetectionStudy::default()
-    };
-    let sizes: Vec<Option<usize>> = vec![Some(10), Some(100), Some(1000), None];
-    println!(
-        "\none /24 sensor per occupied /16, alert after {} worm payloads, \
-         no false positives\n",
-        study.alert_threshold
-    );
-
-    let runs = RunSet::new().run(sizes, |size| hitlist_runs(&study, &[size]).remove(0));
-
-    out.config("population", study.population_size())
-        .config("alert_threshold", study.alert_threshold)
-        .config("hit_list_sizes", "10,100,1000,full");
-    for run in &runs {
-        fold_run(
-            &mut out,
-            &run.ledger,
-            study.population_size() as u64,
-            run.infected_hosts,
-            run.sim_seconds,
-        );
-    }
-
-    let rows: Vec<Vec<String>> = runs
-        .iter()
-        .map(|r| {
-            let alerted_frac = r.sensors_alerted as f64 / r.sensors as f64;
-            // the paper's comparison: alert fraction when 90% of the
-            // *reachable* population is infected
-            let t90 = r.infection_curve.time_to_reach(0.9 * r.coverage);
-            let at90 = t90.map_or(f64::NAN, |t| r.alert_curve.value_at(t));
-            vec![
-                r.list_size.to_string(),
-                r.sensors.to_string(),
-                format!("{}", r.sensors_alerted),
-                format!("{:.1}%", 100.0 * alerted_frac),
-                t90.map_or_else(|| "-".to_owned(), |t| format!("{t:.0}s")),
-                if at90.is_nan() {
-                    "-".to_owned()
-                } else {
-                    format!("{:.1}%", 100.0 * at90)
-                },
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "/16 prefixes",
-            "sensors",
-            "alerted (final)",
-            "alerted %",
-            "t(90% coverage infected)",
-            "alerted % at that time",
-        ],
-        &rows,
-    );
-
-    println!("\n-- quorum verdicts --\n");
-    let policy = QuorumPolicy::new(0.5).expect("valid quorum");
-    for run in &runs {
-        let gap = DetectionGap::new(run.infection_curve.clone(), run.alert_curve.clone());
-        println!(
-            "  {:>5}-prefix list: {}",
-            run.list_size,
-            gap.describe(policy)
-        );
-    }
-
-    println!("\n-- alert curves (resampled; plot these) --\n");
-    for run in &runs {
-        print_series(&run.alert_curve, 25);
-        println!();
-    }
-    println!(
-        "→ narrow hit-lists leave almost every sensor silent even at full \
-         infection of their targets:\n  a quorum rule over this field never \
-         fires — the paper's central detection failure."
-    );
-    out.emit();
+    hotspots_experiments::preset_main("fig5b");
 }

@@ -1,0 +1,280 @@
+//! The unified scenario runner: every registered preset and any TOML
+//! spec file, through one front-end.
+//!
+//! ```text
+//! hotspots run fig2 --quick              # a registry preset
+//! hotspots run examples/specs/worm.toml  # a spec file
+//! hotspots list --verbose                # presets + paper artifact map
+//! hotspots sweep fig4 --quick --param study.nat_fraction=0,0.15,0.5
+//! hotspots spec fig5c --quick            # print the preset's TOML
+//! ```
+//!
+//! Determinism contract: a spec names everything that affects the
+//! result, so the same spec + seed produces the same run report at any
+//! `--threads` count.
+
+use std::process::exit;
+
+use hotspots_experiments::{banner, find_preset, presets, render, run_spec, RunContext, Scale};
+use hotspots_scenario::cli::{parse_flags, usage, FlagSpec, ParsedArgs};
+use hotspots_scenario::value::Value;
+use hotspots_scenario::{ScenarioSpec, RUN_REPORT_ENV};
+
+const COMMANDS: &str = "commands:
+  run <name|spec.toml>     execute a preset or spec file
+  list                     list registered presets (--verbose: paper mapping)
+  sweep <name|spec.toml>   rerun per value of --param (or the spec's [sweep])
+  spec <name>              print a preset's spec as TOML
+
+examples:
+  hotspots run fig2 --quick
+  hotspots sweep fig4 --quick --param study.nat_fraction=0,0.15,0.5
+  hotspots run examples/specs/table1.toml --report out.jsonl
+";
+
+fn flags() -> Vec<FlagSpec> {
+    vec![
+        FlagSpec {
+            name: "quick",
+            short: Some("q"),
+            takes_value: false,
+            help: "reduced scale (seconds instead of minutes)",
+        },
+        FlagSpec {
+            name: "paper",
+            short: None,
+            takes_value: false,
+            help: "full paper scale (the default)",
+        },
+        FlagSpec {
+            name: "threads",
+            short: None,
+            takes_value: true,
+            help: "worker threads (default: the spec / all cores)",
+        },
+        FlagSpec {
+            name: "report",
+            short: None,
+            takes_value: true,
+            help: "append JSONL run reports to this file",
+        },
+        FlagSpec {
+            name: "param",
+            short: None,
+            takes_value: true,
+            help: "sweep parameter: dotted.path=v1,v2,... (sweep only)",
+        },
+        FlagSpec {
+            name: "verbose",
+            short: Some("v"),
+            takes_value: false,
+            help: "list: include the paper artifact mapping",
+        },
+        FlagSpec {
+            name: "help",
+            short: Some("h"),
+            takes_value: false,
+            help: "print this help",
+        },
+    ]
+}
+
+fn die(message: &str) -> ! {
+    eprintln!(
+        "error: {message}\n\n{}",
+        usage("hotspots", &flags(), COMMANDS)
+    );
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_flags(&args, &flags()) {
+        Ok(p) => p,
+        Err(e) => die(&e.to_string()),
+    };
+    if parsed.has("help") || parsed.positional.is_empty() {
+        print!("{}", usage("hotspots", &flags(), COMMANDS));
+        exit(if parsed.has("help") { 0 } else { 2 });
+    }
+    if let Some(path) = parsed.value("report") {
+        std::env::set_var(RUN_REPORT_ENV, path);
+    }
+    let scale = if parsed.has("quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let threads = parsed.value("threads").map(|t| match t.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => die("--threads needs a positive integer"),
+    });
+
+    match parsed.positional[0].as_str() {
+        "run" => cmd_run(&parsed, scale, threads),
+        "list" => cmd_list(&parsed),
+        "sweep" => cmd_sweep(&parsed, scale, threads),
+        "spec" => cmd_spec(&parsed, scale),
+        other => die(&format!("unknown command {other:?}")),
+    }
+}
+
+/// Resolves `run`/`sweep`/`spec`'s target: a registry preset name, or a
+/// path to a TOML spec file.
+fn resolve_spec(target: &str, scale: Scale) -> ScenarioSpec {
+    if let Some(preset) = find_preset(target) {
+        return preset.spec(scale);
+    }
+    if target.ends_with(".toml") || std::path::Path::new(target).exists() {
+        let text = match std::fs::read_to_string(target) {
+            Ok(t) => t,
+            Err(e) => die(&format!("cannot read {target}: {e}")),
+        };
+        match ScenarioSpec::from_toml(&text) {
+            Ok(spec) => return spec,
+            Err(e) => die(&format!("{target}: {e}")),
+        }
+    }
+    die(&format!(
+        "{target:?} is neither a registered preset (see `hotspots list`) nor a spec file"
+    ));
+}
+
+fn context(threads: Option<usize>) -> RunContext {
+    let ctx = RunContext::new("hotspots");
+    match threads {
+        Some(t) => ctx.with_threads(t),
+        None => ctx,
+    }
+}
+
+fn spec_banner(spec: &ScenarioSpec, scale: Scale) {
+    let artifact = spec.meta.artifact.as_deref().unwrap_or(&spec.meta.name);
+    let title = spec
+        .meta
+        .title
+        .as_deref()
+        .or(spec.meta.scenario.as_deref())
+        .unwrap_or("scenario");
+    banner(artifact, title, scale);
+}
+
+fn cmd_run(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
+    let [_, target] = &parsed.positional[..] else {
+        die("run takes exactly one target: a preset name or spec file");
+    };
+    let spec = resolve_spec(target, scale);
+    spec_banner(&spec, scale);
+    match run_spec(&spec, &context(threads)) {
+        Ok(run) => {
+            render::render(&run.outcome);
+            run.report.emit();
+        }
+        Err(e) => die(&e.to_string()),
+    }
+}
+
+fn cmd_list(parsed: &ParsedArgs) {
+    if parsed.positional.len() > 1 {
+        die("list takes no arguments");
+    }
+    let verbose = parsed.has("verbose");
+    let mut family = "";
+    for preset in presets() {
+        if preset.family != family {
+            family = preset.family;
+            println!("{}{family}:", if verbose { "\n" } else { "" });
+        }
+        println!("  {:<22} {}", preset.name, preset.title);
+        if verbose {
+            println!("  {:<22}   reproduces: {}", "", preset.paper);
+            println!(
+                "  {:<22}   scenario: {} · binary: {}",
+                "", preset.scenario, preset.binary
+            );
+        }
+    }
+}
+
+fn cmd_spec(parsed: &ParsedArgs, scale: Scale) {
+    let [_, target] = &parsed.positional[..] else {
+        die("spec takes exactly one target: a preset name or spec file");
+    };
+    print!("{}", resolve_spec(target, scale).to_toml());
+}
+
+/// Parses a sweep value the way the TOML reader would: int, then float,
+/// then bool, else string.
+fn parse_sweep_value(s: &str) -> Value {
+    if let Ok(i) = s.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Value::Float(f);
+    }
+    match s {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::Str(s.to_owned()),
+    }
+}
+
+fn cmd_sweep(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
+    let [_, target] = &parsed.positional[..] else {
+        die("sweep takes exactly one target: a preset name or spec file");
+    };
+    let base = resolve_spec(target, scale);
+    let (param, values) = match parsed.value("param") {
+        Some(p) => {
+            let Some((path, list)) = p.split_once('=') else {
+                die("--param needs the form dotted.path=v1,v2,...");
+            };
+            let values: Vec<Value> = list.split(',').map(parse_sweep_value).collect();
+            (path.to_owned(), values)
+        }
+        None => match &base.sweep {
+            Some(sweep) => (sweep.param.clone(), sweep.values.clone()),
+            None => die("sweep needs --param (the spec has no [sweep] section)"),
+        },
+    };
+    if values.is_empty() {
+        die("--param needs at least one value");
+    }
+    spec_banner(&base, scale);
+    println!(
+        "\nsweeping {param} over {} values: {}\n",
+        values.len(),
+        values
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let scenario = base
+        .meta
+        .scenario
+        .clone()
+        .unwrap_or_else(|| base.meta.name.clone());
+    for value in &values {
+        let mut tree = base.to_value();
+        if let Err(e) = tree.set_path(&param, value.clone()) {
+            die(&e);
+        }
+        let mut spec = match ScenarioSpec::from_value(&tree) {
+            Ok(s) => s,
+            Err(e) => die(&format!("{param} = {value}: {e}")),
+        };
+        // one report per point, distinguished by the scenario label
+        spec.meta.scenario = Some(format!("{scenario} [{param}={value}]"));
+        spec.sweep = None;
+        println!("---- {param} = {value} ----");
+        match run_spec(&spec, &context(threads)) {
+            Ok(run) => {
+                render::render(&run.outcome);
+                run.report.emit();
+            }
+            Err(e) => die(&format!("{param} = {value}: {e}")),
+        }
+        println!();
+    }
+}

@@ -2,134 +2,6 @@
 //! randomized sensor deployments to show the conclusions do not depend
 //! on the default synthetic block bases (DESIGN.md §2).
 
-use hotspots::scenarios::{codered, slammer, totals_by_block, CoverageRow};
-use hotspots_experiments::{experiment, fold_ledger, print_table, RunSet};
-use hotspots_ipspace::{random_ims_deployment, AddressBlock};
-use hotspots_netmodel::DeliveryLedger;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn per_slash24_rates(
-    rows: &[CoverageRow],
-    blocks: &[AddressBlock],
-) -> std::collections::HashMap<String, f64> {
-    totals_by_block(rows)
-        .into_iter()
-        .map(|(label, total)| {
-            let block = blocks.iter().find(|b| b.label() == label).expect("label");
-            ((label), total as f64 / (block.size() / 256).max(1) as f64)
-        })
-        .collect()
-}
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "sensitivity",
-        "SENSITIVITY",
-        "placement sensitivity",
-        "case studies over randomized sensor placements",
-    );
-    let trials = scale.pick(3, 8);
-    let mut rng = StdRng::seed_from_u64(0x5ee0);
-    out.config("trials", trials);
-    let mut ledger = DeliveryLedger::new();
-    let runset = RunSet::new();
-
-    // Deployments are drawn sequentially from one stream (exactly as the
-    // old serial loops did); precomputing them lets the independently
-    // seeded trials themselves run across threads.
-    let codered_deployments: Vec<(u64, Vec<AddressBlock>)> = (0..trials)
-        .map(|trial| (trial, random_ims_deployment(&mut rng)))
-        .collect();
-    let slammer_deployments: Vec<(u64, Vec<AddressBlock>)> = (0..trials)
-        .map(|trial| (trial, random_ims_deployment(&mut rng)))
-        .collect();
-
-    println!("\n-- CodeRedII M spike across {trials} random placements --\n");
-    let codered_runs = runset.run(codered_deployments, |(trial, blocks)| {
-        let study = codered::CodeRedStudy {
-            hosts: scale.pick(1_200, 6_000),
-            nat_fraction: 0.15,
-            probes_per_host: scale.pick(8_000, 15_000),
-            rng_seed: 1_000 + trial,
-        };
-        let (rows, trial_ledger) = codered::sources_by_block_accounted(&study, &blocks);
-        (trial, blocks, study.hosts, rows, trial_ledger)
-    });
-    let mut rows_out = Vec::new();
-    for (trial, blocks, hosts, rows, trial_ledger) in &codered_runs {
-        let m = blocks.iter().find(|b| b.label() == "M").expect("M").clone();
-        ledger.merge(trial_ledger);
-        out.add_population(*hosts as u64);
-        let rates = per_slash24_rates(rows, blocks);
-        let background: f64 = ["A", "B", "C", "D", "E", "F", "H", "I"]
-            .iter()
-            .map(|l| rates[*l])
-            .sum::<f64>()
-            / 8.0;
-        rows_out.push(vec![
-            trial.to_string(),
-            m.prefix().to_string(),
-            format!("{:.2}", rates["M"]),
-            format!("{background:.2}"),
-            format!("{:.1}×", rates["M"] / background.max(0.05)),
-        ]);
-    }
-    print_table(
-        &[
-            "trial",
-            "M block placement",
-            "M rate (/24)",
-            "background rate",
-            "spike",
-        ],
-        &rows_out,
-    );
-
-    println!("\n-- Slammer per-/24 spread across {trials} random placements --\n");
-    let slammer_runs = runset.run(slammer_deployments, |(trial, blocks)| {
-        let study = slammer::SlammerStudy {
-            hosts: scale.pick(10_000, 40_000),
-            rng_seed: 2_000 + trial,
-            ..slammer::SlammerStudy::default()
-        };
-        let rows = slammer::sources_by_block_with(&study, &blocks);
-        (trial, blocks, rows)
-    });
-    let mut rows_out = Vec::new();
-    for (trial, blocks, rows) in &slammer_runs {
-        let rates = per_slash24_rates(rows, blocks);
-        let mut small: Vec<(String, f64)> = rates
-            .iter()
-            .filter(|(l, _)| l.as_str() != "Z")
-            .map(|(l, &r)| (l.clone(), r))
-            .collect();
-        small.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-        let (lo_label, lo) = small.first().expect("blocks").clone();
-        let (hi_label, hi) = small.last().expect("blocks").clone();
-        rows_out.push(vec![
-            trial.to_string(),
-            format!("{lo_label} = {lo:.0}"),
-            format!("{hi_label} = {hi:.0}"),
-            format!("{:.1}×", hi / lo.max(1.0)),
-        ]);
-    }
-    print_table(
-        &[
-            "trial",
-            "quietest block (rate/24)",
-            "loudest block (rate/24)",
-            "spread",
-        ],
-        &rows_out,
-    );
-    println!(
-        "\n→ the M spike and the cycle-driven per-block spread persist across \
-         placements:\n  the conclusions are properties of the mechanisms, not \
-         of where we happened to put the sensors."
-    );
-    // Slammer trials are cycle-exact (nothing routed); only the
-    // CodeRedII trials contribute delivery accounting
-    fold_ledger(&mut out, &ledger);
-    out.emit();
+    hotspots_experiments::preset_main("sensitivity");
 }

@@ -4,70 +4,6 @@
 //! paper commands parsed and analyzed, followed by a synthetic month of
 //! captured commands with the same composition.
 
-use hotspots_botnet::corpus;
-use hotspots_experiments::{experiment, print_table};
-use hotspots_ipspace::Ip;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "table1_bot_commands",
-        "TABLE 1",
-        "Table 1",
-        "botnet scan commands and their hit-lists",
-    );
-
-    // the observing academic network: a /15 with the drone at this address
-    let drone = Ip::from_octets(141, 20, 33, 7);
-    // grammar/corpus analysis: no probes, no environment
-
-    println!("\n-- commands reported in the paper --\n");
-    let rows: Vec<Vec<String>> = corpus::hit_list_report(&corpus::table1(), drone)
-        .into_iter()
-        .map(|(cmd, range, size)| {
-            vec![
-                cmd,
-                range,
-                format!("{size}"),
-                format!("{:.5}%", 100.0 * size as f64 / 2f64.powi(32)),
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "bot propagation command",
-            "drone scan range",
-            "addresses",
-            "% of IPv4",
-        ],
-        &rows,
-    );
-
-    let n = scale.pick(40, 400);
-    println!("\n-- synthetic capture ({n} commands, same composition) --\n");
-    let mut rng = StdRng::seed_from_u64(0x7ab1e);
-    let commands = corpus::generate(n, &mut rng);
-    let report = corpus::hit_list_report(&commands, drone);
-    let restricted = report
-        .iter()
-        .filter(|(_, _, size)| *size < (1u64 << 32))
-        .count();
-    let sample: Vec<Vec<String>> = report
-        .iter()
-        .take(15)
-        .map(|(cmd, range, size)| vec![cmd.clone(), range.clone(), format!("{size}")])
-        .collect();
-    print_table(
-        &["command (first 15)", "drone scan range", "addresses"],
-        &sample,
-    );
-    println!("\n{restricted}/{n} commands restrict propagation below the full IPv4 space");
-    println!(
-        "→ hit-lists are in routine use; each restriction is an algorithmic \
-         hotspot factor."
-    );
-    out.config("synthetic_commands", n)
-        .config("restricted", restricted);
-    out.emit();
+    hotspots_experiments::preset_main("table1");
 }

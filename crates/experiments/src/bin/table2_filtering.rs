@@ -1,66 +1,6 @@
 //! Table 2: worm infections visible from Fortune-100 enterprises vs
 //! broadband ISPs.
 
-use hotspots::scenarios::filtering::{table2_with_accounting, FilteringStudy};
-use hotspots_experiments::{experiment, fold_ledger, print_table};
-
 fn main() {
-    let (scale, mut out) = experiment(
-        "table2_filtering",
-        "TABLE 2",
-        "Table 2",
-        "enterprise egress filtering hides infections from the telescope",
-    );
-
-    let study = FilteringStudy {
-        infected_per_enterprise: scale.pick(100, 800),
-        infected_per_isp: scale.pick(1_000, 20_000),
-        probes_per_host: scale.pick(4_000, 12_000),
-        ..FilteringStudy::default()
-    };
-    println!(
-        "\n{} infected hosts planted per enterprise, {} per ISP; \
-         CRII/Slammer probe-driven ({} probes/host), Blaster interval-exact\n",
-        study.infected_per_enterprise, study.infected_per_isp, study.probes_per_host
-    );
-
-    out.config("infected_per_enterprise", study.infected_per_enterprise)
-        .config("infected_per_isp", study.infected_per_isp)
-        .config("probes_per_host", study.probes_per_host);
-    let (table_rows, ledger) = table2_with_accounting(&study);
-    fold_ledger(&mut out, &ledger);
-    out.add_population(table_rows.iter().map(|r| r.infected_inside).sum::<u64>());
-
-    let rows: Vec<Vec<String>> = table_rows
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.org,
-                r.kind.to_string(),
-                r.total_ips.to_string(),
-                r.infected_inside.to_string(),
-                r.crii_observed.to_string(),
-                r.slammer_observed.to_string(),
-                r.blaster_observed.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "organization",
-            "kind",
-            "total IPs",
-            "infected inside",
-            "CRII IPs seen",
-            "Slammer IPs seen",
-            "Blaster IPs seen",
-        ],
-        &rows,
-    );
-    println!(
-        "\n→ despite harboring infections, egress-filtered enterprises show \
-         ~zero outward sign;\n  broadband ISPs expose their infected \
-         populations nearly completely (the paper's contrast)."
-    );
-    out.emit();
+    hotspots_experiments::preset_main("table2");
 }

@@ -1,62 +1,30 @@
-//! Shared output plumbing for the experiment binaries.
+//! Presentation layer for the experiment binaries.
 //!
 //! Every binary regenerates one table or figure of the paper (see
-//! `DESIGN.md` for the index). They share a `--quick` flag (reduced
-//! scale, seconds instead of minutes) and these plain-text rendering
-//! helpers, so output can be diffed, grepped, and pasted into
-//! `EXPERIMENTS.md`.
+//! `DESIGN.md` for the index) by looking its scenario up in the
+//! `hotspots-scenario` registry, executing it through
+//! [`hotspots_scenario::run_spec`], and rendering the returned
+//! [`Outcome`] with the plain-text helpers here — so output can be
+//! diffed, grepped, and pasted into `EXPERIMENTS.md`, and the run
+//! report is identical whether the scenario ran through a dedicated
+//! binary or `hotspots run <name>`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+pub mod render;
 
-use hotspots_netmodel::DeliveryLedger;
-use hotspots_sim::SimResult;
 use hotspots_stats::TimeSeries;
 
+pub use hotspots_scenario::{
+    find_preset, fold_run, fold_sim_result, presets, run_spec, Outcome, Preset, RunContext, RunSet,
+    Scale, ScenarioRun, ScenarioSpec,
+};
 pub use hotspots_sim::fold_ledger;
 pub use hotspots_telemetry::{ReportBuilder, RunReport, RUN_REPORT_ENV};
 
-/// Experiment scale, selected by the `--quick` command-line flag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Reduced scale for smoke runs (seconds).
-    Quick,
-    /// Paper scale (may take minutes).
-    Paper,
-}
-
-impl Scale {
-    /// Parses the process arguments (`--quick` selects [`Scale::Quick`]).
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--quick" || a == "-q") {
-            Scale::Quick
-        } else {
-            Scale::Paper
-        }
-    }
-
-    /// Picks `quick` or `paper` by scale.
-    pub fn pick<T>(self, quick: T, paper: T) -> T {
-        match self {
-            Scale::Quick => quick,
-            Scale::Paper => paper,
-        }
-    }
-
-    /// The scale's name as echoed in run reports.
-    pub fn label(self) -> &'static str {
-        match self {
-            Scale::Quick => "quick",
-            Scale::Paper => "paper",
-        }
-    }
-}
-
 /// Starts the run report every experiment binary emits, echoing the
-/// scale into the config map. Finish with [`ReportBuilder::emit`].
+/// scale it ran at.
 pub fn report(binary: &str, scenario: &str, scale: Scale) -> ReportBuilder {
     let mut builder = ReportBuilder::new(binary, scenario);
     builder.config("scale", scale.label());
@@ -78,119 +46,23 @@ pub fn experiment(
     (scale, report(binary, scenario, scale))
 }
 
-/// Folds one sweep run's accounting into a report: its delivery ledger,
-/// the population it ran over, its infection count, and its simulated
-/// seconds — the fold every sweep binary repeats per run.
-pub fn fold_run(
-    report: &mut ReportBuilder,
-    ledger: &DeliveryLedger,
-    population: u64,
-    infections: u64,
-    sim_seconds: f64,
-) {
-    fold_ledger(report, ledger);
-    report
-        .add_population(population)
-        .add_infections(infections)
-        .add_sim_seconds(sim_seconds);
-}
-
-/// Runs a set of independent experiment configurations across threads,
-/// returning results in input order.
+/// The whole main() of a preset-backed experiment binary: strict
+/// argument parsing (`--quick`/`--help`), banner, registry lookup,
+/// [`run_spec`], rendering, report emission.
 ///
-/// Each input is handed to the job exactly once, workers pull from a
-/// shared queue, and results land in their input's slot — so the output
-/// is deterministic (input order) no matter how the OS schedules the
-/// workers. Jobs must be independently seeded (as every sweep in this
-/// crate is); `RunSet` adds no randomness of its own.
-#[derive(Debug, Clone, Copy)]
-pub struct RunSet {
-    threads: usize,
-}
-
-impl Default for RunSet {
-    fn default() -> RunSet {
-        RunSet::new()
-    }
-}
-
-impl RunSet {
-    /// A run set using all available cores.
-    pub fn new() -> RunSet {
-        RunSet {
-            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
-        }
-    }
-
-    /// A run set with an explicit worker count (at least 1).
-    pub fn with_threads(threads: usize) -> RunSet {
-        RunSet {
-            threads: threads.max(1),
-        }
-    }
-
-    /// Runs `job` over every input, in parallel, returning the results
-    /// in input order.
-    ///
-    /// # Panics
-    ///
-    /// Propagates a panic from any job after all workers finish.
-    pub fn run<I, R, F>(&self, inputs: Vec<I>, job: F) -> Vec<R>
-    where
-        I: Send,
-        R: Send,
-        F: Fn(I) -> R + Sync,
-    {
-        let n = inputs.len();
-        if self.threads <= 1 || n <= 1 {
-            return inputs.into_iter().map(job).collect();
-        }
-        let slots: Vec<Mutex<Option<I>>> =
-            inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
-        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(n) {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n {
-                        break;
-                    }
-                    let input = slots[idx]
-                        .lock()
-                        .expect("input slot poisoned")
-                        .take()
-                        .expect("input taken once");
-                    let out = job(input);
-                    *results[idx].lock().expect("result slot poisoned") = Some(out);
-                });
-            }
-        });
-        results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job completed")
-            })
-            .collect()
-    }
-}
-
-/// Folds an engine [`SimResult`] into a report: probe accounting,
-/// population, infections, simulated time, and (this crate builds
-/// `hotspots-sim` with its `telemetry` feature) the engine's per-phase
-/// timings and step peak.
-pub fn fold_sim_result(report: &mut ReportBuilder, result: &SimResult) {
-    fold_ledger(report, &result.ledger);
-    report
-        .add_population(result.population as u64)
-        .add_infections(result.infected as u64)
-        .add_sim_seconds(result.elapsed);
-    for (name, total, _) in result.telemetry.phases.iter() {
-        report.add_phase_seconds(name, total.as_secs_f64());
-    }
-    report.peak_step_seconds(result.telemetry.peak_step_seconds);
+/// # Panics
+///
+/// Panics if `name` is not a registered preset — binaries pass literal
+/// registry names.
+pub fn preset_main(name: &str) {
+    let preset = find_preset(name).expect("binary names a registered preset");
+    let scale = Scale::from_args();
+    banner(preset.artifact, preset.title, scale);
+    let spec = preset.spec(scale);
+    let run = run_spec(&spec, &RunContext::new(preset.binary))
+        .expect("registered presets validate and run");
+    render::render(&run.outcome);
+    run.report.emit();
 }
 
 /// Prints an experiment banner with the figure/table it regenerates.
@@ -277,45 +149,5 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_rejected() {
         print_table(&["a", "b"], &[vec!["1".into()]]);
-    }
-
-    #[test]
-    fn run_set_preserves_input_order() {
-        // uneven job durations so completion order differs from input
-        // order — results must still come back in input order
-        let inputs: Vec<u64> = (0..32).collect();
-        let out = RunSet::with_threads(4).run(inputs.clone(), |i| {
-            if i % 5 == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(3));
-            }
-            i * i
-        });
-        let expected: Vec<u64> = inputs.iter().map(|i| i * i).collect();
-        assert_eq!(out, expected);
-    }
-
-    #[test]
-    fn run_set_single_thread_and_empty_inputs() {
-        assert_eq!(
-            RunSet::with_threads(1).run(vec![1, 2, 3], |i| i + 1),
-            vec![2, 3, 4]
-        );
-        assert_eq!(
-            RunSet::with_threads(8).run(Vec::<u32>::new(), |i| i),
-            Vec::<u32>::new()
-        );
-        assert!(RunSet::with_threads(0).threads >= 1);
-    }
-
-    #[test]
-    fn fold_run_accumulates() {
-        let mut report = ReportBuilder::new("test", "test");
-        let ledger = DeliveryLedger::new();
-        fold_run(&mut report, &ledger, 100, 7, 3.5);
-        fold_run(&mut report, &ledger, 50, 3, 1.5);
-        let built = report.build();
-        assert_eq!(built.population, 150);
-        assert_eq!(built.infections, 10);
-        assert!((built.sim_seconds - 5.0).abs() < 1e-12);
     }
 }

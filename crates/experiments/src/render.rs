@@ -1,0 +1,823 @@
+//! Rendering an [`Outcome`] as the experiment binaries' plain-text
+//! tables, bar charts, and gnuplot-ready series.
+//!
+//! Every variant's section is ported verbatim from the binary it used to
+//! live in, so `hotspots run fig2` prints the same figure `fig2_slammer`
+//! always did. Rendering is read-only: all accounting happened in
+//! [`hotspots_scenario::run_spec`], and everything here derives from the
+//! outcome's raw results (plus the fixed IMS deployment, which the
+//! closed-form studies share).
+
+use std::collections::HashMap;
+
+use hotspots::detection_gap::DetectionGap;
+use hotspots::scenarios::blaster::{draw_hosts, BlasterStudy};
+use hotspots::scenarios::codered::CodeRedStudy;
+use hotspots::scenarios::detection::{DetectionStudy, HitListRun, NatRun, NatTopology};
+use hotspots::scenarios::filtering::{FilteringStudy, Table2Row};
+use hotspots::scenarios::slammer::{cycle_bands, SlammerStudy};
+use hotspots::scenarios::{totals_by_block, CoverageRow};
+use hotspots::{seed_inference, HotspotReport};
+use hotspots_ipspace::{ims_deployment, AddressBlock, Bucket24, Deployment, Ip, Prefix};
+use hotspots_prng::entropy::TickCount;
+use hotspots_prng::SqlsortDll;
+use hotspots_scenario::run::{
+    CodeRedTrial, QuarantineTrace, SensorModeRun, SlammerHostTrace, SlammerTrial,
+};
+use hotspots_scenario::Outcome;
+use hotspots_sim::SimResult;
+use hotspots_stats::CountHistogram;
+use hotspots_telescope::{DetectorField, QuorumPolicy};
+
+use crate::{bar, print_series, print_table};
+
+/// Prints the presentation section for an executed scenario.
+pub fn render(outcome: &Outcome) {
+    match outcome {
+        Outcome::Engine { result, field } => render_engine(result, field.as_ref()),
+        Outcome::BlasterCoverage { study, rows } => render_fig1(study, rows),
+        Outcome::SlammerCoverage {
+            study,
+            rows,
+            unique,
+            cycle_sums,
+        } => render_fig2(study, rows, unique, cycle_sums),
+        Outcome::SlammerHosts { probes, hosts } => render_fig3(*probes, hosts),
+        Outcome::CodeRedNat {
+            study,
+            rows,
+            quarantines,
+        } => render_fig4(study, rows, quarantines),
+        Outcome::HitListInfection { study, runs } => render_fig5a(study, runs),
+        Outcome::HitListDetection { study, runs } => render_fig5b(study, runs),
+        Outcome::NatDetection {
+            study,
+            nat_fraction,
+            runs,
+        } => render_fig5c(study, *nat_fraction, runs),
+        Outcome::BotCommands {
+            drone,
+            paper,
+            synthetic,
+            synthetic_commands,
+            restricted,
+        } => render_table1(*drone, paper, synthetic, *synthetic_commands, *restricted),
+        Outcome::Filtering { study, rows } => render_table2(study, rows),
+        Outcome::Ablations {
+            nat,
+            sensor,
+            reboot,
+        } => render_ablations(nat, sensor, reboot),
+        Outcome::Sensitivity { codered, slammer } => render_sensitivity(codered, slammer),
+    }
+}
+
+fn render_engine(result: &SimResult, field: Option<&DetectorField>) {
+    println!(
+        "\n{} of {} hosts infected ({:.1}%), {} removed, after {:.1} simulated seconds",
+        result.infected,
+        result.population,
+        100.0 * result.infected_fraction(),
+        result.removed,
+        result.elapsed
+    );
+    let ledger = &result.ledger;
+    println!(
+        "{} probes sent: {} delivered public, {} delivered local, {} dropped",
+        ledger.probes(),
+        ledger.delivered_public(),
+        ledger.delivered_local(),
+        ledger.dropped_total()
+    );
+    if let Some(field) = field {
+        println!(
+            "detector field: {} of {} sensors alerted",
+            field.alerted(),
+            field.len()
+        );
+    }
+    println!("\n-- infection curve (resampled; plot this) --\n");
+    print_series(&result.infection_curve, 25);
+}
+
+fn render_fig1(study: &BlasterStudy, rows: &[CoverageRow]) {
+    println!(
+        "\n{} infected hosts, {:.0}-day window, {} probes/s, {}% reboot-launched\n",
+        study.hosts,
+        study.window_secs / 86_400.0,
+        study.scan_rate,
+        (study.reboot_fraction * 100.0) as u32
+    );
+
+    let max = rows.iter().map(|r| r.unique_sources).max().unwrap_or(1) as f64;
+
+    // figure series: per-/24 (per-/16 for Z) unique source counts
+    println!("-- per-bucket unique sources (the figure's y-axis) --");
+    let mut current_block = String::new();
+    for row in rows {
+        if row.block != current_block {
+            current_block.clone_from(&row.block);
+            println!("block {current_block}:");
+        }
+        if row.unique_sources > 0 || row.prefix.len() >= 24 {
+            println!(
+                "  {:<20} {:>7}  {}",
+                row.prefix.to_string(),
+                row.unique_sources,
+                bar(row.unique_sources as f64, max, 50)
+            );
+        }
+    }
+
+    // score over the equal-size /24 rows (interval coverage does not
+    // scale with cell size, so the /16 Z rows use a different null)
+    let counts: Vec<u64> = rows
+        .iter()
+        .filter(|r| r.prefix.len() == 24)
+        .map(|r| r.unique_sources)
+        .collect();
+    let report = HotspotReport::from_counts(&counts);
+    println!("\nnon-uniformity over /24 rows: {report}");
+
+    // the paper's correlation, run both directions:
+    //  * ground truth: the tick counts of the hosts that actually cover
+    //    each row (the paper's "the spike maps back to 2.3 minutes"),
+    //  * forward search: candidate seeds in the tick range that would
+    //    explain the row (seed_inference::candidate_seeds).
+    println!("\n-- seed correlation (hot vs cold /24 rows) --\n");
+    let hosts = draw_hosts(study);
+    let mut sorted: Vec<_> = rows.iter().filter(|r| r.prefix.len() == 24).collect();
+    sorted.sort_by_key(|r| std::cmp::Reverse(r.unique_sources));
+    let picks = [
+        ("hottest", sorted[0]),
+        ("2nd", sorted[1]),
+        ("3rd", sorted[2]),
+        ("coldest", *sorted.last().expect("rows exist")),
+    ];
+    let mut table = Vec::new();
+    for (tag, row) in picks {
+        let covering: Vec<u32> = hosts
+            .iter()
+            .filter(|h| seed_inference::scan_covers(h.start, study.scan_len(), row.prefix))
+            .map(|h| h.tick)
+            .collect();
+        let mut ticks = covering.clone();
+        ticks.sort_unstable();
+        let median = ticks.get(ticks.len() / 2).map_or_else(
+            || "-".to_owned(),
+            |t| format!("{}", TickCount::from_millis(*t)),
+        );
+        let boot_band = covering
+            .iter()
+            .filter(|&&t| (25_000..=35_000).contains(&t))
+            .count();
+        // forward search restricted to the boot band
+        let forward = seed_inference::candidate_seeds(
+            25_000..35_000,
+            Ip::from_octets(7, 7, 7, 7),
+            study.scan_len(),
+            row.prefix,
+        );
+        table.push(vec![
+            tag.to_owned(),
+            row.prefix.to_string(),
+            row.unique_sources.to_string(),
+            median,
+            format!("{boot_band}/{}", covering.len()),
+            forward.len().to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "row",
+            "/24",
+            "sources",
+            "median covering tick",
+            "boot-band hosts",
+            "boot-band seeds (fwd)",
+        ],
+        &table,
+    );
+    println!(
+        "\n→ spike rows are covered disproportionately by hosts whose seeds \
+         sit in the ~30 s\n  reboot band; the restricted GetTickCount() \
+         range is the root cause."
+    );
+}
+
+fn render_fig2(
+    study: &SlammerStudy,
+    rows: &[CoverageRow],
+    unique: &[(String, u64)],
+    cycle_sums: &[(String, f64)],
+) {
+    println!(
+        "\n{} infected hosts (uniform DLL mix over the three flawed \
+         increments), month-scale window (cycle-exact), upstream UDP/1434 \
+         filter in front of the M block\n",
+        study.hosts
+    );
+
+    let blocks = ims_deployment();
+
+    println!("-- per-block summary --\n");
+    let mut table = Vec::new();
+    for (label, total) in unique {
+        let block = blocks.by_label(label).expect("label");
+        let slash24s = (block.size() / 256).max(1);
+        let per_row: Vec<u64> = rows
+            .iter()
+            .filter(|r| &r.block == label)
+            .map(|r| r.unique_sources)
+            .collect();
+        let mean = per_row.iter().sum::<u64>() as f64 / per_row.len() as f64;
+        table.push(vec![
+            label.clone(),
+            block.prefix().to_string(),
+            slash24s.to_string(),
+            total.to_string(),
+            format!("{mean:.0}"),
+        ]);
+    }
+    print_table(
+        &[
+            "block",
+            "prefix",
+            "/24s",
+            "unique sources",
+            "mean per /24 row",
+        ],
+        &table,
+    );
+
+    println!("\n-- per-/24 series (sample of each block) --");
+    let max = rows.iter().map(|r| r.unique_sources).max().unwrap_or(1) as f64;
+    let mut current = String::new();
+    for row in rows {
+        if row.block != current {
+            current.clone_from(&row.block);
+            println!("block {current}:");
+        }
+        // print /24 rows for small blocks, every 16th /16 row for Z
+        let show = row.prefix.len() >= 24 || row.prefix.base().octets()[1] % 16 == 0;
+        if show {
+            println!(
+                "  {:<20} {:>8}  {}",
+                row.prefix.to_string(),
+                row.unique_sources,
+                bar(row.unique_sources as f64, max, 50)
+            );
+        }
+    }
+
+    println!("\n-- the paper's D/H/I cycle-length comparison --\n");
+    let table: Vec<Vec<String>> = cycle_sums
+        .iter()
+        .map(|(l, s)| vec![l.clone(), format!("{s:.2}")])
+        .collect();
+    print_table(&["block", "Σ cycle lengths (×2^26, 3 DLLs)"], &table);
+    println!(
+        "\n→ H is traversed by fewer long PRNG cycles than D or I, so fewer \
+         seeds ever reach it;\n  M observes nothing because its provider \
+         filters the worm upstream (environmental factor)."
+    );
+}
+
+fn render_fig3(probes: u64, hosts: &[SlammerHostTrace]) {
+    let blocks = ims_deployment();
+    for host in hosts {
+        println!(
+            "\n-- {}: dll={}, seed={:#010x}, cycle period {} --",
+            host.name, host.dll, host.seed, host.cycle_len
+        );
+        println!(
+            "  {} of {probes} probes landed on the telescope; per-block hits:",
+            host.hist.total()
+        );
+        let mut per_block: Vec<(String, u64)> = blocks
+            .iter()
+            .map(|b| {
+                let hits: u64 = host
+                    .hist
+                    .iter()
+                    .filter(|(bucket, _)| b.prefix().contains(bucket.first_ip()))
+                    .map(|(_, c)| c)
+                    .sum();
+                (b.label().to_owned(), hits)
+            })
+            .collect();
+        let max = per_block.iter().map(|(_, h)| *h).max().unwrap_or(1) as f64;
+        per_block.sort_by(|a, b| a.0.cmp(&b.0));
+        for (label, hits) in per_block {
+            println!("  {label:>2}: {hits:>9}  {}", bar(hits as f64, max, 50));
+        }
+    }
+
+    println!("\n-- Figure 3(c): period of all cycles, per DLL variant --\n");
+    for dll in SqlsortDll::ALL {
+        let bands = cycle_bands(dll);
+        let total: u64 = bands.iter().map(|b| b.num_cycles).sum();
+        println!("{dll} (b = {:#010x}): {total} cycles", dll.increment());
+        let rows: Vec<Vec<String>> = bands
+            .iter()
+            .map(|b| {
+                vec![
+                    b.valuation.to_string(),
+                    b.num_cycles.to_string(),
+                    b.cycle_length.to_string(),
+                ]
+            })
+            .collect();
+        print_table(&["valuation", "cycles", "period"], &rows);
+        println!();
+    }
+    println!(
+        "→ 64 cycles per variant, periods from 2^30 down to 1; an instance \
+         on a period-1 cycle\n  hammers a single address like a targeted \
+         DoS (the paper's observation)."
+    );
+}
+
+fn render_fig4(study: &CodeRedStudy, rows: &[CoverageRow], quarantines: &[QuarantineTrace]) {
+    let blocks = ims_deployment();
+
+    println!("\n-- Figure 4(a): mixed population, 15% NATed --\n");
+    println!(
+        "{} hosts, {} probes each, NAT fraction {:.0}%\n",
+        study.hosts,
+        study.probes_per_host,
+        study.nat_fraction * 100.0
+    );
+    let mut table = Vec::new();
+    let mut max_rate = 0.0f64;
+    let mut rates = Vec::new();
+    for (label, total) in totals_by_block(rows) {
+        let block = blocks.by_label(&label).expect("label");
+        let rate = total as f64 / (block.size() / 256).max(1) as f64;
+        max_rate = max_rate.max(rate);
+        rates.push((label, total, rate));
+    }
+    for (label, total, rate) in rates {
+        table.push(vec![
+            label,
+            total.to_string(),
+            format!("{rate:.2}"),
+            bar(rate, max_rate, 40),
+        ]);
+    }
+    print_table(&["block", "unique sources", "per /24", "profile"], &table);
+
+    println!("\n-- Figure 4(b)/(c): quarantine runs --\n");
+    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M prefix");
+    let m_hits = |h: &CountHistogram<Bucket24>| -> u64 {
+        h.iter()
+            .filter(|(b, _)| m_prefix.contains(b.first_ip()))
+            .map(|(_, c)| c)
+            .sum()
+    };
+    let rows: Vec<Vec<String>> = quarantines
+        .iter()
+        .map(|q| {
+            vec![
+                q.label.clone(),
+                q.probes.to_string(),
+                q.hist.total().to_string(),
+                m_hits(&q.hist).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "quarantined host",
+            "probes",
+            "telescope hits",
+            "M-block hits",
+        ],
+        &rows,
+    );
+    println!(
+        "\n→ the NATed instance's /8 preference lands on public 192/8: the \
+         distinct M spike of 4(a)/4(c),\n  absent from the public-host run \
+         4(b) — topology (an environmental factor) shaped the hotspot."
+    );
+}
+
+fn render_fig5a(study: &DetectionStudy, runs: &[HitListRun]) {
+    println!(
+        "\nvulnerable population {} in 47 /8s, {} seed hosts, {} scans/s\n",
+        study.population_size(),
+        study.seeds,
+        study.scan_rate
+    );
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.list_size.to_string(),
+                format!("{:.2}%", 100.0 * r.coverage),
+                format!("{:.1}%", 100.0 * r.final_infected),
+                r.infection_curve
+                    .time_to_reach(0.5 * r.coverage)
+                    .map_or_else(|| "-".to_owned(), |t| format!("{t:.0}s")),
+                r.infection_curve
+                    .time_to_reach(0.9 * r.coverage)
+                    .map_or_else(|| "-".to_owned(), |t| format!("{t:.0}s")),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "/16 prefixes",
+            "pop coverage",
+            "final infected",
+            "t(50% of coverage)",
+            "t(90% of coverage)",
+        ],
+        &rows,
+    );
+
+    println!("\n-- infection curves (resampled; plot these) --\n");
+    for run in runs {
+        print_series(&run.infection_curve, 25);
+        println!();
+    }
+    println!(
+        "→ the smallest list saturates its targets fastest (denser \
+         vulnerable population);\n  larger lists reach more of the \
+         population but more slowly — the paper's speed/coverage tradeoff."
+    );
+}
+
+fn render_fig5b(study: &DetectionStudy, runs: &[HitListRun]) {
+    println!(
+        "\none /24 sensor per occupied /16, alert after {} worm payloads, \
+         no false positives\n",
+        study.alert_threshold
+    );
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let alerted_frac = r.sensors_alerted as f64 / r.sensors as f64;
+            // the paper's comparison: alert fraction when 90% of the
+            // *reachable* population is infected
+            let t90 = r.infection_curve.time_to_reach(0.9 * r.coverage);
+            let at90 = t90.map_or(f64::NAN, |t| r.alert_curve.value_at(t));
+            vec![
+                r.list_size.to_string(),
+                r.sensors.to_string(),
+                format!("{}", r.sensors_alerted),
+                format!("{:.1}%", 100.0 * alerted_frac),
+                t90.map_or_else(|| "-".to_owned(), |t| format!("{t:.0}s")),
+                if at90.is_nan() {
+                    "-".to_owned()
+                } else {
+                    format!("{:.1}%", 100.0 * at90)
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "/16 prefixes",
+            "sensors",
+            "alerted (final)",
+            "alerted %",
+            "t(90% coverage infected)",
+            "alerted % at that time",
+        ],
+        &rows,
+    );
+
+    println!("\n-- quorum verdicts --\n");
+    let policy = QuorumPolicy::new(0.5).expect("valid quorum");
+    for run in runs {
+        let gap = DetectionGap::new(run.infection_curve.clone(), run.alert_curve.clone());
+        println!(
+            "  {:>5}-prefix list: {}",
+            run.list_size,
+            gap.describe(policy)
+        );
+    }
+
+    println!("\n-- alert curves (resampled; plot these) --\n");
+    for run in runs {
+        print_series(&run.alert_curve, 25);
+        println!();
+    }
+    println!(
+        "→ narrow hit-lists leave almost every sensor silent even at full \
+         infection of their targets:\n  a quorum rule over this field never \
+         fires — the paper's central detection failure."
+    );
+}
+
+fn render_fig5c(study: &DetectionStudy, nat_fraction: f64, runs: &[NatRun]) {
+    println!(
+        "\nCodeRedII-type worm, population {} ({}% NATed into 192.168/16), \
+         alert threshold {}\n",
+        study.population_size(),
+        (nat_fraction * 100.0) as u32,
+        study.alert_threshold
+    );
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:?}", r.placement),
+                r.sensors.to_string(),
+                format!(
+                    "{} ({:.1}%)",
+                    r.sensors_alerted,
+                    100.0 * r.sensors_alerted as f64 / r.sensors.max(1) as f64
+                ),
+                format!("{:.1}%", 100.0 * r.alerted_at_20pct_infected),
+                r.alert_curve
+                    .time_to_reach(0.1)
+                    .map_or_else(|| "never".to_owned(), |t| format!("{t:.0}s")),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "placement",
+            "sensors",
+            "alerted (final)",
+            "alerted at 20% infected",
+            "t(10% of sensors alerted)",
+        ],
+        &rows,
+    );
+
+    println!("\n-- quorum verdicts --\n");
+    let policy = QuorumPolicy::new(0.5).expect("valid quorum");
+    for run in runs {
+        let gap = DetectionGap::new(run.infection_curve.clone(), run.alert_curve.clone());
+        println!("  {:?}: {}", run.placement, gap.describe(policy));
+    }
+
+    println!("\n-- alert curves (resampled; plot these) --\n");
+    for run in runs {
+        print_series(&run.alert_curve, 25);
+        println!();
+    }
+    println!(
+        "→ random and even population-aware placement lag the outbreak; 255 \
+         sensors inside the\n  hotspot /8 all alert before 20% of the \
+         population is infected — but only because this\n  hotspot was known \
+         in advance, which hotspots in general are not (the paper's \
+         conclusion)."
+    );
+}
+
+fn render_table1(
+    drone: Ip,
+    paper: &[(String, String, u64)],
+    synthetic: &[(String, String, u64)],
+    synthetic_commands: u64,
+    restricted: u64,
+) {
+    let _ = drone;
+    println!("\n-- commands reported in the paper --\n");
+    let rows: Vec<Vec<String>> = paper
+        .iter()
+        .map(|(cmd, range, size)| {
+            vec![
+                cmd.clone(),
+                range.clone(),
+                format!("{size}"),
+                format!("{:.5}%", 100.0 * *size as f64 / 2f64.powi(32)),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "bot propagation command",
+            "drone scan range",
+            "addresses",
+            "% of IPv4",
+        ],
+        &rows,
+    );
+
+    let n = synthetic_commands;
+    println!("\n-- synthetic capture ({n} commands, same composition) --\n");
+    let sample: Vec<Vec<String>> = synthetic
+        .iter()
+        .take(15)
+        .map(|(cmd, range, size)| vec![cmd.clone(), range.clone(), format!("{size}")])
+        .collect();
+    print_table(
+        &["command (first 15)", "drone scan range", "addresses"],
+        &sample,
+    );
+    println!("\n{restricted}/{n} commands restrict propagation below the full IPv4 space");
+    println!(
+        "→ hit-lists are in routine use; each restriction is an algorithmic \
+         hotspot factor."
+    );
+}
+
+fn render_table2(study: &FilteringStudy, table_rows: &[Table2Row]) {
+    println!(
+        "\n{} infected hosts planted per enterprise, {} per ISP; \
+         CRII/Slammer probe-driven ({} probes/host), Blaster interval-exact\n",
+        study.infected_per_enterprise, study.infected_per_isp, study.probes_per_host
+    );
+
+    let rows: Vec<Vec<String>> = table_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.org.clone(),
+                r.kind.to_string(),
+                r.total_ips.to_string(),
+                r.infected_inside.to_string(),
+                r.crii_observed.to_string(),
+                r.slammer_observed.to_string(),
+                r.blaster_observed.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "organization",
+            "kind",
+            "total IPs",
+            "infected inside",
+            "CRII IPs seen",
+            "Slammer IPs seen",
+            "Blaster IPs seen",
+        ],
+        &rows,
+    );
+    println!(
+        "\n→ despite harboring infections, egress-filtered enterprises show \
+         ~zero outward sign;\n  broadband ISPs expose their infected \
+         populations nearly completely (the paper's contrast)."
+    );
+}
+
+fn render_ablations(
+    nat: &[(NatTopology, NatRun)],
+    sensor: &[SensorModeRun],
+    reboot: &[(f64, HotspotReport)],
+) {
+    println!("\n-- 1. NAT topology: shared 192.168/16 vs isolated home NATs --\n");
+    let rows: Vec<Vec<String>> = nat
+        .iter()
+        .map(|(topology, run)| {
+            vec![
+                format!("{topology:?}"),
+                run.sensors.to_string(),
+                run.sensors_alerted.to_string(),
+                format!("{:.1}%", 100.0 * run.alerted_at_20pct_infected),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "topology",
+            "sensors in 192/8",
+            "alerted (final)",
+            "alerted at 20% infected",
+        ],
+        &rows,
+    );
+    println!(
+        "→ the Figure 5(c) hotspot requires the NATed hosts to be mutually \
+         reachable;\n  fully isolated home NATs produce no 192/8 flood \
+         (the worm never reaches them)."
+    );
+
+    println!("\n-- 2. sensor mode: active (SYN-ACK responder) vs passive capture --\n");
+    let rows: Vec<Vec<String>> = sensor
+        .iter()
+        .map(|run| {
+            vec![
+                run.transport.clone(),
+                format!("{:?}", run.mode),
+                run.alerted.to_string(),
+                run.sensors.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["worm transport", "sensor mode", "alerted", "sensors"],
+        &rows,
+    );
+    println!(
+        "→ passive sensors are blind to TCP worms (no payload without a \
+         SYN-ACK), which is exactly\n  why the IMS actively elicited \
+         payloads — an instrumentation factor shaping what gets counted."
+    );
+
+    println!("\n-- 3. Blaster reboot fraction vs Figure 1 hotspot strength --\n");
+    let rows: Vec<Vec<String>> = reboot
+        .iter()
+        .map(|(reboot_fraction, report)| {
+            vec![
+                format!("{:.0}%", reboot_fraction * 100.0),
+                format!("{:.3}", report.gini),
+                format!("{:.1}", report.max_median_ratio),
+                report
+                    .chi_square_p
+                    .map_or_else(|| "-".into(), |p| format!("{p:.1e}")),
+                if report.is_hotspot() {
+                    "HOTSPOT"
+                } else {
+                    "uniform-ish"
+                }
+                .to_owned(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["reboot-launched", "gini", "max/median", "χ² p", "verdict"],
+        &rows,
+    );
+    println!(
+        "→ the boot-band seed collisions are the engine of Figure 1's \
+         spikes: with no reboot\n  launches the per-/24 counts flatten \
+         toward Poisson noise."
+    );
+}
+
+fn per_slash24_rates(rows: &[CoverageRow], blocks: &[AddressBlock]) -> HashMap<String, f64> {
+    totals_by_block(rows)
+        .into_iter()
+        .map(|(label, total)| {
+            let block = blocks.by_label(&label).expect("label");
+            let rate = total as f64 / (block.size() / 256).max(1) as f64;
+            (label, rate)
+        })
+        .collect()
+}
+
+fn render_sensitivity(codered: &[CodeRedTrial], slammer: &[SlammerTrial]) {
+    let trials = codered.len();
+    println!("\n-- CodeRedII M spike across {trials} random placements --\n");
+    let mut rows_out = Vec::new();
+    for trial in codered {
+        let m = trial.blocks.by_label("M").expect("M");
+        let rates = per_slash24_rates(&trial.rows, &trial.blocks);
+        let background: f64 = ["A", "B", "C", "D", "E", "F", "H", "I"]
+            .iter()
+            .map(|l| rates[*l])
+            .sum::<f64>()
+            / 8.0;
+        rows_out.push(vec![
+            trial.trial.to_string(),
+            m.prefix().to_string(),
+            format!("{:.2}", rates["M"]),
+            format!("{background:.2}"),
+            format!("{:.1}×", rates["M"] / background.max(0.05)),
+        ]);
+    }
+    print_table(
+        &[
+            "trial",
+            "M block placement",
+            "M rate (/24)",
+            "background rate",
+            "spike",
+        ],
+        &rows_out,
+    );
+
+    println!("\n-- Slammer per-/24 spread across {trials} random placements --\n");
+    let mut rows_out = Vec::new();
+    for trial in slammer {
+        let rates = per_slash24_rates(&trial.rows, &trial.blocks);
+        let mut small: Vec<(String, f64)> = rates
+            .iter()
+            .filter(|(l, _)| l.as_str() != "Z")
+            .map(|(l, &r)| (l.clone(), r))
+            .collect();
+        small.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let (lo_label, lo) = small.first().expect("blocks").clone();
+        let (hi_label, hi) = small.last().expect("blocks").clone();
+        rows_out.push(vec![
+            trial.trial.to_string(),
+            format!("{lo_label} = {lo:.0}"),
+            format!("{hi_label} = {hi:.0}"),
+            format!("{:.1}×", hi / lo.max(1.0)),
+        ]);
+    }
+    print_table(
+        &[
+            "trial",
+            "quietest block (rate/24)",
+            "loudest block (rate/24)",
+            "spread",
+        ],
+        &rows_out,
+    );
+    println!(
+        "\n→ the M spike and the cycle-driven per-block spread persist across \
+         placements:\n  the conclusions are properties of the mechanisms, not \
+         of where we happened to put the sensors."
+    );
+}

@@ -1,0 +1,74 @@
+//! `hotspots run <preset> --quick` emits the same run report as the
+//! dedicated experiment binary — field for field, modulo the fields
+//! that name the binary or measure wall time.
+//!
+//! This is the acceptance contract for the unified CLI: the registry
+//! preset *is* the experiment, and the runner binaries are only
+//! alternative entry points to the identical computation.
+
+use hotspots_scenario::value::{self, Value};
+use std::process::Command;
+
+/// Runs a binary with args and returns the last JSONL line on stdout
+/// (the run report).
+fn report_line(bin: &str, args: &[&str]) -> Value {
+    let out = Command::new(bin)
+        .args(args)
+        .env_remove("HOTSPOTS_RUN_REPORT")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} exited with {}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("{bin}: no JSONL report on stdout"));
+    value::from_json(line).unwrap_or_else(|e| panic!("{bin}: unparseable report: {e}\n{line}"))
+}
+
+/// Strips the fields that legitimately differ between entry points:
+/// the binary name and anything measuring host wall time.
+fn normalized(mut report: Value) -> Value {
+    if let Value::Table(entries) = &mut report {
+        entries.retain(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "binary" | "wall_seconds" | "peak_step_seconds" | "phases"
+            )
+        });
+    }
+    report
+}
+
+fn assert_parity(preset: &str, dedicated_bin: &str) {
+    let cli = report_line(env!("CARGO_BIN_EXE_hotspots"), &["run", preset, "--quick"]);
+    let dedicated = report_line(dedicated_bin, &["--quick"]);
+    assert_eq!(
+        normalized(cli.clone()),
+        normalized(dedicated.clone()),
+        "{preset}: CLI and dedicated binary reports diverge\n  cli: {}\n  bin: {}",
+        value::to_json(&cli),
+        value::to_json(&dedicated),
+    );
+}
+
+#[test]
+fn hotspots_run_fig2_matches_fig2_slammer() {
+    assert_parity("fig2", env!("CARGO_BIN_EXE_fig2_slammer"));
+}
+
+#[test]
+fn hotspots_run_table2_matches_table2_filtering() {
+    assert_parity("table2", env!("CARGO_BIN_EXE_table2_filtering"));
+}
+
+#[test]
+fn hotspots_run_fig5a_matches_fig5a_hitlist_infection() {
+    assert_parity("fig5a", env!("CARGO_BIN_EXE_fig5a_hitlist_infection"));
+}

@@ -87,6 +87,66 @@ impl fmt::Display for AddressBlock {
     }
 }
 
+/// Error returned by [`Deployment::by_label`]: the requested label is not
+/// in the deployment. Lists what *is* there, so a typo is obvious.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBlock {
+    label: String,
+    available: Vec<String>,
+}
+
+impl UnknownBlock {
+    /// The label that was looked up.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Display for UnknownBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no block labelled {:?} in deployment (available: {})",
+            self.label,
+            self.available.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBlock {}
+
+/// Label-indexed lookup over a sensor deployment.
+///
+/// Every consumer used to inline
+/// `blocks.iter().find(|b| b.label() == label).expect(...)`; this trait
+/// gives the idiom one home and a real error.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_ipspace::{ims_deployment, Deployment};
+///
+/// let blocks = ims_deployment();
+/// assert_eq!(blocks.by_label("M").unwrap().prefix().len(), 22);
+/// assert!(blocks.by_label("Q").is_err());
+/// ```
+pub trait Deployment {
+    /// The block labelled `label`, or an error naming the label and the
+    /// labels that exist.
+    fn by_label(&self, label: &str) -> Result<&AddressBlock, UnknownBlock>;
+}
+
+impl Deployment for [AddressBlock] {
+    fn by_label(&self, label: &str) -> Result<&AddressBlock, UnknownBlock> {
+        self.iter()
+            .find(|b| b.label() == label)
+            .ok_or_else(|| UnknownBlock {
+                label: label.to_owned(),
+                available: self.iter().map(|b| b.label().to_owned()).collect(),
+            })
+    }
+}
+
 /// Returns the synthetic eleven-block IMS deployment
 /// (A/23, B/24, C/24, D/20, E/21, F/22, G/25, H/18, I/17, M/22, Z/8).
 ///

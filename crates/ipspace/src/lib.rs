@@ -40,7 +40,7 @@ mod prefix;
 mod range;
 pub mod special;
 
-pub use block::{ims_deployment, random_ims_deployment, AddressBlock};
+pub use block::{ims_deployment, random_ims_deployment, AddressBlock, Deployment, UnknownBlock};
 pub use bucket::{Bucket16, Bucket24, Bucket8};
 pub use error::{ParseIpError, ParsePrefixError, PrefixError};
 pub use ip::Ip;

@@ -1,0 +1,385 @@
+//! Building a validated engine-path [`ScenarioSpec`] into the concrete
+//! simulation types.
+
+use hotspots_ipspace::{Ip, Prefix};
+use hotspots_netmodel::{Environment, FilterRule, LatencyModel, LossModel};
+use hotspots_prng::entropy::{HardwareGeneration, SeedModel};
+use hotspots_sim::{
+    apply_nat, apply_nat_shared, paper_codered_population, synthetic_codered_population,
+    BlasterWorm, BotWorm, CodeRed2Worm, HitListWorm, LocalPreferenceWorm, Population, SimConfig,
+    SlammerWorm, UniformWorm, WormModel,
+};
+use hotspots_targeting::HitList;
+use hotspots_telescope::{placement, DetectorField, SensorMode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::spec::{
+    parse_filter, parse_ip, parse_preference_entry, parse_prefix, parse_service, PlacementSpec,
+    PopSpec, ScenarioSpec, SpecError, TelescopeSpec, WormSpec,
+};
+
+/// Building reuses the spec-validation error type: every failure names
+/// the spec field that caused it.
+pub type BuildError = SpecError;
+
+/// An engine-path scenario, built: everything [`Engine::new`] needs,
+/// plus the telescope's detector field if the spec deploys one.
+///
+/// [`Engine::new`]: hotspots_sim::Engine::new
+pub struct Built {
+    /// Engine configuration.
+    pub config: SimConfig,
+    /// The vulnerable population (NAT already applied).
+    pub population: Population,
+    /// The network environment (loss, latency, filters, NAT realms).
+    pub environment: Environment,
+    /// The worm targeting model.
+    pub worm: Box<dyn WormModel>,
+    /// The telescope's detector field, if any.
+    pub detector: Option<DetectorField>,
+}
+
+impl ScenarioSpec {
+    /// Builds an engine-path spec into the concrete simulation types.
+    /// Validates first; study-path specs are rejected (run those through
+    /// [`run_spec`](crate::run::run_spec)).
+    pub fn build(&self) -> Result<Built, BuildError> {
+        self.validate()?;
+        let worm_spec = self.worm.as_ref().ok_or_else(|| SpecError {
+            field: "worm".into(),
+            message: "study specs have no engine build; use run_spec".into(),
+        })?;
+        let pop_spec = self.population.as_ref().expect("validated engine path");
+
+        let mut environment = Environment::new();
+        if let Some(loss) = self.environment.loss {
+            if let Some(model) = LossModel::new(loss) {
+                environment.set_loss(model);
+            }
+        }
+        if let Some(lat) = &self.environment.latency {
+            if let Some(model) = LatencyModel::new(lat.base_secs, lat.jitter_secs) {
+                environment.set_latency(model);
+            }
+        }
+        for (i, rule) in self.environment.filters.iter().enumerate() {
+            let parsed = parse_filter(&format!("environment.filters[{i}]"), rule)?;
+            let rule = match parsed.direction.as_str() {
+                "egress" => FilterRule::egress(parsed.prefix, parsed.service),
+                _ => FilterRule::ingress(parsed.prefix, parsed.service),
+            };
+            environment.filters_mut().push(rule);
+        }
+
+        let addrs = build_addresses(pop_spec)?;
+        let population = match &self.environment.nat {
+            Some(nat) => {
+                let mut rng = StdRng::seed_from_u64(nat.seed);
+                let loci = match nat.topology.as_str() {
+                    "shared" => apply_nat_shared(&mut environment, &addrs, nat.fraction, &mut rng),
+                    _ => apply_nat(&mut environment, &addrs, nat.fraction, &mut rng),
+                };
+                Population::from_loci(loci)
+            }
+            None => Population::from_public(addrs),
+        };
+
+        let worm = build_worm(worm_spec)?;
+        let detector = build_detector(&self.telescope)?;
+
+        let config = SimConfig {
+            scan_rate: self.sim.scan_rate,
+            scan_rate_sigma: self.sim.scan_rate_sigma,
+            seeds: self.sim.seeds as usize,
+            dt: self.sim.dt,
+            max_time: self.sim.max_time,
+            stop_at_fraction: self.sim.stop_at_fraction,
+            removal_rate: self.sim.removal_rate,
+            rng_seed: self.sim.rng_seed,
+            threads: self.sim.threads as usize,
+        };
+
+        Ok(Built {
+            config,
+            population,
+            environment,
+            worm,
+            detector,
+        })
+    }
+}
+
+fn build_addresses(pop: &PopSpec) -> Result<Vec<Ip>, SpecError> {
+    match pop {
+        PopSpec::Range {
+            base,
+            count,
+            stride,
+        } => {
+            let base = parse_ip("population.base", base)?;
+            let count = u32::try_from(*count).map_err(|_| SpecError {
+                field: "population.count".into(),
+                message: "too large".into(),
+            })?;
+            let stride = *stride as u32;
+            Ok((0..count)
+                .map(|i| Ip::new(base.value().wrapping_add(i.wrapping_mul(stride))))
+                .collect())
+        }
+        PopSpec::Synthetic {
+            size,
+            slash8s,
+            seed,
+        } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            Ok(synthetic_codered_population(
+                *size as usize,
+                *slash8s as usize,
+                &mut rng,
+            ))
+        }
+        PopSpec::Paper { seed } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            Ok(paper_codered_population(&mut rng))
+        }
+        PopSpec::Hosts { addrs } => {
+            let mut ips = addrs
+                .iter()
+                .map(|a| parse_ip("population.addrs", a))
+                .collect::<Result<Vec<Ip>, SpecError>>()?;
+            ips.sort_unstable();
+            ips.dedup();
+            Ok(ips)
+        }
+    }
+}
+
+fn build_worm(worm: &WormSpec) -> Result<Box<dyn WormModel>, SpecError> {
+    Ok(match worm {
+        WormSpec::Uniform => Box::new(UniformWorm),
+        WormSpec::Slammer => Box::new(SlammerWorm),
+        WormSpec::CodeRed2 => Box::new(CodeRed2Worm),
+        WormSpec::Blaster { hardware, model } => {
+            let generation = match hardware.as_str() {
+                "pentium-ii" => HardwareGeneration::PentiumIi,
+                "pentium-iii" => HardwareGeneration::PentiumIii,
+                _ => HardwareGeneration::PentiumIv,
+            };
+            let seed_model = match model.as_str() {
+                "population" => SeedModel::blaster_population(generation),
+                _ => SeedModel::blaster_reboot(generation),
+            };
+            Box::new(BlasterWorm::new(seed_model))
+        }
+        WormSpec::HitList { prefixes, service } => {
+            let prefixes: Vec<Prefix> = prefixes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| parse_prefix(&format!("worm.prefixes[{i}]"), p))
+                .collect::<Result<_, _>>()?;
+            let list = HitList::new(prefixes).map_err(|e| SpecError {
+                field: "worm.prefixes".into(),
+                message: format!("{e:?}"),
+            })?;
+            let mut w = HitListWorm::new(list);
+            if let Some(s) = service {
+                w = w.with_service(parse_service("worm.service", s)?);
+            }
+            Box::new(w)
+        }
+        WormSpec::LocalPreference { entries, service } => {
+            let entries = entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| parse_preference_entry(&format!("worm.entries[{i}]"), e))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut w = LocalPreferenceWorm::new(entries);
+            if let Some(s) = service {
+                w = w.with_service(parse_service("worm.service", s)?);
+            }
+            Box::new(w)
+        }
+        WormSpec::Bot { command } => {
+            let command = command.parse().map_err(|e| SpecError {
+                field: "worm.command".into(),
+                message: format!("{e}"),
+            })?;
+            Box::new(BotWorm::new(command))
+        }
+    })
+}
+
+fn build_detector(telescope: &TelescopeSpec) -> Result<Option<DetectorField>, SpecError> {
+    match telescope {
+        TelescopeSpec::None => Ok(None),
+        TelescopeSpec::Field {
+            placement: place,
+            alert_threshold,
+            mode,
+        } => {
+            let blocks = match place {
+                PlacementSpec::Prefixes { prefixes } => prefixes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| parse_prefix(&format!("telescope.placement.prefixes[{i}]"), p))
+                    .collect::<Result<Vec<_>, _>>()?,
+                PlacementSpec::Random { sensors, seed } => {
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    placement::random_slash24s(*sensors as usize, &[], &mut rng)
+                }
+            };
+            let mode = match mode.as_str() {
+                "passive" => SensorMode::Passive,
+                _ => SensorMode::Active,
+            };
+            Ok(Some(DetectorField::with_mode(
+                blocks,
+                *alert_threshold,
+                mode,
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{EnvSpec, LatencySpec, NatSpec, SimSpec};
+    use hotspots_netmodel::Locus;
+
+    fn base_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::named("build-test");
+        spec.worm = Some(WormSpec::Uniform);
+        spec.population = Some(PopSpec::Range {
+            base: "11.11.0.0".into(),
+            count: 100,
+            stride: 1,
+        });
+        spec.sim = SimSpec {
+            max_time: 10.0,
+            seeds: 5,
+            ..SimSpec::default()
+        };
+        spec
+    }
+
+    #[test]
+    fn range_population_builds() {
+        let built = base_spec().build().unwrap();
+        assert_eq!(built.population.len(), 100);
+        assert_eq!(
+            built.population.locus(1),
+            Locus::Public(Ip::from_octets(11, 11, 0, 1))
+        );
+        assert!(built.detector.is_none());
+        assert_eq!(built.config.seeds, 5);
+    }
+
+    #[test]
+    fn nat_moves_hosts_into_realms() {
+        let mut spec = base_spec();
+        spec.environment = EnvSpec {
+            nat: Some(NatSpec {
+                fraction: 1.0,
+                topology: "isolated".into(),
+                seed: 7,
+            }),
+            ..EnvSpec::default()
+        };
+        let built = spec.build().unwrap();
+        assert!(built
+            .population
+            .loci()
+            .iter()
+            .all(|l| matches!(l, Locus::Private { .. })));
+        assert_eq!(built.environment.realm_count(), 100);
+    }
+
+    #[test]
+    fn environment_knobs_apply() {
+        let mut spec = base_spec();
+        spec.environment = EnvSpec {
+            loss: Some(0.25),
+            latency: Some(LatencySpec {
+                base_secs: 0.5,
+                jitter_secs: 1.0,
+            }),
+            filters: vec!["egress 11.11.0.0/24 *".into()],
+            nat: None,
+        };
+        let built = spec.build().unwrap();
+        assert_eq!(built.environment.loss().rate(), 0.25);
+        assert_eq!(built.environment.latency().base_secs(), 0.5);
+        assert_eq!(built.environment.filters().rules().len(), 1);
+    }
+
+    #[test]
+    fn every_worm_kind_builds() {
+        let worms = [
+            WormSpec::Uniform,
+            WormSpec::Slammer,
+            WormSpec::CodeRed2,
+            WormSpec::Blaster {
+                hardware: "pentium-iv".into(),
+                model: "reboot".into(),
+            },
+            WormSpec::HitList {
+                prefixes: vec!["11.11.0.0/16".into()],
+                service: Some("udp/1434".into()),
+            },
+            WormSpec::LocalPreference {
+                entries: vec!["255.0.0.0*4".into(), "0.0.0.0*1".into()],
+                service: None,
+            },
+        ];
+        for worm in worms {
+            let mut spec = base_spec();
+            spec.worm = Some(worm.clone());
+            let built = spec.build().unwrap_or_else(|e| panic!("{worm:?}: {e}"));
+            // The generator must be constructible for an arbitrary host.
+            let _ = built.worm.generator(built.population.locus(0), 0x1234_5678);
+        }
+    }
+
+    #[test]
+    fn detector_placements_build() {
+        let mut spec = base_spec();
+        spec.telescope = TelescopeSpec::Field {
+            placement: PlacementSpec::Prefixes {
+                prefixes: vec!["66.66.0.0/24".into(), "66.66.16.0/24".into()],
+            },
+            alert_threshold: 3,
+            mode: "passive".into(),
+        };
+        let built = spec.build().unwrap();
+        let det = built.detector.unwrap();
+        assert_eq!(det.len(), 2);
+        assert_eq!(det.threshold(), 3);
+        assert_eq!(det.mode(), SensorMode::Passive);
+
+        let mut spec = base_spec();
+        spec.telescope = TelescopeSpec::Field {
+            placement: PlacementSpec::Random {
+                sensors: 10,
+                seed: 9,
+            },
+            alert_threshold: 5,
+            mode: "active".into(),
+        };
+        let det = spec.build().unwrap().detector.unwrap();
+        assert_eq!(det.len(), 10);
+    }
+
+    #[test]
+    fn build_errors_name_fields() {
+        let mut spec = base_spec();
+        spec.study = None;
+        spec.worm = None;
+        let err = match spec.build() {
+            Ok(_) => panic!("wormless engine spec must not build"),
+            Err(e) => e,
+        };
+        assert_eq!(err.field, "worm");
+    }
+}

@@ -1,0 +1,264 @@
+//! The tiny command-line parser shared by the `hotspots` CLI and every
+//! experiment binary.
+//!
+//! Experiment binaries historically scanned `argv` for `--quick` and
+//! silently ignored everything else, so typos like `--quik` ran the
+//! full paper-scale experiment. [`parse_flags`] is strict: unknown
+//! flags are errors, and every binary gets `--help` for free.
+
+use std::fmt;
+
+/// Experiment scale, selected by the `--quick` command-line flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced scale for smoke runs (seconds).
+    Quick,
+    /// Paper scale (may take minutes).
+    Paper,
+}
+
+impl Scale {
+    /// Parses the process arguments strictly: `--quick`/`-q` selects
+    /// [`Scale::Quick`], `--paper` is the explicit default, `--help`/`-h`
+    /// prints usage and exits, anything else is an error (printed to
+    /// stderr; the process exits with status 2).
+    pub fn from_args() -> Scale {
+        let spec = experiment_flags();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let binary = std::env::args().next().unwrap_or_else(|| "binary".into());
+        match parse_flags(&args, &spec) {
+            Ok(parsed) => {
+                if parsed.has("help") {
+                    print!("{}", usage(&binary, &spec, ""));
+                    std::process::exit(0);
+                }
+                if !parsed.positional.is_empty() {
+                    eprintln!(
+                        "error: unexpected argument {:?}\n\n{}",
+                        parsed.positional[0],
+                        usage(&binary, &spec, "")
+                    );
+                    std::process::exit(2);
+                }
+                if parsed.has("quick") {
+                    Scale::Quick
+                } else {
+                    Scale::Paper
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage(&binary, &spec, ""));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Picks `quick` or `paper` by scale.
+    pub fn pick<T>(self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+
+    /// The scale's name as echoed in run reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// One accepted flag.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// Long name without dashes (`"quick"`).
+    pub name: &'static str,
+    /// Optional short form without dash (`"q"`).
+    pub short: Option<&'static str>,
+    /// Whether the flag takes a value (`--report out.jsonl`).
+    pub takes_value: bool,
+    /// One-line help text.
+    pub help: &'static str,
+}
+
+/// The flags every experiment binary accepts.
+pub fn experiment_flags() -> Vec<FlagSpec> {
+    vec![
+        FlagSpec {
+            name: "quick",
+            short: Some("q"),
+            takes_value: false,
+            help: "reduced scale (seconds instead of minutes)",
+        },
+        FlagSpec {
+            name: "paper",
+            short: None,
+            takes_value: false,
+            help: "full paper scale (the default)",
+        },
+        FlagSpec {
+            name: "help",
+            short: Some("h"),
+            takes_value: false,
+            help: "print this help",
+        },
+    ]
+}
+
+/// Parsed command line: positional arguments plus recognized flags.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    /// Non-flag arguments, in order.
+    pub positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl ParsedArgs {
+    /// Whether `name` (long form) was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// The value of `name`, if the flag was given with one.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+}
+
+/// A rejected command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `args` against `spec`. Unknown flags are errors; `--flag=value`
+/// and `--flag value` are both accepted for value-taking flags.
+pub fn parse_flags(args: &[String], spec: &[FlagSpec]) -> Result<ParsedArgs, ArgError> {
+    let mut out = ParsedArgs::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if !arg.starts_with('-') || arg == "-" {
+            out.positional.push(arg.clone());
+            continue;
+        }
+        let (name_part, inline_value) = match arg.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_owned())),
+            None => (arg.as_str(), None),
+        };
+        let flag = spec.iter().find(|f| {
+            name_part.strip_prefix("--") == Some(f.name)
+                || (name_part.len() == 2 && name_part.strip_prefix('-') == f.short)
+        });
+        let Some(flag) = flag else {
+            return Err(ArgError(format!("unrecognized flag {arg:?}")));
+        };
+        let value = if flag.takes_value {
+            match inline_value {
+                Some(v) => Some(v),
+                None => match iter.next() {
+                    Some(v) => Some(v.clone()),
+                    None => {
+                        return Err(ArgError(format!("flag --{} needs a value", flag.name)));
+                    }
+                },
+            }
+        } else {
+            if inline_value.is_some() {
+                return Err(ArgError(format!("flag --{} takes no value", flag.name)));
+            }
+            None
+        };
+        out.flags.push((flag.name.to_owned(), value));
+    }
+    Ok(out)
+}
+
+/// Renders a usage message for `binary` over `spec`. `extra` (possibly
+/// empty) is appended verbatim — subcommand summaries, examples.
+pub fn usage(binary: &str, spec: &[FlagSpec], extra: &str) -> String {
+    let binary = binary.rsplit('/').next().unwrap_or(binary);
+    let mut out = format!("usage: {binary} [flags]\n\nflags:\n");
+    for f in spec {
+        let short = f.short.map(|s| format!("-{s}, ")).unwrap_or_default();
+        let value = if f.takes_value { " <value>" } else { "" };
+        out.push_str(&format!(
+            "  {:<26} {}\n",
+            format!("{short}--{}{value}", f.name),
+            f.help
+        ));
+    }
+    if !extra.is_empty() {
+        out.push('\n');
+        out.push_str(extra);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn known_flags_parse() {
+        let spec = experiment_flags();
+        let p = parse_flags(&args(&["--quick"]), &spec).unwrap();
+        assert!(p.has("quick"));
+        let p = parse_flags(&args(&["-q"]), &spec).unwrap();
+        assert!(p.has("quick"));
+        let p = parse_flags(&args(&[]), &spec).unwrap();
+        assert!(!p.has("quick") && p.positional.is_empty());
+    }
+
+    #[test]
+    fn unknown_flags_are_errors() {
+        let spec = experiment_flags();
+        assert!(parse_flags(&args(&["--quik"]), &spec).is_err());
+        assert!(parse_flags(&args(&["-x"]), &spec).is_err());
+        assert!(parse_flags(&args(&["--quick=yes"]), &spec).is_err());
+    }
+
+    #[test]
+    fn value_flags_accept_both_forms() {
+        let spec = vec![FlagSpec {
+            name: "report",
+            short: None,
+            takes_value: true,
+            help: "",
+        }];
+        let p = parse_flags(&args(&["--report", "out.jsonl"]), &spec).unwrap();
+        assert_eq!(p.value("report"), Some("out.jsonl"));
+        let p = parse_flags(&args(&["--report=out.jsonl"]), &spec).unwrap();
+        assert_eq!(p.value("report"), Some("out.jsonl"));
+        assert!(parse_flags(&args(&["--report"]), &spec).is_err());
+    }
+
+    #[test]
+    fn positionals_pass_through() {
+        let spec = experiment_flags();
+        let p = parse_flags(&args(&["fig2", "--quick"]), &spec).unwrap();
+        assert_eq!(p.positional, vec!["fig2"]);
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let text = usage("fig1_blaster", &experiment_flags(), "");
+        for f in experiment_flags() {
+            assert!(text.contains(f.name), "usage missing --{}", f.name);
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! Named scenario presets: every paper artifact the repository
+//! regenerates, plus the cross-mode determinism scenarios and the bench
+//! workloads, each as a [`ScenarioSpec`] factory.
+//!
+//! A preset is parameterized only by [`Scale`]: `quick` picks the smoke
+//! sizes the experiment binaries use under `--quick`, `paper` the
+//! full-scale parameters. The factories reproduce the binaries'
+//! hard-coded configurations exactly — `hotspots run fig2 --quick` and
+//! `fig2_slammer --quick` emit the same run report because they execute
+//! the same spec.
+
+use crate::cli::Scale;
+use crate::spec::{
+    DetectionParams, EnvSpec, LatencySpec, NatSpec, PopSpec, ScenarioSpec, SimSpec, StudySpec,
+    WormSpec,
+};
+
+/// A named, registered scenario.
+pub struct Preset {
+    /// Registry name (`"fig2"`).
+    pub name: &'static str,
+    /// The dedicated experiment binary (`"fig2_slammer"`), or the
+    /// preset family's runner for cross-mode/bench presets.
+    pub binary: &'static str,
+    /// Banner artifact label (`"FIGURE 2"`).
+    pub artifact: &'static str,
+    /// Scenario label echoed in run reports (`"Figure 2"`).
+    pub scenario: &'static str,
+    /// One-line banner title.
+    pub title: &'static str,
+    /// What in the source paper this maps to (`list --verbose`).
+    pub paper: &'static str,
+    /// Grouping: `"figure"`, `"table"`, `"analysis"`, `"cross-mode"`,
+    /// `"bench"`.
+    pub family: &'static str,
+    spec_fn: fn(Scale) -> ScenarioSpec,
+}
+
+impl Preset {
+    /// Instantiates the preset's spec at `scale`, with `meta` filled
+    /// from the registry entry.
+    pub fn spec(&self, scale: Scale) -> ScenarioSpec {
+        let mut spec = (self.spec_fn)(scale);
+        spec.meta.name = self.name.to_owned();
+        spec.meta.scenario = Some(self.scenario.to_owned());
+        spec.meta.artifact = Some(self.artifact.to_owned());
+        spec.meta.title = Some(self.title.to_owned());
+        spec.meta.scale = Some(scale.label().to_owned());
+        spec
+    }
+}
+
+impl std::fmt::Debug for Preset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Preset")
+            .field("name", &self.name)
+            .field("binary", &self.binary)
+            .field("family", &self.family)
+            .finish()
+    }
+}
+
+/// All registered presets, in display order.
+pub fn presets() -> &'static [Preset] {
+    &PRESETS
+}
+
+/// Looks up a preset by registry name.
+pub fn find_preset(name: &str) -> Option<&'static Preset> {
+    PRESETS.iter().find(|p| p.name == name)
+}
+
+fn named_study(study: StudySpec) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named("");
+    spec.study = Some(study);
+    spec
+}
+
+fn dense_engine(worm: WormSpec, count: u64, sim: SimSpec) -> ScenarioSpec {
+    engine_spec(
+        worm,
+        PopSpec::Range {
+            base: "11.11.0.0".to_owned(),
+            count,
+            stride: 1,
+        },
+        EnvSpec::default(),
+        sim,
+    )
+}
+
+fn engine_spec(
+    worm: WormSpec,
+    population: PopSpec,
+    environment: EnvSpec,
+    sim: SimSpec,
+) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named("");
+    spec.worm = Some(worm);
+    spec.population = Some(population);
+    spec.environment = environment;
+    spec.sim = sim;
+    spec
+}
+
+fn xmode_hitlist_worm() -> WormSpec {
+    WormSpec::HitList {
+        prefixes: vec!["11.11.0.0/16".to_owned()],
+        service: None,
+    }
+}
+
+fn fig5_detection(scale: Scale, max_time_quick: f64, max_time_paper: f64) -> DetectionParams {
+    DetectionParams {
+        population: scale.pick(10_000, 134_586),
+        slash8s: 47,
+        paper_profile: scale.pick(false, true),
+        seeds: 25,
+        scan_rate: 10.0,
+        alert_threshold: 5,
+        max_time: scale.pick(max_time_quick, max_time_paper),
+        stop_at_fraction: 0.95,
+        rng_seed: 0xf15_2006,
+    }
+}
+
+fn fig5_sizes() -> Vec<Option<u64>> {
+    vec![Some(10), Some(100), Some(1000), None]
+}
+
+static PRESETS: [Preset; 19] = [
+    Preset {
+        name: "fig1",
+        binary: "fig1_blaster",
+        artifact: "FIGURE 1",
+        scenario: "Figure 1",
+        title: "Blaster unique sources by destination /24 (boot-time seeding)",
+        paper: "Figure 1: Blaster hotspots from boot-time PRNG seeding (§3.1)",
+        family: "figure",
+        spec_fn: |scale| {
+            named_study(StudySpec::BlasterCoverage {
+                hosts: scale.pick(5_000, 60_000),
+                window_secs: scale.pick(7.0, 30.0) * 24.0 * 3600.0,
+                scan_rate: 11.0,
+                reboot_fraction: 0.5,
+                rng_seed: 0xb1a5_7e12,
+            })
+        },
+    },
+    Preset {
+        name: "fig2",
+        binary: "fig2_slammer",
+        artifact: "FIGURE 2",
+        scenario: "Figure 2",
+        title: "Slammer unique sources by destination /24 (flawed LCG cycles)",
+        paper: "Figure 2: Slammer per-/24 bias from the broken LCG (§3.2)",
+        family: "figure",
+        spec_fn: |scale| {
+            named_study(StudySpec::SlammerCoverage {
+                hosts: scale.pick(20_000, 75_000),
+                m_block_filter: true,
+                rng_seed: 0x51a3_3e12,
+            })
+        },
+    },
+    Preset {
+        name: "fig3",
+        binary: "fig3_slammer_hosts",
+        artifact: "FIGURE 3",
+        scenario: "Figure 3",
+        title: "per-host Slammer scanning bias and the LCG cycle periods",
+        paper: "Figure 3: two Slammer hosts' footprints + cycle periods (§3.2)",
+        family: "figure",
+        spec_fn: |scale| {
+            named_study(StudySpec::SlammerHosts {
+                probes_per_host: scale.pick(200_000, 20_000_000),
+            })
+        },
+    },
+    Preset {
+        name: "fig4",
+        binary: "fig4_codered_nat",
+        artifact: "FIGURE 4",
+        scenario: "Figure 4",
+        title: "CodeRedII × NAT topology: the 192/8 hotspot",
+        paper: "Figure 4: CodeRedII 192/8 spike from NATted local preference (§3.3)",
+        family: "figure",
+        spec_fn: |scale| {
+            named_study(StudySpec::CodeRedNat {
+                hosts: scale.pick(3_000, 12_000),
+                probes_per_host: scale.pick(8_000, 20_000),
+                nat_fraction: 0.15,
+                rng_seed: 0xc0de_4ed2,
+                quarantine_probes_public: scale.pick(500_000, 7_567_093),
+                quarantine_probes_natted: scale.pick(500_000, 7_567_361),
+                quarantine_seed: 4,
+            })
+        },
+    },
+    Preset {
+        name: "fig5a",
+        binary: "fig5a_hitlist_infection",
+        artifact: "FIGURE 5(a)",
+        scenario: "Figure 5(a)",
+        title: "infection rate vs time for 4 hit-list sizes",
+        paper: "Figure 5(a): hit-list size vs infection speed (§4)",
+        family: "figure",
+        spec_fn: |scale| {
+            named_study(StudySpec::HitListInfection {
+                detection: fig5_detection(scale, 4_000.0, 20_000.0),
+                sizes: fig5_sizes(),
+            })
+        },
+    },
+    Preset {
+        name: "fig5b",
+        binary: "fig5b_hitlist_detection",
+        artifact: "FIGURE 5(b)",
+        scenario: "Figure 5(b)",
+        title: "sensor detection rate vs time for 4 hit-list sizes",
+        paper: "Figure 5(b): hit-list size vs sensor alert rate (§4)",
+        family: "figure",
+        spec_fn: |scale| {
+            named_study(StudySpec::HitListDetection {
+                detection: fig5_detection(scale, 4_000.0, 20_000.0),
+                sizes: fig5_sizes(),
+            })
+        },
+    },
+    Preset {
+        name: "fig5c",
+        binary: "fig5c_nat_detection",
+        artifact: "FIGURE 5(c)",
+        scenario: "Figure 5(c)",
+        title: "sensor placement vs the NAT-driven 192/8 hotspot",
+        paper: "Figure 5(c): sensor placement vs the NAT hotspot (§4)",
+        family: "figure",
+        spec_fn: |scale| {
+            named_study(StudySpec::NatDetection {
+                detection: fig5_detection(scale, 3_000.0, 12_000.0),
+                nat_fraction: 0.15,
+                sensors: scale.pick(1_000, 10_000),
+                top_k_slash8s: 20,
+            })
+        },
+    },
+    Preset {
+        name: "table1",
+        binary: "table1_bot_commands",
+        artifact: "TABLE 1",
+        scenario: "Table 1",
+        title: "botnet scan commands and their hit-lists",
+        paper: "Table 1: captured bot propagation commands and hit-lists (§3.4)",
+        family: "table",
+        spec_fn: |scale| {
+            named_study(StudySpec::BotCommands {
+                synthetic_commands: scale.pick(40, 400),
+                corpus_seed: 0x7ab1e,
+                drone: "141.20.33.7".to_owned(),
+            })
+        },
+    },
+    Preset {
+        name: "table2",
+        binary: "table2_filtering",
+        artifact: "TABLE 2",
+        scenario: "Table 2",
+        title: "enterprise egress filtering hides infections from the telescope",
+        paper: "Table 2: enterprise vs ISP filtering and observed sources (§3.5)",
+        family: "table",
+        spec_fn: |scale| {
+            named_study(StudySpec::Filtering {
+                infected_per_enterprise: scale.pick(100, 800),
+                infected_per_isp: scale.pick(1_000, 20_000),
+                probes_per_host: scale.pick(4_000, 12_000),
+                blaster_scan_len: (30.0 * 24.0 * 3600.0 * 11.0) as u64,
+                rng_seed: 0x7ab1e2,
+            })
+        },
+    },
+    Preset {
+        name: "ablations",
+        binary: "ablations",
+        artifact: "ABLATIONS",
+        scenario: "design-decision ablations",
+        title: "design-decision ablations",
+        paper: "beyond the paper: NAT topology, sensor mode, reboot fraction (DESIGN.md §5)",
+        family: "analysis",
+        spec_fn: |scale| {
+            named_study(StudySpec::Ablations {
+                nat_population: scale.pick(5_000, 40_000),
+                nat_max_time: scale.pick(2_500.0, 6_000.0),
+                sensor_hosts: scale.pick(800, 3_000),
+                sensor_max_time: scale.pick(1_500.0, 3_000.0),
+                reboot_hosts: scale.pick(3_000, 20_000),
+            })
+        },
+    },
+    Preset {
+        name: "sensitivity",
+        binary: "sensitivity",
+        artifact: "SENSITIVITY",
+        scenario: "placement sensitivity",
+        title: "case studies over randomized sensor placements",
+        paper: "beyond the paper: conclusions under randomized telescope placement (DESIGN.md §2)",
+        family: "analysis",
+        spec_fn: |scale| {
+            named_study(StudySpec::Sensitivity {
+                trials: scale.pick(3, 8),
+                codered_hosts: scale.pick(1_200, 6_000),
+                codered_probes_per_host: scale.pick(8_000, 15_000),
+                slammer_hosts: scale.pick(10_000, 40_000),
+                rng_seed: 0x5ee0,
+            })
+        },
+    },
+    Preset {
+        name: "xmode-uniform",
+        binary: "hotspots",
+        artifact: "CROSS-MODE",
+        scenario: "xmode-uniform",
+        title: "uniform worm, dense /16 population",
+        paper: "determinism harness: uniform scanning (no paper artifact)",
+        family: "cross-mode",
+        spec_fn: |_| {
+            dense_engine(
+                WormSpec::Uniform,
+                200,
+                SimSpec {
+                    scan_rate: 40.0,
+                    seeds: 8,
+                    max_time: 40.0,
+                    rng_seed: 11,
+                    ..SimSpec::default()
+                },
+            )
+        },
+    },
+    Preset {
+        name: "xmode-blaster",
+        binary: "hotspots",
+        artifact: "CROSS-MODE",
+        scenario: "xmode-blaster",
+        title: "Blaster reboot seeding under 20% loss",
+        paper: "determinism harness: sequential scanning + loss (no paper artifact)",
+        family: "cross-mode",
+        spec_fn: |_| {
+            let mut spec = dense_engine(
+                WormSpec::Blaster {
+                    hardware: "pentium-iv".to_owned(),
+                    model: "reboot".to_owned(),
+                },
+                150,
+                SimSpec {
+                    scan_rate: 25.0,
+                    seeds: 6,
+                    max_time: 60.0,
+                    rng_seed: 12,
+                    ..SimSpec::default()
+                },
+            );
+            spec.environment.loss = Some(0.2);
+            spec
+        },
+    },
+    Preset {
+        name: "xmode-slammer",
+        binary: "hotspots",
+        artifact: "CROSS-MODE",
+        scenario: "xmode-slammer",
+        title: "Slammer LCG walk with rate dispersion under 10% loss",
+        paper: "determinism harness: LCG scanning + rate dispersion (no paper artifact)",
+        family: "cross-mode",
+        spec_fn: |_| {
+            let mut spec = dense_engine(
+                WormSpec::Slammer,
+                300,
+                SimSpec {
+                    scan_rate: 30.0,
+                    scan_rate_sigma: 1.0,
+                    seeds: 10,
+                    max_time: 50.0,
+                    rng_seed: 13,
+                    ..SimSpec::default()
+                },
+            );
+            spec.environment.loss = Some(0.1);
+            spec
+        },
+    },
+    Preset {
+        name: "xmode-codered2-nat",
+        binary: "hotspots",
+        artifact: "CROSS-MODE",
+        scenario: "xmode-codered2-nat",
+        title: "CodeRedII local preference over a half-NATted population",
+        paper: "determinism harness: local preference + NAT realms (no paper artifact)",
+        family: "cross-mode",
+        spec_fn: |_| {
+            let mut spec = engine_spec(
+                WormSpec::CodeRed2,
+                PopSpec::Range {
+                    base: "11.11.0.0".to_owned(),
+                    count: 250,
+                    stride: 3,
+                },
+                EnvSpec::default(),
+                SimSpec {
+                    scan_rate: 60.0,
+                    seeds: 6,
+                    max_time: 120.0,
+                    stop_at_fraction: Some(0.9),
+                    rng_seed: 14,
+                    ..SimSpec::default()
+                },
+            );
+            spec.environment.nat = Some(NatSpec {
+                fraction: 0.5,
+                topology: "isolated".to_owned(),
+                seed: 7,
+            });
+            spec
+        },
+    },
+    Preset {
+        name: "xmode-hitlist",
+        binary: "hotspots",
+        artifact: "CROSS-MODE",
+        scenario: "xmode-hitlist",
+        title: "hit-list worm over a dense /16",
+        paper: "determinism harness: hit-list targeting + early stop (no paper artifact)",
+        family: "cross-mode",
+        spec_fn: |_| {
+            dense_engine(
+                xmode_hitlist_worm(),
+                400,
+                SimSpec {
+                    scan_rate: 10.0,
+                    seeds: 5,
+                    max_time: 600.0,
+                    stop_at_fraction: Some(0.95),
+                    rng_seed: 15,
+                    ..SimSpec::default()
+                },
+            )
+        },
+    },
+    Preset {
+        name: "xmode-hitlist-latency",
+        binary: "hotspots",
+        artifact: "CROSS-MODE",
+        scenario: "xmode-hitlist-latency",
+        title: "hit-list worm under latency, loss, dispersion, and removal",
+        paper: "determinism harness: the heaviest engine configuration (no paper artifact)",
+        family: "cross-mode",
+        spec_fn: |_| {
+            let mut spec = dense_engine(
+                xmode_hitlist_worm(),
+                300,
+                SimSpec {
+                    scan_rate: 12.0,
+                    scan_rate_sigma: 0.6,
+                    seeds: 6,
+                    max_time: 500.0,
+                    removal_rate: 0.004,
+                    rng_seed: 16,
+                    ..SimSpec::default()
+                },
+            );
+            spec.environment.latency = Some(LatencySpec {
+                base_secs: 0.5,
+                jitter_secs: 2.0,
+            });
+            spec.environment.loss = Some(0.1);
+            spec
+        },
+    },
+    Preset {
+        name: "bench-hitlist",
+        binary: "hotspots",
+        artifact: "BENCH",
+        scenario: "bench-hitlist",
+        title: "hit-list outbreak, 5k hosts / 100 s (Criterion workload)",
+        paper: "engine throughput workload (BENCH_engine.json; no paper artifact)",
+        family: "bench",
+        spec_fn: |scale| {
+            engine_spec(
+                WormSpec::HitList {
+                    prefixes: vec!["11.0.0.0/12".to_owned()],
+                    service: None,
+                },
+                PopSpec::Range {
+                    base: "11.0.0.0".to_owned(),
+                    count: 5_000,
+                    stride: 37,
+                },
+                EnvSpec::default(),
+                SimSpec {
+                    scan_rate: 10.0,
+                    seeds: 25,
+                    max_time: scale.pick(25.0, 100.0),
+                    rng_seed: 1,
+                    ..SimSpec::default()
+                },
+            )
+        },
+    },
+    Preset {
+        name: "bench-slammer",
+        binary: "hotspots",
+        artifact: "BENCH",
+        scenario: "bench-slammer",
+        title: "Slammer probe-pipeline throughput, 5k hosts (timed run)",
+        paper: "engine throughput workload (BENCH_engine.json; no paper artifact)",
+        family: "bench",
+        spec_fn: |scale| {
+            engine_spec(
+                WormSpec::Slammer,
+                PopSpec::Range {
+                    base: "11.0.0.0".to_owned(),
+                    count: 5_000,
+                    stride: 37,
+                },
+                EnvSpec::default(),
+                SimSpec {
+                    scan_rate: scale.pick(200.0, 2_000.0),
+                    seeds: 25,
+                    max_time: scale.pick(60.0, 300.0),
+                    rng_seed: 7,
+                    ..SimSpec::default()
+                },
+            )
+        },
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = presets().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), presets().len());
+    }
+
+    #[test]
+    fn every_preset_validates_at_both_scales() {
+        for preset in presets() {
+            for scale in [Scale::Quick, Scale::Paper] {
+                let spec = preset.spec(scale);
+                spec.validate()
+                    .unwrap_or_else(|e| panic!("{} @ {:?}: {e}", preset.name, scale));
+            }
+        }
+    }
+
+    #[test]
+    fn every_preset_round_trips_through_toml() {
+        for preset in presets() {
+            let spec = preset.spec(Scale::Quick);
+            let toml = spec.to_toml();
+            let back = ScenarioSpec::from_toml(&toml)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{toml}", preset.name));
+            assert_eq!(spec, back, "{} TOML round-trip", preset.name);
+        }
+    }
+
+    #[test]
+    fn engine_presets_build() {
+        for preset in presets() {
+            let spec = preset.spec(Scale::Quick);
+            if spec.study.is_none() {
+                spec.build()
+                    .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+            }
+        }
+    }
+
+    #[test]
+    fn find_preset_resolves_names() {
+        assert!(find_preset("fig2").is_some());
+        assert!(find_preset("xmode-slammer").is_some());
+        assert!(find_preset("nope").is_none());
+    }
+}

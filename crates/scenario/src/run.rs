@@ -1,0 +1,1040 @@
+//! Executing a [`ScenarioSpec`]: one entry point shared by the
+//! `hotspots` CLI, the experiment binaries, and the test suites.
+//!
+//! [`run_spec`] performs the scenario's computation and folds its
+//! accounting into a telemetry [`ReportBuilder`] in a fixed order, so a
+//! spec produces the *same* run report no matter which front-end runs
+//! it. Rendering (tables, bar charts, curves) is separate: the returned
+//! [`Outcome`] carries the raw results for the presentation layer in
+//! `hotspots-experiments`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use hotspots::scenarios::blaster::{sources_by_block, BlasterStudy};
+use hotspots::scenarios::codered::{quarantine_run, sources_by_block_accounted, CodeRedStudy};
+use hotspots::scenarios::detection::{
+    hitlist_runs, nat_run, nat_run_with_topology, DetectionStudy, HitListRun, NatRun, NatTopology,
+    Placement,
+};
+use hotspots::scenarios::filtering::{table2_with_accounting, FilteringStudy, Table2Row};
+use hotspots::scenarios::slammer::{
+    block_cycle_length_sums, host_histogram, sources_by_block_with, unique_sources_per_block,
+    SlammerStudy,
+};
+use hotspots::scenarios::CoverageRow;
+use hotspots::HotspotReport;
+use hotspots_botnet::corpus;
+use hotspots_ipspace::{ims_deployment, random_ims_deployment, AddressBlock, Bucket24, Ip, Prefix};
+use hotspots_netmodel::{DeliveryLedger, Environment, Service};
+use hotspots_prng::cycles::AffineMap;
+use hotspots_prng::SqlsortDll;
+use hotspots_sim::{
+    fold_ledger, Engine, FieldObserver, HitListWorm, NullObserver, Population, SimConfig, SimResult,
+};
+use hotspots_stats::CountHistogram;
+use hotspots_targeting::HitList;
+use hotspots_telemetry::ReportBuilder;
+use hotspots_telescope::{DetectorField, SensorMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{parse_ip, DetectionParams, ScenarioSpec, SpecError, StudySpec};
+
+/// Front-end context for a run: the binary name stamped into the run
+/// report and an optional worker-thread override.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    /// The `binary` field of the emitted run report.
+    pub binary: String,
+    /// Worker threads: overrides `sim.threads` on the engine path and
+    /// the sweep pool size on the study path. `None` = the spec's value
+    /// (engine) / all cores (sweeps).
+    pub threads: Option<usize>,
+}
+
+impl RunContext {
+    /// A context emitting under `binary` with default threading.
+    pub fn new(binary: impl Into<String>) -> RunContext {
+        RunContext {
+            binary: binary.into(),
+            threads: None,
+        }
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> RunContext {
+        self.threads = Some(threads);
+        self
+    }
+}
+
+/// One executed scenario: the accumulated report (finish with
+/// [`ReportBuilder::emit`]) plus the raw results for rendering.
+pub struct ScenarioRun {
+    /// The run report, fully folded; not yet emitted.
+    pub report: ReportBuilder,
+    /// The scenario's results.
+    pub outcome: Outcome,
+}
+
+/// A single host's probe trace for the Figure 3 study.
+pub struct SlammerHostTrace {
+    /// Display name (`"Host A"`).
+    pub name: &'static str,
+    /// The host's `sqlsort.dll` variant.
+    pub dll: SqlsortDll,
+    /// The host's LCG seed.
+    pub seed: u32,
+    /// The period of the cycle the seed sits on.
+    pub cycle_len: u64,
+    /// Telescope hits per /24.
+    pub hist: CountHistogram<Bucket24>,
+}
+
+/// One quarantined-host trace for the Figure 4 study.
+pub struct QuarantineTrace {
+    /// Row label (`"4(b) public 57.20.3.9"`).
+    pub label: String,
+    /// Probes drawn.
+    pub probes: u64,
+    /// Telescope hits per /24.
+    pub hist: CountHistogram<Bucket24>,
+}
+
+/// One engine run of the sensor-mode ablation.
+pub struct SensorModeRun {
+    /// Worm transport label (`"TCP worm (CodeRed-style)"`).
+    pub transport: String,
+    /// Sensor mode under test.
+    pub mode: SensorMode,
+    /// Sensors that alerted.
+    pub alerted: usize,
+    /// Total sensors.
+    pub sensors: usize,
+}
+
+/// One randomized-deployment CodeRedII trial of the sensitivity study.
+pub struct CodeRedTrial {
+    /// Trial index.
+    pub trial: u64,
+    /// The randomized deployment.
+    pub blocks: Vec<AddressBlock>,
+    /// Infected host count.
+    pub hosts: usize,
+    /// Per-prefix unique sources.
+    pub rows: Vec<CoverageRow>,
+}
+
+/// One randomized-deployment Slammer trial of the sensitivity study.
+pub struct SlammerTrial {
+    /// Trial index.
+    pub trial: u64,
+    /// The randomized deployment.
+    pub blocks: Vec<AddressBlock>,
+    /// Per-prefix unique sources.
+    pub rows: Vec<CoverageRow>,
+}
+
+/// The raw results of a scenario, for the presentation layer.
+pub enum Outcome {
+    /// An engine-path run: one outbreak.
+    Engine {
+        /// The engine's result.
+        result: Box<SimResult>,
+        /// The detector field after the run, if the spec deployed one.
+        field: Option<DetectorField>,
+    },
+    /// Figure 1.
+    BlasterCoverage {
+        /// The study configuration.
+        study: BlasterStudy,
+        /// Per-prefix unique sources.
+        rows: Vec<CoverageRow>,
+    },
+    /// Figure 2.
+    SlammerCoverage {
+        /// The study configuration.
+        study: SlammerStudy,
+        /// Per-prefix unique sources.
+        rows: Vec<CoverageRow>,
+        /// Per-block unique source totals.
+        unique: Vec<(String, u64)>,
+        /// The paper's D/H/I cycle-length comparison.
+        cycle_sums: Vec<(String, f64)>,
+    },
+    /// Figure 3.
+    SlammerHosts {
+        /// Probes drawn per host.
+        probes: u64,
+        /// The two hosts' traces.
+        hosts: Vec<SlammerHostTrace>,
+    },
+    /// Figure 4.
+    CodeRedNat {
+        /// The study configuration.
+        study: CodeRedStudy,
+        /// Per-prefix unique sources (mixed population).
+        rows: Vec<CoverageRow>,
+        /// The 4(b)/4(c) quarantine traces.
+        quarantines: Vec<QuarantineTrace>,
+    },
+    /// Figure 5(a).
+    HitListInfection {
+        /// The study configuration.
+        study: DetectionStudy,
+        /// One run per hit-list size.
+        runs: Vec<HitListRun>,
+    },
+    /// Figure 5(b).
+    HitListDetection {
+        /// The study configuration.
+        study: DetectionStudy,
+        /// One run per hit-list size.
+        runs: Vec<HitListRun>,
+    },
+    /// Figure 5(c).
+    NatDetection {
+        /// The study configuration.
+        study: DetectionStudy,
+        /// Fraction of hosts behind NAT.
+        nat_fraction: f64,
+        /// One run per placement.
+        runs: Vec<NatRun>,
+    },
+    /// Table 1.
+    BotCommands {
+        /// The observing drone's address.
+        drone: Ip,
+        /// The paper's verbatim commands: (command, range, addresses).
+        paper: Vec<(String, String, u64)>,
+        /// The synthetic capture's report rows.
+        synthetic: Vec<(String, String, u64)>,
+        /// Synthetic commands generated.
+        synthetic_commands: u64,
+        /// Commands restricting propagation below full IPv4.
+        restricted: u64,
+    },
+    /// Table 2.
+    Filtering {
+        /// The study configuration.
+        study: FilteringStudy,
+        /// The table rows.
+        rows: Vec<Table2Row>,
+    },
+    /// The ablation suite.
+    Ablations {
+        /// NAT-topology runs, in `[Shared, Isolated]` order.
+        nat: Vec<(NatTopology, NatRun)>,
+        /// Sensor-mode engine runs.
+        sensor: Vec<SensorModeRun>,
+        /// Reboot-fraction sweep: (fraction, hotspot score).
+        reboot: Vec<(f64, HotspotReport)>,
+    },
+    /// The placement-sensitivity sweep.
+    Sensitivity {
+        /// CodeRedII trials.
+        codered: Vec<CodeRedTrial>,
+        /// Slammer trials.
+        slammer: Vec<SlammerTrial>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Report folds (moved here from hotspots-experiments so every front-end
+// shares one accounting path)
+// ---------------------------------------------------------------------------
+
+/// Folds one sweep run's accounting into a report: its delivery ledger,
+/// the population it ran over, its infection count, and its simulated
+/// seconds — the fold every sweep repeats per run.
+pub fn fold_run(
+    report: &mut ReportBuilder,
+    ledger: &DeliveryLedger,
+    population: u64,
+    infections: u64,
+    sim_seconds: f64,
+) {
+    fold_ledger(report, ledger);
+    report
+        .add_population(population)
+        .add_infections(infections)
+        .add_sim_seconds(sim_seconds);
+}
+
+/// Folds an engine [`SimResult`] into a report: probe accounting,
+/// population, infections, simulated time, and — when this crate's
+/// `telemetry` feature is on — the engine's per-phase timings and step
+/// peak.
+pub fn fold_sim_result(report: &mut ReportBuilder, result: &SimResult) {
+    fold_ledger(report, &result.ledger);
+    report
+        .add_population(result.population as u64)
+        .add_infections(result.infected as u64)
+        .add_sim_seconds(result.elapsed);
+    #[cfg(feature = "telemetry")]
+    {
+        for (name, total, _) in result.telemetry.phases.iter() {
+            report.add_phase_seconds(name, total.as_secs_f64());
+        }
+        report.peak_step_seconds(result.telemetry.peak_step_seconds);
+    }
+}
+
+/// Runs a set of independent experiment configurations across threads,
+/// returning results in input order.
+///
+/// Each input is handed to the job exactly once, workers pull from a
+/// shared queue, and results land in their input's slot — so the output
+/// is deterministic (input order) no matter how the OS schedules the
+/// workers. Jobs must be independently seeded (as every sweep behind
+/// [`run_spec`] is); `RunSet` adds no randomness of its own.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSet {
+    threads: usize,
+}
+
+impl Default for RunSet {
+    fn default() -> RunSet {
+        RunSet::new()
+    }
+}
+
+impl RunSet {
+    /// A run set using all available cores.
+    pub fn new() -> RunSet {
+        RunSet {
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        }
+    }
+
+    /// A run set with an explicit worker count (at least 1).
+    pub fn with_threads(threads: usize) -> RunSet {
+        RunSet {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `job` over every input, in parallel, returning the results
+    /// in input order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job after all workers finish.
+    pub fn run<I, R, F>(&self, inputs: Vec<I>, job: F) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        let n = inputs.len();
+        if self.threads <= 1 || n <= 1 {
+            return inputs.into_iter().map(job).collect();
+        }
+        let slots: Vec<Mutex<Option<I>>> =
+            inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(n) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let input = slots[idx]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("input taken once");
+                    let out = job(input);
+                    *results[idx].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job completed")
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------------
+
+/// Executes a validated spec, folding its accounting into a fresh
+/// report. The report's `binary` comes from `ctx`; its `scenario` is
+/// `meta.scenario` (default: `meta.name`); `meta.scale`, when present,
+/// is echoed as the first config entry — matching the experiment
+/// binaries' reports field for field.
+pub fn run_spec(spec: &ScenarioSpec, ctx: &RunContext) -> Result<ScenarioRun, SpecError> {
+    spec.validate()?;
+    let scenario = spec.meta.scenario.as_deref().unwrap_or(&spec.meta.name);
+    let mut report = ReportBuilder::new(&ctx.binary, scenario);
+    if let Some(scale) = &spec.meta.scale {
+        report.config("scale", scale);
+    }
+    let runset = match ctx.threads {
+        Some(t) => RunSet::with_threads(t),
+        None => RunSet::new(),
+    };
+    let outcome = match &spec.study {
+        None => run_engine(spec, ctx, &mut report)?,
+        Some(study) => run_study(study, &runset, &mut report)?,
+    };
+    Ok(ScenarioRun { report, outcome })
+}
+
+fn run_engine(
+    spec: &ScenarioSpec,
+    ctx: &RunContext,
+    report: &mut ReportBuilder,
+) -> Result<Outcome, SpecError> {
+    let mut built = spec.build()?;
+    if let Some(threads) = ctx.threads {
+        built.config.threads = threads;
+    }
+    report
+        .config("worm", built.worm.name())
+        .config("hosts", built.population.len())
+        .config("scan_rate", built.config.scan_rate)
+        .config("seeds", built.config.seeds)
+        .config("max_time", built.config.max_time)
+        .config("rng_seed", built.config.rng_seed);
+    if let Some(det) = &built.detector {
+        report.config("sensors", det.len());
+    }
+    let service = built.worm.service();
+    let mut engine = Engine::new(
+        built.config,
+        built.population,
+        built.environment,
+        built.worm,
+    );
+    let (result, field) = match built.detector {
+        Some(field) => {
+            let mut observer = FieldObserver::with_service(field, service);
+            let result = engine.run(&mut observer);
+            (result, Some(observer.into_field()))
+        }
+        None => (engine.run(&mut NullObserver), None),
+    };
+    fold_sim_result(report, &result);
+    Ok(Outcome::Engine {
+        result: Box::new(result),
+        field,
+    })
+}
+
+fn detection_study(params: &DetectionParams) -> DetectionStudy {
+    DetectionStudy {
+        population: params.population as usize,
+        slash8s: params.slash8s as usize,
+        paper_profile: params.paper_profile,
+        seeds: params.seeds as usize,
+        scan_rate: params.scan_rate,
+        alert_threshold: params.alert_threshold,
+        max_time: params.max_time,
+        stop_at_fraction: params.stop_at_fraction,
+        rng_seed: params.rng_seed,
+    }
+}
+
+fn run_study(
+    study: &StudySpec,
+    runset: &RunSet,
+    out: &mut ReportBuilder,
+) -> Result<Outcome, SpecError> {
+    match study {
+        StudySpec::BlasterCoverage {
+            hosts,
+            window_secs,
+            scan_rate,
+            reboot_fraction,
+            rng_seed,
+        } => {
+            let study = BlasterStudy {
+                hosts: *hosts as usize,
+                window_secs: *window_secs,
+                scan_rate: *scan_rate,
+                reboot_fraction: *reboot_fraction,
+                rng_seed: *rng_seed,
+            };
+            // interval-coverage study: closed form, nothing routed
+            out.config("hosts", study.hosts)
+                .config("window_days", study.window_secs / 86_400.0)
+                .config("reboot_fraction", study.reboot_fraction)
+                .add_population(study.hosts as u64)
+                .add_sim_seconds(study.window_secs);
+            let rows = sources_by_block(&study);
+            Ok(Outcome::BlasterCoverage { study, rows })
+        }
+        StudySpec::SlammerCoverage {
+            hosts,
+            m_block_filter,
+            rng_seed,
+        } => {
+            let mut study = SlammerStudy {
+                hosts: *hosts as usize,
+                rng_seed: *rng_seed,
+                ..SlammerStudy::default()
+            };
+            if *m_block_filter {
+                study = study.with_m_block_filter();
+            }
+            // cycle-exact closed form: per-block coverage comes from the
+            // LCG cycle structure, no probes are routed
+            out.config("hosts", study.hosts)
+                .config("m_block_filter", m_block_filter)
+                .add_population(study.hosts as u64);
+            let blocks = ims_deployment();
+            let rows = sources_by_block_with(&study, &blocks);
+            let unique = unique_sources_per_block(&study, &blocks);
+            let dhi: Vec<AddressBlock> = blocks
+                .iter()
+                .filter(|b| ["D", "H", "I"].contains(&b.label()))
+                .cloned()
+                .collect();
+            let cycle_sums = block_cycle_length_sums(&dhi);
+            Ok(Outcome::SlammerCoverage {
+                study,
+                rows,
+                unique,
+                cycle_sums,
+            })
+        }
+        StudySpec::SlammerHosts { probes_per_host } => {
+            let probes = *probes_per_host;
+            // raw scanner walks against the telescope index — no
+            // environment, so nothing enters the delivery accounting
+            out.config("probes_per_host", probes).add_population(2);
+            let blocks = ims_deployment();
+            // Host A: a seed on I's cycle; Host B: on the Z-block cycle —
+            // the paper's pair of extreme per-host footprints.
+            let host_a_seed = Ip::from_octets(199, 77, 10, 1).to_le_state();
+            let host_b_seed = Ip::from_octets(96, 50, 60, 70).to_le_state();
+            let hosts = [
+                ("Host A", SqlsortDll::Sp2, host_a_seed),
+                ("Host B", SqlsortDll::Gold, host_b_seed),
+            ]
+            .into_iter()
+            .map(|(name, dll, seed)| {
+                let cycle_len = AffineMap::slammer(dll)
+                    .cycle_length(seed)
+                    .expect("fixed point exists");
+                SlammerHostTrace {
+                    name,
+                    dll,
+                    seed,
+                    cycle_len,
+                    hist: host_histogram(dll, seed, probes, &blocks),
+                }
+            })
+            .collect();
+            Ok(Outcome::SlammerHosts { probes, hosts })
+        }
+        StudySpec::CodeRedNat {
+            hosts,
+            probes_per_host,
+            nat_fraction,
+            rng_seed,
+            quarantine_probes_public,
+            quarantine_probes_natted,
+            quarantine_seed,
+        } => {
+            let study = CodeRedStudy {
+                hosts: *hosts as usize,
+                nat_fraction: *nat_fraction,
+                probes_per_host: *probes_per_host,
+                rng_seed: *rng_seed,
+            };
+            out.config("hosts", study.hosts)
+                .config("probes_per_host", study.probes_per_host)
+                .config("nat_fraction", study.nat_fraction)
+                .add_population(study.hosts as u64);
+            let blocks = ims_deployment();
+            let (rows, ledger) = sources_by_block_accounted(&study, &blocks);
+            fold_ledger(out, &ledger);
+            // the quarantine runs scan straight into the telescope index
+            // (no environment), so only the mixed run's probes are ledgered
+            let quarantines = vec![
+                QuarantineTrace {
+                    label: "4(b) public 57.20.3.9".to_owned(),
+                    probes: *quarantine_probes_public,
+                    hist: quarantine_run(
+                        Ip::from_octets(57, 20, 3, 9),
+                        *quarantine_probes_public,
+                        &blocks,
+                        *quarantine_seed,
+                    ),
+                },
+                QuarantineTrace {
+                    label: "4(c) NATed 192.168.0.100".to_owned(),
+                    probes: *quarantine_probes_natted,
+                    hist: quarantine_run(
+                        Ip::from_octets(192, 168, 0, 100),
+                        *quarantine_probes_natted,
+                        &blocks,
+                        *quarantine_seed,
+                    ),
+                },
+            ];
+            Ok(Outcome::CodeRedNat {
+                study,
+                rows,
+                quarantines,
+            })
+        }
+        StudySpec::HitListInfection { detection, sizes } => {
+            let study = detection_study(detection);
+            let runs = hitlist_sweep(&study, sizes, runset);
+            out.config("population", study.population_size())
+                .config("seeds", study.seeds)
+                .config("scan_rate", study.scan_rate)
+                .config("hit_list_sizes", size_labels(sizes));
+            for run in &runs {
+                fold_run(
+                    out,
+                    &run.ledger,
+                    study.population_size() as u64,
+                    run.infected_hosts,
+                    run.sim_seconds,
+                );
+            }
+            Ok(Outcome::HitListInfection { study, runs })
+        }
+        StudySpec::HitListDetection { detection, sizes } => {
+            let study = detection_study(detection);
+            let runs = hitlist_sweep(&study, sizes, runset);
+            out.config("population", study.population_size())
+                .config("alert_threshold", study.alert_threshold)
+                .config("hit_list_sizes", size_labels(sizes));
+            for run in &runs {
+                fold_run(
+                    out,
+                    &run.ledger,
+                    study.population_size() as u64,
+                    run.infected_hosts,
+                    run.sim_seconds,
+                );
+            }
+            Ok(Outcome::HitListDetection { study, runs })
+        }
+        StudySpec::NatDetection {
+            detection,
+            nat_fraction,
+            sensors,
+            top_k_slash8s,
+        } => {
+            let study = detection_study(detection);
+            let placements = vec![
+                Placement::Random {
+                    sensors: *sensors as usize,
+                },
+                Placement::TopSlash8s {
+                    sensors: *sensors as usize,
+                    k: *top_k_slash8s as usize,
+                },
+                Placement::Inside192,
+            ];
+            let runs = runset.run(placements, |p| nat_run(&study, *nat_fraction, p));
+            out.config("population", study.population_size())
+                .config("nat_fraction", nat_fraction)
+                .config("placements", "Random,TopSlash8s,Inside192");
+            for run in &runs {
+                fold_run(
+                    out,
+                    &run.ledger,
+                    study.population_size() as u64,
+                    run.infected_hosts,
+                    run.sim_seconds,
+                );
+            }
+            Ok(Outcome::NatDetection {
+                study,
+                nat_fraction: *nat_fraction,
+                runs,
+            })
+        }
+        StudySpec::BotCommands {
+            synthetic_commands,
+            corpus_seed,
+            drone,
+        } => {
+            let drone = parse_ip("study.drone", drone)?;
+            // grammar/corpus analysis: no probes, no environment
+            let paper = corpus::hit_list_report(&corpus::table1(), drone);
+            let n = *synthetic_commands as usize;
+            let mut rng = StdRng::seed_from_u64(*corpus_seed);
+            let commands = corpus::generate(n, &mut rng);
+            let synthetic = corpus::hit_list_report(&commands, drone);
+            let restricted = synthetic
+                .iter()
+                .filter(|(_, _, size)| *size < (1u64 << 32))
+                .count();
+            out.config("synthetic_commands", n)
+                .config("restricted", restricted);
+            Ok(Outcome::BotCommands {
+                drone,
+                paper,
+                synthetic,
+                synthetic_commands: n as u64,
+                restricted: restricted as u64,
+            })
+        }
+        StudySpec::Filtering {
+            infected_per_enterprise,
+            infected_per_isp,
+            probes_per_host,
+            blaster_scan_len,
+            rng_seed,
+        } => {
+            let study = FilteringStudy {
+                infected_per_enterprise: *infected_per_enterprise as usize,
+                infected_per_isp: *infected_per_isp as usize,
+                probes_per_host: *probes_per_host,
+                blaster_scan_len: *blaster_scan_len,
+                rng_seed: *rng_seed,
+            };
+            out.config("infected_per_enterprise", study.infected_per_enterprise)
+                .config("infected_per_isp", study.infected_per_isp)
+                .config("probes_per_host", study.probes_per_host);
+            let (rows, ledger) = table2_with_accounting(&study);
+            fold_ledger(out, &ledger);
+            out.add_population(rows.iter().map(|r| r.infected_inside).sum::<u64>());
+            Ok(Outcome::Filtering { study, rows })
+        }
+        StudySpec::Ablations {
+            nat_population,
+            nat_max_time,
+            sensor_hosts,
+            sensor_max_time,
+            reboot_hosts,
+        } => Ok(run_ablations(
+            *nat_population as usize,
+            *nat_max_time,
+            *sensor_hosts as u32,
+            *sensor_max_time,
+            *reboot_hosts as usize,
+            out,
+        )),
+        StudySpec::Sensitivity {
+            trials,
+            codered_hosts,
+            codered_probes_per_host,
+            slammer_hosts,
+            rng_seed,
+        } => {
+            let trials = *trials;
+            let mut rng = StdRng::seed_from_u64(*rng_seed);
+            out.config("trials", trials);
+            let mut ledger = DeliveryLedger::new();
+            // Deployments are drawn sequentially from one stream; the
+            // independently seeded trials then run across threads.
+            let codered_deployments: Vec<(u64, Vec<AddressBlock>)> = (0..trials)
+                .map(|trial| (trial, random_ims_deployment(&mut rng)))
+                .collect();
+            let slammer_deployments: Vec<(u64, Vec<AddressBlock>)> = (0..trials)
+                .map(|trial| (trial, random_ims_deployment(&mut rng)))
+                .collect();
+            let codered_runs = runset.run(codered_deployments, |(trial, blocks)| {
+                let study = CodeRedStudy {
+                    hosts: *codered_hosts as usize,
+                    nat_fraction: 0.15,
+                    probes_per_host: *codered_probes_per_host,
+                    rng_seed: 1_000 + trial,
+                };
+                let (rows, trial_ledger) = sources_by_block_accounted(&study, &blocks);
+                (trial, blocks, study.hosts, rows, trial_ledger)
+            });
+            let mut codered = Vec::new();
+            for (trial, blocks, hosts, rows, trial_ledger) in codered_runs {
+                ledger.merge(&trial_ledger);
+                out.add_population(hosts as u64);
+                codered.push(CodeRedTrial {
+                    trial,
+                    blocks,
+                    hosts,
+                    rows,
+                });
+            }
+            let slammer = runset
+                .run(slammer_deployments, |(trial, blocks)| {
+                    let study = SlammerStudy {
+                        hosts: *slammer_hosts as usize,
+                        rng_seed: 2_000 + trial,
+                        ..SlammerStudy::default()
+                    };
+                    let rows = sources_by_block_with(&study, &blocks);
+                    (trial, blocks, rows)
+                })
+                .into_iter()
+                .map(|(trial, blocks, rows)| SlammerTrial {
+                    trial,
+                    blocks,
+                    rows,
+                })
+                .collect();
+            // Slammer trials are cycle-exact (nothing routed); only the
+            // CodeRedII trials contribute delivery accounting
+            fold_ledger(out, &ledger);
+            Ok(Outcome::Sensitivity { codered, slammer })
+        }
+    }
+}
+
+fn hitlist_sweep(
+    study: &DetectionStudy,
+    sizes: &[Option<u64>],
+    runset: &RunSet,
+) -> Vec<HitListRun> {
+    let sizes: Vec<Option<usize>> = sizes.iter().map(|s| s.map(|n| n as usize)).collect();
+    // the sweep is embarrassingly parallel: one engine per hit-list size
+    runset.run(sizes, |size| hitlist_runs(study, &[size]).remove(0))
+}
+
+fn size_labels(sizes: &[Option<u64>]) -> String {
+    sizes
+        .iter()
+        .map(|s| s.map_or_else(|| "full".to_owned(), |n| n.to_string()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn run_ablations(
+    nat_population: usize,
+    nat_max_time: f64,
+    sensor_hosts: u32,
+    sensor_max_time: f64,
+    reboot_hosts: usize,
+    out: &mut ReportBuilder,
+) -> Outcome {
+    // 1. NAT topology: shared 192.168/16 vs isolated home NATs.
+    let nat_study = DetectionStudy {
+        population: nat_population,
+        slash8s: 20,
+        max_time: nat_max_time,
+        ..DetectionStudy::default()
+    };
+    let mut nat = Vec::new();
+    for topology in [NatTopology::Shared, NatTopology::Isolated] {
+        let run = nat_run_with_topology(&nat_study, 0.15, Placement::Inside192, topology);
+        fold_run(
+            out,
+            &run.ledger,
+            nat_study.population_size() as u64,
+            run.infected_hosts,
+            run.sim_seconds,
+        );
+        nat.push((topology, run));
+    }
+
+    // 2. Sensor mode: active (SYN-ACK responder) vs passive capture.
+    // The address set is bespoke (a random BTreeSet inside 66.67/16), so
+    // this is the one engine assembly that lives in the runner rather
+    // than behind a PopSpec.
+    let addrs: Vec<Ip> = {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut set = std::collections::BTreeSet::new();
+        while (set.len() as u32) < sensor_hosts {
+            set.insert(Ip::new(0x4242_0000 | rng.gen::<u32>() & 0xffff));
+        }
+        set.into_iter().collect()
+    };
+    let sensors: Vec<Prefix> = (0..16u32)
+        .map(|i| format!("66.66.{}.0/24", i * 16).parse().expect("valid"))
+        .collect();
+    let mut sensor = Vec::new();
+    for (proto_name, service) in [
+        ("TCP worm (CodeRed-style)", Service::CODERED_HTTP),
+        ("UDP worm (Slammer-style)", Service::SLAMMER_SQL),
+    ] {
+        for mode in [SensorMode::Active, SensorMode::Passive] {
+            let field = DetectorField::with_mode(sensors.clone(), 5, mode);
+            let mut observer = FieldObserver::with_service(field, service);
+            let config = SimConfig {
+                scan_rate: 20.0,
+                seeds: 10,
+                max_time: sensor_max_time,
+                stop_at_fraction: Some(0.9),
+                ..SimConfig::default()
+            };
+            // worm targets 66.66/16 (where hosts are NOT — pure noise
+            // toward the sensors) plus the host /16
+            let both = HitList::new(vec![
+                "66.66.0.0/16".parse().expect("valid"),
+                "66.67.0.0/16".parse().expect("valid"),
+            ])
+            .expect("non-empty hit-list");
+            let mut engine = Engine::new(
+                config,
+                Population::from_public(addrs.iter().map(|ip| Ip::new(ip.value() | 0x0001_0000))),
+                Environment::new(),
+                Box::new(HitListWorm::new(both).with_service(service)),
+            );
+            let result = engine.run(&mut observer);
+            fold_sim_result(out, &result);
+            let field = observer.into_field();
+            sensor.push(SensorModeRun {
+                transport: proto_name.to_owned(),
+                mode,
+                alerted: field.alerted(),
+                sensors: field.len(),
+            });
+        }
+    }
+
+    // 3. Blaster reboot fraction vs Figure 1 hotspot strength.
+    let mut reboot = Vec::new();
+    for reboot_fraction in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let study = BlasterStudy {
+            hosts: reboot_hosts,
+            window_secs: 7.0 * 24.0 * 3600.0,
+            reboot_fraction,
+            ..BlasterStudy::default()
+        };
+        let rows = sources_by_block(&study);
+        // score over the /24 rows only: interval-coverage counts do not
+        // scale with cell size, so mixing the Z block's /16 rows in would
+        // bias the uniform null (see DESIGN.md)
+        let counts: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.prefix.len() == 24)
+            .map(|r| r.unique_sources)
+            .collect();
+        reboot.push((reboot_fraction, HotspotReport::from_counts(&counts)));
+    }
+    // interval-coverage sweep: closed form, nothing routed
+    out.config("reboot_fractions", "0,0.25,0.5,0.75,1");
+    Outcome::Ablations {
+        nat,
+        sensor,
+        reboot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PopSpec, SimSpec, WormSpec};
+
+    fn tiny_engine_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::named("tiny");
+        spec.worm = Some(WormSpec::Uniform);
+        spec.population = Some(PopSpec::Range {
+            base: "11.11.0.1".to_owned(),
+            count: 120,
+            stride: 1,
+        });
+        spec.sim = SimSpec {
+            scan_rate: 40.0,
+            seeds: 6,
+            max_time: 30.0,
+            stop_at_fraction: None,
+            rng_seed: 5,
+            ..SimSpec::default()
+        };
+        spec
+    }
+
+    #[test]
+    fn run_set_preserves_input_order() {
+        let set = RunSet::with_threads(4);
+        let out = set.run((0..64).collect(), |i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_set_single_thread_and_empty_inputs() {
+        assert_eq!(RunSet::with_threads(1).run(vec![3, 1], |i| i + 1), [4, 2]);
+        let empty: Vec<i32> = RunSet::with_threads(8).run(Vec::new(), |i: i32| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn fold_run_accumulates() {
+        let mut report = ReportBuilder::new("t", "t");
+        let ledger = DeliveryLedger::new();
+        fold_run(&mut report, &ledger, 10, 3, 5.0);
+        fold_run(&mut report, &ledger, 10, 4, 5.0);
+        let built = report.build();
+        assert_eq!(built.population, 20);
+        assert_eq!(built.infections, 7);
+        assert!((built.sim_seconds - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_path_runs_and_reports() {
+        let spec = tiny_engine_spec();
+        let run = run_spec(&spec, &RunContext::new("test")).expect("runs");
+        match run.outcome {
+            Outcome::Engine { result, field } => {
+                assert!(result.probes_sent > 0);
+                assert!(field.is_none());
+            }
+            _ => panic!("expected engine outcome"),
+        }
+        let report = run.report.build();
+        assert_eq!(report.binary, "test");
+        assert_eq!(report.population, 120);
+    }
+
+    #[test]
+    fn engine_path_is_thread_count_invariant() {
+        let spec = tiny_engine_spec();
+        let base = run_spec(&spec, &RunContext::new("t"))
+            .expect("runs")
+            .report
+            .build();
+        for threads in [2, 4] {
+            let report = run_spec(&spec, &RunContext::new("t").with_threads(threads))
+                .expect("runs")
+                .report
+                .build();
+            assert_eq!(report.probes_sent, base.probes_sent);
+            assert_eq!(report.infections, base.infections);
+            assert_eq!(report.config, base.config);
+        }
+    }
+
+    #[test]
+    fn study_path_slammer_hosts_reports() {
+        let mut spec = ScenarioSpec::named("fig3-test");
+        spec.study = Some(StudySpec::SlammerHosts {
+            probes_per_host: 2_000,
+        });
+        let run = run_spec(&spec, &RunContext::new("t")).expect("runs");
+        match run.outcome {
+            Outcome::SlammerHosts { probes, hosts } => {
+                assert_eq!(probes, 2_000);
+                assert_eq!(hosts.len(), 2);
+                assert!(hosts.iter().all(|h| h.cycle_len > 0));
+            }
+            _ => panic!("expected slammer-hosts outcome"),
+        }
+        let report = run.report.build();
+        assert_eq!(report.population, 2);
+    }
+
+    #[test]
+    fn meta_scale_is_echoed_first() {
+        let mut spec = tiny_engine_spec();
+        spec.meta.scale = Some("QUICK".to_owned());
+        let run = run_spec(&spec, &RunContext::new("t")).expect("runs");
+        let report = run.report.build();
+        assert_eq!(
+            report.config.first().map(|(k, _)| k.as_str()),
+            Some("scale")
+        );
+    }
+}

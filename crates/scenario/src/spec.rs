@@ -1,0 +1,2011 @@
+//! The declarative scenario schema.
+//!
+//! A [`ScenarioSpec`] is a plain data tree describing everything the
+//! repository can simulate: the worm targeting model, the network
+//! environment (loss, latency, NAT, filtering), the vulnerable
+//! population, the telescope deployment, the engine configuration, and
+//! — for the paper's figures and tables — a higher-level *study* that
+//! encapsulates a whole multi-run experiment. Specs round-trip through
+//! TOML and JSON via [`value::Value`], and every deserialization or
+//! validation error names the offending field by dotted path.
+
+use std::fmt;
+
+use hotspots_ipspace::{Ip, Prefix};
+use hotspots_netmodel::{Proto, Service};
+use hotspots_targeting::PreferenceEntry;
+
+use crate::value::{self, Value};
+
+/// A rejected spec: which field, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted path of the offending field (`"environment.nat.fraction"`).
+    pub field: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(field: impl Into<String>, message: impl Into<String>) -> SpecError {
+        SpecError {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A complete scenario description.
+///
+/// Exactly one of two shapes is valid (checked by [`validate`]):
+///
+/// - **engine path**: `worm` and `population` are set; the spec builds
+///   into a single [`Engine`](hotspots_sim::Engine) run.
+/// - **study path**: `study` is set; the spec wraps one of the paper's
+///   figure/table experiments, which construct their own worms and
+///   populations internally.
+///
+/// [`validate`]: ScenarioSpec::validate
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Identity and report labelling.
+    pub meta: MetaSpec,
+    /// The worm targeting model (engine path only).
+    pub worm: Option<WormSpec>,
+    /// The network environment. Defaults to a lossless direct internet.
+    pub environment: EnvSpec,
+    /// The vulnerable population (engine path only).
+    pub population: Option<PopSpec>,
+    /// The telescope deployment observing the outbreak.
+    pub telescope: TelescopeSpec,
+    /// Engine configuration (ignored on the study path, which carries
+    /// its own timing parameters).
+    pub sim: SimSpec,
+    /// A figure/table study (study path only).
+    pub study: Option<StudySpec>,
+    /// An optional parameter sweep over this spec.
+    pub sweep: Option<SweepSpec>,
+}
+
+/// Identity and report labelling for a scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetaSpec {
+    /// Short unique name (`"fig2"`, `"xmode-slammer"`).
+    pub name: String,
+    /// Scenario label echoed in run reports (defaults to `name`).
+    pub scenario: Option<String>,
+    /// The paper artifact this reproduces (`"Figure 2"`).
+    pub artifact: Option<String>,
+    /// Human-readable banner title.
+    pub title: Option<String>,
+    /// Scale label echoed in run reports (`"quick"` / `"paper"`).
+    pub scale: Option<String>,
+}
+
+/// The worm targeting model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WormSpec {
+    /// Uniform random scanning (Code Red I v2 style), TCP/80.
+    Uniform,
+    /// Slammer's flawed LCG walk, with per-host `sqlsort.dll` versions.
+    Slammer,
+    /// CodeRedII's 1/8–4/8–3/8 local-preference scheme.
+    CodeRed2,
+    /// Blaster's sequential /20 walk seeded from boot-time entropy.
+    Blaster {
+        /// Hardware generation: `"pentium-ii"`, `"pentium-iii"`,
+        /// `"pentium-iv"`.
+        hardware: String,
+        /// Seed model: `"reboot"` (fresh reboot) or `"population"`
+        /// (mixed uptime).
+        model: String,
+    },
+    /// Hit-list scanning over explicit prefixes.
+    HitList {
+        /// The hit-list prefixes (`"11.0.0.0/12"`).
+        prefixes: Vec<String>,
+        /// Probed service (`"tcp/80"`); defaults to TCP/80.
+        service: Option<String>,
+    },
+    /// Generalized local preference with an explicit weight table.
+    LocalPreference {
+        /// Entries as `"<dotted-mask>*<weight>"` (`"255.0.0.0*4"`).
+        entries: Vec<String>,
+        /// Probed service; defaults to TCP/80.
+        service: Option<String>,
+    },
+    /// A botnet scan command (the paper's command-language factor).
+    Bot {
+        /// The command in the bot's scan grammar.
+        command: String,
+    },
+}
+
+impl WormSpec {
+    fn kind(&self) -> &'static str {
+        match self {
+            WormSpec::Uniform => "uniform",
+            WormSpec::Slammer => "slammer",
+            WormSpec::CodeRed2 => "codered2",
+            WormSpec::Blaster { .. } => "blaster",
+            WormSpec::HitList { .. } => "hit-list",
+            WormSpec::LocalPreference { .. } => "local-preference",
+            WormSpec::Bot { .. } => "bot",
+        }
+    }
+}
+
+/// The network environment between infected hosts and their targets.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnvSpec {
+    /// Uniform packet loss rate in `[0, 1]` (`None` = lossless).
+    pub loss: Option<f64>,
+    /// Filter rules as `"<direction> <prefix> <service>"` strings, e.g.
+    /// `"egress 163.37.8.0/22 udp/1434"`; service `"*"` matches any.
+    pub filters: Vec<String>,
+    /// Propagation delay model (`None` = instantaneous).
+    pub latency: Option<LatencySpec>,
+    /// NAT deployment over the population (`None` = all public).
+    pub nat: Option<NatSpec>,
+}
+
+/// Propagation delay: `base + U(0, jitter)` seconds per probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencySpec {
+    /// Fixed per-probe delay in seconds.
+    pub base_secs: f64,
+    /// Uniform jitter bound in seconds.
+    pub jitter_secs: f64,
+}
+
+/// NAT deployment over an engine-path population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NatSpec {
+    /// Fraction of hosts moved behind NAT, in `[0, 1]`.
+    pub fraction: f64,
+    /// `"isolated"` (one realm per host) or `"shared"` (hosts pool into
+    /// multi-host realms).
+    pub topology: String,
+    /// RNG seed for selecting which hosts are NATted.
+    pub seed: u64,
+}
+
+/// The vulnerable population (engine path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PopSpec {
+    /// `count` public hosts at `base + i * stride`.
+    Range {
+        /// First address, dotted quad.
+        base: String,
+        /// Number of hosts.
+        count: u64,
+        /// Address increment between consecutive hosts.
+        stride: u64,
+    },
+    /// The knob-tunable synthetic CodeRedII-style population.
+    Synthetic {
+        /// Number of hosts.
+        size: u64,
+        /// Number of occupied /8 networks.
+        slash8s: u64,
+        /// RNG seed for the draw.
+        seed: u64,
+    },
+    /// The paper-calibrated 134,586-host CodeRedII population.
+    Paper {
+        /// RNG seed for the draw.
+        seed: u64,
+    },
+    /// Explicit public host addresses (e.g. derived from a capture).
+    Hosts {
+        /// Dotted-quad addresses; duplicates are collapsed.
+        addrs: Vec<String>,
+    },
+}
+
+/// The telescope deployment observing the outbreak.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TelescopeSpec {
+    /// No telescope.
+    #[default]
+    None,
+    /// A distributed sensor field with an alert threshold.
+    Field {
+        /// Where the sensor /24s sit.
+        placement: PlacementSpec,
+        /// Probes a sensor must see before alerting.
+        alert_threshold: u64,
+        /// `"active"` or `"passive"`.
+        mode: String,
+    },
+}
+
+/// Sensor placement for [`TelescopeSpec::Field`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementSpec {
+    /// Explicit sensor prefixes.
+    Prefixes {
+        /// The sensor blocks (`"66.66.0.0/24"`).
+        prefixes: Vec<String>,
+    },
+    /// `sensors` random /24s drawn with `seed`.
+    Random {
+        /// Number of sensor /24s.
+        sensors: u64,
+        /// RNG seed for the draw.
+        seed: u64,
+    },
+}
+
+/// Engine configuration; mirrors [`hotspots_sim::SimConfig`] field for
+/// field, except `stop_at_fraction` defaults to `None` (a spec says so
+/// explicitly when it wants early stopping).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSpec {
+    /// Mean probes per second per infected host.
+    pub scan_rate: f64,
+    /// Log-normal dispersion of per-host scan rates.
+    pub scan_rate_sigma: f64,
+    /// Initial infected host count.
+    pub seeds: u64,
+    /// Simulation step in seconds.
+    pub dt: f64,
+    /// Hard stop time in seconds.
+    pub max_time: f64,
+    /// Optional early stop at this ever-infected fraction.
+    pub stop_at_fraction: Option<f64>,
+    /// Removal (patching) rate per second.
+    pub removal_rate: f64,
+    /// Master seed.
+    pub rng_seed: u64,
+    /// Probe-phase worker threads.
+    pub threads: u64,
+}
+
+impl Default for SimSpec {
+    fn default() -> SimSpec {
+        SimSpec {
+            scan_rate: 10.0,
+            scan_rate_sigma: 0.0,
+            seeds: 25,
+            dt: 1.0,
+            max_time: 10_000.0,
+            stop_at_fraction: None,
+            removal_rate: 0.0,
+            rng_seed: 0x4d53_2006,
+            threads: 1,
+        }
+    }
+}
+
+/// Parameters shared by the detection studies (Figure 5a/5b/5c), one
+/// for one with `hotspots::scenarios::DetectionStudy`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionParams {
+    /// Vulnerable population size.
+    pub population: u64,
+    /// Occupied /8 count for the synthetic population.
+    pub slash8s: u64,
+    /// Use the paper-calibrated coverage profile instead.
+    pub paper_profile: bool,
+    /// Initial infected hosts.
+    pub seeds: u64,
+    /// Probes per second per infected host.
+    pub scan_rate: f64,
+    /// Sensor alert threshold.
+    pub alert_threshold: u64,
+    /// Hard stop time in seconds.
+    pub max_time: f64,
+    /// Early-stop infected fraction.
+    pub stop_at_fraction: f64,
+    /// Master seed.
+    pub rng_seed: u64,
+}
+
+/// A figure/table study: a whole multi-run experiment as data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StudySpec {
+    /// Figure 1: Blaster scan coverage by monitored block.
+    BlasterCoverage {
+        /// Infected host count.
+        hosts: u64,
+        /// Observation window in seconds.
+        window_secs: f64,
+        /// Probes per second per host.
+        scan_rate: f64,
+        /// Fraction of hosts infected at reboot.
+        reboot_fraction: f64,
+        /// Master seed.
+        rng_seed: u64,
+    },
+    /// Figure 2: Slammer scan density per monitored /24.
+    SlammerCoverage {
+        /// Infected host count.
+        hosts: u64,
+        /// Install the paper's M-block egress filter.
+        m_block_filter: bool,
+        /// Master seed.
+        rng_seed: u64,
+    },
+    /// Figure 3: two individual Slammer hosts' probe footprints.
+    SlammerHosts {
+        /// Probes drawn per host.
+        probes_per_host: u64,
+    },
+    /// Figure 4: CodeRedII sources under NAT, plus the two quarantined
+    /// host traces.
+    CodeRedNat {
+        /// Infected host count.
+        hosts: u64,
+        /// Probes drawn per host.
+        probes_per_host: u64,
+        /// Fraction of hosts behind NAT.
+        nat_fraction: f64,
+        /// Master seed.
+        rng_seed: u64,
+        /// Quarantine trace length for the public host.
+        quarantine_probes_public: u64,
+        /// Quarantine trace length for the NATted host.
+        quarantine_probes_natted: u64,
+        /// Seed for the quarantine traces.
+        quarantine_seed: u64,
+    },
+    /// Figure 5a: infection speed vs hit-list size.
+    HitListInfection {
+        /// Shared detection-study parameters.
+        detection: DetectionParams,
+        /// Hit-list sizes; `None` (TOML `"full"`) = the whole population.
+        sizes: Vec<Option<u64>>,
+    },
+    /// Figure 5b: telescope alert speed vs hit-list size.
+    HitListDetection {
+        /// Shared detection-study parameters.
+        detection: DetectionParams,
+        /// Hit-list sizes; `None` (TOML `"full"`) = the whole population.
+        sizes: Vec<Option<u64>>,
+    },
+    /// Figure 5c: sensor placement vs NAT-heavy populations.
+    NatDetection {
+        /// Shared detection-study parameters.
+        detection: DetectionParams,
+        /// Fraction of hosts behind NAT.
+        nat_fraction: f64,
+        /// Sensor count for the random/top-k placements.
+        sensors: u64,
+        /// `k` for the top-/8s placement.
+        top_k_slash8s: u64,
+    },
+    /// Table 1: bot command-language hit-list audit.
+    BotCommands {
+        /// Synthetic commands to generate on top of the fixed corpus.
+        synthetic_commands: u64,
+        /// Seed for the synthetic corpus draw.
+        corpus_seed: u64,
+        /// The drone's own address, dotted quad.
+        drone: String,
+    },
+    /// Table 2: egress/upstream filtering at enterprise vs ISP scale.
+    Filtering {
+        /// Infected hosts inside the filtered enterprise.
+        infected_per_enterprise: u64,
+        /// Infected hosts inside the filtered ISP.
+        infected_per_isp: u64,
+        /// Probes drawn per host.
+        probes_per_host: u64,
+        /// Blaster scan length in probes.
+        blaster_scan_len: u64,
+        /// Master seed.
+        rng_seed: u64,
+    },
+    /// The ablation suite: NAT topology, sensor mode, reboot fraction.
+    Ablations {
+        /// Population for the NAT-topology ablation.
+        nat_population: u64,
+        /// Stop time for the NAT-topology ablation.
+        nat_max_time: f64,
+        /// Population for the sensor-mode ablation.
+        sensor_hosts: u64,
+        /// Stop time for the sensor-mode ablation.
+        sensor_max_time: f64,
+        /// Population for the reboot-fraction ablation.
+        reboot_hosts: u64,
+    },
+    /// Sensitivity of the hotspot findings to telescope placement.
+    Sensitivity {
+        /// Randomized deployments per worm.
+        trials: u64,
+        /// CodeRed hosts per trial.
+        codered_hosts: u64,
+        /// CodeRed probes per host per trial.
+        codered_probes_per_host: u64,
+        /// Slammer hosts per trial.
+        slammer_hosts: u64,
+        /// Master seed for deployment draws.
+        rng_seed: u64,
+    },
+}
+
+impl StudySpec {
+    fn kind(&self) -> &'static str {
+        match self {
+            StudySpec::BlasterCoverage { .. } => "blaster-coverage",
+            StudySpec::SlammerCoverage { .. } => "slammer-coverage",
+            StudySpec::SlammerHosts { .. } => "slammer-hosts",
+            StudySpec::CodeRedNat { .. } => "codered-nat",
+            StudySpec::HitListInfection { .. } => "hitlist-infection",
+            StudySpec::HitListDetection { .. } => "hitlist-detection",
+            StudySpec::NatDetection { .. } => "nat-detection",
+            StudySpec::BotCommands { .. } => "bot-commands",
+            StudySpec::Filtering { .. } => "filtering",
+            StudySpec::Ablations { .. } => "ablations",
+            StudySpec::Sensitivity { .. } => "sensitivity",
+        }
+    }
+}
+
+/// A parameter sweep: rerun the scenario once per value with the dotted
+/// `param` path overridden.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Dotted path into the spec (`"sim.scan_rate"`).
+    pub param: String,
+    /// The values to substitute, in order.
+    pub values: Vec<Value>,
+}
+
+// ---------------------------------------------------------------------------
+// Field-tracking table reader
+// ---------------------------------------------------------------------------
+
+/// Reads one `Value::Table`, tracking which keys were consumed so
+/// unknown keys (typos) become errors naming the field.
+struct Fields<'a> {
+    path: String,
+    entries: &'a [(String, Value)],
+    used: Vec<bool>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(path: &str, v: &'a Value) -> Result<Fields<'a>, SpecError> {
+        match v {
+            Value::Table(entries) => Ok(Fields {
+                path: path.to_owned(),
+                entries,
+                used: vec![false; entries.len()],
+            }),
+            other => Err(SpecError::new(
+                path,
+                format!("expected a table, found {}", other.type_name()),
+            )),
+        }
+    }
+
+    /// Dotted path of `key` under this table.
+    fn sub(&self, key: &str) -> String {
+        if self.path.is_empty() {
+            key.to_owned()
+        } else {
+            format!("{}.{key}", self.path)
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Option<&'a Value> {
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if k == key {
+                self.used[i] = true;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn req(&mut self, key: &str) -> Result<&'a Value, SpecError> {
+        let path = self.sub(key);
+        self.take(key)
+            .ok_or_else(|| SpecError::new(path, "missing required field"))
+    }
+
+    fn str(&mut self, key: &str) -> Result<String, SpecError> {
+        let path = self.sub(key);
+        as_str(&path, self.req(key)?)
+    }
+
+    fn opt_str(&mut self, key: &str) -> Result<Option<String>, SpecError> {
+        let path = self.sub(key);
+        self.take(key).map(|v| as_str(&path, v)).transpose()
+    }
+
+    fn u64(&mut self, key: &str) -> Result<u64, SpecError> {
+        let path = self.sub(key);
+        as_u64(&path, self.req(key)?)
+    }
+
+    fn u64_or(&mut self, key: &str, default: u64) -> Result<u64, SpecError> {
+        let path = self.sub(key);
+        match self.take(key) {
+            Some(v) => as_u64(&path, v),
+            None => Ok(default),
+        }
+    }
+
+    fn f64(&mut self, key: &str) -> Result<f64, SpecError> {
+        let path = self.sub(key);
+        as_f64(&path, self.req(key)?)
+    }
+
+    fn f64_or(&mut self, key: &str, default: f64) -> Result<f64, SpecError> {
+        let path = self.sub(key);
+        match self.take(key) {
+            Some(v) => as_f64(&path, v),
+            None => Ok(default),
+        }
+    }
+
+    fn opt_f64(&mut self, key: &str) -> Result<Option<f64>, SpecError> {
+        let path = self.sub(key);
+        self.take(key).map(|v| as_f64(&path, v)).transpose()
+    }
+
+    fn bool_or(&mut self, key: &str, default: bool) -> Result<bool, SpecError> {
+        let path = self.sub(key);
+        match self.take(key) {
+            Some(v) => v.as_bool().ok_or_else(|| {
+                SpecError::new(&path, format!("expected a bool, found {}", v.type_name()))
+            }),
+            None => Ok(default),
+        }
+    }
+
+    fn str_array(&mut self, key: &str) -> Result<Vec<String>, SpecError> {
+        let path = self.sub(key);
+        match self.take(key) {
+            Some(v) => {
+                let arr = v.as_array().ok_or_else(|| {
+                    SpecError::new(&path, format!("expected an array, found {}", v.type_name()))
+                })?;
+                arr.iter()
+                    .enumerate()
+                    .map(|(i, item)| as_str(&format!("{path}[{i}]"), item))
+                    .collect()
+            }
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Errors on any key never consumed — the typo catcher.
+    fn finish(self) -> Result<(), SpecError> {
+        for (i, (k, _)) in self.entries.iter().enumerate() {
+            if !self.used[i] {
+                return Err(SpecError::new(self.sub(k), "unknown field"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn as_str(path: &str, v: &Value) -> Result<String, SpecError> {
+    v.as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| SpecError::new(path, format!("expected a string, found {}", v.type_name())))
+}
+
+fn as_u64(path: &str, v: &Value) -> Result<u64, SpecError> {
+    match v.as_int() {
+        Some(i) if i >= 0 => Ok(i as u64),
+        Some(i) => Err(SpecError::new(
+            path,
+            format!("must be non-negative, got {i}"),
+        )),
+        None => Err(SpecError::new(
+            path,
+            format!("expected an integer, found {}", v.type_name()),
+        )),
+    }
+}
+
+fn as_f64(path: &str, v: &Value) -> Result<f64, SpecError> {
+    v.as_float()
+        .ok_or_else(|| SpecError::new(path, format!("expected a number, found {}", v.type_name())))
+}
+
+fn int(v: u64) -> Value {
+    Value::Int(i64::try_from(v).expect("spec integer exceeds i64"))
+}
+
+fn strs(items: &[String]) -> Value {
+    Value::Array(items.iter().map(|s| Value::Str(s.clone())).collect())
+}
+
+// ---------------------------------------------------------------------------
+// (De)serialization
+// ---------------------------------------------------------------------------
+
+impl ScenarioSpec {
+    /// A minimal spec named `name`: default environment, no worm, no
+    /// population, no telescope, default sim, no study.
+    pub fn named(name: impl Into<String>) -> ScenarioSpec {
+        ScenarioSpec {
+            meta: MetaSpec {
+                name: name.into(),
+                ..MetaSpec::default()
+            },
+            worm: None,
+            environment: EnvSpec::default(),
+            population: None,
+            telescope: TelescopeSpec::None,
+            sim: SimSpec::default(),
+            study: None,
+            sweep: None,
+        }
+    }
+
+    /// Serializes to the generic value tree (tables keep scalar keys
+    /// before sub-tables so TOML emission is stable).
+    pub fn to_value(&self) -> Value {
+        let mut root = Value::table();
+        root.set("meta", meta_to_value(&self.meta));
+        if let Some(worm) = &self.worm {
+            root.set("worm", worm_to_value(worm));
+        }
+        if self.environment != EnvSpec::default() {
+            root.set("environment", env_to_value(&self.environment));
+        }
+        if let Some(pop) = &self.population {
+            root.set("population", pop_to_value(pop));
+        }
+        if self.telescope != TelescopeSpec::None {
+            root.set("telescope", telescope_to_value(&self.telescope));
+        }
+        root.set("sim", sim_to_value(&self.sim));
+        if let Some(study) = &self.study {
+            root.set("study", study_to_value(study));
+        }
+        if let Some(sweep) = &self.sweep {
+            let mut t = Value::table();
+            t.set("param", Value::Str(sweep.param.clone()));
+            t.set("values", Value::Array(sweep.values.clone()));
+            root.set("sweep", t);
+        }
+        root
+    }
+
+    /// Deserializes from the generic value tree. Unknown keys anywhere
+    /// in the tree are errors naming the field.
+    pub fn from_value(v: &Value) -> Result<ScenarioSpec, SpecError> {
+        let mut root = Fields::new("", v)?;
+        let meta = meta_from_value(root.req("meta")?)?;
+        let worm = root.take("worm").map(worm_from_value).transpose()?;
+        let environment = match root.take("environment") {
+            Some(v) => env_from_value(v)?,
+            None => EnvSpec::default(),
+        };
+        let population = root.take("population").map(pop_from_value).transpose()?;
+        let telescope = match root.take("telescope") {
+            Some(v) => telescope_from_value(v)?,
+            None => TelescopeSpec::None,
+        };
+        let sim = match root.take("sim") {
+            Some(v) => sim_from_value(v)?,
+            None => SimSpec::default(),
+        };
+        let study = root.take("study").map(study_from_value).transpose()?;
+        let sweep = match root.take("sweep") {
+            Some(v) => {
+                let mut f = Fields::new("sweep", v)?;
+                let param = f.str("param")?;
+                let values = f
+                    .req("values")?
+                    .as_array()
+                    .ok_or_else(|| SpecError::new("sweep.values", "expected an array"))?
+                    .to_vec();
+                f.finish()?;
+                Some(SweepSpec { param, values })
+            }
+            None => None,
+        };
+        root.finish()?;
+        Ok(ScenarioSpec {
+            meta,
+            worm,
+            environment,
+            population,
+            telescope,
+            sim,
+            study,
+            sweep,
+        })
+    }
+
+    /// Serializes to TOML.
+    pub fn to_toml(&self) -> String {
+        value::to_toml(&self.to_value())
+    }
+
+    /// Parses and validates a TOML spec.
+    pub fn from_toml(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let v = value::from_toml(text)
+            .map_err(|e| SpecError::new(format!("(toml line {})", e.line), e.message))?;
+        let spec = ScenarioSpec::from_value(&v)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        value::to_json(&self.to_value())
+    }
+
+    /// Parses and validates a JSON spec.
+    pub fn from_json(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let v = value::from_json(text)
+            .map_err(|e| SpecError::new(format!("(json line {})", e.line), e.message))?;
+        let spec = ScenarioSpec::from_value(&v)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Semantic validation: shape (engine path vs study path), ranges,
+    /// and every embedded mini-grammar (prefixes, services, preference
+    /// entries, filter rules). Errors name the offending field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.meta.name.is_empty() {
+            return Err(SpecError::new("meta.name", "must be non-empty"));
+        }
+        match (&self.worm, &self.study) {
+            (Some(_), Some(_)) => {
+                return Err(SpecError::new(
+                    "study",
+                    "study scenarios define their own worm; remove [worm]",
+                ));
+            }
+            (None, None) => {
+                return Err(SpecError::new(
+                    "worm",
+                    "spec needs either [worm] + [population] or [study]",
+                ));
+            }
+            (Some(_), None) => {
+                if self.population.is_none() {
+                    return Err(SpecError::new("population", "required when [worm] is set"));
+                }
+            }
+            (None, Some(_)) => {
+                if self.population.is_some() {
+                    return Err(SpecError::new(
+                        "population",
+                        "study scenarios define their own population; remove [population]",
+                    ));
+                }
+            }
+        }
+        if let Some(worm) = &self.worm {
+            validate_worm(worm)?;
+        }
+        validate_env(&self.environment)?;
+        if let Some(pop) = &self.population {
+            validate_pop(pop)?;
+        }
+        validate_telescope(&self.telescope)?;
+        validate_sim(&self.sim)?;
+        if let Some(study) = &self.study {
+            validate_study(study)?;
+        }
+        if let Some(sweep) = &self.sweep {
+            if sweep.values.is_empty() {
+                return Err(SpecError::new("sweep.values", "must be non-empty"));
+            }
+            if self.to_value().get_path(&sweep.param).is_none() {
+                return Err(SpecError::new(
+                    "sweep.param",
+                    format!("path {:?} not present in this spec", sweep.param),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn meta_to_value(meta: &MetaSpec) -> Value {
+    let mut t = Value::table();
+    t.set("name", Value::Str(meta.name.clone()));
+    if let Some(s) = &meta.scenario {
+        t.set("scenario", Value::Str(s.clone()));
+    }
+    if let Some(s) = &meta.artifact {
+        t.set("artifact", Value::Str(s.clone()));
+    }
+    if let Some(s) = &meta.title {
+        t.set("title", Value::Str(s.clone()));
+    }
+    if let Some(s) = &meta.scale {
+        t.set("scale", Value::Str(s.clone()));
+    }
+    t
+}
+
+fn meta_from_value(v: &Value) -> Result<MetaSpec, SpecError> {
+    let mut f = Fields::new("meta", v)?;
+    let meta = MetaSpec {
+        name: f.str("name")?,
+        scenario: f.opt_str("scenario")?,
+        artifact: f.opt_str("artifact")?,
+        title: f.opt_str("title")?,
+        scale: f.opt_str("scale")?,
+    };
+    f.finish()?;
+    Ok(meta)
+}
+
+fn worm_to_value(worm: &WormSpec) -> Value {
+    let mut t = Value::table();
+    t.set("kind", Value::Str(worm.kind().to_owned()));
+    match worm {
+        WormSpec::Uniform | WormSpec::Slammer | WormSpec::CodeRed2 => {}
+        WormSpec::Blaster { hardware, model } => {
+            t.set("hardware", Value::Str(hardware.clone()));
+            t.set("model", Value::Str(model.clone()));
+        }
+        WormSpec::HitList { prefixes, service } => {
+            t.set("prefixes", strs(prefixes));
+            if let Some(s) = service {
+                t.set("service", Value::Str(s.clone()));
+            }
+        }
+        WormSpec::LocalPreference { entries, service } => {
+            t.set("entries", strs(entries));
+            if let Some(s) = service {
+                t.set("service", Value::Str(s.clone()));
+            }
+        }
+        WormSpec::Bot { command } => {
+            t.set("command", Value::Str(command.clone()));
+        }
+    }
+    t
+}
+
+fn worm_from_value(v: &Value) -> Result<WormSpec, SpecError> {
+    let mut f = Fields::new("worm", v)?;
+    let kind = f.str("kind")?;
+    let worm = match kind.as_str() {
+        "uniform" => WormSpec::Uniform,
+        "slammer" => WormSpec::Slammer,
+        "codered2" => WormSpec::CodeRed2,
+        "blaster" => WormSpec::Blaster {
+            hardware: f.str("hardware")?,
+            model: f.str("model")?,
+        },
+        "hit-list" => WormSpec::HitList {
+            prefixes: f.str_array("prefixes")?,
+            service: f.opt_str("service")?,
+        },
+        "local-preference" => WormSpec::LocalPreference {
+            entries: f.str_array("entries")?,
+            service: f.opt_str("service")?,
+        },
+        "bot" => WormSpec::Bot {
+            command: f.str("command")?,
+        },
+        other => {
+            return Err(SpecError::new(
+                "worm.kind",
+                format!(
+                    "unknown worm kind {other:?} (expected uniform, slammer, codered2, \
+                     blaster, hit-list, local-preference, or bot)"
+                ),
+            ));
+        }
+    };
+    f.finish()?;
+    Ok(worm)
+}
+
+fn env_to_value(env: &EnvSpec) -> Value {
+    let mut t = Value::table();
+    if let Some(loss) = env.loss {
+        t.set("loss", Value::Float(loss));
+    }
+    if !env.filters.is_empty() {
+        t.set("filters", strs(&env.filters));
+    }
+    if let Some(lat) = &env.latency {
+        let mut l = Value::table();
+        l.set("base_secs", Value::Float(lat.base_secs));
+        l.set("jitter_secs", Value::Float(lat.jitter_secs));
+        t.set("latency", l);
+    }
+    if let Some(nat) = &env.nat {
+        let mut n = Value::table();
+        n.set("fraction", Value::Float(nat.fraction));
+        n.set("topology", Value::Str(nat.topology.clone()));
+        n.set("seed", int(nat.seed));
+        t.set("nat", n);
+    }
+    t
+}
+
+fn env_from_value(v: &Value) -> Result<EnvSpec, SpecError> {
+    let mut f = Fields::new("environment", v)?;
+    let loss = f.opt_f64("loss")?;
+    let filters = f.str_array("filters")?;
+    let latency = match f.take("latency") {
+        Some(v) => {
+            let mut l = Fields::new("environment.latency", v)?;
+            let lat = LatencySpec {
+                base_secs: l.f64("base_secs")?,
+                jitter_secs: l.f64_or("jitter_secs", 0.0)?,
+            };
+            l.finish()?;
+            Some(lat)
+        }
+        None => None,
+    };
+    let nat = match f.take("nat") {
+        Some(v) => {
+            let mut n = Fields::new("environment.nat", v)?;
+            let nat = NatSpec {
+                fraction: n.f64("fraction")?,
+                topology: n.str("topology")?,
+                seed: n.u64("seed")?,
+            };
+            n.finish()?;
+            Some(nat)
+        }
+        None => None,
+    };
+    f.finish()?;
+    Ok(EnvSpec {
+        loss,
+        filters,
+        latency,
+        nat,
+    })
+}
+
+fn pop_to_value(pop: &PopSpec) -> Value {
+    let mut t = Value::table();
+    match pop {
+        PopSpec::Range {
+            base,
+            count,
+            stride,
+        } => {
+            t.set("kind", Value::Str("range".into()));
+            t.set("base", Value::Str(base.clone()));
+            t.set("count", int(*count));
+            t.set("stride", int(*stride));
+        }
+        PopSpec::Synthetic {
+            size,
+            slash8s,
+            seed,
+        } => {
+            t.set("kind", Value::Str("synthetic".into()));
+            t.set("size", int(*size));
+            t.set("slash8s", int(*slash8s));
+            t.set("seed", int(*seed));
+        }
+        PopSpec::Paper { seed } => {
+            t.set("kind", Value::Str("paper".into()));
+            t.set("seed", int(*seed));
+        }
+        PopSpec::Hosts { addrs } => {
+            t.set("kind", Value::Str("hosts".into()));
+            t.set("addrs", strs(addrs));
+        }
+    }
+    t
+}
+
+fn pop_from_value(v: &Value) -> Result<PopSpec, SpecError> {
+    let mut f = Fields::new("population", v)?;
+    let kind = f.str("kind")?;
+    let pop = match kind.as_str() {
+        "range" => PopSpec::Range {
+            base: f.str("base")?,
+            count: f.u64("count")?,
+            stride: f.u64_or("stride", 1)?,
+        },
+        "synthetic" => PopSpec::Synthetic {
+            size: f.u64("size")?,
+            slash8s: f.u64("slash8s")?,
+            seed: f.u64("seed")?,
+        },
+        "paper" => PopSpec::Paper {
+            seed: f.u64("seed")?,
+        },
+        "hosts" => PopSpec::Hosts {
+            addrs: f.str_array("addrs")?,
+        },
+        other => {
+            return Err(SpecError::new(
+                "population.kind",
+                format!(
+                    "unknown population kind {other:?} (expected range, synthetic, paper, or hosts)"
+                ),
+            ));
+        }
+    };
+    f.finish()?;
+    Ok(pop)
+}
+
+fn telescope_to_value(t: &TelescopeSpec) -> Value {
+    let mut out = Value::table();
+    match t {
+        TelescopeSpec::None => {
+            out.set("kind", Value::Str("none".into()));
+        }
+        TelescopeSpec::Field {
+            placement,
+            alert_threshold,
+            mode,
+        } => {
+            out.set("kind", Value::Str("field".into()));
+            out.set("alert_threshold", int(*alert_threshold));
+            out.set("mode", Value::Str(mode.clone()));
+            let mut p = Value::table();
+            match placement {
+                PlacementSpec::Prefixes { prefixes } => {
+                    p.set("kind", Value::Str("prefixes".into()));
+                    p.set("prefixes", strs(prefixes));
+                }
+                PlacementSpec::Random { sensors, seed } => {
+                    p.set("kind", Value::Str("random".into()));
+                    p.set("sensors", int(*sensors));
+                    p.set("seed", int(*seed));
+                }
+            }
+            out.set("placement", p);
+        }
+    }
+    out
+}
+
+fn telescope_from_value(v: &Value) -> Result<TelescopeSpec, SpecError> {
+    let mut f = Fields::new("telescope", v)?;
+    let kind = f.str("kind")?;
+    let t = match kind.as_str() {
+        "none" => TelescopeSpec::None,
+        "field" => {
+            let alert_threshold = f.u64_or("alert_threshold", 5)?;
+            let mode = f.opt_str("mode")?.unwrap_or_else(|| "active".into());
+            let mut p = Fields::new("telescope.placement", f.req("placement")?)?;
+            let pkind = p.str("kind")?;
+            let placement = match pkind.as_str() {
+                "prefixes" => PlacementSpec::Prefixes {
+                    prefixes: p.str_array("prefixes")?,
+                },
+                "random" => PlacementSpec::Random {
+                    sensors: p.u64("sensors")?,
+                    seed: p.u64("seed")?,
+                },
+                other => {
+                    return Err(SpecError::new(
+                        "telescope.placement.kind",
+                        format!("unknown placement kind {other:?} (expected prefixes or random)"),
+                    ));
+                }
+            };
+            p.finish()?;
+            TelescopeSpec::Field {
+                placement,
+                alert_threshold,
+                mode,
+            }
+        }
+        other => {
+            return Err(SpecError::new(
+                "telescope.kind",
+                format!("unknown telescope kind {other:?} (expected none or field)"),
+            ));
+        }
+    };
+    f.finish()?;
+    Ok(t)
+}
+
+fn sim_to_value(sim: &SimSpec) -> Value {
+    let mut t = Value::table();
+    t.set("scan_rate", Value::Float(sim.scan_rate));
+    t.set("scan_rate_sigma", Value::Float(sim.scan_rate_sigma));
+    t.set("seeds", int(sim.seeds));
+    t.set("dt", Value::Float(sim.dt));
+    t.set("max_time", Value::Float(sim.max_time));
+    if let Some(f) = sim.stop_at_fraction {
+        t.set("stop_at_fraction", Value::Float(f));
+    }
+    t.set("removal_rate", Value::Float(sim.removal_rate));
+    t.set("rng_seed", int(sim.rng_seed));
+    t.set("threads", int(sim.threads));
+    t
+}
+
+fn sim_from_value(v: &Value) -> Result<SimSpec, SpecError> {
+    let mut f = Fields::new("sim", v)?;
+    let d = SimSpec::default();
+    let sim = SimSpec {
+        scan_rate: f.f64_or("scan_rate", d.scan_rate)?,
+        scan_rate_sigma: f.f64_or("scan_rate_sigma", d.scan_rate_sigma)?,
+        seeds: f.u64_or("seeds", d.seeds)?,
+        dt: f.f64_or("dt", d.dt)?,
+        max_time: f.f64_or("max_time", d.max_time)?,
+        stop_at_fraction: f.opt_f64("stop_at_fraction")?,
+        removal_rate: f.f64_or("removal_rate", d.removal_rate)?,
+        rng_seed: f.u64_or("rng_seed", d.rng_seed)?,
+        threads: f.u64_or("threads", d.threads)?,
+    };
+    f.finish()?;
+    Ok(sim)
+}
+
+fn detection_to_value(d: &DetectionParams) -> Value {
+    let mut t = Value::table();
+    t.set("population", int(d.population));
+    t.set("slash8s", int(d.slash8s));
+    t.set("paper_profile", Value::Bool(d.paper_profile));
+    t.set("seeds", int(d.seeds));
+    t.set("scan_rate", Value::Float(d.scan_rate));
+    t.set("alert_threshold", int(d.alert_threshold));
+    t.set("max_time", Value::Float(d.max_time));
+    t.set("stop_at_fraction", Value::Float(d.stop_at_fraction));
+    t.set("rng_seed", int(d.rng_seed));
+    t
+}
+
+fn detection_from_value(path: &str, v: &Value) -> Result<DetectionParams, SpecError> {
+    let mut f = Fields::new(path, v)?;
+    let d = DetectionParams {
+        population: f.u64("population")?,
+        slash8s: f.u64_or("slash8s", 47)?,
+        paper_profile: f.bool_or("paper_profile", false)?,
+        seeds: f.u64_or("seeds", 25)?,
+        scan_rate: f.f64_or("scan_rate", 10.0)?,
+        alert_threshold: f.u64_or("alert_threshold", 5)?,
+        max_time: f.f64("max_time")?,
+        stop_at_fraction: f.f64_or("stop_at_fraction", 0.95)?,
+        rng_seed: f.u64_or("rng_seed", 0xf15_2006)?,
+    };
+    f.finish()?;
+    Ok(d)
+}
+
+/// TOML encoding of hit-list sizes: integers, with `"full"` for the
+/// whole population.
+fn sizes_to_value(sizes: &[Option<u64>]) -> Value {
+    Value::Array(
+        sizes
+            .iter()
+            .map(|s| match s {
+                Some(n) => int(*n),
+                None => Value::Str("full".into()),
+            })
+            .collect(),
+    )
+}
+
+fn sizes_from_value(path: &str, v: &Value) -> Result<Vec<Option<u64>>, SpecError> {
+    let arr = v.as_array().ok_or_else(|| {
+        SpecError::new(path, format!("expected an array, found {}", v.type_name()))
+    })?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let path = format!("{path}[{i}]");
+            if let Some(s) = item.as_str() {
+                if s == "full" {
+                    Ok(None)
+                } else {
+                    Err(SpecError::new(
+                        path,
+                        format!("expected an integer or \"full\", got {s:?}"),
+                    ))
+                }
+            } else {
+                as_u64(&path, item).map(Some)
+            }
+        })
+        .collect()
+}
+
+fn study_to_value(study: &StudySpec) -> Value {
+    let mut t = Value::table();
+    t.set("kind", Value::Str(study.kind().to_owned()));
+    match study {
+        StudySpec::BlasterCoverage {
+            hosts,
+            window_secs,
+            scan_rate,
+            reboot_fraction,
+            rng_seed,
+        } => {
+            t.set("hosts", int(*hosts));
+            t.set("window_secs", Value::Float(*window_secs));
+            t.set("scan_rate", Value::Float(*scan_rate));
+            t.set("reboot_fraction", Value::Float(*reboot_fraction));
+            t.set("rng_seed", int(*rng_seed));
+        }
+        StudySpec::SlammerCoverage {
+            hosts,
+            m_block_filter,
+            rng_seed,
+        } => {
+            t.set("hosts", int(*hosts));
+            t.set("m_block_filter", Value::Bool(*m_block_filter));
+            t.set("rng_seed", int(*rng_seed));
+        }
+        StudySpec::SlammerHosts { probes_per_host } => {
+            t.set("probes_per_host", int(*probes_per_host));
+        }
+        StudySpec::CodeRedNat {
+            hosts,
+            probes_per_host,
+            nat_fraction,
+            rng_seed,
+            quarantine_probes_public,
+            quarantine_probes_natted,
+            quarantine_seed,
+        } => {
+            t.set("hosts", int(*hosts));
+            t.set("probes_per_host", int(*probes_per_host));
+            t.set("nat_fraction", Value::Float(*nat_fraction));
+            t.set("rng_seed", int(*rng_seed));
+            t.set("quarantine_probes_public", int(*quarantine_probes_public));
+            t.set("quarantine_probes_natted", int(*quarantine_probes_natted));
+            t.set("quarantine_seed", int(*quarantine_seed));
+        }
+        StudySpec::HitListInfection { detection, sizes }
+        | StudySpec::HitListDetection { detection, sizes } => {
+            t.set("sizes", sizes_to_value(sizes));
+            t.set("detection", detection_to_value(detection));
+        }
+        StudySpec::NatDetection {
+            detection,
+            nat_fraction,
+            sensors,
+            top_k_slash8s,
+        } => {
+            t.set("nat_fraction", Value::Float(*nat_fraction));
+            t.set("sensors", int(*sensors));
+            t.set("top_k_slash8s", int(*top_k_slash8s));
+            t.set("detection", detection_to_value(detection));
+        }
+        StudySpec::BotCommands {
+            synthetic_commands,
+            corpus_seed,
+            drone,
+        } => {
+            t.set("synthetic_commands", int(*synthetic_commands));
+            t.set("corpus_seed", int(*corpus_seed));
+            t.set("drone", Value::Str(drone.clone()));
+        }
+        StudySpec::Filtering {
+            infected_per_enterprise,
+            infected_per_isp,
+            probes_per_host,
+            blaster_scan_len,
+            rng_seed,
+        } => {
+            t.set("infected_per_enterprise", int(*infected_per_enterprise));
+            t.set("infected_per_isp", int(*infected_per_isp));
+            t.set("probes_per_host", int(*probes_per_host));
+            t.set("blaster_scan_len", int(*blaster_scan_len));
+            t.set("rng_seed", int(*rng_seed));
+        }
+        StudySpec::Ablations {
+            nat_population,
+            nat_max_time,
+            sensor_hosts,
+            sensor_max_time,
+            reboot_hosts,
+        } => {
+            t.set("nat_population", int(*nat_population));
+            t.set("nat_max_time", Value::Float(*nat_max_time));
+            t.set("sensor_hosts", int(*sensor_hosts));
+            t.set("sensor_max_time", Value::Float(*sensor_max_time));
+            t.set("reboot_hosts", int(*reboot_hosts));
+        }
+        StudySpec::Sensitivity {
+            trials,
+            codered_hosts,
+            codered_probes_per_host,
+            slammer_hosts,
+            rng_seed,
+        } => {
+            t.set("trials", int(*trials));
+            t.set("codered_hosts", int(*codered_hosts));
+            t.set("codered_probes_per_host", int(*codered_probes_per_host));
+            t.set("slammer_hosts", int(*slammer_hosts));
+            t.set("rng_seed", int(*rng_seed));
+        }
+    }
+    t
+}
+
+fn study_from_value(v: &Value) -> Result<StudySpec, SpecError> {
+    let mut f = Fields::new("study", v)?;
+    let kind = f.str("kind")?;
+    let study = match kind.as_str() {
+        "blaster-coverage" => StudySpec::BlasterCoverage {
+            hosts: f.u64("hosts")?,
+            window_secs: f.f64("window_secs")?,
+            scan_rate: f.f64_or("scan_rate", 11.0)?,
+            reboot_fraction: f.f64_or("reboot_fraction", 0.5)?,
+            rng_seed: f.u64_or("rng_seed", 0xb1a5_7e12)?,
+        },
+        "slammer-coverage" => StudySpec::SlammerCoverage {
+            hosts: f.u64("hosts")?,
+            m_block_filter: f.bool_or("m_block_filter", false)?,
+            rng_seed: f.u64_or("rng_seed", 0x51a3_3e12)?,
+        },
+        "slammer-hosts" => StudySpec::SlammerHosts {
+            probes_per_host: f.u64("probes_per_host")?,
+        },
+        "codered-nat" => StudySpec::CodeRedNat {
+            hosts: f.u64("hosts")?,
+            probes_per_host: f.u64("probes_per_host")?,
+            nat_fraction: f.f64_or("nat_fraction", 0.15)?,
+            rng_seed: f.u64_or("rng_seed", 0xc0de_4ed2)?,
+            quarantine_probes_public: f.u64("quarantine_probes_public")?,
+            quarantine_probes_natted: f.u64("quarantine_probes_natted")?,
+            quarantine_seed: f.u64_or("quarantine_seed", 4)?,
+        },
+        "hitlist-infection" => StudySpec::HitListInfection {
+            detection: detection_from_value("study.detection", f.req("detection")?)?,
+            sizes: sizes_from_value("study.sizes", f.req("sizes")?)?,
+        },
+        "hitlist-detection" => StudySpec::HitListDetection {
+            detection: detection_from_value("study.detection", f.req("detection")?)?,
+            sizes: sizes_from_value("study.sizes", f.req("sizes")?)?,
+        },
+        "nat-detection" => StudySpec::NatDetection {
+            detection: detection_from_value("study.detection", f.req("detection")?)?,
+            nat_fraction: f.f64_or("nat_fraction", 0.15)?,
+            sensors: f.u64("sensors")?,
+            top_k_slash8s: f.u64_or("top_k_slash8s", 20)?,
+        },
+        "bot-commands" => StudySpec::BotCommands {
+            synthetic_commands: f.u64("synthetic_commands")?,
+            corpus_seed: f.u64_or("corpus_seed", 0x7ab1e)?,
+            drone: f.str("drone")?,
+        },
+        "filtering" => StudySpec::Filtering {
+            infected_per_enterprise: f.u64("infected_per_enterprise")?,
+            infected_per_isp: f.u64("infected_per_isp")?,
+            probes_per_host: f.u64("probes_per_host")?,
+            blaster_scan_len: f.u64_or("blaster_scan_len", (30 * 24 * 3600) as u64 * 11)?,
+            rng_seed: f.u64_or("rng_seed", 0x7ab1e2)?,
+        },
+        "ablations" => StudySpec::Ablations {
+            nat_population: f.u64("nat_population")?,
+            nat_max_time: f.f64("nat_max_time")?,
+            sensor_hosts: f.u64("sensor_hosts")?,
+            sensor_max_time: f.f64("sensor_max_time")?,
+            reboot_hosts: f.u64("reboot_hosts")?,
+        },
+        "sensitivity" => StudySpec::Sensitivity {
+            trials: f.u64("trials")?,
+            codered_hosts: f.u64("codered_hosts")?,
+            codered_probes_per_host: f.u64("codered_probes_per_host")?,
+            slammer_hosts: f.u64("slammer_hosts")?,
+            rng_seed: f.u64_or("rng_seed", 0x5ee0)?,
+        },
+        other => {
+            return Err(SpecError::new(
+                "study.kind",
+                format!("unknown study kind {other:?}"),
+            ));
+        }
+    };
+    f.finish()?;
+    Ok(study)
+}
+
+// ---------------------------------------------------------------------------
+// Embedded mini-grammars (prefixes, services, filters, preference entries)
+// ---------------------------------------------------------------------------
+
+/// Parses `"tcp/80"` / `"udp/1434"`.
+pub fn parse_service(field: &str, s: &str) -> Result<Service, SpecError> {
+    let (proto, port) = s
+        .split_once('/')
+        .ok_or_else(|| SpecError::new(field, format!("expected \"proto/port\", got {s:?}")))?;
+    let proto = match proto {
+        "tcp" => Proto::Tcp,
+        "udp" => Proto::Udp,
+        other => {
+            return Err(SpecError::new(
+                field,
+                format!("unknown protocol {other:?} (expected tcp or udp)"),
+            ));
+        }
+    };
+    let port: u16 = port
+        .parse()
+        .map_err(|_| SpecError::new(field, format!("bad port {port:?}")))?;
+    Ok(Service::new(proto, port))
+}
+
+/// Parses a CIDR prefix (`"11.0.0.0/12"`).
+pub fn parse_prefix(field: &str, s: &str) -> Result<Prefix, SpecError> {
+    s.parse::<Prefix>()
+        .map_err(|e| SpecError::new(field, format!("bad prefix {s:?}: {e}")))
+}
+
+/// Parses a dotted-quad address.
+pub fn parse_ip(field: &str, s: &str) -> Result<Ip, SpecError> {
+    s.parse::<Ip>()
+        .map_err(|e| SpecError::new(field, format!("bad address {s:?}: {e}")))
+}
+
+/// Parses a preference entry `"<dotted-mask>*<weight>"` (`"255.0.0.0*4"`).
+pub fn parse_preference_entry(field: &str, s: &str) -> Result<PreferenceEntry, SpecError> {
+    let (mask, weight) = s
+        .split_once('*')
+        .ok_or_else(|| SpecError::new(field, format!("expected \"<mask>*<weight>\", got {s:?}")))?;
+    let mask = parse_ip(field, mask)?.value();
+    let weight: u32 = weight
+        .parse()
+        .map_err(|_| SpecError::new(field, format!("bad weight {weight:?}")))?;
+    if weight == 0 {
+        return Err(SpecError::new(field, "weight must be positive"));
+    }
+    Ok(PreferenceEntry { mask, weight })
+}
+
+/// A parsed filter rule string.
+pub struct ParsedFilter {
+    /// `"egress"` or `"ingress"`.
+    pub direction: String,
+    /// The filtered prefix.
+    pub prefix: Prefix,
+    /// `None` = any service.
+    pub service: Option<Service>,
+}
+
+/// Parses `"<direction> <prefix> <service>"` (`"egress 163.37.8.0/22
+/// udp/1434"`); service `"*"` matches any.
+pub fn parse_filter(field: &str, s: &str) -> Result<ParsedFilter, SpecError> {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    let [direction, prefix, service] = parts.as_slice() else {
+        return Err(SpecError::new(
+            field,
+            format!("expected \"<direction> <prefix> <service>\", got {s:?}"),
+        ));
+    };
+    if *direction != "egress" && *direction != "ingress" {
+        return Err(SpecError::new(
+            field,
+            format!("unknown direction {direction:?} (expected egress or ingress)"),
+        ));
+    }
+    let prefix = parse_prefix(field, prefix)?;
+    let service = if *service == "*" {
+        None
+    } else {
+        Some(parse_service(field, service)?)
+    };
+    Ok(ParsedFilter {
+        direction: (*direction).to_owned(),
+        prefix,
+        service,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Semantic validation
+// ---------------------------------------------------------------------------
+
+fn validate_fraction(field: &str, x: f64) -> Result<(), SpecError> {
+    if (0.0..=1.0).contains(&x) {
+        Ok(())
+    } else {
+        Err(SpecError::new(field, format!("must be in [0, 1], got {x}")))
+    }
+}
+
+fn validate_positive(field: &str, x: f64) -> Result<(), SpecError> {
+    if x > 0.0 && x.is_finite() {
+        Ok(())
+    } else {
+        Err(SpecError::new(field, format!("must be positive, got {x}")))
+    }
+}
+
+fn validate_worm(worm: &WormSpec) -> Result<(), SpecError> {
+    match worm {
+        WormSpec::Uniform | WormSpec::Slammer | WormSpec::CodeRed2 => Ok(()),
+        WormSpec::Blaster { hardware, model } => {
+            if !matches!(
+                hardware.as_str(),
+                "pentium-ii" | "pentium-iii" | "pentium-iv"
+            ) {
+                return Err(SpecError::new(
+                    "worm.hardware",
+                    format!(
+                        "unknown generation {hardware:?} (expected pentium-ii, pentium-iii, \
+                         or pentium-iv)"
+                    ),
+                ));
+            }
+            if !matches!(model.as_str(), "reboot" | "population") {
+                return Err(SpecError::new(
+                    "worm.model",
+                    format!("unknown seed model {model:?} (expected reboot or population)"),
+                ));
+            }
+            Ok(())
+        }
+        WormSpec::HitList { prefixes, service } => {
+            if prefixes.is_empty() {
+                return Err(SpecError::new("worm.prefixes", "must be non-empty"));
+            }
+            for (i, p) in prefixes.iter().enumerate() {
+                parse_prefix(&format!("worm.prefixes[{i}]"), p)?;
+            }
+            if let Some(s) = service {
+                parse_service("worm.service", s)?;
+            }
+            Ok(())
+        }
+        WormSpec::LocalPreference { entries, service } => {
+            if entries.is_empty() {
+                return Err(SpecError::new("worm.entries", "must be non-empty"));
+            }
+            for (i, e) in entries.iter().enumerate() {
+                parse_preference_entry(&format!("worm.entries[{i}]"), e)?;
+            }
+            if let Some(s) = service {
+                parse_service("worm.service", s)?;
+            }
+            Ok(())
+        }
+        WormSpec::Bot { command } => {
+            command
+                .parse::<hotspots_botnet::BotCommand>()
+                .map_err(|e| SpecError::new("worm.command", format!("{e}")))?;
+            Ok(())
+        }
+    }
+}
+
+fn validate_env(env: &EnvSpec) -> Result<(), SpecError> {
+    if let Some(loss) = env.loss {
+        validate_fraction("environment.loss", loss)?;
+    }
+    for (i, rule) in env.filters.iter().enumerate() {
+        parse_filter(&format!("environment.filters[{i}]"), rule)?;
+    }
+    if let Some(lat) = &env.latency {
+        if lat.base_secs < 0.0 || lat.jitter_secs < 0.0 {
+            return Err(SpecError::new(
+                "environment.latency",
+                "delays must be non-negative",
+            ));
+        }
+    }
+    if let Some(nat) = &env.nat {
+        validate_fraction("environment.nat.fraction", nat.fraction)?;
+        if !matches!(nat.topology.as_str(), "isolated" | "shared") {
+            return Err(SpecError::new(
+                "environment.nat.topology",
+                format!(
+                    "unknown topology {:?} (expected isolated or shared)",
+                    nat.topology
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn validate_pop(pop: &PopSpec) -> Result<(), SpecError> {
+    match pop {
+        PopSpec::Range {
+            base,
+            count,
+            stride,
+        } => {
+            parse_ip("population.base", base)?;
+            if *count == 0 {
+                return Err(SpecError::new("population.count", "must be positive"));
+            }
+            if *stride == 0 {
+                return Err(SpecError::new("population.stride", "must be positive"));
+            }
+            Ok(())
+        }
+        PopSpec::Synthetic { size, slash8s, .. } => {
+            if *size == 0 {
+                return Err(SpecError::new("population.size", "must be positive"));
+            }
+            if !(1..=200).contains(slash8s) {
+                return Err(SpecError::new(
+                    "population.slash8s",
+                    format!("must be in [1, 200], got {slash8s}"),
+                ));
+            }
+            Ok(())
+        }
+        PopSpec::Paper { .. } => Ok(()),
+        PopSpec::Hosts { addrs } => {
+            if addrs.is_empty() {
+                return Err(SpecError::new("population.addrs", "must be non-empty"));
+            }
+            for addr in addrs {
+                parse_ip("population.addrs", addr)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn validate_telescope(t: &TelescopeSpec) -> Result<(), SpecError> {
+    match t {
+        TelescopeSpec::None => Ok(()),
+        TelescopeSpec::Field {
+            placement, mode, ..
+        } => {
+            if !matches!(mode.as_str(), "active" | "passive") {
+                return Err(SpecError::new(
+                    "telescope.mode",
+                    format!("unknown mode {mode:?} (expected active or passive)"),
+                ));
+            }
+            match placement {
+                PlacementSpec::Prefixes { prefixes } => {
+                    if prefixes.is_empty() {
+                        return Err(SpecError::new(
+                            "telescope.placement.prefixes",
+                            "must be non-empty",
+                        ));
+                    }
+                    for (i, p) in prefixes.iter().enumerate() {
+                        parse_prefix(&format!("telescope.placement.prefixes[{i}]"), p)?;
+                    }
+                }
+                PlacementSpec::Random { sensors, .. } => {
+                    if *sensors == 0 {
+                        return Err(SpecError::new(
+                            "telescope.placement.sensors",
+                            "must be positive",
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn validate_sim(sim: &SimSpec) -> Result<(), SpecError> {
+    validate_positive("sim.scan_rate", sim.scan_rate)?;
+    if sim.scan_rate_sigma < 0.0 || !sim.scan_rate_sigma.is_finite() {
+        return Err(SpecError::new(
+            "sim.scan_rate_sigma",
+            "must be non-negative",
+        ));
+    }
+    if sim.seeds == 0 {
+        return Err(SpecError::new("sim.seeds", "must be positive"));
+    }
+    validate_positive("sim.dt", sim.dt)?;
+    if sim.max_time < sim.dt {
+        return Err(SpecError::new("sim.max_time", "shorter than one step"));
+    }
+    if let Some(f) = sim.stop_at_fraction {
+        validate_fraction("sim.stop_at_fraction", f)?;
+    }
+    if sim.removal_rate < 0.0 || !sim.removal_rate.is_finite() {
+        return Err(SpecError::new("sim.removal_rate", "must be non-negative"));
+    }
+    if sim.threads == 0 {
+        return Err(SpecError::new("sim.threads", "must be at least 1"));
+    }
+    Ok(())
+}
+
+fn validate_detection(d: &DetectionParams) -> Result<(), SpecError> {
+    if d.population == 0 {
+        return Err(SpecError::new(
+            "study.detection.population",
+            "must be positive",
+        ));
+    }
+    if d.seeds == 0 {
+        return Err(SpecError::new("study.detection.seeds", "must be positive"));
+    }
+    validate_positive("study.detection.scan_rate", d.scan_rate)?;
+    validate_positive("study.detection.max_time", d.max_time)?;
+    validate_fraction("study.detection.stop_at_fraction", d.stop_at_fraction)?;
+    Ok(())
+}
+
+fn validate_study(study: &StudySpec) -> Result<(), SpecError> {
+    match study {
+        StudySpec::BlasterCoverage {
+            hosts,
+            window_secs,
+            scan_rate,
+            reboot_fraction,
+            ..
+        } => {
+            if *hosts == 0 {
+                return Err(SpecError::new("study.hosts", "must be positive"));
+            }
+            validate_positive("study.window_secs", *window_secs)?;
+            validate_positive("study.scan_rate", *scan_rate)?;
+            validate_fraction("study.reboot_fraction", *reboot_fraction)?;
+        }
+        StudySpec::SlammerCoverage { hosts, .. } => {
+            if *hosts == 0 {
+                return Err(SpecError::new("study.hosts", "must be positive"));
+            }
+        }
+        StudySpec::SlammerHosts { probes_per_host } => {
+            if *probes_per_host == 0 {
+                return Err(SpecError::new("study.probes_per_host", "must be positive"));
+            }
+        }
+        StudySpec::CodeRedNat {
+            hosts,
+            probes_per_host,
+            nat_fraction,
+            ..
+        } => {
+            if *hosts == 0 {
+                return Err(SpecError::new("study.hosts", "must be positive"));
+            }
+            if *probes_per_host == 0 {
+                return Err(SpecError::new("study.probes_per_host", "must be positive"));
+            }
+            validate_fraction("study.nat_fraction", *nat_fraction)?;
+        }
+        StudySpec::HitListInfection { detection, sizes }
+        | StudySpec::HitListDetection { detection, sizes } => {
+            validate_detection(detection)?;
+            if sizes.is_empty() {
+                return Err(SpecError::new("study.sizes", "must be non-empty"));
+            }
+        }
+        StudySpec::NatDetection {
+            detection,
+            nat_fraction,
+            sensors,
+            top_k_slash8s,
+        } => {
+            validate_detection(detection)?;
+            validate_fraction("study.nat_fraction", *nat_fraction)?;
+            if *sensors == 0 {
+                return Err(SpecError::new("study.sensors", "must be positive"));
+            }
+            if *top_k_slash8s == 0 {
+                return Err(SpecError::new("study.top_k_slash8s", "must be positive"));
+            }
+        }
+        StudySpec::BotCommands { drone, .. } => {
+            parse_ip("study.drone", drone)?;
+        }
+        StudySpec::Filtering {
+            infected_per_enterprise,
+            infected_per_isp,
+            probes_per_host,
+            ..
+        } => {
+            if *infected_per_enterprise == 0 || *infected_per_isp == 0 {
+                return Err(SpecError::new(
+                    "study.infected_per_enterprise",
+                    "infected host counts must be positive",
+                ));
+            }
+            if *probes_per_host == 0 {
+                return Err(SpecError::new("study.probes_per_host", "must be positive"));
+            }
+        }
+        StudySpec::Ablations {
+            nat_population,
+            nat_max_time,
+            sensor_hosts,
+            sensor_max_time,
+            reboot_hosts,
+        } => {
+            if *nat_population == 0 || *sensor_hosts == 0 || *reboot_hosts == 0 {
+                return Err(SpecError::new("study", "populations must be positive"));
+            }
+            validate_positive("study.nat_max_time", *nat_max_time)?;
+            validate_positive("study.sensor_max_time", *sensor_max_time)?;
+        }
+        StudySpec::Sensitivity {
+            trials,
+            codered_hosts,
+            codered_probes_per_host,
+            slammer_hosts,
+            ..
+        } => {
+            if *trials == 0 {
+                return Err(SpecError::new("study.trials", "must be positive"));
+            }
+            if *codered_hosts == 0 || *slammer_hosts == 0 {
+                return Err(SpecError::new("study", "host counts must be positive"));
+            }
+            if *codered_probes_per_host == 0 {
+                return Err(SpecError::new(
+                    "study.codered_probes_per_host",
+                    "must be positive",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::named("test");
+        spec.meta.artifact = Some("Figure X".into());
+        spec.worm = Some(WormSpec::HitList {
+            prefixes: vec!["11.11.0.0/16".into()],
+            service: Some("udp/1434".into()),
+        });
+        spec.environment = EnvSpec {
+            loss: Some(0.1),
+            filters: vec!["egress 163.37.8.0/22 udp/1434".into()],
+            latency: Some(LatencySpec {
+                base_secs: 0.5,
+                jitter_secs: 2.0,
+            }),
+            nat: Some(NatSpec {
+                fraction: 0.5,
+                topology: "isolated".into(),
+                seed: 7,
+            }),
+        };
+        spec.population = Some(PopSpec::Range {
+            base: "11.11.0.0".into(),
+            count: 300,
+            stride: 3,
+        });
+        spec.telescope = TelescopeSpec::Field {
+            placement: PlacementSpec::Random {
+                sensors: 100,
+                seed: 9,
+            },
+            alert_threshold: 5,
+            mode: "active".into(),
+        };
+        spec.sim.scan_rate = 30.0;
+        spec.sim.stop_at_fraction = Some(0.9);
+        spec
+    }
+
+    fn study_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::named("fig5a-test");
+        spec.study = Some(StudySpec::HitListInfection {
+            detection: DetectionParams {
+                population: 10_000,
+                slash8s: 47,
+                paper_profile: false,
+                seeds: 25,
+                scan_rate: 10.0,
+                alert_threshold: 5,
+                max_time: 4_000.0,
+                stop_at_fraction: 0.95,
+                rng_seed: 0xf15_2006,
+            },
+            sizes: vec![Some(10), Some(100), Some(1000), None],
+        });
+        spec
+    }
+
+    #[test]
+    fn toml_round_trips() {
+        for spec in [engine_spec(), study_spec()] {
+            spec.validate().expect("valid");
+            let toml = spec.to_toml();
+            let back = ScenarioSpec::from_toml(&toml).expect("parses");
+            assert_eq!(spec, back, "TOML:\n{toml}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        for spec in [engine_spec(), study_spec()] {
+            let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_named() {
+        let mut toml = engine_spec().to_toml();
+        toml.push_str("\n[sim]\nscna_rate = 3.0\n");
+        // Re-declaring [sim] replaces it; the typo key must be reported.
+        let err = ScenarioSpec::from_toml(&toml).unwrap_err();
+        assert_eq!(err.field, "sim.scna_rate");
+    }
+
+    #[test]
+    fn validation_names_fields() {
+        let mut spec = engine_spec();
+        spec.environment.nat.as_mut().unwrap().fraction = 1.5;
+        let err = spec.validate().unwrap_err();
+        assert_eq!(err.field, "environment.nat.fraction");
+
+        let mut spec = engine_spec();
+        spec.worm = Some(WormSpec::HitList {
+            prefixes: vec!["11.0.0.0/33".into()],
+            service: None,
+        });
+        let err = spec.validate().unwrap_err();
+        assert_eq!(err.field, "worm.prefixes[0]");
+
+        let mut spec = engine_spec();
+        spec.population = None;
+        let err = spec.validate().unwrap_err();
+        assert_eq!(err.field, "population");
+    }
+
+    #[test]
+    fn shape_is_exclusive() {
+        let mut both = engine_spec();
+        both.study = study_spec().study;
+        assert_eq!(both.validate().unwrap_err().field, "study");
+
+        let neither = ScenarioSpec::named("empty");
+        assert_eq!(neither.validate().unwrap_err().field, "worm");
+    }
+
+    #[test]
+    fn sizes_encode_full_as_string() {
+        let spec = study_spec();
+        let toml = spec.to_toml();
+        assert!(toml.contains("\"full\""), "TOML:\n{toml}");
+    }
+
+    #[test]
+    fn sweep_param_must_resolve() {
+        let mut spec = engine_spec();
+        spec.sweep = Some(SweepSpec {
+            param: "sim.scan_rte".into(),
+            values: vec![Value::Float(1.0)],
+        });
+        assert_eq!(spec.validate().unwrap_err().field, "sweep.param");
+
+        spec.sweep = Some(SweepSpec {
+            param: "sim.scan_rate".into(),
+            values: vec![Value::Float(1.0), Value::Float(2.0)],
+        });
+        spec.validate().expect("valid sweep");
+    }
+
+    #[test]
+    fn filter_grammar_parses() {
+        let f = parse_filter("x", "egress 163.37.8.0/22 udp/1434").unwrap();
+        assert_eq!(f.direction, "egress");
+        assert_eq!(f.service, Some(Service::SLAMMER_SQL));
+        let f = parse_filter("x", "ingress 10.0.0.0/8 *").unwrap();
+        assert!(f.service.is_none());
+        assert!(parse_filter("x", "sideways 10.0.0.0/8 *").is_err());
+        assert!(parse_filter("x", "egress 10.0.0.0/8").is_err());
+    }
+
+    #[test]
+    fn preference_entry_grammar_parses() {
+        let e = parse_preference_entry("x", "255.0.0.0*4").unwrap();
+        assert_eq!(e.mask, 0xff00_0000);
+        assert_eq!(e.weight, 4);
+        assert!(parse_preference_entry("x", "255.0.0.0*0").is_err());
+        assert!(parse_preference_entry("x", "255.0.0.0").is_err());
+    }
+}

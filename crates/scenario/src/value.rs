@@ -1,0 +1,707 @@
+//! The dynamic value tree behind spec (de)serialization.
+//!
+//! Hand-rolled on purpose, like the telemetry crate's JSON: the build
+//! environment has no registry access, so the vendored `serde` is a
+//! marker-trait stub. [`Value`] is the small common model both the TOML
+//! and JSON codecs target; [`ScenarioSpec`](crate::ScenarioSpec)
+//! converts itself to and from it.
+//!
+//! The TOML dialect is the subset the spec schema needs — `[section]`
+//! and `[section.sub]` headers, `key = value` pairs, strings, integers,
+//! floats, booleans, and single-line arrays — with `#` comments.
+//! Emission is deterministic (insertion order), so spec → TOML → spec
+//! round-trips byte-stably.
+
+use std::fmt;
+
+/// A dynamically typed configuration value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// A signed integer.
+    Int(i64),
+    /// A float. Emitted with a decimal point so it re-parses as a float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array (possibly heterogeneous, e.g. `[10, 100, "full"]`).
+    Array(Vec<Value>),
+    /// A key → value table, in insertion order.
+    Table(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty table.
+    pub fn table() -> Value {
+        Value::Table(Vec::new())
+    }
+
+    /// Member lookup on tables.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Table(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Inserts (or replaces) `key` in a table. No-op on non-tables.
+    pub fn set(&mut self, key: &str, value: Value) {
+        if let Value::Table(entries) = self {
+            if let Some(slot) = entries.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                entries.push((key.to_owned(), value));
+            }
+        }
+    }
+
+    /// Looks up a dotted path (`"sim.scan_rate"`).
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for part in path.split('.') {
+            cur = cur.get(part)?;
+        }
+        Some(cur)
+    }
+
+    /// Sets a dotted path, creating intermediate tables as needed.
+    /// Fails if a non-leaf path component is present but not a table.
+    pub fn set_path(&mut self, path: &str, value: Value) -> Result<(), String> {
+        let mut cur = self;
+        let parts: Vec<&str> = path.split('.').collect();
+        for (i, part) in parts.iter().enumerate() {
+            if i + 1 == parts.len() {
+                match cur {
+                    Value::Table(_) => {
+                        cur.set(part, value);
+                        return Ok(());
+                    }
+                    _ => return Err(format!("path {path:?}: parent of {part:?} is not a table")),
+                }
+            }
+            let is_table = matches!(cur, Value::Table(_));
+            if !is_table {
+                return Err(format!("path {path:?}: component {part:?} is not a table"));
+            }
+            if cur.get(part).is_none() {
+                cur.set(part, Value::table());
+            }
+            let Value::Table(entries) = cur else {
+                unreachable!()
+            };
+            cur = entries
+                .iter_mut()
+                .find(|(k, _)| k == *part)
+                .map(|(_, v)| v)
+                .expect("just inserted");
+        }
+        Err(format!("path {path:?} is empty"))
+    }
+
+    /// The value as `&str`, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers widen).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, used in validation errors.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Human-oriented display: strings print bare (no quotes), every
+    /// other shape as its inline TOML literal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            other => {
+                let mut out = String::new();
+                write_inline(&mut out, other);
+                f.write_str(&out)
+            }
+        }
+    }
+}
+
+/// Formats a float so it re-parses as a float (`7` becomes `7.0`).
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() && f.fract() == 0.0 && f.abs() < 1e15 {
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_toml_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_inline(out: &mut String, value: &Value) {
+    match value {
+        Value::Str(s) => write_toml_str(out, s),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(out, item);
+            }
+            out.push(']');
+        }
+        // never reached from emit_table (which filters tables into
+        // [sections]); used by Display for stray table values
+        Value::Table(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(key);
+                out.push_str(" = ");
+                write_inline(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn emit_table(out: &mut String, prefix: &str, entries: &[(String, Value)]) {
+    // scalars first (they belong to this section), subtables after
+    for (key, value) in entries {
+        if !matches!(value, Value::Table(_)) {
+            out.push_str(key);
+            out.push_str(" = ");
+            write_inline(out, value);
+            out.push('\n');
+        }
+    }
+    for (key, value) in entries {
+        if let Value::Table(sub) = value {
+            let path = if prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            out.push_str(&format!("\n[{path}]\n"));
+            emit_table(out, &path, sub);
+        }
+    }
+}
+
+/// Serializes a table value as TOML.
+///
+/// # Panics
+///
+/// Panics if `value` is not a [`Value::Table`] (specs always are).
+pub fn to_toml(value: &Value) -> String {
+    let Value::Table(entries) = value else {
+        panic!("top-level TOML value must be a table");
+    };
+    let mut out = String::new();
+    emit_table(&mut out, "", entries);
+    out
+}
+
+/// A TOML parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+struct Scanner<'a> {
+    text: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<char> {
+        self.text[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    /// Skips spaces and tabs (not newlines).
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.bump();
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => return err(line, "unterminated string"),
+                Some('"') => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().and_then(|c| c.to_digit(16));
+                            match d {
+                                Some(d) => code = code * 16 + d,
+                                None => return err(line, "bad \\u escape"),
+                            }
+                        }
+                        match char::from_u32(code) {
+                            Some(c) => s.push(c),
+                            None => return err(line, "bad \\u escape"),
+                        }
+                    }
+                    _ => return err(line, "unknown escape"),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Value, ParseError> {
+        let line = self.line;
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.parse_string()?)),
+            Some('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(']') => {
+                            self.bump();
+                            return Ok(Value::Array(items));
+                        }
+                        Some(',') => {
+                            self.bump();
+                        }
+                        None | Some('\n') => return err(line, "unterminated array"),
+                        _ => items.push(self.parse_scalar()?),
+                    }
+                }
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == '-' || c == '+' || c == '.' => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(c) if c.is_ascii_alphanumeric() || "+-._".contains(c)
+                ) {
+                    self.bump();
+                }
+                let word = &self.text[start..self.pos];
+                match word {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    _ => {
+                        let plain = word.replace('_', "");
+                        if let Some(hex) = plain.strip_prefix("0x") {
+                            if let Ok(i) = i64::from_str_radix(hex, 16) {
+                                return Ok(Value::Int(i));
+                            }
+                        }
+                        if let Ok(i) = plain.parse::<i64>() {
+                            Ok(Value::Int(i))
+                        } else if let Ok(f) = plain.parse::<f64>() {
+                            Ok(Value::Float(f))
+                        } else {
+                            err(line, format!("cannot parse value {word:?}"))
+                        }
+                    }
+                }
+            }
+            other => err(line, format!("unexpected {other:?} in value position")),
+        }
+    }
+}
+
+/// Parses the supported TOML subset into a [`Value::Table`].
+pub fn from_toml(text: &str) -> Result<Value, ParseError> {
+    let mut root = Value::table();
+    let mut section = String::new();
+    let mut scanner = Scanner {
+        text,
+        pos: 0,
+        line: 1,
+    };
+    loop {
+        scanner.skip_ws();
+        match scanner.peek() {
+            None => return Ok(root),
+            Some('\n') => {
+                scanner.bump();
+            }
+            Some('#') => {
+                while !matches!(scanner.peek(), None | Some('\n')) {
+                    scanner.bump();
+                }
+            }
+            Some('[') => {
+                let line = scanner.line;
+                scanner.bump();
+                let start = scanner.pos;
+                while !matches!(scanner.peek(), None | Some(']' | '\n')) {
+                    scanner.bump();
+                }
+                if scanner.peek() != Some(']') {
+                    return err(line, "unterminated [section] header");
+                }
+                let name = scanner.text[start..scanner.pos].trim().to_owned();
+                scanner.bump();
+                if name.is_empty() || name.starts_with("[") {
+                    return err(line, "empty or array-of-tables section header");
+                }
+                // ensure the table exists even if the section is empty
+                root.set_path(&name, Value::table())
+                    .map_err(|m| ParseError { line, message: m })?;
+                section = name;
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-' => {
+                let line = scanner.line;
+                let start = scanner.pos;
+                while matches!(
+                    scanner.peek(),
+                    Some(c) if c.is_ascii_alphanumeric() || c == '_' || c == '-'
+                ) {
+                    scanner.bump();
+                }
+                let key = scanner.text[start..scanner.pos].to_owned();
+                scanner.skip_ws();
+                if scanner.peek() != Some('=') {
+                    return err(line, format!("expected '=' after key {key:?}"));
+                }
+                scanner.bump();
+                let value = scanner.parse_scalar()?;
+                scanner.skip_ws();
+                if let Some('#') = scanner.peek() {
+                    while !matches!(scanner.peek(), None | Some('\n')) {
+                        scanner.bump();
+                    }
+                }
+                if !matches!(scanner.peek(), None | Some('\n')) {
+                    return err(line, format!("trailing input after value for {key:?}"));
+                }
+                let path = if section.is_empty() {
+                    key
+                } else {
+                    format!("{section}.{key}")
+                };
+                root.set_path(&path, value)
+                    .map_err(|m| ParseError { line, message: m })?;
+            }
+            Some(c) => return err(scanner.line, format!("unexpected character {c:?}")),
+        }
+    }
+}
+
+/// Serializes a value as compact JSON (insertion order preserved).
+pub fn to_json(value: &Value) -> String {
+    let mut out = String::new();
+    write_json(&mut out, value);
+    out
+}
+
+fn write_json(out: &mut String, value: &Value) {
+    match value {
+        Value::Str(s) => write_toml_str(out, s), // same escape set
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_json(out, item);
+            }
+            out.push(']');
+        }
+        Value::Table(entries) => {
+            out.push('{');
+            for (i, (key, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_toml_str(out, key);
+                out.push(':');
+                write_json(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Parses JSON into a [`Value`] (objects become tables).
+pub fn from_json(text: &str) -> Result<Value, ParseError> {
+    let mut scanner = Scanner {
+        text,
+        pos: 0,
+        line: 1,
+    };
+    let value = parse_json_value(&mut scanner)?;
+    skip_json_ws(&mut scanner);
+    if scanner.peek().is_some() {
+        return err(scanner.line, "trailing input after JSON value");
+    }
+    Ok(value)
+}
+
+fn skip_json_ws(s: &mut Scanner<'_>) {
+    while matches!(s.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+        s.bump();
+    }
+}
+
+fn parse_json_value(s: &mut Scanner<'_>) -> Result<Value, ParseError> {
+    skip_json_ws(s);
+    let line = s.line;
+    match s.peek() {
+        Some('"') => Ok(Value::Str(s.parse_string()?)),
+        Some('{') => {
+            s.bump();
+            let mut entries = Vec::new();
+            loop {
+                skip_json_ws(s);
+                match s.peek() {
+                    Some('}') => {
+                        s.bump();
+                        return Ok(Value::Table(entries));
+                    }
+                    Some(',') => {
+                        s.bump();
+                    }
+                    Some('"') => {
+                        let key = s.parse_string()?;
+                        skip_json_ws(s);
+                        if s.peek() != Some(':') {
+                            return err(s.line, format!("expected ':' after key {key:?}"));
+                        }
+                        s.bump();
+                        entries.push((key, parse_json_value(s)?));
+                    }
+                    _ => return err(line, "bad object member"),
+                }
+            }
+        }
+        Some('[') => {
+            s.bump();
+            let mut items = Vec::new();
+            loop {
+                skip_json_ws(s);
+                match s.peek() {
+                    Some(']') => {
+                        s.bump();
+                        return Ok(Value::Array(items));
+                    }
+                    Some(',') => {
+                        s.bump();
+                    }
+                    None => return err(line, "unterminated array"),
+                    _ => items.push(parse_json_value(s)?),
+                }
+            }
+        }
+        Some(c) if c == 't' || c == 'f' || c == 'n' || c == '-' || c.is_ascii_digit() => {
+            let start = s.pos;
+            while matches!(
+                s.peek(),
+                Some(c) if c.is_ascii_alphanumeric() || "+-.".contains(c)
+            ) {
+                s.bump();
+            }
+            match &s.text[start..s.pos] {
+                "true" => Ok(Value::Bool(true)),
+                "false" => Ok(Value::Bool(false)),
+                "null" => err(line, "null is not a spec value"),
+                word => {
+                    if let Ok(i) = word.parse::<i64>() {
+                        Ok(Value::Int(i))
+                    } else if let Ok(f) = word.parse::<f64>() {
+                        Ok(Value::Float(f))
+                    } else {
+                        err(line, format!("cannot parse {word:?}"))
+                    }
+                }
+            }
+        }
+        other => err(line, format!("unexpected {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_like() -> Value {
+        let mut v = Value::table();
+        v.set("name", Value::Str("fig-x".into()));
+        let mut sim = Value::table();
+        sim.set("scan_rate", Value::Float(10.0));
+        sim.set("seeds", Value::Int(25));
+        sim.set("stop", Value::Bool(true));
+        sim.set(
+            "sizes",
+            Value::Array(vec![
+                Value::Int(10),
+                Value::Int(100),
+                Value::Str("full".into()),
+            ]),
+        );
+        v.set("sim", sim);
+        v
+    }
+
+    #[test]
+    fn toml_round_trips() {
+        let v = spec_like();
+        let text = to_toml(&v);
+        let back = from_toml(&text).expect("parse emitted TOML");
+        assert_eq!(v, back, "emitted:\n{text}");
+        // and emission is stable
+        assert_eq!(to_toml(&back), text);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let v = spec_like();
+        let back = from_json(&to_json(&v)).expect("parse emitted JSON");
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let mut v = Value::table();
+        v.set("x", Value::Float(7.0));
+        let back = from_toml(&to_toml(&v)).unwrap();
+        assert_eq!(back.get("x"), Some(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn hex_and_underscored_ints_parse() {
+        let v = from_toml("seed = 0x4d53_2006\nbig = 1_000_000\n").unwrap();
+        assert_eq!(v.get("seed").unwrap().as_int(), Some(0x4d53_2006));
+        assert_eq!(v.get("big").unwrap().as_int(), Some(1_000_000));
+    }
+
+    #[test]
+    fn sections_nest() {
+        let v = from_toml("[a]\nx = 1\n[a.b]\ny = 2\n").unwrap();
+        assert_eq!(v.get_path("a.x").unwrap().as_int(), Some(1));
+        assert_eq!(v.get_path("a.b.y").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = from_toml("x = 1\ny ==\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = from_toml("x = @\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn set_path_creates_and_rejects() {
+        let mut v = Value::table();
+        v.set_path("a.b.c", Value::Int(3)).unwrap();
+        assert_eq!(v.get_path("a.b.c").unwrap().as_int(), Some(3));
+        v.set("leaf", Value::Int(1));
+        assert!(v.set_path("leaf.x", Value::Int(2)).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let v = from_toml("# header\n\nx = 1 # trailing\n").unwrap();
+        assert_eq!(v.get("x").unwrap().as_int(), Some(1));
+    }
+}

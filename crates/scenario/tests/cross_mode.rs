@@ -1,0 +1,159 @@
+//! Cross-mode determinism: the staged probe pipeline must produce
+//! bit-identical results whether it runs serially (`threads = 1`) or
+//! sharded across worker threads — same infection times, same ledger,
+//! same observer-visible probe stream.
+//!
+//! Each mode is an `xmode-*` registry preset, so the exact scenarios the
+//! suite pins are runnable by hand (`hotspots run xmode-slammer`) and
+//! serialize to TOML like any other spec.
+//!
+//! Without the `parallel` cargo feature, `threads > 1` falls back to the
+//! serial path and these tests pass trivially; the CI `parallel` job
+//! compiles the real sharded path and re-runs them.
+
+use hotspots_ipspace::Ip;
+use hotspots_netmodel::{Delivery, DeliveryLedger, Locus};
+use hotspots_scenario::{find_preset, Scale};
+use hotspots_sim::{Engine, SimObserver, SimResult};
+
+/// Everything the engine hands an observer, aggregated, so cross-mode
+/// equality covers the observer-visible stream and not just `SimResult`.
+#[derive(Default)]
+struct EventTally {
+    probes: u64,
+    publics: u64,
+    locals: u64,
+    infections: u64,
+    batch_calls: u64,
+}
+
+impl SimObserver for EventTally {
+    fn on_probe(&mut self, _time: f64, _src: Ip, delivery: Delivery) {
+        self.probes += 1;
+        match delivery {
+            Delivery::Public(_) => self.publics += 1,
+            Delivery::Local { .. } => self.locals += 1,
+            Delivery::Dropped(_) => {}
+        }
+    }
+
+    fn on_probe_batch(&mut self, time: f64, probes: &[(Ip, Delivery)], ledger: &DeliveryLedger) {
+        self.batch_calls += 1;
+        assert_eq!(
+            ledger.probes(),
+            probes.len() as u64,
+            "batch ledger must cover exactly the batch's probes"
+        );
+        for &(src, delivery) in probes {
+            self.on_probe(time, src, delivery);
+        }
+    }
+
+    fn on_infection(&mut self, _time: f64, _host: usize, _locus: Locus) {
+        self.infections += 1;
+    }
+}
+
+fn run_with_threads(preset: &str, threads: usize) -> (SimResult, EventTally) {
+    let preset = find_preset(preset).expect("registered preset");
+    let mut built = preset
+        .spec(Scale::Quick)
+        .build()
+        .expect("cross-mode presets build");
+    built.config.threads = threads;
+    let mut engine = Engine::new(
+        built.config,
+        built.population,
+        built.environment,
+        built.worm,
+    );
+    let mut tally = EventTally::default();
+    let result = engine.run(&mut tally);
+    (result, tally)
+}
+
+/// Builds `preset` fresh per thread count, runs it serially and at 2 and
+/// 4 worker threads (plus a more-threads-than-hosts configuration), and
+/// asserts every deterministic output is identical.
+fn assert_cross_mode_identical(name: &str) {
+    let (base, base_tally) = run_with_threads(name, 1);
+    assert!(base.probes_sent > 0, "{name}: run emitted no probes");
+    assert!(
+        base_tally.batch_calls > 0,
+        "{name}: observer saw no batches"
+    );
+    let base_curve: Vec<(f64, f64)> = base.infection_curve.iter().collect();
+
+    for threads in [2, 4, 64] {
+        let (other, tally) = run_with_threads(name, threads);
+        assert_eq!(
+            base.infection_times, other.infection_times,
+            "{name}: infection times diverge at {threads} threads"
+        );
+        assert_eq!(
+            base.probes_sent, other.probes_sent,
+            "{name}: probe count diverges at {threads} threads"
+        );
+        assert_eq!(
+            base.ledger, other.ledger,
+            "{name}: ledger diverges at {threads} threads"
+        );
+        assert_eq!(base.infected, other.infected, "{name} @ {threads} threads");
+        assert_eq!(base.removed, other.removed, "{name} @ {threads} threads");
+        assert_eq!(base.elapsed, other.elapsed, "{name} @ {threads} threads");
+        let curve: Vec<(f64, f64)> = other.infection_curve.iter().collect();
+        assert_eq!(
+            base_curve, curve,
+            "{name}: infection curve diverges at {threads} threads"
+        );
+        assert_eq!(
+            base_tally.probes, tally.probes,
+            "{name} @ {threads} threads"
+        );
+        assert_eq!(
+            base_tally.publics, tally.publics,
+            "{name} @ {threads} threads"
+        );
+        assert_eq!(
+            base_tally.locals, tally.locals,
+            "{name} @ {threads} threads"
+        );
+        assert_eq!(
+            base_tally.infections, tally.infections,
+            "{name} @ {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn uniform_worm_is_thread_invariant() {
+    assert_cross_mode_identical("xmode-uniform");
+}
+
+#[test]
+fn blaster_worm_is_thread_invariant() {
+    assert_cross_mode_identical("xmode-blaster");
+}
+
+#[test]
+fn slammer_worm_is_thread_invariant() {
+    assert_cross_mode_identical("xmode-slammer");
+}
+
+#[test]
+fn codered2_worm_with_nat_is_thread_invariant() {
+    assert_cross_mode_identical("xmode-codered2-nat");
+}
+
+#[test]
+fn hitlist_worm_is_thread_invariant() {
+    assert_cross_mode_identical("xmode-hitlist");
+}
+
+#[test]
+fn latency_and_removal_are_thread_invariant() {
+    // The heaviest configuration: latency with jitter (pending-activation
+    // heap and the dedicated latency stream), removal (per-host streams),
+    // rate dispersion, and loss, all at once.
+    assert_cross_mode_identical("xmode-hitlist-latency");
+}

@@ -1,0 +1,380 @@
+//! Serialization round-trip properties for [`ScenarioSpec`].
+//!
+//! Specs are plain data; the contract is that `to_toml`/`from_toml` and
+//! `to_json`/`from_json` are inverses over every *valid* spec. The
+//! generator below samples the whole schema — both the engine path and
+//! all eleven study kinds, with random environments, telescopes, and
+//! sweeps — keeping each draw inside the validated ranges so the
+//! property quantifies over specs a user could actually run.
+
+use hotspots_scenario::spec::{
+    DetectionParams, EnvSpec, LatencySpec, NatSpec, PlacementSpec, PopSpec, SimSpec, StudySpec,
+    SweepSpec, TelescopeSpec, WormSpec,
+};
+use hotspots_scenario::{presets, Scale, ScenarioSpec, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pick<'a, T>(rng: &mut StdRng, choices: &'a [T]) -> &'a T {
+    &choices[rng.gen_range(0..choices.len())]
+}
+
+/// Seeds in specs serialize through `Value::Int` (i64), so stay inside it.
+fn arb_seed(rng: &mut StdRng) -> u64 {
+    rng.gen::<u64>() >> 1
+}
+
+fn arb_ip(rng: &mut StdRng) -> String {
+    // public-ish dotted quads: keep the first octet clear of 0/127/224+
+    format!(
+        "{}.{}.{}.{}",
+        rng.gen_range(1u32..=200),
+        rng.gen_range(0u32..=255),
+        rng.gen_range(0u32..=255),
+        rng.gen_range(0u32..=255)
+    )
+}
+
+fn arb_prefix(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(8u32..=24);
+    let base = (rng.gen::<u32>() >> (32 - len)) << (32 - len);
+    let [a, b, c, d] = base.to_be_bytes();
+    format!("{a}.{b}.{c}.{d}/{len}")
+}
+
+fn arb_worm(rng: &mut StdRng) -> WormSpec {
+    let service = |rng: &mut StdRng| match rng.gen_range(0u32..3) {
+        0 => None,
+        1 => Some("tcp/80".to_owned()),
+        _ => Some("udp/1434".to_owned()),
+    };
+    match rng.gen_range(0u32..7) {
+        0 => WormSpec::Uniform,
+        1 => WormSpec::Slammer,
+        2 => WormSpec::CodeRed2,
+        3 => WormSpec::Blaster {
+            hardware: pick(rng, &["pentium-ii", "pentium-iii", "pentium-iv"]).to_string(),
+            model: pick(rng, &["reboot", "population"]).to_string(),
+        },
+        4 => {
+            let n = rng.gen_range(1usize..=4);
+            WormSpec::HitList {
+                prefixes: (0..n).map(|_| arb_prefix(rng)).collect(),
+                service: service(rng),
+            }
+        }
+        5 => {
+            let n = rng.gen_range(1usize..=3);
+            let masks = ["255.0.0.0", "255.255.0.0", "0.0.0.0"];
+            WormSpec::LocalPreference {
+                entries: (0..n)
+                    .map(|i| format!("{}*{}", masks[i % masks.len()], rng.gen_range(1u32..=8)))
+                    .collect(),
+                service: service(rng),
+            }
+        }
+        _ => WormSpec::Bot {
+            command: pick(
+                rng,
+                &["advscan dcom2 150 3 0 -r -s", "ipscan 20.40.x.x dcom2 -s"],
+            )
+            .to_string(),
+        },
+    }
+}
+
+fn arb_pop(rng: &mut StdRng) -> PopSpec {
+    match rng.gen_range(0u32..4) {
+        0 => PopSpec::Range {
+            base: arb_ip(rng),
+            count: rng.gen_range(1u64..=100_000),
+            stride: rng.gen_range(1u64..=1_000),
+        },
+        1 => PopSpec::Synthetic {
+            size: rng.gen_range(1u64..=100_000),
+            slash8s: rng.gen_range(1u64..=64),
+            seed: arb_seed(rng),
+        },
+        2 => PopSpec::Paper {
+            seed: arb_seed(rng),
+        },
+        _ => {
+            let n = rng.gen_range(1usize..=8);
+            PopSpec::Hosts {
+                addrs: (0..n).map(|_| arb_ip(rng)).collect(),
+            }
+        }
+    }
+}
+
+fn arb_env(rng: &mut StdRng) -> EnvSpec {
+    let filters = match rng.gen_range(0u32..3) {
+        0 => vec![],
+        1 => vec![format!("egress {} udp/1434", arb_prefix(rng))],
+        _ => vec![
+            format!("egress {} tcp/80", arb_prefix(rng)),
+            format!("ingress {} *", arb_prefix(rng)),
+        ],
+    };
+    EnvSpec {
+        loss: rng.gen_bool(0.5).then(|| rng.gen_range(0.0..1.0)),
+        filters,
+        latency: rng.gen_bool(0.3).then(|| LatencySpec {
+            base_secs: rng.gen_range(0.0..2.0),
+            jitter_secs: rng.gen_range(0.0..1.0),
+        }),
+        nat: rng.gen_bool(0.3).then(|| NatSpec {
+            fraction: rng.gen_range(0.0..1.0),
+            topology: pick(rng, &["isolated", "shared"]).to_string(),
+            seed: arb_seed(rng),
+        }),
+    }
+}
+
+fn arb_telescope(rng: &mut StdRng) -> TelescopeSpec {
+    match rng.gen_range(0u32..3) {
+        0 => TelescopeSpec::None,
+        1 => {
+            let n = rng.gen_range(1usize..=6);
+            TelescopeSpec::Field {
+                placement: PlacementSpec::Prefixes {
+                    prefixes: (0..n).map(|_| arb_prefix(rng)).collect(),
+                },
+                alert_threshold: rng.gen_range(1u64..=50),
+                mode: pick(rng, &["active", "passive"]).to_string(),
+            }
+        }
+        _ => TelescopeSpec::Field {
+            placement: PlacementSpec::Random {
+                sensors: rng.gen_range(1u64..=2_000),
+                seed: arb_seed(rng),
+            },
+            alert_threshold: rng.gen_range(1u64..=50),
+            mode: pick(rng, &["active", "passive"]).to_string(),
+        },
+    }
+}
+
+fn arb_sim(rng: &mut StdRng) -> SimSpec {
+    let dt = *pick(rng, &[0.1, 0.5, 1.0]);
+    SimSpec {
+        scan_rate: rng.gen_range(0.5..4_000.0),
+        scan_rate_sigma: rng.gen_range(0.0..2.0),
+        seeds: rng.gen_range(1u64..=100),
+        dt,
+        max_time: rng.gen_range(dt..10_000.0),
+        stop_at_fraction: rng.gen_bool(0.5).then(|| rng.gen_range(0.05..1.0)),
+        removal_rate: rng.gen_range(0.0..0.1),
+        rng_seed: arb_seed(rng),
+        threads: rng.gen_range(1u64..=8),
+    }
+}
+
+fn arb_detection(rng: &mut StdRng) -> DetectionParams {
+    DetectionParams {
+        population: rng.gen_range(100u64..=200_000),
+        slash8s: rng.gen_range(1u64..=64),
+        paper_profile: rng.gen_bool(0.3),
+        seeds: rng.gen_range(1u64..=50),
+        scan_rate: rng.gen_range(0.5..100.0),
+        alert_threshold: rng.gen_range(1u64..=20),
+        max_time: rng.gen_range(10.0..10_000.0),
+        stop_at_fraction: rng.gen_range(0.05..1.0),
+        rng_seed: arb_seed(rng),
+    }
+}
+
+fn arb_sizes(rng: &mut StdRng) -> Vec<Option<u64>> {
+    let n = rng.gen_range(1usize..=4);
+    (0..n)
+        .map(|_| rng.gen_bool(0.8).then(|| rng.gen_range(1u64..=500)))
+        .collect()
+}
+
+fn arb_study(rng: &mut StdRng) -> StudySpec {
+    match rng.gen_range(0u32..11) {
+        0 => StudySpec::BlasterCoverage {
+            hosts: rng.gen_range(10u64..=100_000),
+            window_secs: rng.gen_range(60.0..7_200.0),
+            scan_rate: rng.gen_range(0.5..100.0),
+            reboot_fraction: rng.gen_range(0.0..1.0),
+            rng_seed: arb_seed(rng),
+        },
+        1 => StudySpec::SlammerCoverage {
+            hosts: rng.gen_range(10u64..=100_000),
+            m_block_filter: rng.gen_bool(0.5),
+            rng_seed: arb_seed(rng),
+        },
+        2 => StudySpec::SlammerHosts {
+            probes_per_host: rng.gen_range(1_000u64..=1_000_000),
+        },
+        3 => StudySpec::CodeRedNat {
+            hosts: rng.gen_range(10u64..=10_000),
+            probes_per_host: rng.gen_range(100u64..=100_000),
+            nat_fraction: rng.gen_range(0.0..1.0),
+            rng_seed: arb_seed(rng),
+            quarantine_probes_public: rng.gen_range(1_000u64..=2_000_000),
+            quarantine_probes_natted: rng.gen_range(1_000u64..=2_000_000),
+            quarantine_seed: arb_seed(rng),
+        },
+        4 => StudySpec::HitListInfection {
+            detection: arb_detection(rng),
+            sizes: arb_sizes(rng),
+        },
+        5 => StudySpec::HitListDetection {
+            detection: arb_detection(rng),
+            sizes: arb_sizes(rng),
+        },
+        6 => StudySpec::NatDetection {
+            detection: arb_detection(rng),
+            nat_fraction: rng.gen_range(0.0..1.0),
+            sensors: rng.gen_range(1u64..=2_000),
+            top_k_slash8s: rng.gen_range(1u64..=64),
+        },
+        7 => StudySpec::BotCommands {
+            synthetic_commands: rng.gen_range(1u64..=10_000),
+            corpus_seed: arb_seed(rng),
+            drone: arb_ip(rng),
+        },
+        8 => StudySpec::Filtering {
+            infected_per_enterprise: rng.gen_range(1u64..=10_000),
+            infected_per_isp: rng.gen_range(1u64..=10_000),
+            probes_per_host: rng.gen_range(100u64..=100_000),
+            blaster_scan_len: rng.gen_range(100u64..=100_000),
+            rng_seed: arb_seed(rng),
+        },
+        9 => StudySpec::Ablations {
+            nat_population: rng.gen_range(10u64..=50_000),
+            nat_max_time: rng.gen_range(10.0..10_000.0),
+            sensor_hosts: rng.gen_range(10u64..=50_000),
+            sensor_max_time: rng.gen_range(10.0..10_000.0),
+            reboot_hosts: rng.gen_range(10u64..=100_000),
+        },
+        _ => StudySpec::Sensitivity {
+            trials: rng.gen_range(1u64..=50),
+            codered_hosts: rng.gen_range(10u64..=10_000),
+            codered_probes_per_host: rng.gen_range(100u64..=100_000),
+            slammer_hosts: rng.gen_range(10u64..=100_000),
+            rng_seed: arb_seed(rng),
+        },
+    }
+}
+
+fn arb_sweep(rng: &mut StdRng) -> SweepSpec {
+    let n = rng.gen_range(1usize..=4);
+    let (param, values): (&str, Vec<Value>) = match rng.gen_range(0u32..3) {
+        0 => (
+            "sim.scan_rate",
+            (0..n)
+                .map(|_| Value::Float(rng.gen_range(0.5..100.0)))
+                .collect(),
+        ),
+        1 => (
+            "sim.seeds",
+            (0..n)
+                .map(|_| Value::Int(rng.gen_range(1i64..=100)))
+                .collect(),
+        ),
+        _ => (
+            // always present: the sim table is emitted on both paths
+            "sim.threads",
+            (0..n)
+                .map(|_| Value::Int(rng.gen_range(1i64..=8)))
+                .collect(),
+        ),
+    };
+    SweepSpec {
+        param: param.to_owned(),
+        values,
+    }
+}
+
+/// One valid spec, sampled across the whole schema.
+fn arb_spec(seed: u64) -> ScenarioSpec {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    let mut spec = ScenarioSpec::named(format!("prop-{}", rng.gen_range(0u32..1_000_000)));
+    if rng.gen_bool(0.5) {
+        spec.meta.scenario = Some("a property-test scenario".to_owned());
+    }
+    if rng.gen_bool(0.3) {
+        spec.meta.artifact = Some("FIGURE X".to_owned());
+        spec.meta.title = Some("generated".to_owned());
+    }
+    if rng.gen_bool(0.3) {
+        spec.meta.scale = Some(pick(rng, &["quick", "paper"]).to_string());
+    }
+    if rng.gen_bool(0.5) {
+        // engine path
+        spec.worm = Some(arb_worm(rng));
+        spec.population = Some(arb_pop(rng));
+        spec.environment = arb_env(rng);
+        spec.telescope = arb_telescope(rng);
+        spec.sim = arb_sim(rng);
+    } else {
+        spec.study = Some(arb_study(rng));
+    }
+    if rng.gen_bool(0.3) {
+        spec.sweep = Some(arb_sweep(rng));
+    }
+    spec
+}
+
+proptest! {
+    #[test]
+    fn generated_specs_validate(seed in any::<u64>()) {
+        let spec = arb_spec(seed);
+        if let Err(e) = spec.validate() {
+            return Err(TestCaseError::fail(format!("generator produced invalid spec: {e}")));
+        }
+    }
+
+    #[test]
+    fn toml_round_trip_is_identity(seed in any::<u64>()) {
+        let spec = arb_spec(seed);
+        let toml = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&toml)
+            .map_err(|e| TestCaseError::fail(format!("re-parse failed: {e}\n{toml}")))?;
+        prop_assert_eq!(&spec, &back);
+        // and the emitted text itself is a fixed point
+        prop_assert_eq!(toml, back.to_toml());
+    }
+
+    #[test]
+    fn json_round_trip_is_identity(seed in any::<u64>()) {
+        let spec = arb_spec(seed);
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json)
+            .map_err(|e| TestCaseError::fail(format!("re-parse failed: {e}\n{json}")))?;
+        prop_assert_eq!(&spec, &back);
+    }
+
+    #[test]
+    fn toml_and_json_agree(seed in any::<u64>()) {
+        let spec = arb_spec(seed);
+        let via_toml = ScenarioSpec::from_toml(&spec.to_toml())
+            .map_err(|e| TestCaseError::fail(format!("toml: {e}")))?;
+        let via_json = ScenarioSpec::from_json(&spec.to_json())
+            .map_err(|e| TestCaseError::fail(format!("json: {e}")))?;
+        prop_assert_eq!(via_toml, via_json);
+    }
+}
+
+/// The registry is covered exhaustively (not statistically): every
+/// preset at both scales validates and survives both formats.
+#[test]
+fn every_preset_round_trips_at_both_scales() {
+    for preset in presets() {
+        for scale in [Scale::Quick, Scale::Paper] {
+            let spec = preset.spec(scale);
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: invalid at {scale:?}: {e}", preset.name));
+            let toml = ScenarioSpec::from_toml(&spec.to_toml())
+                .unwrap_or_else(|e| panic!("{}: toml re-parse: {e}", preset.name));
+            assert_eq!(spec, toml, "{}: toml round-trip drifted", preset.name);
+            let json = ScenarioSpec::from_json(&spec.to_json())
+                .unwrap_or_else(|e| panic!("{}: json re-parse: {e}", preset.name));
+            assert_eq!(spec, json, "{}: json round-trip drifted", preset.name);
+        }
+    }
+}

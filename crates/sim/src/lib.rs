@@ -53,5 +53,6 @@ pub use population::{
 };
 pub use telemetry::{fold_ledger, TelemetryObserver};
 pub use worms::{
-    BlasterWorm, BotWorm, CodeRed2Worm, HitListWorm, SlammerWorm, UniformWorm, WormModel,
+    BlasterWorm, BotWorm, CodeRed2Worm, HitListWorm, LocalPreferenceWorm, SlammerWorm, UniformWorm,
+    WormModel,
 };

@@ -6,8 +6,8 @@ use hotspots_netmodel::{Locus, Service};
 use hotspots_prng::entropy::SeedModel;
 use hotspots_prng::{SplitMix, SqlsortDll};
 use hotspots_targeting::{
-    BlasterScanner, CodeRed2Scanner, HitList, HitListScanner, SlammerScanner, TargetGenerator,
-    UniformScanner,
+    BlasterScanner, CodeRed2Scanner, HitList, HitListScanner, LocalPreference, PreferenceEntry,
+    SlammerScanner, TargetGenerator, UniformScanner,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -191,6 +191,65 @@ impl WormModel for BotWorm {
             Ok(scanner) => Box::new(scanner),
             Err(_) => Box::new(UniformScanner::new(SplitMix::new(host_seed))),
         }
+    }
+}
+
+/// A generic local-preference worm: every instance keeps a weighted
+/// mixture of its own address's prefixes (the paper's general form of
+/// the deliberate algorithmic factor; [`CodeRed2Worm`] is the faithful
+/// 1/8–4/8–3/8 instance of this scheme).
+#[derive(Debug, Clone)]
+pub struct LocalPreferenceWorm {
+    entries: Vec<PreferenceEntry>,
+    service: Service,
+}
+
+impl LocalPreferenceWorm {
+    /// Creates a worm with the given preference table, probing TCP/80.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any weight is zero (the same
+    /// contract as [`LocalPreference::new`]).
+    pub fn new(entries: Vec<PreferenceEntry>) -> LocalPreferenceWorm {
+        assert!(!entries.is_empty(), "preference table must be non-empty");
+        assert!(
+            entries.iter().all(|e| e.weight > 0),
+            "preference weights must be positive"
+        );
+        LocalPreferenceWorm {
+            entries,
+            service: Service::CODERED_HTTP,
+        }
+    }
+
+    /// Overrides the probed service.
+    pub fn with_service(mut self, service: Service) -> LocalPreferenceWorm {
+        self.service = service;
+        self
+    }
+
+    /// The preference table.
+    pub fn entries(&self) -> &[PreferenceEntry] {
+        &self.entries
+    }
+}
+
+impl WormModel for LocalPreferenceWorm {
+    fn name(&self) -> &'static str {
+        "local-preference"
+    }
+
+    fn service(&self) -> Service {
+        self.service
+    }
+
+    fn generator(&self, locus: Locus, host_seed: u64) -> Box<dyn TargetGenerator + Send> {
+        Box::new(LocalPreference::new(
+            locus.local_address(),
+            self.entries.clone(),
+            SplitMix::new(host_seed),
+        ))
     }
 }
 

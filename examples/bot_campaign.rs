@@ -2,25 +2,22 @@
 //! what the telescope does (and doesn't) see.
 //!
 //! The paper's Table 1 commands restrict drones to chosen subnets. This
-//! example extracts a command from a noisy IRC capture, runs the campaign
-//! over a vulnerable population, and shows the detection consequence: the
-//! hit-list confines all probe traffic, so only sensors inside the
-//! targeted range ever see anything — the algorithmic hotspot in its
-//! most deliberate form.
+//! example extracts a command from a noisy IRC capture, describes the
+//! whole campaign as a declarative [`ScenarioSpec`] — the bot worm, the
+//! half-in/half-out population, the sensor field — and runs it through
+//! the same [`run_spec`] path as the `hotspots` CLI. The detection
+//! consequence: the hit-list confines all probe traffic, so only sensors
+//! inside the targeted range ever see anything — the algorithmic hotspot
+//! in its most deliberate form.
 //!
 //! Run with: `cargo run --release --example bot_campaign`
 
 use hotspots_botnet::log_scanner;
-use hotspots_ipspace::{Ip, Prefix};
-use hotspots_netmodel::Environment;
-use hotspots_sim::{BotWorm, Engine, FieldObserver, Population, SimConfig, TelemetryObserver};
-use hotspots_telemetry::ReportBuilder;
-use hotspots_telescope::DetectorField;
+use hotspots_ipspace::Ip;
+use hotspots_scenario::spec::{PlacementSpec, PopSpec, SimSpec, TelescopeSpec, WormSpec};
+use hotspots_scenario::{run_spec, Outcome, RunContext, ScenarioSpec};
 
 fn main() {
-    // started first so its wall clock covers the whole campaign
-    let mut report = ReportBuilder::new("bot_campaign", "botnet campaign");
-
     // 1. "Capture" the controller's channel and extract the command.
     let capture = [
         "PING :irc.backbone.example".to_owned(),
@@ -37,46 +34,51 @@ fn main() {
         .last()
         .expect("capture contains commands")
         .command
-        .clone();
+        .to_string();
     println!("\nrunning the campaign for: {command}\n");
 
     // 2. A vulnerable population: half inside the targeted 20.40/16
     //    (an academic-network-style cluster), half elsewhere.
-    let mut addrs: Vec<Ip> = Vec::new();
-    for i in 0..1_500u32 {
-        addrs.push(Ip::new(0x1428_0000 | (i * 7 % 0x1_0000))); // 20.40.x.x
-        addrs.push(Ip::new(0x3700_0000 | (i * 7 % 0x1_0000))); // 55.0.x.x
-    }
-    addrs.sort_unstable();
-    addrs.dedup();
-
-    // 3. Sensors inside and outside the targeted range.
-    let sensors: Vec<Prefix> = (0..8u32)
-        .map(|i| format!("20.40.{}.0/24", 1 + i * 31).parse().expect("valid"))
-        .chain((0..8u32).map(|i| format!("55.0.{}.0/24", 1 + i * 31).parse().expect("valid")))
+    let addrs: Vec<String> = (0..1_500u32)
+        .flat_map(|i| {
+            [
+                Ip::new(0x1428_0000 | (i * 7 % 0x1_0000)), // 20.40.x.x
+                Ip::new(0x3700_0000 | (i * 7 % 0x1_0000)), // 55.0.x.x
+            ]
+        })
+        .map(|ip| ip.to_string())
         .collect();
 
-    let field = DetectorField::new(sensors.clone(), 5);
-    // observers compose as tuples: the detector field and the telemetry
-    // accounting watch the same probe stream in one pass
-    let mut observer = (FieldObserver::new(field), TelemetryObserver::disabled());
-    let config = SimConfig {
+    // 3. The campaign as a spec: bot worm, explicit hosts, sensors
+    //    inside and outside the targeted range.
+    let sensors: Vec<String> = (0..8u32)
+        .map(|i| format!("20.40.{}.0/24", 1 + i * 31))
+        .chain((0..8u32).map(|i| format!("55.0.{}.0/24", 1 + i * 31)))
+        .collect();
+    let mut spec = ScenarioSpec::named("bot-campaign");
+    spec.meta.scenario = Some("botnet campaign".to_owned());
+    spec.worm = Some(WormSpec::Bot {
+        command: command.clone(),
+    });
+    spec.population = Some(PopSpec::Hosts { addrs });
+    spec.telescope = TelescopeSpec::Field {
+        placement: PlacementSpec::Prefixes { prefixes: sensors },
+        alert_threshold: 5,
+        mode: "active".to_owned(),
+    };
+    spec.sim = SimSpec {
         scan_rate: 20.0,
         seeds: 10,
         max_time: 3_000.0,
         stop_at_fraction: None,
-        ..SimConfig::default()
+        ..SimSpec::default()
     };
-    let population = addrs.len() as u64;
-    let mut engine = Engine::new(
-        config,
-        Population::from_public(addrs),
-        Environment::new(),
-        Box::new(BotWorm::new(command.clone())),
-    );
-    let result = engine.run(&mut observer);
-    let (field_observer, telemetry) = observer;
-    let field = field_observer.into_field();
+
+    let mut run = run_spec(&spec, &RunContext::new("bot_campaign")).expect("spec runs");
+    let Outcome::Engine { result, field } = &run.outcome else {
+        unreachable!("engine-path spec");
+    };
+    let field = field.as_ref().expect("spec deploys a sensor field");
 
     // 4. The asymmetry.
     println!(
@@ -103,10 +105,6 @@ fn main() {
          system watching anywhere else\n  concludes nothing is happening."
     );
 
-    report
-        .config("command", &command)
-        .add_population(population)
-        .add_sim_seconds(result.elapsed);
-    telemetry.fold_into(&mut report);
-    report.emit();
+    run.report.config("command", &command);
+    run.report.emit();
 }

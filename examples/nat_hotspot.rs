@@ -2,54 +2,70 @@
 //!
 //! Reproduces the paper's quarantine experiment: the same worm run from
 //! a public host and from a NATed `192.168.0.100` host, plus the
-//! aggregate mixed-population view with its M-block spike.
+//! aggregate mixed-population view with its M-block spike. The whole
+//! study is one declarative [`ScenarioSpec`], executed through the same
+//! [`run_spec`] path as the `hotspots` CLI; this example then renders
+//! the outcome its own way.
 //!
 //! Run with: `cargo run --release --example nat_hotspot`
 
-use hotspots::scenarios::codered;
 use hotspots::scenarios::totals_by_block;
-use hotspots_ipspace::{ims_deployment, Ip, Prefix};
+use hotspots_ipspace::{ims_deployment, Prefix};
+use hotspots_scenario::run::QuarantineTrace;
+use hotspots_scenario::spec::StudySpec;
+use hotspots_scenario::{run_spec, Outcome, RunContext, ScenarioSpec};
 
 fn main() {
-    // started first so its wall clock covers the whole run
-    let mut report =
-        hotspots_telemetry::ReportBuilder::new("nat_hotspot", "Figure 4 quarantine + mix");
-    let blocks = ims_deployment();
-    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M block prefix");
     let probes = 2_000_000u64;
+    let mut spec = ScenarioSpec::named("nat-hotspot");
+    spec.meta.scenario = Some("Figure 4 quarantine + mix".to_owned());
+    spec.study = Some(StudySpec::CodeRedNat {
+        hosts: 4_000,
+        probes_per_host: 10_000,
+        nat_fraction: 0.15,
+        rng_seed: 99,
+        quarantine_probes_public: probes,
+        quarantine_probes_natted: probes,
+        quarantine_seed: 7,
+    });
 
-    println!("== Quarantine runs ({probes} probes each) ==");
-    let outside = codered::quarantine_run(Ip::from_octets(57, 20, 3, 9), probes, &blocks, 7);
-    let natted = codered::quarantine_run(Ip::from_octets(192, 168, 0, 100), probes, &blocks, 7);
-    let m_hits = |h: &hotspots_stats::CountHistogram<hotspots_ipspace::Bucket24>| -> u64 {
-        h.iter()
+    let run = run_spec(&spec, &RunContext::new("nat_hotspot")).expect("study spec runs");
+    let Outcome::CodeRedNat {
+        study,
+        rows,
+        quarantines,
+    } = &run.outcome
+    else {
+        unreachable!("CodeRedII study");
+    };
+
+    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M block prefix");
+    let m_hits = |q: &QuarantineTrace| -> u64 {
+        q.hist
+            .iter()
             .filter(|(b, _)| m_prefix.contains(b.first_ip()))
             .map(|(_, c)| c)
             .sum()
     };
-    println!(
-        "  public 57.20.3.9 host:  {} sensor hits total, {} at the M block",
-        outside.total(),
-        m_hits(&outside)
-    );
-    println!(
-        "  NATed 192.168.0.100:    {} sensor hits total, {} at the M block",
-        natted.total(),
-        m_hits(&natted)
-    );
+
+    println!("== Quarantine runs ({probes} probes each) ==");
+    for q in quarantines {
+        println!(
+            "  {}: {} sensor hits total, {} at the M block",
+            q.label,
+            q.hist.total(),
+            m_hits(q)
+        );
+    }
     println!("  → the NATed instance's /8 preference leaks straight into public 192/8");
 
     println!("\n== Mixed population (Fig 4a, reduced scale) ==");
-    let study = codered::CodeRedStudy {
-        hosts: 4_000,
-        nat_fraction: 0.15,
-        probes_per_host: 10_000,
-        rng_seed: 99,
-    };
-    let (rows, ledger) = codered::sources_by_block_accounted(&study, &ims_deployment());
     let blocks = ims_deployment();
-    println!("  mean unique CodeRedII sources per monitored /24 (15% of hosts NATed):");
-    for (label, total) in totals_by_block(&rows) {
+    println!(
+        "  mean unique CodeRedII sources per monitored /24 ({:.0}% of hosts NATed):",
+        100.0 * study.nat_fraction
+    );
+    for (label, total) in totals_by_block(rows) {
         let block = blocks.iter().find(|b| b.label() == label).expect("label");
         let slash24s = (block.size() / 256).max(1) as f64;
         let rate = total as f64 / slash24s;
@@ -58,13 +74,5 @@ fn main() {
     }
     println!("  → M spikes despite being a tiny /22; that is the hotspot.");
 
-    report
-        .config("quarantine_probes", probes)
-        .config("mixed_hosts", study.hosts)
-        .config("nat_fraction", study.nat_fraction)
-        .add_population(study.hosts as u64);
-    // only the mixed-population run routes through the environment; the
-    // quarantine runs scan straight into the telescope index
-    hotspots_sim::fold_ledger(&mut report, &ledger);
-    report.emit();
+    run.report.emit();
 }

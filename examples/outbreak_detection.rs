@@ -5,14 +5,20 @@
 //! finish infecting its targets while the overwhelming majority of
 //! sensors — and therefore any quorum rule over them — stay silent.
 //!
+//! Both halves are expressed as declarative [`ScenarioSpec`] studies and
+//! executed through the same [`run_spec`] path as the `hotspots` CLI, so
+//! the exact configuration is printable (`ScenarioSpec::to_toml`) and
+//! reproducible from a file.
+//!
 //! Run with: `cargo run --release --example outbreak_detection`
 
-use hotspots::scenarios::detection::{hitlist_runs, nat_run, DetectionStudy, Placement};
-use hotspots_telemetry::ReportBuilder;
+use hotspots_scenario::spec::{DetectionParams, StudySpec};
+use hotspots_scenario::{run_spec, Outcome, RunContext, ScenarioSpec};
 use hotspots_telescope::QuorumPolicy;
 
-fn main() {
-    let study = DetectionStudy {
+/// The shared reduced-scale detection study (Figure 5 at 20k hosts).
+fn detection() -> DetectionParams {
+    DetectionParams {
         population: 20_000,
         slash8s: 30,
         paper_profile: false,
@@ -22,72 +28,73 @@ fn main() {
         max_time: 6_000.0,
         stop_at_fraction: 0.9,
         rng_seed: 5,
-    };
+    }
+}
 
-    let mut report = ReportBuilder::new("outbreak_detection", "Figure 5 reduced scale");
-    report
-        .config("population", study.population)
-        .config("alert_threshold", study.alert_threshold);
+fn main() {
+    let ctx = RunContext::new("outbreak_detection");
 
     println!("== Hit-list outbreaks vs distributed detection ==");
-    let runs = hitlist_runs(&study, &[Some(10), Some(100), None]);
-    for run in &runs {
-        hotspots_sim::fold_ledger(&mut report, &run.ledger);
-        report
-            .add_population(study.population as u64)
-            .add_infections(run.infected_hosts)
-            .add_sim_seconds(run.sim_seconds);
-    }
+    let mut spec = ScenarioSpec::named("outbreak-detection-hitlist");
+    spec.meta.scenario = Some("Figure 5 reduced scale (hit-list sizes)".to_owned());
+    spec.study = Some(StudySpec::HitListInfection {
+        detection: detection(),
+        sizes: vec![Some(10), Some(100), None],
+    });
+    let run = run_spec(&spec, &ctx).expect("study spec runs");
+    let Outcome::HitListInfection { runs, .. } = &run.outcome else {
+        unreachable!("hit-list study");
+    };
     println!(
         "{:>10} {:>9} {:>10} {:>12} {:>14}",
         "hit-list", "coverage", "infected", "sensors", "alerted"
     );
-    for run in &runs {
+    for r in runs {
         println!(
             "{:>10} {:>8.1}% {:>9.1}% {:>12} {:>8} ({:.1}%)",
-            run.list_size,
-            100.0 * run.coverage,
-            100.0 * run.final_infected,
-            run.sensors,
-            run.sensors_alerted,
-            100.0 * run.sensors_alerted as f64 / run.sensors as f64,
+            r.list_size,
+            100.0 * r.coverage,
+            100.0 * r.final_infected,
+            r.sensors,
+            r.sensors_alerted,
+            100.0 * r.sensors_alerted as f64 / r.sensors as f64,
         );
     }
     let quorum = QuorumPolicy::new(0.5).expect("valid quorum");
-    for run in &runs {
-        let fraction = run.sensors_alerted as f64 / run.sensors as f64;
+    for r in runs {
+        let fraction = r.sensors_alerted as f64 / r.sensors as f64;
         if fraction < quorum.quorum {
             println!(
                 "  → {}-prefix worm: a 50% quorum detector NEVER fires \
                  (only {:.1}% of sensors alerted)",
-                run.list_size,
+                r.list_size,
                 100.0 * fraction
             );
         }
     }
+    run.report.emit();
 
     println!("\n== Placement against a NAT-biased worm ==");
-    for placement in [
-        Placement::Random { sensors: 500 },
-        Placement::TopSlash8s {
-            sensors: 500,
-            k: 20,
-        },
-        Placement::Inside192,
-    ] {
-        let run = nat_run(&study, 0.15, placement);
-        hotspots_sim::fold_ledger(&mut report, &run.ledger);
-        report
-            .add_population(study.population as u64)
-            .add_infections(run.infected_hosts)
-            .add_sim_seconds(run.sim_seconds);
+    let mut spec = ScenarioSpec::named("outbreak-detection-placement");
+    spec.meta.scenario = Some("Figure 5 reduced scale (sensor placement)".to_owned());
+    spec.study = Some(StudySpec::NatDetection {
+        detection: detection(),
+        nat_fraction: 0.15,
+        sensors: 500,
+        top_k_slash8s: 20,
+    });
+    let run = run_spec(&spec, &ctx).expect("study spec runs");
+    let Outcome::NatDetection { runs, .. } = &run.outcome else {
+        unreachable!("placement study");
+    };
+    for r in runs {
         println!(
             "  {:?}: {} sensors, {:.1}% alerted when 20% of hosts were infected",
-            run.placement,
-            run.sensors,
-            100.0 * run.alerted_at_20pct_infected
+            r.placement,
+            r.sensors,
+            100.0 * r.alerted_at_20pct_infected
         );
     }
     println!("  → knowing the hotspot beats 500 blind sensors with just 255.");
-    report.emit();
+    run.report.emit();
 }

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example slammer_forensics`
 
 use hotspots::scenarios::slammer;
-use hotspots_ipspace::ims_deployment;
+use hotspots_ipspace::{ims_deployment, Deployment};
 use hotspots_prng::cycles::AffineMap;
 use hotspots_prng::{SqlsortDll, SLAMMER_SEED_XOR};
 use hotspots_targeting::{SlammerScanner, TargetGenerator};
@@ -82,7 +82,7 @@ fn main() {
         "block", "unique sources", "mean sources per /24"
     );
     for (label, total) in unique {
-        let block = blocks.iter().find(|b| b.label() == label).expect("label");
+        let block = blocks.by_label(&label).expect("label");
         let per_row: Vec<u64> = rows
             .iter()
             .filter(|r| r.block == label)
