@@ -76,6 +76,7 @@ fn slammer_run(threads: usize) -> (f64, u64) {
         let mut b = built("bench-slammer");
         b.config.threads = threads;
         let mut engine = engine_from(b);
+        #[allow(clippy::disallowed_methods)] // benches measure wall time by design
         let start = Instant::now();
         let result = black_box(engine.run(&mut NullObserver));
         let secs = start.elapsed().as_secs_f64();

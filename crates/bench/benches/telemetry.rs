@@ -82,6 +82,7 @@ fn median_secs(mut run: impl FnMut() -> u64, samples: usize) -> (f64, u64) {
     let mut times: Vec<Duration> = Vec::with_capacity(samples);
     let mut probes = 0;
     for _ in 0..samples {
+        #[allow(clippy::disallowed_methods)] // benches measure wall time by design
         let start = Instant::now();
         probes = run();
         times.push(start.elapsed());

@@ -1,2 +1,4 @@
 //! Criterion benchmarks live in `benches/`; see `DESIGN.md` for the
 //! experiment-to-bench mapping.
+
+#![forbid(unsafe_code)]

@@ -140,7 +140,7 @@ impl BotCommand {
         mut prng: P,
     ) -> Result<HitListScanner<P>, crate::pattern::ResolveError> {
         let range = self.target_range(local, &mut prng)?;
-        let list = HitList::new(vec![range]).expect("single prefix list is valid");
+        let list = HitList::new(vec![range]).expect("single prefix list is valid"); // hotspots-lint: allow(panic-path) reason="single prefix list is valid"
         Ok(HitListScanner::new(list, prng))
     }
 }
@@ -193,7 +193,7 @@ impl FromStr for BotCommand {
         for token in rest {
             if let Some(stripped) = token.strip_prefix('-') {
                 if stripped.len() == 1 && stripped.chars().all(|c| c.is_ascii_alphabetic()) {
-                    flags.push(stripped.chars().next().expect("len checked"));
+                    flags.push(stripped.chars().next().expect("len checked")); // hotspots-lint: allow(panic-path) reason="length checked on the previous line"
                     continue;
                 }
                 return Err(ParseCommandError::BadToken(token.to_owned()));

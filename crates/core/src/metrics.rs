@@ -117,9 +117,9 @@ impl HotspotReport {
             })
             .sum();
         let mut sorted_rates = rates.clone();
-        sorted_rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        sorted_rates.sort_by(f64::total_cmp);
         let median_rate = sorted_rates[sorted_rates.len() / 2];
-        let max_rate = *sorted_rates.last().expect("non-empty by weight assert");
+        let max_rate = *sorted_rates.last().expect("non-empty by weight assert"); // hotspots-lint: allow(panic-path) reason="the weight assert above guarantees rates is non-empty"
         HotspotReport {
             cells: counts.len(),
             total,

@@ -174,7 +174,7 @@ pub fn classify_sources(study: &CodeRedStudy, m_share_threshold: f64) -> Behavio
     let blocks = ims_deployment();
     let m_prefix = blocks
         .by_label("M")
-        .expect("IMS deployment has an M block")
+        .expect("IMS deployment has an M block") // hotspots-lint: allow(panic-path) reason="IMS deployment has an M block"
         .prefix();
     let mut rng = StdRng::seed_from_u64(study.rng_seed);
     let mut addrs = Vec::with_capacity(study.hosts);

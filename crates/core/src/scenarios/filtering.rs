@@ -108,7 +108,7 @@ pub fn table2_with_accounting(study: &FilteringStudy) -> (Vec<Table2Row>, Delive
                         None
                     }
                 })
-                .expect("slot within total");
+                .expect("slot within total"); // hotspots-lint: allow(panic-path) reason="slot within total"
             hosts.push(ip);
         }
 

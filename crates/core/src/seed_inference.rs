@@ -136,7 +136,7 @@ pub fn summarize_block(
 ) -> SeedInferenceSummary {
     let seeds = candidate_seeds(ticks, source, scan_len, block);
     let mut boots: Vec<f64> = seeds.iter().map(|s| s.boot_time().as_secs_f64()).collect();
-    boots.sort_by(|a, b| a.partial_cmp(b).expect("boot times are finite"));
+    boots.sort_by(f64::total_cmp);
     let plausible = seeds.iter().filter(|s| s.is_plausible_boot()).count();
     SeedInferenceSummary {
         block,

@@ -55,12 +55,12 @@ pub fn experiment(
 /// Panics if `name` is not a registered preset — binaries pass literal
 /// registry names.
 pub fn preset_main(name: &str) {
-    let preset = find_preset(name).expect("binary names a registered preset");
+    let preset = find_preset(name).expect("binary names a registered preset"); // hotspots-lint: allow(panic-path) reason="each binary is generated from the registry, so its preset exists"
     let scale = Scale::from_args();
     banner(preset.artifact, preset.title, scale);
     let spec = preset.spec(scale);
     let run = run_spec(&spec, &RunContext::new(preset.binary))
-        .expect("registered presets validate and run");
+        .expect("registered presets validate and run"); // hotspots-lint: allow(panic-path) reason="registry presets are pinned runnable by the golden-report suite"
     render::render(&run.outcome);
     run.report.emit();
 }

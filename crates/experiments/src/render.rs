@@ -8,7 +8,7 @@
 //! outcome's raw results (plus the fixed IMS deployment, which the
 //! closed-form studies share).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hotspots::detection_gap::DetectionGap;
 use hotspots::scenarios::blaster::{draw_hosts, BlasterStudy};
@@ -152,7 +152,7 @@ fn render_fig1(study: &BlasterStudy, rows: &[CoverageRow]) {
         ("hottest", sorted[0]),
         ("2nd", sorted[1]),
         ("3rd", sorted[2]),
-        ("coldest", *sorted.last().expect("rows exist")),
+        ("coldest", *sorted.last().expect("rows exist")), // hotspots-lint: allow(panic-path) reason="rendered studies always produce coverage rows"
     ];
     let mut table = Vec::new();
     for (tag, row) in picks {
@@ -223,7 +223,7 @@ fn render_fig2(
     println!("-- per-block summary --\n");
     let mut table = Vec::new();
     for (label, total) in unique {
-        let block = blocks.by_label(label).expect("label");
+        let block = blocks.by_label(label).expect("label"); // hotspots-lint: allow(panic-path) reason="IMS deployment always contains the labelled blocks"
         let slash24s = (block.size() / 256).max(1);
         let per_row: Vec<u64> = rows
             .iter()
@@ -352,7 +352,7 @@ fn render_fig4(study: &CodeRedStudy, rows: &[CoverageRow], quarantines: &[Quaran
     let mut max_rate = 0.0f64;
     let mut rates = Vec::new();
     for (label, total) in totals_by_block(rows) {
-        let block = blocks.by_label(&label).expect("label");
+        let block = blocks.by_label(&label).expect("label"); // hotspots-lint: allow(panic-path) reason="IMS deployment always contains the labelled blocks"
         let rate = total as f64 / (block.size() / 256).max(1) as f64;
         max_rate = max_rate.max(rate);
         rates.push((label, total, rate));
@@ -368,7 +368,7 @@ fn render_fig4(study: &CodeRedStudy, rows: &[CoverageRow], quarantines: &[Quaran
     print_table(&["block", "unique sources", "per /24", "profile"], &table);
 
     println!("\n-- Figure 4(b)/(c): quarantine runs --\n");
-    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M prefix");
+    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M prefix"); // hotspots-lint: allow(panic-path) reason="literal prefix parses"
     let m_hits = |h: &CountHistogram<Bucket24>| -> u64 {
         h.iter()
             .filter(|(b, _)| m_prefix.contains(b.first_ip()))
@@ -491,7 +491,7 @@ fn render_fig5b(study: &DetectionStudy, runs: &[HitListRun]) {
     );
 
     println!("\n-- quorum verdicts --\n");
-    let policy = QuorumPolicy::new(0.5).expect("valid quorum");
+    let policy = QuorumPolicy::new(0.5).expect("valid quorum"); // hotspots-lint: allow(panic-path) reason="literal quorum fraction is in (0, 1]"
     for run in runs {
         let gap = DetectionGap::new(run.infection_curve.clone(), run.alert_curve.clone());
         println!(
@@ -552,7 +552,7 @@ fn render_fig5c(study: &DetectionStudy, nat_fraction: f64, runs: &[NatRun]) {
     );
 
     println!("\n-- quorum verdicts --\n");
-    let policy = QuorumPolicy::new(0.5).expect("valid quorum");
+    let policy = QuorumPolicy::new(0.5).expect("valid quorum"); // hotspots-lint: allow(panic-path) reason="literal quorum fraction is in (0, 1]"
     for run in runs {
         let gap = DetectionGap::new(run.infection_curve.clone(), run.alert_curve.clone());
         println!("  {:?}: {}", run.placement, gap.describe(policy));
@@ -745,11 +745,11 @@ fn render_ablations(
     );
 }
 
-fn per_slash24_rates(rows: &[CoverageRow], blocks: &[AddressBlock]) -> HashMap<String, f64> {
+fn per_slash24_rates(rows: &[CoverageRow], blocks: &[AddressBlock]) -> BTreeMap<String, f64> {
     totals_by_block(rows)
         .into_iter()
         .map(|(label, total)| {
-            let block = blocks.by_label(&label).expect("label");
+            let block = blocks.by_label(&label).expect("label"); // hotspots-lint: allow(panic-path) reason="IMS deployment always contains the labelled blocks"
             let rate = total as f64 / (block.size() / 256).max(1) as f64;
             (label, rate)
         })
@@ -761,7 +761,7 @@ fn render_sensitivity(codered: &[CodeRedTrial], slammer: &[SlammerTrial]) {
     println!("\n-- CodeRedII M spike across {trials} random placements --\n");
     let mut rows_out = Vec::new();
     for trial in codered {
-        let m = trial.blocks.by_label("M").expect("M");
+        let m = trial.blocks.by_label("M").expect("M"); // hotspots-lint: allow(panic-path) reason="IMS deployment always contains the M block"
         let rates = per_slash24_rates(&trial.rows, &trial.blocks);
         let background: f64 = ["A", "B", "C", "D", "E", "F", "H", "I"]
             .iter()
@@ -796,9 +796,9 @@ fn render_sensitivity(codered: &[CodeRedTrial], slammer: &[SlammerTrial]) {
             .filter(|(l, _)| l.as_str() != "Z")
             .map(|(l, &r)| (l.clone(), r))
             .collect();
-        small.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
-        let (lo_label, lo) = small.first().expect("blocks").clone();
-        let (hi_label, hi) = small.last().expect("blocks").clone();
+        small.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (lo_label, lo) = small.first().expect("blocks").clone(); // hotspots-lint: allow(panic-path) reason="sensitivity trials always include non-Z blocks"
+        let (hi_label, hi) = small.last().expect("blocks").clone(); // hotspots-lint: allow(panic-path) reason="sensitivity trials always include non-Z blocks"
         rows_out.push(vec![
             trial.trial.to_string(),
             format!("{lo_label} = {lo:.0}"),

@@ -179,6 +179,7 @@ pub fn ims_deployment() -> Vec<AddressBlock> {
     ];
     spec.iter()
         .map(|(label, p)| {
+            // hotspots-lint: allow(panic-path) reason="deployment prefixes are valid"
             AddressBlock::new(*label, p.parse().expect("deployment prefixes are valid"))
         })
         .collect()

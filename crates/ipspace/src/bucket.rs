@@ -68,7 +68,7 @@ macro_rules! bucket_type {
             #[inline]
             pub fn prefix(self) -> Prefix {
                 Prefix::new(self.first_ip(), $bits)
-                    .expect("bucket base has no host bits by construction")
+                    .expect("bucket base has no host bits by construction") // hotspots-lint: allow(panic-path) reason="bucket base has no host bits by construction"
             }
 
             /// Returns `true` if `ip` falls inside the bucket.

@@ -85,7 +85,7 @@ impl IpRange {
             let bits = align.min(fit).min(32);
             let len = (32 - bits) as u8;
             out.push(
-                Prefix::new(Ip::new(cur as u32), len).expect("alignment guarantees no host bits"),
+                Prefix::new(Ip::new(cur as u32), len).expect("alignment guarantees no host bits"), // hotspots-lint: allow(panic-path) reason="alignment guarantees no host bits"
             );
             cur += 1u64 << bits;
         }

@@ -1,0 +1,41 @@
+//! **hotspots-lint** — the workspace invariant linter.
+//!
+//! The reproduction's scientific claims rest on invariants that code
+//! review alone cannot hold forever: bit-identical serial/parallel
+//! runs, no clock reads in the default hot loop, stable-order JSONL
+//! reports, and randomness that flows only from the id-keyed SplitMix64
+//! streams. The paper itself is a catalogue of what tiny violations do
+//! at scale — Blaster's seed, Slammer's broken LCG increment — so this
+//! tool machine-checks *our* equivalents on every CI run:
+//!
+//! * **D1 `no-clock`** — no `Instant::now`/`SystemTime` in hot-path
+//!   crates outside `#[cfg(feature = "telemetry")]` regions.
+//! * **D2 `unordered-iteration`** — no `HashMap`/`HashSet` in code
+//!   that feeds reports, JSONL, or rendered output.
+//! * **D3 `ambient-entropy`** — no `thread_rng`/`OsRng`/`RandomState`
+//!   anywhere; all RNG is seeded and accounted.
+//! * **D4 `forbid-unsafe`** — every library crate carries
+//!   `#![forbid(unsafe_code)]`.
+//! * **D5 `panic-path`** — no `unwrap`/`expect`/`panic!` in library
+//!   code without a justified waiver.
+//!
+//! Run it as `cargo run -p hotspots-lint -- --workspace` (exit nonzero
+//! on violations, `--json` for machine-readable output). Waive a
+//! violation in place with
+//! `// hotspots-lint: allow(<rule>) reason="…"` — the reason is
+//! mandatory and every waiver is listed in the run summary.
+//!
+//! The scanner is a small hand-rolled lexer ([`lexer`]), not a parser:
+//! token-level checks plus bracket-depth region recovery ([`regions`])
+//! are enough for these rules and keep the tool dependency-free.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod pragma;
+pub mod regions;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{Diagnostic, RuleId};
+pub use scan::{lint_files, lint_source, workspace_files, WorkspaceReport};

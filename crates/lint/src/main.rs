@@ -1,0 +1,79 @@
+//! The `hotspots-lint` command-line interface.
+//!
+//! ```text
+//! cargo run -p hotspots-lint -- --workspace          # lint the tree
+//! cargo run -p hotspots-lint -- --workspace --json   # machine output
+//! cargo run -p hotspots-lint -- path/to/file.rs …    # lint given files
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on violations, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hotspots_lint::scan;
+
+const USAGE: &str = "\
+hotspots-lint: statically enforce the workspace's determinism invariants
+
+USAGE:
+    hotspots-lint [--workspace] [--json] [PATH ...]
+
+OPTIONS:
+    --workspace   lint every crate's src/ plus the root package
+    --json        emit one JSON object instead of text diagnostics
+    --help        print this help
+
+Rules: D1 no-clock, D2 unordered-iteration, D3 ambient-entropy,
+D4 forbid-unsafe, D5 panic-path. Waive a violation in place with
+`// hotspots-lint: allow(<rule>) reason=\"…\"` (reason mandatory).
+";
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("hotspots-lint: unknown flag `{flag}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    if !workspace && paths.is_empty() {
+        eprintln!("hotspots-lint: nothing to lint (pass --workspace or file paths)\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = scan::find_workspace_root(&cwd).unwrap_or(cwd);
+    let mut files = if workspace {
+        scan::workspace_files(&root)
+    } else {
+        Vec::new()
+    };
+    for p in paths {
+        let abs = if p.is_absolute() { p } else { root.join(p) };
+        files.push(abs);
+    }
+
+    let report = scan::lint_files(&root, &files);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,188 @@
+//! The allow-pragma escape hatch.
+//!
+//! A violation the team has judged acceptable is waived in place:
+//!
+//! ```text
+//! // hotspots-lint: allow(panic-path) reason="index bounded by construction"
+//! ```
+//!
+//! The reason is *mandatory* — a waiver without a recorded judgement is
+//! itself a violation (`bad-pragma`). A pragma suppresses matching
+//! diagnostics on its own line (trailing form) and on the next line
+//! that carries code (preceding form). Every use is counted and listed
+//! in the run summary so waivers stay visible instead of rotting.
+
+use crate::lexer::{Comment, Token};
+use crate::rules::RuleId;
+
+/// One parsed pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Line the pragma comment starts on.
+    pub line: u32,
+    /// The rule it waives.
+    pub rule: RuleId,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Lines this pragma suppresses (its own + the next code line).
+    pub effective_lines: Vec<u32>,
+}
+
+/// A malformed pragma: reported as a diagnostic, waives nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadPragma {
+    pub line: u32,
+    pub message: String,
+}
+
+const MARKER: &str = "hotspots-lint:";
+
+/// Extracts pragmas from a file's comments. `tokens` supplies the "next
+/// code line" each pragma extends to.
+pub fn collect(comments: &[Comment], tokens: &[Token]) -> (Vec<Pragma>, Vec<BadPragma>) {
+    let mut pragmas = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Waivers are code annotations, not documentation: doc comments
+        // (`///`, `//!`, `/**`, `/*!`) may *describe* the pragma format
+        // without declaring one.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = c.text.find(MARKER) else {
+            continue;
+        };
+        let body = c.text[at + MARKER.len()..].trim();
+        match parse_body(body) {
+            Ok((rule, reason)) => {
+                // Trailing form (code on the pragma's own line) waives
+                // that line only; a standalone comment line waives the
+                // next line that carries code. Scope stays minimal
+                // either way — one waiver, one site.
+                let own_line_has_code = tokens.iter().any(|t| t.line == c.line);
+                let effective_lines = if own_line_has_code {
+                    vec![c.line]
+                } else {
+                    let next_code_line = tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .unwrap_or(c.line);
+                    vec![c.line, next_code_line]
+                };
+                pragmas.push(Pragma {
+                    line: c.line,
+                    rule,
+                    reason,
+                    effective_lines,
+                });
+            }
+            Err(msg) => bad.push(BadPragma {
+                line: c.line,
+                message: msg,
+            }),
+        }
+    }
+    (pragmas, bad)
+}
+
+/// Parses `allow(<rule>) reason="…"` after the marker.
+fn parse_body(body: &str) -> Result<(RuleId, String), String> {
+    let rest = body
+        .strip_prefix("allow(")
+        .ok_or_else(|| format!("expected `allow(<rule>) reason=\"…\"`, got `{body}`"))?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `allow(` in pragma".to_owned())?;
+    let rule_name = rest[..close].trim();
+    let rule =
+        RuleId::parse(rule_name).ok_or_else(|| format!("unknown rule `{rule_name}` in pragma"))?;
+    let tail = rest[close + 1..].trim();
+    let reason = tail
+        .strip_prefix("reason=")
+        .and_then(|r| r.trim().strip_prefix('"'))
+        .and_then(|r| r.split('"').next())
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .ok_or_else(|| {
+            "pragma is missing its mandatory reason (`reason=\"…\"` must be non-empty)".to_owned()
+        })?;
+    Ok((rule, reason.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn one(src: &str) -> Pragma {
+        let lexed = lex(src);
+        let (pragmas, bad) = collect(&lexed.comments, &lexed.tokens);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(pragmas.len(), 1);
+        pragmas.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_own_line() {
+        let p = one("let x = v.unwrap(); // hotspots-lint: allow(panic-path) reason=\"bounded\"");
+        assert_eq!(p.rule, RuleId::PanicPath);
+        assert_eq!(p.reason, "bounded");
+        assert!(p.effective_lines.contains(&1));
+    }
+
+    #[test]
+    fn preceding_pragma_covers_next_code_line() {
+        let src = "// hotspots-lint: allow(no-clock) reason=\"bench only\"\n\nlet t = now();";
+        let p = one(src);
+        assert_eq!(p.effective_lines, vec![1, 3]);
+    }
+
+    #[test]
+    fn rule_ids_parse_by_id_or_name() {
+        assert_eq!(RuleId::parse("d1"), Some(RuleId::NoClock));
+        assert_eq!(RuleId::parse("D5"), Some(RuleId::PanicPath));
+        assert_eq!(
+            RuleId::parse("unordered-iteration"),
+            Some(RuleId::UnorderedIteration)
+        );
+        assert_eq!(RuleId::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn doc_comments_may_describe_pragmas_without_declaring_them() {
+        let src = "/// Use `// hotspots-lint: allow(<rule>) reason=\"…\"` to waive.\n//! hotspots-lint: allow(broken\nfn f() {}\n";
+        let lexed = lex(src);
+        let (pragmas, bad) = collect(&lexed.comments, &lexed.tokens);
+        assert!(pragmas.is_empty());
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn missing_reason_is_a_bad_pragma() {
+        let lexed = lex("// hotspots-lint: allow(panic-path)\nlet x = 1;");
+        let (pragmas, bad) = collect(&lexed.comments, &lexed.tokens);
+        assert!(pragmas.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_a_bad_pragma() {
+        let lexed = lex("// hotspots-lint: allow(d3) reason=\"\"\n");
+        let (_, bad) = collect(&lexed.comments, &lexed.tokens);
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_a_bad_pragma() {
+        let lexed = lex("// hotspots-lint: allow(d9) reason=\"x\"\n");
+        let (_, bad) = collect(&lexed.comments, &lexed.tokens);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+}

@@ -1,0 +1,328 @@
+//! File discovery, pragma application, and report assembly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer;
+use crate::pragma::{self, Pragma};
+use crate::regions;
+use crate::rules::{self, Diagnostic, RuleId};
+
+/// The outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations that survived pragma filtering.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Pragmas that actually waived at least one violation.
+    pub used_pragmas: Vec<(Pragma, u32)>,
+    /// Pragmas that waived nothing (stale waivers — reported, so they
+    /// get cleaned up when the violation disappears).
+    pub unused_pragmas: Vec<Pragma>,
+}
+
+/// Lints one in-memory source file under the given workspace-relative
+/// path. The core entry point; the CLI and the fixture tests share it.
+pub fn lint_source(rel_path: &str, src: &str) -> FileReport {
+    let Some(ctx) = rules::classify(rel_path) else {
+        return FileReport::default();
+    };
+    let lexed = lexer::lex(src);
+    let regs = regions::analyze(&lexed.tokens);
+    let is_lib_root = rel_path.ends_with("src/lib.rs");
+    let raw = rules::check_file(&ctx, &lexed, &regs, is_lib_root);
+    let (pragmas, bad) = pragma::collect(&lexed.comments, &lexed.tokens);
+
+    let mut report = FileReport::default();
+    let mut waived_by = vec![0u32; pragmas.len()];
+    for d in raw {
+        let waiver = pragmas
+            .iter()
+            .position(|p| p.rule == d.rule && p.effective_lines.contains(&d.line));
+        match waiver {
+            Some(i) => waived_by[i] += 1,
+            None => report.diagnostics.push(d),
+        }
+    }
+    for b in bad {
+        report.diagnostics.push(Diagnostic {
+            rule: RuleId::BadPragma,
+            path: rel_path.to_owned(),
+            line: b.line,
+            message: b.message,
+        });
+    }
+    for (p, count) in pragmas.into_iter().zip(waived_by) {
+        if count > 0 {
+            report.used_pragmas.push((p, count));
+        } else {
+            report.unused_pragmas.push(p);
+        }
+    }
+    report
+}
+
+/// The whole run: every file's surviving diagnostics plus the waiver
+/// inventory.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub used_pragmas: Vec<(Pragma, String, u32)>,
+    pub unused_pragmas: Vec<(Pragma, String)>,
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    fn absorb(&mut self, rel_path: &str, file: FileReport) {
+        self.files_scanned += 1;
+        self.diagnostics.extend(file.diagnostics);
+        for (p, n) in file.used_pragmas {
+            self.used_pragmas.push((p, rel_path.to_owned(), n));
+        }
+        for p in file.unused_pragmas {
+            self.unused_pragmas.push((p, rel_path.to_owned()));
+        }
+    }
+
+    /// Violations per rule, in `RuleId::ALL` order (zeros skipped).
+    pub fn counts_by_rule(&self) -> Vec<(RuleId, usize)> {
+        RuleId::ALL
+            .into_iter()
+            .map(|r| (r, self.diagnostics.iter().filter(|d| d.rule == r).count()))
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+
+    /// The human-readable summary (diagnostics, then pragma inventory).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "hotspots-lint: {} file(s) scanned, {} violation(s)",
+            self.files_scanned,
+            self.diagnostics.len()
+        ));
+        for (rule, n) in self.counts_by_rule() {
+            out.push_str(&format!("\n  {rule}: {n}"));
+        }
+        out.push('\n');
+        if !self.used_pragmas.is_empty() {
+            out.push_str(&format!(
+                "\n{} waiver(s) in effect (review these periodically):\n",
+                self.used_pragmas.len()
+            ));
+            for (p, path, n) in &self.used_pragmas {
+                out.push_str(&format!(
+                    "  {path}:{}: allow({}) ×{n} — {}\n",
+                    p.line,
+                    p.rule.name(),
+                    p.reason
+                ));
+            }
+        }
+        if !self.unused_pragmas.is_empty() {
+            out.push_str(&format!(
+                "\n{} stale waiver(s) (no longer matching any violation — remove):\n",
+                self.unused_pragmas.len()
+            ));
+            for (p, path) in &self.unused_pragmas {
+                out.push_str(&format!("  {path}:{}: allow({})\n", p.line, p.rule.name()));
+            }
+        }
+        out
+    }
+
+    /// The machine-readable report: one JSON object with `violations`
+    /// and `waivers` arrays. Hand-assembled (no serde offline), with
+    /// full string escaping.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"files_scanned\":");
+        out.push_str(&self.files_scanned.to_string());
+        out.push_str(",\"violations\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"name\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_str(d.rule.id()),
+                json_str(d.rule.name()),
+                json_str(&d.path),
+                d.line,
+                json_str(&d.message)
+            ));
+        }
+        out.push_str("],\"waivers\":[");
+        for (i, (p, path, n)) in self.used_pragmas.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"waived\":{n},\"reason\":{}}}",
+                json_str(p.rule.id()),
+                json_str(path),
+                p.line,
+                json_str(&p.reason)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Exit status: nonzero iff violations survived.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collects the `.rs` files a `--workspace` run scans: `crates/*/src`
+/// recursively plus the root package's `src/`. Vendored stand-ins,
+/// fixtures, tests/benches/examples are out of scope (rules D1–D5 are
+/// library-code invariants; `classify` would skip most of them anyway).
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            collect_rs(&d.join("src"), &mut out);
+        }
+    }
+    collect_rs(&root.join("src"), &mut out);
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lints the given files (absolute or root-relative), reporting paths
+/// relative to `root`.
+pub fn lint_files(root: &Path, files: &[PathBuf]) -> WorkspaceReport {
+    let mut report = WorkspaceReport::default();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = fs::read_to_string(f) else {
+            report.diagnostics.push(Diagnostic {
+                rule: RuleId::BadPragma,
+                path: rel.clone(),
+                line: 0,
+                message: "unreadable file".to_owned(),
+            });
+            continue;
+        };
+        report.absorb(&rel, lint_source(&rel, &src));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_waives_exactly_its_rule_and_line() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    // hotspots-lint: allow(panic-path) reason=\"caller checked\"\n    x.unwrap()\n}\n";
+        let r = lint_source("crates/stats/src/x.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.used_pragmas.len(), 1);
+        assert_eq!(r.used_pragmas[0].1, 1);
+    }
+
+    #[test]
+    fn pragma_for_wrong_rule_waives_nothing() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    // hotspots-lint: allow(no-clock) reason=\"misfiled\"\n    x.unwrap()\n}\n";
+        let r = lint_source("crates/stats/src/x.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.unused_pragmas.len(), 1);
+    }
+
+    #[test]
+    fn trailing_pragma_waives_same_line() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // hotspots-lint: allow(panic-path) reason=\"demo\"\n";
+        let r = lint_source("crates/stats/src/x.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn json_report_is_assembled_and_escaped() {
+        let src = "pub fn f() { panic!(\"quote \\\" here\") }";
+        let mut ws = WorkspaceReport::default();
+        ws.absorb(
+            "crates/stats/src/x.rs",
+            lint_source("crates/stats/src/x.rs", src),
+        );
+        let json = ws.render_json();
+        assert!(json.contains("\"rule\":\"D5\""));
+        assert!(json.contains("\"violations\":["));
+        assert!(!ws.is_clean());
+    }
+
+    #[test]
+    fn bad_pragma_cannot_waive_itself() {
+        let src = "// hotspots-lint: allow(bad-pragma) reason=\"nope\"\nfn f() {}\n";
+        let r = lint_source("crates/stats/src/x.rs", src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, RuleId::BadPragma);
+    }
+}

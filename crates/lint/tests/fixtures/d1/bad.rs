@@ -1,0 +1,10 @@
+// lint-as: crates/sim/src/engine.rs
+// Ungated clock reads in a hot-path crate: every one is a D1 hit.
+
+use std::time::{Instant, SystemTime}; //~ D1
+
+pub fn step() -> f64 {
+    let t0 = Instant::now(); //~ D1
+    let _wall = SystemTime::now(); //~ D1
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,32 @@
+// lint-as: crates/sim/src/engine.rs
+// Clock reads are fine when telemetry-gated, in test modules, or in
+// strings; bare `Instant` type mentions are not calls.
+
+#[cfg(feature = "telemetry")]
+use std::time::Instant;
+
+pub fn step() {
+    #[cfg(feature = "telemetry")]
+    let t0 = Instant::now();
+    #[cfg(feature = "telemetry")]
+    {
+        let _dt = t0.elapsed();
+        let _again = Instant::now();
+    }
+    let _msg = "Instant::now and SystemTime in a string are data";
+}
+
+#[cfg(feature = "telemetry")]
+pub fn gated_fn() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = Instant::now();
+    }
+}

@@ -1,0 +1,16 @@
+// lint-as: crates/experiments/src/render.rs
+// Hash-ordered collections in report-feeding code: iteration order
+// would leak into rendered output.
+
+use std::collections::HashMap; //~ D2
+use std::collections::HashSet; //~ D2
+
+pub fn per_block_rates() -> HashMap<String, f64> { //~ D2
+    let mut out = HashMap::new(); //~ D2
+    out.insert("A".to_owned(), 1.0);
+    out
+}
+
+pub fn unique_labels(labels: &[&str]) -> HashSet<String> { //~ D2
+    labels.iter().map(|l| (*l).to_owned()).collect::<HashSet<_>>() //~ D2
+}

@@ -1,0 +1,26 @@
+// lint-as: crates/experiments/src/render.rs
+// Ordered collections in report code; hash collections are fine
+// inside test modules (asserts, not output).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn per_block_rates() -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    out.insert("A".to_owned(), 1.0);
+    out
+}
+
+pub fn unique_labels(labels: &[&str]) -> BTreeSet<String> {
+    labels.iter().map(|l| (*l).to_owned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn dedup_assertion_uses_a_set() {
+        let s: HashSet<u32> = [1, 2, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,24 @@
+// lint-as: crates/stats/src/sampling.rs
+// Ambient entropy: unseeded generators and randomized hashing. D3
+// applies everywhere, test modules included — a test seeded from the
+// environment cannot pin determinism.
+
+use rand::rngs::OsRng; //~ D3
+use std::collections::hash_map::RandomState; //~ D3
+
+pub fn noise() -> u64 {
+    let mut rng = rand::thread_rng(); //~ D3
+    rng.gen()
+}
+
+pub fn reseed() -> StdRng {
+    StdRng::from_entropy() //~ D3
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn nondeterministic_test_is_still_flagged() {
+        let _ = rand::thread_rng(); //~ D3
+    }
+}

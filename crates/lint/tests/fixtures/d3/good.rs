@@ -1,0 +1,14 @@
+// lint-as: crates/stats/src/sampling.rs
+// Seeded, accounted randomness: id-keyed streams derived from the
+// scenario seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn stream(seed: u64, host_id: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ host_id.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+pub fn mention() -> &'static str {
+    "thread_rng and RandomState in a string are data, not entropy"
+}

@@ -1,0 +1,7 @@
+// lint-as: crates/nofences/src/lib.rs //~ D4
+// A library crate root with no `#![forbid(unsafe_code)]`. D4 anchors
+// its diagnostic to line 1 of the lib root.
+
+pub fn harmless() -> u32 {
+    7
+}

@@ -1,0 +1,8 @@
+// lint-as: crates/fenced/src/lib.rs
+//! Doc comment first is fine; the forbid just has to be present.
+
+#![forbid(unsafe_code)]
+
+pub fn harmless() -> u32 {
+    7
+}

@@ -1,0 +1,22 @@
+// lint-as: crates/stats/src/summary.rs
+// Every panicking escape hatch D5 knows about, in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() //~ D5
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    x.expect("present") //~ D5
+}
+
+pub fn boom() -> ! {
+    panic!("library code must not panic") //~ D5
+}
+
+pub fn later() -> u32 {
+    todo!() //~ D5
+}
+
+pub fn never() -> u32 {
+    unimplemented!() //~ D5
+}

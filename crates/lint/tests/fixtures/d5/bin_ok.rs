@@ -1,0 +1,11 @@
+// lint-as: crates/experiments/src/bin/fig9.rs
+// Binaries are the process boundary: unwrap/expect are allowed (an
+// exit with a message is the correct failure mode there).
+
+fn main() {
+    let arg = std::env::args().nth(1).expect("usage: fig9 <spec>");
+    let n: u32 = arg.parse().unwrap();
+    if n == 0 {
+        panic!("n must be positive");
+    }
+}

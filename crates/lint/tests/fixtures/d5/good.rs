@@ -1,0 +1,24 @@
+// lint-as: crates/stats/src/summary.rs
+// Non-panicking siblings, fields that share a name with the panicky
+// methods, and test-module unwraps are all fine.
+
+pub struct Probe {
+    pub expect: u32,
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn fallback(x: Option<u32>, p: &Probe) -> u32 {
+    x.unwrap_or_else(|| p.expect)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let x: Option<u32> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

@@ -1,0 +1,18 @@
+// lint-as: crates/stats/src/summary.rs
+// Malformed pragmas are themselves violations (D0, unwaivable):
+// a missing reason, an unknown rule, and garbage syntax.
+
+// hotspots-lint: allow(panic-path) //~ D0
+pub fn no_reason(x: Option<u32>) -> u32 {
+    x.unwrap() //~ D5
+}
+
+// hotspots-lint: allow(made-up-rule) reason="not a rule" //~ D0
+pub fn unknown_rule() -> u32 {
+    1
+}
+
+// hotspots-lint: frobnicate //~ D0
+pub fn garbage() -> u32 {
+    2
+}

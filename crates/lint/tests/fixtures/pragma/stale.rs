@@ -1,0 +1,8 @@
+// lint-as: crates/stats/src/summary.rs
+// A pragma whose violation was since fixed: no diagnostics, but the
+// waiver must be reported as stale so it gets removed.
+
+pub fn fixed(xs: &[u32]) -> u32 {
+    // hotspots-lint: allow(panic-path) reason="left behind after a refactor"
+    xs.first().copied().unwrap_or(0)
+}

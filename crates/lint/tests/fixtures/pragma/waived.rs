@@ -1,0 +1,16 @@
+// lint-as: crates/stats/src/summary.rs
+// Both pragma forms: a standalone comment waives the next code line,
+// a trailing comment waives its own line. All violations here are
+// waived, so the file lints clean with two used waivers.
+
+pub fn checked(xs: &[u32]) -> u32 {
+    if xs.is_empty() {
+        return 0;
+    }
+    // hotspots-lint: allow(panic-path) reason="guarded by the is_empty check above"
+    *xs.first().unwrap()
+}
+
+pub fn trailing(x: Option<u32>) -> u32 {
+    x.expect("fixture") // hotspots-lint: allow(panic-path) reason="trailing form demo"
+}

@@ -1,0 +1,44 @@
+//! Property tests: the lexer and the full lint pipeline must be total
+//! — no input, however mangled, may panic them. The linter runs in CI
+//! over sources mid-edit; a panic there would mask real diagnostics.
+
+use proptest::prelude::*;
+
+use hotspots_lint::lexer::lex;
+use hotspots_lint::scan::lint_source;
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let lexed = lex(&src);
+        // every token must carry a plausible line number
+        let max_line = src.lines().count().max(1) as u32;
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.line <= max_line);
+        }
+    }
+
+    #[test]
+    fn lexer_never_panics_on_quote_and_comment_soup(
+        picks in proptest::collection::vec(0u8..18, 0..64),
+    ) {
+        const ATOMS: [&str; 18] = [
+            "\"", "'", "r#\"", "\"#", "//", "/*", "*/", "\\", "\n",
+            "b'", "'a", "0x", "1.", "..", "ident", "#!", "[", "]",
+        ];
+        let src: String = picks.iter().map(|&i| ATOMS[i as usize]).collect();
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn lint_pipeline_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        // a hot-path lib root exercises every rule at once
+        let _ = lint_source("crates/sim/src/lib.rs", &src);
+    }
+}

@@ -1,0 +1,39 @@
+//! The shipped tree must lint clean: this is the same scan the CI
+//! `lint-invariants` job runs, wired into `cargo test` so a violation
+//! fails locally before it fails remotely.
+
+use std::path::Path;
+
+use hotspots_lint::scan::{find_workspace_root, lint_files, workspace_files};
+
+#[test]
+fn workspace_lints_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let files = workspace_files(&root);
+    assert!(
+        files.len() >= 50,
+        "workspace scan found only {} files — discovery is broken",
+        files.len()
+    );
+    let report = lint_files(&root, &files);
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render_text()
+    );
+    // every waiver in the tree must carry a reason
+    for (p, path, _) in &report.used_pragmas {
+        assert!(
+            !p.reason.trim().is_empty(),
+            "{path}:{}: waiver without a reason",
+            p.line
+        );
+    }
+    // and none may be stale
+    assert!(
+        report.unused_pragmas.is_empty(),
+        "stale waivers present:\n{}",
+        report.render_text()
+    );
+}

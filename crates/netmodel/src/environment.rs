@@ -55,7 +55,10 @@ impl fmt::Display for Locus {
 }
 
 /// Why a probe was dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` so drop tallies can live in ordered maps (report output must
+/// iterate deterministically — lint rule D2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DropReason {
     /// Destination not routable from the source (private space from
@@ -169,7 +172,7 @@ impl Environment {
 
     /// Registers a NAT realm, returning its id.
     pub fn add_realm(&mut self, realm: NatRealm) -> RealmId {
-        let id = RealmId(u32::try_from(self.realms.len()).expect("fewer than 2^32 realms"));
+        let id = RealmId(u32::try_from(self.realms.len()).expect("fewer than 2^32 realms")); // hotspots-lint: allow(panic-path) reason="realm count is bounded far below 2^32"
         self.realms.push(realm);
         id
     }

@@ -193,7 +193,7 @@ impl OrgRegistry {
     /// thousands of addresses; broadband ISPs hold millions).
     pub fn synthetic_table2() -> OrgRegistry {
         fn p(s: &str) -> Prefix {
-            s.parse().expect("static prefixes are valid")
+            s.parse().expect("static prefixes are valid") // hotspots-lint: allow(panic-path) reason="static prefixes are valid"
         }
         let mut reg = OrgRegistry::new();
         reg.add(Organization::new(

@@ -185,7 +185,7 @@ impl AffineMap {
     /// version.
     pub fn slammer(dll: SqlsortDll) -> AffineMap {
         AffineMap::new(SLAMMER_MULTIPLIER, dll.increment(), 32)
-            .expect("slammer parameters are a valid permutation")
+            .expect("slammer parameters are a valid permutation") // hotspots-lint: allow(panic-path) reason="slammer parameters are a valid permutation"
     }
 
     /// The multiplier `a`.

@@ -50,7 +50,7 @@ impl ScenarioSpec {
             field: "worm".into(),
             message: "study specs have no engine build; use run_spec".into(),
         })?;
-        let pop_spec = self.population.as_ref().expect("validated engine path");
+        let pop_spec = self.population.as_ref().expect("validated engine path"); // hotspots-lint: allow(panic-path) reason="validate() guarantees the engine path carries a population spec"
 
         let mut environment = Environment::new();
         if let Some(loss) = self.environment.loss {

@@ -16,6 +16,8 @@
 //! run report at any thread count (per-host SplitMix64 streams plus
 //! input-order result collection — see `DESIGN.md` §5d).
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod cli;
 pub mod registry;

@@ -349,10 +349,11 @@ impl RunSet {
                     }
                     let input = slots[idx]
                         .lock()
-                        .expect("input slot poisoned")
+                        .expect("input slot poisoned") // hotspots-lint: allow(panic-path) reason="mutex poisoned only if a worker panicked, which already failed the run"
                         .take()
-                        .expect("input taken once");
+                        .expect("input taken once"); // hotspots-lint: allow(panic-path) reason="each job index is claimed by exactly one worker"
                     let out = job(input);
+                    // hotspots-lint: allow(panic-path) reason="mutex poisoned only if a worker panicked, which already failed the run"
                     *results[idx].lock().expect("result slot poisoned") = Some(out);
                 });
             }
@@ -361,8 +362,8 @@ impl RunSet {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job completed")
+                    .expect("result slot poisoned") // hotspots-lint: allow(panic-path) reason="mutex poisoned only if a worker panicked, which already failed the run"
+                    .expect("every job completed") // hotspots-lint: allow(panic-path) reason="scoped threads joined before results are read"
             })
             .collect()
     }
@@ -531,7 +532,7 @@ fn run_study(
             .map(|(name, dll, seed)| {
                 let cycle_len = AffineMap::slammer(dll)
                     .cycle_length(seed)
-                    .expect("fixed point exists");
+                    .expect("fixed point exists"); // hotspots-lint: allow(panic-path) reason="every Slammer-parameter map has a fixed point"
                 SlammerHostTrace {
                     name,
                     dll,
@@ -852,7 +853,7 @@ fn run_ablations(
         set.into_iter().collect()
     };
     let sensors: Vec<Prefix> = (0..16u32)
-        .map(|i| format!("66.66.{}.0/24", i * 16).parse().expect("valid"))
+        .map(|i| format!("66.66.{}.0/24", i * 16).parse().expect("valid")) // hotspots-lint: allow(panic-path) reason="literal prefix parses"
         .collect();
     let mut sensor = Vec::new();
     for (proto_name, service) in [
@@ -872,10 +873,10 @@ fn run_ablations(
             // worm targets 66.66/16 (where hosts are NOT — pure noise
             // toward the sensors) plus the host /16
             let both = HitList::new(vec![
-                "66.66.0.0/16".parse().expect("valid"),
-                "66.67.0.0/16".parse().expect("valid"),
+                "66.66.0.0/16".parse().expect("valid"), // hotspots-lint: allow(panic-path) reason="literal prefix parses"
+                "66.67.0.0/16".parse().expect("valid"), // hotspots-lint: allow(panic-path) reason="literal prefix parses"
             ])
-            .expect("non-empty hit-list");
+            .expect("non-empty hit-list"); // hotspots-lint: allow(panic-path) reason="hit-list built from a non-empty literal prefix list"
             let mut engine = Engine::new(
                 config,
                 Population::from_public(addrs.iter().map(|ip| Ip::new(ip.value() | 0x0001_0000))),

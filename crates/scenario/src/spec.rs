@@ -617,7 +617,7 @@ fn as_f64(path: &str, v: &Value) -> Result<f64, SpecError> {
 }
 
 fn int(v: u64) -> Value {
-    Value::Int(i64::try_from(v).expect("spec integer exceeds i64"))
+    Value::Int(i64::try_from(v).expect("spec integer exceeds i64")) // hotspots-lint: allow(panic-path) reason="spec integers are validated to fit i64 on ingest"
 }
 
 fn strs(items: &[String]) -> Value {

@@ -21,6 +21,7 @@ fn main() {
         Environment::new(),
         Box::new(SlammerWorm),
     );
+    #[allow(clippy::disallowed_methods)] // profiling example measures wall time by design
     let start = Instant::now();
     let result = engine.run(&mut NullObserver);
     let secs = start.elapsed().as_secs_f64();

@@ -244,10 +244,12 @@ fn drive_shard(ctx: &ShardCtx<'_>, hosts: &mut [InfectedHost], batch: &mut Probe
         host.probe_credit -= burst as f64;
 
         #[cfg(feature = "telemetry")]
+        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
         let t0 = Instant::now();
         batch.targets.clear();
         host.generator.fill_targets(burst, &mut batch.targets);
         #[cfg(feature = "telemetry")]
+        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
         let t1 = Instant::now();
         batch.deliveries.clear();
         ctx.env.route_batch(
@@ -259,6 +261,7 @@ fn drive_shard(ctx: &ShardCtx<'_>, hosts: &mut [InfectedHost], batch: &mut Probe
             &mut batch.ledger,
         );
         #[cfg(feature = "telemetry")]
+        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
         let t2 = Instant::now();
         for &delivery in &batch.deliveries {
             let victim = match delivery {
@@ -483,6 +486,7 @@ impl Engine {
         while time < self.config.max_time {
             time += self.config.dt;
             #[cfg(feature = "telemetry")]
+            #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
             let step_start = Instant::now();
 
             // Activate pending (latency-delayed) infections due by now.
@@ -560,6 +564,8 @@ impl Engine {
                     batch.lookup = Duration::ZERO;
                 }
                 #[cfg(feature = "telemetry")]
+                #[allow(clippy::disallowed_methods)]
+                // telemetry-gated: legal clock site
                 let t_obs = Instant::now();
                 observer.on_probe_batch(time, &batch.probes, &batch.ledger);
                 #[cfg(feature = "telemetry")]

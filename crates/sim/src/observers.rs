@@ -1,6 +1,6 @@
 //! Observer hooks: what watches the probe stream.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hotspots_ipspace::Ip;
 use hotspots_netmodel::{Delivery, DeliveryLedger, DropReason, Locus, Proto, Service};
@@ -188,7 +188,7 @@ impl SimObserver for TelescopeObserver {
 /// Counts drops by reason (failure-injection analysis).
 #[derive(Debug, Clone, Default)]
 pub struct DropTally {
-    counts: HashMap<DropReason, u64>,
+    counts: BTreeMap<DropReason, u64>,
     delivered: u64,
 }
 

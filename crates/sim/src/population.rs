@@ -56,7 +56,7 @@ impl Population {
             std::collections::HashMap::new();
         let mut public_slash16 = Box::new([0u64; 1024]);
         for (i, locus) in loci.iter().enumerate() {
-            let idx = u32::try_from(i).expect("fewer than 2^32 hosts");
+            let idx = u32::try_from(i).expect("fewer than 2^32 hosts"); // hotspots-lint: allow(panic-path) reason="populations are bounded far below 2^32 hosts"
             let clash = match *locus {
                 Locus::Public(ip) => {
                     let slash16 = (ip.value() >> 16) as usize;
@@ -197,7 +197,7 @@ pub fn synthetic_codered_population<R: Rng + ?Sized>(
         let subnets: Vec<u8> = (0..slash16s).map(|_| rng.gen::<u8>()).collect();
         let mut placed = 0usize;
         while placed < share {
-            let b = *subnets.choose(rng).expect("non-empty");
+            let b = *subnets.choose(rng).expect("non-empty"); // hotspots-lint: allow(panic-path) reason="choice list is a non-empty literal"
             let ip = Ip::from_octets(octet, b, rng.gen(), rng.gen());
             if out.insert(ip) {
                 placed += 1;
@@ -337,7 +337,7 @@ pub fn apply_nat<R: Rng + ?Sized>(
         .map(|&ip| {
             if rng.gen::<f64>() < fraction {
                 let realm = env.add_realm(
-                    NatRealm::home_192_168(ip).expect("population addresses are public"),
+                    NatRealm::home_192_168(ip).expect("population addresses are public"), // hotspots-lint: allow(panic-path) reason="population addresses are public"
                 );
                 let private = Ip::from_octets(192, 168, rng.gen(), rng.gen());
                 Locus::Private { realm, ip: private }
@@ -387,7 +387,7 @@ pub fn apply_nat_shared<R: Rng + ?Sized>(
     // this topology serves).
     let realm = env.add_realm(
         NatRealm::home_192_168(Ip::from_octets(198, 51, 100, 1))
-            .expect("documentation gateway is public"),
+            .expect("documentation gateway is public"), // hotspots-lint: allow(panic-path) reason="documentation gateway is public"
     );
     // distinct private addresses without replacement
     let slots = rand::seq::index::sample(rng, 1 << 16, count);
@@ -397,7 +397,7 @@ pub fn apply_nat_shared<R: Rng + ?Sized>(
         .zip(selected)
         .map(|(&ip, natted)| {
             if natted {
-                let slot = slot_iter.next().expect("one slot per NATed host") as u32;
+                let slot = slot_iter.next().expect("one slot per NATed host") as u32; // hotspots-lint: allow(panic-path) reason="one slot per NATed host"
                 let private = Ip::from_octets(192, 168, (slot >> 8) as u8, (slot & 0xff) as u8);
                 Locus::Private { realm, ip: private }
             } else {

@@ -67,7 +67,7 @@ fn ranks(v: &[f64]) -> Option<Vec<f64>> {
         return None;
     }
     let mut idx: Vec<usize> = (0..v.len()).collect();
-    idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("no NaN"));
+    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
     let mut out = vec![0.0; v.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -160,7 +160,7 @@ impl Ecdf {
         if sample.is_empty() || sample.iter().any(|v| v.is_nan()) {
             return None;
         }
-        sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sample.sort_by(f64::total_cmp);
         Some(Ecdf { sorted: sample })
     }
 
@@ -201,7 +201,7 @@ impl Ecdf {
             .chain(other.sorted.iter())
             .copied()
             .collect();
-        points.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        points.sort_by(f64::total_cmp);
         points
             .into_iter()
             .map(|x| (self.fraction_at_or_below(x) - other.fraction_at_or_below(x)).abs())

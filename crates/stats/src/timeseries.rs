@@ -104,7 +104,7 @@ impl TimeSeries {
         }
         assert!(n >= 2, "need at least 2 grid points");
         let t0 = self.times[0];
-        let t1 = *self.times.last().expect("non-empty");
+        let t1 = *self.times.last().expect("non-empty"); // hotspots-lint: allow(panic-path) reason="guarded by the is_empty check above"
         for i in 0..n {
             let t = t0 + (t1 - t0) * (i as f64) / ((n - 1) as f64);
             out.push(t, self.value_at(t));

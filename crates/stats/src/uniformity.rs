@@ -180,7 +180,7 @@ pub fn max_median_ratio(counts: &[u64]) -> f64 {
     }
     let mut sorted: Vec<u64> = counts.to_vec();
     sorted.sort_unstable();
-    let max = *sorted.last().expect("non-empty");
+    let max = *sorted.last().expect("non-empty"); // hotspots-lint: allow(panic-path) reason="guarded by the is_empty check above"
     let median = sorted[sorted.len() / 2];
     if median == 0 {
         if max == 0 {
@@ -269,7 +269,7 @@ pub fn gini_weighted(rates: &[f64], weights: &[f64]) -> f64 {
         return 0.0;
     }
     let mut cells: Vec<(f64, f64)> = rates.iter().copied().zip(weights.iter().copied()).collect();
-    cells.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN by assertion"));
+    cells.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Lorenz-curve integration over the sorted cells.
     let mut cum_w = 0.0; // population fraction before this cell
     let mut cum_m = 0.0; // mass fraction before this cell

@@ -132,6 +132,7 @@ impl HitList {
             .take(k)
             .map(|(b, _)| b.prefix())
             .collect();
+        // hotspots-lint: allow(panic-path) reason="distinct /16 buckets are disjoint and non-empty"
         HitList::new(prefixes).expect("distinct /16 buckets are disjoint and non-empty")
     }
 

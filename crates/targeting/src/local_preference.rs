@@ -93,7 +93,7 @@ impl<P: Prng32> LocalPreference<P> {
                 return e.mask;
             }
         }
-        self.entries.last().expect("non-empty table").mask
+        self.entries.last().expect("non-empty table").mask // hotspots-lint: allow(panic-path) reason="routing table is a non-empty static literal"
     }
 }
 

@@ -55,7 +55,7 @@ impl<P: Prng32> PermutationScanner<P> {
     pub fn new(mut prng: P, restart_after: u64) -> PermutationScanner<P> {
         assert!(restart_after > 0, "restart_after must be positive");
         let map =
-            AffineMap::new(Self::MUL, Self::INC, 32).expect("constants form a valid permutation");
+            AffineMap::new(Self::MUL, Self::INC, 32).expect("constants form a valid permutation"); // hotspots-lint: allow(panic-path) reason="constants form a valid permutation"
         let state = prng.next_u32();
         PermutationScanner {
             map,

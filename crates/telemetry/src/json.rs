@@ -137,7 +137,7 @@ impl Parser {
         c
     }
 
-    fn expect(&mut self, want: char) -> Result<(), String> {
+    fn eat(&mut self, want: char) -> Result<(), String> {
         match self.bump() {
             Some(c) if c == want => Ok(()),
             got => Err(format!("expected '{want}' at {} (got {got:?})", self.pos)),
@@ -146,7 +146,7 @@ impl Parser {
 
     fn literal(&mut self, rest: &str, value: Json) -> Result<Json, String> {
         for want in rest.chars() {
-            self.expect(want)?;
+            self.eat(want)?;
         }
         Ok(value)
     }
@@ -175,7 +175,7 @@ impl Parser {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect('{')?;
+        self.eat('{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.chars.front() == Some(&'}') {
@@ -186,7 +186,7 @@ impl Parser {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(':')?;
+            self.eat(':')?;
             members.push((key, self.value()?));
             self.skip_ws();
             match self.bump() {
@@ -203,7 +203,7 @@ impl Parser {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect('[')?;
+        self.eat('[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.chars.front() == Some(&']') {
@@ -222,7 +222,7 @@ impl Parser {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
+        self.eat('"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -260,13 +260,13 @@ impl Parser {
     fn number(&mut self) -> Result<Json, String> {
         let mut raw = String::new();
         if self.chars.front() == Some(&'-') {
-            raw.push(self.bump().expect("peeked"));
+            raw.extend(self.bump());
         }
         while matches!(
             self.chars.front(),
             Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-')
         ) {
-            raw.push(self.bump().expect("peeked"));
+            raw.extend(self.bump());
         }
         raw.parse::<f64>()
             .map_err(|e| format!("bad number '{raw}': {e}"))?;

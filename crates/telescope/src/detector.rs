@@ -205,7 +205,7 @@ impl DetectorField {
     /// alerted fraction.
     pub fn alert_curve(&self, name: impl Into<String>) -> TimeSeries {
         let mut times: Vec<f64> = self.alert_times.iter().flatten().copied().collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("alert times are never NaN"));
+        times.sort_by(f64::total_cmp);
         let mut ts = TimeSeries::new(name);
         let n = self.blocks.len() as f64;
         for (i, t) in times.iter().enumerate() {

@@ -41,7 +41,7 @@ impl BlockIndex {
                 (
                     p.base().value(),
                     p.last_ip().value(),
-                    u32::try_from(i).expect("fewer than 2^32 blocks"),
+                    u32::try_from(i).expect("fewer than 2^32 blocks"), // hotspots-lint: allow(panic-path) reason="deployments are bounded far below 2^32 blocks"
                 )
             })
             .collect();

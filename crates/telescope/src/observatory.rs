@@ -1,6 +1,6 @@
 //! Labelled darknet blocks with unique-source recording.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use hotspots_ipspace::{ims_deployment, AddressBlock, Bucket24, Ip};
 use hotspots_stats::CountHistogram;
@@ -13,8 +13,8 @@ use crate::index::BlockIndex;
 #[derive(Debug, Clone, Default)]
 pub struct SensorLog {
     packets: u64,
-    packets_by_source: HashMap<Ip, u64>,
-    sources_by_bucket: HashMap<Bucket24, HashSet<Ip>>,
+    packets_by_source: BTreeMap<Ip, u64>,
+    sources_by_bucket: BTreeMap<Bucket24, BTreeSet<Ip>>,
     first_packet_time: Option<f64>,
 }
 

@@ -6,7 +6,7 @@
 //! compared deployments as lists of disjoint /24 prefixes ready for a
 //! [`DetectorField`](crate::DetectorField).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use hotspots_ipspace::{special, Bucket8, Ip, Prefix};
 use rand::Rng;
@@ -30,7 +30,7 @@ use rand::Rng;
 /// assert_eq!(sensors.len(), 100);
 /// ```
 pub fn random_slash24s<R: Rng + ?Sized>(n: usize, avoid: &[Prefix], rng: &mut R) -> Vec<Prefix> {
-    let mut chosen: HashSet<Prefix> = HashSet::with_capacity(n);
+    let mut chosen: BTreeSet<Prefix> = BTreeSet::new();
     let mut out = Vec::with_capacity(n);
     let mut attempts = 0usize;
     let max_attempts = n.saturating_mul(100).max(10_000);
@@ -90,7 +90,7 @@ pub fn inside_top_slash8s<R: Rng + ?Sized>(
 ) -> Vec<Prefix> {
     assert!(!population.is_empty(), "population must be non-empty");
     assert!(k > 0, "k must be positive");
-    let mut counts: std::collections::HashMap<Bucket8, u64> = std::collections::HashMap::new();
+    let mut counts: std::collections::BTreeMap<Bucket8, u64> = std::collections::BTreeMap::new();
     for &ip in population {
         *counts.entry(ip.bucket8()).or_insert(0) += 1;
     }
@@ -98,7 +98,7 @@ pub fn inside_top_slash8s<R: Rng + ?Sized>(
     by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let top: Vec<Prefix> = by_count.iter().take(k).map(|(b, _)| b.prefix()).collect();
 
-    let mut chosen: HashSet<Prefix> = HashSet::with_capacity(n);
+    let mut chosen: BTreeSet<Prefix> = BTreeSet::new();
     let mut out = Vec::with_capacity(n);
     let mut attempts = 0usize;
     let max_attempts = n.saturating_mul(100).max(10_000);
@@ -144,7 +144,7 @@ mod tests {
     fn random_sensors_are_distinct_routable_slash24s() {
         let sensors = random_slash24s(500, &[], &mut rng());
         assert_eq!(sensors.len(), 500);
-        let set: HashSet<Prefix> = sensors.iter().copied().collect();
+        let set: BTreeSet<Prefix> = sensors.iter().copied().collect();
         assert_eq!(set.len(), 500);
         for s in &sensors {
             assert_eq!(s.len(), 24);
@@ -203,7 +203,7 @@ mod tests {
     fn inside_192_deployment_is_255_public_slash16s() {
         let sensors = inside_192_per_slash16(&mut rng());
         assert_eq!(sensors.len(), 255);
-        let mut slash16s = HashSet::new();
+        let mut slash16s = BTreeSet::new();
         for s in &sensors {
             assert_eq!(s.base().octets()[0], 192);
             assert_ne!(s.base().octets()[1], 168, "sensor in private /16");

@@ -1,1 +1,3 @@
 //! Root package: examples and integration tests live here.
+
+#![forbid(unsafe_code)]

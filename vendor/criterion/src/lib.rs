@@ -9,6 +9,9 @@
 //! the telemetry-overhead acceptance check reads.
 
 #![forbid(unsafe_code)]
+// A bench harness exists to read the clock; exempt from the
+// workspace-wide clippy.toml disallowed-methods list.
+#![allow(clippy::disallowed_methods)]
 
 use std::time::{Duration, Instant};
 
