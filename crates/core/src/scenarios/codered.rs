@@ -77,7 +77,7 @@ pub fn sources_by_block_accounted(
         let public_src = locus.public_source(&env);
         for _ in 0..study.probes_per_host {
             let target = worm.next_target();
-            let verdict = env.route(*locus, target, Service::CODERED_HTTP, &mut rng);
+            let verdict = env.route(*locus, target, Service::CODERED_HTTP, 0.0, &mut rng);
             ledger.record(verdict);
             if let Delivery::Public(dst) = verdict {
                 observatory.observe(0.0, public_src, dst);
@@ -201,9 +201,13 @@ pub fn classify_sources(study: &CodeRedStudy, m_share_threshold: f64) -> Behavio
         let mut m_hits = 0u64;
         let mut total_hits = 0u64;
         for _ in 0..study.probes_per_host {
-            if let Delivery::Public(dst) =
-                env.route(*locus, worm.next_target(), Service::CODERED_HTTP, &mut rng)
-            {
+            if let Delivery::Public(dst) = env.route(
+                *locus,
+                worm.next_target(),
+                Service::CODERED_HTTP,
+                0.0,
+                &mut rng,
+            ) {
                 if index.find(dst).is_some() {
                     total_hits += 1;
                     if m_prefix.contains(dst) {

@@ -123,14 +123,24 @@ pub fn table2_with_accounting(study: &FilteringStudy) -> (Vec<Table2Row>, Delive
                 mix.next_u64() as u32,
             );
             for _ in 0..study.probes_per_host {
-                let crii_verdict =
-                    env.route(locus, crii.next_target(), Service::CODERED_HTTP, &mut rng);
+                let crii_verdict = env.route(
+                    locus,
+                    crii.next_target(),
+                    Service::CODERED_HTTP,
+                    0.0,
+                    &mut rng,
+                );
                 ledger.record(crii_verdict);
                 if let Delivery::Public(dst) = crii_verdict {
                     crii_obs.observe(0.0, src, dst);
                 }
-                let slam_verdict =
-                    env.route(locus, slam.next_target(), Service::SLAMMER_SQL, &mut rng);
+                let slam_verdict = env.route(
+                    locus,
+                    slam.next_target(),
+                    Service::SLAMMER_SQL,
+                    0.0,
+                    &mut rng,
+                );
                 ledger.record(slam_verdict);
                 if let Delivery::Public(dst) = slam_verdict {
                     slam_obs.observe(0.0, src, dst);

@@ -15,7 +15,9 @@
 
 use std::process::exit;
 
-use hotspots_experiments::{banner, find_preset, presets, render, run_spec, RunContext, Scale};
+use hotspots_experiments::{
+    banner, find_preset, presets, render, run_spec, HotspotsError, RunContext, Scale,
+};
 use hotspots_scenario::cli::{parse_flags, usage, FlagSpec, ParsedArgs};
 use hotspots_scenario::value::Value;
 use hotspots_scenario::{ScenarioSpec, RUN_REPORT_ENV};
@@ -38,42 +40,49 @@ fn flags() -> Vec<FlagSpec> {
             name: "quick",
             short: Some("q"),
             takes_value: false,
+            repeatable: false,
             help: "reduced scale (seconds instead of minutes)",
         },
         FlagSpec {
             name: "paper",
             short: None,
             takes_value: false,
+            repeatable: false,
             help: "full paper scale (the default)",
         },
         FlagSpec {
             name: "threads",
             short: None,
             takes_value: true,
+            repeatable: false,
             help: "worker threads (default: the spec / all cores)",
         },
         FlagSpec {
             name: "report",
             short: None,
             takes_value: true,
+            repeatable: false,
             help: "append JSONL run reports to this file",
         },
         FlagSpec {
             name: "param",
             short: None,
             takes_value: true,
-            help: "sweep parameter: dotted.path=v1,v2,... (sweep only)",
+            repeatable: true,
+            help: "sweep parameter: dotted.path=v1,v2,... (repeatable; sweep only)",
         },
         FlagSpec {
             name: "verbose",
             short: Some("v"),
             takes_value: false,
+            repeatable: false,
             help: "list: include the paper artifact mapping",
         },
         FlagSpec {
             name: "help",
             short: Some("h"),
             takes_value: false,
+            repeatable: false,
             help: "print this help",
         },
     ]
@@ -85,6 +94,13 @@ fn die(message: &str) -> ! {
         usage("hotspots", &flags(), COMMANDS)
     );
     exit(2);
+}
+
+/// Reports a run-path failure and exits with its typed code — without
+/// the usage dump, since the invocation itself was fine.
+fn fail(e: &HotspotsError) -> ! {
+    eprintln!("error: {e}");
+    exit(e.exit_code());
 }
 
 fn main() {
@@ -100,10 +116,9 @@ fn main() {
     if let Some(path) = parsed.value("report") {
         std::env::set_var(RUN_REPORT_ENV, path);
     }
-    let scale = if parsed.has("quick") {
-        Scale::Quick
-    } else {
-        Scale::Paper
+    let scale = match Scale::from_parsed(&parsed) {
+        Ok(scale) => scale,
+        Err(e) => die(&e.to_string()),
     };
     let threads = parsed.value("threads").map(|t| match t.parse::<usize>() {
         Ok(n) if n >= 1 => n,
@@ -170,7 +185,7 @@ fn cmd_run(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
             render::render(&run.outcome);
             run.report.emit();
         }
-        Err(e) => die(&e.to_string()),
+        Err(e) => fail(&e),
     }
 }
 
@@ -224,57 +239,62 @@ fn cmd_sweep(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
         die("sweep takes exactly one target: a preset name or spec file");
     };
     let base = resolve_spec(target, scale);
-    let (param, values) = match parsed.value("param") {
-        Some(p) => {
-            let Some((path, list)) = p.split_once('=') else {
-                die("--param needs the form dotted.path=v1,v2,...");
-            };
-            let values: Vec<Value> = list.split(',').map(parse_sweep_value).collect();
-            (path.to_owned(), values)
-        }
-        None => match &base.sweep {
-            Some(sweep) => (sweep.param.clone(), sweep.values.clone()),
+    // every --param occurrence is its own sweep axis, run in order;
+    // without any, fall back to the spec's [sweep] section
+    let mut axes: Vec<(String, Vec<Value>)> = Vec::new();
+    for p in parsed.values("param") {
+        let Some((path, list)) = p.split_once('=') else {
+            die("--param needs the form dotted.path=v1,v2,...");
+        };
+        let values: Vec<Value> = list.split(',').map(parse_sweep_value).collect();
+        axes.push((path.to_owned(), values));
+    }
+    if axes.is_empty() {
+        match &base.sweep {
+            Some(sweep) => axes.push((sweep.param.clone(), sweep.values.clone())),
             None => die("sweep needs --param (the spec has no [sweep] section)"),
-        },
-    };
-    if values.is_empty() {
+        }
+    }
+    if axes.iter().any(|(_, values)| values.is_empty()) {
         die("--param needs at least one value");
     }
     spec_banner(&base, scale);
-    println!(
-        "\nsweeping {param} over {} values: {}\n",
-        values.len(),
-        values
-            .iter()
-            .map(|v| v.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
-    );
     let scenario = base
         .meta
         .scenario
         .clone()
         .unwrap_or_else(|| base.meta.name.clone());
-    for value in &values {
-        let mut tree = base.to_value();
-        if let Err(e) = tree.set_path(&param, value.clone()) {
-            die(&e);
-        }
-        let mut spec = match ScenarioSpec::from_value(&tree) {
-            Ok(s) => s,
-            Err(e) => die(&format!("{param} = {value}: {e}")),
-        };
-        // one report per point, distinguished by the scenario label
-        spec.meta.scenario = Some(format!("{scenario} [{param}={value}]"));
-        spec.sweep = None;
-        println!("---- {param} = {value} ----");
-        match run_spec(&spec, &context(threads)) {
-            Ok(run) => {
-                render::render(&run.outcome);
-                run.report.emit();
+    for (param, values) in &axes {
+        println!(
+            "\nsweeping {param} over {} values: {}\n",
+            values.len(),
+            values
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        for value in values {
+            let mut tree = base.to_value();
+            if let Err(e) = tree.set_path(param, value.clone()) {
+                die(&e);
             }
-            Err(e) => die(&format!("{param} = {value}: {e}")),
+            let mut spec = match ScenarioSpec::from_value(&tree) {
+                Ok(s) => s,
+                Err(e) => die(&format!("{param} = {value}: {e}")),
+            };
+            // one report per point, distinguished by the scenario label
+            spec.meta.scenario = Some(format!("{scenario} [{param}={value}]"));
+            spec.sweep = None;
+            println!("---- {param} = {value} ----");
+            match run_spec(&spec, &context(threads)) {
+                Ok(run) => {
+                    render::render(&run.outcome);
+                    run.report.emit();
+                }
+                Err(e) => fail(&e),
+            }
+            println!();
         }
-        println!();
     }
 }

@@ -17,8 +17,8 @@ pub mod render;
 use hotspots_stats::TimeSeries;
 
 pub use hotspots_scenario::{
-    find_preset, fold_run, fold_sim_result, presets, run_spec, Outcome, Preset, RunContext, RunSet,
-    Scale, ScenarioRun, ScenarioSpec,
+    find_preset, fold_run, fold_sim_result, presets, run_spec, HotspotsError, Outcome, Preset,
+    RunContext, RunSet, Scale, ScenarioRun, ScenarioSpec,
 };
 pub use hotspots_sim::fold_ledger;
 pub use hotspots_telemetry::{ReportBuilder, RunReport, RUN_REPORT_ENV};
@@ -48,19 +48,24 @@ pub fn experiment(
 
 /// The whole main() of a preset-backed experiment binary: strict
 /// argument parsing (`--quick`/`--help`), banner, registry lookup,
-/// [`run_spec`], rendering, report emission.
-///
-/// # Panics
-///
-/// Panics if `name` is not a registered preset — binaries pass literal
-/// registry names.
+/// [`run_spec`], rendering, report emission. Failures print to stderr
+/// and exit with the error's code (2 for spec/usage mistakes, 1 for
+/// runtime failures) instead of panicking.
 pub fn preset_main(name: &str) {
-    let preset = find_preset(name).expect("binary names a registered preset"); // hotspots-lint: allow(panic-path) reason="each binary is generated from the registry, so its preset exists"
+    let Some(preset) = find_preset(name) else {
+        eprintln!("error: {name:?} is not a registered preset (see `hotspots list`)");
+        std::process::exit(2);
+    };
     let scale = Scale::from_args();
     banner(preset.artifact, preset.title, scale);
     let spec = preset.spec(scale);
-    let run = run_spec(&spec, &RunContext::new(preset.binary))
-        .expect("registered presets validate and run"); // hotspots-lint: allow(panic-path) reason="registry presets are pinned runnable by the golden-report suite"
+    let run = match run_spec(&spec, &RunContext::new(preset.binary)) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+    };
     render::render(&run.outcome);
     run.report.emit();
 }

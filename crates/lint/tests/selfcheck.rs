@@ -37,3 +37,28 @@ fn workspace_lints_clean() {
         report.render_text()
     );
 }
+
+/// Retiring a waiver is one-way. The typed-error hardening of the run
+/// path removed the `RunSet` and `preset_main` panic waivers; this pin
+/// keeps them — or any other retired waiver — from silently returning
+/// as a new `expect` with a fresh pragma. Removing a waiver lowers the
+/// count; raising it takes a deliberate edit here alongside the new
+/// waiver's justification.
+#[test]
+fn workspace_waiver_count_is_pinned() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let files = workspace_files(&root);
+    let report = lint_files(&root, &files);
+    let waivers: Vec<String> = report
+        .used_pragmas
+        .iter()
+        .map(|(p, path, _)| format!("{path}:{}", p.line))
+        .collect();
+    assert_eq!(
+        waivers.len(),
+        61,
+        "workspace waiver count changed; current waivers:\n{}",
+        waivers.join("\n")
+    );
+}

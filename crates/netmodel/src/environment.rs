@@ -5,6 +5,7 @@ use std::fmt;
 use hotspots_ipspace::{special, Ip};
 use rand::Rng;
 
+use crate::fault::FaultPlan;
 use crate::filtering::FilterTable;
 use crate::latency::LatencyModel;
 use crate::loss::LossModel;
@@ -70,15 +71,35 @@ pub enum DropReason {
     IngressFiltered,
     /// Lost to network failure.
     PacketLoss,
+    /// Consumed by a scheduled sensor/telescope outage
+    /// ([`FaultKind::SensorOutage`](crate::FaultKind::SensorOutage)):
+    /// the destination block is dark.
+    SensorOutage,
+    /// Discarded by a scheduled upstream blackhole event
+    /// ([`FaultKind::Blackhole`](crate::FaultKind::Blackhole)).
+    UpstreamBlackhole,
+    /// Dropped by a flapping filter rule in its on-phase
+    /// ([`FaultKind::FilterFlap`](crate::FaultKind::FilterFlap)).
+    FilterFlap,
+    /// Lost to a scheduled degraded-path window
+    /// ([`FaultKind::DegradedLoss`](crate::FaultKind::DegradedLoss)),
+    /// over and above base packet loss.
+    DegradedLoss,
 }
 
 impl DropReason {
     /// Every reason, in a fixed order (ledger/report column order).
-    pub const ALL: [DropReason; 4] = [
+    /// Fault verdict classes are appended so pre-fault indices — and the
+    /// reports keyed on them — stay stable.
+    pub const ALL: [DropReason; 8] = [
         DropReason::UnroutableDestination,
         DropReason::EgressFiltered,
         DropReason::IngressFiltered,
         DropReason::PacketLoss,
+        DropReason::SensorOutage,
+        DropReason::UpstreamBlackhole,
+        DropReason::FilterFlap,
+        DropReason::DegradedLoss,
     ];
 
     /// A stable `snake_case` label for machine-readable output (JSONL
@@ -89,6 +110,10 @@ impl DropReason {
             DropReason::EgressFiltered => "egress_filtered",
             DropReason::IngressFiltered => "ingress_filtered",
             DropReason::PacketLoss => "packet_loss",
+            DropReason::SensorOutage => "sensor_outage",
+            DropReason::UpstreamBlackhole => "upstream_blackhole",
+            DropReason::FilterFlap => "filter_flap",
+            DropReason::DegradedLoss => "degraded_loss",
         }
     }
 
@@ -106,6 +131,10 @@ impl fmt::Display for DropReason {
             DropReason::EgressFiltered => "egress filtered",
             DropReason::IngressFiltered => "ingress filtered",
             DropReason::PacketLoss => "packet loss",
+            DropReason::SensorOutage => "sensor outage",
+            DropReason::UpstreamBlackhole => "upstream blackhole",
+            DropReason::FilterFlap => "filter flap",
+            DropReason::DegradedLoss => "degraded loss",
         })
     }
 }
@@ -128,7 +157,7 @@ pub enum Delivery {
     Dropped(DropReason),
 }
 
-/// The network environment: NAT realms + filter policy + loss.
+/// The network environment: NAT realms + filter policy + loss + faults.
 ///
 /// This is the single interface the simulator uses: every probe goes
 /// through [`Environment::route`], which composes all three environmental
@@ -147,12 +176,12 @@ pub enum Delivery {
 ///
 /// // Inside the realm: a NATed host reaches a private neighbor.
 /// let inside = Locus::Private { realm, ip: Ip::from_octets(192, 168, 0, 2) };
-/// let v = env.route(inside, Ip::from_octets(192, 168, 9, 9), Service::CODERED_HTTP, &mut rng);
+/// let v = env.route(inside, Ip::from_octets(192, 168, 9, 9), Service::CODERED_HTTP, 0.0, &mut rng);
 /// assert_eq!(v, Delivery::Local { realm, ip: Ip::from_octets(192, 168, 9, 9) });
 ///
 /// // From the public Internet, private space is unreachable.
 /// let outside = Locus::Public(Ip::from_octets(8, 8, 8, 8));
-/// let v = env.route(outside, Ip::from_octets(192, 168, 9, 9), Service::CODERED_HTTP, &mut rng);
+/// let v = env.route(outside, Ip::from_octets(192, 168, 9, 9), Service::CODERED_HTTP, 0.0, &mut rng);
 /// assert_eq!(v, Delivery::Dropped(DropReason::UnroutableDestination));
 /// ```
 #[derive(Debug, Clone, Default)]
@@ -161,6 +190,7 @@ pub struct Environment {
     filters: FilterTable,
     loss: LossModel,
     latency: LatencyModel,
+    faults: FaultPlan,
 }
 
 impl Environment {
@@ -223,16 +253,30 @@ impl Environment {
         self.latency
     }
 
+    /// Installs a fault schedule (replacing any previous one).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The fault schedule.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Routes one probe from `from` toward destination address `to` on
-    /// `service`, returning where (whether) it lands.
+    /// `service` at simulation time `time`, returning where (whether) it
+    /// lands.
     ///
     /// Evaluation order models a real path: local/NAT short-circuit →
-    /// routability → egress policy → ingress policy → loss.
+    /// routability → upstream faults (blackhole, sensor outage) →
+    /// egress policy → ingress policy → flapping filters → degraded-path
+    /// loss → base loss.
     pub fn route<R: Rng + ?Sized>(
         &self,
         from: Locus,
         to: Ip,
         service: Service,
+        time: f64,
         rng: &mut R,
     ) -> Delivery {
         // 1. Private destinations resolve only within the sender's realm.
@@ -248,13 +292,36 @@ impl Environment {
         if !special::is_globally_routable(to) {
             return Delivery::Dropped(DropReason::UnroutableDestination);
         }
-        // 3./4. Policy, applied to the packet as seen on the public path
-        // (NATed sources appear as their gateway).
         let public_src = from.public_source(self);
+        // 3. Scheduled upstream faults swallow traffic before any border
+        // policy sees it.
+        let faults = self.faults.view_at(time);
+        if !faults.is_inert() {
+            if faults.blackholed(public_src, to) {
+                return Delivery::Dropped(DropReason::UpstreamBlackhole);
+            }
+            if faults.outage(to) {
+                return Delivery::Dropped(DropReason::SensorOutage);
+            }
+        }
+        // 4./5. Policy, applied to the packet as seen on the public path
+        // (NATed sources appear as their gateway).
         if let Some(reason) = self.filters.check(public_src, to, service) {
             return Delivery::Dropped(reason);
         }
-        // 5. Failures.
+        if !faults.is_inert() {
+            // 6. Flapping rules act as policy while in their on-phase.
+            if faults.flapped(public_src, to, service) {
+                return Delivery::Dropped(DropReason::FilterFlap);
+            }
+            // 7. Degraded paths stack an extra loss draw.
+            if let Some(rate) = faults.degraded(public_src, to) {
+                if rng.gen::<f64>() < rate {
+                    return Delivery::Dropped(DropReason::DegradedLoss);
+                }
+            }
+        }
+        // 8. Steady-state failures.
         if self.loss.drops(rng) {
             return Delivery::Dropped(DropReason::PacketLoss);
         }
@@ -271,11 +338,13 @@ impl Environment {
     /// never changes a simulation's outcome. The per-sender invariants
     /// (realm membership, public source) are hoisted out of the loop,
     /// which is where the batch form wins over the scalar one.
+    #[allow(clippy::too_many_arguments)] // a routing verdict needs the full probe context
     pub fn route_batch<R: Rng + ?Sized>(
         &self,
         from: Locus,
         targets: &[Ip],
         service: Service,
+        time: f64,
         rng: &mut R,
         out: &mut Vec<Delivery>,
         ledger: &mut crate::ledger::DeliveryLedger,
@@ -286,6 +355,10 @@ impl Environment {
             Locus::Public(_) => None,
         };
         let public_src = from.public_source(self);
+        // All probes in a batch share one simulation step, so the fault
+        // schedule resolves once; an inert view keeps the no-fault path
+        // at one boolean test per probe.
+        let faults = self.faults.view_at(time);
         for &to in targets {
             let verdict = if special::is_private(to) {
                 // 1. Private destinations resolve only within the
@@ -299,12 +372,27 @@ impl Environment {
             } else if !special::is_globally_routable(to) {
                 // 2. Other non-routable space never leaves the first router.
                 Delivery::Dropped(DropReason::UnroutableDestination)
+            } else if !faults.is_inert() && faults.blackholed(public_src, to) {
+                // 3. Scheduled upstream faults precede border policy.
+                Delivery::Dropped(DropReason::UpstreamBlackhole)
+            } else if !faults.is_inert() && faults.outage(to) {
+                Delivery::Dropped(DropReason::SensorOutage)
             } else if let Some(reason) = self.filters.check(public_src, to, service) {
-                // 3./4. Policy, applied to the packet as seen on the
+                // 4./5. Policy, applied to the packet as seen on the
                 // public path.
                 Delivery::Dropped(reason)
+            } else if !faults.is_inert() && faults.flapped(public_src, to, service) {
+                // 6. Flapping rules act as policy while on.
+                Delivery::Dropped(DropReason::FilterFlap)
+            } else if !faults.is_inert()
+                && faults
+                    .degraded(public_src, to)
+                    .is_some_and(|rate| rng.gen::<f64>() < rate)
+            {
+                // 7. Degraded paths stack an extra loss draw.
+                Delivery::Dropped(DropReason::DegradedLoss)
             } else if self.loss.drops(rng) {
-                // 5. Failures.
+                // 8. Steady-state failures.
                 Delivery::Dropped(DropReason::PacketLoss)
             } else {
                 Delivery::Public(to)
@@ -337,6 +425,7 @@ mod tests {
             Locus::Public(ip("1.2.3.4")),
             ip("5.6.7.8"),
             Service::CODERED_HTTP,
+            0.0,
             &mut rng(),
         );
         assert_eq!(v, Delivery::Public(ip("5.6.7.8")));
@@ -350,6 +439,7 @@ mod tests {
                 Locus::Public(ip("1.2.3.4")),
                 ip(dst),
                 Service::BLASTER_RPC,
+                0.0,
                 &mut rng(),
             );
             assert_eq!(
@@ -371,7 +461,13 @@ mod tests {
         let mut r = rng();
         // inside → inside: local delivery
         assert_eq!(
-            env.route(inside, ip("192.168.200.1"), Service::CODERED_HTTP, &mut r),
+            env.route(
+                inside,
+                ip("192.168.200.1"),
+                Service::CODERED_HTTP,
+                0.0,
+                &mut r
+            ),
             Delivery::Local {
                 realm,
                 ip: ip("192.168.200.1")
@@ -379,7 +475,7 @@ mod tests {
         );
         // inside → public: delivered (sourced from gateway)
         assert_eq!(
-            env.route(inside, ip("8.8.8.8"), Service::CODERED_HTTP, &mut r),
+            env.route(inside, ip("8.8.8.8"), Service::CODERED_HTTP, 0.0, &mut r),
             Delivery::Public(ip("8.8.8.8"))
         );
         // outside → private: unroutable
@@ -388,6 +484,7 @@ mod tests {
                 Locus::Public(ip("8.8.8.8")),
                 ip("192.168.0.5"),
                 Service::CODERED_HTTP,
+                0.0,
                 &mut r
             ),
             Delivery::Dropped(DropReason::UnroutableDestination)
@@ -407,7 +504,7 @@ mod tests {
         };
         // 10.1.x.x is private but not in realm A → unroutable from A
         assert_eq!(
-            env.route(inside_a, ip("10.1.0.9"), Service::BOT_SMB, &mut rng()),
+            env.route(inside_a, ip("10.1.0.9"), Service::BOT_SMB, 0.0, &mut rng()),
             Delivery::Dropped(DropReason::UnroutableDestination)
         );
     }
@@ -425,7 +522,7 @@ mod tests {
             ip: ip("192.168.1.1"),
         };
         assert_eq!(
-            env.route(inside, ip("9.9.9.9"), Service::BLASTER_RPC, &mut rng()),
+            env.route(inside, ip("9.9.9.9"), Service::BLASTER_RPC, 0.0, &mut rng()),
             Delivery::Dropped(DropReason::EgressFiltered)
         );
     }
@@ -440,12 +537,90 @@ mod tests {
         let src = Locus::Public(ip("7.7.7.7"));
         let mut r = rng();
         assert_eq!(
-            env.route(src, ip("192.40.17.1"), Service::SLAMMER_SQL, &mut r),
+            env.route(src, ip("192.40.17.1"), Service::SLAMMER_SQL, 0.0, &mut r),
             Delivery::Dropped(DropReason::IngressFiltered)
         );
         assert_eq!(
-            env.route(src, ip("192.40.17.1"), Service::CODERED_HTTP, &mut r),
+            env.route(src, ip("192.40.17.1"), Service::CODERED_HTTP, 0.0, &mut r),
             Delivery::Public(ip("192.40.17.1"))
+        );
+    }
+
+    #[test]
+    fn faults_produce_their_own_verdict_classes() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultWindow};
+        let mut env = Environment::new();
+        let mut plan = FaultPlan::new();
+        plan.push(FaultEvent::new(
+            FaultKind::Blackhole {
+                prefix: "12.0.0.0/8".parse().unwrap(),
+            },
+            FaultWindow::new(10.0, 20.0),
+        ));
+        plan.push(FaultEvent::new(
+            FaultKind::SensorOutage {
+                block: "66.66.0.0/16".parse().unwrap(),
+            },
+            FaultWindow::new(10.0, 20.0),
+        ));
+        plan.push(FaultEvent::new(
+            FaultKind::FilterFlap {
+                rule: FilterRule::ingress("77.0.0.0/8".parse().unwrap(), None),
+                period: 10.0,
+                duty: 0.5,
+            },
+            FaultWindow::new(10.0, 20.0),
+        ));
+        plan.push(FaultEvent::new(
+            FaultKind::DegradedLoss {
+                prefix: "88.0.0.0/8".parse().unwrap(),
+                rate: 1.0,
+            },
+            FaultWindow::new(10.0, 20.0),
+        ));
+        env.set_faults(plan);
+        let src = Locus::Public(ip("1.2.3.4"));
+        let mut r = rng();
+        // inside the window, each fault files under its own class
+        assert_eq!(
+            env.route(src, ip("12.5.5.5"), Service::BOT_SMB, 15.0, &mut r),
+            Delivery::Dropped(DropReason::UpstreamBlackhole)
+        );
+        assert_eq!(
+            env.route(src, ip("66.66.5.5"), Service::BOT_SMB, 15.0, &mut r),
+            Delivery::Dropped(DropReason::SensorOutage)
+        );
+        assert_eq!(
+            env.route(src, ip("77.5.5.5"), Service::BOT_SMB, 12.0, &mut r),
+            Delivery::Dropped(DropReason::FilterFlap)
+        );
+        assert_eq!(
+            env.route(src, ip("88.5.5.5"), Service::BOT_SMB, 15.0, &mut r),
+            Delivery::Dropped(DropReason::DegradedLoss)
+        );
+        // blackholed sources are swallowed too
+        assert_eq!(
+            env.route(
+                Locus::Public(ip("12.5.5.5")),
+                ip("8.8.8.8"),
+                Service::BOT_SMB,
+                15.0,
+                &mut r
+            ),
+            Delivery::Dropped(DropReason::UpstreamBlackhole)
+        );
+        // outside the window, the same probes deliver
+        for dst in ["12.5.5.5", "66.66.5.5", "77.5.5.5", "88.5.5.5"] {
+            assert_eq!(
+                env.route(src, ip(dst), Service::BOT_SMB, 25.0, &mut r),
+                Delivery::Public(ip(dst)),
+                "{dst}"
+            );
+        }
+        // flap off-phase: second half of the period passes
+        assert_eq!(
+            env.route(src, ip("77.5.5.5"), Service::BOT_SMB, 17.0, &mut r),
+            Delivery::Public(ip("77.5.5.5"))
         );
     }
 
@@ -458,6 +633,7 @@ mod tests {
                 Locus::Public(ip("1.1.1.1")),
                 ip("2.2.2.2"),
                 Service::BOT_SMB,
+                0.0,
                 &mut rng()
             ),
             Delivery::Dropped(DropReason::PacketLoss)
@@ -481,7 +657,7 @@ mod tests {
                     Locus::Public(Ip::new(src)),
                     Locus::Private { realm, ip: Ip::from_octets(192, 168, 0, 7) },
                 ] {
-                    match env.route(from, dst, Service::BOT_SMB, &mut rng) {
+                    match env.route(from, dst, Service::BOT_SMB, 0.0, &mut rng) {
                         Delivery::Public(ip) => {
                             prop_assert_eq!(ip, dst);
                             prop_assert!(hotspots_ipspace::special::is_globally_routable(ip));
@@ -503,10 +679,13 @@ mod tests {
                 src in any::<u32>(),
                 dsts in proptest::collection::vec(any::<u32>(), 0..64),
                 loss_pct in 0u32..=100,
+                time in 0.0f64..40.0,
             ) {
+                use crate::fault::{FaultEvent, FaultKind, FaultWindow};
                 let loss = f64::from(loss_pct) / 100.0;
-                // A lossy, filtered, NATed environment: every verdict arm
-                // is reachable, and the loss draws must line up exactly.
+                // A lossy, filtered, NATed, faulted environment: every
+                // verdict arm is reachable, and the loss draws must line
+                // up exactly.
                 let mut env = Environment::new();
                 let realm = env.add_realm(
                     NatRealm::home_192_168(Ip::from_octets(203, 0, 113, 1)).unwrap(),
@@ -516,6 +695,31 @@ mod tests {
                     Some(Service::BOT_SMB),
                 ));
                 env.set_loss(LossModel::new(loss).unwrap());
+                let mut faults = crate::fault::FaultPlan::new();
+                faults.push(FaultEvent::new(
+                    FaultKind::Blackhole { prefix: "32.0.0.0/6".parse().unwrap() },
+                    FaultWindow::new(10.0, 20.0),
+                ));
+                faults.push(FaultEvent::new(
+                    FaultKind::SensorOutage { block: "128.0.0.0/3".parse().unwrap() },
+                    FaultWindow::new(15.0, 30.0),
+                ));
+                faults.push(FaultEvent::new(
+                    FaultKind::FilterFlap {
+                        rule: FilterRule::ingress("96.0.0.0/5".parse().unwrap(), None),
+                        period: 4.0,
+                        duty: 0.5,
+                    },
+                    FaultWindow::new(0.0, 40.0),
+                ));
+                faults.push(FaultEvent::new(
+                    FaultKind::DegradedLoss {
+                        prefix: "192.0.0.0/4".parse().unwrap(),
+                        rate: 0.5,
+                    },
+                    FaultWindow::new(5.0, 35.0),
+                ));
+                env.set_faults(faults);
                 let targets: Vec<Ip> = dsts.iter().copied().map(Ip::new).collect();
                 for from in [
                     Locus::Public(Ip::new(src)),
@@ -527,7 +731,7 @@ mod tests {
                     let scalar: Vec<Delivery> = targets
                         .iter()
                         .map(|&to| {
-                            let v = env.route(from, to, Service::BOT_SMB, &mut scalar_rng);
+                            let v = env.route(from, to, Service::BOT_SMB, time, &mut scalar_rng);
                             scalar_ledger.record(v);
                             v
                         })
@@ -538,6 +742,7 @@ mod tests {
                         from,
                         &targets,
                         Service::BOT_SMB,
+                        time,
                         &mut batch_rng,
                         &mut batch,
                         &mut batch_ledger,
@@ -559,8 +764,8 @@ mod tests {
                 let mut r1 = StdRng::seed_from_u64(1);
                 let mut r2 = StdRng::seed_from_u64(2);
                 let from = Locus::Public(Ip::new(src));
-                let a = env.route(from, Ip::new(dst), Service::CODERED_HTTP, &mut r1);
-                let b = env.route(from, Ip::new(dst), Service::CODERED_HTTP, &mut r2);
+                let a = env.route(from, Ip::new(dst), Service::CODERED_HTTP, 0.0, &mut r1);
+                let b = env.route(from, Ip::new(dst), Service::CODERED_HTTP, 0.0, &mut r2);
                 prop_assert_eq!(a, b, "no stochastic element should remain");
             }
         }

@@ -113,11 +113,11 @@ mod tests {
         for reason in DropReason::ALL {
             ledger.record(Delivery::Dropped(reason));
         }
-        assert_eq!(ledger.probes(), 6);
+        assert_eq!(ledger.probes(), 2 + DropReason::ALL.len() as u64);
         assert_eq!(ledger.delivered_public(), 1);
         assert_eq!(ledger.delivered_local(), 1);
         assert_eq!(ledger.delivered(), 2);
-        assert_eq!(ledger.dropped_total(), 4);
+        assert_eq!(ledger.dropped_total(), DropReason::ALL.len() as u64);
         assert_eq!(ledger.delivered() + ledger.dropped_total(), ledger.probes());
         for reason in DropReason::ALL {
             assert_eq!(ledger.dropped(reason), 1, "{reason}");
@@ -159,7 +159,11 @@ mod tests {
                 "unroutable_destination",
                 "egress_filtered",
                 "ingress_filtered",
-                "packet_loss"
+                "packet_loss",
+                "sensor_outage",
+                "upstream_blackhole",
+                "filter_flap",
+                "degraded_loss"
             ]
         );
     }

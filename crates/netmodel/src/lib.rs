@@ -11,7 +11,10 @@
 //! * **Routing & filtering policy** — [`filtering`]: ordered deny rules
 //!   over (source, destination, service), modelling enterprise egress
 //!   filters and upstream provider blocks.
-//! * **Failures & misconfiguration** — [`loss`]: Bernoulli packet loss.
+//! * **Failures & misconfiguration** — [`loss`]: steady-state Bernoulli
+//!   packet loss, plus [`fault`]: a deterministic schedule of transient
+//!   failures (sensor outages, upstream blackholes, flapping filters,
+//!   degraded-path windows).
 //!
 //! [`Environment::route`] composes all three into a single verdict for
 //! each probe, which is the only entry point the simulator needs.
@@ -29,6 +32,7 @@
 //!     Locus::Public(Ip::from_octets(198, 51, 100, 1)),
 //!     Ip::from_octets(203, 0, 113, 9),
 //!     Service::CODERED_HTTP,
+//!     0.0,
 //!     &mut rng,
 //! );
 //! assert_eq!(verdict, Delivery::Public(Ip::from_octets(203, 0, 113, 9)));
@@ -38,6 +42,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod environment;
+pub mod fault;
 pub mod filtering;
 pub mod latency;
 mod ledger;
@@ -47,6 +52,7 @@ pub mod orgs;
 mod service;
 
 pub use environment::{Delivery, DropReason, Environment, Locus};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultView, FaultWindow};
 pub use filtering::{FilterRule, FilterTable};
 pub use latency::LatencyModel;
 pub use ledger::DeliveryLedger;

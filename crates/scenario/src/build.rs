@@ -2,7 +2,7 @@
 //! simulation types.
 
 use hotspots_ipspace::{Ip, Prefix};
-use hotspots_netmodel::{Environment, FilterRule, LatencyModel, LossModel};
+use hotspots_netmodel::{Environment, FaultPlan, FilterRule, LatencyModel, LossModel};
 use hotspots_prng::entropy::{HardwareGeneration, SeedModel};
 use hotspots_sim::{
     apply_nat, apply_nat_shared, paper_codered_population, synthetic_codered_population,
@@ -15,9 +15,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::spec::{
-    parse_filter, parse_ip, parse_preference_entry, parse_prefix, parse_service, PlacementSpec,
-    PopSpec, ScenarioSpec, SpecError, TelescopeSpec, WormSpec,
+    parse_fault, parse_filter, parse_ip, parse_preference_entry, parse_prefix, parse_service,
+    PlacementSpec, PopSpec, ScenarioSpec, SpecError, TelescopeSpec, WormSpec,
 };
+
+/// Converts a spec-supplied integer to `usize`, surfacing a dotted-path
+/// error instead of silently truncating on narrow platforms.
+pub(crate) fn spec_usize(field: &str, v: u64) -> Result<usize, SpecError> {
+    usize::try_from(v).map_err(|_| SpecError::new(field, format!("{v} is too large")))
+}
+
+/// Converts a spec-supplied integer to `u32`, surfacing a dotted-path
+/// error instead of silently wrapping.
+pub(crate) fn spec_u32(field: &str, v: u64) -> Result<u32, SpecError> {
+    u32::try_from(v).map_err(|_| SpecError::new(field, format!("{v} exceeds 2^32 - 1")))
+}
 
 /// Building reuses the spec-validation error type: every failure names
 /// the spec field that caused it.
@@ -71,6 +83,16 @@ impl ScenarioSpec {
             };
             environment.filters_mut().push(rule);
         }
+        if !self.faults.schedule.is_empty() {
+            let plan: FaultPlan = self
+                .faults
+                .schedule
+                .iter()
+                .enumerate()
+                .map(|(i, entry)| parse_fault(&format!("faults.schedule[{i}]"), entry))
+                .collect::<Result<_, _>>()?;
+            environment.set_faults(plan);
+        }
 
         let addrs = build_addresses(pop_spec)?;
         let population = match &self.environment.nat {
@@ -91,13 +113,13 @@ impl ScenarioSpec {
         let config = SimConfig {
             scan_rate: self.sim.scan_rate,
             scan_rate_sigma: self.sim.scan_rate_sigma,
-            seeds: self.sim.seeds as usize,
+            seeds: spec_usize("sim.seeds", self.sim.seeds)?,
             dt: self.sim.dt,
             max_time: self.sim.max_time,
             stop_at_fraction: self.sim.stop_at_fraction,
             removal_rate: self.sim.removal_rate,
             rng_seed: self.sim.rng_seed,
-            threads: self.sim.threads as usize,
+            threads: spec_usize("sim.threads", self.sim.threads)?,
         };
 
         Ok(Built {
@@ -118,11 +140,8 @@ fn build_addresses(pop: &PopSpec) -> Result<Vec<Ip>, SpecError> {
             stride,
         } => {
             let base = parse_ip("population.base", base)?;
-            let count = u32::try_from(*count).map_err(|_| SpecError {
-                field: "population.count".into(),
-                message: "too large".into(),
-            })?;
-            let stride = *stride as u32;
+            let count = spec_u32("population.count", *count)?;
+            let stride = spec_u32("population.stride", *stride)?;
             Ok((0..count)
                 .map(|i| Ip::new(base.value().wrapping_add(i.wrapping_mul(stride))))
                 .collect())
@@ -134,8 +153,8 @@ fn build_addresses(pop: &PopSpec) -> Result<Vec<Ip>, SpecError> {
         } => {
             let mut rng = StdRng::seed_from_u64(*seed);
             Ok(synthetic_codered_population(
-                *size as usize,
-                *slash8s as usize,
+                spec_usize("population.size", *size)?,
+                spec_usize("population.slash8s", *slash8s)?,
                 &mut rng,
             ))
         }
@@ -226,7 +245,11 @@ fn build_detector(telescope: &TelescopeSpec) -> Result<Option<DetectorField>, Sp
                     .collect::<Result<Vec<_>, _>>()?,
                 PlacementSpec::Random { sensors, seed } => {
                     let mut rng = StdRng::seed_from_u64(*seed);
-                    placement::random_slash24s(*sensors as usize, &[], &mut rng)
+                    placement::random_slash24s(
+                        spec_usize("telescope.placement.sensors", *sensors)?,
+                        &[],
+                        &mut rng,
+                    )
                 }
             };
             let mode = match mode.as_str() {

@@ -40,10 +40,12 @@ impl Scale {
                     );
                     std::process::exit(2);
                 }
-                if parsed.has("quick") {
-                    Scale::Quick
-                } else {
-                    Scale::Paper
+                match Scale::from_parsed(&parsed) {
+                    Ok(scale) => scale,
+                    Err(e) => {
+                        eprintln!("error: {e}\n\n{}", usage(&binary, &spec, ""));
+                        std::process::exit(2);
+                    }
                 }
             }
             Err(e) => {
@@ -51,6 +53,22 @@ impl Scale {
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Resolves the scale from already-parsed flags: `--quick` selects
+    /// [`Scale::Quick`], `--paper` (or neither) selects [`Scale::Paper`],
+    /// and giving both is an error — they contradict each other.
+    pub fn from_parsed(parsed: &ParsedArgs) -> Result<Scale, ArgError> {
+        if parsed.has("quick") && parsed.has("paper") {
+            return Err(ArgError(
+                "--quick and --paper are mutually exclusive".to_owned(),
+            ));
+        }
+        Ok(if parsed.has("quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        })
     }
 
     /// Picks `quick` or `paper` by scale.
@@ -79,6 +97,11 @@ pub struct FlagSpec {
     pub short: Option<&'static str>,
     /// Whether the flag takes a value (`--report out.jsonl`).
     pub takes_value: bool,
+    /// Whether the flag may be given more than once (every occurrence
+    /// is kept, in order — see [`ParsedArgs::values`]). Repeating a
+    /// non-repeatable flag is an error rather than a silent
+    /// first-one-wins.
+    pub repeatable: bool,
     /// One-line help text.
     pub help: &'static str,
 }
@@ -90,18 +113,21 @@ pub fn experiment_flags() -> Vec<FlagSpec> {
             name: "quick",
             short: Some("q"),
             takes_value: false,
+            repeatable: false,
             help: "reduced scale (seconds instead of minutes)",
         },
         FlagSpec {
             name: "paper",
             short: None,
             takes_value: false,
+            repeatable: false,
             help: "full paper scale (the default)",
         },
         FlagSpec {
             name: "help",
             short: Some("h"),
             takes_value: false,
+            repeatable: false,
             help: "print this help",
         },
     ]
@@ -127,6 +153,16 @@ impl ParsedArgs {
             .iter()
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Every value of `name`, in command-line order — the accessor for
+    /// repeatable flags like the sweep CLI's `--param`.
+    pub fn values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
     }
 }
 
@@ -179,6 +215,12 @@ pub fn parse_flags(args: &[String], spec: &[FlagSpec]) -> Result<ParsedArgs, Arg
             }
             None
         };
+        if !flag.repeatable && out.has(flag.name) {
+            return Err(ArgError(format!(
+                "flag --{} given more than once",
+                flag.name
+            )));
+        }
         out.flags.push((flag.name.to_owned(), value));
     }
     Ok(out)
@@ -238,6 +280,7 @@ mod tests {
             name: "report",
             short: None,
             takes_value: true,
+            repeatable: false,
             help: "",
         }];
         let p = parse_flags(&args(&["--report", "out.jsonl"]), &spec).unwrap();
@@ -245,6 +288,57 @@ mod tests {
         let p = parse_flags(&args(&["--report=out.jsonl"]), &spec).unwrap();
         assert_eq!(p.value("report"), Some("out.jsonl"));
         assert!(parse_flags(&args(&["--report"]), &spec).is_err());
+    }
+
+    #[test]
+    fn repeatable_flags_append_in_order() {
+        let spec = vec![FlagSpec {
+            name: "param",
+            short: None,
+            takes_value: true,
+            repeatable: true,
+            help: "",
+        }];
+        let p = parse_flags(&args(&["--param", "a=1", "--param=b=2"]), &spec).unwrap();
+        assert_eq!(p.values("param"), vec!["a=1", "b=2"]);
+        // `value` keeps its first-occurrence contract for single-use callers
+        assert_eq!(p.value("param"), Some("a=1"));
+    }
+
+    #[test]
+    fn repeated_scalar_flag_is_an_error_naming_the_flag() {
+        let spec = vec![
+            FlagSpec {
+                name: "threads",
+                short: None,
+                takes_value: true,
+                repeatable: false,
+                help: "",
+            },
+            FlagSpec {
+                name: "quick",
+                short: Some("q"),
+                takes_value: false,
+                repeatable: false,
+                help: "",
+            },
+        ];
+        let err = parse_flags(&args(&["--threads", "2", "--threads", "4"]), &spec).unwrap_err();
+        assert!(err.to_string().contains("--threads"), "got: {err}");
+        let err = parse_flags(&args(&["--quick", "-q"]), &spec).unwrap_err();
+        assert!(err.to_string().contains("--quick"), "got: {err}");
+    }
+
+    #[test]
+    fn quick_and_paper_together_are_rejected() {
+        let spec = experiment_flags();
+        let p = parse_flags(&args(&["--quick", "--paper"]), &spec).unwrap();
+        let err = Scale::from_parsed(&p).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "got: {err}");
+        let p = parse_flags(&args(&["--paper"]), &spec).unwrap();
+        assert_eq!(Scale::from_parsed(&p).unwrap(), Scale::Paper);
+        let p = parse_flags(&args(&["--quick"]), &spec).unwrap();
+        assert_eq!(Scale::from_parsed(&p).unwrap(), Scale::Quick);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod build;
 pub mod cli;
+pub mod error;
 pub mod registry;
 pub mod run;
 pub mod spec;
@@ -27,11 +28,12 @@ pub mod value;
 
 pub use build::{BuildError, Built};
 pub use cli::{experiment_flags, parse_flags, usage, ArgError, FlagSpec, ParsedArgs, Scale};
+pub use error::HotspotsError;
 pub use registry::{find_preset, presets, Preset};
 pub use run::{fold_run, fold_sim_result, run_spec, Outcome, RunContext, RunSet, ScenarioRun};
 pub use spec::{
-    DetectionParams, EnvSpec, MetaSpec, PopSpec, ScenarioSpec, SimSpec, SpecError, StudySpec,
-    SweepSpec, TelescopeSpec, WormSpec,
+    DetectionParams, EnvSpec, FaultsSpec, MetaSpec, PopSpec, ScenarioSpec, SimSpec, SpecError,
+    StudySpec, SweepSpec, TelescopeSpec, WormSpec,
 };
 pub use value::{ParseError, Value};
 

@@ -11,8 +11,8 @@
 
 use crate::cli::Scale;
 use crate::spec::{
-    DetectionParams, EnvSpec, LatencySpec, NatSpec, PopSpec, ScenarioSpec, SimSpec, StudySpec,
-    WormSpec,
+    DetectionParams, EnvSpec, FaultsSpec, LatencySpec, NatSpec, PlacementSpec, PopSpec,
+    ScenarioSpec, SimSpec, StudySpec, TelescopeSpec, WormSpec,
 };
 
 /// A named, registered scenario.
@@ -128,7 +128,7 @@ fn fig5_sizes() -> Vec<Option<u64>> {
     vec![Some(10), Some(100), Some(1000), None]
 }
 
-static PRESETS: [Preset; 19] = [
+static PRESETS: [Preset; 22] = [
     Preset {
         name: "fig1",
         binary: "fig1_blaster",
@@ -315,6 +315,54 @@ static PRESETS: [Preset; 19] = [
         },
     },
     Preset {
+        name: "fig5-outage",
+        binary: "hotspots",
+        artifact: "FIGURE 5 + OUTAGE",
+        scenario: "fig5-outage",
+        title: "quorum detection misses the outbreak during a sensor outage",
+        paper: "beyond the paper: Figure 5(b) detection under sensor failure (DESIGN.md §5e)",
+        family: "analysis",
+        spec_fn: |scale| {
+            // the worm scans both the populated /16 and the dark sensor
+            // /16, so the field would normally alert early in the run
+            let mut spec = engine_spec(
+                WormSpec::HitList {
+                    prefixes: vec!["11.11.0.0/16".to_owned(), "66.66.0.0/16".to_owned()],
+                    service: None,
+                },
+                PopSpec::Range {
+                    base: "11.11.0.0".to_owned(),
+                    count: scale.pick(400, 2_000),
+                    stride: 1,
+                },
+                EnvSpec::default(),
+                SimSpec {
+                    scan_rate: 20.0,
+                    seeds: 5,
+                    max_time: scale.pick(120.0, 600.0),
+                    stop_at_fraction: Some(0.95),
+                    rng_seed: 0xfa17,
+                    ..SimSpec::default()
+                },
+            );
+            spec.telescope = TelescopeSpec::Field {
+                placement: PlacementSpec::Prefixes {
+                    prefixes: (0..16u32)
+                        .map(|i| format!("66.66.{}.0/24", i * 16))
+                        .collect(),
+                },
+                alert_threshold: 5,
+                mode: "active".to_owned(),
+            };
+            // the sensor block fails for the growth phase: probes that
+            // would have tripped the quorum are consumed by the outage
+            spec.faults = FaultsSpec {
+                schedule: vec![format!("outage 66.66.0.0/16 0 {}", scale.pick(90, 450))],
+            };
+            spec
+        },
+    },
+    Preset {
         name: "xmode-uniform",
         binary: "hotspots",
         artifact: "CROSS-MODE",
@@ -472,6 +520,67 @@ static PRESETS: [Preset; 19] = [
                 jitter_secs: 2.0,
             });
             spec.environment.loss = Some(0.1);
+            spec
+        },
+    },
+    Preset {
+        name: "xmode-outage",
+        binary: "hotspots",
+        artifact: "CROSS-MODE",
+        scenario: "xmode-outage",
+        title: "hit-list worm through a sensor outage and a flapping filter",
+        paper: "determinism harness: fault schedule — outage + flap (no paper artifact)",
+        family: "cross-mode",
+        spec_fn: |_| {
+            let mut spec = dense_engine(
+                xmode_hitlist_worm(),
+                300,
+                SimSpec {
+                    scan_rate: 15.0,
+                    seeds: 6,
+                    max_time: 80.0,
+                    rng_seed: 17,
+                    ..SimSpec::default()
+                },
+            );
+            spec.faults = FaultsSpec {
+                schedule: vec![
+                    "outage 11.11.64.0/18 10 40".to_owned(),
+                    "flap ingress 11.11.128.0/18 * 0 80 8 0.5".to_owned(),
+                ],
+            };
+            spec
+        },
+    },
+    Preset {
+        name: "xmode-blackhole",
+        binary: "hotspots",
+        artifact: "CROSS-MODE",
+        scenario: "xmode-blackhole",
+        title: "hit-list worm through an upstream blackhole and degraded loss",
+        paper:
+            "determinism harness: fault schedule — blackhole + degraded loss (no paper artifact)",
+        family: "cross-mode",
+        spec_fn: |_| {
+            let mut spec = dense_engine(
+                xmode_hitlist_worm(),
+                300,
+                SimSpec {
+                    scan_rate: 15.0,
+                    seeds: 6,
+                    max_time: 80.0,
+                    rng_seed: 18,
+                    ..SimSpec::default()
+                },
+            );
+            spec.faults = FaultsSpec {
+                schedule: vec![
+                    // the blackhole matches source hosts too, so the
+                    // outbreak stalls completely inside [5, 30)
+                    "blackhole 11.11.0.0/18 5 30".to_owned(),
+                    "degraded 11.11.192.0/18 0 60 0.3".to_owned(),
+                ],
+            };
             spec
         },
     },

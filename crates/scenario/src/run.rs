@@ -9,7 +9,7 @@
 //! `hotspots-experiments`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use hotspots::scenarios::blaster::{sources_by_block, BlasterStudy};
 use hotspots::scenarios::codered::{quarantine_run, sources_by_block_accounted, CodeRedStudy};
@@ -39,6 +39,8 @@ use hotspots_telescope::{DetectorField, SensorMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::build::{spec_u32, spec_usize};
+use crate::error::HotspotsError;
 use crate::spec::{parse_ip, DetectionParams, ScenarioSpec, SpecError, StudySpec};
 
 /// Front-end context for a run: the binary name stamped into the run
@@ -323,10 +325,16 @@ impl RunSet {
     /// Runs `job` over every input, in parallel, returning the results
     /// in input order.
     ///
+    /// Poisoned slot mutexes are recovered rather than unwrapped — each
+    /// slot holds a plain `Option` that stays valid whatever happened on
+    /// another thread — and a slot that still has no result after every
+    /// worker joined surfaces as [`HotspotsError::Worker`] instead of a
+    /// panic of our own.
+    ///
     /// # Panics
     ///
-    /// Propagates a panic from any job after all workers finish.
-    pub fn run<I, R, F>(&self, inputs: Vec<I>, job: F) -> Vec<R>
+    /// Propagates a panic from any job when the worker scope joins.
+    pub fn run<I, R, F>(&self, inputs: Vec<I>, job: F) -> Result<Vec<R>, HotspotsError>
     where
         I: Send,
         R: Send,
@@ -334,7 +342,7 @@ impl RunSet {
     {
         let n = inputs.len();
         if self.threads <= 1 || n <= 1 {
-            return inputs.into_iter().map(job).collect();
+            return Ok(inputs.into_iter().map(job).collect());
         }
         let slots: Vec<Mutex<Option<I>>> =
             inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
@@ -347,14 +355,15 @@ impl RunSet {
                     if idx >= n {
                         break;
                     }
+                    // each index is claimed by exactly one worker, so a
+                    // vacant slot (impossible today) is simply skipped
                     let input = slots[idx]
                         .lock()
-                        .expect("input slot poisoned") // hotspots-lint: allow(panic-path) reason="mutex poisoned only if a worker panicked, which already failed the run"
-                        .take()
-                        .expect("input taken once"); // hotspots-lint: allow(panic-path) reason="each job index is claimed by exactly one worker"
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take();
+                    let Some(input) = input else { continue };
                     let out = job(input);
-                    // hotspots-lint: allow(panic-path) reason="mutex poisoned only if a worker panicked, which already failed the run"
-                    *results[idx].lock().expect("result slot poisoned") = Some(out);
+                    *results[idx].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
                 });
             }
         });
@@ -362,8 +371,8 @@ impl RunSet {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("result slot poisoned") // hotspots-lint: allow(panic-path) reason="mutex poisoned only if a worker panicked, which already failed the run"
-                    .expect("every job completed") // hotspots-lint: allow(panic-path) reason="scoped threads joined before results are read"
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .ok_or_else(|| HotspotsError::worker("a parallel run set"))
             })
             .collect()
     }
@@ -378,7 +387,7 @@ impl RunSet {
 /// `meta.scenario` (default: `meta.name`); `meta.scale`, when present,
 /// is echoed as the first config entry — matching the experiment
 /// binaries' reports field for field.
-pub fn run_spec(spec: &ScenarioSpec, ctx: &RunContext) -> Result<ScenarioRun, SpecError> {
+pub fn run_spec(spec: &ScenarioSpec, ctx: &RunContext) -> Result<ScenarioRun, HotspotsError> {
     spec.validate()?;
     let scenario = spec.meta.scenario.as_deref().unwrap_or(&spec.meta.name);
     let mut report = ReportBuilder::new(&ctx.binary, scenario);
@@ -400,7 +409,7 @@ fn run_engine(
     spec: &ScenarioSpec,
     ctx: &RunContext,
     report: &mut ReportBuilder,
-) -> Result<Outcome, SpecError> {
+) -> Result<Outcome, HotspotsError> {
     let mut built = spec.build()?;
     if let Some(threads) = ctx.threads {
         built.config.threads = threads;
@@ -437,25 +446,25 @@ fn run_engine(
     })
 }
 
-fn detection_study(params: &DetectionParams) -> DetectionStudy {
-    DetectionStudy {
-        population: params.population as usize,
-        slash8s: params.slash8s as usize,
+fn detection_study(params: &DetectionParams) -> Result<DetectionStudy, SpecError> {
+    Ok(DetectionStudy {
+        population: spec_usize("study.population", params.population)?,
+        slash8s: spec_usize("study.slash8s", params.slash8s)?,
         paper_profile: params.paper_profile,
-        seeds: params.seeds as usize,
+        seeds: spec_usize("study.seeds", params.seeds)?,
         scan_rate: params.scan_rate,
         alert_threshold: params.alert_threshold,
         max_time: params.max_time,
         stop_at_fraction: params.stop_at_fraction,
         rng_seed: params.rng_seed,
-    }
+    })
 }
 
 fn run_study(
     study: &StudySpec,
     runset: &RunSet,
     out: &mut ReportBuilder,
-) -> Result<Outcome, SpecError> {
+) -> Result<Outcome, HotspotsError> {
     match study {
         StudySpec::BlasterCoverage {
             hosts,
@@ -465,7 +474,7 @@ fn run_study(
             rng_seed,
         } => {
             let study = BlasterStudy {
-                hosts: *hosts as usize,
+                hosts: spec_usize("study.hosts", *hosts)?,
                 window_secs: *window_secs,
                 scan_rate: *scan_rate,
                 reboot_fraction: *reboot_fraction,
@@ -486,7 +495,7 @@ fn run_study(
             rng_seed,
         } => {
             let mut study = SlammerStudy {
-                hosts: *hosts as usize,
+                hosts: spec_usize("study.hosts", *hosts)?,
                 rng_seed: *rng_seed,
                 ..SlammerStudy::default()
             };
@@ -554,7 +563,7 @@ fn run_study(
             quarantine_seed,
         } => {
             let study = CodeRedStudy {
-                hosts: *hosts as usize,
+                hosts: spec_usize("study.hosts", *hosts)?,
                 nat_fraction: *nat_fraction,
                 probes_per_host: *probes_per_host,
                 rng_seed: *rng_seed,
@@ -597,8 +606,8 @@ fn run_study(
             })
         }
         StudySpec::HitListInfection { detection, sizes } => {
-            let study = detection_study(detection);
-            let runs = hitlist_sweep(&study, sizes, runset);
+            let study = detection_study(detection)?;
+            let runs = hitlist_sweep(&study, sizes, runset)?;
             out.config("population", study.population_size())
                 .config("seeds", study.seeds)
                 .config("scan_rate", study.scan_rate)
@@ -615,8 +624,8 @@ fn run_study(
             Ok(Outcome::HitListInfection { study, runs })
         }
         StudySpec::HitListDetection { detection, sizes } => {
-            let study = detection_study(detection);
-            let runs = hitlist_sweep(&study, sizes, runset);
+            let study = detection_study(detection)?;
+            let runs = hitlist_sweep(&study, sizes, runset)?;
             out.config("population", study.population_size())
                 .config("alert_threshold", study.alert_threshold)
                 .config("hit_list_sizes", size_labels(sizes));
@@ -637,18 +646,17 @@ fn run_study(
             sensors,
             top_k_slash8s,
         } => {
-            let study = detection_study(detection);
+            let study = detection_study(detection)?;
+            let sensors = spec_usize("study.sensors", *sensors)?;
             let placements = vec![
-                Placement::Random {
-                    sensors: *sensors as usize,
-                },
+                Placement::Random { sensors },
                 Placement::TopSlash8s {
-                    sensors: *sensors as usize,
-                    k: *top_k_slash8s as usize,
+                    sensors,
+                    k: spec_usize("study.top_k_slash8s", *top_k_slash8s)?,
                 },
                 Placement::Inside192,
             ];
-            let runs = runset.run(placements, |p| nat_run(&study, *nat_fraction, p));
+            let runs = runset.run(placements, |p| nat_run(&study, *nat_fraction, p))?;
             out.config("population", study.population_size())
                 .config("nat_fraction", nat_fraction)
                 .config("placements", "Random,TopSlash8s,Inside192");
@@ -675,7 +683,7 @@ fn run_study(
             let drone = parse_ip("study.drone", drone)?;
             // grammar/corpus analysis: no probes, no environment
             let paper = corpus::hit_list_report(&corpus::table1(), drone);
-            let n = *synthetic_commands as usize;
+            let n = spec_usize("study.synthetic_commands", *synthetic_commands)?;
             let mut rng = StdRng::seed_from_u64(*corpus_seed);
             let commands = corpus::generate(n, &mut rng);
             let synthetic = corpus::hit_list_report(&commands, drone);
@@ -701,8 +709,11 @@ fn run_study(
             rng_seed,
         } => {
             let study = FilteringStudy {
-                infected_per_enterprise: *infected_per_enterprise as usize,
-                infected_per_isp: *infected_per_isp as usize,
+                infected_per_enterprise: spec_usize(
+                    "study.infected_per_enterprise",
+                    *infected_per_enterprise,
+                )?,
+                infected_per_isp: spec_usize("study.infected_per_isp", *infected_per_isp)?,
                 probes_per_host: *probes_per_host,
                 blaster_scan_len: *blaster_scan_len,
                 rng_seed: *rng_seed,
@@ -722,11 +733,11 @@ fn run_study(
             sensor_max_time,
             reboot_hosts,
         } => Ok(run_ablations(
-            *nat_population as usize,
+            spec_usize("study.nat_population", *nat_population)?,
             *nat_max_time,
-            *sensor_hosts as u32,
+            spec_u32("study.sensor_hosts", *sensor_hosts)?,
             *sensor_max_time,
-            *reboot_hosts as usize,
+            spec_usize("study.reboot_hosts", *reboot_hosts)?,
             out,
         )),
         StudySpec::Sensitivity {
@@ -737,6 +748,8 @@ fn run_study(
             rng_seed,
         } => {
             let trials = *trials;
+            let codered_hosts = spec_usize("study.codered_hosts", *codered_hosts)?;
+            let slammer_hosts = spec_usize("study.slammer_hosts", *slammer_hosts)?;
             let mut rng = StdRng::seed_from_u64(*rng_seed);
             out.config("trials", trials);
             let mut ledger = DeliveryLedger::new();
@@ -750,14 +763,14 @@ fn run_study(
                 .collect();
             let codered_runs = runset.run(codered_deployments, |(trial, blocks)| {
                 let study = CodeRedStudy {
-                    hosts: *codered_hosts as usize,
+                    hosts: codered_hosts,
                     nat_fraction: 0.15,
                     probes_per_host: *codered_probes_per_host,
                     rng_seed: 1_000 + trial,
                 };
                 let (rows, trial_ledger) = sources_by_block_accounted(&study, &blocks);
                 (trial, blocks, study.hosts, rows, trial_ledger)
-            });
+            })?;
             let mut codered = Vec::new();
             for (trial, blocks, hosts, rows, trial_ledger) in codered_runs {
                 ledger.merge(&trial_ledger);
@@ -772,13 +785,13 @@ fn run_study(
             let slammer = runset
                 .run(slammer_deployments, |(trial, blocks)| {
                     let study = SlammerStudy {
-                        hosts: *slammer_hosts as usize,
+                        hosts: slammer_hosts,
                         rng_seed: 2_000 + trial,
                         ..SlammerStudy::default()
                     };
                     let rows = sources_by_block_with(&study, &blocks);
                     (trial, blocks, rows)
-                })
+                })?
                 .into_iter()
                 .map(|(trial, blocks, rows)| SlammerTrial {
                     trial,
@@ -798,8 +811,11 @@ fn hitlist_sweep(
     study: &DetectionStudy,
     sizes: &[Option<u64>],
     runset: &RunSet,
-) -> Vec<HitListRun> {
-    let sizes: Vec<Option<usize>> = sizes.iter().map(|s| s.map(|n| n as usize)).collect();
+) -> Result<Vec<HitListRun>, HotspotsError> {
+    let sizes: Vec<Option<usize>> = sizes
+        .iter()
+        .map(|s| s.map(|n| spec_usize("study.sizes", n)).transpose())
+        .collect::<Result<_, _>>()?;
     // the sweep is embarrassingly parallel: one engine per hit-list size
     runset.run(sizes, |size| hitlist_runs(study, &[size]).remove(0))
 }
@@ -951,14 +967,15 @@ mod tests {
     #[test]
     fn run_set_preserves_input_order() {
         let set = RunSet::with_threads(4);
-        let out = set.run((0..64).collect(), |i| i * 2);
+        let out = set.run((0..64).collect(), |i| i * 2).expect("runs");
         assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn run_set_single_thread_and_empty_inputs() {
-        assert_eq!(RunSet::with_threads(1).run(vec![3, 1], |i| i + 1), [4, 2]);
-        let empty: Vec<i32> = RunSet::with_threads(8).run(Vec::new(), |i: i32| i);
+        let out = RunSet::with_threads(1).run(vec![3, 1], |i| i + 1).unwrap();
+        assert_eq!(out, [4, 2]);
+        let empty: Vec<i32> = RunSet::with_threads(8).run(Vec::new(), |i: i32| i).unwrap();
         assert!(empty.is_empty());
     }
 
@@ -1025,6 +1042,23 @@ mod tests {
         }
         let report = run.report.build();
         assert_eq!(report.population, 2);
+    }
+
+    #[test]
+    fn oversized_study_integers_fail_typed() {
+        let mut spec = ScenarioSpec::named("abl");
+        spec.study = Some(StudySpec::Ablations {
+            nat_population: 10,
+            nat_max_time: 1.0,
+            sensor_hosts: 1 << 32,
+            sensor_max_time: 1.0,
+            reboot_hosts: 10,
+        });
+        let Err(err) = run_spec(&spec, &RunContext::new("t")) else {
+            panic!("expected an oversized-integer error");
+        };
+        assert!(err.to_string().contains("study.sensor_hosts"), "got: {err}");
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

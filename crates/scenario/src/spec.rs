@@ -12,7 +12,7 @@
 use std::fmt;
 
 use hotspots_ipspace::{Ip, Prefix};
-use hotspots_netmodel::{Proto, Service};
+use hotspots_netmodel::{FaultEvent, FaultKind, FaultWindow, FilterRule, Proto, Service};
 use hotspots_targeting::PreferenceEntry;
 
 use crate::value::{self, Value};
@@ -27,7 +27,8 @@ pub struct SpecError {
 }
 
 impl SpecError {
-    fn new(field: impl Into<String>, message: impl Into<String>) -> SpecError {
+    /// An error naming `field` by dotted path.
+    pub fn new(field: impl Into<String>, message: impl Into<String>) -> SpecError {
         SpecError {
             field: field.into(),
             message: message.into(),
@@ -62,6 +63,8 @@ pub struct ScenarioSpec {
     pub worm: Option<WormSpec>,
     /// The network environment. Defaults to a lossless direct internet.
     pub environment: EnvSpec,
+    /// Scheduled environmental faults. Defaults to none.
+    pub faults: FaultsSpec,
     /// The vulnerable population (engine path only).
     pub population: Option<PopSpec>,
     /// The telescope deployment observing the outbreak.
@@ -155,6 +158,25 @@ pub struct EnvSpec {
     pub latency: Option<LatencySpec>,
     /// NAT deployment over the population (`None` = all public).
     pub nat: Option<NatSpec>,
+}
+
+/// Scheduled environmental faults (sensor outages, upstream blackholes,
+/// flapping filters, degraded-path windows).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultsSpec {
+    /// Schedule entries, one fault each:
+    ///
+    /// - `"outage <prefix> <t0> <t1>"` — the destination block goes dark;
+    /// - `"blackhole <prefix> <t0> <t1>"` — all traffic from or to the
+    ///   prefix is discarded upstream;
+    /// - `"flap <direction> <prefix> <service> <t0> <t1> <period> <duty>"`
+    ///   — a filter rule toggling on a duty cycle (service `"*"` matches
+    ///   any);
+    /// - `"degraded <prefix> <t0> <t1> <rate>"` — extra Bernoulli loss at
+    ///   `rate` for traffic from or to the prefix.
+    ///
+    /// Windows are half-open `[t0, t1)` in simulation seconds.
+    pub schedule: Vec<String>,
 }
 
 /// Propagation delay: `base + U(0, jitter)` seconds per probe.
@@ -639,6 +661,7 @@ impl ScenarioSpec {
             },
             worm: None,
             environment: EnvSpec::default(),
+            faults: FaultsSpec::default(),
             population: None,
             telescope: TelescopeSpec::None,
             sim: SimSpec::default(),
@@ -657,6 +680,11 @@ impl ScenarioSpec {
         }
         if self.environment != EnvSpec::default() {
             root.set("environment", env_to_value(&self.environment));
+        }
+        if !self.faults.schedule.is_empty() {
+            let mut t = Value::table();
+            t.set("schedule", strs(&self.faults.schedule));
+            root.set("faults", t);
         }
         if let Some(pop) = &self.population {
             root.set("population", pop_to_value(pop));
@@ -687,6 +715,17 @@ impl ScenarioSpec {
             Some(v) => env_from_value(v)?,
             None => EnvSpec::default(),
         };
+        let faults = match root.take("faults") {
+            Some(v) => {
+                let mut f = Fields::new("faults", v)?;
+                let spec = FaultsSpec {
+                    schedule: f.str_array("schedule")?,
+                };
+                f.finish()?;
+                spec
+            }
+            None => FaultsSpec::default(),
+        };
         let population = root.take("population").map(pop_from_value).transpose()?;
         let telescope = match root.take("telescope") {
             Some(v) => telescope_from_value(v)?,
@@ -716,6 +755,7 @@ impl ScenarioSpec {
             meta,
             worm,
             environment,
+            faults,
             population,
             telescope,
             sim,
@@ -790,6 +830,7 @@ impl ScenarioSpec {
             validate_worm(worm)?;
         }
         validate_env(&self.environment)?;
+        validate_faults(&self.faults)?;
         if let Some(pop) = &self.population {
             validate_pop(pop)?;
         }
@@ -1500,6 +1541,109 @@ pub fn parse_filter(field: &str, s: &str) -> Result<ParsedFilter, SpecError> {
     })
 }
 
+fn parse_time(field: &str, role: &str, s: &str) -> Result<f64, SpecError> {
+    let x: f64 = s
+        .parse()
+        .map_err(|_| SpecError::new(field, format!("{role} {s:?} is not a number")))?;
+    if !x.is_finite() {
+        return Err(SpecError::new(field, format!("{role} must be finite")));
+    }
+    Ok(x)
+}
+
+fn parse_fault_window(field: &str, t0: &str, t1: &str) -> Result<FaultWindow, SpecError> {
+    let t0 = parse_time(field, "t0", t0)?;
+    let t1 = parse_time(field, "t1", t1)?;
+    if t0 < 0.0 {
+        return Err(SpecError::new(
+            field,
+            format!("t0 must be non-negative, got {t0}"),
+        ));
+    }
+    if t1 <= t0 {
+        return Err(SpecError::new(
+            field,
+            format!("window must be non-empty: t1 ({t1}) must exceed t0 ({t0})"),
+        ));
+    }
+    Ok(FaultWindow::new(t0, t1))
+}
+
+/// Parses one fault-schedule entry (see [`FaultsSpec::schedule`] for the
+/// grammar) into a netmodel [`FaultEvent`].
+pub fn parse_fault(field: &str, s: &str) -> Result<FaultEvent, SpecError> {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    match parts.as_slice() {
+        ["outage", prefix, t0, t1] => Ok(FaultEvent::new(
+            FaultKind::SensorOutage {
+                block: parse_prefix(field, prefix)?,
+            },
+            parse_fault_window(field, t0, t1)?,
+        )),
+        ["blackhole", prefix, t0, t1] => Ok(FaultEvent::new(
+            FaultKind::Blackhole {
+                prefix: parse_prefix(field, prefix)?,
+            },
+            parse_fault_window(field, t0, t1)?,
+        )),
+        ["flap", direction, prefix, service, t0, t1, period, duty] => {
+            let prefix = parse_prefix(field, prefix)?;
+            let service = if *service == "*" {
+                None
+            } else {
+                Some(parse_service(field, service)?)
+            };
+            let rule = match *direction {
+                "egress" => FilterRule::egress(prefix, service),
+                "ingress" => FilterRule::ingress(prefix, service),
+                other => {
+                    return Err(SpecError::new(
+                        field,
+                        format!("unknown direction {other:?} (expected egress or ingress)"),
+                    ));
+                }
+            };
+            let period = parse_time(field, "period", period)?;
+            if period <= 0.0 {
+                return Err(SpecError::new(
+                    field,
+                    format!("period must be positive, got {period}"),
+                ));
+            }
+            let duty = parse_time(field, "duty", duty)?;
+            if !(duty > 0.0 && duty <= 1.0) {
+                return Err(SpecError::new(
+                    field,
+                    format!("duty must be in (0, 1], got {duty}"),
+                ));
+            }
+            Ok(FaultEvent::new(
+                FaultKind::FilterFlap { rule, period, duty },
+                parse_fault_window(field, t0, t1)?,
+            ))
+        }
+        ["degraded", prefix, t0, t1, rate] => {
+            let rate = parse_time(field, "rate", rate)?;
+            validate_fraction(field, rate)?;
+            Ok(FaultEvent::new(
+                FaultKind::DegradedLoss {
+                    prefix: parse_prefix(field, prefix)?,
+                    rate,
+                },
+                parse_fault_window(field, t0, t1)?,
+            ))
+        }
+        _ => Err(SpecError::new(
+            field,
+            format!(
+                "expected \"outage <prefix> <t0> <t1>\", \"blackhole <prefix> <t0> <t1>\", \
+                 \"flap <direction> <prefix> <service> <t0> <t1> <period> <duty>\", or \
+                 \"degraded <prefix> <t0> <t1> <rate>\", got {s:?}"
+            ),
+        )),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Semantic validation
 // ---------------------------------------------------------------------------
@@ -1607,6 +1751,13 @@ fn validate_env(env: &EnvSpec) -> Result<(), SpecError> {
     Ok(())
 }
 
+fn validate_faults(faults: &FaultsSpec) -> Result<(), SpecError> {
+    for (i, entry) in faults.schedule.iter().enumerate() {
+        parse_fault(&format!("faults.schedule[{i}]"), entry)?;
+    }
+    Ok(())
+}
+
 fn validate_pop(pop: &PopSpec) -> Result<(), SpecError> {
     match pop {
         PopSpec::Range {
@@ -1618,8 +1769,20 @@ fn validate_pop(pop: &PopSpec) -> Result<(), SpecError> {
             if *count == 0 {
                 return Err(SpecError::new("population.count", "must be positive"));
             }
+            if u32::try_from(*count).is_err() {
+                return Err(SpecError::new(
+                    "population.count",
+                    format!("{count} exceeds 2^32 - 1"),
+                ));
+            }
             if *stride == 0 {
                 return Err(SpecError::new("population.stride", "must be positive"));
+            }
+            if u32::try_from(*stride).is_err() {
+                return Err(SpecError::new(
+                    "population.stride",
+                    format!("{stride} exceeds 2^32 - 1"),
+                ));
             }
             Ok(())
         }
@@ -1871,6 +2034,14 @@ mod tests {
                 seed: 7,
             }),
         };
+        spec.faults = FaultsSpec {
+            schedule: vec![
+                "outage 66.66.0.0/16 100 300".into(),
+                "blackhole 12.0.0.0/8 50 150".into(),
+                "flap ingress 77.0.0.0/8 udp/1434 0 400 10 0.5".into(),
+                "degraded 88.0.0.0/8 0 200 0.3".into(),
+            ],
+        };
         spec.population = Some(PopSpec::Range {
             base: "11.11.0.0".into(),
             count: 300,
@@ -1998,6 +2169,71 @@ mod tests {
         assert!(f.service.is_none());
         assert!(parse_filter("x", "sideways 10.0.0.0/8 *").is_err());
         assert!(parse_filter("x", "egress 10.0.0.0/8").is_err());
+    }
+
+    #[test]
+    fn fault_grammar_parses() {
+        let e = parse_fault("x", "outage 66.66.0.0/16 100 300").unwrap();
+        assert!(matches!(e.kind, FaultKind::SensorOutage { .. }));
+        assert_eq!(e.window, FaultWindow::new(100.0, 300.0));
+
+        let e = parse_fault("x", "blackhole 12.0.0.0/8 0 50").unwrap();
+        assert!(matches!(e.kind, FaultKind::Blackhole { .. }));
+
+        let e = parse_fault("x", "flap egress 10.0.0.0/8 * 0 100 5 0.25").unwrap();
+        match e.kind {
+            FaultKind::FilterFlap { rule, period, duty } => {
+                assert!(rule.src.is_some() && rule.dst.is_none());
+                assert!(rule.service.is_none());
+                assert_eq!(period, 5.0);
+                assert_eq!(duty, 0.25);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+
+        let e = parse_fault("x", "degraded 88.0.0.0/8 10 20 0.5").unwrap();
+        assert!(matches!(e.kind, FaultKind::DegradedLoss { rate, .. } if rate == 0.5));
+
+        // malformed entries are rejected with the offending detail
+        assert!(parse_fault("x", "outage 66.66.0.0/16 100").is_err());
+        assert!(parse_fault("x", "outage 66.66.0.0/33 100 300").is_err());
+        assert!(parse_fault("x", "outage 66.66.0.0/16 300 100").is_err());
+        assert!(parse_fault("x", "outage 66.66.0.0/16 -5 100").is_err());
+        assert!(parse_fault("x", "blackhole 12.0.0.0/8 50 50").is_err());
+        assert!(parse_fault("x", "flap sideways 10.0.0.0/8 * 0 100 5 0.5").is_err());
+        assert!(parse_fault("x", "flap ingress 10.0.0.0/8 * 0 100 0 0.5").is_err());
+        assert!(parse_fault("x", "flap ingress 10.0.0.0/8 * 0 100 5 1.5").is_err());
+        assert!(parse_fault("x", "degraded 88.0.0.0/8 10 20 1.5").is_err());
+        assert!(parse_fault("x", "meteor 88.0.0.0/8 10 20").is_err());
+    }
+
+    #[test]
+    fn fault_validation_names_schedule_entries() {
+        let mut spec = engine_spec();
+        spec.faults.schedule.push("outage nonsense 0 10".into());
+        let err = spec.validate().unwrap_err();
+        assert_eq!(err.field, "faults.schedule[4]");
+    }
+
+    #[test]
+    fn oversized_range_integers_fail_validation() {
+        let mut spec = engine_spec();
+        spec.population = Some(PopSpec::Range {
+            base: "11.11.0.0".into(),
+            count: 300,
+            stride: u64::from(u32::MAX) + 1,
+        });
+        let err = spec.validate().unwrap_err();
+        assert_eq!(err.field, "population.stride");
+
+        let mut spec = engine_spec();
+        spec.population = Some(PopSpec::Range {
+            base: "11.11.0.0".into(),
+            count: u64::from(u32::MAX) + 1,
+            stride: 1,
+        });
+        let err = spec.validate().unwrap_err();
+        assert_eq!(err.field, "population.count");
     }
 
     #[test]

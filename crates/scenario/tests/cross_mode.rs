@@ -157,3 +157,62 @@ fn latency_and_removal_are_thread_invariant() {
     // rate dispersion, and loss, all at once.
     assert_cross_mode_identical("xmode-hitlist-latency");
 }
+
+#[test]
+fn outage_faults_are_thread_invariant() {
+    // Sensor outage + flapping filter: fault activity must be a pure
+    // function of simulation time, so the faulted verdicts land on the
+    // same probes at any shard count.
+    assert_cross_mode_identical("xmode-outage");
+}
+
+#[test]
+fn blackhole_faults_are_thread_invariant() {
+    // Upstream blackhole + degraded loss: the degraded window draws an
+    // extra Bernoulli from each probe's RNG stream, the alignment most
+    // at risk of diverging between the scalar and batch paths.
+    assert_cross_mode_identical("xmode-blackhole");
+}
+
+#[test]
+fn faulted_runs_conserve_ledger_accounting() {
+    use hotspots_netmodel::DropReason;
+
+    // Across both faulted presets: every fault verdict class that the
+    // schedule can produce actually fires, and every probe is accounted
+    // for — delivered + dropped == probes, with the fault classes
+    // carrying their own counts rather than leaking into base loss.
+    let cases = [
+        (
+            "xmode-outage",
+            vec![DropReason::SensorOutage, DropReason::FilterFlap],
+        ),
+        (
+            "xmode-blackhole",
+            vec![DropReason::UpstreamBlackhole, DropReason::DegradedLoss],
+        ),
+    ];
+    for (name, expected) in cases {
+        for threads in [1, 4] {
+            let (result, _) = run_with_threads(name, threads);
+            let ledger = &result.ledger;
+            assert_eq!(
+                ledger.delivered() + ledger.dropped_total(),
+                ledger.probes(),
+                "{name} @ {threads} threads: ledger does not conserve probes"
+            );
+            for reason in &expected {
+                assert!(
+                    ledger.dropped(*reason) > 0,
+                    "{name} @ {threads} threads: no {reason} drops recorded"
+                );
+            }
+            // fault drops are attributed, not folded into random loss
+            assert_eq!(
+                ledger.dropped(DropReason::PacketLoss),
+                0,
+                "{name} @ {threads} threads: fault drops leaked into base loss"
+            );
+        }
+    }
+}

@@ -8,8 +8,8 @@
 //! property quantifies over specs a user could actually run.
 
 use hotspots_scenario::spec::{
-    DetectionParams, EnvSpec, LatencySpec, NatSpec, PlacementSpec, PopSpec, SimSpec, StudySpec,
-    SweepSpec, TelescopeSpec, WormSpec,
+    DetectionParams, EnvSpec, FaultsSpec, LatencySpec, NatSpec, PlacementSpec, PopSpec, SimSpec,
+    StudySpec, SweepSpec, TelescopeSpec, WormSpec,
 };
 use hotspots_scenario::{presets, Scale, ScenarioSpec, Value};
 use proptest::prelude::*;
@@ -130,6 +130,34 @@ fn arb_env(rng: &mut StdRng) -> EnvSpec {
             seed: arb_seed(rng),
         }),
     }
+}
+
+fn arb_faults(rng: &mut StdRng) -> FaultsSpec {
+    let n = rng.gen_range(0usize..=4);
+    let schedule = (0..n)
+        .map(|_| {
+            let t0 = rng.gen_range(0u64..1_000);
+            let t1 = t0 + rng.gen_range(1u64..=1_000);
+            match rng.gen_range(0u32..4) {
+                0 => format!("outage {} {t0} {t1}", arb_prefix(rng)),
+                1 => format!("blackhole {} {t0} {t1}", arb_prefix(rng)),
+                2 => format!(
+                    "flap {} {} {} {t0} {t1} {} 0.{}",
+                    pick(rng, &["egress", "ingress"]),
+                    arb_prefix(rng),
+                    pick(rng, &["tcp/80", "udp/1434", "*"]),
+                    rng.gen_range(1u64..=60),
+                    rng.gen_range(1u32..=9),
+                ),
+                _ => format!(
+                    "degraded {} {t0} {t1} 0.{}",
+                    arb_prefix(rng),
+                    rng.gen_range(1u32..=9)
+                ),
+            }
+        })
+        .collect();
+    FaultsSpec { schedule }
 }
 
 fn arb_telescope(rng: &mut StdRng) -> TelescopeSpec {
@@ -309,6 +337,7 @@ fn arb_spec(seed: u64) -> ScenarioSpec {
         spec.worm = Some(arb_worm(rng));
         spec.population = Some(arb_pop(rng));
         spec.environment = arb_env(rng);
+        spec.faults = arb_faults(rng);
         spec.telescope = arb_telescope(rng);
         spec.sim = arb_sim(rng);
     } else {

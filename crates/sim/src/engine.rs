@@ -225,6 +225,9 @@ struct ShardCtx<'a> {
     env: &'a Environment,
     population: &'a Population,
     service: Service,
+    /// The step's simulation time, set serially before shards fan out —
+    /// every shard routes against the same fault-schedule instant.
+    time: f64,
     infected: &'a [bool],
     removed: &'a [bool],
     pending: &'a [bool],
@@ -256,6 +259,7 @@ fn drive_shard(ctx: &ShardCtx<'_>, hosts: &mut [InfectedHost], batch: &mut Probe
             host.locus,
             &batch.targets,
             ctx.service,
+            ctx.time,
             &mut host.rng,
             &mut batch.deliveries,
             &mut batch.ledger,
@@ -542,6 +546,7 @@ impl Engine {
                     env: &self.env,
                     population: &self.population,
                     service,
+                    time,
                     infected: &infected_flags,
                     removed: &removed_flags,
                     pending: &pending_flags,
@@ -788,6 +793,63 @@ mod tests {
         assert!(
             lossy > clean * 1.5,
             "80% loss should clearly slow the outbreak: clean={clean} lossy={lossy}"
+        );
+    }
+
+    #[test]
+    fn blackhole_window_stalls_outbreak_and_is_accounted() {
+        use hotspots_netmodel::{FaultEvent, FaultKind, FaultPlan, FaultWindow};
+        let run = |blackhole_until: f64| {
+            let mut env = Environment::new();
+            if blackhole_until > 0.0 {
+                let mut plan = FaultPlan::new();
+                plan.push(FaultEvent::new(
+                    FaultKind::Blackhole {
+                        prefix: "11.11.0.0/16".parse().unwrap(),
+                    },
+                    FaultWindow::new(0.0, blackhole_until),
+                ));
+                env.set_faults(plan);
+            }
+            let config = SimConfig {
+                stop_at_fraction: Some(0.9),
+                ..hitlist_config()
+            };
+            let mut engine = Engine::new(
+                config,
+                dense_population(300),
+                env,
+                Box::new(HitListWorm::new(hitlist())),
+            );
+            engine.run(&mut NullObserver)
+        };
+        let clean = run(0.0);
+        let faulted = run(40.0);
+        // while the population prefix is blackholed nothing spreads, so
+        // reaching 90% takes most of the window longer (the scanners'
+        // generator state still advances during it)
+        let clean_t = clean.time_to_fraction(0.9).unwrap();
+        let faulted_t = faulted.time_to_fraction(0.9).unwrap();
+        assert!(
+            faulted_t >= clean_t + 30.0,
+            "blackhole window should stall the outbreak: clean={clean_t} faulted={faulted_t}"
+        );
+        // every probe the blackhole consumed is filed under its verdict
+        assert_eq!(
+            clean
+                .ledger
+                .dropped(hotspots_netmodel::DropReason::UpstreamBlackhole),
+            0
+        );
+        assert!(
+            faulted
+                .ledger
+                .dropped(hotspots_netmodel::DropReason::UpstreamBlackhole)
+                > 0
+        );
+        assert_eq!(
+            faulted.ledger.delivered() + faulted.ledger.dropped_total(),
+            faulted.ledger.probes()
         );
     }
 

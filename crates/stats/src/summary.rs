@@ -12,7 +12,7 @@ use std::fmt;
 /// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
 /// assert_eq!(s.mean(), 2.5);
 /// assert_eq!(s.min(), 1.0);
-/// assert_eq!(s.quantile(0.5), 3.0); // upper median of even-length sample
+/// assert_eq!(s.quantile(0.5), 2.0); // nearest-rank median of even-length sample
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -74,20 +74,26 @@ impl Summary {
         *self.sorted.last().expect("non-empty by construction") // hotspots-lint: allow(panic-path) reason="constructor rejects empty samples"
     }
 
-    /// Median (upper median for even n).
+    /// Median (nearest-rank: the lower median for even n).
     pub fn median(&self) -> f64 {
         self.quantile(0.5)
     }
 
-    /// The `q`-quantile (nearest-rank, `0.0..=1.0`).
+    /// The `q`-quantile by the nearest-rank definition: the smallest
+    /// sorted value whose rank is at least `ceil(n * q)` (rank 1 for
+    /// `q = 0`).
+    ///
+    /// The naive `(n * q) as usize` truncates instead of taking the
+    /// ceiling, which shifts every non-boundary quantile one rank high
+    /// — e.g. it reported the *upper* median of an even-length sample.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `0.0..=1.0`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
-        let idx = ((self.n as f64) * q) as usize;
-        self.sorted[idx.min(self.n - 1)]
+        let rank = ((self.n as f64) * q).ceil() as usize;
+        self.sorted[rank.max(1).min(self.n) - 1]
     }
 }
 
@@ -143,6 +149,47 @@ mod tests {
     }
 
     #[test]
+    fn quantile_hits_exact_nearest_ranks() {
+        // n = 4: ceil(4q) ranks — q=0.5 is rank 2 (the LOWER median),
+        // which the old truncating index got wrong (it returned 3.0)
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.quantile(0.5), 2.0);
+        assert_eq!(s.median(), 2.0);
+        assert_eq!(s.quantile(0.25), 1.0);
+        assert_eq!(s.quantile(0.75), 3.0);
+        assert_eq!(s.quantile(0.76), 4.0);
+
+        // n = 5: odd length, the median is unambiguous
+        let s = Summary::of(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(s.median(), 30.0);
+        assert_eq!(s.quantile(0.2), 10.0);
+        assert_eq!(s.quantile(0.21), 20.0);
+        assert_eq!(s.quantile(0.4), 20.0);
+        assert_eq!(s.quantile(0.8), 40.0);
+        assert_eq!(s.quantile(0.81), 50.0);
+
+        // n = 1: every quantile is the single value
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.quantile(0.0), 7.0);
+        assert_eq!(s.quantile(0.5), 7.0);
+        assert_eq!(s.quantile(1.0), 7.0);
+    }
+
+    /// The textbook nearest-rank definition, written independently of
+    /// the implementation: the smallest value with at least `n * q` of
+    /// the sample at or below it.
+    fn reference_nearest_rank(sorted: &[f64], q: f64) -> f64 {
+        let n = sorted.len();
+        let target = (n as f64) * q;
+        for (i, &v) in sorted.iter().enumerate() {
+            if (i + 1) as f64 >= target {
+                return v;
+            }
+        }
+        sorted[n - 1]
+    }
+
+    #[test]
     #[should_panic(expected = "out of")]
     fn quantile_rejects_out_of_range() {
         Summary::of(&[1.0]).unwrap().quantile(1.5);
@@ -159,6 +206,19 @@ mod tests {
         #[test]
         fn std_nonnegative(v in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
             prop_assert!(Summary::of(&v).unwrap().std() >= 0.0);
+        }
+
+        #[test]
+        fn quantile_matches_reference_nearest_rank(
+            v in proptest::collection::vec(-1e6f64..1e6, 1..100),
+            q in 0.0f64..1.0,
+        ) {
+            let s = Summary::of(&v).unwrap();
+            let mut sorted = v.clone();
+            sorted.sort_by(f64::total_cmp);
+            prop_assert_eq!(s.quantile(q), reference_nearest_rank(&sorted, q));
+            // q = 1.0 sits outside the generated range; pin it here
+            prop_assert_eq!(s.quantile(1.0), *sorted.last().unwrap());
         }
     }
 }
