@@ -5,15 +5,19 @@
 //! being timed are inspectable (`hotspots spec bench-slammer`) and stay
 //! in lockstep with what `hotspots run` executes. Besides the usual
 //! Criterion groups, the custom `main` times a fixed Slammer outbreak
-//! (serial, and with `--features parallel` also multi-threaded) and
-//! writes the probes/sec numbers to `BENCH_engine.json` at the
-//! repository root. Set `HOTSPOTS_BENCH_BASELINE=<probes/sec>` to record
-//! a pre-batching baseline alongside them.
+//! at each thread count (serial only unless built with `--features
+//! parallel`) and writes the scaling curve to `BENCH_engine.json` at
+//! the repository root, in the same [`BenchSummary`] schema the
+//! `hotspots profile --scaling` harness writes. Overrides:
+//! `HOTSPOTS_BENCH_BASELINE=<probes/sec>` records a pre-batching seed
+//! baseline (else the existing file's baseline is carried forward);
+//! `HOTSPOTS_BENCH_THREADS=2,4,8` picks the parallel points.
 
 use criterion::{black_box, criterion_group, BatchSize, Criterion};
 use hotspots_ipspace::Ip;
 use hotspots_scenario::{find_preset, Built, Scale};
 use hotspots_sim::{Engine, FieldObserver, NullObserver};
+use hotspots_telemetry::{BenchSummary, ScalingPoint};
 use hotspots_telescope::DetectorField;
 use std::time::Instant;
 
@@ -68,10 +72,16 @@ criterion_group!(benches, outbreak);
 /// LCG-walking the full IPv4 space over a 5k-host population.
 /// Infections are rare (the population is a ~1e-6 sliver of the scanned
 /// space), so the measurement is dominated by the probe pipeline —
-/// exactly the path the batched engine restructures.
-fn slammer_run(threads: usize) -> (f64, u64) {
-    let mut best_probes_per_sec = 0.0f64;
-    let mut probes_sent = 0u64;
+/// exactly the path the batched engine restructures. Best of three;
+/// with the `telemetry` feature the best run's phase breakdown rides
+/// along.
+fn slammer_run(threads: usize) -> ScalingPoint {
+    let mut point = ScalingPoint {
+        threads: threads as u64,
+        probes_per_sec: 0.0,
+        speedup: 0.0,
+        phase_breakdown: Vec::new(),
+    };
     for _ in 0..3 {
         let mut b = built("bench-slammer");
         b.config.threads = threads;
@@ -80,51 +90,83 @@ fn slammer_run(threads: usize) -> (f64, u64) {
         let start = Instant::now();
         let result = black_box(engine.run(&mut NullObserver));
         let secs = start.elapsed().as_secs_f64();
-        probes_sent = result.probes_sent;
-        best_probes_per_sec = best_probes_per_sec.max(result.probes_sent as f64 / secs);
+        let rate = result.probes_sent as f64 / secs;
+        if rate > point.probes_per_sec {
+            point.probes_per_sec = rate;
+            #[cfg(feature = "telemetry")]
+            {
+                point.phase_breakdown = result
+                    .telemetry
+                    .phases
+                    .iter()
+                    .map(|(name, total, _)| (name.to_owned(), total.as_secs_f64()))
+                    .collect();
+            }
+        }
     }
-    (best_probes_per_sec, probes_sent)
+    point
+}
+
+/// Probes one `bench-slammer` run emits (bit-identical at any thread
+/// count, so one cheap serial run suffices).
+fn slammer_probes() -> u64 {
+    let mut engine = engine_from(built("bench-slammer"));
+    engine.run(&mut NullObserver).probes_sent
 }
 
 fn main() {
     benches();
 
-    let (serial, probes) = slammer_run(1);
-    println!("slammer_throughput/serial              {serial:>12.0} probes/sec ({probes} probes)");
+    let serial = slammer_run(1);
+    println!(
+        "slammer_throughput/serial              {:>12.0} probes/sec",
+        serial.probes_per_sec
+    );
+    #[cfg_attr(not(feature = "parallel"), allow(unused_variables))]
+    let serial_rate = serial.probes_per_sec;
+    #[cfg_attr(not(feature = "parallel"), allow(unused_mut))]
+    let mut points = vec![serial];
 
     #[cfg(feature = "parallel")]
-    let parallel = {
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8));
-        let (rate, _) = slammer_run(threads);
-        println!(
-            "slammer_throughput/parallel x{threads}          {rate:>12.0} probes/sec (speedup {:.2}x)",
-            rate / serial
-        );
-        Some((threads, rate))
-    };
-    #[cfg(not(feature = "parallel"))]
-    let parallel: Option<(usize, f64)> = None;
-
-    let mut fields = vec![
-        format!("\"probes\": {probes}"),
-        format!("\"serial_probes_per_sec\": {serial:.0}"),
-    ];
-    if let Ok(baseline) = std::env::var("HOTSPOTS_BENCH_BASELINE") {
-        if let Ok(rate) = baseline.parse::<f64>() {
-            fields.push(format!("\"seed_probes_per_sec\": {rate:.0}"));
-            fields.push(format!("\"serial_speedup_vs_seed\": {:.3}", serial / rate));
+    {
+        let counts: Vec<usize> = match std::env::var("HOTSPOTS_BENCH_THREADS") {
+            Ok(list) => list
+                .split(',')
+                .filter_map(|part| part.trim().parse().ok())
+                .filter(|&n| n > 1)
+                .collect(),
+            Err(_) => {
+                let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+                [2usize, 4, 8, 16]
+                    .into_iter()
+                    .filter(|&n| n <= (2 * cores).max(2))
+                    .collect()
+            }
+        };
+        for threads in counts {
+            let point = slammer_run(threads);
+            println!(
+                "slammer_throughput/parallel x{threads:<2}         {:>12.0} probes/sec (speedup {:.2}x)",
+                point.probes_per_sec,
+                point.probes_per_sec / serial_rate
+            );
+            points.push(point);
         }
     }
-    if let Some((threads, rate)) = parallel {
-        fields.push(format!("\"parallel_threads\": {threads}"));
-        fields.push(format!("\"parallel_probes_per_sec\": {rate:.0}"));
-        fields.push(format!("\"parallel_speedup\": {:.3}", rate / serial));
-    }
-    let json = format!(
-        "{{\"benchmark\": \"slammer_5k_hosts_300s\", {}}}\n",
-        fields.join(", ")
-    );
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
-    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    // Seed baseline: the env override wins, else carry the existing
+    // file's baseline forward across rewrites.
+    let seed = std::env::var("HOTSPOTS_BENCH_BASELINE")
+        .ok()
+        .and_then(|raw| raw.parse::<f64>().ok())
+        .or_else(|| {
+            std::fs::read_to_string(path)
+                .ok()
+                .and_then(|text| BenchSummary::from_json(&text).ok())
+                .and_then(|old| old.seed_probes_per_sec)
+        });
+    let summary = BenchSummary::from_points("bench-slammer_paper", slammer_probes(), seed, points);
+    std::fs::write(path, summary.to_json()).expect("write BENCH_engine.json");
     println!("wrote {path}");
 }

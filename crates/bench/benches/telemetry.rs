@@ -25,6 +25,15 @@ use hotspots_telemetry::MemorySink;
 /// enough that the batched engine's ~millisecond runs median out over
 /// scheduler noise).
 fn slammer_engine() -> Engine {
+    slammer_engine_with(false)
+}
+
+/// Same workload with `SimConfig::trace` requested. In this bench's
+/// default build (no `telemetry` feature on `hotspots-sim`) the flag is
+/// inert — the trace code does not exist — so comparing against the
+/// plain run measures the zero-cost-when-off contract for the trace
+/// path.
+fn slammer_engine_with(trace: bool) -> Engine {
     let config = SimConfig {
         scan_rate: 400.0,
         seeds: 25,
@@ -32,6 +41,7 @@ fn slammer_engine() -> Engine {
         max_time: 100.0,
         stop_at_fraction: None,
         rng_seed: 20_030_125, // Slammer's release date, for flavor
+        trace,
         ..SimConfig::default()
     };
     let pop = Population::from_public((0..2_000u32).map(|i| Ip::new(0x0b00_0000 + i * 61)));
@@ -58,6 +68,14 @@ fn observers(c: &mut Criterion) {
                 black_box(engine.run(&mut telemetry));
                 black_box(telemetry.ledger().probes())
             },
+            BatchSize::PerIteration,
+        );
+    });
+
+    group.bench_function("slammer_run_trace_flag_inert", |b| {
+        b.iter_batched(
+            || slammer_engine_with(true),
+            |mut engine| black_box(engine.run(&mut NullObserver)),
             BatchSize::PerIteration,
         );
     });
@@ -112,13 +130,30 @@ fn overhead_guard() {
         },
         SAMPLES,
     );
+    let (trace_secs, trace_probes) = median_secs(
+        || {
+            let mut engine = slammer_engine_with(true);
+            black_box(engine.run(&mut NullObserver)).probes_sent
+        },
+        SAMPLES,
+    );
     assert_eq!(null_probes, telemetry_probes, "identical fixed workloads");
+    assert_eq!(
+        null_probes, trace_probes,
+        "trace flag must not change results"
+    );
     let overhead = 100.0 * (telemetry_secs - null_secs) / null_secs;
+    let trace_overhead = 100.0 * (trace_secs - null_secs) / null_secs;
     println!(
         "telemetry/overhead_guard: {null_probes} probes, null {:.2} ms, \
          telemetry(NullSink) {:.2} ms — overhead: {overhead:+.2}% (target < 15%)",
         null_secs * 1e3,
         telemetry_secs * 1e3,
+    );
+    println!(
+        "telemetry/overhead_guard: trace flag (inert without the telemetry \
+         feature) {:.2} ms — overhead: {trace_overhead:+.2}% (target < 15%)",
+        trace_secs * 1e3,
     );
 }
 

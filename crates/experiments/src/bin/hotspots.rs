@@ -16,22 +16,28 @@
 use std::process::exit;
 
 use hotspots_experiments::{
-    banner, find_preset, presets, render, run_spec, HotspotsError, RunContext, Scale,
+    banner, find_preset, presets, print_table, render, run_spec, HotspotsError, Outcome,
+    RunContext, Scale,
 };
 use hotspots_scenario::cli::{parse_flags, usage, FlagSpec, ParsedArgs};
 use hotspots_scenario::value::Value;
 use hotspots_scenario::{ScenarioSpec, RUN_REPORT_ENV};
+use hotspots_telemetry::{BenchSummary, ScalingPoint};
 
 const COMMANDS: &str = "commands:
   run <name|spec.toml>     execute a preset or spec file
   list                     list registered presets (--verbose: paper mapping)
   sweep <name|spec.toml>   rerun per value of --param (or the spec's [sweep])
   spec <name>              print a preset's spec as TOML
+  profile <name|spec.toml> run under span tracing; write a Chrome trace,
+                           a collapsed-stack file, and a phase table
+                           (engine-path scenarios only)
 
 examples:
   hotspots run fig2 --quick
   hotspots sweep fig4 --quick --param study.nat_fraction=0,0.15,0.5
   hotspots run examples/specs/table1.toml --report out.jsonl
+  hotspots profile bench-slammer --scaling 1,2,4,8
 ";
 
 fn flags() -> Vec<FlagSpec> {
@@ -70,6 +76,27 @@ fn flags() -> Vec<FlagSpec> {
             takes_value: true,
             repeatable: true,
             help: "sweep parameter: dotted.path=v1,v2,... (repeatable; sweep only)",
+        },
+        FlagSpec {
+            name: "scaling",
+            short: None,
+            takes_value: true,
+            repeatable: false,
+            help: "profile: thread counts to sweep, e.g. 1,2,4,8 (writes BENCH json)",
+        },
+        FlagSpec {
+            name: "out",
+            short: None,
+            takes_value: true,
+            repeatable: false,
+            help: "profile: directory for trace artifacts (default: .)",
+        },
+        FlagSpec {
+            name: "bench-json",
+            short: None,
+            takes_value: true,
+            repeatable: false,
+            help: "profile --scaling: scaling-curve output file (default: BENCH_engine.json)",
         },
         FlagSpec {
             name: "verbose",
@@ -130,6 +157,7 @@ fn main() {
         "list" => cmd_list(&parsed),
         "sweep" => cmd_sweep(&parsed, scale, threads),
         "spec" => cmd_spec(&parsed, scale),
+        "profile" => cmd_profile(&parsed, scale, threads),
         other => die(&format!("unknown command {other:?}")),
     }
 }
@@ -183,7 +211,9 @@ fn cmd_run(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
     match run_spec(&spec, &context(threads)) {
         Ok(run) => {
             render::render(&run.outcome);
-            run.report.emit();
+            if let Err(e) = run.emit_report() {
+                fail(&e);
+            }
         }
         Err(e) => fail(&e),
     }
@@ -216,6 +246,212 @@ fn cmd_spec(parsed: &ParsedArgs, scale: Scale) {
         die("spec takes exactly one target: a preset name or spec file");
     };
     print!("{}", resolve_spec(target, scale).to_toml());
+}
+
+/// File stem for profile artifacts: the scenario name with anything
+/// path-hostile mapped to `-`.
+fn artifact_stem(spec: &ScenarioSpec) -> String {
+    spec.meta
+        .name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// One traced engine run: throughput, phase breakdown, and the two
+/// exporter outputs.
+struct ProfilePoint {
+    threads: usize,
+    probes: u64,
+    probes_per_sec: f64,
+    run_seconds: f64,
+    phase_breakdown: Vec<(String, f64)>,
+    chrome: String,
+    folded: String,
+}
+
+fn profile_once(spec: &ScenarioSpec, threads: usize) -> ProfilePoint {
+    let ctx = RunContext::new("hotspots")
+        .with_threads(threads)
+        .with_trace();
+    let run = match run_spec(spec, &ctx) {
+        Ok(run) => run,
+        Err(e) => fail(&e),
+    };
+    let point = {
+        let Outcome::Engine { result, .. } = &run.outcome else {
+            die("profile needs an engine-path scenario");
+        };
+        let tel = &result.telemetry;
+        let Some(trace) = tel.trace.as_ref() else {
+            die("engine returned no trace (built without the telemetry feature?)");
+        };
+        let run_seconds = trace
+            .spans()
+            .first()
+            .filter(|s| s.name == "run")
+            .map_or(0.0, |s| s.dur_micros as f64 / 1e6);
+        let probes_per_sec = if run_seconds > 0.0 {
+            result.probes_sent as f64 / run_seconds
+        } else {
+            0.0
+        };
+        ProfilePoint {
+            threads,
+            probes: result.probes_sent,
+            probes_per_sec,
+            run_seconds,
+            phase_breakdown: tel
+                .phases
+                .iter()
+                .map(|(name, total, _)| (name.to_owned(), total.as_secs_f64()))
+                .collect(),
+            chrome: trace.to_chrome_trace(),
+            folded: trace.to_collapsed(),
+        }
+    };
+    if let Err(e) = run.emit_report() {
+        fail(&e);
+    }
+    point
+}
+
+fn print_phase_table(point: &ProfilePoint) {
+    let phase_total: f64 = point.phase_breakdown.iter().map(|(_, s)| s).sum();
+    let mut rows: Vec<Vec<String>> = point
+        .phase_breakdown
+        .iter()
+        .map(|(name, secs)| {
+            vec![
+                name.clone(),
+                format!("{secs:.4}"),
+                if phase_total > 0.0 {
+                    format!("{:.1}%", 100.0 * secs / phase_total)
+                } else {
+                    "-".to_owned()
+                },
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "(run wall)".to_owned(),
+        format!("{:.4}", point.run_seconds),
+        String::new(),
+    ]);
+    print_table(&["phase", "seconds", "share"], &rows);
+    println!(
+        "throughput: {:.1}M probes/s ({} probes in {:.3}s)",
+        point.probes_per_sec / 1e6,
+        point.probes,
+        point.run_seconds
+    );
+}
+
+fn write_artifact(path: &str, contents: &str) {
+    if let Err(source) = std::fs::write(path, contents) {
+        fail(&HotspotsError::Io {
+            context: format!("writing {path}"),
+            source,
+        });
+    }
+}
+
+fn cmd_profile(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
+    let [_, target] = &parsed.positional[..] else {
+        die("profile takes exactly one target: a preset name or spec file");
+    };
+    let spec = resolve_spec(target, scale);
+    if spec.study.is_some() {
+        die(&format!(
+            "{target:?} is a study preset with no engine to trace; \
+             profile needs an engine-path scenario (worm + population)"
+        ));
+    }
+    let counts: Vec<usize> = match parsed.value("scaling") {
+        Some(list) => list
+            .split(',')
+            .map(|part| match part.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => die("--scaling needs comma-separated positive thread counts, e.g. 1,2,4,8"),
+            })
+            .collect(),
+        None => vec![threads.unwrap_or_else(|| spec.sim.threads.max(1) as usize)],
+    };
+    if counts.iter().any(|&t| t > 1) && !cfg!(feature = "parallel") {
+        eprintln!(
+            "note: built without the `parallel` feature — thread counts > 1 run serially \
+             (rebuild with `--features parallel` for a real scaling curve)"
+        );
+    }
+    let out_dir = parsed.value("out").unwrap_or(".").to_owned();
+    if let Err(source) = std::fs::create_dir_all(&out_dir) {
+        fail(&HotspotsError::Io {
+            context: format!("creating {out_dir}"),
+            source,
+        });
+    }
+    spec_banner(&spec, scale);
+    let stem = artifact_stem(&spec);
+
+    let mut points: Vec<ProfilePoint> = Vec::new();
+    for &t in &counts {
+        println!("\n---- threads = {t} ----");
+        let point = profile_once(&spec, t);
+        let chrome_path = format!("{out_dir}/{stem}-{t}t.trace.json");
+        let folded_path = format!("{out_dir}/{stem}-{t}t.folded");
+        write_artifact(&chrome_path, &point.chrome);
+        write_artifact(&folded_path, &point.folded);
+        print_phase_table(&point);
+        println!("chrome trace: {chrome_path} (chrome://tracing, ui.perfetto.dev)");
+        println!("flamegraph:   {folded_path} (speedscope.app, flamegraph.pl)");
+        points.push(point);
+    }
+
+    if parsed.value("scaling").is_some() {
+        let bench_path = parsed.value("bench-json").unwrap_or("BENCH_engine.json");
+        // Carry the seed baseline forward so the headline speedup stays
+        // comparable across PRs (also reads the pre-scaling schema).
+        let seed = std::fs::read_to_string(bench_path)
+            .ok()
+            .and_then(|text| BenchSummary::from_json(&text).ok())
+            .and_then(|old| old.seed_probes_per_sec);
+        let probes = points.first().map_or(0, |p| p.probes);
+        let summary = BenchSummary::from_points(
+            format!("{stem}_{}", scale.label()),
+            probes,
+            seed,
+            points
+                .iter()
+                .map(|p| ScalingPoint {
+                    threads: p.threads as u64,
+                    probes_per_sec: p.probes_per_sec,
+                    speedup: 0.0,
+                    phase_breakdown: p.phase_breakdown.clone(),
+                })
+                .collect(),
+        );
+        write_artifact(bench_path, &summary.to_json());
+        println!("\nscaling curve -> {bench_path}");
+        let rows: Vec<Vec<String>> = summary
+            .scaling
+            .iter()
+            .map(|p| {
+                vec![
+                    p.threads.to_string(),
+                    format!("{:.1}", p.probes_per_sec / 1e6),
+                    format!("{:.3}x", p.speedup),
+                    format!(
+                        "{:.4}",
+                        p.phase_breakdown
+                            .iter()
+                            .find(|(n, _)| n == "merge")
+                            .map_or(0.0, |(_, s)| *s)
+                    ),
+                ]
+            })
+            .collect();
+        print_table(&["threads", "Mprobes/s", "speedup", "merge s"], &rows);
+    }
 }
 
 /// Parses a sweep value the way the TOML reader would: int, then float,
@@ -290,7 +526,9 @@ fn cmd_sweep(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
             match run_spec(&spec, &context(threads)) {
                 Ok(run) => {
                     render::render(&run.outcome);
-                    run.report.emit();
+                    if let Err(e) = run.emit_report() {
+                        fail(&e);
+                    }
                 }
                 Err(e) => fail(&e),
             }

@@ -67,7 +67,10 @@ pub fn preset_main(name: &str) {
         }
     };
     render::render(&run.outcome);
-    run.report.emit();
+    if let Err(e) = run.emit_report() {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
+    }
 }
 
 /// Prints an experiment banner with the figure/table it regenerates.

@@ -1,0 +1,68 @@
+//! `HOTSPOTS_RUN_REPORT` is a contract: a requested append either
+//! succeeds or fails the run loudly — exit 1 with the path in the
+//! message — never silently (the pre-PR behavior swallowed the error).
+
+use std::fs;
+use std::process::Command;
+
+use hotspots_scenario::value;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hotspots")
+}
+
+#[test]
+fn unwritable_report_path_fails_the_run() {
+    let path = "/nonexistent-hotspots-dir/report.jsonl";
+    let out = Command::new(bin())
+        .args(["run", "bench-slammer", "--quick"])
+        .env("HOTSPOTS_RUN_REPORT", path)
+        .output()
+        .expect("spawn hotspots");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "I/O failure is a runtime error (exit 1), got {}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(path), "stderr must name the path: {stderr}");
+    assert!(
+        stderr.contains("run report"),
+        "stderr must say what was being written: {stderr}"
+    );
+}
+
+#[test]
+fn report_appends_one_parseable_line_per_run() {
+    let path =
+        std::env::temp_dir().join(format!("hotspots-report-io-{}.jsonl", std::process::id()));
+    let _ = fs::remove_file(&path);
+    for _ in 0..2 {
+        let out = Command::new(bin())
+            .args(["run", "bench-slammer", "--quick"])
+            .env("HOTSPOTS_RUN_REPORT", &path)
+            .output()
+            .expect("spawn hotspots");
+        assert!(
+            out.status.success(),
+            "exit {}:\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let text = fs::read_to_string(&path).expect("report file exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "two runs -> two appended lines");
+    for line in lines {
+        let report = value::from_json(line).expect("each line is valid JSON");
+        let value::Value::Table(fields) = &report else {
+            panic!("report line is not a table: {line}");
+        };
+        assert!(
+            fields.iter().any(|(k, _)| k == "scenario"),
+            "report line lacks a scenario field: {line}"
+        );
+    }
+    let _ = fs::remove_file(&path);
+}

@@ -120,6 +120,7 @@ impl ScenarioSpec {
             removal_rate: self.sim.removal_rate,
             rng_seed: self.sim.rng_seed,
             threads: spec_usize("sim.threads", self.sim.threads)?,
+            trace: self.sim.trace,
         };
 
         Ok(Built {

@@ -53,6 +53,9 @@ pub struct RunContext {
     /// the sweep pool size on the study path. `None` = the spec's value
     /// (engine) / all cores (sweeps).
     pub threads: Option<usize>,
+    /// Force span tracing on for engine runs (as if the spec had
+    /// `sim.trace = true`). Used by `hotspots profile`.
+    pub trace: bool,
 }
 
 impl RunContext {
@@ -61,6 +64,7 @@ impl RunContext {
         RunContext {
             binary: binary.into(),
             threads: None,
+            trace: false,
         }
     }
 
@@ -69,15 +73,37 @@ impl RunContext {
         self.threads = Some(threads);
         self
     }
+
+    /// Turns span tracing on for engine runs.
+    pub fn with_trace(mut self) -> RunContext {
+        self.trace = true;
+        self
+    }
 }
 
 /// One executed scenario: the accumulated report (finish with
-/// [`ReportBuilder::emit`]) plus the raw results for rendering.
+/// [`ScenarioRun::emit_report`]) plus the raw results for rendering.
 pub struct ScenarioRun {
     /// The run report, fully folded; not yet emitted.
     pub report: ReportBuilder,
     /// The scenario's results.
     pub outcome: Outcome,
+}
+
+impl ScenarioRun {
+    /// Emits the run report (stdout + the `HOTSPOTS_RUN_REPORT` file,
+    /// if set), surfacing append failures as [`HotspotsError::Io`] so a
+    /// bad report path fails the run loudly instead of being swallowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HotspotsError::Io`] when the report file append fails.
+    pub fn emit_report(self) -> Result<hotspots_telemetry::RunReport, HotspotsError> {
+        self.report.try_emit().map_err(|e| HotspotsError::Io {
+            context: format!("appending run report to {}", e.path),
+            source: e.source,
+        })
+    }
 }
 
 /// A single host's probe trace for the Figure 3 study.
@@ -413,6 +439,9 @@ fn run_engine(
     let mut built = spec.build()?;
     if let Some(threads) = ctx.threads {
         built.config.threads = threads;
+    }
+    if ctx.trace {
+        built.config.trace = true;
     }
     report
         .config("worm", built.worm.name())

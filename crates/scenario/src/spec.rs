@@ -290,6 +290,10 @@ pub struct SimSpec {
     pub rng_seed: u64,
     /// Probe-phase worker threads.
     pub threads: u64,
+    /// Record a span trace of the run (inert unless the engine build
+    /// has the `telemetry` feature). Off by default; `hotspots
+    /// profile` turns it on per run.
+    pub trace: bool,
 }
 
 impl Default for SimSpec {
@@ -304,6 +308,7 @@ impl Default for SimSpec {
             removal_rate: 0.0,
             rng_seed: 0x4d53_2006,
             threads: 1,
+            trace: false,
         }
     }
 }
@@ -1167,6 +1172,10 @@ fn sim_to_value(sim: &SimSpec) -> Value {
     t.set("removal_rate", Value::Float(sim.removal_rate));
     t.set("rng_seed", int(sim.rng_seed));
     t.set("threads", int(sim.threads));
+    // Emitted only when on: keeps existing pinned spec files byte-stable.
+    if sim.trace {
+        t.set("trace", Value::Bool(true));
+    }
     t
 }
 
@@ -1183,6 +1192,7 @@ fn sim_from_value(v: &Value) -> Result<SimSpec, SpecError> {
         removal_rate: f.f64_or("removal_rate", d.removal_rate)?,
         rng_seed: f.u64_or("rng_seed", d.rng_seed)?,
         threads: f.u64_or("threads", d.threads)?,
+        trace: f.bool_or("trace", d.trace)?,
     };
     f.finish()?;
     Ok(sim)

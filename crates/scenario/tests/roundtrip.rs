@@ -196,6 +196,7 @@ fn arb_sim(rng: &mut StdRng) -> SimSpec {
         removal_rate: rng.gen_range(0.0..0.1),
         rng_seed: arb_seed(rng),
         threads: rng.gen_range(1u64..=8),
+        trace: rng.gen_bool(0.25),
     }
 }
 

@@ -12,7 +12,7 @@ use hotspots_prng::SplitMix;
 use hotspots_stats::TimeSeries;
 use hotspots_targeting::TargetGenerator;
 #[cfg(feature = "telemetry")]
-use hotspots_telemetry::{Histogram, PhaseTimes};
+use hotspots_telemetry::{Histogram, PhaseTimes, TraceSink};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::{Rng, SeedableRng};
@@ -57,6 +57,11 @@ pub struct SimConfig {
     /// by host id and shard results merge in fixed order, so this is a
     /// pure throughput knob: results are bit-identical at any setting.
     pub threads: usize,
+    /// Record a span trace of the run (run → step → phase spans with
+    /// per-shard attribution) into [`EngineTelemetry::trace`]. Without
+    /// the `telemetry` cargo feature this flag is inert: the trace code
+    /// does not exist in the build and no clock is read.
+    pub trace: bool,
 }
 
 impl Default for SimConfig {
@@ -71,6 +76,7 @@ impl Default for SimConfig {
             removal_rate: 0.0,
             rng_seed: 0x4d53_2006,
             threads: 1,
+            trace: false,
         }
     }
 }
@@ -104,14 +110,22 @@ impl SimConfig {
 pub struct EngineTelemetry {
     /// Per-phase wall totals: `target_gen` (drawing targets), `routing`
     /// (environment verdicts), `lookup` (victim resolution), `observe`
-    /// (observer dispatch). Together they cover the whole probe path.
-    /// With the `parallel` feature and `threads > 1`, the first three
-    /// sum across worker threads (CPU time, not wall time).
+    /// (observer dispatch), `merge` (the serial tail of every step:
+    /// ledger merge, infection bookkeeping, and host spawning — the
+    /// prime suspect for parallel slowdown). Together they cover the
+    /// whole probe path. With the `parallel` feature and `threads > 1`,
+    /// the first three sum across worker threads (CPU time, not wall
+    /// time); `observe` and `merge` are always serial wall time.
     pub phases: PhaseTimes,
     /// Per-step wall time in microseconds, log-bucketed.
     pub step_micros: Histogram,
     /// Slowest single step in wall seconds.
     pub peak_step_seconds: f64,
+    /// Span trace of the run (only when [`SimConfig::trace`] was set):
+    /// run → step spans on track 0, per-shard phase leaves on tracks
+    /// `shard + 1`. Span IDs are deterministic; only `dur_micros`
+    /// carries wall time.
+    pub trace: Option<TraceSink>,
 }
 
 /// The result of one outbreak run.
@@ -455,7 +469,8 @@ impl Engine {
         let mut ledger = DeliveryLedger::new();
 
         #[cfg(feature = "telemetry")]
-        let (mut tel_target, mut tel_route, mut tel_lookup, mut tel_observe) = (
+        let (mut tel_target, mut tel_route, mut tel_lookup, mut tel_observe, mut tel_merge) = (
+            Duration::ZERO,
             Duration::ZERO,
             Duration::ZERO,
             Duration::ZERO,
@@ -465,6 +480,15 @@ impl Engine {
         let mut step_micros = Histogram::new();
         #[cfg(feature = "telemetry")]
         let mut peak_step = Duration::ZERO;
+        #[cfg(feature = "telemetry")]
+        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
+        let run_start = Instant::now();
+        #[cfg(feature = "telemetry")]
+        let mut trace = self.config.trace.then(TraceSink::new);
+        #[cfg(feature = "telemetry")]
+        let run_span = trace.as_mut().map(|t| t.open("run", 0, 0, 0));
+        #[cfg(feature = "telemetry")]
+        let mut step_index: u64 = 0;
 
         // Seed hosts.
         for idx in sample(&mut rng, n, self.config.seeds) {
@@ -524,6 +548,14 @@ impl Engine {
                 break;
             }
 
+            // Opened only after the break checks above so every step
+            // span is closed; its duration still covers the whole step
+            // (measured from `step_start`).
+            #[cfg(feature = "telemetry")]
+            let step_span = trace.as_mut().map(|t| t.open("step", step_index, 0, 0));
+            #[cfg(feature = "telemetry")]
+            let mut step_merge = Duration::ZERO;
+
             // Removal: infected hosts get patched/cleaned and turn
             // immune. Each host draws from its own stream, so outcomes
             // are independent of iteration interleaving.
@@ -557,13 +589,26 @@ impl Engine {
             // Stage 4 (observe) and infection bookkeeping: serial merge
             // in fixed shard order.
             newly_infected.clear();
-            for batch in &mut batches[..shard_count] {
+            #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+            for (shard, batch) in batches[..shard_count].iter_mut().enumerate() {
+                #[cfg(feature = "telemetry")]
+                #[allow(clippy::disallowed_methods)]
+                // telemetry-gated: legal clock site
+                let t_batch = Instant::now();
+                #[cfg(feature = "telemetry")]
+                let obs_dur: Duration;
                 ledger.merge(&batch.ledger);
                 #[cfg(feature = "telemetry")]
                 {
                     tel_target += batch.target_gen;
                     tel_route += batch.routing;
                     tel_lookup += batch.lookup;
+                    if let Some(t) = trace.as_mut() {
+                        let (s, lane) = (shard as u32, shard as u32 + 1);
+                        t.leaf("target_gen", step_index, s, lane, batch.target_gen);
+                        t.leaf("routing", step_index, s, lane, batch.routing);
+                        t.leaf("lookup", step_index, s, lane, batch.lookup);
+                    }
                     batch.target_gen = Duration::ZERO;
                     batch.routing = Duration::ZERO;
                     batch.lookup = Duration::ZERO;
@@ -575,7 +620,11 @@ impl Engine {
                 observer.on_probe_batch(time, &batch.probes, &batch.ledger);
                 #[cfg(feature = "telemetry")]
                 {
-                    tel_observe += t_obs.elapsed();
+                    obs_dur = t_obs.elapsed();
+                    tel_observe += obs_dur;
+                    if let Some(t) = trace.as_mut() {
+                        t.leaf("observe", step_index, shard as u32, 0, obs_dur);
+                    }
                 }
                 batch.ledger = DeliveryLedger::new();
                 batch.probes.clear();
@@ -601,8 +650,18 @@ impl Engine {
                     }
                 }
                 batch.candidates.clear();
+                // Everything in the batch body except the observer call
+                // is merge work: ledger fold, candidate re-check,
+                // latency draws, scratch resets.
+                #[cfg(feature = "telemetry")]
+                {
+                    step_merge += t_batch.elapsed().saturating_sub(obs_dur);
+                }
             }
 
+            #[cfg(feature = "telemetry")]
+            #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
+            let t_spawn = Instant::now();
             for &idx in &newly_infected {
                 active.push(self.spawn_host(idx));
             }
@@ -611,12 +670,29 @@ impl Engine {
             }
             #[cfg(feature = "telemetry")]
             {
+                // Host spawning and curve bookkeeping are part of the
+                // serial merge tail.
+                step_merge += t_spawn.elapsed();
+                tel_merge += step_merge;
                 let step = step_start.elapsed();
                 step_micros.record(step.as_micros() as u64);
                 peak_step = peak_step.max(step);
+                if let Some(t) = trace.as_mut() {
+                    t.leaf("merge", step_index, 0, 0, step_merge);
+                    if let Some(span) = step_span {
+                        t.close(span, step);
+                    }
+                }
+                step_index += 1;
             }
         }
         curve.push(time, ever_infected as f64 / n as f64);
+        #[cfg(feature = "telemetry")]
+        if let Some(t) = trace.as_mut() {
+            if let Some(span) = run_span {
+                t.close(span, run_start.elapsed());
+            }
+        }
 
         SimResult {
             infected: ever_infected,
@@ -634,10 +710,12 @@ impl Engine {
                 phases.record("routing", tel_route);
                 phases.record("lookup", tel_lookup);
                 phases.record("observe", tel_observe);
+                phases.record("merge", tel_merge);
                 EngineTelemetry {
                     phases,
                     step_micros,
                     peak_step_seconds: peak_step.as_secs_f64(),
+                    trace,
                 }
             },
         }
@@ -1061,7 +1139,7 @@ mod tests {
         );
         let result = engine.run(&mut NullObserver);
         let tel = &result.telemetry;
-        for phase in ["target_gen", "routing", "lookup", "observe"] {
+        for phase in ["target_gen", "routing", "lookup", "observe", "merge"] {
             assert_eq!(tel.phases.spans(phase), 1, "{phase} missing");
         }
         assert!(tel.step_micros.count() > 0);
@@ -1070,6 +1148,81 @@ mod tests {
             tel.peak_step_seconds * 1e6 >= tel.step_micros.max().unwrap() as f64,
             "peak must bound the histogram"
         );
+        assert!(tel.trace.is_none(), "no trace unless SimConfig::trace");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn trace_spans_are_balanced_and_deterministic() {
+        let run_once = || {
+            let mut engine = Engine::new(
+                SimConfig {
+                    trace: true,
+                    ..hitlist_config()
+                },
+                dense_population(200),
+                Environment::new(),
+                Box::new(HitListWorm::new(hitlist())),
+            );
+            engine.run(&mut NullObserver)
+        };
+        let a = run_once();
+        let b = run_once();
+        let ta = a.telemetry.trace.as_ref().expect("trace requested");
+        let tb = b.telemetry.trace.as_ref().expect("trace requested");
+        assert!(ta.is_balanced(), "open/close spans must balance");
+        assert!(!ta.is_empty());
+        let names: Vec<&str> = ta.spans().iter().map(|s| s.name).collect();
+        for expected in [
+            "run",
+            "step",
+            "target_gen",
+            "routing",
+            "lookup",
+            "observe",
+            "merge",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} span");
+        }
+        // Determinism contract: identical runs produce identical span
+        // sequences — IDs, names, coordinates — differing only in the
+        // dur_micros timing fields.
+        let shape = |t: &hotspots_telemetry::TraceSink| {
+            t.spans()
+                .iter()
+                .map(|s| (s.id, s.name, s.step, s.shard, s.track, s.depth, s.parent))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(ta), shape(tb));
+    }
+
+    #[cfg(all(feature = "telemetry", feature = "parallel"))]
+    #[test]
+    fn trace_attributes_shards_in_parallel_runs() {
+        let mut engine = Engine::new(
+            SimConfig {
+                trace: true,
+                threads: 4,
+                ..hitlist_config()
+            },
+            dense_population(200),
+            Environment::new(),
+            Box::new(HitListWorm::new(hitlist())),
+        );
+        let result = engine.run(&mut NullObserver);
+        let trace = result.telemetry.trace.as_ref().expect("trace requested");
+        assert!(trace.is_balanced());
+        let shards: std::collections::BTreeSet<u32> = trace
+            .spans()
+            .iter()
+            .filter(|s| s.name == "target_gen")
+            .map(|s| s.shard)
+            .collect();
+        assert!(
+            shards.len() > 1,
+            "expected multi-shard attribution, got {shards:?}"
+        );
+        assert!(result.telemetry.phases.total("merge") > Duration::ZERO);
     }
 
     #[test]

@@ -38,11 +38,15 @@
 // on clock reads (backing hotspots-lint rule D1) stops at its border.
 #![allow(clippy::disallowed_methods)]
 
+pub mod bench;
 pub mod json;
 mod metrics;
 mod report;
 mod sink;
+mod trace;
 
+pub use bench::{BenchSummary, ScalingPoint};
 pub use metrics::{Counter, Histogram, PhaseTimes, Timer};
-pub use report::{ReportBuilder, RunReport, RUN_REPORT_ENV};
+pub use report::{EmitError, ReportBuilder, RunReport, RUN_REPORT_ENV};
 pub use sink::{Event, JsonlSink, MemorySink, NullSink, Sink, Value};
+pub use trace::{stable_span_id, SpanRecord, SpanToken, TraceSink};

@@ -309,7 +309,28 @@ impl ReportBuilder {
     /// Finalizes, prints the JSONL line to stdout, and — when
     /// [`RUN_REPORT_ENV`] names a file — appends it there too.
     /// I/O problems with that file are reported on stderr, never fatal.
+    /// Binaries that should fail loudly on a bad report path use
+    /// [`ReportBuilder::try_emit`] instead.
     pub fn emit(self) -> RunReport {
+        match self.try_emit() {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("run report: cannot append to {}: {}", e.path, e.source);
+                *e.report
+            }
+        }
+    }
+
+    /// Like [`ReportBuilder::emit`], but a failed append to the
+    /// [`RUN_REPORT_ENV`] file is returned instead of swallowed. The
+    /// report line is always printed to stdout first, and the error
+    /// carries the finished report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EmitError`] naming the report path when the append
+    /// fails (unwritable directory, permission denied, …).
+    pub fn try_emit(self) -> Result<RunReport, EmitError> {
         let report = self.build();
         let line = report.to_jsonl();
         println!("{line}");
@@ -320,12 +341,45 @@ impl ReportBuilder {
                     .append(true)
                     .open(&path)
                     .and_then(|mut f| writeln!(f, "{line}"));
-                if let Err(e) = appended {
-                    eprintln!("run report: cannot append to {path}: {e}");
+                if let Err(source) = appended {
+                    return Err(EmitError {
+                        path,
+                        source,
+                        report: Box::new(report),
+                    });
                 }
             }
         }
-        report
+        Ok(report)
+    }
+}
+
+/// A run-report append to the [`RUN_REPORT_ENV`] file failed. Carries
+/// the finished report so lenient callers can still use it.
+#[derive(Debug)]
+pub struct EmitError {
+    /// The report file that could not be appended to.
+    pub path: String,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+    /// The report that was built (and printed to stdout) anyway
+    /// (boxed to keep the `Err` variant small).
+    pub report: Box<RunReport>,
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot append run report to {}: {}",
+            self.path, self.source
+        )
+    }
+}
+
+impl std::error::Error for EmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
     }
 }
 

@@ -1,0 +1,147 @@
+//! Property tests for the trace sink: span bookkeeping must be total
+//! (no op sequence panics), well-nested open/close pairs always
+//! balance, and both exporters produce valid, deterministic output
+//! whose only run-to-run variation is the timing fields.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use hotspots_telemetry::{json, TraceSink};
+
+/// Replays an op sequence: 0 = open, 1 = close innermost, anything
+/// else = leaf. Returns the sink with every remaining span closed.
+fn replay(ops: &[u8], durs: &[u64]) -> TraceSink {
+    let mut t = TraceSink::new();
+    let mut stack = Vec::new();
+    let mut step = 0u64;
+    for (i, &op) in ops.iter().enumerate() {
+        let dur = Duration::from_micros(durs.get(i).copied().unwrap_or(1));
+        match op {
+            0 => stack.push(t.open("phase", step, (i % 7) as u32, (i % 3) as u32)),
+            1 => {
+                if let Some(token) = stack.pop() {
+                    t.close(token, dur);
+                }
+                step += 1;
+            }
+            _ => t.leaf("leaf", step, (i % 5) as u32, 0, dur),
+        }
+    }
+    while let Some(token) = stack.pop() {
+        t.close(token, Duration::from_micros(1));
+    }
+    t
+}
+
+/// Masks the timing payloads (`"ts":N`, `"dur":N`) so deterministic
+/// bytes can be compared across drives with different durations.
+fn mask_timing(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let rest = &text[i..];
+        if let Some(key) = ["\"ts\":", "\"dur\":"]
+            .iter()
+            .find(|k| rest.starts_with(**k))
+        {
+            out.push_str(key);
+            out.push('#');
+            i += key.len();
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        } else {
+            out.push(bytes[i] as char); // exporter output is ASCII
+            i += 1;
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn well_nested_open_close_always_balances(
+        ops in proptest::collection::vec(0u8..3, 0..200),
+        durs in proptest::collection::vec(0u64..10_000, 0..200),
+    ) {
+        let t = replay(&ops, &durs);
+        prop_assert!(t.is_balanced(), "LIFO closes must balance");
+        prop_assert_eq!(t.open_spans(), 0);
+        prop_assert_eq!(t.mismatched_closes(), 0);
+        // Parents always precede children and depths are consistent.
+        for (i, span) in t.spans().iter().enumerate() {
+            if let Some(p) = span.parent {
+                prop_assert!((p as usize) < i);
+                prop_assert_eq!(span.depth, t.spans()[p as usize].depth + 1);
+            } else {
+                prop_assert_eq!(span.depth, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn exporters_are_total_and_valid(
+        ops in proptest::collection::vec(0u8..3, 0..120),
+        durs in proptest::collection::vec(0u64..100_000, 0..120),
+    ) {
+        let t = replay(&ops, &durs);
+        let chrome = t.to_chrome_trace();
+        prop_assert!(json::parse(&chrome).is_ok(), "chrome trace must parse");
+        let folded = t.to_collapsed();
+        for line in folded.lines() {
+            let (path, weight) = line.rsplit_once(' ').expect("path weight");
+            prop_assert!(!path.is_empty());
+            prop_assert!(weight.parse::<u64>().is_ok(), "bad weight {weight:?}");
+        }
+    }
+
+    #[test]
+    fn span_ids_and_masked_exports_are_duration_independent(
+        ops in proptest::collection::vec(0u8..3, 0..120),
+        durs_a in proptest::collection::vec(0u64..100_000, 0..120),
+        durs_b in proptest::collection::vec(0u64..100_000, 0..120),
+    ) {
+        // Same control flow, different wall clocks: everything but the
+        // timing fields must be bit-identical.
+        let a = replay(&ops, &durs_a);
+        let b = replay(&ops, &durs_b);
+        let shape = |t: &TraceSink| t
+            .spans()
+            .iter()
+            .map(|s| (s.id, s.name, s.step, s.shard, s.track, s.depth, s.parent))
+            .collect::<Vec<_>>();
+        prop_assert_eq!(shape(&a), shape(&b));
+        prop_assert_eq!(mask_timing(&a.to_chrome_trace()), mask_timing(&b.to_chrome_trace()));
+        let paths = |t: &TraceSink| t
+            .to_collapsed()
+            .lines()
+            .map(|l| l.rsplit_once(' ').expect("path weight").0.to_owned())
+            .collect::<Vec<_>>();
+        prop_assert_eq!(paths(&a), paths(&b));
+    }
+
+    #[test]
+    fn out_of_order_closes_never_panic(
+        picks in proptest::collection::vec((0u8..3, 0usize..8), 0..150),
+    ) {
+        let mut t = TraceSink::new();
+        let mut open = Vec::new();
+        for (i, &(op, at)) in picks.iter().enumerate() {
+            match op {
+                0 => open.push(t.open("phase", i as u64, 0, 0)),
+                1 if !open.is_empty() => {
+                    // Close an arbitrary (possibly non-innermost) span.
+                    let token = open.remove(at % open.len());
+                    t.close(token, Duration::from_micros(3));
+                }
+                _ => t.leaf("leaf", i as u64, 0, 0, Duration::from_micros(1)),
+            }
+        }
+        // Whatever the order, the sink stays total and exportable.
+        let _ = t.to_chrome_trace();
+        let _ = t.to_collapsed();
+        prop_assert!(t.is_balanced() || t.mismatched_closes() > 0 || t.open_spans() > 0);
+    }
+}

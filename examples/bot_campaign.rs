@@ -106,5 +106,8 @@ fn main() {
     );
 
     run.report.config("command", &command);
-    run.report.emit();
+    if let Err(e) = run.emit_report() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

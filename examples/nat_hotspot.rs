@@ -74,5 +74,8 @@ fn main() {
     }
     println!("  → M spikes despite being a tiny /22; that is the hotspot.");
 
-    run.report.emit();
+    if let Err(e) = run.emit_report() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

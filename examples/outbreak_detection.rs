@@ -72,7 +72,10 @@ fn main() {
             );
         }
     }
-    run.report.emit();
+    if let Err(e) = run.emit_report() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 
     println!("\n== Placement against a NAT-biased worm ==");
     let mut spec = ScenarioSpec::named("outbreak-detection-placement");
@@ -96,5 +99,8 @@ fn main() {
         );
     }
     println!("  → knowing the hotspot beats 500 blind sensors with just 255.");
-    run.report.emit();
+    if let Err(e) = run.emit_report() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

@@ -79,5 +79,8 @@ fn main() {
         );
     }
     println!("(see outbreak_detection.rs for why the hotspots blind quorum detectors)");
-    report.emit();
+    if let Err(e) = report.try_emit() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

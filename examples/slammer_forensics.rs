@@ -97,5 +97,8 @@ fn main() {
         .config("hosts", study.hosts)
         .config("m_block_filter", true)
         .add_population(study.hosts as u64);
-    report.emit();
+    if let Err(e) = report.try_emit() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

@@ -122,6 +122,7 @@ fn engine_invariants_hold_across_configurations() {
         removal_rate: 0.002,
         rng_seed: 45,
         threads: 1,
+        trace: false,
     };
     let list = hotspots_targeting::HitList::top_k_slash16(&pop, 3);
     let mut engine = Engine::new(
