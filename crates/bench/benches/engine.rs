@@ -8,7 +8,9 @@
 //! at each thread count (serial only unless built with `--features
 //! parallel`) and writes the scaling curve to `BENCH_engine.json` at
 //! the repository root, in the same [`BenchSummary`] schema the
-//! `hotspots profile --scaling` harness writes. Overrides:
+//! `hotspots profile --scaling` harness writes, plus a memory block
+//! recording the `bench-million` compressed store against its
+//! dense-equivalent bytes. Overrides:
 //! `HOTSPOTS_BENCH_BASELINE=<probes/sec>` records a pre-batching seed
 //! baseline (else the existing file's baseline is carried forward);
 //! `HOTSPOTS_BENCH_THREADS=2,4,8` picks the parallel points.
@@ -17,7 +19,7 @@ use criterion::{black_box, criterion_group, BatchSize, Criterion};
 use hotspots_ipspace::Ip;
 use hotspots_scenario::{find_preset, Built, Scale};
 use hotspots_sim::{Engine, FieldObserver, NullObserver};
-use hotspots_telemetry::{BenchSummary, ScalingPoint};
+use hotspots_telemetry::{BenchSummary, MemoryStats, ScalingPoint};
 use hotspots_telescope::DetectorField;
 use std::time::Instant;
 
@@ -166,7 +168,17 @@ fn main() {
                 .and_then(|text| BenchSummary::from_json(&text).ok())
                 .and_then(|old| old.seed_probes_per_sec)
         });
-    let summary = BenchSummary::from_points("bench-slammer_paper", slammer_probes(), seed, points);
+    // The memory block tracks the million-host compressed store (the
+    // scaling curve's 5k-host population is noise next to it).
+    let population = &built("bench-million").population;
+    let summary = BenchSummary::from_points("bench-slammer_paper", slammer_probes(), seed, points)
+        .with_memory(MemoryStats {
+            hosts: population.len() as u64,
+            store: population.store_label().to_owned(),
+            store_bytes: population.store_bytes() as u64,
+            dense_store_bytes: population.dense_equivalent_bytes() as u64,
+            resident_bytes: hotspots_telemetry::resident_bytes(),
+        });
     std::fs::write(path, summary.to_json()).expect("write BENCH_engine.json");
     println!("wrote {path}");
 }

@@ -22,7 +22,7 @@ use hotspots_experiments::{
 use hotspots_scenario::cli::{parse_flags, usage, FlagSpec, ParsedArgs};
 use hotspots_scenario::value::Value;
 use hotspots_scenario::{ScenarioSpec, RUN_REPORT_ENV};
-use hotspots_telemetry::{BenchSummary, ScalingPoint};
+use hotspots_telemetry::{BenchSummary, MemoryStats, ScalingPoint};
 
 const COMMANDS: &str = "commands:
   run <name|spec.toml>     execute a preset or spec file
@@ -416,7 +416,7 @@ fn cmd_profile(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
             .and_then(|text| BenchSummary::from_json(&text).ok())
             .and_then(|old| old.seed_probes_per_sec);
         let probes = points.first().map_or(0, |p| p.probes);
-        let summary = BenchSummary::from_points(
+        let mut summary = BenchSummary::from_points(
             format!("{stem}_{}", scale.label()),
             probes,
             seed,
@@ -430,6 +430,27 @@ fn cmd_profile(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
                 })
                 .collect(),
         );
+        // Population memory accounting: store bytes from a fresh build
+        // (deterministic), resident set sampled after the runs above.
+        if let Ok(built) = spec.build() {
+            let memory = MemoryStats {
+                hosts: built.population.len() as u64,
+                store: built.population.store_label().to_owned(),
+                store_bytes: built.population.store_bytes() as u64,
+                dense_store_bytes: built.population.dense_equivalent_bytes() as u64,
+                resident_bytes: hotspots_telemetry::resident_bytes(),
+            };
+            println!(
+                "population memory: {} hosts, {} store, {} store bytes \
+                 ({:.1}% of dense-equivalent {})",
+                memory.hosts,
+                memory.store,
+                memory.store_bytes,
+                100.0 * memory.store_bytes as f64 / memory.dense_store_bytes.max(1) as f64,
+                memory.dense_store_bytes,
+            );
+            summary = summary.with_memory(memory);
+        }
         write_artifact(bench_path, &summary.to_json());
         println!("\nscaling curve -> {bench_path}");
         let rows: Vec<Vec<String>> = summary

@@ -35,6 +35,7 @@
 mod block;
 mod bucket;
 mod error;
+mod hostset;
 mod ip;
 mod prefix;
 mod range;
@@ -43,6 +44,7 @@ pub mod special;
 pub use block::{ims_deployment, random_ims_deployment, AddressBlock, Deployment, UnknownBlock};
 pub use bucket::{Bucket16, Bucket24, Bucket8};
 pub use error::{ParseIpError, ParsePrefixError, PrefixError};
+pub use hostset::{HostSet, HostSetError, HostSetIter};
 pub use ip::Ip;
 pub use prefix::{IpIter, Prefix, SubnetIter};
 pub use range::IpRange;

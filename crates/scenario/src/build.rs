@@ -5,9 +5,9 @@ use hotspots_ipspace::{Ip, Prefix};
 use hotspots_netmodel::{Environment, FaultPlan, FilterRule, LatencyModel, LossModel};
 use hotspots_prng::entropy::{HardwareGeneration, SeedModel};
 use hotspots_sim::{
-    apply_nat, apply_nat_shared, paper_codered_population, synthetic_codered_population,
-    BlasterWorm, BotWorm, CodeRed2Worm, HitListWorm, LocalPreferenceWorm, Population, SimConfig,
-    SlammerWorm, UniformWorm, WormModel,
+    apply_nat, apply_nat_shared, canonical_parts, paper_codered_population,
+    synthetic_codered_population, zipf_slash8_population, BlasterWorm, BotWorm, CodeRed2Worm,
+    HitListWorm, LocalPreferenceWorm, Population, SimConfig, SlammerWorm, UniformWorm, WormModel,
 };
 use hotspots_targeting::HitList;
 use hotspots_telescope::{placement, DetectorField, SensorMode};
@@ -95,6 +95,10 @@ impl ScenarioSpec {
         }
 
         let addrs = build_addresses(pop_spec)?;
+        let compressed = matches!(pop_spec, PopSpec::Zipf { store, .. } if store == "compressed");
+        // Population construction surfaces duplicate addresses (and any
+        // other store-build failure) as a typed spec error naming the
+        // population field, instead of panicking mid-build.
         let population = match &self.environment.nat {
             Some(nat) => {
                 let mut rng = StdRng::seed_from_u64(nat.seed);
@@ -102,10 +106,17 @@ impl ScenarioSpec {
                     "shared" => apply_nat_shared(&mut environment, &addrs, nat.fraction, &mut rng),
                     _ => apply_nat(&mut environment, &addrs, nat.fraction, &mut rng),
                 };
-                Population::from_loci(loci)
+                if compressed {
+                    let (public, private) = canonical_parts(&loci);
+                    Population::try_compressed_from_parts(&public, private)
+                } else {
+                    Population::try_from_loci(loci)
+                }
             }
-            None => Population::from_public(addrs),
-        };
+            None if compressed => Population::try_compressed_from_public(&addrs),
+            None => Population::try_from_public(addrs),
+        }
+        .map_err(|e| SpecError::new("population", e.to_string()))?;
 
         let worm = build_worm(worm_spec)?;
         let detector = build_detector(&self.telescope)?;
@@ -171,6 +182,19 @@ fn build_addresses(pop: &PopSpec) -> Result<Vec<Ip>, SpecError> {
             ips.sort_unstable();
             ips.dedup();
             Ok(ips)
+        }
+        PopSpec::Zipf {
+            size,
+            slash8s,
+            seed,
+            ..
+        } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            Ok(zipf_slash8_population(
+                spec_usize("population.size", *size)?,
+                spec_usize("population.slash8s", *slash8s)?,
+                &mut rng,
+            ))
         }
     }
 }
@@ -312,11 +336,8 @@ mod tests {
             ..EnvSpec::default()
         };
         let built = spec.build().unwrap();
-        assert!(built
-            .population
-            .loci()
-            .iter()
-            .all(|l| matches!(l, Locus::Private { .. })));
+        assert!((0..built.population.len())
+            .all(|i| matches!(built.population.locus(i), Locus::Private { .. })));
         assert_eq!(built.environment.realm_count(), 100);
     }
 

@@ -128,7 +128,7 @@ fn fig5_sizes() -> Vec<Option<u64>> {
     vec![Some(10), Some(100), Some(1000), None]
 }
 
-static PRESETS: [Preset; 22] = [
+static PRESETS: [Preset; 24] = [
     Preset {
         name: "fig1",
         binary: "fig1_blaster",
@@ -585,6 +585,38 @@ static PRESETS: [Preset; 22] = [
         },
     },
     Preset {
+        name: "fig2-million",
+        binary: "hotspots",
+        artifact: "FIGURE 2 AT SCALE",
+        scenario: "fig2-million",
+        title: "Slammer LCG bias over a 1M-host Internet-scale population",
+        paper: "Figure 2 extended: per-/24 bias with 1M+ Zipf-placed vulnerable hosts (§3.2)",
+        family: "figure",
+        spec_fn: |scale| {
+            engine_spec(
+                WormSpec::Slammer,
+                PopSpec::Zipf {
+                    size: scale.pick(1_100_000, 2_200_000),
+                    slash8s: 47,
+                    seed: 0x51a3_2006,
+                    store: "compressed".to_owned(),
+                },
+                EnvSpec::default(),
+                // Paper scale stays pre-saturation: at 2.2M hosts a
+                // scan rate past ~300/s saturates the population and
+                // the per-step probe batch (held in memory for the
+                // observer) grows toward hosts × rate entries.
+                SimSpec {
+                    scan_rate: scale.pick(50.0, 300.0),
+                    seeds: 25,
+                    max_time: scale.pick(20.0, 50.0),
+                    rng_seed: 20,
+                    ..SimSpec::default()
+                },
+            )
+        },
+    },
+    Preset {
         name: "bench-hitlist",
         binary: "hotspots",
         artifact: "BENCH",
@@ -636,6 +668,38 @@ static PRESETS: [Preset; 22] = [
                     seeds: 25,
                     max_time: scale.pick(60.0, 300.0),
                     rng_seed: 7,
+                    ..SimSpec::default()
+                },
+            )
+        },
+    },
+    Preset {
+        name: "bench-million",
+        binary: "hotspots",
+        artifact: "BENCH",
+        scenario: "bench-million",
+        title: "Slammer over 1M+ Zipf-placed hosts (compressed store)",
+        paper:
+            "Internet-scale engine workload: memory + throughput at 1M hosts (BENCH_engine.json)",
+        family: "bench",
+        spec_fn: |scale| {
+            engine_spec(
+                WormSpec::Slammer,
+                PopSpec::Zipf {
+                    size: scale.pick(1_050_000, 4_200_000),
+                    slash8s: 47,
+                    seed: 0x2006_2006,
+                    store: "compressed".to_owned(),
+                },
+                EnvSpec::default(),
+                // Pre-saturation parameters (see fig2-million): the
+                // bench measures the probe pipeline at 1M+ hosts, not
+                // a fully saturated population's per-step batch.
+                SimSpec {
+                    scan_rate: scale.pick(100.0, 200.0),
+                    seeds: 25,
+                    max_time: scale.pick(30.0, 40.0),
+                    rng_seed: 21,
                     ..SimSpec::default()
                 },
             )

@@ -231,6 +231,20 @@ pub enum PopSpec {
         /// Dotted-quad addresses; duplicates are collapsed.
         addrs: Vec<String>,
     },
+    /// An Internet-scale population: `size` hosts Zipf-distributed over
+    /// `slash8s` /8 networks with per-/16 clustering (Chen & Ji's
+    /// measured shape). Scales to millions of hosts; pairs with the
+    /// compressed rank-indexed population store.
+    Zipf {
+        /// Number of hosts (may exceed a million).
+        size: u64,
+        /// Number of occupied /8 networks.
+        slash8s: u64,
+        /// RNG seed for the draw.
+        seed: u64,
+        /// Population store: `"compressed"` (default) or `"dense"`.
+        store: String,
+    },
 }
 
 /// The telescope deployment observing the outbreak.
@@ -1047,6 +1061,18 @@ fn pop_to_value(pop: &PopSpec) -> Value {
             t.set("kind", Value::Str("hosts".into()));
             t.set("addrs", strs(addrs));
         }
+        PopSpec::Zipf {
+            size,
+            slash8s,
+            seed,
+            store,
+        } => {
+            t.set("kind", Value::Str("zipf".into()));
+            t.set("size", int(*size));
+            t.set("slash8s", int(*slash8s));
+            t.set("seed", int(*seed));
+            t.set("store", Value::Str(store.clone()));
+        }
     }
     t
 }
@@ -1071,11 +1097,17 @@ fn pop_from_value(v: &Value) -> Result<PopSpec, SpecError> {
         "hosts" => PopSpec::Hosts {
             addrs: f.str_array("addrs")?,
         },
+        "zipf" => PopSpec::Zipf {
+            size: f.u64("size")?,
+            slash8s: f.u64("slash8s")?,
+            seed: f.u64("seed")?,
+            store: f.opt_str("store")?.unwrap_or_else(|| "compressed".into()),
+        },
         other => {
             return Err(SpecError::new(
                 "population.kind",
                 format!(
-                    "unknown population kind {other:?} (expected range, synthetic, paper, or hosts)"
+                    "unknown population kind {other:?} (expected range, synthetic, paper, hosts, or zipf)"
                 ),
             ));
         }
@@ -1815,6 +1847,36 @@ fn validate_pop(pop: &PopSpec) -> Result<(), SpecError> {
             }
             for addr in addrs {
                 parse_ip("population.addrs", addr)?;
+            }
+            Ok(())
+        }
+        PopSpec::Zipf {
+            size,
+            slash8s,
+            store,
+            ..
+        } => {
+            if *size == 0 {
+                return Err(SpecError::new("population.size", "must be positive"));
+            }
+            if !(1..=200).contains(slash8s) {
+                return Err(SpecError::new(
+                    "population.slash8s",
+                    format!("must be in [1, 200], got {slash8s}"),
+                ));
+            }
+            // each /8 holds at most 2^24 addresses
+            if *size > slash8s * (1 << 24) {
+                return Err(SpecError::new(
+                    "population.size",
+                    format!("{size} hosts exceed the capacity of {slash8s} /8s"),
+                ));
+            }
+            if !matches!(store.as_str(), "dense" | "compressed") {
+                return Err(SpecError::new(
+                    "population.store",
+                    format!("unknown store {store:?} (expected dense or compressed)"),
+                ));
             }
             Ok(())
         }

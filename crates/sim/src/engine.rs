@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::{Rng, SeedableRng};
 
+use crate::bitset::HostBits;
 use crate::observers::SimObserver;
 use crate::population::Population;
 use crate::worms::WormModel;
@@ -242,9 +243,9 @@ struct ShardCtx<'a> {
     /// The step's simulation time, set serially before shards fan out —
     /// every shard routes against the same fault-schedule instant.
     time: f64,
-    infected: &'a [bool],
-    removed: &'a [bool],
-    pending: &'a [bool],
+    infected: &'a HostBits,
+    removed: &'a HostBits,
+    pending: &'a HostBits,
 }
 
 /// Drives one shard of active hosts through the target-gen → routing →
@@ -288,7 +289,7 @@ fn drive_shard(ctx: &ShardCtx<'_>, hosts: &mut [InfectedHost], batch: &mut Probe
                 Delivery::Dropped(_) => None,
             };
             if let Some(v) = victim {
-                if !ctx.infected[v] && !ctx.removed[v] && !ctx.pending[v] {
+                if !ctx.infected.get(v) && !ctx.removed.get(v) && !ctx.pending.get(v) {
                     batch.candidates.push(v);
                 }
             }
@@ -456,9 +457,12 @@ impl Engine {
         // phase ran on one thread or many.
         let mut lat_rng = StdRng::seed_from_u64(derive_seed(self.config.rng_seed, LATENCY_SALT, 0));
 
-        let mut infected_flags = vec![false; n];
-        let mut removed_flags = vec![false; n];
-        let mut pending_flags = vec![false; n];
+        // Packed infection-state bits: the whole per-host state of a
+        // 1M-host run is ~375 KB across the three sets, streamed from
+        // cache by the batched lookup/merge phases.
+        let mut infected_flags = HostBits::new(n);
+        let mut removed_flags = HostBits::new(n);
+        let mut pending_flags = HostBits::new(n);
         let mut infection_times: Vec<Option<f64>> = vec![None; n];
         let mut active: Vec<InfectedHost> = Vec::new();
         // pending activations ordered by time (microseconds for total order)
@@ -492,7 +496,7 @@ impl Engine {
 
         // Seed hosts.
         for idx in sample(&mut rng, n, self.config.seeds) {
-            infected_flags[idx] = true;
+            infected_flags.set(idx);
             infection_times[idx] = Some(0.0);
             ever_infected += 1;
             let host = self.spawn_host(idx);
@@ -525,11 +529,11 @@ impl Engine {
                     break;
                 }
                 pending.pop();
-                pending_flags[idx] = false;
-                if infected_flags[idx] || removed_flags[idx] {
+                pending_flags.clear(idx);
+                if infected_flags.get(idx) || removed_flags.get(idx) {
                     continue;
                 }
-                infected_flags[idx] = true;
+                infected_flags.set(idx);
                 infection_times[idx] = Some(due);
                 ever_infected += 1;
                 activated = true;
@@ -562,7 +566,7 @@ impl Engine {
             if removal_prob > 0.0 {
                 active.retain_mut(|host| {
                     if host.rng.gen::<f64>() < removal_prob {
-                        removed_flags[host.id] = true;
+                        removed_flags.set(host.id);
                         removed += 1;
                         false
                     } else {
@@ -633,18 +637,18 @@ impl Engine {
                 // against live flags so duplicates collapse exactly as
                 // in a fully serial probe loop.
                 for &v in &batch.candidates {
-                    if infected_flags[v] || removed_flags[v] || pending_flags[v] {
+                    if infected_flags.get(v) || removed_flags.get(v) || pending_flags.get(v) {
                         continue;
                     }
                     let delay = latency.sample(&mut lat_rng);
                     if delay <= 0.0 {
-                        infected_flags[v] = true;
+                        infected_flags.set(v);
                         infection_times[v] = Some(time);
                         ever_infected += 1;
                         newly_infected.push(v);
                         observer.on_infection(time, v, self.population.locus(v));
                     } else {
-                        pending_flags[v] = true;
+                        pending_flags.set(v);
                         let due_us = ((time + delay) * 1e6) as u64;
                         pending.push(Reverse((due_us, v)));
                     }

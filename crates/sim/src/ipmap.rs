@@ -111,6 +111,18 @@ impl IpMap {
         self.get(key).is_some()
     }
 
+    /// Heap bytes held by the slot table.
+    pub fn heap_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Slot-table bytes a map built with [`IpMap::with_capacity`] for
+    /// `capacity` entries would hold — the analytic cost used when
+    /// comparing store layouts without building one.
+    pub fn table_bytes_for(capacity: usize) -> usize {
+        (capacity.max(8) * 2).next_power_of_two() * std::mem::size_of::<u64>()
+    }
+
     fn grow(&mut self) {
         let bigger = self.slots.len() * 2;
         let old = std::mem::replace(&mut self.slots, vec![EMPTY; bigger]);

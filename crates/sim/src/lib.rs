@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod bitset;
 mod engine;
 mod ipmap;
 mod observers;
@@ -42,14 +43,16 @@ mod population;
 mod telemetry;
 mod worms;
 
+pub use bitset::HostBits;
 #[cfg(feature = "telemetry")]
 pub use engine::EngineTelemetry;
 pub use engine::{Engine, SimConfig, SimResult};
 pub use ipmap::IpMap;
 pub use observers::{DropTally, FieldObserver, NullObserver, SimObserver, TelescopeObserver};
 pub use population::{
-    apply_nat, apply_nat_shared, occupied_slash16s, paper_codered_population,
-    synthetic_codered_population, Population,
+    apply_nat, apply_nat_shared, canonical_parts, occupied_slash16s, paper_codered_population,
+    synthetic_codered_population, zipf_slash8_population, Population, PopulationError,
+    PublicAddresses,
 };
 pub use telemetry::{fold_ledger, TelemetryObserver};
 pub use worms::{

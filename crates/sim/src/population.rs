@@ -1,11 +1,109 @@
 //! Vulnerable populations and their placement in the topology.
+//!
+//! A [`Population`] hides one of two stores behind the same lookup API:
+//!
+//! * the **dense** store — per-host [`Locus`] records plus an
+//!   open-addressed address→id hash index ([`IpMap`]) and a flat /16
+//!   occupancy bitmap pre-filter. Supports arbitrary locus orderings
+//!   (NAT topologies interleave public and private hosts) at ~28 bytes
+//!   per host.
+//! * the **compressed** store — public addresses held in a rank-indexed
+//!   [`HostSet`] (/8 → /16 → /24 occupancy hierarchy, ~1 byte per
+//!   host). Host ids for public hosts *are* their ranks in sorted
+//!   address order, so `find_public` is a hierarchy probe + rank query
+//!   with no hash table at all; private (NATed) hosts follow the public
+//!   block. This is the store Internet-scale populations (1M+ hosts)
+//!   run on.
+//!
+//! Both stores answer [`Population::find_public`],
+//! [`Population::find_private`], and [`Population::locus`] identically;
+//! the engine is store-agnostic and results are bit-identical (see the
+//! cross-store suite in `hotspots-scenario`).
 
-use hotspots_ipspace::{special, Ip, Prefix};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use hotspots_ipspace::{special, HostSet, HostSetError, HostSetIter, Ip, Prefix};
 use hotspots_netmodel::{Environment, Locus, NatRealm, RealmId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::ipmap::IpMap;
+
+/// Error returned by the fallible [`Population`] constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopulationError {
+    /// Two hosts share an address (public, or private within one realm).
+    Duplicate {
+        /// The clashing locus.
+        locus: Locus,
+    },
+    /// The compressed store requires its public addresses in ascending
+    /// order; this one was not.
+    UnsortedPublic {
+        /// The out-of-order address.
+        ip: Ip,
+    },
+    /// More hosts than the 32-bit host-id space.
+    TooLarge {
+        /// The offending host count.
+        hosts: usize,
+    },
+}
+
+impl fmt::Display for PopulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopulationError::Duplicate { locus } => {
+                write!(f, "duplicate host address at {locus}")
+            }
+            PopulationError::UnsortedPublic { ip } => {
+                write!(
+                    f,
+                    "public address {ip} out of sorted order for the compressed store"
+                )
+            }
+            PopulationError::TooLarge { hosts } => {
+                write!(f, "{hosts} hosts exceed the 32-bit host-id space")
+            }
+        }
+    }
+}
+
+impl Error for PopulationError {}
+
+impl From<HostSetError> for PopulationError {
+    fn from(e: HostSetError) -> PopulationError {
+        match e {
+            HostSetError::Duplicate { ip, .. } => PopulationError::Duplicate {
+                locus: Locus::Public(ip),
+            },
+            HostSetError::Unsorted { ip, .. } => PopulationError::UnsortedPublic { ip },
+        }
+    }
+}
+
+/// The two population representations. See the [module docs](self).
+#[derive(Debug, Clone)]
+enum Store {
+    Dense {
+        loci: Vec<Locus>,
+        public_index: IpMap,
+        /// Occupancy bitmap over /16 prefixes of the public hosts
+        /// (8 KiB, cache-resident). Worm scans cover far more address
+        /// space than any population occupies, so most `find_public`
+        /// calls are misses; one bit test rejects them without touching
+        /// the hash table.
+        public_slash16: Box<[u64; 1024]>,
+    },
+    Compressed {
+        /// Public hosts; host id = rank in sorted address order.
+        public: HostSet,
+        /// Private hosts, ids `public.len()..len`, in input order.
+        private_loci: Vec<(RealmId, Ip)>,
+    },
+}
 
 /// The vulnerable host population: each host's [`Locus`] plus fast
 /// address→host lookup for probe resolution.
@@ -22,15 +120,11 @@ use crate::ipmap::IpMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Population {
-    loci: Vec<Locus>,
-    public_index: IpMap,
+    store: Store,
     /// (realm, private ip) → host, keyed by realm in the outer map.
-    realm_index: std::collections::HashMap<RealmId, IpMap>,
-    /// Occupancy bitmap over /16 prefixes of the public hosts (8 KiB,
-    /// cache-resident). Worm scans cover far more address space than any
-    /// population occupies, so most `find_public` calls are misses; one
-    /// bit test rejects them without touching the hash table.
-    public_slash16: Box<[u64; 1024]>,
+    /// A `BTreeMap` so any iteration over realms is deterministic by
+    /// construction.
+    realm_index: BTreeMap<RealmId, IpMap>,
 }
 
 impl Population {
@@ -38,7 +132,8 @@ impl Population {
     ///
     /// # Panics
     ///
-    /// Panics on duplicate addresses.
+    /// Panics on duplicate addresses; [`Population::try_from_public`]
+    /// is the fallible form.
     pub fn from_public<I: IntoIterator<Item = Ip>>(addrs: I) -> Population {
         Population::from_loci(addrs.into_iter().map(Locus::Public))
     }
@@ -48,15 +143,46 @@ impl Population {
     /// # Panics
     ///
     /// Panics if two hosts share an address (public, or private within
-    /// one realm).
+    /// one realm); [`Population::try_from_loci`] is the fallible form.
     pub fn from_loci<I: IntoIterator<Item = Locus>>(loci: I) -> Population {
+        match Population::try_from_loci(loci) {
+            Ok(pop) => pop,
+            Err(e) => panic!("{e}"), // hotspots-lint: allow(panic-path) reason="documented panicking constructor; the scenario build path uses try_from_loci"
+        }
+    }
+
+    /// Builds a dense-store population of public hosts, reporting
+    /// duplicates as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::Duplicate`] on address clashes.
+    pub fn try_from_public<I: IntoIterator<Item = Ip>>(
+        addrs: I,
+    ) -> Result<Population, PopulationError> {
+        Population::try_from_loci(addrs.into_iter().map(Locus::Public))
+    }
+
+    /// Builds a dense-store population from explicit loci, reporting
+    /// duplicates as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::Duplicate`] if two hosts share an
+    /// address (public, or private within one realm), and
+    /// [`PopulationError::TooLarge`] past 2³² hosts.
+    pub fn try_from_loci<I: IntoIterator<Item = Locus>>(
+        loci: I,
+    ) -> Result<Population, PopulationError> {
         let loci: Vec<Locus> = loci.into_iter().collect();
+        if u32::try_from(loci.len()).is_err() {
+            return Err(PopulationError::TooLarge { hosts: loci.len() });
+        }
         let mut public_index = IpMap::with_capacity(loci.len());
-        let mut realm_index: std::collections::HashMap<RealmId, IpMap> =
-            std::collections::HashMap::new();
+        let mut realm_index: BTreeMap<RealmId, IpMap> = BTreeMap::new();
         let mut public_slash16 = Box::new([0u64; 1024]);
         for (i, locus) in loci.iter().enumerate() {
-            let idx = u32::try_from(i).expect("fewer than 2^32 hosts"); // hotspots-lint: allow(panic-path) reason="populations are bounded far below 2^32 hosts"
+            let idx = i as u32;
             let clash = match *locus {
                 Locus::Public(ip) => {
                     let slash16 = (ip.value() >> 16) as usize;
@@ -68,29 +194,97 @@ impl Population {
                     .or_insert_with(|| IpMap::with_capacity(16))
                     .insert(ip.value(), idx),
             };
-            assert!(clash.is_none(), "duplicate host address at {locus}");
+            if clash.is_some() {
+                return Err(PopulationError::Duplicate { locus: *locus });
+            }
         }
-        Population {
-            loci,
-            public_index,
+        Ok(Population {
+            store: Store::Dense {
+                loci,
+                public_index,
+                public_slash16,
+            },
             realm_index,
-            public_slash16,
+        })
+    }
+
+    /// Builds a compressed-store population of public hosts. Host ids
+    /// are ranks in sorted address order, so `public` must be strictly
+    /// ascending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::UnsortedPublic`] /
+    /// [`PopulationError::Duplicate`] when the input is not strictly
+    /// ascending.
+    pub fn try_compressed_from_public(public: &[Ip]) -> Result<Population, PopulationError> {
+        Population::try_compressed_from_parts(public, [])
+    }
+
+    /// Builds a compressed-store population from strictly ascending
+    /// public addresses plus private (NATed) hosts. Public host ids are
+    /// ranks `0..public.len()`; private hosts take the following ids in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PopulationError::UnsortedPublic`] when `public` is not
+    /// ascending, [`PopulationError::Duplicate`] on any address clash,
+    /// and [`PopulationError::TooLarge`] past 2³² hosts.
+    pub fn try_compressed_from_parts<I: IntoIterator<Item = (RealmId, Ip)>>(
+        public: &[Ip],
+        private: I,
+    ) -> Result<Population, PopulationError> {
+        let set = HostSet::from_sorted_unique(public)?;
+        let private_loci: Vec<(RealmId, Ip)> = private.into_iter().collect();
+        let total = public.len() + private_loci.len();
+        if u32::try_from(total).is_err() {
+            return Err(PopulationError::TooLarge { hosts: total });
         }
+        let mut realm_index: BTreeMap<RealmId, IpMap> = BTreeMap::new();
+        for (i, &(realm, ip)) in private_loci.iter().enumerate() {
+            let idx = (public.len() + i) as u32;
+            let clash = realm_index
+                .entry(realm)
+                .or_insert_with(|| IpMap::with_capacity(16))
+                .insert(ip.value(), idx);
+            if clash.is_some() {
+                return Err(PopulationError::Duplicate {
+                    locus: Locus::Private { realm, ip },
+                });
+            }
+        }
+        Ok(Population {
+            store: Store::Compressed {
+                public: set,
+                private_loci,
+            },
+            realm_index,
+        })
     }
 
     /// Number of vulnerable hosts.
     pub fn len(&self) -> usize {
-        self.loci.len()
+        match &self.store {
+            Store::Dense { loci, .. } => loci.len(),
+            Store::Compressed {
+                public,
+                private_loci,
+            } => public.len() as usize + private_loci.len(),
+        }
     }
 
     /// Returns `true` if the population is empty.
     pub fn is_empty(&self) -> bool {
-        self.loci.is_empty()
+        self.len() == 0
     }
 
-    /// The hosts' loci, indexed by host id.
-    pub fn loci(&self) -> &[Locus] {
-        &self.loci
+    /// Number of public (directly connected) hosts.
+    pub fn public_len(&self) -> usize {
+        match &self.store {
+            Store::Dense { public_index, .. } => public_index.len(),
+            Store::Compressed { public, .. } => public.len() as usize,
+        }
     }
 
     /// The locus of host `id`.
@@ -99,17 +293,43 @@ impl Population {
     ///
     /// Panics if `id` is out of range.
     pub fn locus(&self, id: usize) -> Locus {
-        self.loci[id]
+        match &self.store {
+            Store::Dense { loci, .. } => loci[id],
+            Store::Compressed {
+                public,
+                private_loci,
+            } => {
+                let npub = public.len() as usize;
+                if id < npub {
+                    match public.select(id as u32) {
+                        Some(ip) => Locus::Public(ip),
+                        None => unreachable!("rank {id} below set length"),
+                    }
+                } else {
+                    let (realm, ip) = private_loci[id - npub];
+                    Locus::Private { realm, ip }
+                }
+            }
+        }
     }
 
     /// Finds the host with public address `ip`, if any.
     #[inline]
     pub fn find_public(&self, ip: Ip) -> Option<usize> {
-        let slash16 = (ip.value() >> 16) as usize;
-        if self.public_slash16[slash16 >> 6] & (1u64 << (slash16 & 63)) == 0 {
-            return None;
+        match &self.store {
+            Store::Dense {
+                public_index,
+                public_slash16,
+                ..
+            } => {
+                let slash16 = (ip.value() >> 16) as usize;
+                if public_slash16[slash16 >> 6] & (1u64 << (slash16 & 63)) == 0 {
+                    return None;
+                }
+                public_index.get(ip.value()).map(|v| v as usize)
+            }
+            Store::Compressed { public, .. } => public.find(ip).map(|rank| rank as usize),
         }
-        self.public_index.get(ip.value()).map(|v| v as usize)
     }
 
     /// Finds the host with private address `ip` inside `realm`, if any.
@@ -121,17 +341,117 @@ impl Population {
             .map(|v| v as usize)
     }
 
-    /// The public addresses of all public hosts (used to build hit-lists
-    /// and placement inputs).
-    pub fn public_addresses(&self) -> Vec<Ip> {
-        self.loci
-            .iter()
-            .filter_map(|l| match l {
+    /// Iterates the public addresses of all public hosts without
+    /// allocating (the hit-list and placement builders' input).
+    ///
+    /// Order is store-defined: insertion order on the dense store, rank
+    /// (ascending address) order on the compressed store.
+    pub fn public_addresses_iter(&self) -> PublicAddresses<'_> {
+        PublicAddresses {
+            inner: match &self.store {
+                Store::Dense { loci, .. } => PublicAddressesInner::Dense(loci.iter()),
+                Store::Compressed { public, .. } => PublicAddressesInner::Compressed(public.iter()),
+            },
+        }
+    }
+
+    /// Which store backs this population: `"dense"` or `"compressed"`.
+    pub fn store_label(&self) -> &'static str {
+        match &self.store {
+            Store::Dense { .. } => "dense",
+            Store::Compressed { .. } => "compressed",
+        }
+    }
+
+    /// Heap bytes held by the store and its indices. Deterministic
+    /// (computed from capacities, no allocator probing) — the number
+    /// `BENCH_engine.json` records as `store_bytes`.
+    pub fn store_bytes(&self) -> usize {
+        let realm_bytes: usize = self.realm_index.values().map(IpMap::heap_bytes).sum();
+        let store = match &self.store {
+            Store::Dense {
+                loci,
+                public_index,
+                public_slash16,
+            } => {
+                loci.capacity() * std::mem::size_of::<Locus>()
+                    + public_index.heap_bytes()
+                    + std::mem::size_of_val(&**public_slash16)
+            }
+            Store::Compressed {
+                public,
+                private_loci,
+            } => {
+                public.heap_bytes() + private_loci.capacity() * std::mem::size_of::<(RealmId, Ip)>()
+            }
+        };
+        store + realm_bytes
+    }
+
+    /// What the same population would cost in the dense store: per-host
+    /// `Locus` records, the public hash index at its power-of-two table
+    /// size, and the flat /16 bitmap. The compressed-vs-dense memory
+    /// ratio in `BENCH_engine.json` is `store_bytes / this`.
+    pub fn dense_equivalent_bytes(&self) -> usize {
+        let realm_bytes: usize = self.realm_index.values().map(IpMap::heap_bytes).sum();
+        self.len() * std::mem::size_of::<Locus>()
+            + IpMap::table_bytes_for(self.len())
+            + std::mem::size_of::<[u64; 1024]>()
+            + realm_bytes
+    }
+}
+
+/// Non-allocating iterator over a population's public addresses,
+/// created by [`Population::public_addresses_iter`].
+#[derive(Debug, Clone)]
+pub struct PublicAddresses<'a> {
+    inner: PublicAddressesInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum PublicAddressesInner<'a> {
+    Dense(std::slice::Iter<'a, Locus>),
+    Compressed(HostSetIter<'a>),
+}
+
+impl Iterator for PublicAddresses<'_> {
+    type Item = Ip;
+
+    fn next(&mut self) -> Option<Ip> {
+        match &mut self.inner {
+            PublicAddressesInner::Dense(iter) => iter.find_map(|locus| match locus {
                 Locus::Public(ip) => Some(*ip),
                 Locus::Private { .. } => None,
-            })
-            .collect()
+            }),
+            PublicAddressesInner::Compressed(iter) => iter.next(),
+        }
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            PublicAddressesInner::Dense(iter) => (0, Some(iter.len())),
+            PublicAddressesInner::Compressed(iter) => iter.size_hint(),
+        }
+    }
+}
+
+/// Splits loci into the compressed store's canonical shape: sorted
+/// public addresses first, then private hosts in input order. Feeding
+/// the canonical shape to [`Population::from_loci`] (as
+/// `Locus::Public` entries followed by `Locus::Private`) and to
+/// [`Population::try_compressed_from_parts`] yields identical host-id
+/// assignments, which is what the cross-store bit-identity tests pin.
+pub fn canonical_parts(loci: &[Locus]) -> (Vec<Ip>, Vec<(RealmId, Ip)>) {
+    let mut public = Vec::new();
+    let mut private = Vec::new();
+    for locus in loci {
+        match *locus {
+            Locus::Public(ip) => public.push(ip),
+            Locus::Private { realm, ip } => private.push((realm, ip)),
+        }
+    }
+    public.sort_unstable();
+    (public, private)
 }
 
 /// Synthesizes a CodeRedII-style vulnerable population: `n` unique public
@@ -210,6 +530,108 @@ pub fn synthetic_codered_population<R: Rng + ?Sized>(
         out.insert(ip);
     }
     out.into_iter().collect()
+}
+
+/// Synthesizes an Internet-scale vulnerable population: `n` unique
+/// public addresses Zipf-distributed over `slash8s` /8 networks (Chen &
+/// Ji's measured shape: a handful of /8s hold most vulnerable hosts)
+/// with per-/16 clustering inside each /8.
+///
+/// Unlike [`synthetic_codered_population`] — which rejection-samples
+/// into a dedup set and stalls once a /8's chosen /16s approach
+/// saturation — this generator apportions counts up front (largest
+/// shares first, capacity-capped), sizes each /8's /16 count to keep
+/// fill below ~35%, and draws distinct host offsets by
+/// sampling-without-replacement. It is exact and O(n · log n), so it
+/// synthesizes 1M+ hosts in well under a second.
+///
+/// Returned addresses are globally routable, deduplicated by
+/// construction, and sorted ascending — exactly the canonical input
+/// [`Population::try_compressed_from_public`] wants.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `slash8s` is outside `1..=200`, or `n` exceeds
+/// the chosen /8s' total address capacity.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let pop = hotspots_sim::zipf_slash8_population(100_000, 47, &mut rng);
+/// assert_eq!(pop.len(), 100_000);
+/// assert!(pop.windows(2).all(|w| w[0] < w[1]));
+/// ```
+pub fn zipf_slash8_population<R: Rng + ?Sized>(n: usize, slash8s: usize, rng: &mut R) -> Vec<Ip> {
+    assert!(n > 0, "population size must be positive");
+    assert!((1..=200).contains(&slash8s), "slash8s out of range");
+
+    let mut first_octets: Vec<u8> = (1u8..224)
+        .filter(|&o| special::is_globally_routable(Ip::from_octets(o, 1, 0, 0)))
+        .collect();
+    first_octets.shuffle(rng);
+    first_octets.truncate(slash8s);
+    let slash8s = first_octets.len();
+
+    const SLASH8_CAP: usize = 256 * 65_536;
+    assert!(
+        n <= SLASH8_CAP * slash8s,
+        "{n} hosts exceed the capacity of {slash8s} /8s"
+    );
+
+    // Zipf apportionment over the /8s, capacity-capped, with the
+    // rounding remainder dealt round-robin (heaviest /8s first).
+    const ZIPF_EXPONENT: f64 = 1.9;
+    let weights: Vec<f64> = (0..slash8s)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(ZIPF_EXPONENT))
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut shares: Vec<usize> = weights
+        .iter()
+        .map(|w| (((n as f64) * w / total_weight) as usize).min(SLASH8_CAP))
+        .collect();
+    let mut assigned: usize = shares.iter().sum();
+    let mut i = 0usize;
+    while assigned < n {
+        if shares[i] < SLASH8_CAP {
+            shares[i] += 1;
+            assigned += 1;
+        }
+        i = (i + 1) % slash8s;
+    }
+
+    // Per-/16 clustering: enough /16s to keep fill below the load
+    // target (so distinct-offset sampling has room), at least 4 when
+    // the /8 holds enough hosts to spread.
+    const SLASH16_LOAD: f64 = 0.35;
+    let mut out: Vec<Ip> = Vec::with_capacity(n);
+    for (&octet, &share) in first_octets.iter().zip(&shares) {
+        if share == 0 {
+            continue;
+        }
+        let needed = ((share as f64) / (65_536.0 * SLASH16_LOAD)).ceil() as usize;
+        let slash16s = needed.clamp(4, 256).min(share);
+        let seconds = rand::seq::index::sample(rng, 256, slash16s);
+        let base = share / slash16s;
+        let extra = share % slash16s;
+        for (j, second) in seconds.iter().enumerate() {
+            let count = base + usize::from(j < extra);
+            if count == 0 {
+                continue;
+            }
+            for offset in rand::seq::index::sample(rng, 1 << 16, count).iter() {
+                out.push(Ip::from_octets(
+                    octet,
+                    second as u8,
+                    (offset >> 8) as u8,
+                    (offset & 0xff) as u8,
+                ));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
 }
 
 /// Synthesizes the CodeRedII vulnerable population calibrated to the
@@ -432,6 +854,118 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_addresses_are_typed_errors() {
+        let ip = Ip::from_octets(1, 2, 3, 4);
+        let err = Population::try_from_public([ip, ip]).unwrap_err();
+        assert_eq!(
+            err,
+            PopulationError::Duplicate {
+                locus: Locus::Public(ip)
+            }
+        );
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn compressed_store_requires_sorted_publics() {
+        let a = Ip::from_octets(9, 0, 0, 1);
+        let b = Ip::from_octets(9, 0, 0, 2);
+        assert!(Population::try_compressed_from_public(&[a, b]).is_ok());
+        let err = Population::try_compressed_from_public(&[b, a]).unwrap_err();
+        assert_eq!(err, PopulationError::UnsortedPublic { ip: a });
+        let err = Population::try_compressed_from_public(&[a, a]).unwrap_err();
+        assert!(matches!(err, PopulationError::Duplicate { .. }));
+    }
+
+    #[test]
+    fn compressed_store_lookups_match_dense() {
+        let addrs: Vec<Ip> = (0..500u32).map(|i| Ip::new(0x0b0b_0000 + i * 7)).collect();
+        let dense = Population::from_public(addrs.iter().copied());
+        let compressed = Population::try_compressed_from_public(&addrs).unwrap();
+        assert_eq!(compressed.store_label(), "compressed");
+        assert_eq!(dense.store_label(), "dense");
+        assert_eq!(dense.len(), compressed.len());
+        assert_eq!(dense.public_len(), compressed.public_len());
+        for (id, &ip) in addrs.iter().enumerate() {
+            assert_eq!(dense.find_public(ip), Some(id));
+            assert_eq!(compressed.find_public(ip), Some(id));
+            assert_eq!(dense.locus(id), compressed.locus(id));
+        }
+        assert_eq!(compressed.find_public(Ip::new(0x0b0b_0001)), None);
+    }
+
+    #[test]
+    fn compressed_store_with_private_hosts() {
+        let mut env = Environment::new();
+        let realm = env.add_realm(NatRealm::home_192_168(Ip::from_octets(9, 0, 0, 1)).unwrap());
+        let publics = [Ip::from_octets(9, 0, 0, 2), Ip::from_octets(9, 0, 0, 3)];
+        let private = Ip::from_octets(192, 168, 1, 1);
+        let pop = Population::try_compressed_from_parts(&publics, [(realm, private)]).unwrap();
+        assert_eq!(pop.len(), 3);
+        assert_eq!(pop.public_len(), 2);
+        assert_eq!(pop.find_private(realm, private), Some(2));
+        assert_eq!(pop.locus(2), Locus::Private { realm, ip: private });
+        // duplicate private in the same realm is a typed error
+        let err =
+            Population::try_compressed_from_parts(&publics, [(realm, private), (realm, private)])
+                .unwrap_err();
+        assert!(matches!(err, PopulationError::Duplicate { .. }));
+    }
+
+    #[test]
+    fn compressed_store_memory_is_far_below_dense() {
+        let addrs: Vec<Ip> = (0..100_000u32)
+            .map(|i| Ip::new(0x0b00_0000 + i * 11))
+            .collect();
+        let compressed = Population::try_compressed_from_public(&addrs).unwrap();
+        let dense = Population::from_public(addrs.iter().copied());
+        assert!(
+            compressed.store_bytes() * 4 <= compressed.dense_equivalent_bytes(),
+            "compressed {} vs dense-equivalent {}",
+            compressed.store_bytes(),
+            compressed.dense_equivalent_bytes()
+        );
+        // the analytic dense equivalent tracks the real dense store
+        let actual = dense.store_bytes() as f64;
+        let analytic = dense.dense_equivalent_bytes() as f64;
+        let ratio = analytic / actual;
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "analytic {analytic} vs actual {actual}"
+        );
+    }
+
+    #[test]
+    fn canonical_parts_sorts_publics_and_keeps_private_order() {
+        let mut env = Environment::new();
+        let realm = env.add_realm(NatRealm::home_192_168(Ip::from_octets(9, 0, 0, 1)).unwrap());
+        let loci = [
+            Locus::Public(Ip::from_octets(9, 0, 0, 5)),
+            Locus::Private {
+                realm,
+                ip: Ip::from_octets(192, 168, 0, 2),
+            },
+            Locus::Public(Ip::from_octets(9, 0, 0, 1)),
+            Locus::Private {
+                realm,
+                ip: Ip::from_octets(192, 168, 0, 1),
+            },
+        ];
+        let (public, private) = canonical_parts(&loci);
+        assert_eq!(
+            public,
+            vec![Ip::from_octets(9, 0, 0, 1), Ip::from_octets(9, 0, 0, 5)]
+        );
+        assert_eq!(
+            private,
+            vec![
+                (realm, Ip::from_octets(192, 168, 0, 2)),
+                (realm, Ip::from_octets(192, 168, 0, 1)),
+            ]
+        );
+    }
+
+    #[test]
     fn private_lookup_is_realm_scoped() {
         let mut env = Environment::new();
         let ra = env.add_realm(NatRealm::home_192_168(Ip::from_octets(7, 0, 0, 1)).unwrap());
@@ -473,6 +1007,48 @@ mod tests {
             (0.88..=0.99).contains(&share),
             "top-20 /8 share {share} outside the paper's ~94% ballpark"
         );
+    }
+
+    #[test]
+    fn zipf_population_is_sorted_unique_and_clustered() {
+        let mut rng = StdRng::seed_from_u64(2006);
+        let pop = zipf_slash8_population(200_000, 47, &mut rng);
+        assert_eq!(pop.len(), 200_000);
+        assert!(
+            pop.windows(2).all(|w| w[0] < w[1]),
+            "sorted and deduplicated by construction"
+        );
+        assert!(pop.iter().all(|&ip| special::is_globally_routable(ip)));
+        // Zipf over /8s: heavy concentration in the top blocks.
+        let mut per8: std::collections::BTreeMap<u8, u64> = std::collections::BTreeMap::new();
+        for &ip in &pop {
+            *per8.entry(ip.octets()[0]).or_insert(0) += 1;
+        }
+        assert!(per8.len() <= 47);
+        let mut counts: Vec<u64> = per8.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top5: u64 = counts.iter().take(5).sum();
+        assert!(
+            top5 as f64 / 200_000.0 > 0.80,
+            "Zipf 1.9 should concentrate the top-5 /8s, got {top5}"
+        );
+        // per-/16 clustering: hosts sit in few /16s relative to spread
+        let slash16s: std::collections::BTreeSet<u32> =
+            pop.iter().map(|ip| ip.value() >> 16).collect();
+        assert!(
+            slash16s.len() < 2_000,
+            "expected clustering, got {} /16s",
+            slash16s.len()
+        );
+    }
+
+    #[test]
+    fn zipf_population_feeds_the_compressed_store() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = zipf_slash8_population(50_000, 20, &mut rng);
+        let compressed = Population::try_compressed_from_public(&pop).unwrap();
+        assert_eq!(compressed.len(), 50_000);
+        assert_eq!(compressed.find_public(pop[499]), Some(499));
     }
 
     #[test]
@@ -570,8 +1146,83 @@ mod tests {
         assert_eq!(subs[0].to_string(), "10.1.0.0/16");
     }
 
+    proptest::proptest! {
+        /// Satellite coverage: the dense and compressed stores agree on
+        /// `find_public` / `find_private` / `locus` for arbitrary mixed
+        /// populations, and rank ids round-trip through the /8→/16→/24
+        /// hierarchy (`select(find(ip)) == ip`).
+        #[test]
+        fn stores_agree_for_arbitrary_populations(
+            raw in proptest::collection::vec(proptest::prelude::any::<u32>(), 1..400)
+        ) {
+            use proptest::prop_assert_eq;
+            use std::collections::BTreeSet;
+
+            let values: BTreeSet<u32> = raw.into_iter().collect();
+            let mut env = Environment::new();
+            let ra = env.add_realm(
+                NatRealm::home_192_168(Ip::from_octets(7, 0, 0, 1)).unwrap(),
+            );
+            let rb = env.add_realm(
+                NatRealm::home_192_168(Ip::from_octets(7, 0, 0, 2)).unwrap(),
+            );
+            let mut public: BTreeSet<Ip> = BTreeSet::new();
+            let mut private: Vec<(RealmId, Ip)> = Vec::new();
+            let mut seen_private: BTreeSet<(RealmId, Ip)> = BTreeSet::new();
+            for (i, &v) in values.iter().enumerate() {
+                if i % 3 == 0 {
+                    let realm = if i % 2 == 0 { ra } else { rb };
+                    let ip = Ip::from_octets(192, 168, (v >> 8) as u8, v as u8);
+                    if seen_private.insert((realm, ip)) {
+                        private.push((realm, ip));
+                    }
+                } else {
+                    // scatter publics across several /8s and /16s
+                    public.insert(Ip::new(0x0900_0000 | (v & 0x03ff_ffff)));
+                }
+            }
+            let public: Vec<Ip> = public.into_iter().collect();
+            let loci: Vec<Locus> = public
+                .iter()
+                .copied()
+                .map(Locus::Public)
+                .chain(private.iter().map(|&(realm, ip)| Locus::Private { realm, ip }))
+                .collect();
+            let dense = Population::try_from_loci(loci.iter().copied()).unwrap();
+            let compressed =
+                Population::try_compressed_from_parts(&public, private.iter().copied()).unwrap();
+            prop_assert_eq!(dense.len(), compressed.len());
+            prop_assert_eq!(dense.public_len(), compressed.public_len());
+            for (id, &ip) in public.iter().enumerate() {
+                prop_assert_eq!(dense.find_public(ip), Some(id));
+                prop_assert_eq!(compressed.find_public(ip), Some(id));
+                // rank id round-trips through the hierarchy
+                prop_assert_eq!(compressed.locus(id), Locus::Public(ip));
+                prop_assert_eq!(dense.locus(id), compressed.locus(id));
+            }
+            for (i, &(realm, ip)) in private.iter().enumerate() {
+                let id = public.len() + i;
+                prop_assert_eq!(dense.find_private(realm, ip), Some(id));
+                prop_assert_eq!(compressed.find_private(realm, ip), Some(id));
+                prop_assert_eq!(dense.locus(id), compressed.locus(id));
+                // private addresses never resolve as public
+                prop_assert_eq!(dense.find_public(ip), compressed.find_public(ip));
+            }
+            // probes that miss the population agree across stores too
+            for &v in values.iter().take(64) {
+                let probe = Ip::new(0x0d00_0000 | (v & 0x00ff_ffff));
+                prop_assert_eq!(dense.find_public(probe), compressed.find_public(probe));
+            }
+            // both stores iterate the same public addresses
+            let dense_iter: Vec<Ip> = dense.public_addresses_iter().collect();
+            let compressed_iter: Vec<Ip> = compressed.public_addresses_iter().collect();
+            prop_assert_eq!(dense_iter, public.clone());
+            prop_assert_eq!(compressed_iter, public);
+        }
+    }
+
     #[test]
-    fn population_public_addresses_filters_private() {
+    fn public_addresses_iter_filters_private_without_allocating() {
         let mut env = Environment::new();
         let realm = env.add_realm(NatRealm::home_192_168(Ip::from_octets(9, 0, 0, 1)).unwrap());
         let pop = Population::from_loci([
@@ -580,7 +1231,20 @@ mod tests {
                 realm,
                 ip: Ip::from_octets(192, 168, 0, 1),
             },
+            Locus::Public(Ip::from_octets(2, 2, 2, 2)),
         ]);
-        assert_eq!(pop.public_addresses(), vec![Ip::from_octets(1, 1, 1, 1)]);
+        let publics: Vec<Ip> = pop.public_addresses_iter().collect();
+        assert_eq!(
+            publics,
+            vec![Ip::from_octets(1, 1, 1, 1), Ip::from_octets(2, 2, 2, 2)]
+        );
+        // compressed store iterates in rank order
+        let compressed = Population::try_compressed_from_parts(
+            &[Ip::from_octets(1, 1, 1, 1), Ip::from_octets(2, 2, 2, 2)],
+            [(realm, Ip::from_octets(192, 168, 0, 1))],
+        )
+        .unwrap();
+        let ranks: Vec<Ip> = compressed.public_addresses_iter().collect();
+        assert_eq!(ranks, publics);
     }
 }

@@ -19,6 +19,24 @@ pub struct ScalingPoint {
     pub phase_breakdown: Vec<(String, f64)>,
 }
 
+/// Population memory accounting for a benchmark run — how many hosts
+/// the workload held, which store backed them, and what that cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Vulnerable host count.
+    pub hosts: u64,
+    /// Population store label: `"dense"` or `"compressed"`.
+    pub store: String,
+    /// Heap bytes held by the population store and its indices.
+    pub store_bytes: u64,
+    /// What the same population would cost in the dense store (the
+    /// compressed-vs-dense ratio is `store_bytes / dense_store_bytes`).
+    pub dense_store_bytes: u64,
+    /// Process resident set (`VmRSS`) after the run, when the platform
+    /// exposes it.
+    pub resident_bytes: Option<u64>,
+}
+
 /// The whole benchmark file: workload identity, a seed baseline for
 /// historical comparison, and the scaling curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +52,8 @@ pub struct BenchSummary {
     /// forward from file to file so the headline speedup stays
     /// comparable across PRs. `None` when no baseline was ever taken.
     pub seed_probes_per_sec: Option<f64>,
+    /// Population memory accounting, when the harness measured it.
+    pub memory: Option<MemoryStats>,
     /// The scaling curve, ascending thread counts.
     pub scaling: Vec<ScalingPoint>,
 }
@@ -65,8 +85,15 @@ impl BenchSummary {
             probes,
             serial_probes_per_sec: serial,
             seed_probes_per_sec,
+            memory: None,
             scaling: points,
         }
+    }
+
+    /// Attaches population memory accounting.
+    pub fn with_memory(mut self, memory: MemoryStats) -> BenchSummary {
+        self.memory = Some(memory);
+        self
     }
 
     /// Serial speedup over the seed baseline, if one is recorded.
@@ -93,6 +120,21 @@ impl BenchSummary {
                 out.push_str(",\"serial_speedup_vs_seed\":");
                 json::write_f64(&mut out, (speedup * 1000.0).round() / 1000.0);
             }
+        }
+        if let Some(mem) = &self.memory {
+            out.push_str(",\"memory\":{\"hosts\":");
+            out.push_str(&mem.hosts.to_string());
+            out.push_str(",\"store\":");
+            json::write_str(&mut out, &mem.store);
+            out.push_str(",\"store_bytes\":");
+            out.push_str(&mem.store_bytes.to_string());
+            out.push_str(",\"dense_store_bytes\":");
+            out.push_str(&mem.dense_store_bytes.to_string());
+            if let Some(rss) = mem.resident_bytes {
+                out.push_str(",\"resident_bytes\":");
+                out.push_str(&rss.to_string());
+            }
+            out.push('}');
         }
         out.push_str(",\"scaling\":[");
         for (i, point) in self.scaling.iter().enumerate() {
@@ -144,6 +186,29 @@ impl BenchSummary {
             .and_then(Json::as_f64)
             .ok_or("missing serial_probes_per_sec")?;
         let seed = root.get("seed_probes_per_sec").and_then(Json::as_f64);
+        let memory = match root.get("memory") {
+            Some(mem) => Some(MemoryStats {
+                hosts: mem
+                    .get("hosts")
+                    .and_then(Json::as_u64)
+                    .ok_or("memory missing hosts")?,
+                store: mem
+                    .get("store")
+                    .and_then(Json::as_str)
+                    .ok_or("memory missing store")?
+                    .to_owned(),
+                store_bytes: mem
+                    .get("store_bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or("memory missing store_bytes")?,
+                dense_store_bytes: mem
+                    .get("dense_store_bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or("memory missing dense_store_bytes")?,
+                resident_bytes: mem.get("resident_bytes").and_then(Json::as_u64),
+            }),
+            None => None,
+        };
         let mut scaling = Vec::new();
         if let Some(Json::Arr(points)) = root.get("scaling") {
             for point in points {
@@ -176,6 +241,7 @@ impl BenchSummary {
             probes,
             serial_probes_per_sec: serial,
             seed_probes_per_sec: seed,
+            memory,
             scaling,
         })
     }
@@ -242,6 +308,31 @@ mod tests {
         let parsed = BenchSummary::from_json(legacy).unwrap();
         assert_eq!(parsed.seed_probes_per_sec, Some(72_045_308.0));
         assert!(parsed.scaling.is_empty());
+    }
+
+    #[test]
+    fn memory_stats_round_trip() {
+        let summary = sample().with_memory(MemoryStats {
+            hosts: 1_050_000,
+            store: "compressed".to_owned(),
+            store_bytes: 1_100_000,
+            dense_store_bytes: 45_000_000,
+            resident_bytes: Some(80_000_000),
+        });
+        let text = summary.to_json();
+        let back = BenchSummary::from_json(&text).unwrap();
+        let mem = back.memory.unwrap();
+        assert_eq!(mem.hosts, 1_050_000);
+        assert_eq!(mem.store, "compressed");
+        assert_eq!(mem.store_bytes, 1_100_000);
+        assert_eq!(mem.dense_store_bytes, 45_000_000);
+        assert_eq!(mem.resident_bytes, Some(80_000_000));
+        // files without the memory block still parse
+        assert!(sample().memory.is_none());
+        assert!(BenchSummary::from_json(&sample().to_json())
+            .unwrap()
+            .memory
+            .is_none());
     }
 
     #[test]

@@ -40,12 +40,14 @@
 
 pub mod bench;
 pub mod json;
+mod memory;
 mod metrics;
 mod report;
 mod sink;
 mod trace;
 
-pub use bench::{BenchSummary, ScalingPoint};
+pub use bench::{BenchSummary, MemoryStats, ScalingPoint};
+pub use memory::resident_bytes;
 pub use metrics::{Counter, Histogram, PhaseTimes, Timer};
 pub use report::{EmitError, ReportBuilder, RunReport, RUN_REPORT_ENV};
 pub use sink::{Event, JsonlSink, MemorySink, NullSink, Sink, Value};
