@@ -19,7 +19,7 @@ use hotspots_experiments::{
     banner, find_preset, presets, print_table, render, run_spec, HotspotsError, Outcome,
     RunContext, Scale,
 };
-use hotspots_scenario::cli::{parse_flags, usage, FlagSpec, ParsedArgs};
+use hotspots_scenario::cli::{parse_flags, usage, ArgError, FlagSpec, ParsedArgs};
 use hotspots_scenario::value::Value;
 use hotspots_scenario::{ScenarioSpec, RUN_REPORT_ENV};
 use hotspots_telemetry::{BenchSummary, MemoryStats, ScalingPoint};
@@ -61,7 +61,7 @@ fn flags() -> Vec<FlagSpec> {
             short: None,
             takes_value: true,
             repeatable: false,
-            help: "worker threads (default: the spec / all cores)",
+            help: "worker threads; 0 = auto (default: the spec / all cores)",
         },
         FlagSpec {
             name: "report",
@@ -147,9 +147,11 @@ fn main() {
         Ok(scale) => scale,
         Err(e) => die(&e.to_string()),
     };
+    // 0 is legal: auto, resolved to available parallelism at run time
+    // (the run report records what it resolved to).
     let threads = parsed.value("threads").map(|t| match t.parse::<usize>() {
-        Ok(n) if n >= 1 => n,
-        _ => die("--threads needs a positive integer"),
+        Ok(n) => n,
+        _ => die("--threads needs a non-negative integer (0 = auto)"),
     });
 
     match parsed.positional[0].as_str() {
@@ -356,6 +358,28 @@ fn write_artifact(path: &str, contents: &str) {
     }
 }
 
+/// Parses `--scaling`'s comma-separated thread counts. Duplicates are
+/// skipped (first occurrence wins — profiling the same count twice
+/// would only overwrite its own artifacts); malformed entries reject
+/// the whole list with a typed [`HotspotsError::Args`], so the exit
+/// code says "fix the invocation".
+fn parse_scaling(list: &str) -> Result<Vec<usize>, HotspotsError> {
+    let mut counts: Vec<usize> = Vec::new();
+    for part in list.split(',') {
+        let n = part.trim().parse::<usize>().ok().filter(|&n| n >= 1);
+        let Some(n) = n else {
+            return Err(HotspotsError::Args(ArgError::new(format!(
+                "--scaling needs comma-separated positive thread counts, \
+                 e.g. 1,2,4,8 (rejected {part:?} in {list:?})"
+            ))));
+        };
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    Ok(counts)
+}
+
 fn cmd_profile(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
     let [_, target] = &parsed.positional[..] else {
         die("profile takes exactly one target: a preset name or spec file");
@@ -368,13 +392,10 @@ fn cmd_profile(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
         ));
     }
     let counts: Vec<usize> = match parsed.value("scaling") {
-        Some(list) => list
-            .split(',')
-            .map(|part| match part.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => n,
-                _ => die("--scaling needs comma-separated positive thread counts, e.g. 1,2,4,8"),
-            })
-            .collect(),
+        Some(list) => match parse_scaling(list) {
+            Ok(counts) => counts,
+            Err(e) => fail(&e),
+        },
         None => vec![threads.unwrap_or_else(|| spec.sim.threads.max(1) as usize)],
     };
     if counts.iter().any(|&t| t > 1) && !cfg!(feature = "parallel") {
@@ -554,6 +575,27 @@ fn cmd_sweep(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
                 Err(e) => fail(&e),
             }
             println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_lists_dedupe_in_first_seen_order() {
+        assert_eq!(parse_scaling("1,2,4,8").unwrap(), [1, 2, 4, 8]);
+        assert_eq!(parse_scaling("4,1,4,2,1").unwrap(), [4, 1, 2]);
+        assert_eq!(parse_scaling(" 2 , 2 ").unwrap(), [2]);
+    }
+
+    #[test]
+    fn malformed_scaling_lists_are_typed_usage_errors() {
+        for bad in ["1,,4", "", "0", "1,0", "one", "2,4,"] {
+            let err = parse_scaling(bad).expect_err(bad);
+            assert!(matches!(err, HotspotsError::Args(_)), "{bad}: {err}");
+            assert_eq!(err.exit_code(), 2, "{bad}");
         }
     }
 }

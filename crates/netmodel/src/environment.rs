@@ -356,9 +356,39 @@ impl Environment {
         };
         let public_src = from.public_source(self);
         // All probes in a batch share one simulation step, so the fault
-        // schedule resolves once; an inert view keeps the no-fault path
-        // at one boolean test per probe.
+        // schedule resolves once and its inertness is one hoisted bool,
+        // not a per-probe (let alone per-arm) method call.
         let faults = self.faults.view_at(time);
+        let faulted = !faults.is_inert();
+
+        // Fast lane: a public sender in a clean environment (no active
+        // faults, no filter rules, no loss) can only produce two
+        // verdicts — `Public` for globally routable targets, unroutable
+        // drops for the rest. That collapses the whole eight-step chain
+        // into one branch-free routability test per probe plus a bulk
+        // ledger update, and consumes no RNG (matching the scalar path,
+        // where `LossModel::drops` short-circuits at rate 0).
+        if !faulted
+            && sender_realm.is_none()
+            && self.filters.rules().is_empty()
+            && self.loss.rate() <= 0.0
+        {
+            let mut delivered = 0u64;
+            // TrustedLen extend: one reserve for the whole slice, then
+            // streaming verdict writes with no per-probe capacity check.
+            out.extend(targets.iter().map(|&to| {
+                let ok = special::is_globally_routable(to);
+                delivered += u64::from(ok);
+                if ok {
+                    Delivery::Public(to)
+                } else {
+                    Delivery::Dropped(DropReason::UnroutableDestination)
+                }
+            }));
+            ledger.record_clean_sweep(targets.len() as u64, delivered);
+            return;
+        }
+
         for &to in targets {
             let verdict = if special::is_private(to) {
                 // 1. Private destinations resolve only within the
@@ -372,19 +402,19 @@ impl Environment {
             } else if !special::is_globally_routable(to) {
                 // 2. Other non-routable space never leaves the first router.
                 Delivery::Dropped(DropReason::UnroutableDestination)
-            } else if !faults.is_inert() && faults.blackholed(public_src, to) {
+            } else if faulted && faults.blackholed(public_src, to) {
                 // 3. Scheduled upstream faults precede border policy.
                 Delivery::Dropped(DropReason::UpstreamBlackhole)
-            } else if !faults.is_inert() && faults.outage(to) {
+            } else if faulted && faults.outage(to) {
                 Delivery::Dropped(DropReason::SensorOutage)
             } else if let Some(reason) = self.filters.check(public_src, to, service) {
                 // 4./5. Policy, applied to the packet as seen on the
                 // public path.
                 Delivery::Dropped(reason)
-            } else if !faults.is_inert() && faults.flapped(public_src, to, service) {
+            } else if faulted && faults.flapped(public_src, to, service) {
                 // 6. Flapping rules act as policy while on.
                 Delivery::Dropped(DropReason::FilterFlap)
-            } else if !faults.is_inert()
+            } else if faulted
                 && faults
                     .degraded(public_src, to)
                     .is_some_and(|rate| rng.gen::<f64>() < rate)
@@ -756,6 +786,48 @@ mod tests {
                         rand::Rng::gen::<u64>(&mut batch_rng)
                     );
                 }
+            }
+
+            #[test]
+            fn route_batch_fast_lane_matches_scalar_route(
+                src in any::<u32>(),
+                dsts in proptest::collection::vec(any::<u32>(), 0..128),
+            ) {
+                // The clean-environment fast lane (public sender, no
+                // faults/filters/loss) must agree with the scalar router
+                // verdict-for-verdict and in the ledger, and like the
+                // scalar path it must consume no RNG.
+                let env = Environment::new();
+                let from = Locus::Public(Ip::new(src));
+                let targets: Vec<Ip> = dsts.iter().copied().map(Ip::new).collect();
+                let mut scalar_rng = StdRng::seed_from_u64(4);
+                let mut batch_rng = StdRng::seed_from_u64(4);
+                let mut scalar_ledger = crate::ledger::DeliveryLedger::new();
+                let scalar: Vec<Delivery> = targets
+                    .iter()
+                    .map(|&to| {
+                        let v = env.route(from, to, Service::SLAMMER_SQL, 0.0, &mut scalar_rng);
+                        scalar_ledger.record(v);
+                        v
+                    })
+                    .collect();
+                let mut batch = Vec::new();
+                let mut batch_ledger = crate::ledger::DeliveryLedger::new();
+                env.route_batch(
+                    from,
+                    &targets,
+                    Service::SLAMMER_SQL,
+                    0.0,
+                    &mut batch_rng,
+                    &mut batch,
+                    &mut batch_ledger,
+                );
+                prop_assert_eq!(&batch, &scalar);
+                prop_assert_eq!(batch_ledger, scalar_ledger);
+                prop_assert_eq!(
+                    rand::Rng::gen::<u64>(&mut scalar_rng),
+                    rand::Rng::gen::<u64>(&mut batch_rng)
+                );
             }
 
             #[test]

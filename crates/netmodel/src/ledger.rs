@@ -49,6 +49,23 @@ impl DeliveryLedger {
         }
     }
 
+    /// Files the verdicts of a clean public sweep in bulk: `delivered`
+    /// public deliveries plus `total - delivered` unroutable-destination
+    /// drops, exactly as `total` calls to [`DeliveryLedger::record`]
+    /// would. This is the accounting half of the batch router's fast
+    /// lane, where those are the only two verdicts possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delivered > total` — that would fabricate probes.
+    #[inline]
+    pub fn record_clean_sweep(&mut self, total: u64, delivered: u64) {
+        assert!(delivered <= total, "delivered exceeds probes");
+        self.probes += total;
+        self.delivered_public += delivered;
+        self.drops[DropReason::UnroutableDestination.index()] += total - delivered;
+    }
+
     /// Folds another ledger into this one.
     pub fn merge(&mut self, other: &DeliveryLedger) {
         self.probes += other.probes;

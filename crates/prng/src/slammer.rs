@@ -133,6 +133,25 @@ impl SlammerPrng {
     pub fn next_target(&mut self) -> Ip {
         Ip::from_le_state(self.lcg.step())
     }
+
+    /// Appends the next `n` target addresses to `out`, bit-identical to
+    /// `n` calls to [`next_target`](SlammerPrng::next_target).
+    ///
+    /// States come from the [`Lcg32`] jump-ahead lane kernel in chunks;
+    /// the state→address map is a byte swap, so the whole path is
+    /// branch-free per chunk.
+    pub fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
+        const CHUNK: usize = 256;
+        let mut states = [0u32; CHUNK];
+        out.reserve(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK);
+            self.lcg.fill_states(&mut states[..take]);
+            out.extend(states[..take].iter().map(|&s| Ip::from_le_state(s)));
+            remaining -= take;
+        }
+    }
 }
 
 impl Prng32 for SlammerPrng {

@@ -170,6 +170,15 @@ impl ParsedArgs {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArgError(String);
 
+impl ArgError {
+    /// An argument-rejection error with the given message. Front-ends
+    /// use this to report flag *values* they reject (the parser itself
+    /// only rejects flag *shapes*) through the same typed exit path.
+    pub fn new(message: impl Into<String>) -> ArgError {
+        ArgError(message.into())
+    }
+}
+
 impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.0)

@@ -39,7 +39,7 @@ use hotspots_telescope::{DetectorField, SensorMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::build::{spec_u32, spec_usize};
+use crate::build::{resolve_threads, spec_u32, spec_usize};
 use crate::error::HotspotsError;
 use crate::spec::{parse_ip, DetectionParams, ScenarioSpec, SpecError, StudySpec};
 
@@ -51,7 +51,9 @@ pub struct RunContext {
     pub binary: String,
     /// Worker threads: overrides `sim.threads` on the engine path and
     /// the sweep pool size on the study path. `None` = the spec's value
-    /// (engine) / all cores (sweeps).
+    /// (engine) / all cores (sweeps). `Some(0)` = auto: resolve to the
+    /// machine's available parallelism and record the resolved count in
+    /// the report.
     pub threads: Option<usize>,
     /// Force span tracing on for engine runs (as if the spec had
     /// `sim.trace = true`). Used by `hotspots profile`.
@@ -68,7 +70,7 @@ impl RunContext {
         }
     }
 
-    /// Overrides the worker-thread count.
+    /// Overrides the worker-thread count (`0` = auto).
     pub fn with_threads(mut self, threads: usize) -> RunContext {
         self.threads = Some(threads);
         self
@@ -421,8 +423,9 @@ pub fn run_spec(spec: &ScenarioSpec, ctx: &RunContext) -> Result<ScenarioRun, Ho
         report.config("scale", scale);
     }
     let runset = match ctx.threads {
+        // 0 = auto, same as no override: all cores.
+        Some(0) | None => RunSet::new(),
         Some(t) => RunSet::with_threads(t),
-        None => RunSet::new(),
     };
     let outcome = match &spec.study {
         None => run_engine(spec, ctx, &mut report)?,
@@ -437,8 +440,14 @@ fn run_engine(
     report: &mut ReportBuilder,
 ) -> Result<Outcome, HotspotsError> {
     let mut built = spec.build()?;
+    // `threads = 0` (spec or context) means auto. `build()` already
+    // resolved a spec-level 0, so the engine only ever sees a concrete
+    // count; remember the resolution so the report can record what
+    // actually ran (a report must replay without re-querying the host).
+    let mut auto_threads = (spec.sim.threads == 0).then_some(built.config.threads);
     if let Some(threads) = ctx.threads {
-        built.config.threads = threads;
+        built.config.threads = resolve_threads(threads);
+        auto_threads = (threads == 0).then_some(built.config.threads);
     }
     if ctx.trace {
         built.config.trace = true;
@@ -450,6 +459,12 @@ fn run_engine(
         .config("seeds", built.config.seeds)
         .config("max_time", built.config.max_time)
         .config("rng_seed", built.config.rng_seed);
+    if let Some(resolved) = auto_threads {
+        // Recorded only when auto-resolved: explicit thread counts are
+        // a pure throughput knob and keep reports byte-stable across
+        // machines, but an auto run must disclose what it resolved to.
+        report.config("threads", resolved);
+    }
     if let Some(det) = &built.detector {
         report.config("sensors", det.len());
     }
@@ -1052,6 +1067,45 @@ mod tests {
             assert_eq!(report.infections, base.infections);
             assert_eq!(report.config, base.config);
         }
+    }
+
+    #[test]
+    fn auto_threads_records_resolved_count() {
+        // threads = 0 (spec or CLI override) resolves to the machine's
+        // available parallelism, and the report must disclose the
+        // resolved count — never the 0 sentinel. Explicit counts record
+        // nothing, keeping reports byte-stable across machines.
+        let threads_entry = |report: &hotspots_telemetry::RunReport| {
+            report
+                .config
+                .iter()
+                .find(|(k, _)| k == "threads")
+                .map(|(_, v)| v.clone())
+        };
+        let spec = tiny_engine_spec();
+        let base = run_spec(&spec, &RunContext::new("t"))
+            .expect("runs")
+            .report
+            .build();
+        assert_eq!(threads_entry(&base), None);
+
+        let auto = run_spec(&spec, &RunContext::new("t").with_threads(0))
+            .expect("runs")
+            .report
+            .build();
+        let resolved = threads_entry(&auto).expect("auto run records threads");
+        assert!(resolved.parse::<usize>().expect("count") >= 1);
+        assert_eq!(auto.probes_sent, base.probes_sent);
+        assert_eq!(auto.infections, base.infections);
+
+        let mut spec_auto = tiny_engine_spec();
+        spec_auto.sim.threads = 0;
+        let from_spec = run_spec(&spec_auto, &RunContext::new("t"))
+            .expect("runs")
+            .report
+            .build();
+        assert_eq!(threads_entry(&from_spec), Some(resolved));
+        assert_eq!(from_spec.probes_sent, base.probes_sent);
     }
 
     #[test]

@@ -302,7 +302,9 @@ pub struct SimSpec {
     pub removal_rate: f64,
     /// Master seed.
     pub rng_seed: u64,
-    /// Probe-phase worker threads.
+    /// Probe-phase worker threads. `0` means auto: resolve to the
+    /// machine's available parallelism at build time (the run report
+    /// records the resolved count, never the `0`).
     pub threads: u64,
     /// Record a span trace of the run (inert unless the engine build
     /// has the `telemetry` feature). Off by default; `hotspots
@@ -1942,9 +1944,8 @@ fn validate_sim(sim: &SimSpec) -> Result<(), SpecError> {
     if sim.removal_rate < 0.0 || !sim.removal_rate.is_finite() {
         return Err(SpecError::new("sim.removal_rate", "must be non-negative"));
     }
-    if sim.threads == 0 {
-        return Err(SpecError::new("sim.threads", "must be at least 1"));
-    }
+    // sim.threads = 0 is legal: "auto", resolved to the machine's
+    // available parallelism when the engine config is built.
     Ok(())
 }
 
@@ -2159,6 +2160,21 @@ mod tests {
             let back = ScenarioSpec::from_toml(&toml).expect("parses");
             assert_eq!(spec, back, "TOML:\n{toml}");
         }
+    }
+
+    #[test]
+    fn auto_threads_spec_round_trips() {
+        // sim.threads = 0 is the "auto" sentinel: it must validate and
+        // survive serialization as the literal 0 — resolution to a
+        // concrete count happens at build time, never in the spec.
+        let mut spec = engine_spec();
+        spec.sim.threads = 0;
+        spec.validate().expect("0 = auto is valid");
+        let back = ScenarioSpec::from_toml(&spec.to_toml()).expect("parses");
+        assert_eq!(back.sim.threads, 0);
+        assert_eq!(spec, back);
+        let back = ScenarioSpec::from_json(&spec.to_json()).expect("parses");
+        assert_eq!(back.sim.threads, 0);
     }
 
     #[test]

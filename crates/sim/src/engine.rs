@@ -2,15 +2,14 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 #[cfg(feature = "telemetry")]
 use std::time::{Duration, Instant};
 
-use hotspots_ipspace::Ip;
-use hotspots_netmodel::{Delivery, DeliveryLedger, Environment, Locus, Service};
+use hotspots_netmodel::{DeliveryLedger, Environment};
 use hotspots_prng::SplitMix;
 use hotspots_stats::TimeSeries;
-use hotspots_targeting::TargetGenerator;
 #[cfg(feature = "telemetry")]
 use hotspots_telemetry::{Histogram, PhaseTimes, TraceSink};
 use rand::rngs::StdRng;
@@ -18,6 +17,7 @@ use rand::seq::index::sample;
 use rand::{Rng, SeedableRng};
 
 use crate::bitset::HostBits;
+use crate::executor::{InfectedHost, ShardExecutor, StepCtx, StepPipeline};
 use crate::observers::SimObserver;
 use crate::population::Population;
 use crate::worms::WormModel;
@@ -53,10 +53,11 @@ pub struct SimConfig {
     pub rng_seed: u64,
     /// Worker threads for the probe phase. `1` (the default) runs the
     /// staged pipeline serially; larger values shard active hosts across
-    /// scoped threads when the `parallel` cargo feature is enabled
-    /// (without it, any value runs serially). Every RNG stream is keyed
-    /// by host id and shard results merge in fixed order, so this is a
-    /// pure throughput knob: results are bit-identical at any setting.
+    /// a persistent [`ShardExecutor`] pool when the `parallel` cargo
+    /// feature is enabled (without it, any value runs serially). Every
+    /// RNG stream is keyed by host id and shard results merge in fixed
+    /// order, so this is a pure throughput knob: results are
+    /// bit-identical at any setting.
     pub threads: usize,
     /// Record a span trace of the run (run → step → phase spans with
     /// per-shard attribution) into [`EngineTelemetry::trace`]. Without
@@ -116,7 +117,10 @@ pub struct EngineTelemetry {
     /// prime suspect for parallel slowdown). Together they cover the
     /// whole probe path. With the `parallel` feature and `threads > 1`,
     /// the first three sum across worker threads (CPU time, not wall
-    /// time); `observe` and `merge` are always serial wall time.
+    /// time); `observe` and `merge` are always serial wall time. Runs
+    /// that actually dispatched shards to pool workers also report
+    /// `park` (worker idle time between jobs) and `wake`
+    /// (dispatch-to-pickup latency); effectively serial runs omit both.
     pub phases: PhaseTimes,
     /// Per-step wall time in microseconds, log-bucketed.
     pub step_micros: Histogram,
@@ -186,151 +190,6 @@ fn derive_seed(master: u64, salt: u64, counter: u64) -> u64 {
     mix.next_u64()
 }
 
-struct InfectedHost {
-    id: usize,
-    locus: Locus,
-    /// Source address as seen on the public wire (constant per host,
-    /// hoisted out of the probe loop).
-    public_src: Ip,
-    generator: Box<dyn TargetGenerator + Send>,
-    /// This host's private stream (rate dispersion, removal, loss
-    /// draws). Keyed by host id only, never by infection order.
-    rng: StdRng,
-    probes_per_step: f64,
-    probe_credit: f64,
-}
-
-/// Reusable per-shard scratch for one step of the staged probe pipeline.
-struct ProbeBatch {
-    targets: Vec<Ip>,
-    deliveries: Vec<Delivery>,
-    probes: Vec<(Ip, Delivery)>,
-    candidates: Vec<usize>,
-    ledger: DeliveryLedger,
-    #[cfg(feature = "telemetry")]
-    target_gen: Duration,
-    #[cfg(feature = "telemetry")]
-    routing: Duration,
-    #[cfg(feature = "telemetry")]
-    lookup: Duration,
-}
-
-impl ProbeBatch {
-    fn new() -> ProbeBatch {
-        ProbeBatch {
-            targets: Vec::new(),
-            deliveries: Vec::new(),
-            probes: Vec::new(),
-            candidates: Vec::new(),
-            ledger: DeliveryLedger::new(),
-            #[cfg(feature = "telemetry")]
-            target_gen: Duration::ZERO,
-            #[cfg(feature = "telemetry")]
-            routing: Duration::ZERO,
-            #[cfg(feature = "telemetry")]
-            lookup: Duration::ZERO,
-        }
-    }
-}
-
-/// Read-only state shared by every shard during one step's probe phase.
-/// Shards see the start-of-step infection flags; duplicate infection
-/// candidates are collapsed at the serial merge.
-struct ShardCtx<'a> {
-    env: &'a Environment,
-    population: &'a Population,
-    service: Service,
-    /// The step's simulation time, set serially before shards fan out —
-    /// every shard routes against the same fault-schedule instant.
-    time: f64,
-    infected: &'a HostBits,
-    removed: &'a HostBits,
-    pending: &'a HostBits,
-}
-
-/// Drives one shard of active hosts through the target-gen → routing →
-/// victim-lookup stages, accumulating results in the shard's scratch
-/// batch. Touches only its own hosts and batch, so shards run on
-/// independent threads without synchronization.
-fn drive_shard(ctx: &ShardCtx<'_>, hosts: &mut [InfectedHost], batch: &mut ProbeBatch) {
-    for host in hosts {
-        host.probe_credit += host.probes_per_step;
-        let burst = host.probe_credit as usize;
-        if burst == 0 {
-            continue;
-        }
-        host.probe_credit -= burst as f64;
-
-        #[cfg(feature = "telemetry")]
-        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
-        let t0 = Instant::now();
-        batch.targets.clear();
-        host.generator.fill_targets(burst, &mut batch.targets);
-        #[cfg(feature = "telemetry")]
-        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
-        let t1 = Instant::now();
-        batch.deliveries.clear();
-        ctx.env.route_batch(
-            host.locus,
-            &batch.targets,
-            ctx.service,
-            ctx.time,
-            &mut host.rng,
-            &mut batch.deliveries,
-            &mut batch.ledger,
-        );
-        #[cfg(feature = "telemetry")]
-        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
-        let t2 = Instant::now();
-        for &delivery in &batch.deliveries {
-            let victim = match delivery {
-                Delivery::Public(ip) => ctx.population.find_public(ip),
-                Delivery::Local { realm, ip } => ctx.population.find_private(realm, ip),
-                Delivery::Dropped(_) => None,
-            };
-            if let Some(v) = victim {
-                if !ctx.infected.get(v) && !ctx.removed.get(v) && !ctx.pending.get(v) {
-                    batch.candidates.push(v);
-                }
-            }
-            batch.probes.push((host.public_src, delivery));
-        }
-        #[cfg(feature = "telemetry")]
-        {
-            batch.target_gen += t1 - t0;
-            batch.routing += t2 - t1;
-            batch.lookup += t2.elapsed();
-        }
-    }
-}
-
-/// Runs the probe stages over all active hosts and returns how many
-/// scratch batches were filled. Shards are contiguous chunks of `active`
-/// and merge in chunk order, so the concatenated probe/candidate
-/// sequence is identical whether one thread ran or many.
-fn run_shards(
-    ctx: &ShardCtx<'_>,
-    active: &mut [InfectedHost],
-    batches: &mut [ProbeBatch],
-) -> usize {
-    #[cfg(feature = "parallel")]
-    {
-        let shards = batches.len().min(active.len());
-        if shards > 1 {
-            let chunk = active.len().div_ceil(shards);
-            let used = active.len().div_ceil(chunk);
-            std::thread::scope(|scope| {
-                for (hosts, batch) in active.chunks_mut(chunk).zip(batches.iter_mut()) {
-                    scope.spawn(move || drive_shard(ctx, hosts, batch));
-                }
-            });
-            return used;
-        }
-    }
-    drive_shard(ctx, active, &mut batches[0]);
-    1
-}
-
 /// The outbreak engine: drives infected hosts' generators through the
 /// environment into the population and the observers.
 ///
@@ -339,8 +198,8 @@ fn run_shards(
 /// See the crate-level example.
 pub struct Engine {
     config: SimConfig,
-    population: Population,
-    env: Environment,
+    population: Arc<Population>,
+    env: Arc<Environment>,
     worm: Box<dyn WormModel>,
 }
 
@@ -375,8 +234,8 @@ impl Engine {
         );
         Engine {
             config,
-            population,
-            env,
+            population: Arc::new(population),
+            env: Arc::new(env),
             worm,
         }
     }
@@ -435,18 +294,40 @@ impl Engine {
     /// Runs the outbreak to completion, feeding every probe to
     /// `observer`.
     ///
+    /// Creates a [`ShardExecutor`] sized to [`SimConfig::threads`] for
+    /// the duration of the run; to amortize pool start-up across many
+    /// runs (sweeps, benchmarks), build one executor and use
+    /// [`Engine::run_on`].
+    pub fn run<O: SimObserver>(&mut self, observer: &mut O) -> SimResult {
+        let mut executor = ShardExecutor::new(self.config.threads);
+        self.run_on(&mut executor, observer)
+    }
+
+    /// Runs the outbreak to completion on a caller-provided executor,
+    /// feeding every probe to `observer`.
+    ///
     /// The probe path is a staged pipeline: each host draws a step's
     /// worth of targets in one batch
-    /// ([`TargetGenerator::fill_targets`]), the environment verdicts the
-    /// whole slice ([`Environment::route_batch`]), victims are resolved,
-    /// and the batch reaches the observer via
-    /// [`SimObserver::on_probe_batch`]. With the `parallel` cargo
-    /// feature and [`SimConfig::threads`] > 1, active hosts are sharded
-    /// across scoped threads and results merge in fixed shard order;
-    /// because every RNG stream is keyed by host id, the run is
-    /// bit-identical to a serial one (only observer batch boundaries
-    /// vary with thread count).
-    pub fn run<O: SimObserver>(&mut self, observer: &mut O) -> SimResult {
+    /// ([`hotspots_targeting::TargetGenerator::fill_targets`]), the
+    /// environment verdicts the whole slice
+    /// ([`Environment::route_batch`]), victims are resolved, and the
+    /// batch reaches the observer via [`SimObserver::on_probe_batch`].
+    /// With the `parallel` cargo feature and [`SimConfig::threads`] > 1,
+    /// active hosts are sharded across `executor`'s persistent workers
+    /// and results merge in fixed shard order; because every RNG stream
+    /// is keyed by host id, the run is bit-identical to a serial one
+    /// (only observer batch boundaries vary with thread count).
+    ///
+    /// The executor holds no simulation state — reusing one across runs
+    /// is bit-identical to building a fresh engine and pool per run.
+    /// Shard concurrency is the *minimum* of [`SimConfig::threads`] and
+    /// [`ShardExecutor::parallelism`], so a small pool caps a larger
+    /// thread setting.
+    pub fn run_on<O: SimObserver>(
+        &mut self,
+        executor: &mut ShardExecutor,
+        observer: &mut O,
+    ) -> SimResult {
         let n = self.population.len();
         let service = self.worm.service();
         let latency = self.env.latency();
@@ -459,10 +340,14 @@ impl Engine {
 
         // Packed infection-state bits: the whole per-host state of a
         // 1M-host run is ~375 KB across the three sets, streamed from
-        // cache by the batched lookup/merge phases.
-        let mut infected_flags = HostBits::new(n);
-        let mut removed_flags = HostBits::new(n);
-        let mut pending_flags = HostBits::new(n);
+        // cache by the batched lookup/merge phases. Wrapped in `Arc` so
+        // the step fan-out can hand workers a snapshot without copying;
+        // every worker clone is dropped before the merge starts, so the
+        // serial mutation sites below (`Arc::make_mut`) always find a
+        // unique Arc and mutate in place.
+        let mut infected_flags = Arc::new(HostBits::new(n));
+        let mut removed_flags = Arc::new(HostBits::new(n));
+        let mut pending_flags = Arc::new(HostBits::new(n));
         let mut infection_times: Vec<Option<f64>> = vec![None; n];
         let mut active: Vec<InfectedHost> = Vec::new();
         // pending activations ordered by time (microseconds for total order)
@@ -496,7 +381,7 @@ impl Engine {
 
         // Seed hosts.
         for idx in sample(&mut rng, n, self.config.seeds) {
-            infected_flags.set(idx);
+            Arc::make_mut(&mut infected_flags).set(idx);
             infection_times[idx] = Some(0.0);
             ever_infected += 1;
             let host = self.spawn_host(idx);
@@ -505,12 +390,7 @@ impl Engine {
         }
         curve.push(0.0, ever_infected as f64 / n as f64);
 
-        #[cfg(feature = "parallel")]
-        let mut batches: Vec<ProbeBatch> = (0..self.config.threads.max(1))
-            .map(|_| ProbeBatch::new())
-            .collect();
-        #[cfg(not(feature = "parallel"))]
-        let mut batches: Vec<ProbeBatch> = vec![ProbeBatch::new()];
+        let mut pipeline = StepPipeline::new(self.config.threads);
 
         let mut time = 0.0;
         let mut newly_infected: Vec<usize> = Vec::new();
@@ -529,11 +409,11 @@ impl Engine {
                     break;
                 }
                 pending.pop();
-                pending_flags.clear(idx);
+                Arc::make_mut(&mut pending_flags).clear(idx);
                 if infected_flags.get(idx) || removed_flags.get(idx) {
                     continue;
                 }
-                infected_flags.set(idx);
+                Arc::make_mut(&mut infected_flags).set(idx);
                 infection_times[idx] = Some(due);
                 ever_infected += 1;
                 activated = true;
@@ -564,9 +444,10 @@ impl Engine {
             // immune. Each host draws from its own stream, so outcomes
             // are independent of iteration interleaving.
             if removal_prob > 0.0 {
+                let flags = Arc::make_mut(&mut removed_flags);
                 active.retain_mut(|host| {
                     if host.rng.gen::<f64>() < removal_prob {
-                        removed_flags.set(host.id);
+                        flags.set(host.id);
                         removed += 1;
                         false
                     } else {
@@ -576,25 +457,28 @@ impl Engine {
             }
 
             // Stages 1–3 (target-gen / routing / victim lookup), sharded
-            // when parallel.
+            // across the persistent pool when parallel. The ctx and all
+            // its Arc clones are consumed inside `run_step`, so the
+            // flag Arcs are unique again when the merge below mutates
+            // them.
             let shard_count = {
-                let ctx = ShardCtx {
-                    env: &self.env,
-                    population: &self.population,
+                let ctx = StepCtx {
+                    env: Arc::clone(&self.env),
+                    population: Arc::clone(&self.population),
                     service,
                     time,
-                    infected: &infected_flags,
-                    removed: &removed_flags,
-                    pending: &pending_flags,
+                    infected: Arc::clone(&infected_flags),
+                    removed: Arc::clone(&removed_flags),
+                    pending: Arc::clone(&pending_flags),
                 };
-                run_shards(&ctx, &mut active, &mut batches)
+                pipeline.run_step(executor, ctx, &mut active)
             };
 
             // Stage 4 (observe) and infection bookkeeping: serial merge
             // in fixed shard order.
             newly_infected.clear();
             #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
-            for (shard, batch) in batches[..shard_count].iter_mut().enumerate() {
+            for (shard, batch) in pipeline.batches_mut()[..shard_count].iter_mut().enumerate() {
                 #[cfg(feature = "telemetry")]
                 #[allow(clippy::disallowed_methods)]
                 // telemetry-gated: legal clock site
@@ -642,13 +526,13 @@ impl Engine {
                     }
                     let delay = latency.sample(&mut lat_rng);
                     if delay <= 0.0 {
-                        infected_flags.set(v);
+                        Arc::make_mut(&mut infected_flags).set(v);
                         infection_times[v] = Some(time);
                         ever_infected += 1;
                         newly_infected.push(v);
                         observer.on_infection(time, v, self.population.locus(v));
                     } else {
-                        pending_flags.set(v);
+                        Arc::make_mut(&mut pending_flags).set(v);
                         let due_us = ((time + delay) * 1e6) as u64;
                         pending.push(Reverse((due_us, v)));
                     }
@@ -715,6 +599,13 @@ impl Engine {
                 phases.record("lookup", tel_lookup);
                 phases.record("observe", tel_observe);
                 phases.record("merge", tel_merge);
+                // Pool-only phases, absent in effectively-serial runs:
+                // how long workers sat parked between jobs, and the
+                // dispatch-to-pickup wake latency.
+                if let Some((park, wake)) = pipeline.pool_phases() {
+                    phases.record("park", park);
+                    phases.record("wake", wake);
+                }
                 EngineTelemetry {
                     phases,
                     step_micros,
@@ -733,7 +624,7 @@ mod tests {
     use crate::population::apply_nat;
     use crate::worms::{CodeRed2Worm, HitListWorm, UniformWorm};
     use hotspots_ipspace::Ip;
-    use hotspots_netmodel::{DropReason, LatencyModel};
+    use hotspots_netmodel::{Delivery, DropReason, LatencyModel};
     use hotspots_targeting::HitList;
 
     /// A dense population inside one /16 so uniform worms still make
@@ -798,6 +689,37 @@ mod tests {
         assert_eq!(a.probes_sent, b.probes_sent);
         assert_eq!(a.infected, b.infected);
         assert_eq!(a.infection_times, b.infection_times);
+    }
+
+    #[test]
+    fn pool_reuse_is_bit_identical_to_fresh_engines() {
+        // Two back-to-back runs on ONE executor must match two runs on
+        // fresh engines (and each other): the pool holds no simulation
+        // state, and carrier/scratch reuse never leaks across runs.
+        let config = SimConfig {
+            threads: 4,
+            ..hitlist_config()
+        };
+        let make = || {
+            Engine::new(
+                config,
+                dense_population(300),
+                Environment::new(),
+                Box::new(HitListWorm::new(hitlist())),
+            )
+        };
+        let fresh = make().run(&mut NullObserver);
+        let mut pool = ShardExecutor::new(config.threads);
+        let a = make().run_on(&mut pool, &mut NullObserver);
+        let b = make().run_on(&mut pool, &mut NullObserver);
+        for run in [&a, &b] {
+            assert_eq!(run.probes_sent, fresh.probes_sent);
+            assert_eq!(run.infected, fresh.infected);
+            assert_eq!(run.removed, fresh.removed);
+            assert_eq!(run.ledger, fresh.ledger);
+            assert_eq!(run.infection_times, fresh.infection_times);
+            assert_eq!(run.elapsed, fresh.elapsed);
+        }
     }
 
     #[test]

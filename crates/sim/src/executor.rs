@@ -1,0 +1,585 @@
+//! The persistent sharded executor and the step pipeline it drives.
+//!
+//! Before this module existed the engine spawned a fresh set of scoped
+//! threads *every step*; profiling showed that spawn cost — not the
+//! serial merge — is what kept the parallel engine from winning. The
+//! executor here is created once per run (or shared across runs via
+//! [`Engine::run_on`](crate::Engine::run_on)): `parallelism - 1` workers
+//! park on their job channels between steps, and each step hands them
+//! owned shard payloads instead of borrowed slices.
+//!
+//! Ownership transfer is what keeps the pool compatible with
+//! `#![forbid(unsafe_code)]`: a long-lived worker cannot borrow from the
+//! engine's stack, so each [`StepPipeline::run_step`] peels the tail
+//! chunks off the active-host vector into reusable carrier buffers,
+//! ships them through `mpsc` channels, and splices them back in shard
+//! order at the barrier. Two `memcpy`s of host structs per step replace
+//! a thread spawn/join per step.
+//!
+//! Determinism argument: shards are contiguous chunks of the active
+//! vector, merged back in chunk order, so the concatenated
+//! probe/candidate sequence is identical whether a shard ran on the
+//! driving thread or any worker. All randomness flows through per-host
+//! id-keyed streams carried inside the shard payload; the executor adds
+//! none (no work stealing, no completion-order effects: results land in
+//! per-shard slots and are consumed in index order).
+
+use std::sync::Arc;
+
+#[cfg(feature = "parallel")]
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+#[cfg(feature = "telemetry")]
+use std::time::Duration;
+#[cfg(feature = "telemetry")]
+use std::time::Instant;
+
+use hotspots_ipspace::Ip;
+use hotspots_netmodel::{Delivery, DeliveryLedger, Environment, Locus, Service};
+use hotspots_targeting::TargetGenerator;
+use rand::rngs::StdRng;
+
+use crate::bitset::HostBits;
+use crate::population::Population;
+
+/// Engine-side state of one currently infected host. Owned by the
+/// engine between steps and by a shard payload while the probe phase
+/// runs; all its randomness is keyed by host id, so *where* it executes
+/// never changes *what* it does.
+pub(crate) struct InfectedHost {
+    pub(crate) id: usize,
+    pub(crate) locus: Locus,
+    /// Source address as seen on the public wire (constant per host,
+    /// hoisted out of the probe loop).
+    pub(crate) public_src: Ip,
+    pub(crate) generator: Box<dyn TargetGenerator + Send>,
+    /// This host's private stream (rate dispersion, removal, loss
+    /// draws). Keyed by host id only, never by infection order.
+    pub(crate) rng: StdRng,
+    pub(crate) probes_per_step: f64,
+    pub(crate) probe_credit: f64,
+}
+
+/// Reusable per-shard scratch for one step of the staged probe pipeline.
+pub(crate) struct ProbeBatch {
+    pub(crate) targets: Vec<Ip>,
+    pub(crate) deliveries: Vec<Delivery>,
+    pub(crate) probes: Vec<(Ip, Delivery)>,
+    pub(crate) candidates: Vec<usize>,
+    pub(crate) ledger: DeliveryLedger,
+    #[cfg(feature = "telemetry")]
+    pub(crate) target_gen: Duration,
+    #[cfg(feature = "telemetry")]
+    pub(crate) routing: Duration,
+    #[cfg(feature = "telemetry")]
+    pub(crate) lookup: Duration,
+}
+
+impl ProbeBatch {
+    pub(crate) fn new() -> ProbeBatch {
+        ProbeBatch {
+            targets: Vec::new(),
+            deliveries: Vec::new(),
+            probes: Vec::new(),
+            candidates: Vec::new(),
+            ledger: DeliveryLedger::new(),
+            #[cfg(feature = "telemetry")]
+            target_gen: Duration::ZERO,
+            #[cfg(feature = "telemetry")]
+            routing: Duration::ZERO,
+            #[cfg(feature = "telemetry")]
+            lookup: Duration::ZERO,
+        }
+    }
+}
+
+/// Read-only state every shard sees during one step's probe phase,
+/// shipped to workers as `Arc` clones (a worker cannot hold a borrow of
+/// the engine's stack). Shards see the start-of-step infection flags;
+/// duplicate infection candidates collapse at the serial merge.
+///
+/// Every clone handed out for a step is dropped before
+/// [`StepPipeline::run_step`] returns — the done-channel receive
+/// happens-after the worker's drop — so the engine's own `Arc`s are
+/// unique again at merge time and `Arc::make_mut` mutates in place.
+#[derive(Clone)]
+pub(crate) struct StepCtx {
+    pub(crate) env: Arc<Environment>,
+    pub(crate) population: Arc<Population>,
+    pub(crate) service: Service,
+    /// The step's simulation time, set serially before shards fan out —
+    /// every shard routes against the same fault-schedule instant.
+    pub(crate) time: f64,
+    pub(crate) infected: Arc<HostBits>,
+    pub(crate) removed: Arc<HostBits>,
+    pub(crate) pending: Arc<HostBits>,
+}
+
+/// Drives one shard of active hosts through the target-gen → routing →
+/// victim-lookup stages, accumulating results in the shard's scratch
+/// batch. Touches only its own hosts and batch, so shards run on
+/// independent threads without synchronization.
+pub(crate) fn drive_shard(ctx: &StepCtx, hosts: &mut [InfectedHost], batch: &mut ProbeBatch) {
+    for host in hosts {
+        host.probe_credit += host.probes_per_step;
+        let burst = host.probe_credit as usize;
+        if burst == 0 {
+            continue;
+        }
+        host.probe_credit -= burst as f64;
+
+        #[cfg(feature = "telemetry")]
+        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
+        let t0 = Instant::now();
+        batch.targets.clear();
+        host.generator.fill_targets(burst, &mut batch.targets);
+        #[cfg(feature = "telemetry")]
+        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
+        let t1 = Instant::now();
+        batch.deliveries.clear();
+        ctx.env.route_batch(
+            host.locus,
+            &batch.targets,
+            ctx.service,
+            ctx.time,
+            &mut host.rng,
+            &mut batch.deliveries,
+            &mut batch.ledger,
+        );
+        #[cfg(feature = "telemetry")]
+        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
+        let t2 = Instant::now();
+        // Two passes over the verdicts: candidate detection (branchy,
+        // but misses short-circuit at the /16 presence bitmap), then
+        // one bulk append of the probe records — a TrustedLen extend
+        // compiles to a single reserve + streaming writes instead of a
+        // per-probe capacity check.
+        for &delivery in &batch.deliveries {
+            let victim = match delivery {
+                Delivery::Public(ip) => ctx.population.find_public(ip),
+                Delivery::Local { realm, ip } => ctx.population.find_private(realm, ip),
+                Delivery::Dropped(_) => None,
+            };
+            if let Some(v) = victim {
+                if !ctx.infected.get(v) && !ctx.removed.get(v) && !ctx.pending.get(v) {
+                    batch.candidates.push(v);
+                }
+            }
+        }
+        let src = host.public_src;
+        batch
+            .probes
+            .extend(batch.deliveries.iter().map(|&d| (src, d)));
+        #[cfg(feature = "telemetry")]
+        {
+            batch.target_gen += t1 - t0;
+            batch.routing += t2 - t1;
+            batch.lookup += t2.elapsed();
+        }
+    }
+}
+
+/// One shard's payload, shipped to a pool worker by ownership transfer.
+#[cfg(feature = "parallel")]
+struct ShardJob {
+    shard: usize,
+    hosts: Vec<InfectedHost>,
+    batch: ProbeBatch,
+    ctx: StepCtx,
+    /// When the driving thread dispatched the job (wake-latency
+    /// accounting).
+    #[cfg(feature = "telemetry")]
+    sent_at: Instant,
+}
+
+/// A finished shard, returned to the driving thread with its payload so
+/// the carrier buffers are reused and the merge stays allocation-free.
+#[cfg(feature = "parallel")]
+struct ShardDone {
+    shard: usize,
+    hosts: Vec<InfectedHost>,
+    batch: ProbeBatch,
+    /// A panic captured while driving the shard, re-raised on the
+    /// driving thread (scoped-spawn semantics without scoped threads).
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// How long the worker sat parked on its job channel before this
+    /// job arrived.
+    #[cfg(feature = "telemetry")]
+    park: Duration,
+    /// Dispatch-to-pickup latency for this job.
+    #[cfg(feature = "telemetry")]
+    wake: Duration,
+}
+
+/// A pool worker: parks on `jobs`, drives each shard it receives, and
+/// returns the payload on `done`. Exits when the executor drops its job
+/// sender. Panics inside the shard are caught and shipped back so the
+/// driving thread can re-raise them instead of deadlocking at the
+/// barrier.
+#[cfg(feature = "parallel")]
+fn worker_loop(jobs: Receiver<ShardJob>, done: Sender<ShardDone>) {
+    loop {
+        #[cfg(feature = "telemetry")]
+        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
+        let wait_start = Instant::now();
+        let Ok(job) = jobs.recv() else {
+            break;
+        };
+        #[cfg(feature = "telemetry")]
+        #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
+        let picked_up = Instant::now();
+        #[cfg(feature = "telemetry")]
+        let (park, wake) = (
+            picked_up.saturating_duration_since(wait_start),
+            picked_up.saturating_duration_since(job.sent_at),
+        );
+        let ShardJob {
+            shard,
+            mut hosts,
+            mut batch,
+            ctx,
+            ..
+        } = job;
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            drive_shard(&ctx, &mut hosts, &mut batch);
+        }))
+        .err();
+        // Drop the ctx Arc clones before signalling completion: the
+        // barrier's receive then happens-after this drop, so the engine
+        // sees unique Arcs at merge time.
+        drop(ctx);
+        if done
+            .send(ShardDone {
+                shard,
+                hosts,
+                batch,
+                panic,
+                #[cfg(feature = "telemetry")]
+                park,
+                #[cfg(feature = "telemetry")]
+                wake,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+struct WorkerHandle {
+    jobs: Sender<ShardJob>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+/// A persistent pool of shard workers.
+///
+/// Created once and reused across steps — and, via
+/// [`Engine::run_on`](crate::Engine::run_on), across whole runs:
+/// `ShardExecutor::new(p)` spawns `p - 1` workers that park between
+/// jobs. The executor holds no simulation state, so reusing one is
+/// bit-identical to building a fresh engine per run (pinned by test).
+///
+/// Without the `parallel` cargo feature the pool is empty and every
+/// shard runs on the calling thread; the type still exists so callers
+/// can be feature-agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_sim::ShardExecutor;
+///
+/// let pool = ShardExecutor::new(4);
+/// assert!(pool.parallelism() >= 1);
+/// ```
+pub struct ShardExecutor {
+    #[cfg(feature = "parallel")]
+    workers: Vec<WorkerHandle>,
+    #[cfg(feature = "parallel")]
+    done_rx: Receiver<ShardDone>,
+}
+
+impl std::fmt::Debug for ShardExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardExecutor")
+            .field("parallelism", &self.parallelism())
+            .finish()
+    }
+}
+
+impl ShardExecutor {
+    /// Creates a pool sized for `parallelism` concurrent shards: the
+    /// calling thread drives shard 0, and `parallelism - 1` spawned
+    /// workers (named `hotspots-worker-N`, so profilers attribute shard
+    /// time to the pool) drive the rest. `0` and `1` both mean "no
+    /// workers".
+    pub fn new(parallelism: usize) -> ShardExecutor {
+        #[cfg(feature = "parallel")]
+        {
+            let wanted = parallelism.saturating_sub(1);
+            let (done_tx, done_rx) = channel();
+            let mut workers = Vec::with_capacity(wanted);
+            for i in 0..wanted {
+                let (jobs_tx, jobs_rx) = channel();
+                let done = done_tx.clone();
+                // A spawn failure (resource exhaustion) degrades
+                // parallelism instead of failing the run: the pipeline
+                // caps its shard count at `parallelism()`.
+                if let Ok(thread) = std::thread::Builder::new()
+                    .name(format!("hotspots-worker-{}", i + 1))
+                    .spawn(move || worker_loop(jobs_rx, done))
+                {
+                    workers.push(WorkerHandle {
+                        jobs: jobs_tx,
+                        thread,
+                    });
+                }
+            }
+            ShardExecutor { workers, done_rx }
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            let _ = parallelism;
+            ShardExecutor {}
+        }
+    }
+
+    /// How many shards can execute concurrently (the calling thread
+    /// plus the pool workers). Always at least 1.
+    pub fn parallelism(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        {
+            self.workers.len() + 1
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            1
+        }
+    }
+}
+
+impl Drop for ShardExecutor {
+    fn drop(&mut self) {
+        #[cfg(feature = "parallel")]
+        for w in std::mem::take(&mut self.workers) {
+            // Closing the job channel wakes the parked worker into its
+            // exit path; join so no worker outlives the pool.
+            drop(w.jobs);
+            let _ = w.thread.join();
+        }
+    }
+}
+
+/// The per-run pipeline state: one scratch [`ProbeBatch`] per shard,
+/// carrier buffers for the ownership transfer, and the pool-phase
+/// accounting. The engine owns one per run; the executor it dispatches
+/// to may outlive it.
+pub(crate) struct StepPipeline {
+    /// Per-shard scratch, index 0 = the driving thread's shard. The
+    /// merge loop walks `batches[..shard_count]` in index order.
+    batches: Vec<ProbeBatch>,
+    #[cfg(feature = "parallel")]
+    carriers: Vec<Vec<InfectedHost>>,
+    #[cfg(feature = "parallel")]
+    slots: Vec<Option<(Vec<InfectedHost>, ProbeBatch)>>,
+    /// Cumulative worker park time (blocked on the job channel).
+    #[cfg(all(feature = "telemetry", feature = "parallel"))]
+    park: Duration,
+    /// Cumulative dispatch-to-pickup latency.
+    #[cfg(all(feature = "telemetry", feature = "parallel"))]
+    wake: Duration,
+    /// Jobs actually shipped to pool workers (0 = the run was
+    /// effectively serial and no park/wake phases are reported).
+    #[cfg(all(feature = "telemetry", feature = "parallel"))]
+    dispatched: u64,
+}
+
+impl StepPipeline {
+    /// A pipeline sized for `shards` concurrent shards (at least 1).
+    pub(crate) fn new(shards: usize) -> StepPipeline {
+        let shards = if cfg!(feature = "parallel") {
+            shards.max(1)
+        } else {
+            1
+        };
+        StepPipeline {
+            batches: (0..shards).map(|_| ProbeBatch::new()).collect(),
+            #[cfg(feature = "parallel")]
+            carriers: (0..shards).map(|_| Vec::new()).collect(),
+            #[cfg(feature = "parallel")]
+            slots: (0..shards).map(|_| None).collect(),
+            #[cfg(all(feature = "telemetry", feature = "parallel"))]
+            park: Duration::ZERO,
+            #[cfg(all(feature = "telemetry", feature = "parallel"))]
+            wake: Duration::ZERO,
+            #[cfg(all(feature = "telemetry", feature = "parallel"))]
+            dispatched: 0,
+        }
+    }
+
+    /// The per-shard scratch batches, for the serial merge.
+    pub(crate) fn batches_mut(&mut self) -> &mut [ProbeBatch] {
+        &mut self.batches
+    }
+
+    /// Total (park, wake) pool time, if any shard ran on a pool worker.
+    #[cfg(feature = "telemetry")]
+    pub(crate) fn pool_phases(&self) -> Option<(Duration, Duration)> {
+        #[cfg(feature = "parallel")]
+        {
+            (self.dispatched > 0).then_some((self.park, self.wake))
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            None
+        }
+    }
+
+    /// Runs the probe stages (target_gen → routing → lookup) over all
+    /// active hosts, sharding across `executor`'s workers, and returns
+    /// how many scratch batches were filled.
+    ///
+    /// Shards are contiguous chunks of `active`, reassembled in chunk
+    /// order before returning, so `active`'s element order — and hence
+    /// every per-host RNG stream — is exactly what a serial pass over
+    /// the same vector would see. `ctx` and every clone of it are
+    /// consumed before this returns.
+    // without `parallel` only slice ops remain, but the pooled path
+    // drains/appends, so the signature stays `&mut Vec`
+    #[cfg_attr(not(feature = "parallel"), allow(clippy::ptr_arg))]
+    pub(crate) fn run_step(
+        &mut self,
+        executor: &mut ShardExecutor,
+        ctx: StepCtx,
+        active: &mut Vec<InfectedHost>,
+    ) -> usize {
+        let shards = self
+            .batches
+            .len()
+            .min(executor.parallelism())
+            .min(active.len());
+        #[cfg(feature = "parallel")]
+        if shards > 1 {
+            return self.run_step_pooled(executor, ctx, active, shards);
+        }
+        let _ = shards;
+        drive_shard(&ctx, active, &mut self.batches[0]);
+        1
+    }
+
+    /// The pooled fan-out: peel tail chunks into carriers (last shard
+    /// first, so each drain is a pure truncation), dispatch shards
+    /// `1..used` to workers in fixed shard→worker order, drive shard 0
+    /// inline, then collect and splice back in shard order.
+    #[cfg(feature = "parallel")]
+    fn run_step_pooled(
+        &mut self,
+        executor: &mut ShardExecutor,
+        ctx: StepCtx,
+        active: &mut Vec<InfectedHost>,
+        shards: usize,
+    ) -> usize {
+        let chunk = active.len().div_ceil(shards);
+        let used = active.len().div_ceil(chunk);
+        let mut outstanding = 0usize;
+        for shard in (1..used).rev() {
+            let mut hosts = std::mem::take(&mut self.carriers[shard]);
+            hosts.extend(active.drain(shard * chunk..));
+            let batch = std::mem::replace(&mut self.batches[shard], ProbeBatch::new());
+            #[cfg(feature = "telemetry")]
+            #[allow(clippy::disallowed_methods)] // telemetry-gated: legal clock site
+            let sent_at = Instant::now();
+            let job = ShardJob {
+                shard,
+                hosts,
+                batch,
+                ctx: ctx.clone(),
+                #[cfg(feature = "telemetry")]
+                sent_at,
+            };
+            // Deterministic shard→worker assignment (`used - 1 <=
+            // workers` because `shards <= parallelism()`), so a shard
+            // always runs on the same worker thread at a given count.
+            match executor.workers[shard - 1].jobs.send(job) {
+                Ok(()) => outstanding += 1,
+                Err(std::sync::mpsc::SendError(job)) => {
+                    // Unreachable in practice (workers outlive the
+                    // executor's senders); degrade by running inline.
+                    let ShardJob {
+                        shard,
+                        mut hosts,
+                        mut batch,
+                        ctx,
+                        ..
+                    } = job;
+                    drive_shard(&ctx, &mut hosts, &mut batch);
+                    self.slots[shard] = Some((hosts, batch));
+                }
+            }
+        }
+        // Shard 0 is whatever remains of `active`; driving it here
+        // overlaps with the workers.
+        drive_shard(&ctx, active, &mut self.batches[0]);
+        drop(ctx);
+
+        while outstanding > 0 {
+            match executor.done_rx.recv() {
+                Ok(done) => {
+                    outstanding -= 1;
+                    if let Some(payload) = done.panic {
+                        std::panic::resume_unwind(payload);
+                    }
+                    #[cfg(feature = "telemetry")]
+                    {
+                        self.park += done.park;
+                        self.wake += done.wake;
+                        self.dispatched += 1;
+                    }
+                    self.slots[done.shard] = Some((done.hosts, done.batch));
+                }
+                // Unreachable: workers hold their done senders for the
+                // executor's whole lifetime. Stop waiting rather than
+                // hang if it ever happens.
+                Err(_) => break,
+            }
+        }
+
+        // Splice the chunks back in shard order: `active` is restored
+        // to the exact element order it had before the fan-out.
+        for shard in 1..used {
+            if let Some((mut hosts, batch)) = self.slots[shard].take() {
+                active.append(&mut hosts);
+                self.carriers[shard] = hosts;
+                self.batches[shard] = batch;
+            }
+        }
+        used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_counts_the_driving_thread() {
+        let pool = ShardExecutor::new(0);
+        assert_eq!(pool.parallelism(), 1);
+        let pool = ShardExecutor::new(1);
+        assert_eq!(pool.parallelism(), 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn pool_spawns_and_joins_workers() {
+        let pool = ShardExecutor::new(4);
+        assert_eq!(pool.parallelism(), 4);
+        drop(pool); // must not hang: workers exit when senders drop
+    }
+
+    #[test]
+    fn pipeline_always_has_a_shard_zero() {
+        let p = StepPipeline::new(0);
+        assert_eq!(p.batches.len(), 1);
+    }
+}

@@ -37,6 +37,7 @@
 
 mod bitset;
 mod engine;
+mod executor;
 mod ipmap;
 mod observers;
 mod population;
@@ -47,6 +48,7 @@ pub use bitset::HostBits;
 #[cfg(feature = "telemetry")]
 pub use engine::EngineTelemetry;
 pub use engine::{Engine, SimConfig, SimResult};
+pub use executor::ShardExecutor;
 pub use ipmap::IpMap;
 pub use observers::{DropTally, FieldObserver, NullObserver, SimObserver, TelescopeObserver};
 pub use population::{

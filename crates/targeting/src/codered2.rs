@@ -90,10 +90,48 @@ impl<P: Prng32> TargetGenerator for CodeRed2Scanner<P> {
     }
 
     fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
+        // Chunked rejection sampling with *exact* PRNG consumption: each
+        // round bulk-draws `min(remaining, CHUNK)` attempts (two words
+        // per attempt, interleaved selector/random exactly like the
+        // scalar loop). Because `remaining` successes need at least
+        // `remaining` attempts, the bulk draw never reads past the word
+        // the scalar loop would stop at — the round that reaches
+        // `remaining == 0` accepted every one of its attempts, so its
+        // last draw *is* the n-th success and the final PRNG state
+        // matches the scalar walk bit-for-bit.
+        const CHUNK: usize = 128;
+        let mut words = [0u32; 2 * CHUNK];
+        let mut cand = [0u32; CHUNK];
+        let mut keep = [0u32; CHUNK];
         out.reserve(n);
-        for _ in 0..n {
-            let t = self.generate();
-            out.push(t);
+        let src = self.source.value();
+        let mut remaining = n;
+        while remaining > 0 {
+            let attempts = remaining.min(CHUNK);
+            self.prng.fill_u32(&mut words[..2 * attempts]);
+            // Branch-free candidate + validity pass: the selector→mask
+            // table collapses to two range tests (1..=7 keeps the /8,
+            // 5..=7 additionally keeps the /16), and the three rejection
+            // rules become an accept bit.
+            for i in 0..attempts {
+                let selector = words[2 * i] >> 29;
+                let mask =
+                    u32::from(selector >= 1) * 0xff00_0000 + u32::from(selector >= 5) * 0x00ff_0000;
+                let candidate = (src & mask) | (words[2 * i + 1] & !mask);
+                let first = candidate >> 24;
+                cand[i] = candidate;
+                keep[i] =
+                    u32::from(first != 127) & u32::from(first != 224) & u32::from(candidate != src);
+            }
+            // Compact the survivors in order; `accepted <= attempts <=
+            // remaining` by construction.
+            let mut accepted = 0usize;
+            for i in 0..attempts {
+                cand[accepted] = cand[i];
+                accepted += keep[i] as usize;
+            }
+            out.extend(cand[..accepted].iter().map(|&c| Ip::new(c)));
+            remaining -= accepted;
         }
     }
 
@@ -177,6 +215,35 @@ mod tests {
         let frac = f64::from(in_192_public) / f64::from(n);
         // mask /8 (1/2 of probes) randomizes B: 255/256 of those leave /16.
         assert!(frac > 0.45, "leak fraction {frac} too small");
+    }
+
+    #[test]
+    fn branch_free_mask_form_matches_table() {
+        // The batch kernel replaces the MASKS lookup with two range
+        // tests; they must agree for every selector value.
+        for selector in 0u32..8 {
+            let arithmetic =
+                u32::from(selector >= 1) * 0xff00_0000 + u32::from(selector >= 5) * 0x00ff_0000;
+            assert_eq!(
+                arithmetic,
+                CodeRed2Scanner::<SplitMix>::MASKS[selector as usize],
+                "selector {selector}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_source_batch_matches_scalar() {
+        // 127.0.0.1 rejects 7/8 of attempts — the worst case for the
+        // exact-consumption argument in fill_targets.
+        let src = Ip::from_octets(127, 0, 0, 1);
+        let mut scalar = CodeRed2Scanner::new(src, SplitMix::new(77));
+        let mut batch = scalar.clone();
+        let expect: Vec<Ip> = (0..500).map(|_| scalar.next_target()).collect();
+        let mut got = Vec::new();
+        batch.fill_targets(500, &mut got);
+        assert_eq!(got, expect);
+        assert_eq!(batch.next_target(), scalar.next_target());
     }
 
     #[test]

@@ -144,6 +144,22 @@ mod batch_tests {
         }
 
         #[test]
+        fn kernelized_generators_match_across_chunk_boundaries(
+            seed in any::<u64>(),
+            n in 200usize..700,
+            split in 0usize..700,
+        ) {
+            // The lane kernels work in fixed chunks (256 states for the
+            // LCG/uniform paths, 128 attempts for CodeRedII); batches
+            // larger than one chunk — and splits landing mid-chunk — must
+            // still replay the scalar sequence exactly.
+            let src = Ip::from_octets(192, 168, 0, 99);
+            assert_batch_equals_scalar(&UniformScanner::new(SplitMix::new(seed)), n, split);
+            assert_batch_equals_scalar(&SlammerScanner::new(SqlsortDll::Sp2, seed as u32), n, split);
+            assert_batch_equals_scalar(&CodeRed2Scanner::new(src, SplitMix::new(seed)), n, split);
+        }
+
+        #[test]
         fn default_fill_targets_appends(seed in any::<u64>(), n in 0usize..64) {
             // a generator with no override still satisfies the contract
             let mut a = BlasterScanner::from_tick_count(Ip::from_octets(4, 4, 4, 4), seed as u32);

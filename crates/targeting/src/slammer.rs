@@ -57,10 +57,7 @@ impl TargetGenerator for SlammerScanner {
     }
 
     fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
-        out.reserve(n);
-        for _ in 0..n {
-            out.push(self.prng.next_target());
-        }
+        self.prng.fill_targets(n, out);
     }
 
     fn strategy(&self) -> &'static str {

@@ -49,9 +49,18 @@ impl<P: Prng32> TargetGenerator for UniformScanner<P> {
     }
 
     fn fill_targets(&mut self, n: usize, out: &mut Vec<Ip>) {
+        // Chunked so the PRNG's lane kernel sees whole slices; the word →
+        // `Ip` map is the identity on the stored value, so the chunk copy
+        // stays branch-free.
+        const CHUNK: usize = 256;
+        let mut words = [0u32; CHUNK];
         out.reserve(n);
-        for _ in 0..n {
-            out.push(Ip::new(self.prng.next_u32()));
+        let mut remaining = n;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK);
+            self.prng.fill_u32(&mut words[..take]);
+            out.extend(words[..take].iter().map(|&w| Ip::new(w)));
+            remaining -= take;
         }
     }
 
