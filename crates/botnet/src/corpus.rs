@@ -43,10 +43,11 @@ pub const TABLE1_COMMANDS: [&str; 16] = [
 /// let cmds = hotspots_botnet::corpus::table1();
 /// assert_eq!(cmds.len(), 16);
 /// ```
+// hotspots-lint: certifies(panic-free) reason="table 1 commands are literals that parse"
 pub fn table1() -> Vec<BotCommand> {
     TABLE1_COMMANDS
         .iter()
-        .map(|s| s.parse().expect("table 1 commands parse")) // hotspots-lint: allow(panic-path) reason="table 1 commands parse"
+        .map(|s| s.parse().expect("table 1 commands parse"))
         .collect()
 }
 
@@ -65,6 +66,7 @@ pub fn table1() -> Vec<BotCommand> {
 /// let corpus = hotspots_botnet::corpus::generate(50, &mut rng);
 /// assert_eq!(corpus.len(), 50);
 /// ```
+// hotspots-lint: certifies(panic-free) reason="every choice list is a non-empty literal and generated commands are grammatical"
 pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<BotCommand> {
     let modules = [
         "dcom2",
@@ -80,7 +82,7 @@ pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<BotCommand> {
     let literal_octets: [u8; 6] = [128, 129, 141, 192, 194, 210];
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
-        let module = *modules.choose(rng).expect("non-empty"); // hotspots-lint: allow(panic-path) reason="choice list is a non-empty literal"
+        let module = *modules.choose(rng).expect("non-empty");
         let text = if rng.gen_bool(0.7) {
             // ipscan <pattern> <module> [-s]
             let pattern = random_pattern(rng, &literal_octets);
@@ -88,9 +90,9 @@ pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<BotCommand> {
             format!("ipscan {pattern} {module}{flag}")
         } else {
             // advscan <module> <threads> <delay> <count> [pattern] [-flags]
-            let threads = *[100u32, 150, 200, 250].choose(rng).expect("non-empty"); // hotspots-lint: allow(panic-path) reason="choice list is a non-empty literal"
+            let threads = *[100u32, 150, 200, 250].choose(rng).expect("non-empty");
             let delay = rng.gen_range(3..=7);
-            let count = *[0u32, 9999].choose(rng).expect("non-empty"); // hotspots-lint: allow(panic-path) reason="choice list is a non-empty literal"
+            let count = *[0u32, 9999].choose(rng).expect("non-empty");
             let pattern = if rng.gen_bool(0.4) {
                 format!(" {}", random_pattern(rng, &literal_octets))
             } else {
@@ -98,22 +100,23 @@ pub fn generate<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<BotCommand> {
             };
             let flags = ["", " -r", " -b", " -r -b", " -r -s", " -b -s", " -r -b -s"]
                 .choose(rng)
-                .expect("non-empty"); // hotspots-lint: allow(panic-path) reason="choice list is a non-empty literal"
+                .expect("non-empty");
             format!("advscan {module} {threads} {delay} {count}{pattern}{flags}")
         };
-        out.push(text.parse().expect("generated commands are grammatical")); // hotspots-lint: allow(panic-path) reason="generated commands are grammatical"
+        out.push(text.parse().expect("generated commands are grammatical"));
     }
     out
 }
 
+// hotspots-lint: certifies(panic-free) reason="every choice list is a non-empty literal"
 fn random_pattern<R: Rng + ?Sized>(rng: &mut R, literal_octets: &[u8]) -> String {
-    let arity = *[2usize, 3, 4, 4].choose(rng).expect("non-empty"); // hotspots-lint: allow(panic-path) reason="choice list is a non-empty literal"
+    let arity = *[2usize, 3, 4, 4].choose(rng).expect("non-empty");
     let body_symbol = *["s", "s", "s", "r", "x", "i"]
         .choose(rng)
-        .expect("non-empty"); // hotspots-lint: allow(panic-path) reason="choice list is a non-empty literal"
+        .expect("non-empty");
     let mut parts: Vec<String> = Vec::with_capacity(arity);
     if rng.gen_bool(0.2) {
-        parts.push(literal_octets.choose(rng).expect("non-empty").to_string()); // hotspots-lint: allow(panic-path) reason="choice list is a non-empty literal"
+        parts.push(literal_octets.choose(rng).expect("non-empty").to_string());
     } else {
         parts.push(body_symbol.to_owned());
     }

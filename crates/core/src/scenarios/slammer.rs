@@ -46,10 +46,11 @@ impl Default for SlammerStudy {
 
 impl SlammerStudy {
     /// Adds the paper's upstream block: drop UDP/1434 toward the M block.
+    // hotspots-lint: certifies(panic-free) reason="the IMS deployment literal always carries an M block"
     pub fn with_m_block_filter(mut self) -> SlammerStudy {
         let m = ims_deployment()
             .by_label("M")
-            .expect("IMS deployment has an M block") // hotspots-lint: allow(panic-path) reason="IMS deployment has an M block"
+            .expect("IMS deployment has an M block")
             .prefix();
         self.filters
             .push(FilterRule::ingress(m, Some(Service::SLAMMER_SQL)));
@@ -63,6 +64,7 @@ pub type CyclePopulation = HashMap<(SqlsortDll, CycleId), u64>;
 
 /// Draws `hosts` infected hosts (uniform DLL mix, uniform 32-bit seeds)
 /// and buckets them by the cycle their trajectory lives on.
+// hotspots-lint: certifies(panic-free) reason="slammer maps support every cycle id they enumerate"
 pub fn draw_cycle_population(study: &SlammerStudy) -> CyclePopulation {
     let maps: Vec<(SqlsortDll, AffineMap)> = SqlsortDll::ALL
         .iter()
@@ -76,13 +78,14 @@ pub fn draw_cycle_population(study: &SlammerStudy) -> CyclePopulation {
         // the trajectory enters its cycle at the first step
         let id = map
             .cycle_id(map.apply(seed))
-            .expect("slammer maps support cycle ids"); // hotspots-lint: allow(panic-path) reason="slammer maps support cycle ids"
+            .expect("slammer maps support cycle ids");
         *pop.entry((*dll, id)).or_insert(0) += 1;
     }
     pop
 }
 
 /// The set of cycles (per DLL) whose target addresses enter `prefix`.
+// hotspots-lint: certifies(panic-free) reason="the cycle map covers every 32-bit state"
 pub fn cycles_through(prefix: Prefix) -> BTreeMap<SqlsortDll, BTreeSet<CycleId>> {
     let mut out = BTreeMap::new();
     for dll in SqlsortDll::ALL {
@@ -94,7 +97,7 @@ pub fn cycles_through(prefix: Prefix) -> BTreeMap<SqlsortDll, BTreeSet<CycleId>>
         let ids: BTreeSet<CycleId> = if prefix.size() <= 256 {
             prefix
                 .iter()
-                .map(|ip| map.cycle_id(ip.to_le_state()).expect("valid map")) // hotspots-lint: allow(panic-path) reason="cycle map covers every 32-bit state"
+                .map(|ip| map.cycle_id(ip.to_le_state()).expect("valid map"))
                 .collect()
         } else {
             // sample boundaries and a stride; valuations can only differ
@@ -107,7 +110,7 @@ pub fn cycles_through(prefix: Prefix) -> BTreeMap<SqlsortDll, BTreeSet<CycleId>>
                 .chain([prefix.size() - 1])
                 .map(|i| {
                     map.cycle_id(prefix.nth(i).to_le_state())
-                        .expect("valid map") // hotspots-lint: allow(panic-path) reason="cycle map covers every 32-bit state"
+                        .expect("valid map")
                 })
                 .collect()
         };
@@ -196,6 +199,7 @@ pub fn unique_sources_per_block(
 /// the PRNG cycles that traverse each address". Per block: the fraction
 /// of random seeds whose cycle ever enters the block, averaged over the
 /// three DLL variants.
+// hotspots-lint: certifies(panic-free) reason="slammer maps have fixed points and every member is a valid state"
 pub fn predicted_observation_fraction(blocks: &[AddressBlock]) -> Vec<(String, f64)> {
     blocks
         .iter()
@@ -206,16 +210,15 @@ pub fn predicted_observation_fraction(blocks: &[AddressBlock]) -> Vec<(String, f
                 let mut ids: BTreeMap<CycleId, u64> = BTreeMap::new();
                 let sub_len = 24.max(block.prefix().len());
                 for sub in block.prefix().subnets(sub_len) {
-                    // hotspots-lint: allow(panic-path) reason="dll present"
                     for id in cycles_through(sub).remove(&dll).expect("dll present") {
                         if let std::collections::btree_map::Entry::Vacant(e) = ids.entry(id) {
-                            let c = map.fixed_point().expect("fixed point exists"); // hotspots-lint: allow(panic-path) reason="fixed point exists"
+                            let c = map.fixed_point().expect("fixed point exists");
                             let len = if id.valuation >= 32 {
                                 1
                             } else {
                                 let u: u32 = if id.sign_class { 3 } else { 1 };
                                 map.cycle_length(c.wrapping_add(u << id.valuation))
-                                    .expect("member valid") // hotspots-lint: allow(panic-path) reason="member valid"
+                                    .expect("member valid")
                             };
                             e.insert(len);
                         }
@@ -251,15 +254,17 @@ pub fn host_histogram(
 
 /// Figure 3c: the exact period of every cycle of the Slammer LCG for one
 /// increment variant.
+// hotspots-lint: certifies(panic-free) reason="slammer maps have fixed points"
 pub fn cycle_bands(dll: SqlsortDll) -> Vec<CycleBand> {
     AffineMap::slammer(dll)
         .cycle_structure()
-        .expect("slammer maps have fixed points") // hotspots-lint: allow(panic-path) reason="slammer maps have fixed points"
+        .expect("slammer maps have fixed points")
 }
 
 /// The paper's D/H/I comparison: per block, the total length of all
 /// cycles that traverse it, summed over the three DLL variants and
 /// normalized by 2^26 (the paper's reporting unit).
+// hotspots-lint: certifies(panic-free) reason="slammer maps have fixed points and every member is a valid state"
 pub fn block_cycle_length_sums(blocks: &[AddressBlock]) -> Vec<(String, f64)> {
     blocks
         .iter()
@@ -277,13 +282,13 @@ pub fn block_cycle_length_sums(blocks: &[AddressBlock]) -> Vec<(String, f64)> {
                 }
                 for id in seen {
                     // recover a member to measure the cycle length
-                    let c = map.fixed_point().expect("fixed point exists"); // hotspots-lint: allow(panic-path) reason="fixed point exists"
+                    let c = map.fixed_point().expect("fixed point exists");
                     let len = if id.valuation >= 32 {
                         1
                     } else {
                         let u: u32 = if id.sign_class { 3 } else { 1 };
                         let y = u << id.valuation;
-                        // hotspots-lint: allow(panic-path) reason="valid member"
+
                         map.cycle_length(c.wrapping_add(y)).expect("valid member")
                     };
                     total += u128::from(len);

@@ -100,6 +100,7 @@ fn render_engine(result: &SimResult, field: Option<&DetectorField>) {
     print_series(&result.infection_curve, 25);
 }
 
+// hotspots-lint: certifies(panic-free) reason="rendered studies always produce coverage rows"
 fn render_fig1(study: &BlasterStudy, rows: &[CoverageRow]) {
     println!(
         "\n{} infected hosts, {:.0}-day window, {} probes/s, {}% reboot-launched\n",
@@ -152,7 +153,7 @@ fn render_fig1(study: &BlasterStudy, rows: &[CoverageRow]) {
         ("hottest", sorted[0]),
         ("2nd", sorted[1]),
         ("3rd", sorted[2]),
-        ("coldest", *sorted.last().expect("rows exist")), // hotspots-lint: allow(panic-path) reason="rendered studies always produce coverage rows"
+        ("coldest", *sorted.last().expect("rows exist")),
     ];
     let mut table = Vec::new();
     for (tag, row) in picks {
@@ -205,6 +206,7 @@ fn render_fig1(study: &BlasterStudy, rows: &[CoverageRow]) {
     );
 }
 
+// hotspots-lint: certifies(panic-free) reason="the IMS deployment literal contains every labelled block"
 fn render_fig2(
     study: &SlammerStudy,
     rows: &[CoverageRow],
@@ -223,7 +225,7 @@ fn render_fig2(
     println!("-- per-block summary --\n");
     let mut table = Vec::new();
     for (label, total) in unique {
-        let block = blocks.by_label(label).expect("label"); // hotspots-lint: allow(panic-path) reason="IMS deployment always contains the labelled blocks"
+        let block = blocks.by_label(label).expect("label");
         let slash24s = (block.size() / 256).max(1);
         let per_row: Vec<u64> = rows
             .iter()
@@ -338,6 +340,7 @@ fn render_fig3(probes: u64, hosts: &[SlammerHostTrace]) {
     );
 }
 
+// hotspots-lint: certifies(panic-free) reason="the IMS deployment literal contains every labelled block and the M prefix literal parses"
 fn render_fig4(study: &CodeRedStudy, rows: &[CoverageRow], quarantines: &[QuarantineTrace]) {
     let blocks = ims_deployment();
 
@@ -352,7 +355,7 @@ fn render_fig4(study: &CodeRedStudy, rows: &[CoverageRow], quarantines: &[Quaran
     let mut max_rate = 0.0f64;
     let mut rates = Vec::new();
     for (label, total) in totals_by_block(rows) {
-        let block = blocks.by_label(&label).expect("label"); // hotspots-lint: allow(panic-path) reason="IMS deployment always contains the labelled blocks"
+        let block = blocks.by_label(&label).expect("label");
         let rate = total as f64 / (block.size() / 256).max(1) as f64;
         max_rate = max_rate.max(rate);
         rates.push((label, total, rate));
@@ -368,7 +371,7 @@ fn render_fig4(study: &CodeRedStudy, rows: &[CoverageRow], quarantines: &[Quaran
     print_table(&["block", "unique sources", "per /24", "profile"], &table);
 
     println!("\n-- Figure 4(b)/(c): quarantine runs --\n");
-    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M prefix"); // hotspots-lint: allow(panic-path) reason="literal prefix parses"
+    let m_prefix: Prefix = "192.40.16.0/22".parse().expect("M prefix");
     let m_hits = |h: &CountHistogram<Bucket24>| -> u64 {
         h.iter()
             .filter(|(b, _)| m_prefix.contains(b.first_ip()))
@@ -449,6 +452,7 @@ fn render_fig5a(study: &DetectionStudy, runs: &[HitListRun]) {
     );
 }
 
+// hotspots-lint: certifies(panic-free) reason="the literal quorum fraction is in (0, 1]"
 fn render_fig5b(study: &DetectionStudy, runs: &[HitListRun]) {
     println!(
         "\none /24 sensor per occupied /16, alert after {} worm payloads, \
@@ -491,7 +495,7 @@ fn render_fig5b(study: &DetectionStudy, runs: &[HitListRun]) {
     );
 
     println!("\n-- quorum verdicts --\n");
-    let policy = QuorumPolicy::new(0.5).expect("valid quorum"); // hotspots-lint: allow(panic-path) reason="literal quorum fraction is in (0, 1]"
+    let policy = QuorumPolicy::new(0.5).expect("valid quorum");
     for run in runs {
         let gap = DetectionGap::new(run.infection_curve.clone(), run.alert_curve.clone());
         println!(
@@ -513,6 +517,7 @@ fn render_fig5b(study: &DetectionStudy, runs: &[HitListRun]) {
     );
 }
 
+// hotspots-lint: certifies(panic-free) reason="the literal quorum fraction is in (0, 1]"
 fn render_fig5c(study: &DetectionStudy, nat_fraction: f64, runs: &[NatRun]) {
     println!(
         "\nCodeRedII-type worm, population {} ({}% NATed into 192.168/16), \
@@ -552,7 +557,7 @@ fn render_fig5c(study: &DetectionStudy, nat_fraction: f64, runs: &[NatRun]) {
     );
 
     println!("\n-- quorum verdicts --\n");
-    let policy = QuorumPolicy::new(0.5).expect("valid quorum"); // hotspots-lint: allow(panic-path) reason="literal quorum fraction is in (0, 1]"
+    let policy = QuorumPolicy::new(0.5).expect("valid quorum");
     for run in runs {
         let gap = DetectionGap::new(run.infection_curve.clone(), run.alert_curve.clone());
         println!("  {:?}: {}", run.placement, gap.describe(policy));
@@ -745,23 +750,25 @@ fn render_ablations(
     );
 }
 
+// hotspots-lint: certifies(panic-free) reason="the IMS deployment literal contains every labelled block"
 fn per_slash24_rates(rows: &[CoverageRow], blocks: &[AddressBlock]) -> BTreeMap<String, f64> {
     totals_by_block(rows)
         .into_iter()
         .map(|(label, total)| {
-            let block = blocks.by_label(&label).expect("label"); // hotspots-lint: allow(panic-path) reason="IMS deployment always contains the labelled blocks"
+            let block = blocks.by_label(&label).expect("label");
             let rate = total as f64 / (block.size() / 256).max(1) as f64;
             (label, rate)
         })
         .collect()
 }
 
+// hotspots-lint: certifies(panic-free) reason="sensitivity trials always include the M block and non-Z blocks"
 fn render_sensitivity(codered: &[CodeRedTrial], slammer: &[SlammerTrial]) {
     let trials = codered.len();
     println!("\n-- CodeRedII M spike across {trials} random placements --\n");
     let mut rows_out = Vec::new();
     for trial in codered {
-        let m = trial.blocks.by_label("M").expect("M"); // hotspots-lint: allow(panic-path) reason="IMS deployment always contains the M block"
+        let m = trial.blocks.by_label("M").expect("M");
         let rates = per_slash24_rates(&trial.rows, &trial.blocks);
         let background: f64 = ["A", "B", "C", "D", "E", "F", "H", "I"]
             .iter()
@@ -797,8 +804,8 @@ fn render_sensitivity(codered: &[CodeRedTrial], slammer: &[SlammerTrial]) {
             .map(|(l, &r)| (l.clone(), r))
             .collect();
         small.sort_by(|a, b| a.1.total_cmp(&b.1));
-        let (lo_label, lo) = small.first().expect("blocks").clone(); // hotspots-lint: allow(panic-path) reason="sensitivity trials always include non-Z blocks"
-        let (hi_label, hi) = small.last().expect("blocks").clone(); // hotspots-lint: allow(panic-path) reason="sensitivity trials always include non-Z blocks"
+        let (lo_label, lo) = small.first().expect("blocks").clone();
+        let (hi_label, hi) = small.last().expect("blocks").clone();
         rows_out.push(vec![
             trial.trial.to_string(),
             format!("{lo_label} = {lo:.0}"),

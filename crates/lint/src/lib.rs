@@ -19,23 +19,45 @@
 //! * **D5 `panic-path`** — no `unwrap`/`expect`/`panic!` in library
 //!   code without a justified waiver.
 //!
+//! On top of the token rules sit four call-graph-driven families, fed
+//! by a hand-rolled item parser ([`items`]) and a conservative
+//! name-resolved call graph ([`graph`]):
+//!
+//! * **R6 `panic-reachability`** — `certifies(panic-free)` pragmas are
+//!   checked interprocedurally: a certified fn must not reach an
+//!   unwaived panic site through any call chain.
+//! * **R7 `rng-stream-discipline`** — RNG constructions in
+//!   sim/targeting must derive from id-keyed seeds; no RNG state in
+//!   shard payloads or behind `Arc`.
+//! * **R8 `executor-isolation`** — nothing reachable from
+//!   `drive_shard`/`worker_loop` mutates observers or shared engine
+//!   flags; every channel `Sender<T>` pairs with a `Receiver<T>`.
+//! * **R9 `gate-consistency`** — telemetry-gated items are referenced
+//!   only from equally gated code.
+//!
 //! Run it as `cargo run -p hotspots-lint -- --workspace` (exit nonzero
-//! on violations, `--json` for machine-readable output). Waive a
-//! violation in place with
+//! on violations; `--json` or `--sarif` for machine-readable output,
+//! `--threads N` to parallelize the per-file phase, `--explain <rule>`
+//! for any rule's contract). Waive a violation in place with
 //! `// hotspots-lint: allow(<rule>) reason="…"` — the reason is
 //! mandatory and every waiver is listed in the run summary.
 //!
 //! The scanner is a small hand-rolled lexer ([`lexer`]), not a parser:
 //! token-level checks plus bracket-depth region recovery ([`regions`])
-//! are enough for these rules and keep the tool dependency-free.
+//! and the single-pass item parser are enough for these rules and keep
+//! the tool dependency-free.
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
+pub mod invariants;
+pub mod items;
 pub mod lexer;
 pub mod pragma;
 pub mod regions;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 
 pub use rules::{Diagnostic, RuleId};
-pub use scan::{lint_files, lint_source, workspace_files, WorkspaceReport};
+pub use scan::{lint_files, lint_files_with, lint_source, workspace_files, WorkspaceReport};

@@ -1,9 +1,12 @@
 //! The `hotspots-lint` command-line interface.
 //!
 //! ```text
-//! cargo run -p hotspots-lint -- --workspace          # lint the tree
-//! cargo run -p hotspots-lint -- --workspace --json   # machine output
-//! cargo run -p hotspots-lint -- path/to/file.rs …    # lint given files
+//! cargo run -p hotspots-lint -- --workspace            # lint the tree
+//! cargo run -p hotspots-lint -- --workspace --json     # machine output
+//! cargo run -p hotspots-lint -- --workspace --sarif    # SARIF 2.1.0
+//! cargo run -p hotspots-lint -- --workspace --threads 2
+//! cargo run -p hotspots-lint -- --explain panic-reachability
+//! cargo run -p hotspots-lint -- path/to/file.rs …      # lint given files
 //! ```
 //!
 //! Exit status: 0 when clean, 1 on violations, 2 on usage errors.
@@ -11,32 +14,78 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use hotspots_lint::rules::RuleId;
 use hotspots_lint::scan;
 
 const USAGE: &str = "\
 hotspots-lint: statically enforce the workspace's determinism invariants
 
 USAGE:
-    hotspots-lint [--workspace] [--json] [PATH ...]
+    hotspots-lint [--workspace] [--json | --sarif] [--threads N] [PATH ...]
+    hotspots-lint --explain <rule>
 
 OPTIONS:
-    --workspace   lint every crate's src/ plus the root package
-    --json        emit one JSON object instead of text diagnostics
-    --help        print this help
+    --workspace      lint every crate's src/ plus the root package
+    --json           emit one JSON object instead of text diagnostics
+    --sarif          emit a SARIF 2.1.0 log instead of text diagnostics
+    --threads N      analyze files on N worker threads (output is
+                     byte-identical to a serial run)
+    --explain RULE   print a rule's guarantee, example, and waiver form
+    --help           print this help
 
 Rules: D1 no-clock, D2 unordered-iteration, D3 ambient-entropy,
-D4 forbid-unsafe, D5 panic-path. Waive a violation in place with
-`// hotspots-lint: allow(<rule>) reason=\"…\"` (reason mandatory).
+D4 forbid-unsafe, D5 panic-path, R6 panic-reachability,
+R7 rng-stream-discipline, R8 executor-isolation, R9 gate-consistency.
+Waive a violation in place with
+`// hotspots-lint: allow(<rule>) reason=\"…\"` (reason mandatory), or
+certify a whole fn with
+`// hotspots-lint: certifies(panic-free) reason=\"…\"` (checked by R6).
 ";
+
+/// Prints one rule's documentation record (shared with SARIF metadata
+/// and the DESIGN.md §6 table).
+fn explain(rule: RuleId) -> String {
+    let doc = rule.doc();
+    format!(
+        "{} ({})\n\nguarantee:\n  {}\n\nexample violation:\n  {}\n\nwaiver:\n  {}\n",
+        rule.id(),
+        rule.name(),
+        doc.guarantee,
+        doc.example.replace('\n', "\n  "),
+        doc.waiver
+    )
+}
 
 fn main() -> ExitCode {
     let mut workspace = false;
     let mut json = false;
+    let mut sarif = false;
+    let mut threads = 1usize;
     let mut paths: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--json" => json = true,
+            "--sarif" => sarif = true,
+            "--threads" => {
+                let Some(n) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("hotspots-lint: --threads needs a positive integer\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                threads = n.max(1);
+            }
+            "--explain" => {
+                let Some(r) = args.next().as_deref().and_then(RuleId::parse) else {
+                    eprintln!(
+                        "hotspots-lint: --explain needs a rule id or name (e.g. `R6`, \
+                         `panic-reachability`)\n\n{USAGE}"
+                    );
+                    return ExitCode::from(2);
+                };
+                print!("{}", explain(r));
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -47,6 +96,10 @@ fn main() -> ExitCode {
             }
             path => paths.push(PathBuf::from(path)),
         }
+    }
+    if json && sarif {
+        eprintln!("hotspots-lint: --json and --sarif are mutually exclusive\n\n{USAGE}");
+        return ExitCode::from(2);
     }
     if !workspace && paths.is_empty() {
         eprintln!("hotspots-lint: nothing to lint (pass --workspace or file paths)\n\n{USAGE}");
@@ -65,9 +118,11 @@ fn main() -> ExitCode {
         files.push(abs);
     }
 
-    let report = scan::lint_files(&root, &files);
+    let report = scan::lint_files_with(&root, &files, threads);
     if json {
         println!("{}", report.render_json());
+    } else if sarif {
+        println!("{}", report.render_sarif());
     } else {
         print!("{}", report.render_text());
     }

@@ -1,4 +1,4 @@
-//! The allow-pragma escape hatch.
+//! The allow-pragma escape hatch and the panic-free certification.
 //!
 //! A violation the team has judged acceptable is waived in place:
 //!
@@ -11,21 +11,60 @@
 //! diagnostics on its own line (trailing form) and on the next line
 //! that carries code (preceding form). Every use is counted and listed
 //! in the run summary so waivers stay visible instead of rotting.
+//!
+//! The second form certifies a whole `fn` panic-free:
+//!
+//! ```text
+//! // hotspots-lint: certifies(panic-free) reason="every index guarded above its use"
+//! pub fn render(rows: &[Row]) -> String { ... }
+//! ```
+//!
+//! Certification suppresses every D5 `panic-path` site lexically inside
+//! the fn's body (one reviewed judgement per fn instead of one waiver
+//! per site) and is *checked against the call graph* by R6
+//! `panic-reachability`: a certified fn that can reach an unwaived,
+//! uncertified panic site through calls is flagged, and a certification
+//! that suppresses nothing is reported stale exactly like a stale
+//! waiver.
 
 use crate::lexer::{Comment, Token};
 use crate::rules::RuleId;
+
+/// What a pragma does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PragmaKind {
+    /// `allow(<rule>)`: waives matching diagnostics at its site.
+    Allow(RuleId),
+    /// `certifies(panic-free)`: certifies the following fn panic-free.
+    Certify,
+}
 
 /// One parsed pragma.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pragma {
     /// Line the pragma comment starts on.
     pub line: u32,
-    /// The rule it waives.
-    pub rule: RuleId,
+    pub kind: PragmaKind,
     /// The mandatory justification.
     pub reason: String,
     /// Lines this pragma suppresses (its own + the next code line).
     pub effective_lines: Vec<u32>,
+}
+
+impl Pragma {
+    /// The waived rule, for `allow` pragmas.
+    pub fn rule(&self) -> Option<RuleId> {
+        match self.kind {
+            PragmaKind::Allow(r) => Some(r),
+            PragmaKind::Certify => None,
+        }
+    }
+
+    /// The line a preceding-form pragma anchors to (its last effective
+    /// line): for `certifies`, the line of the fn it certifies.
+    pub fn anchor_line(&self) -> u32 {
+        self.effective_lines.last().copied().unwrap_or(self.line)
+    }
 }
 
 /// A malformed pragma: reported as a diagnostic, waives nothing.
@@ -58,7 +97,7 @@ pub fn collect(comments: &[Comment], tokens: &[Token]) -> (Vec<Pragma>, Vec<BadP
         };
         let body = c.text[at + MARKER.len()..].trim();
         match parse_body(body) {
-            Ok((rule, reason)) => {
+            Ok((kind, reason)) => {
                 // Trailing form (code on the pragma's own line) waives
                 // that line only; a standalone comment line waives the
                 // next line that carries code. Scope stays minimal
@@ -76,7 +115,7 @@ pub fn collect(comments: &[Comment], tokens: &[Token]) -> (Vec<Pragma>, Vec<BadP
                 };
                 pragmas.push(Pragma {
                     line: c.line,
-                    rule,
+                    kind,
                     reason,
                     effective_lines,
                 });
@@ -90,18 +129,35 @@ pub fn collect(comments: &[Comment], tokens: &[Token]) -> (Vec<Pragma>, Vec<BadP
     (pragmas, bad)
 }
 
-/// Parses `allow(<rule>) reason="…"` after the marker.
-fn parse_body(body: &str) -> Result<(RuleId, String), String> {
-    let rest = body
-        .strip_prefix("allow(")
-        .ok_or_else(|| format!("expected `allow(<rule>) reason=\"…\"`, got `{body}`"))?;
-    let close = rest
-        .find(')')
-        .ok_or_else(|| "unclosed `allow(` in pragma".to_owned())?;
-    let rule_name = rest[..close].trim();
-    let rule =
-        RuleId::parse(rule_name).ok_or_else(|| format!("unknown rule `{rule_name}` in pragma"))?;
-    let tail = rest[close + 1..].trim();
+/// Parses `allow(<rule>) reason="…"` or `certifies(panic-free)
+/// reason="…"` after the marker.
+fn parse_body(body: &str) -> Result<(PragmaKind, String), String> {
+    let (kind, tail) = if let Some(rest) = body.strip_prefix("allow(") {
+        let close = rest
+            .find(')')
+            .ok_or_else(|| "unclosed `allow(` in pragma".to_owned())?;
+        let rule_name = rest[..close].trim();
+        let rule = RuleId::parse(rule_name)
+            .ok_or_else(|| format!("unknown rule `{rule_name}` in pragma"))?;
+        (PragmaKind::Allow(rule), &rest[close + 1..])
+    } else if let Some(rest) = body.strip_prefix("certifies(") {
+        let close = rest
+            .find(')')
+            .ok_or_else(|| "unclosed `certifies(` in pragma".to_owned())?;
+        let what = rest[..close].trim();
+        if what != "panic-free" {
+            return Err(format!(
+                "unknown certification `{what}` (only `panic-free` exists)"
+            ));
+        }
+        (PragmaKind::Certify, &rest[close + 1..])
+    } else {
+        return Err(format!(
+            "expected `allow(<rule>) reason=\"…\"` or `certifies(panic-free) reason=\"…\"`, \
+             got `{body}`"
+        ));
+    };
+    let tail = tail.trim();
     let reason = tail
         .strip_prefix("reason=")
         .and_then(|r| r.trim().strip_prefix('"'))
@@ -111,7 +167,7 @@ fn parse_body(body: &str) -> Result<(RuleId, String), String> {
         .ok_or_else(|| {
             "pragma is missing its mandatory reason (`reason=\"…\"` must be non-empty)".to_owned()
         })?;
-    Ok((rule, reason.to_owned()))
+    Ok((kind, reason.to_owned()))
 }
 
 #[cfg(test)]
@@ -130,7 +186,7 @@ mod tests {
     #[test]
     fn trailing_pragma_covers_its_own_line() {
         let p = one("let x = v.unwrap(); // hotspots-lint: allow(panic-path) reason=\"bounded\"");
-        assert_eq!(p.rule, RuleId::PanicPath);
+        assert_eq!(p.rule(), Some(RuleId::PanicPath));
         assert_eq!(p.reason, "bounded");
         assert!(p.effective_lines.contains(&1));
     }
@@ -140,6 +196,31 @@ mod tests {
         let src = "// hotspots-lint: allow(no-clock) reason=\"bench only\"\n\nlet t = now();";
         let p = one(src);
         assert_eq!(p.effective_lines, vec![1, 3]);
+        assert_eq!(p.anchor_line(), 3);
+    }
+
+    #[test]
+    fn certifies_pragma_parses_with_reason() {
+        let src =
+            "// hotspots-lint: certifies(panic-free) reason=\"all indices guarded\"\nfn f() {}\n";
+        let p = one(src);
+        assert_eq!(p.kind, PragmaKind::Certify);
+        assert_eq!(p.rule(), None);
+        assert_eq!(p.reason, "all indices guarded");
+        assert_eq!(p.anchor_line(), 2);
+    }
+
+    #[test]
+    fn certifies_requires_panic_free_and_reason() {
+        let lexed = lex("// hotspots-lint: certifies(bug-free) reason=\"x\"\nfn f() {}");
+        let (_, bad) = collect(&lexed.comments, &lexed.tokens);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown certification"));
+
+        let lexed = lex("// hotspots-lint: certifies(panic-free)\nfn f() {}");
+        let (_, bad) = collect(&lexed.comments, &lexed.tokens);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("reason"));
     }
 
     #[test]
@@ -149,6 +230,11 @@ mod tests {
         assert_eq!(
             RuleId::parse("unordered-iteration"),
             Some(RuleId::UnorderedIteration)
+        );
+        assert_eq!(RuleId::parse("r6"), Some(RuleId::PanicReachability));
+        assert_eq!(
+            RuleId::parse("rng-stream-discipline"),
+            Some(RuleId::RngStreamDiscipline)
         );
         assert_eq!(RuleId::parse("nonsense"), None);
     }

@@ -145,10 +145,9 @@ fn target_range(tokens: &[Token], from: usize) -> LineRange {
     let mut paren = 0i32;
     let mut bracket = 0i32;
     let mut brace = 0i32;
-    let mut end_line = start_line;
+    let mut last_line = start_line;
     while i < tokens.len() {
         let t = &tokens[i];
-        end_line = t.line;
         if t.kind == TokenKind::Punct {
             match t.text.as_bytes().first().copied() {
                 Some(b'(') => paren += 1,
@@ -159,31 +158,42 @@ fn target_range(tokens: &[Token], from: usize) -> LineRange {
                     brace += 1;
                 }
                 Some(b'}') => {
+                    // an *unmatched* close belongs to the enclosing
+                    // item — the target (a gated field or variant)
+                    // ended before it
+                    if brace == 0 && paren == 0 && bracket == 0 {
+                        return LineRange {
+                            start: start_line,
+                            end: last_line,
+                        };
+                    }
                     brace -= 1;
                     // close of a depth-0 brace group ends an item
                     // (fn/mod/impl body, gated expression block)
                     if brace == 0 && paren == 0 && bracket == 0 {
                         return LineRange {
                             start: start_line,
-                            end: end_line,
+                            end: t.line,
                         };
                     }
                 }
-                // a depth-0 `;` ends a gated statement
-                Some(b';') if paren == 0 && bracket == 0 && brace == 0 => {
+                // a depth-0 `;` ends a gated statement; a depth-0 `,`
+                // ends a gated struct field, enum variant, or match arm
+                Some(b';') | Some(b',') if paren == 0 && bracket == 0 && brace == 0 => {
                     return LineRange {
                         start: start_line,
-                        end: end_line,
+                        end: t.line,
                     };
                 }
                 _ => {}
             }
         }
+        last_line = t.line;
         i += 1;
     }
     LineRange {
         start: start_line,
-        end: end_line,
+        end: last_line,
     }
 }
 

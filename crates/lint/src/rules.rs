@@ -29,22 +29,34 @@ pub enum RuleId {
     AmbientEntropy,
     ForbidUnsafe,
     PanicPath,
+    /// R6: interprocedural panic reachability / certification checks.
+    PanicReachability,
+    /// R7: SplitMix64 domain-separation discipline for RNG streams.
+    RngStreamDiscipline,
+    /// R8: executor race rules (shard isolation, channel pairing).
+    ExecutorIsolation,
+    /// R9: feature-gate consistency for telemetry-gated items.
+    GateConsistency,
     /// A malformed `hotspots-lint:` pragma (never waivable).
     BadPragma,
 }
 
 impl RuleId {
     /// All enforceable rules, in report order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::NoClock,
         RuleId::UnorderedIteration,
         RuleId::AmbientEntropy,
         RuleId::ForbidUnsafe,
         RuleId::PanicPath,
+        RuleId::PanicReachability,
+        RuleId::RngStreamDiscipline,
+        RuleId::ExecutorIsolation,
+        RuleId::GateConsistency,
         RuleId::BadPragma,
     ];
 
-    /// Short id (`D1`…`D5`).
+    /// Short id (`D1`…`D5`, `R6`…`R9`).
     pub fn id(self) -> &'static str {
         match self {
             RuleId::NoClock => "D1",
@@ -52,11 +64,15 @@ impl RuleId {
             RuleId::AmbientEntropy => "D3",
             RuleId::ForbidUnsafe => "D4",
             RuleId::PanicPath => "D5",
+            RuleId::PanicReachability => "R6",
+            RuleId::RngStreamDiscipline => "R7",
+            RuleId::ExecutorIsolation => "R8",
+            RuleId::GateConsistency => "R9",
             RuleId::BadPragma => "D0",
         }
     }
 
-    /// Long name (`no-clock`…`panic-path`).
+    /// Long name (`no-clock`…`gate-consistency`).
     pub fn name(self) -> &'static str {
         match self {
             RuleId::NoClock => "no-clock",
@@ -64,6 +80,10 @@ impl RuleId {
             RuleId::AmbientEntropy => "ambient-entropy",
             RuleId::ForbidUnsafe => "forbid-unsafe",
             RuleId::PanicPath => "panic-path",
+            RuleId::PanicReachability => "panic-reachability",
+            RuleId::RngStreamDiscipline => "rng-stream-discipline",
+            RuleId::ExecutorIsolation => "executor-isolation",
+            RuleId::GateConsistency => "gate-consistency",
             RuleId::BadPragma => "bad-pragma",
         }
     }
@@ -84,6 +104,93 @@ impl fmt::Display for RuleId {
         write!(f, "{} ({})", self.id(), self.name())
     }
 }
+
+/// The documentation record for one rule: the single source of truth
+/// shared by `--explain`, the SARIF rule metadata, and the DESIGN.md §6
+/// table (a test asserts each `guarantee` sentence appears verbatim in
+/// DESIGN.md, so the CLI and the docs cannot drift).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDoc {
+    pub rule: RuleId,
+    /// One-sentence statement of the invariant the rule protects.
+    pub guarantee: &'static str,
+    /// A minimal violating snippet.
+    pub example: &'static str,
+    /// The waiver (or certification) form that silences it.
+    pub waiver: &'static str,
+}
+
+impl RuleId {
+    /// This rule's documentation record.
+    pub fn doc(self) -> RuleDoc {
+        // index math instead of a second match: ALL and DOCS share order
+        RULE_DOCS[RuleId::ALL.iter().position(|r| *r == self).unwrap_or(0)]
+    }
+}
+
+/// One entry per `RuleId::ALL` member, same order.
+pub const RULE_DOCS: [RuleDoc; 10] = [
+    RuleDoc {
+        rule: RuleId::NoClock,
+        guarantee: "no clock reads in hot-path crates outside telemetry-gated regions, so the default build's hot loop never touches a timer",
+        example: "let t0 = Instant::now(); // in crates/sim/src, ungated",
+        waiver: "// hotspots-lint: allow(no-clock) reason=\"…\"",
+    },
+    RuleDoc {
+        rule: RuleId::UnorderedIteration,
+        guarantee: "no hash-ordered collections in report-feeding code, so JSONL reports and rendered tables are byte-stable run to run",
+        example: "let m: HashMap<u32, u32> = … // in crates/experiments/src",
+        waiver: "// hotspots-lint: allow(unordered-iteration) reason=\"…\"",
+    },
+    RuleDoc {
+        rule: RuleId::AmbientEntropy,
+        guarantee: "no ambient entropy anywhere (tests included), so every random draw replays from the spec seed",
+        example: "let mut rng = thread_rng();",
+        waiver: "// hotspots-lint: allow(ambient-entropy) reason=\"…\"",
+    },
+    RuleDoc {
+        rule: RuleId::ForbidUnsafe,
+        guarantee: "every library crate's lib.rs carries #![forbid(unsafe_code)], so memory-safety review never reopens",
+        example: "a lib.rs missing the forbid attribute",
+        waiver: "// hotspots-lint: allow(forbid-unsafe) reason=\"…\"",
+    },
+    RuleDoc {
+        rule: RuleId::PanicPath,
+        guarantee: "library code fails through Result, not unwrap/expect/panic!, so callers decide failure policy",
+        example: "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        waiver: "// hotspots-lint: allow(panic-path) reason=\"…\" — or certify the whole fn: // hotspots-lint: certifies(panic-free) reason=\"…\"",
+    },
+    RuleDoc {
+        rule: RuleId::PanicReachability,
+        guarantee: "a fn certified panic-free must not reach an unwaived panic site through any call chain, and every certification must suppress at least one site",
+        example: "// hotspots-lint: certifies(panic-free) reason=\"…\"\nfn f() { helper() } // where helper() contains a bare .unwrap()",
+        waiver: "// hotspots-lint: allow(panic-reachability) reason=\"…\"",
+    },
+    RuleDoc {
+        rule: RuleId::RngStreamDiscipline,
+        guarantee: "every RNG in sim/targeting is constructed from an id-keyed stream helper and no RNG state crosses a shard boundary or hides in an Arc without re-keying",
+        example: "let g = SplitMix::new(42); // literal seed, not host_seed/derive_seed",
+        waiver: "// hotspots-lint: allow(rng-stream-discipline) reason=\"…\"",
+    },
+    RuleDoc {
+        rule: RuleId::ExecutorIsolation,
+        guarantee: "code reachable from drive_shard/worker_loop never mutates observable state (observers, engine flags) directly, and every channel Sender<T> has a matching Receiver<T>",
+        example: "fn drive_shard(…) { observer.on_infection(…) }",
+        waiver: "// hotspots-lint: allow(executor-isolation) reason=\"…\"",
+    },
+    RuleDoc {
+        rule: RuleId::GateConsistency,
+        guarantee: "items defined under #[cfg(feature = \"telemetry\")] are referenced only from equally gated code, so every feature combination compiles",
+        example: "#[cfg(feature = \"telemetry\")] fn phases() {} … fn report() { phases() } // ungated call",
+        waiver: "// hotspots-lint: allow(gate-consistency) reason=\"…\"",
+    },
+    RuleDoc {
+        rule: RuleId::BadPragma,
+        guarantee: "every waiver pragma is well-formed and carries a reason; a malformed pragma is itself a violation and can never waive anything",
+        example: "// hotspots-lint: allow(panic-path)   (missing reason)",
+        waiver: "not waivable — fix the pragma",
+    },
+];
 
 /// How a file participates in the workspace — decides which rules
 /// apply to it.

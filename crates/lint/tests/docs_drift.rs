@@ -1,0 +1,58 @@
+//! DESIGN.md §6 and the rule engine share one source of truth: the
+//! `RULE_DOCS` table. `--explain` prints it, the SARIF export ships it
+//! as rule metadata, and the §6 table quotes every guarantee sentence
+//! verbatim — this test is what makes "verbatim" enforceable, so prose
+//! and tool can never describe different contracts.
+
+use std::fs;
+use std::path::Path;
+
+use hotspots_lint::rules::{RuleId, RULE_DOCS};
+use hotspots_lint::scan::find_workspace_root;
+
+fn design_md() -> String {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    fs::read_to_string(root.join("DESIGN.md")).expect("DESIGN.md exists at the workspace root")
+}
+
+#[test]
+fn every_rule_guarantee_appears_verbatim_in_design_md() {
+    let design = design_md();
+    for doc in &RULE_DOCS {
+        assert!(
+            design.contains(doc.guarantee),
+            "DESIGN.md drifted from RULE_DOCS: guarantee for {} not found verbatim:\n  {}",
+            doc.rule,
+            doc.guarantee
+        );
+    }
+}
+
+#[test]
+fn every_rule_id_and_name_appear_in_design_md() {
+    let design = design_md();
+    for rule in RuleId::ALL {
+        assert!(
+            design.contains(rule.id()),
+            "DESIGN.md is missing rule id {}",
+            rule.id()
+        );
+        assert!(
+            design.contains(&format!("`{}`", rule.name())),
+            "DESIGN.md is missing rule name `{}`",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn rule_docs_cover_every_rule_exactly_once_in_order() {
+    assert_eq!(RULE_DOCS.len(), RuleId::ALL.len());
+    for (doc, rule) in RULE_DOCS.iter().zip(RuleId::ALL) {
+        assert_eq!(doc.rule, rule, "RULE_DOCS order drifted from RuleId::ALL");
+        assert!(!doc.guarantee.is_empty());
+        assert!(!doc.example.is_empty());
+        assert!(!doc.waiver.is_empty());
+    }
+}

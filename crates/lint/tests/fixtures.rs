@@ -27,7 +27,7 @@ fn load_cases() -> Vec<Case> {
     collect(&dir, &mut files);
     files.sort();
     assert!(
-        files.len() >= 11,
+        files.len() >= 24,
         "fixture corpus went missing: found only {} files",
         files.len()
     );

@@ -1,0 +1,21 @@
+// lint-as: crates/stats/src/reach.rs
+// A certification claims the whole call cone: `top` reaches `leaf`'s
+// unwaived panic site through `mid`, so R6 rejects the claim. A pragma
+// that precedes no fn at all cannot attach and is flagged where it
+// stands.
+
+// hotspots-lint: certifies(panic-free) reason="only forwards to mid"
+pub fn top(x: Option<u32>) -> u32 { //~ R6
+    mid(x)
+}
+
+fn mid(x: Option<u32>) -> u32 {
+    leaf(x)
+}
+
+fn leaf(x: Option<u32>) -> u32 {
+    x.expect("present") //~ D5
+}
+
+// hotspots-lint: certifies(panic-free) reason="precedes a const, not a fn" //~ R6
+pub const ANSWER: u32 = 42;

@@ -1,0 +1,19 @@
+// lint-as: crates/stats/src/reach_ok.rs
+// Certified fns whose own sites are suppressed and whose callees'
+// sites are waived lint clean: suppression is lexical, reachability
+// honours waivers.
+
+// hotspots-lint: certifies(panic-free) reason="the literal always parses"
+pub fn render() -> u32 {
+    "42".parse().unwrap()
+}
+
+// hotspots-lint: certifies(panic-free) reason="callee's site is waived where it lives"
+pub fn forward(x: Option<u32>) -> u32 {
+    guarded(x)
+}
+
+fn guarded(x: Option<u32>) -> u32 {
+    // hotspots-lint: allow(panic-path) reason="callers check is_some first"
+    x.unwrap()
+}

@@ -1,0 +1,9 @@
+// lint-as: crates/stats/src/reach_stale.rs
+// A certification that suppresses nothing and reaches no panic site is
+// dead weight: R6 reports it so it gets removed, exactly like a stale
+// waiver.
+
+// hotspots-lint: certifies(panic-free) reason="sum cannot panic" //~ R6
+pub fn total(xs: &[u32]) -> u64 {
+    xs.iter().map(|&x| u64::from(x)).sum()
+}

@@ -1,0 +1,17 @@
+// lint-as: crates/sim/src/streams.rs
+// Ad-hoc seeds, shared RNG state, and RNG riding in shard payloads all
+// break the id-keyed stream discipline.
+
+pub fn draw(hosts: u32) -> u32 {
+    let mut g = SplitMix::new(42); //~ R7
+    g.next_u32() % hosts
+}
+
+pub struct Shared {
+    pub rng: Arc<StdRng>, //~ R7
+}
+
+pub struct ShardJob {
+    pub lo: u32,
+    pub rng: Lcg32, //~ R7
+}

@@ -1,0 +1,8 @@
+// lint-as: crates/sim/src/streams_waived.rs
+// A generator that deliberately replays a historical constant; the
+// waiver records the judgement in place.
+
+pub fn historical() -> Lcg32 {
+    // hotspots-lint: allow(rng-stream-discipline) reason="replays Slammer's published constant"
+    Lcg32::new(0x0019_660D)
+}

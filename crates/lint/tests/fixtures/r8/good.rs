@@ -1,0 +1,38 @@
+// lint-as: crates/sim/src/exec_ok.rs
+// Shard work communicates through paired channels; observer dispatch
+// stays on the coordinator, outside the shard cone.
+
+pub struct Pool {
+    pub jobs: Sender<ShardJob>,
+    pub done: Receiver<ShardDone>,
+}
+
+pub struct Worker {
+    pub jobs: Receiver<ShardJob>,
+    pub done: Sender<ShardDone>,
+}
+
+pub fn worker_loop(w: &Worker) {
+    while let Ok(job) = w.jobs.recv() {
+        let out = run_job(job);
+        let _ = w.done.send(out);
+    }
+}
+
+fn run_job(job: ShardJob) -> ShardDone {
+    ShardDone { shard: job.shard }
+}
+
+pub fn merge(pool: &Pool, obs: &mut Obs) {
+    while let Ok(done) = pool.done.recv() {
+        obs.on_probe_batch(done.shard);
+    }
+}
+
+pub struct ShardJob {
+    pub shard: u32,
+}
+
+pub struct ShardDone {
+    pub shard: u32,
+}

@@ -1,0 +1,12 @@
+// lint-as: crates/sim/src/metrics.rs
+// `PhaseLog` exists only when the telemetry feature is on: an ungated
+// reference fails to compile in the default build.
+
+#[cfg(feature = "telemetry")]
+pub struct PhaseLog {
+    pub steps: u64,
+}
+
+pub fn record(log: &mut PhaseLog) { //~ R9
+    log.steps += 1;
+}

@@ -1,0 +1,33 @@
+// lint-as: crates/sim/src/metrics_ok.rs
+// Gated definitions referenced from equally gated (or test) code, and
+// ungated items next to them, are all consistent.
+
+#[cfg(feature = "telemetry")]
+pub struct PhaseLog {
+    pub steps: u64,
+}
+
+#[cfg(feature = "telemetry")]
+pub fn record(log: &mut PhaseLog) {
+    log.steps += 1;
+}
+
+pub struct Summary {
+    pub total: u64,
+}
+
+pub fn summarize(s: &Summary) -> u64 {
+    s.total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gated_type_is_fine_in_tests() {
+        let mut log = PhaseLog { steps: 0 };
+        record(&mut log);
+        assert_eq!(log.steps, 1);
+    }
+}

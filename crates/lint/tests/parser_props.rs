@@ -1,0 +1,78 @@
+//! Property tests for the syntax layer above the lexer: the item
+//! parser and the call-graph builder must be total. They run on every
+//! workspace file on every CI scan, including sources mid-edit, so
+//! arbitrary token soup — unbalanced braces, truncated signatures,
+//! keyword shreds — may degrade their output but never panic them.
+
+use proptest::prelude::*;
+
+use hotspots_lint::graph::{call_sites, CallGraph};
+use hotspots_lint::items::parse;
+use hotspots_lint::lexer::lex;
+
+/// Rust-ish shreds biased toward the constructs the item parser and
+/// call-site scanner actually dispatch on.
+const ATOMS: [&str; 24] = [
+    "fn", "struct", "enum", "trait", "impl", "mod", "const", "static", "type", "for", "where", "{",
+    "}", "(", ")", "[", "]", ";", ",", "::", "#[x]", "name", ".call", "<T>",
+];
+
+fn soup(picks: &[u8]) -> String {
+    picks
+        .iter()
+        .map(|&i| ATOMS[i as usize % ATOMS.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #[test]
+    fn item_parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let lexed = lex(&src);
+        let items = parse(&lexed.tokens);
+        // recovered spans must be well-formed even on garbage
+        for f in &items.fns {
+            prop_assert!(f.line <= f.end_line);
+            if let Some((s, e)) = f.body {
+                prop_assert!(s <= e && e <= lexed.tokens.len());
+            }
+        }
+    }
+
+    #[test]
+    fn item_parser_never_panics_on_keyword_soup(
+        picks in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let src = soup(&picks);
+        let lexed = lex(&src);
+        let items = parse(&lexed.tokens);
+        for t in &items.types {
+            prop_assert!(t.line <= t.end_line);
+        }
+    }
+
+    #[test]
+    fn call_graph_never_panics_on_keyword_soup(
+        picks in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        let src = soup(&picks);
+        let lexed = lex(&src);
+        let items = parse(&lexed.tokens);
+        // call_sites must tolerate any body span the parser recovered
+        for f in &items.fns {
+            if let Some(body) = f.body {
+                let _ = call_sites(&lexed.tokens, body);
+            }
+        }
+        let g = CallGraph::build(&[(&lexed.tokens[..], &items)]);
+        // reachability over the soup graph must terminate and stay in
+        // bounds from any seed
+        let seeds: Vec<usize> = (0..g.nodes.len()).collect();
+        for n in g.reachable(&seeds, |_| true) {
+            prop_assert!(n < g.nodes.len());
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::path::Path;
 
-use hotspots_lint::scan::{find_workspace_root, lint_files, workspace_files};
+use hotspots_lint::scan::{find_workspace_root, lint_files, lint_files_with, workspace_files};
 
 #[test]
 fn workspace_lints_clean() {
@@ -39,11 +39,16 @@ fn workspace_lints_clean() {
 }
 
 /// Retiring a waiver is one-way. The typed-error hardening of the run
-/// path removed the `RunSet` and `preset_main` panic waivers; this pin
-/// keeps them — or any other retired waiver — from silently returning
-/// as a new `expect` with a fresh pragma. Removing a waiver lowers the
-/// count; raising it takes a deliberate edit here alongside the new
-/// waiver's justification.
+/// path removed the `RunSet` and `preset_main` panic waivers, and the
+/// R6 certification burn-down converted 33 more D5 waivers (corpus
+/// generation, slammer cycle maps, figure rendering, the ablation
+/// runner) into 17 call-graph-checked `certifies(panic-free)` pragmas.
+/// This pin keeps any retired waiver from silently returning as a new
+/// `expect` with a fresh pragma: the count may only fall; raising it
+/// takes a deliberate edit here alongside the new waiver's
+/// justification.
+const WAIVER_CEILING: usize = 28;
+
 #[test]
 fn workspace_waiver_count_is_pinned() {
     let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
@@ -55,10 +60,56 @@ fn workspace_waiver_count_is_pinned() {
         .iter()
         .map(|(p, path, _)| format!("{path}:{}", p.line))
         .collect();
-    assert_eq!(
-        waivers.len(),
-        61,
-        "workspace waiver count changed; current waivers:\n{}",
+    assert!(
+        waivers.len() <= WAIVER_CEILING,
+        "workspace waiver count rose above the {WAIVER_CEILING} ceiling; current waivers:\n{}",
         waivers.join("\n")
     );
+}
+
+/// The parallel scan's contract is byte-stability, not just equal
+/// diagnostics: CI diffs the `--threads 2` output against the serial
+/// run, so every rendering (text, JSON, SARIF) must come out identical
+/// regardless of worker interleaving. The indexed result slots plus the
+/// final (path, line, rule) sort guarantee it; this pins the guarantee.
+#[test]
+fn parallel_scan_is_byte_identical_to_serial() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let files = workspace_files(&root);
+    let serial = lint_files_with(&root, &files, 1);
+    let parallel = lint_files_with(&root, &files, 2);
+    assert_eq!(serial.render_text(), parallel.render_text());
+    assert_eq!(serial.render_json(), parallel.render_json());
+    assert_eq!(serial.render_sarif(), parallel.render_sarif());
+}
+
+/// The burn-down's certifications are load-bearing: each must keep
+/// suppressing at least one D5 site (R6 already fails the scan when
+/// one goes stale), carry a reason, and stay at or above the count the
+/// burn-down landed (removing one means re-adding waivers, which the
+/// ceiling above would catch — this pins the other direction).
+#[test]
+fn certifications_are_present_and_reasoned() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let files = workspace_files(&root);
+    let report = lint_files(&root, &files);
+    assert!(
+        report.certifications.len() >= 17,
+        "expected at least 17 certified fns, found {}",
+        report.certifications.len()
+    );
+    for (p, path, fn_name, suppressed) in &report.certifications {
+        assert!(
+            !p.reason.trim().is_empty(),
+            "{path}:{}: certification without a reason",
+            p.line
+        );
+        assert!(
+            *suppressed > 0,
+            "{path}:{}: certification of `{fn_name}` suppresses no D5 site",
+            p.line
+        );
+    }
 }

@@ -872,6 +872,7 @@ fn size_labels(sizes: &[Option<u64>]) -> String {
         .join(",")
 }
 
+// hotspots-lint: certifies(panic-free) reason="sensor prefixes and hit-list entries are literals that parse"
 fn run_ablations(
     nat_population: usize,
     nat_max_time: f64,
@@ -913,7 +914,7 @@ fn run_ablations(
         set.into_iter().collect()
     };
     let sensors: Vec<Prefix> = (0..16u32)
-        .map(|i| format!("66.66.{}.0/24", i * 16).parse().expect("valid")) // hotspots-lint: allow(panic-path) reason="literal prefix parses"
+        .map(|i| format!("66.66.{}.0/24", i * 16).parse().expect("valid"))
         .collect();
     let mut sensor = Vec::new();
     for (proto_name, service) in [
@@ -933,10 +934,10 @@ fn run_ablations(
             // worm targets 66.66/16 (where hosts are NOT — pure noise
             // toward the sensors) plus the host /16
             let both = HitList::new(vec![
-                "66.66.0.0/16".parse().expect("valid"), // hotspots-lint: allow(panic-path) reason="literal prefix parses"
-                "66.67.0.0/16".parse().expect("valid"), // hotspots-lint: allow(panic-path) reason="literal prefix parses"
+                "66.66.0.0/16".parse().expect("valid"),
+                "66.67.0.0/16".parse().expect("valid"),
             ])
-            .expect("non-empty hit-list"); // hotspots-lint: allow(panic-path) reason="hit-list built from a non-empty literal prefix list"
+            .expect("non-empty hit-list");
             let mut engine = Engine::new(
                 config,
                 Population::from_public(addrs.iter().map(|ip| Ip::new(ip.value() | 0x0001_0000))),
