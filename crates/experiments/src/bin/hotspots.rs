@@ -20,9 +20,11 @@ use hotspots_experiments::{
     RunContext, Scale,
 };
 use hotspots_scenario::cli::{parse_flags, usage, ArgError, FlagSpec, ParsedArgs};
+use hotspots_scenario::spec::SpecError;
 use hotspots_scenario::value::Value;
 use hotspots_scenario::{ScenarioSpec, RUN_REPORT_ENV};
-use hotspots_telemetry::{BenchSummary, MemoryStats, ScalingPoint};
+use hotspots_serve::{ServeConfig, Server};
+use hotspots_telemetry::{json, BenchSummary, MemoryStats, ScalingPoint};
 
 const COMMANDS: &str = "commands:
   run <name|spec.toml>     execute a preset or spec file
@@ -32,12 +34,16 @@ const COMMANDS: &str = "commands:
   profile <name|spec.toml> run under span tracing; write a Chrome trace,
                            a collapsed-stack file, and a phase table
                            (engine-path scenarios only)
+  serve                    JSONL scenario server over stdio with a
+                           content-addressed result cache
+                           (--check: re-run and byte-diff every entry)
 
 examples:
   hotspots run fig2 --quick
   hotspots sweep fig4 --quick --param study.nat_fraction=0,0.15,0.5
   hotspots run examples/specs/table1.toml --report out.jsonl
   hotspots profile bench-slammer --scaling 1,2,4,8
+  hotspots serve --cache-dir results/cache --max-entries 32
 ";
 
 fn flags() -> Vec<FlagSpec> {
@@ -106,6 +112,41 @@ fn flags() -> Vec<FlagSpec> {
             help: "list: include the paper artifact mapping",
         },
         FlagSpec {
+            name: "cache-dir",
+            short: None,
+            takes_value: true,
+            repeatable: false,
+            help: "serve: result-cache root (default: .hotspots-cache)",
+        },
+        FlagSpec {
+            name: "max-entries",
+            short: None,
+            takes_value: true,
+            repeatable: false,
+            help: "serve: LRU bound on cached entries (default: 64)",
+        },
+        FlagSpec {
+            name: "workers",
+            short: None,
+            takes_value: true,
+            repeatable: false,
+            help: "serve: run-pool worker threads (default: 1; 0 = reject all)",
+        },
+        FlagSpec {
+            name: "queue-depth",
+            short: None,
+            takes_value: true,
+            repeatable: false,
+            help: "serve: bound on queued jobs before backpressure (default: 16)",
+        },
+        FlagSpec {
+            name: "check",
+            short: None,
+            takes_value: false,
+            repeatable: false,
+            help: "serve: re-run every cached entry and diff byte-for-byte",
+        },
+        FlagSpec {
             name: "help",
             short: Some("h"),
             takes_value: false,
@@ -160,29 +201,41 @@ fn main() {
         "sweep" => cmd_sweep(&parsed, scale, threads),
         "spec" => cmd_spec(&parsed, scale),
         "profile" => cmd_profile(&parsed, scale, threads),
+        "serve" => cmd_serve(&parsed, threads),
         other => die(&format!("unknown command {other:?}")),
     }
 }
 
 /// Resolves `run`/`sweep`/`spec`'s target: a registry preset name, or a
 /// path to a TOML spec file.
-fn resolve_spec(target: &str, scale: Scale) -> ScenarioSpec {
+///
+/// Failure modes keep their typed exit codes: an unreadable spec file
+/// is an I/O failure (exit 1), while a malformed spec or an unknown
+/// target is a mistake the caller can fix (exit 2).
+fn resolve_spec(target: &str, scale: Scale) -> Result<ScenarioSpec, HotspotsError> {
     if let Some(preset) = find_preset(target) {
-        return preset.spec(scale);
+        return Ok(preset.spec(scale));
     }
     if target.ends_with(".toml") || std::path::Path::new(target).exists() {
-        let text = match std::fs::read_to_string(target) {
-            Ok(t) => t,
-            Err(e) => die(&format!("cannot read {target}: {e}")),
-        };
-        match ScenarioSpec::from_toml(&text) {
-            Ok(spec) => return spec,
-            Err(e) => die(&format!("{target}: {e}")),
-        }
+        let text = std::fs::read_to_string(target).map_err(|e| HotspotsError::Io {
+            context: format!("reading {target}"),
+            source: e,
+        })?;
+        return ScenarioSpec::from_toml(&text)
+            .map_err(|e| SpecError::new(format!("{target} {}", e.field), e.message).into());
     }
-    die(&format!(
+    Err(ArgError::new(format!(
         "{target:?} is neither a registered preset (see `hotspots list`) nor a spec file"
-    ));
+    ))
+    .into())
+}
+
+/// `resolve_spec` for commands that exit on failure.
+fn resolve_spec_or_exit(target: &str, scale: Scale) -> ScenarioSpec {
+    match resolve_spec(target, scale) {
+        Ok(spec) => spec,
+        Err(e) => fail(&e),
+    }
 }
 
 fn context(threads: Option<usize>) -> RunContext {
@@ -208,7 +261,7 @@ fn cmd_run(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
     let [_, target] = &parsed.positional[..] else {
         die("run takes exactly one target: a preset name or spec file");
     };
-    let spec = resolve_spec(target, scale);
+    let spec = resolve_spec_or_exit(target, scale);
     spec_banner(&spec, scale);
     match run_spec(&spec, &context(threads)) {
         Ok(run) => {
@@ -247,7 +300,7 @@ fn cmd_spec(parsed: &ParsedArgs, scale: Scale) {
     let [_, target] = &parsed.positional[..] else {
         die("spec takes exactly one target: a preset name or spec file");
     };
-    print!("{}", resolve_spec(target, scale).to_toml());
+    print!("{}", resolve_spec_or_exit(target, scale).to_toml());
 }
 
 /// File stem for profile artifacts: the scenario name with anything
@@ -384,7 +437,7 @@ fn cmd_profile(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
     let [_, target] = &parsed.positional[..] else {
         die("profile takes exactly one target: a preset name or spec file");
     };
-    let spec = resolve_spec(target, scale);
+    let spec = resolve_spec_or_exit(target, scale);
     if spec.study.is_some() {
         die(&format!(
             "{target:?} is a study preset with no engine to trace; \
@@ -512,30 +565,149 @@ fn parse_sweep_value(s: &str) -> Value {
     }
 }
 
-fn cmd_sweep(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
-    let [_, target] = &parsed.positional[..] else {
-        die("sweep takes exactly one target: a preset name or spec file");
+/// Parses a non-negative integer serve flag, defaulting when absent.
+fn parse_count(parsed: &ParsedArgs, name: &str, default: usize) -> Result<usize, HotspotsError> {
+    match parsed.value(name) {
+        None => Ok(default),
+        Some(v) => v.parse::<usize>().map_err(|_| {
+            ArgError::new(format!("--{name} needs a non-negative integer, got {v:?}")).into()
+        }),
+    }
+}
+
+fn serve_config(parsed: &ParsedArgs, threads: Option<usize>) -> Result<ServeConfig, HotspotsError> {
+    let defaults = ServeConfig::default();
+    Ok(ServeConfig {
+        cache_dir: parsed
+            .value("cache-dir")
+            .map_or(defaults.cache_dir, std::path::PathBuf::from),
+        max_entries: parse_count(parsed, "max-entries", defaults.max_entries)?,
+        workers: parse_count(parsed, "workers", defaults.workers)?,
+        queue_depth: parse_count(parsed, "queue-depth", defaults.queue_depth)?,
+        threads: threads.unwrap_or(defaults.threads),
+    })
+}
+
+/// `hotspots serve`: the JSONL scenario server over stdio (responses
+/// on stdout, diagnostics on stderr), or — with `--check` — the cache
+/// verification pass: re-run every cached entry and byte-diff it
+/// against the stored report.
+fn cmd_serve(parsed: &ParsedArgs, threads: Option<usize>) {
+    if parsed.positional.len() > 1 {
+        die("serve takes no positional arguments");
+    }
+    let config = match serve_config(parsed, threads) {
+        Ok(config) => config,
+        Err(e) => fail(&e),
     };
-    let base = resolve_spec(target, scale);
-    // every --param occurrence is its own sweep axis, run in order;
-    // without any, fall back to the spec's [sweep] section
-    let mut axes: Vec<(String, Vec<Value>)> = Vec::new();
-    for p in parsed.values("param") {
-        let Some((path, list)) = p.split_once('=') else {
-            die("--param needs the form dotted.path=v1,v2,...");
+    if parsed.has("check") {
+        let outcomes = match hotspots_serve::check(&config) {
+            Ok(outcomes) => outcomes,
+            Err(e) => fail(&e),
         };
+        let mut diverged = 0usize;
+        for outcome in &outcomes {
+            let mut line = format!("{{\"hash\":\"{}\",\"name\":", outcome.hash);
+            json::write_str(&mut line, &outcome.name);
+            line.push_str(",\"ok\":");
+            match &outcome.failure {
+                None => line.push_str("true}"),
+                Some(why) => {
+                    diverged += 1;
+                    line.push_str("false,\"error\":");
+                    json::write_str(&mut line, why);
+                    line.push('}');
+                }
+            }
+            println!("{line}");
+        }
+        eprintln!(
+            "serve --check: {} entries verified, {diverged} diverged",
+            outcomes.len()
+        );
+        if diverged > 0 {
+            fail(&HotspotsError::worker(format!(
+                "re-verifying the result cache: {diverged} entries diverged from their re-runs"
+            )));
+        }
+        return;
+    }
+    let server = match Server::open(&config) {
+        Ok(server) => server,
+        Err(e) => fail(&e),
+    };
+    eprintln!(
+        "hotspots serve: cache {} ({} workers, queue depth {}, max {} entries); \
+         JSONL on stdin, responses on stdout",
+        config.cache_dir.display(),
+        config.workers,
+        config.queue_depth,
+        config.max_entries,
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = server.serve(stdin.lock(), stdout.lock()) {
+        fail(&HotspotsError::Io {
+            context: "serving the stdio session".to_owned(),
+            source: e,
+        });
+    }
+}
+
+/// Parses the sweep axes from repeated `--param dotted.path=v1,v2,...`
+/// flags, falling back to the spec's own `[sweep]` section. Mirrors
+/// `parse_scaling`: every malformed value is a typed usage error, so
+/// the front-end exits 2 per `HotspotsError::exit_code`.
+fn parse_axes(
+    params: &[&str],
+    base: &ScenarioSpec,
+) -> Result<Vec<(String, Vec<Value>)>, HotspotsError> {
+    let mut axes: Vec<(String, Vec<Value>)> = Vec::new();
+    for p in params {
+        let Some((path, list)) = p.split_once('=') else {
+            return Err(ArgError::new(format!(
+                "--param {p:?} needs the form dotted.path=v1,v2,..."
+            ))
+            .into());
+        };
+        if path.is_empty() {
+            return Err(
+                ArgError::new(format!("--param {p:?} names an empty parameter path")).into(),
+            );
+        }
+        if list.is_empty() {
+            return Err(ArgError::new(format!("--param {path} needs at least one value")).into());
+        }
         let values: Vec<Value> = list.split(',').map(parse_sweep_value).collect();
         axes.push((path.to_owned(), values));
     }
     if axes.is_empty() {
         match &base.sweep {
             Some(sweep) => axes.push((sweep.param.clone(), sweep.values.clone())),
-            None => die("sweep needs --param (the spec has no [sweep] section)"),
+            None => {
+                return Err(
+                    ArgError::new("sweep needs --param (the spec has no [sweep] section)").into(),
+                )
+            }
         }
     }
-    if axes.iter().any(|(_, values)| values.is_empty()) {
-        die("--param needs at least one value");
+    if let Some((path, _)) = axes.iter().find(|(_, values)| values.is_empty()) {
+        return Err(ArgError::new(format!("sweep axis {path} has no values")).into());
     }
+    Ok(axes)
+}
+
+fn cmd_sweep(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
+    let [_, target] = &parsed.positional[..] else {
+        die("sweep takes exactly one target: a preset name or spec file");
+    };
+    let base = resolve_spec_or_exit(target, scale);
+    // every --param occurrence is its own sweep axis, run in order;
+    // without any, fall back to the spec's [sweep] section
+    let axes = match parse_axes(&parsed.values("param"), &base) {
+        Ok(axes) => axes,
+        Err(e) => fail(&e),
+    };
     spec_banner(&base, scale);
     let scenario = base
         .meta
@@ -555,11 +727,14 @@ fn cmd_sweep(parsed: &ParsedArgs, scale: Scale, threads: Option<usize>) {
         for value in values {
             let mut tree = base.to_value();
             if let Err(e) = tree.set_path(param, value.clone()) {
-                die(&e);
+                fail(&ArgError::new(format!("--param {param}: {e}")).into());
             }
             let mut spec = match ScenarioSpec::from_value(&tree) {
                 Ok(s) => s,
-                Err(e) => die(&format!("{param} = {value}: {e}")),
+                Err(e) => fail(
+                    &SpecError::new(e.field, format!("with {param} = {value}: {}", e.message))
+                        .into(),
+                ),
             };
             // one report per point, distinguished by the scenario label
             spec.meta.scenario = Some(format!("{scenario} [{param}={value}]"));

@@ -1,0 +1,189 @@
+//! Exit-code contract for the `hotspots` CLI (PR 10 bugfix).
+//!
+//! `HotspotsError::exit_code` promises that mistakes the caller can
+//! fix — bad flags, bad specs, unknown targets — exit 2, while runtime
+//! failures — unreadable files, worker losses — exit 1. This table
+//! pins every error entry point to its code and stderr shape, so a
+//! regression that routes an I/O failure through the usage path (or
+//! vice versa) fails loudly.
+
+use std::process::Command;
+
+struct Case {
+    /// Human-readable label for failure messages.
+    label: &'static str,
+    args: &'static [&'static str],
+    /// Expected process exit code: 2 usage, 1 runtime.
+    code: i32,
+    /// A substring the stderr diagnostic must contain.
+    stderr_has: &'static str,
+    /// Whether stderr should carry the usage dump (`usage: hotspots`).
+    /// Usage mistakes about the *shape* of the invocation dump usage;
+    /// typed failures about its *content* (bad file, bad value) do not.
+    usage_dump: bool,
+}
+
+fn run(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hotspots"))
+        .args(args)
+        .env_remove("HOTSPOTS_RUN_REPORT")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn hotspots {args:?}: {e}"));
+    let code = out.status.code().unwrap_or_else(|| {
+        panic!("hotspots {args:?} terminated without an exit code");
+    });
+    (code, String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+#[test]
+fn error_paths_pin_exit_code_and_stderr_shape() {
+    let table = [
+        // --- usage errors about the invocation's shape: exit 2 + usage dump
+        Case {
+            label: "unknown command",
+            args: &["frobnicate"],
+            code: 2,
+            stderr_has: "unknown command",
+            usage_dump: true,
+        },
+        Case {
+            label: "run with no target",
+            args: &["run"],
+            code: 2,
+            stderr_has: "exactly one target",
+            usage_dump: true,
+        },
+        Case {
+            label: "non-numeric --threads",
+            args: &["run", "fig2", "--threads", "lots"],
+            code: 2,
+            stderr_has: "--threads",
+            usage_dump: true,
+        },
+        // --- typed usage errors about the invocation's content: exit 2, no dump
+        Case {
+            label: "unknown target",
+            args: &["run", "no-such-preset"],
+            code: 2,
+            stderr_has: "neither a registered preset",
+            usage_dump: false,
+        },
+        Case {
+            label: "--param without '='",
+            args: &["sweep", "fig2", "--quick", "--param", "noequals"],
+            code: 2,
+            stderr_has: "needs the form dotted.path=v1,v2,...",
+            usage_dump: false,
+        },
+        Case {
+            label: "--param with empty path",
+            args: &["sweep", "fig2", "--quick", "--param", "=1,2"],
+            code: 2,
+            stderr_has: "empty parameter path",
+            usage_dump: false,
+        },
+        Case {
+            label: "--param with no values",
+            args: &["sweep", "fig2", "--quick", "--param", "worm.rate="],
+            code: 2,
+            stderr_has: "at least one value",
+            usage_dump: false,
+        },
+        Case {
+            label: "--param naming a nonexistent field",
+            args: &["sweep", "fig2", "--quick", "--param", "no.such.field=1,2"],
+            code: 2,
+            stderr_has: "with no.such.field = 1: unknown field",
+            usage_dump: false,
+        },
+        Case {
+            label: "sweep without --param on a sweep-less spec",
+            args: &["sweep", "fig2", "--quick"],
+            code: 2,
+            stderr_has: "no [sweep] section",
+            usage_dump: false,
+        },
+        // --- runtime failures: exit 1, no usage dump
+        Case {
+            label: "spec file that does not exist",
+            args: &["run", "no/such/dir/spec.toml"],
+            code: 1,
+            stderr_has: "reading no/such/dir/spec.toml",
+            usage_dump: false,
+        },
+        Case {
+            label: "sweep over an unreadable spec file",
+            args: &["sweep", "missing.toml", "--param", "x=1"],
+            code: 1,
+            stderr_has: "reading missing.toml",
+            usage_dump: false,
+        },
+    ];
+
+    for case in &table {
+        let (code, stderr) = run(case.args);
+        assert_eq!(
+            code, case.code,
+            "{}: hotspots {:?} exited {code}, want {}\nstderr:\n{stderr}",
+            case.label, case.args, case.code
+        );
+        assert!(
+            stderr.contains(case.stderr_has),
+            "{}: stderr missing {:?}:\n{stderr}",
+            case.label,
+            case.stderr_has
+        );
+        assert!(
+            stderr.starts_with("error: "),
+            "{}: stderr should lead with the diagnostic:\n{stderr}",
+            case.label
+        );
+        let dumped = stderr.contains("usage: hotspots");
+        assert_eq!(
+            dumped, case.usage_dump,
+            "{}: usage dump presence was {dumped}, want {}\nstderr:\n{stderr}",
+            case.label, case.usage_dump
+        );
+    }
+}
+
+#[test]
+fn malformed_spec_files_are_usage_errors() {
+    let dir = std::env::temp_dir().join(format!("hotspots-cli-errors-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("broken.toml");
+    std::fs::write(
+        &path,
+        "[meta]\nname = \"x\"\n[worm]\nkind = \"no-such-worm\"\n",
+    )
+    .expect("write spec");
+    let path_str = path.to_str().expect("utf-8 temp path");
+
+    let (code, stderr) = run(&["run", path_str]);
+    assert_eq!(code, 2, "malformed spec should exit 2 (usage):\n{stderr}");
+    assert!(
+        stderr.contains(path_str),
+        "diagnostic should name the file:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("usage: hotspots"),
+        "typed spec errors skip the usage dump:\n{stderr}"
+    );
+
+    // a lone surrogate in a spec string is rejected with a typed error
+    // (the PR 10 parser fix), not mangled into replacement chars
+    let bad_unicode = dir.join("surrogate.toml");
+    std::fs::write(
+        &bad_unicode,
+        "[meta]\nname = \"x\"\ntitle = \"\\uD800\"\n[worm]\nkind = \"uniform\"\n",
+    )
+    .expect("write spec");
+    let (code, stderr) = run(&["run", bad_unicode.to_str().expect("utf-8 temp path")]);
+    assert_eq!(code, 2, "lone surrogate should exit 2 (usage):\n{stderr}");
+    assert!(
+        stderr.contains("surrogate"),
+        "diagnostic should name the surrogate problem:\n{stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,155 @@
+//! End-to-end contract for `hotspots serve`: the cache round-trip the
+//! CI serve job drives. Same preset submitted twice across two server
+//! processes → one simulation run, byte-identical responses; `serve
+//! --check` re-verifies every entry byte-for-byte and fails loudly on
+//! tampering.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn temp_cache(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("hotspots-serve-cli-{label}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Runs one `hotspots serve` session over piped stdio: writes the
+/// request lines, closes stdin, returns the response lines.
+fn serve_session(cache: &Path, requests: &[String]) -> Vec<String> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hotspots"))
+        .args(["serve", "--cache-dir"])
+        .arg(cache)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn hotspots serve");
+    {
+        let mut stdin = child.stdin.take().expect("stdin");
+        for line in requests {
+            writeln!(stdin, "{line}").expect("write request");
+        }
+    }
+    let out = child.wait_with_output().expect("serve session");
+    assert!(
+        out.status.success(),
+        "serve exited with {}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .expect("utf-8 responses")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// The preset's spec text, via `hotspots spec` (what a client would
+/// submit).
+fn preset_spec(name: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_hotspots"))
+        .args(["spec", name, "--quick"])
+        .output()
+        .expect("hotspots spec");
+    assert!(out.status.success(), "hotspots spec {name} failed");
+    String::from_utf8(out.stdout).expect("utf-8 spec")
+}
+
+fn submit_line(spec: &str) -> String {
+    let mut line = String::from("{\"op\":\"submit\",\"spec\":");
+    hotspots_telemetry::json::write_str(&mut line, spec);
+    line.push('}');
+    line
+}
+
+fn run_check(cache: &Path) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hotspots"))
+        .args(["serve", "--check", "--cache-dir"])
+        .arg(cache)
+        .output()
+        .expect("hotspots serve --check");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cache_round_trip_across_processes_and_check() {
+    let cache = temp_cache("roundtrip");
+    let spec = preset_spec("xmode-uniform");
+
+    // session 1: miss then hit, one run, identical bytes
+    let first = serve_session(
+        &cache,
+        &[
+            submit_line(&spec),
+            submit_line(&spec),
+            "{\"op\":\"stats\"}".to_owned(),
+        ],
+    );
+    assert_eq!(first.len(), 3, "{first:?}");
+    assert_eq!(first[0], first[1], "second submission served from cache");
+    assert!(
+        first[2].contains("\"runs\":1,"),
+        "one simulation run for two submissions: {}",
+        first[2]
+    );
+
+    // session 2 (fresh process): served from the persisted store, zero runs
+    let second = serve_session(
+        &cache,
+        &[submit_line(&spec), "{\"op\":\"stats\"}".to_owned()],
+    );
+    assert_eq!(
+        second[0], first[0],
+        "response bytes stable across processes"
+    );
+    assert!(
+        second[1].contains("\"runs\":0,") && second[1].contains("\"hits\":1,"),
+        "no re-run on a warm cache: {}",
+        second[1]
+    );
+
+    // the determinism audit passes on a clean cache
+    let (code, stdout, stderr) = run_check(&cache);
+    assert_eq!(code, 0, "clean cache must verify:\n{stderr}");
+    assert!(stdout.contains("\"ok\":true"), "{stdout}");
+    assert!(stderr.contains("0 diverged"), "{stderr}");
+
+    // tamper with the stored report: --check exits 1 and names the entry
+    let hash = first[0]
+        .split("\"hash\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("hash in response");
+    let report = cache.join(hash).join("report.jsonl");
+    let stored = std::fs::read_to_string(&report).expect("read stored report");
+    std::fs::write(
+        &report,
+        stored.replace("\"population\":", "\"population\":9"),
+    )
+    .expect("tamper");
+    let (code, stdout, _) = run_check(&cache);
+    assert_eq!(code, 1, "tampered cache must fail the audit");
+    assert!(
+        stdout.contains("\"ok\":false") && stdout.contains(hash),
+        "{stdout}"
+    );
+
+    std::fs::remove_dir_all(&cache).ok();
+}
+
+#[test]
+fn serve_rejects_bad_flag_values_as_usage_errors() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hotspots"))
+        .args(["serve", "--max-entries", "many"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--max-entries"), "{stderr}");
+}

@@ -67,6 +67,42 @@ fn workspace_waiver_count_is_pinned() {
     );
 }
 
+/// The serve crate (PR 10) joined the workspace under the full rule
+/// set with **zero** waivers: its library code routes every failure
+/// through `Result`, uses logical sequence numbers instead of clocks
+/// for LRU ordering, and keeps its channel types paired. This pins
+/// both halves — the scan actually covers the crate, and no waiver
+/// creeps into it.
+#[test]
+fn serve_crate_is_scanned_and_waiver_free() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let files = workspace_files(&root);
+    let serve_files: Vec<String> = files
+        .iter()
+        .filter_map(|f| f.strip_prefix(&root).ok())
+        .map(|f| f.to_string_lossy().replace('\\', "/"))
+        .filter(|f| f.starts_with("crates/serve/"))
+        .collect();
+    assert!(
+        serve_files.iter().any(|f| f.ends_with("src/lib.rs"))
+            && serve_files.iter().any(|f| f.ends_with("src/server.rs")),
+        "serve crate missing from the workspace scan: {serve_files:?}"
+    );
+    let report = lint_files(&root, &files);
+    let serve_waivers: Vec<String> = report
+        .used_pragmas
+        .iter()
+        .filter(|(_, path, _)| path.starts_with("crates/serve/"))
+        .map(|(p, path, _)| format!("{path}:{}", p.line))
+        .collect();
+    assert!(
+        serve_waivers.is_empty(),
+        "the serve crate must stay waiver-free:\n{}",
+        serve_waivers.join("\n")
+    );
+}
+
 /// The parallel scan's contract is byte-stability, not just equal
 /// diagnostics: CI diffs the `--threads 2` output against the serial
 /// run, so every rendering (text, JSON, SARIF) must come out identical

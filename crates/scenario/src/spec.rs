@@ -799,6 +799,25 @@ impl ScenarioSpec {
         Ok(spec)
     }
 
+    /// The canonical serialized form: the normalized TOML the writer
+    /// emits from the value tree. Two specs that parse to the same
+    /// `ScenarioSpec` — whatever their source formatting, key order,
+    /// comments, or explicit defaults — share one canonical form, so
+    /// it is the memoization key for the scenario server's result
+    /// cache (DESIGN.md §5i).
+    #[must_use]
+    pub fn canonical_toml(&self) -> String {
+        self.to_toml()
+    }
+
+    /// The stable content hash of [`ScenarioSpec::canonical_toml`]
+    /// (64-bit FNV-1a). Equal for equal specs across processes and
+    /// platforms; the scenario server names cache entries with it.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        hotspots_telemetry::hash::fnv1a_64(self.canonical_toml().as_bytes())
+    }
+
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
         value::to_json(&self.to_value())

@@ -177,6 +177,13 @@ fn write_float(out: &mut String, f: f64) {
     }
 }
 
+/// Emits `s` as a quoted string literal in the escape set shared by
+/// the TOML and JSON writers: `"`/`\` and the C0 controls
+/// (U+0000–U+001F, covering newline/tab in `meta` descriptions) can
+/// never reach the output raw, and scalars above the Basic
+/// Multilingual Plane emit as UTF-16 surrogate pairs — so writer
+/// output always re-parses, byte-identically, through
+/// [`Scanner::parse_string`] on both the TOML and JSON paths.
 fn write_toml_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -187,6 +194,12 @@ fn write_toml_str(out: &mut String, s: &str) {
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c if (c as u32) > 0xFFFF => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    out.push_str(&format!("\\u{unit:04X}"));
+                }
+            }
             c => out.push(c),
         }
     }
@@ -325,27 +338,65 @@ impl<'a> Scanner<'a> {
                 Some('\\') => match self.bump() {
                     Some('"') => s.push('"'),
                     Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
                     Some('n') => s.push('\n'),
                     Some('t') => s.push('\t'),
                     Some('r') => s.push('\r'),
-                    Some('u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let d = self.bump().and_then(|c| c.to_digit(16));
-                            match d {
-                                Some(d) => code = code * 16 + d,
-                                None => return err(line, "bad \\u escape"),
-                            }
-                        }
-                        match char::from_u32(code) {
-                            Some(c) => s.push(c),
-                            None => return err(line, "bad \\u escape"),
-                        }
-                    }
+                    Some('b') => s.push('\u{8}'),
+                    Some('f') => s.push('\u{c}'),
+                    Some('u') => s.push(self.unicode_escape(line)?),
                     _ => return err(line, "unknown escape"),
                 },
                 Some(c) => s.push(c),
             }
+        }
+    }
+
+    /// Four hex digits of a `\u` escape, as a UTF-16 code unit.
+    fn hex4(&mut self, line: usize) -> Result<u32, ParseError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            match self.bump().and_then(|c| c.to_digit(16)) {
+                Some(d) => code = code * 16 + d,
+                None => return err(line, "bad \\u escape (expected 4 hex digits)"),
+            }
+        }
+        Ok(code)
+    }
+
+    /// Decodes one `\u` escape (the `\u` itself already consumed).
+    /// A BMP scalar stands alone; a lead surrogate must be followed by
+    /// a `\u`-escaped trail surrogate (UTF-16 pair decoding); a lone
+    /// surrogate of either kind is an error, never a mangled char.
+    fn unicode_escape(&mut self, line: usize) -> Result<char, ParseError> {
+        let hi = self.hex4(line)?;
+        if (0xDC00..=0xDFFF).contains(&hi) {
+            return err(line, format!("lone trail surrogate \\u{hi:04X}"));
+        }
+        let code = if (0xD800..=0xDBFF).contains(&hi) {
+            if !(self.bump() == Some('\\') && self.bump() == Some('u')) {
+                return err(
+                    line,
+                    format!(
+                        "lone lead surrogate \\u{hi:04X} \
+                         (expected a \\u-escaped trail surrogate)"
+                    ),
+                );
+            }
+            let lo = self.hex4(line)?;
+            if !(0xDC00..=0xDFFF).contains(&lo) {
+                return err(
+                    line,
+                    format!("bad surrogate pair \\u{hi:04X}\\u{lo:04X} (trail not in DC00-DFFF)"),
+                );
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        } else {
+            hi
+        };
+        match char::from_u32(code) {
+            Some(c) => Ok(c),
+            None => err(line, format!("bad codepoint {code:#x} in \\u escape")),
         }
     }
 
@@ -703,5 +754,67 @@ mod tests {
     fn comments_and_blank_lines_skipped() {
         let v = from_toml("# header\n\nx = 1 # trailing\n").unwrap();
         assert_eq!(v.get("x").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn non_bmp_strings_round_trip_as_surrogate_pairs() {
+        let mut v = Value::table();
+        v.set("s", Value::Str("emoji \u{1F600}, clef \u{1D11E}".into()));
+        let toml = to_toml(&v);
+        assert!(toml.is_ascii(), "non-BMP must escape to ASCII: {toml}");
+        assert!(toml.contains("\\uD83D\\uDE00"), "got: {toml}");
+        assert_eq!(from_toml(&toml).unwrap(), v);
+        let json = to_json(&v);
+        assert!(json.is_ascii(), "got: {json}");
+        assert_eq!(from_json(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn lone_surrogates_are_typed_errors() {
+        for bad in [
+            "s = \"\\uD800\"",
+            "s = \"\\uDC00\"",
+            "s = \"\\uD800\\u0041\"",
+            "s = \"\\uD800x\"",
+        ] {
+            let e = from_toml(bad).unwrap_err();
+            assert!(e.message.contains("surrogate"), "{bad}: {e}");
+        }
+        let e = from_json("{\"s\":\"\\uDFFF\"}").unwrap_err();
+        assert!(e.message.contains("lone trail surrogate"), "got: {e}");
+    }
+
+    #[test]
+    fn json_compat_escapes_parse() {
+        let v = from_json("{\"s\":\"a\\/b\\u0008\\u000c\\b\\f\"}").unwrap();
+        assert_eq!(
+            v.get("s").unwrap().as_str(),
+            Some("a/b\u{8}\u{c}\u{8}\u{c}")
+        );
+    }
+
+    #[test]
+    fn control_chars_and_quotes_in_meta_strings_round_trip() {
+        // the satellite-2 audit case: a description with a newline,
+        // tab, quote, backslash, and each C0 control must emit
+        // re-parseable TOML and JSON
+        let mut nasty = String::from("line1\nline2\ttab \"quoted\" back\\slash ");
+        for c in 0u32..0x20 {
+            nasty.push(char::from_u32(c).expect("C0 controls are chars"));
+        }
+        let mut v = Value::table();
+        v.set("desc", Value::Str(nasty.clone()));
+        let toml = to_toml(&v);
+        assert_eq!(
+            from_toml(&toml).unwrap().get("desc").unwrap().as_str(),
+            Some(nasty.as_str()),
+            "emitted TOML: {toml:?}"
+        );
+        let json = to_json(&v);
+        assert_eq!(
+            from_json(&json).unwrap().get("desc").unwrap().as_str(),
+            Some(nasty.as_str()),
+            "emitted JSON: {json:?}"
+        );
     }
 }

@@ -350,7 +350,74 @@ fn arb_spec(seed: u64) -> ScenarioSpec {
     spec
 }
 
+/// An arbitrary Unicode string biased toward the corners the escapers
+/// must handle: C0 controls, quotes/backslashes, BMP scalars, and
+/// non-BMP scalars (which the writers emit as surrogate pairs).
+fn arb_unicode(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..40);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..6) {
+            0 => char::from(rng.gen_range(0x20u8..0x7f)), // printable ASCII
+            1 => char::from_u32(rng.gen_range(0u32..0x20)).expect("C0 is scalar"),
+            2 => *pick(rng, &['"', '\\', '/', '\n', '\t', '\r', '#', '[', ']', '=']),
+            3 => {
+                // BMP, re-rolling the surrogate gap
+                loop {
+                    if let Some(c) = char::from_u32(rng.gen_range(0x80u32..0x1_0000)) {
+                        break c;
+                    }
+                }
+            }
+            _ => char::from_u32(rng.gen_range(0x1_0000u32..0x11_0000).min(0x10_FFFF))
+                .unwrap_or('\u{10000}'),
+        })
+        .collect()
+}
+
 proptest! {
+    /// Satellite pin (PR 10): arbitrary Unicode — including control
+    /// characters, non-BMP scalars, and every quoting hazard — survives
+    /// the hand-rolled writer/parser pair on both the TOML and JSON
+    /// paths, at the raw Value layer.
+    #[test]
+    fn arbitrary_unicode_strings_round_trip_both_formats(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = Value::table();
+        for key in ["a", "b", "c"] {
+            v.set(key, Value::Str(arb_unicode(&mut rng)));
+        }
+        v.set(
+            "arr",
+            Value::Array((0..3).map(|_| Value::Str(arb_unicode(&mut rng))).collect()),
+        );
+        let toml = hotspots_scenario::value::to_toml(&v);
+        let back = hotspots_scenario::value::from_toml(&toml)
+            .map_err(|e| TestCaseError::fail(format!("toml re-parse: {e}\n{toml:?}")))?;
+        prop_assert_eq!(&v, &back);
+        let json = hotspots_scenario::value::to_json(&v);
+        let back = hotspots_scenario::value::from_json(&json)
+            .map_err(|e| TestCaseError::fail(format!("json re-parse: {e}\n{json:?}")))?;
+        prop_assert_eq!(&v, &back);
+    }
+
+    /// The same property one level up: a spec whose free-form meta
+    /// strings are arbitrary Unicode still round-trips as a spec.
+    #[test]
+    fn specs_with_arbitrary_meta_strings_round_trip(seed in any::<u64>()) {
+        let mut spec = arb_spec(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        spec.meta.title = Some(arb_unicode(&mut rng));
+        spec.meta.artifact = Some(arb_unicode(&mut rng));
+        let toml = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&toml)
+            .map_err(|e| TestCaseError::fail(format!("toml re-parse: {e}\n{toml:?}")))?;
+        prop_assert_eq!(&spec, &back);
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json)
+            .map_err(|e| TestCaseError::fail(format!("json re-parse: {e}\n{json:?}")))?;
+        prop_assert_eq!(&spec, &back);
+    }
+
     #[test]
     fn generated_specs_validate(seed in any::<u64>()) {
         let spec = arb_spec(seed);

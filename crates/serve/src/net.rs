@@ -1,0 +1,39 @@
+//! Optional TCP transport (`net` feature; `std::net` only).
+//!
+//! The protocol is byte-identical to the stdio session: one JSONL
+//! request per line in, one response line out. Each accepted client
+//! gets its own thread driving [`Server::serve`] over the stream; the
+//! memoization, dedupe, and backpressure semantics are the server's
+//! own and do not change with the transport.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use crate::server::Server;
+
+/// Serves clients on `addr` (e.g. `127.0.0.1:7077`) until the process
+/// exits. Each connection is handled on its own thread; a client whose
+/// stream fails mid-session is dropped without affecting the others.
+///
+/// # Errors
+///
+/// Binding the listener, or a failed `accept`.
+pub fn serve_tcp(server: &Arc<Server>, addr: &str) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    loop {
+        let (stream, peer) = listener.accept()?;
+        let server = Arc::clone(server);
+        let spawned = thread::Builder::new()
+            .name(format!("serve-client-{peer}"))
+            .spawn(move || drop(handle_client(&server, stream)));
+        // a spawn failure drops this client; the listener keeps going
+        drop(spawned);
+    }
+}
+
+fn handle_client(server: &Server, stream: TcpStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    server.serve(reader, stream)
+}

@@ -1,0 +1,84 @@
+//! A stable, dependency-free content hasher for memoization keys.
+//!
+//! The scenario server (DESIGN.md §5i) keys its result cache on the
+//! canonical TOML of a spec. The key must be stable across processes,
+//! platforms, and releases — `std::hash` deliberately guarantees none
+//! of those — so the server uses FNV-1a over the canonical bytes: the
+//! classic Fowler–Noll–Vo fold, 64-bit variant, with the published
+//! offset basis and prime. It is not collision-resistant against an
+//! adversary, but cache entries are verified by re-running their spec
+//! (`serve --check`), so a collision corrupts nothing silently.
+
+/// The FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+///
+/// # Examples
+///
+/// ```
+/// use hotspots_telemetry::hash::fnv1a_64;
+///
+/// // published test vectors for the 64-bit variant
+/// assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+/// assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+/// assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+/// ```
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Formats a content hash the way the result store names directories:
+/// 16 lowercase hex digits, zero-padded.
+#[must_use]
+pub fn format_hash(hash: u64) -> String {
+    format!("{hash:016x}")
+}
+
+/// Parses a [`format_hash`]-formatted hash back to its value.
+#[must_use]
+pub fn parse_hash(text: &str) -> Option<u64> {
+    if text.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_vectors() {
+        // from the FNV reference test suite
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn hash_text_round_trips() {
+        for h in [0u64, 1, 0xcbf2_9ce4_8422_2325, u64::MAX] {
+            let text = format_hash(h);
+            assert_eq!(text.len(), 16);
+            assert_eq!(parse_hash(&text), Some(h), "{text}");
+        }
+        assert_eq!(parse_hash("xyz"), None);
+        assert_eq!(parse_hash("00000000000000000"), None); // 17 digits
+    }
+
+    #[test]
+    fn single_byte_difference_changes_the_hash() {
+        let a = fnv1a_64(b"[meta]\nname = \"fig2\"\n");
+        let b = fnv1a_64(b"[meta]\nname = \"fig3\"\n");
+        assert_ne!(a, b);
+    }
+}

@@ -70,6 +70,13 @@ impl Json {
 }
 
 /// Appends `s` to `out` as a JSON string literal.
+///
+/// Control characters escape as `\u00XX`; scalars above the Basic
+/// Multilingual Plane escape as UTF-16 surrogate pairs (U+1F600
+/// becomes backslash-uD83D backslash-uDE00)
+/// so the emitted line is plain ASCII-compatible JSON that any
+/// conforming parser — including [`parse`] — reassembles to the
+/// original string.
 pub fn write_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -81,6 +88,12 @@ pub fn write_str(out: &mut String, s: &str) {
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c if (c as u32) > 0xFFFF => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
             }
             c => out.push(c),
         }
@@ -237,24 +250,53 @@ impl Parser {
                     Some('t') => out.push('\t'),
                     Some('b') => out.push('\u{8}'),
                     Some('f') => out.push('\u{c}'),
-                    Some('u') => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let c = self.bump().ok_or("truncated \\u escape")?;
-                            code = code * 16
-                                + c.to_digit(16)
-                                    .ok_or_else(|| format!("bad \\u digit '{c}'"))?;
-                        }
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("bad codepoint {code:#x}"))?,
-                        );
-                    }
+                    Some('u') => out.push(self.unicode_escape()?),
                     got => return Err(format!("bad escape {got:?} at {}", self.pos)),
                 },
                 Some(c) => out.push(c),
             }
         }
+    }
+
+    /// Four hex digits of a `\u` escape, as a UTF-16 code unit.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self.bump().ok_or("truncated \\u escape")?;
+            code = code * 16
+                + c.to_digit(16)
+                    .ok_or_else(|| format!("bad \\u digit '{c}'"))?;
+        }
+        Ok(code)
+    }
+
+    /// Decodes one `\u` escape (the `\u` itself already consumed):
+    /// a BMP scalar stands alone, a lead surrogate must be followed by
+    /// a `\u`-escaped trail surrogate (UTF-16 pair decoding per RFC
+    /// 8259 §7), and a lone surrogate of either kind is an error — not
+    /// a mangled replacement character.
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hi = self.hex4()?;
+        if (0xDC00..=0xDFFF).contains(&hi) {
+            return Err(format!("lone trail surrogate \\u{hi:04x}"));
+        }
+        let code = if (0xD800..=0xDBFF).contains(&hi) {
+            if !(self.bump() == Some('\\') && self.bump() == Some('u')) {
+                return Err(format!(
+                    "lone lead surrogate \\u{hi:04x} (expected a \\u-escaped trail surrogate)"
+                ));
+            }
+            let lo = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&lo) {
+                return Err(format!(
+                    "bad surrogate pair \\u{hi:04x}\\u{lo:04x} (trail not in DC00-DFFF)"
+                ));
+            }
+            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+        } else {
+            hi
+        };
+        char::from_u32(code).ok_or_else(|| format!("bad codepoint {code:#x}"))
     }
 
     fn number(&mut self) -> Result<Json, String> {
@@ -320,6 +362,39 @@ mod tests {
         let mut out = String::new();
         write_str(&mut out, nasty);
         assert_eq!(parse(&out).unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn non_bmp_scalars_escape_as_surrogate_pairs() {
+        let s = "emoji \u{1F600} and gothic \u{10330}";
+        let mut out = String::new();
+        write_str(&mut out, s);
+        assert!(out.is_ascii(), "non-BMP must escape to ASCII: {out}");
+        assert!(out.contains("\\ud83d\\ude00"), "got: {out}");
+        assert_eq!(parse(&out).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        // uppercase hex, as other emitters produce
+        assert_eq!(
+            parse("\"\\uD83D\\uDE00\"").unwrap().as_str(),
+            Some("\u{1F600}")
+        );
+        assert_eq!(parse("\"\\ud834\\udd1e\"").unwrap().as_str(), Some("𝄞"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_typed_errors() {
+        let lead = parse("\"\\uD800\"").unwrap_err();
+        assert!(lead.contains("lone lead surrogate"), "got: {lead}");
+        let trail = parse("\"\\uDC00x\"").unwrap_err();
+        assert!(trail.contains("lone trail surrogate"), "got: {trail}");
+        let pair = parse("\"\\uD800\\u0041\"").unwrap_err();
+        assert!(pair.contains("bad surrogate pair"), "got: {pair}");
+        // a lead surrogate followed by a raw (unescaped) char
+        let raw = parse("\"\\uD800A\"").unwrap_err();
+        assert!(raw.contains("lone lead surrogate"), "got: {raw}");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![allow(clippy::disallowed_methods)]
 
 pub mod bench;
+pub mod hash;
 pub mod json;
 mod memory;
 mod metrics;

@@ -132,6 +132,21 @@ impl RunReport {
         out
     }
 
+    /// A copy with the host-timing fields zeroed: `wall_seconds`,
+    /// `peak_step_seconds`, and `phases` are the only fields the
+    /// determinism contract lets vary between identical runs (the same
+    /// set `scripts/check_goldens.sh` masks). The canonical form is
+    /// what the scenario server stores and serves, so a cached
+    /// response is byte-identical to a fresh one.
+    #[must_use]
+    pub fn canonicalized(&self) -> RunReport {
+        let mut report = self.clone();
+        report.wall_seconds = 0.0;
+        report.peak_step_seconds = None;
+        report.phases.clear();
+        report
+    }
+
     /// Parses a report back from its JSONL line.
     ///
     /// # Errors

@@ -1,0 +1,85 @@
+//! Round-trip properties for the hand-rolled JSON writer/parser pair.
+//!
+//! The escaper promises that `parse` recovers the exact source string
+//! from `write_str` output — including C0 control characters, quoting
+//! hazards, and non-BMP scalars, which travel as UTF-16 surrogate
+//! pairs rather than raw supplementary-plane bytes. These properties
+//! pin that contract over arbitrary Unicode (PR 10 parser bugfix).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hotspots_telemetry::json::{self, Json};
+
+/// An arbitrary Unicode string biased toward escaper corner cases:
+/// printable ASCII, C0 controls, quote/backslash hazards, BMP scalars,
+/// and non-BMP scalars (surrogate-pair territory).
+fn arb_unicode(rng: &mut StdRng) -> String {
+    let hazards = ['"', '\\', '/', '\n', '\t', '\r', '{', '}', ':'];
+    let len = rng.gen_range(0usize..48);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..6) {
+            0 => char::from(rng.gen_range(0x20u8..0x7f)),
+            1 => char::from_u32(rng.gen_range(0u32..0x20)).unwrap_or('\u{1f}'),
+            2 => hazards[rng.gen_range(0..hazards.len())],
+            3 => loop {
+                // BMP, re-rolling the surrogate gap D800-DFFF
+                if let Some(c) = char::from_u32(rng.gen_range(0x80u32..0x1_0000)) {
+                    break c;
+                }
+            },
+            _ => char::from_u32(rng.gen_range(0x1_0000u32..=0x10_FFFF)).unwrap_or('\u{10000}'),
+        })
+        .collect()
+}
+
+proptest! {
+    /// parse ∘ write_str is the identity over arbitrary Unicode, and
+    /// the wire form stays inside the BMP (non-BMP scalars travel as
+    /// surrogate-pair escapes, never raw).
+    #[test]
+    fn write_str_round_trips_arbitrary_unicode(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let s = arb_unicode(&mut rng);
+            let mut wire = String::new();
+            json::write_str(&mut wire, &s);
+            prop_assert!(
+                wire.chars().all(|c| (0x20..=0xFFFF).contains(&(c as u32))),
+                "raw non-BMP or C0 control in wire form for {s:?}: {wire:?}"
+            );
+            let parsed = json::parse(&wire)
+                .map_err(|e| TestCaseError::fail(format!("re-parse failed: {e}\n{wire:?}")))?;
+            match parsed {
+                Json::Str(back) => prop_assert_eq!(&back, &s),
+                other => return Err(TestCaseError::fail(format!("expected string, got {other:?}"))),
+            }
+        }
+    }
+
+    /// The same property through an object wrapper, exercising the
+    /// key-string path as well as the value path.
+    #[test]
+    fn object_keys_and_values_round_trip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
+        let key = arb_unicode(&mut rng);
+        let val = arb_unicode(&mut rng);
+        let mut wire = String::from("{");
+        json::write_str(&mut wire, &key);
+        wire.push(':');
+        json::write_str(&mut wire, &val);
+        wire.push('}');
+        let parsed = json::parse(&wire)
+            .map_err(|e| TestCaseError::fail(format!("re-parse failed: {e}\n{wire:?}")))?;
+        let obj = parsed
+            .as_obj()
+            .ok_or_else(|| TestCaseError::fail("expected object".to_owned()))?;
+        prop_assert_eq!(obj.len(), 1);
+        prop_assert_eq!(&obj[0].0, &key);
+        match &obj[0].1 {
+            Json::Str(back) => prop_assert_eq!(back, &val),
+            other => return Err(TestCaseError::fail(format!("expected string, got {other:?}"))),
+        }
+    }
+}
